@@ -1,0 +1,124 @@
+//! BabelStream in Alpaka — kernel functors with explicit work division.
+
+use super::Stopwatch;
+use crate::{Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C};
+use mcmm_core::taxonomy::Vendor;
+use mcmm_gpu_sim::device::Device;
+use mcmm_gpu_sim::ir::{AtomicOp, KernelBuilder, Reg, Space, Type};
+use mcmm_model_alpaka::{Accelerator, AlpakaKernel, BinOp, Value, WorkDiv};
+
+/// The Alpaka BabelStream adapter.
+pub struct AlpakaStream;
+
+struct CopyK;
+struct MulK;
+struct AddK;
+struct TriadK;
+struct DotK;
+
+impl AlpakaKernel for CopyK {
+    fn operator(&self, acc: &mut KernelBuilder, i: Reg, p: &[Reg]) {
+        let v = acc.ld_elem(Space::Global, Type::F64, p[0], i);
+        acc.st_elem(Space::Global, p[2], i, v);
+    }
+}
+impl AlpakaKernel for MulK {
+    fn operator(&self, acc: &mut KernelBuilder, i: Reg, p: &[Reg]) {
+        let v = acc.ld_elem(Space::Global, Type::F64, p[2], i);
+        let w = acc.bin(BinOp::Mul, v, Value::F64(SCALAR));
+        acc.st_elem(Space::Global, p[1], i, w);
+    }
+}
+impl AlpakaKernel for AddK {
+    fn operator(&self, acc: &mut KernelBuilder, i: Reg, p: &[Reg]) {
+        let va = acc.ld_elem(Space::Global, Type::F64, p[0], i);
+        let vb = acc.ld_elem(Space::Global, Type::F64, p[1], i);
+        let s = acc.bin(BinOp::Add, va, vb);
+        acc.st_elem(Space::Global, p[2], i, s);
+    }
+}
+impl AlpakaKernel for TriadK {
+    fn operator(&self, acc: &mut KernelBuilder, i: Reg, p: &[Reg]) {
+        let vb = acc.ld_elem(Space::Global, Type::F64, p[1], i);
+        let vc = acc.ld_elem(Space::Global, Type::F64, p[2], i);
+        let sc = acc.bin(BinOp::Mul, vc, Value::F64(SCALAR));
+        let s = acc.bin(BinOp::Add, vb, sc);
+        acc.st_elem(Space::Global, p[0], i, s);
+    }
+}
+impl AlpakaKernel for DotK {
+    fn operator(&self, acc: &mut KernelBuilder, i: Reg, p: &[Reg]) {
+        let va = acc.ld_elem(Space::Global, Type::F64, p[0], i);
+        let vb = acc.ld_elem(Space::Global, Type::F64, p[1], i);
+        let prod = acc.bin(BinOp::Mul, va, vb);
+        let _ = acc.atomic(AtomicOp::Add, Space::Global, p[3], prod);
+    }
+}
+
+impl StreamBackend for AlpakaStream {
+    fn model_name(&self) -> &'static str {
+        "ALPAKA"
+    }
+
+    fn run(&self, vendor: Vendor, n: usize, iters: usize) -> Result<RunResult, StreamError> {
+        let device = Device::new(mcmm_toolchain::vendor_device_spec(vendor));
+        let dev = device.clone();
+        let acc = Accelerator::default_for_device(device).map_err(|e| StreamError::Unsupported {
+            model: "ALPAKA",
+            vendor,
+            detail: e.to_string(),
+        })?;
+        let fail = |e: mcmm_model_alpaka::AlpakaError| StreamError::Failed(e.to_string());
+
+        let a = acc.alloc_buf(&vec![START_A; n]).map_err(fail)?;
+        let b = acc.alloc_buf(&vec![START_B; n]).map_err(fail)?;
+        let c = acc.alloc_buf(&vec![START_C; n]).map_err(fail)?;
+        let sum = acc.alloc_buf(&[0.0]).map_err(fail)?;
+        let bufs = [a, b, c, sum];
+        let work = WorkDiv::for_elements(n, 256);
+
+        let mut sw = Stopwatch::new(&dev);
+        let mut gold = Gold::initial();
+        let mut dot = 0.0;
+        for _ in 0..iters {
+            sw.time(StreamKernel::Copy, || acc.exec(work, n, &CopyK, &bufs)).map_err(fail)?;
+            sw.time(StreamKernel::Mul, || acc.exec(work, n, &MulK, &bufs)).map_err(fail)?;
+            sw.time(StreamKernel::Add, || acc.exec(work, n, &AddK, &bufs)).map_err(fail)?;
+            sw.time(StreamKernel::Triad, || acc.exec(work, n, &TriadK, &bufs)).map_err(fail)?;
+            gold.step();
+            // Reset the reduction cell, then dot.
+            dev.memory()
+                .store(sum.0, Value::F64(0.0))
+                .map_err(|e| StreamError::Failed(e.to_string()))?;
+            sw.time(StreamKernel::Dot, || acc.exec(work, n, &DotK, &bufs)).map_err(fail)?;
+            dot = acc.memcpy_to_host(sum, 1).map_err(fail)?[0];
+        }
+
+        let ha = acc.memcpy_to_host(a, n).map_err(fail)?;
+        let hb = acc.memcpy_to_host(b, n).map_err(fail)?;
+        let hc = acc.memcpy_to_host(c, n).map_err(fail)?;
+        let dot_ok = ((dot - gold.expected_dot(n)) / gold.expected_dot(n)).abs() < 1e-8;
+        Ok(RunResult {
+            model: "ALPAKA",
+            toolchain: format!("{:?}", acc.tag()),
+            vendor,
+            n,
+            kernels: sw.results(n),
+            dot,
+            verified: crate::verify(&ha, &hb, &hc, gold) && dot_ok,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_on_all_three_vendors() {
+        for v in Vendor::ALL {
+            let r = AlpakaStream.run(v, 2048, 2).unwrap();
+            assert!(r.verified, "{v}");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! BabelStream in CUDA (the reference implementation's CUDA variant).
+
+use super::Stopwatch;
+use crate::{Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C};
+use mcmm_core::taxonomy::Vendor;
+use mcmm_gpu_sim::device::{Device, KernelArg};
+use mcmm_gpu_sim::ir::{AtomicOp, BinOp, CmpOp, KernelBuilder, KernelIr, Space, Type, Value};
+use mcmm_model_cuda::{CudaContext, CudaKernel};
+
+/// The CUDA BabelStream adapter.
+pub struct CudaStream;
+
+/// Build the five kernels with the uniform signature
+/// `(a: ptr, b: ptr, c: ptr, sum: ptr, n: i32)`.
+pub(crate) fn stream_kernels() -> [KernelIr; 5] {
+    let build = |name: &str, f: &dyn Fn(&mut KernelBuilder, mcmm_gpu_sim::ir::Reg, [mcmm_gpu_sim::ir::Reg; 4])| {
+        let mut k = KernelBuilder::new(name);
+        let a = k.param(Type::I64);
+        let b = k.param(Type::I64);
+        let c = k.param(Type::I64);
+        let sum = k.param(Type::I64);
+        let n = k.param(Type::I32);
+        let i = k.global_thread_id_x();
+        let ok = k.cmp(CmpOp::Lt, i, n);
+        let mut body = Some(f);
+        k.if_(ok, |k| {
+            if let Some(f) = body.take() {
+                f(k, i, [a, b, c, sum]);
+            }
+        });
+        k.finish()
+    };
+    [
+        build("stream_copy", &|k, i, [a, _b, c, _s]| {
+            let v = k.ld_elem(Space::Global, Type::F64, a, i);
+            k.st_elem(Space::Global, c, i, v);
+        }),
+        build("stream_mul", &|k, i, [_a, b, c, _s]| {
+            let v = k.ld_elem(Space::Global, Type::F64, c, i);
+            let w = k.bin(BinOp::Mul, v, Value::F64(SCALAR));
+            k.st_elem(Space::Global, b, i, w);
+        }),
+        build("stream_add", &|k, i, [a, b, c, _s]| {
+            let va = k.ld_elem(Space::Global, Type::F64, a, i);
+            let vb = k.ld_elem(Space::Global, Type::F64, b, i);
+            let s = k.bin(BinOp::Add, va, vb);
+            k.st_elem(Space::Global, c, i, s);
+        }),
+        build("stream_triad", &|k, i, [a, b, c, _s]| {
+            let vb = k.ld_elem(Space::Global, Type::F64, b, i);
+            let vc = k.ld_elem(Space::Global, Type::F64, c, i);
+            let sc = k.bin(BinOp::Mul, vc, Value::F64(SCALAR));
+            let s = k.bin(BinOp::Add, vb, sc);
+            k.st_elem(Space::Global, a, i, s);
+        }),
+        build("stream_dot", &|k, i, [a, b, _c, sum]| {
+            let va = k.ld_elem(Space::Global, Type::F64, a, i);
+            let vb = k.ld_elem(Space::Global, Type::F64, b, i);
+            let p = k.bin(BinOp::Mul, va, vb);
+            let _ = k.atomic(AtomicOp::Add, Space::Global, sum, p);
+        }),
+    ]
+}
+
+impl StreamBackend for CudaStream {
+    fn model_name(&self) -> &'static str {
+        "CUDA"
+    }
+
+    fn run(&self, vendor: Vendor, n: usize, iters: usize) -> Result<RunResult, StreamError> {
+        let device = Device::new(mcmm_toolchain::vendor_device_spec(vendor));
+        let ctx = CudaContext::new(device).map_err(|e| StreamError::Unsupported {
+            model: "CUDA",
+            vendor,
+            detail: e.to_string(),
+        })?;
+        let fail = |e: mcmm_model_cuda::CudaError| StreamError::Failed(e.to_string());
+
+        let kernels: Vec<CudaKernel> = stream_kernels()
+            .iter()
+            .map(|k| ctx.compile(k))
+            .collect::<Result<_, _>>()
+            .map_err(fail)?;
+        let toolchain = kernels[0].toolchain.to_owned();
+
+        let da = ctx.upload_f64(&vec![START_A; n]).map_err(fail)?;
+        let db = ctx.upload_f64(&vec![START_B; n]).map_err(fail)?;
+        let dc = ctx.upload_f64(&vec![START_C; n]).map_err(fail)?;
+        let dsum = ctx.upload_f64(&[0.0]).map_err(fail)?;
+        let args = [
+            KernelArg::Ptr(da),
+            KernelArg::Ptr(db),
+            KernelArg::Ptr(dc),
+            KernelArg::Ptr(dsum),
+            KernelArg::I32(n as i32),
+        ];
+        let grid = (n as u32).div_ceil(256);
+
+        let dev = ctx.device().clone();
+        let mut sw = Stopwatch::new(&dev);
+        let mut gold = Gold::initial();
+        let mut dot = 0.0;
+        for _ in 0..iters {
+            for (idx, kernel) in
+                [StreamKernel::Copy, StreamKernel::Mul, StreamKernel::Add, StreamKernel::Triad]
+                    .iter()
+                    .enumerate()
+            {
+                sw.time(*kernel, || ctx.launch(&kernels[idx], grid, 256, &args)).map_err(fail)?;
+            }
+            gold.step();
+            // Dot: zero the cell, then reduce.
+            ctx.device().memory().store(dsum.0, Value::F64(0.0)).map_err(|e| StreamError::Failed(e.to_string()))?;
+            sw.time(StreamKernel::Dot, || ctx.launch(&kernels[4], grid, 256, &args)).map_err(fail)?;
+            dot = ctx.download_f64(dsum, 1).map_err(fail)?[0];
+        }
+
+        let a = ctx.download_f64(da, n).map_err(fail)?;
+        let b = ctx.download_f64(db, n).map_err(fail)?;
+        let c = ctx.download_f64(dc, n).map_err(fail)?;
+        let dot_ok = ((dot - gold.expected_dot(n)) / gold.expected_dot(n)).abs() < 1e-8;
+        Ok(RunResult {
+            model: "CUDA",
+            toolchain,
+            vendor,
+            n,
+            kernels: sw.results(n),
+            dot,
+            verified: crate::verify(&a, &b, &c, gold) && dot_ok,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_verified_on_nvidia() {
+        let r = CudaStream.run(Vendor::Nvidia, 4096, 2).unwrap();
+        assert!(r.verified, "verification failed");
+        assert_eq!(r.kernels.len(), 5);
+        assert!(r.triad_gbps() > 0.0);
+        assert_eq!(r.toolchain, "CUDA Toolkit (nvcc)");
+    }
+
+    #[test]
+    fn unsupported_on_amd_and_intel() {
+        // The CUDA *runtime* refuses non-NVIDIA devices; translators are a
+        // different program (see mcmm-translate).
+        for v in [Vendor::Amd, Vendor::Intel] {
+            assert!(matches!(
+                CudaStream.run(v, 64, 1),
+                Err(StreamError::Unsupported { model: "CUDA", .. })
+            ));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! BabelStream in Kokkos — Views plus `parallel_for`/`parallel_reduce`,
+//! as the reference implementation's Kokkos variant.
+
+use super::Stopwatch;
+use crate::{Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C};
+use mcmm_core::taxonomy::Vendor;
+use mcmm_gpu_sim::device::Device;
+use mcmm_gpu_sim::ir::{Space, Type};
+use mcmm_model_kokkos::{BinOp, ExecSpace, Value};
+
+/// The Kokkos BabelStream adapter.
+pub struct KokkosStream;
+
+impl StreamBackend for KokkosStream {
+    fn model_name(&self) -> &'static str {
+        "Kokkos"
+    }
+
+    fn run(&self, vendor: Vendor, n: usize, iters: usize) -> Result<RunResult, StreamError> {
+        let device = Device::new(mcmm_toolchain::vendor_device_spec(vendor));
+        let dev = device.clone();
+        let space = ExecSpace::new(device).map_err(|e| StreamError::Unsupported {
+            model: "Kokkos",
+            vendor,
+            detail: e.to_string(),
+        })?;
+        let fail = |e: mcmm_model_kokkos::KokkosError| StreamError::Failed(e.to_string());
+
+        let a = space.view_from_host("a", &vec![START_A; n]).map_err(fail)?;
+        let b = space.view_from_host("b", &vec![START_B; n]).map_err(fail)?;
+        let c = space.view_from_host("c", &vec![START_C; n]).map_err(fail)?;
+
+        let mut sw = Stopwatch::new(&dev);
+        let mut gold = Gold::initial();
+        let mut dot = 0.0;
+        for _ in 0..iters {
+            sw.time(StreamKernel::Copy, || {
+                space.parallel_for(n, &[&a, &c], |k, i, p| {
+                    let v = k.ld_elem(Space::Global, Type::F64, p[0], i);
+                    k.st_elem(Space::Global, p[1], i, v);
+                })
+            })
+            .map_err(fail)?;
+            sw.time(StreamKernel::Mul, || {
+                space.parallel_for(n, &[&c, &b], |k, i, p| {
+                    let v = k.ld_elem(Space::Global, Type::F64, p[0], i);
+                    let w = k.bin(BinOp::Mul, v, Value::F64(SCALAR));
+                    k.st_elem(Space::Global, p[1], i, w);
+                })
+            })
+            .map_err(fail)?;
+            sw.time(StreamKernel::Add, || {
+                space.parallel_for(n, &[&a, &b, &c], |k, i, p| {
+                    let va = k.ld_elem(Space::Global, Type::F64, p[0], i);
+                    let vb = k.ld_elem(Space::Global, Type::F64, p[1], i);
+                    let s = k.bin(BinOp::Add, va, vb);
+                    k.st_elem(Space::Global, p[2], i, s);
+                })
+            })
+            .map_err(fail)?;
+            sw.time(StreamKernel::Triad, || {
+                space.parallel_for(n, &[&a, &b, &c], |k, i, p| {
+                    let vb = k.ld_elem(Space::Global, Type::F64, p[1], i);
+                    let vc = k.ld_elem(Space::Global, Type::F64, p[2], i);
+                    let sc = k.bin(BinOp::Mul, vc, Value::F64(SCALAR));
+                    let s = k.bin(BinOp::Add, vb, sc);
+                    k.st_elem(Space::Global, p[0], i, s);
+                })
+            })
+            .map_err(fail)?;
+            gold.step();
+            dot = sw
+                .time(StreamKernel::Dot, || {
+                    space.parallel_reduce_sum(n, &[&a, &b], |k, i, p| {
+                        let va = k.ld_elem(Space::Global, Type::F64, p[0], i);
+                        let vb = k.ld_elem(Space::Global, Type::F64, p[1], i);
+                        k.bin(BinOp::Mul, va, vb)
+                    })
+                })
+                .map_err(fail)?;
+        }
+
+        let ha = space.deep_copy_to_host(&a).map_err(fail)?;
+        let hb = space.deep_copy_to_host(&b).map_err(fail)?;
+        let hc = space.deep_copy_to_host(&c).map_err(fail)?;
+        let dot_ok = ((dot - gold.expected_dot(n)) / gold.expected_dot(n)).abs() < 1e-8;
+        Ok(RunResult {
+            model: "Kokkos",
+            toolchain: space.backend().to_owned(),
+            vendor,
+            n,
+            kernels: sw.results(n),
+            dot,
+            verified: crate::verify(&ha, &hb, &hc, gold) && dot_ok,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_on_all_three_vendors() {
+        for v in Vendor::ALL {
+            let r = KokkosStream.run(v, 2048, 2).unwrap();
+            assert!(r.verified, "{v}");
+        }
+    }
+
+    #[test]
+    fn intel_experimental_backend_trails_native_backends() {
+        let nv = KokkosStream.run(Vendor::Nvidia, 4096, 1).unwrap();
+        let intel = KokkosStream.run(Vendor::Intel, 4096, 1).unwrap();
+        let nv_frac = nv.triad_gbps() / 2039.0;
+        let intel_frac = intel.triad_gbps() / 1638.0;
+        assert!(intel_frac < nv_frac, "intel {intel_frac} !< nv {nv_frac}");
+    }
+}

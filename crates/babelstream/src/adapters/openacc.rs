@@ -1,0 +1,144 @@
+//! BabelStream in OpenACC — one data region, one `parallel loop` per
+//! kernel. Not available on Intel (the paper's conclusion: OpenACC
+//! "support for Intel GPUs does not exist").
+
+use super::Stopwatch;
+use crate::{Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C};
+use mcmm_core::taxonomy::Vendor;
+use mcmm_gpu_sim::device::Device;
+use mcmm_gpu_sim::ir::{AtomicOp, Space, Type};
+use mcmm_model_openacc::{AccDevice, BinOp, LoopSchedule, Value};
+
+/// The OpenACC BabelStream adapter.
+pub struct OpenAccStream;
+
+impl StreamBackend for OpenAccStream {
+    fn model_name(&self) -> &'static str {
+        "OpenACC"
+    }
+
+    fn run(&self, vendor: Vendor, n: usize, iters: usize) -> Result<RunResult, StreamError> {
+        let device = Device::new(mcmm_toolchain::vendor_device_spec(vendor));
+        let dev = device.clone();
+        let acc = AccDevice::new(device).map_err(|e| StreamError::Unsupported {
+            model: "OpenACC",
+            vendor,
+            detail: e.to_string(),
+        })?;
+        let fail = |e: mcmm_model_openacc::AccError| StreamError::Failed(e.to_string());
+
+        let region = acc
+            .data_region()
+            .copyin("a", &vec![START_A; n])
+            .map_err(fail)?
+            .copyin("b", &vec![START_B; n])
+            .map_err(fail)?
+            .copyin("c", &vec![START_C; n])
+            .map_err(fail)?
+            .copyin("sum", &[0.0])
+            .map_err(fail)?;
+        let sched = LoopSchedule::default();
+
+        let mut sw = Stopwatch::new(&dev);
+        let mut gold = Gold::initial();
+        let mut dot = 0.0;
+        for _ in 0..iters {
+            sw.time(StreamKernel::Copy, || {
+                region.parallel_loop(n, sched, |k, i, p| {
+                    let v = k.ld_elem(Space::Global, Type::F64, p[0], i);
+                    k.st_elem(Space::Global, p[2], i, v);
+                })
+            })
+            .map_err(fail)?;
+            sw.time(StreamKernel::Mul, || {
+                region.parallel_loop(n, sched, |k, i, p| {
+                    let v = k.ld_elem(Space::Global, Type::F64, p[2], i);
+                    let w = k.bin(BinOp::Mul, v, Value::F64(SCALAR));
+                    k.st_elem(Space::Global, p[1], i, w);
+                })
+            })
+            .map_err(fail)?;
+            sw.time(StreamKernel::Add, || {
+                region.parallel_loop(n, sched, |k, i, p| {
+                    let va = k.ld_elem(Space::Global, Type::F64, p[0], i);
+                    let vb = k.ld_elem(Space::Global, Type::F64, p[1], i);
+                    let s = k.bin(BinOp::Add, va, vb);
+                    k.st_elem(Space::Global, p[2], i, s);
+                })
+            })
+            .map_err(fail)?;
+            sw.time(StreamKernel::Triad, || {
+                region.parallel_loop(n, sched, |k, i, p| {
+                    let vb = k.ld_elem(Space::Global, Type::F64, p[1], i);
+                    let vc = k.ld_elem(Space::Global, Type::F64, p[2], i);
+                    let sc = k.bin(BinOp::Mul, vc, Value::F64(SCALAR));
+                    let s = k.bin(BinOp::Add, vb, sc);
+                    k.st_elem(Space::Global, p[0], i, s);
+                })
+            })
+            .map_err(fail)?;
+            gold.step();
+            region.update_device("sum", &[0.0]).map_err(fail)?;
+            sw.time(StreamKernel::Dot, || {
+                region.parallel_loop(n, sched, |k, i, p| {
+                    let va = k.ld_elem(Space::Global, Type::F64, p[0], i);
+                    let vb = k.ld_elem(Space::Global, Type::F64, p[1], i);
+                    let prod = k.bin(BinOp::Mul, va, vb);
+                    let _ = k.atomic(AtomicOp::Add, Space::Global, p[3], prod);
+                })
+            })
+            .map_err(fail)?;
+            dot = region.update_host("sum").map_err(fail)?[0];
+        }
+
+        let ha = region.update_host("a").map_err(fail)?;
+        let hb = region.update_host("b").map_err(fail)?;
+        let hc = region.update_host("c").map_err(fail)?;
+        let dot_ok = ((dot - gold.expected_dot(n)) / gold.expected_dot(n)).abs() < 1e-8;
+        Ok(RunResult {
+            model: "OpenACC",
+            toolchain: acc.toolchain().to_owned(),
+            vendor,
+            n,
+            kernels: sw.results(n),
+            dot,
+            verified: crate::verify(&ha, &hb, &hc, gold) && dot_ok,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_on_nvidia_and_amd_not_intel() {
+        let nv = OpenAccStream.run(Vendor::Nvidia, 2048, 2).unwrap();
+        assert!(nv.verified);
+        assert_eq!(nv.toolchain, "NVIDIA HPC SDK (nvc/nvc++ -acc)");
+        let amd = OpenAccStream.run(Vendor::Amd, 2048, 2).unwrap();
+        assert!(amd.verified);
+        assert!(matches!(
+            OpenAccStream.run(Vendor::Intel, 64, 1),
+            Err(StreamError::Unsupported { model: "OpenACC", .. })
+        ));
+    }
+
+    #[test]
+    fn community_route_on_amd_is_slower_than_vendor_route_on_nvidia_modulo_bandwidth() {
+        // The AMD route is GCC at majority completeness (0.95 efficiency);
+        // normalising by each device's peak BW *after* removing launch
+        // latency (which otherwise dominates at benchmark-test sizes),
+        // NVIDIA's native route achieves a higher fraction of peak.
+        let nv = OpenAccStream.run(Vendor::Nvidia, 65536, 1).unwrap();
+        let amd = OpenAccStream.run(Vendor::Amd, 65536, 1).unwrap();
+        let busy_frac = |r: &crate::RunResult, peak: f64, latency_us: f64| {
+            let k = r.kernel(StreamKernel::Triad).unwrap();
+            let busy = k.best_time.seconds() - latency_us * 1e-6;
+            (k.bytes as f64 / 1e9) / busy / peak
+        };
+        let nv_frac = busy_frac(&nv, 2039.0, 5.0);
+        let amd_frac = busy_frac(&amd, 1638.0, 6.0);
+        assert!(nv_frac > amd_frac, "nv {nv_frac} !> amd {amd_frac}");
+    }
+}

@@ -1,0 +1,134 @@
+//! BabelStream in OpenMP target offload — a persistent `target data`
+//! region with one `target teams distribute parallel for` per kernel.
+
+use super::Stopwatch;
+use crate::{Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C};
+use mcmm_core::taxonomy::Vendor;
+use mcmm_gpu_sim::device::Device;
+use mcmm_gpu_sim::ir::{AtomicOp, Space, Type};
+use mcmm_model_openmp::{BinOp, OmpDevice, Value};
+
+/// The OpenMP BabelStream adapter.
+pub struct OpenMpStream;
+
+impl StreamBackend for OpenMpStream {
+    fn model_name(&self) -> &'static str {
+        "OpenMP"
+    }
+
+    fn run(&self, vendor: Vendor, n: usize, iters: usize) -> Result<RunResult, StreamError> {
+        let device = Device::new(mcmm_toolchain::vendor_device_spec(vendor));
+        let dev = device.clone();
+        let omp = OmpDevice::new(device).map_err(|e| StreamError::Unsupported {
+            model: "OpenMP",
+            vendor,
+            detail: e.to_string(),
+        })?;
+        let fail = |e: mcmm_model_openmp::OmpError| StreamError::Failed(e.to_string());
+
+        let mut region = omp.target_data();
+        let a = region.map_to(&vec![START_A; n]).map_err(fail)?;
+        let b = region.map_to(&vec![START_B; n]).map_err(fail)?;
+        let c = region.map_to(&vec![START_C; n]).map_err(fail)?;
+        let sum = region.map_to(&[0.0]).map_err(fail)?;
+
+        let mut sw = Stopwatch::new(&dev);
+        let mut gold = Gold::initial();
+        let mut dot = 0.0;
+        for _ in 0..iters {
+            sw.time(StreamKernel::Copy, || {
+                region.parallel_for(n, |k, i, p| {
+                    let v = k.ld_elem(Space::Global, Type::F64, p[0], i);
+                    k.st_elem(Space::Global, p[2], i, v);
+                })
+            })
+            .map_err(fail)?;
+            sw.time(StreamKernel::Mul, || {
+                region.parallel_for(n, |k, i, p| {
+                    let v = k.ld_elem(Space::Global, Type::F64, p[2], i);
+                    let w = k.bin(BinOp::Mul, v, Value::F64(SCALAR));
+                    k.st_elem(Space::Global, p[1], i, w);
+                })
+            })
+            .map_err(fail)?;
+            sw.time(StreamKernel::Add, || {
+                region.parallel_for(n, |k, i, p| {
+                    let va = k.ld_elem(Space::Global, Type::F64, p[0], i);
+                    let vb = k.ld_elem(Space::Global, Type::F64, p[1], i);
+                    let s = k.bin(BinOp::Add, va, vb);
+                    k.st_elem(Space::Global, p[2], i, s);
+                })
+            })
+            .map_err(fail)?;
+            sw.time(StreamKernel::Triad, || {
+                region.parallel_for(n, |k, i, p| {
+                    let vb = k.ld_elem(Space::Global, Type::F64, p[1], i);
+                    let vc = k.ld_elem(Space::Global, Type::F64, p[2], i);
+                    let sc = k.bin(BinOp::Mul, vc, Value::F64(SCALAR));
+                    let s = k.bin(BinOp::Add, vb, sc);
+                    k.st_elem(Space::Global, p[0], i, s);
+                })
+            })
+            .map_err(fail)?;
+            gold.step();
+            // Zero the reduction cell with a one-element region, then dot.
+            region
+                .parallel_for(1, |k, i, p| {
+                    let zero = k.imm(Value::F64(0.0));
+                    k.st_elem(Space::Global, p[3], i, zero);
+                })
+                .map_err(fail)?;
+            sw.time(StreamKernel::Dot, || {
+                region.parallel_for(n, |k, i, p| {
+                    let va = k.ld_elem(Space::Global, Type::F64, p[0], i);
+                    let vb = k.ld_elem(Space::Global, Type::F64, p[1], i);
+                    let prod = k.bin(BinOp::Mul, va, vb);
+                    let _ = k.atomic(AtomicOp::Add, Space::Global, p[3], prod);
+                })
+            })
+            .map_err(fail)?;
+            dot = region.update_from(sum).map_err(fail)?[0];
+        }
+
+        let ha = region.update_from(a).map_err(fail)?;
+        let hb = region.update_from(b).map_err(fail)?;
+        let hc = region.update_from(c).map_err(fail)?;
+        region.close();
+        let dot_ok = ((dot - gold.expected_dot(n)) / gold.expected_dot(n)).abs() < 1e-8;
+        Ok(RunResult {
+            model: "OpenMP",
+            toolchain: omp.toolchain().to_owned(),
+            vendor,
+            n,
+            kernels: sw.results(n),
+            dot,
+            verified: crate::verify(&ha, &hb, &hc, gold) && dot_ok,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_on_all_three_vendors() {
+        // §6: OpenMP "is supported on all three platforms".
+        for v in Vendor::ALL {
+            let r = OpenMpStream.run(v, 2048, 2).unwrap();
+            assert!(r.verified, "{v}");
+        }
+    }
+
+    #[test]
+    fn vendor_toolchains_resolve() {
+        assert_eq!(
+            OpenMpStream.run(Vendor::Intel, 256, 1).unwrap().toolchain,
+            "Intel oneAPI DPC++/C++ (icpx -qopenmp)"
+        );
+        assert_eq!(
+            OpenMpStream.run(Vendor::Amd, 256, 1).unwrap().toolchain,
+            "AOMP (Clang-based)"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! BabelStream in Python — NumPy-style array expressions with their
+//! temporaries, as a CuPy/dpnp user would write them. The extra temporary
+//! traffic is the point: the Python route reports lower sustained
+//! bandwidth than the compiled models on the same device, which is the
+//! realistic shape for naive array code.
+
+use super::Stopwatch;
+use crate::{Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C};
+use mcmm_core::taxonomy::Vendor;
+use mcmm_gpu_sim::device::Device;
+use mcmm_gpu_sim::ir::BinOp;
+use mcmm_model_python::PyRuntime;
+#[cfg(test)]
+use mcmm_model_python::DType;
+
+/// The Python BabelStream adapter.
+pub struct PythonStream;
+
+impl StreamBackend for PythonStream {
+    fn model_name(&self) -> &'static str {
+        "etc (Python)"
+    }
+
+    fn run(&self, vendor: Vendor, n: usize, iters: usize) -> Result<RunResult, StreamError> {
+        let device = Device::new(mcmm_toolchain::vendor_device_spec(vendor));
+        let dev = device.clone();
+        let py = PyRuntime::new(device).map_err(|e| StreamError::Unsupported {
+            model: "etc (Python)",
+            vendor,
+            detail: e.to_string(),
+        })?;
+        let fail = |e: mcmm_model_python::PyError| StreamError::Failed(e.to_string());
+
+        let mut a = py.asarray_f64(&vec![START_A; n]).map_err(fail)?;
+        let mut b = py.asarray_f64(&vec![START_B; n]).map_err(fail)?;
+        let mut c = py.asarray_f64(&vec![START_C; n]).map_err(fail)?;
+
+        let mut sw = Stopwatch::new(&dev);
+        let mut gold = Gold::initial();
+        let mut dot = 0.0;
+        for _ in 0..iters {
+            // c = a.copy()
+            c = sw.time(StreamKernel::Copy, || py.copy(&a)).map_err(fail)?;
+            // b = scalar * c  (one temporary-free broadcast in real cupy)
+            b = sw.time(StreamKernel::Mul, || py.scalar_mul(SCALAR, &c)).map_err(fail)?;
+            // c = a + b
+            c = sw.time(StreamKernel::Add, || py.elementwise(BinOp::Add, &a, &b)).map_err(fail)?;
+            // a = b + scalar * c — note the temporary, like real numpy code
+            a = sw
+                .time(StreamKernel::Triad, || {
+                    let tmp = py.scalar_mul(SCALAR, &c)?;
+                    py.elementwise(BinOp::Add, &b, &tmp)
+                })
+                .map_err(fail)?;
+            gold.step();
+            // dot = (a * b).sum() — two passes, again like numpy
+            dot = sw
+                .time(StreamKernel::Dot, || {
+                    let prod = py.elementwise(BinOp::Mul, &a, &b)?;
+                    py.sum(&prod)
+                })
+                .map_err(fail)?;
+        }
+
+        let ha = py.asnumpy_f64(&a).map_err(fail)?;
+        let hb = py.asnumpy_f64(&b).map_err(fail)?;
+        let hc = py.asnumpy_f64(&c).map_err(fail)?;
+        let dot_ok = ((dot - gold.expected_dot(n)) / gold.expected_dot(n)).abs() < 1e-8;
+        Ok(RunResult {
+            model: "etc (Python)",
+            toolchain: py.backend_package.clone(),
+            vendor,
+            n,
+            kernels: sw.results(n),
+            dot,
+            verified: crate::verify(&ha, &hb, &hc, gold) && dot_ok,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_on_all_three_vendors() {
+        // §6: "Python … is also well-supported by all three platforms."
+        for v in Vendor::ALL {
+            let r = PythonStream.run(v, 1024, 2).unwrap();
+            assert!(r.verified, "{v}");
+        }
+    }
+
+    #[test]
+    fn temporaries_cost_bandwidth_vs_compiled_models() {
+        // The Triad in Python runs two kernels (temporary + add); assumed
+        // bytes stay the BabelStream count, so reported GB/s drops below
+        // the compiled CUDA variant on the same device.
+        let py = PythonStream.run(Vendor::Nvidia, 8192, 1).unwrap();
+        let cuda = super::super::cuda::CudaStream.run(Vendor::Nvidia, 8192, 1).unwrap();
+        assert!(
+            py.triad_gbps() < cuda.triad_gbps(),
+            "python {} !< cuda {}",
+            py.triad_gbps(),
+            cuda.triad_gbps()
+        );
+    }
+
+    #[test]
+    fn dtype_is_float64_throughout() {
+        let dev = Device::new(mcmm_toolchain::vendor_device_spec(Vendor::Intel));
+        let py = PyRuntime::new(dev).unwrap();
+        let a = py.asarray_f64(&[1.0]).unwrap();
+        assert_eq!(a.dtype, DType::Float64);
+    }
+}

@@ -1,0 +1,124 @@
+//! BabelStream in SYCL — USM pointers and `parallel_for`, as the
+//! reference implementation's sycl2020 variant does.
+
+use super::Stopwatch;
+use crate::{Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C};
+use mcmm_core::taxonomy::Vendor;
+use mcmm_gpu_sim::device::Device;
+use mcmm_gpu_sim::ir::{AtomicOp, Space, Type};
+use mcmm_model_sycl::{BinOp, Queue, Value};
+
+/// The SYCL BabelStream adapter.
+pub struct SyclStream;
+
+impl StreamBackend for SyclStream {
+    fn model_name(&self) -> &'static str {
+        "SYCL"
+    }
+
+    fn run(&self, vendor: Vendor, n: usize, iters: usize) -> Result<RunResult, StreamError> {
+        let device = Device::new(mcmm_toolchain::vendor_device_spec(vendor));
+        let dev = device.clone();
+        let queue = Queue::new(device).map_err(|e| StreamError::Unsupported {
+            model: "SYCL",
+            vendor,
+            detail: e.to_string(),
+        })?;
+        let fail = |e: mcmm_model_sycl::SyclError| StreamError::Failed(e.to_string());
+
+        let a = queue.malloc_device_f64(n).map_err(fail)?;
+        let b = queue.malloc_device_f64(n).map_err(fail)?;
+        let c = queue.malloc_device_f64(n).map_err(fail)?;
+        let sum = queue.malloc_device_f64(1).map_err(fail)?;
+        queue.memcpy_to_device_f64(a, &vec![START_A; n]).map_err(fail)?;
+        queue.memcpy_to_device_f64(b, &vec![START_B; n]).map_err(fail)?;
+        queue.memcpy_to_device_f64(c, &vec![START_C; n]).map_err(fail)?;
+
+        let mut sw = Stopwatch::new(&dev);
+        let mut gold = Gold::initial();
+        let mut dot = 0.0;
+        for _ in 0..iters {
+            sw.time(StreamKernel::Copy, || {
+                queue.parallel_for_usm(n, &[a, c], |k, i, p| {
+                    let v = k.ld_elem(Space::Global, Type::F64, p[0], i);
+                    k.st_elem(Space::Global, p[1], i, v);
+                })
+            })
+            .map_err(fail)?;
+            sw.time(StreamKernel::Mul, || {
+                queue.parallel_for_usm(n, &[c, b], |k, i, p| {
+                    let v = k.ld_elem(Space::Global, Type::F64, p[0], i);
+                    let w = k.bin(BinOp::Mul, v, Value::F64(SCALAR));
+                    k.st_elem(Space::Global, p[1], i, w);
+                })
+            })
+            .map_err(fail)?;
+            sw.time(StreamKernel::Add, || {
+                queue.parallel_for_usm(n, &[a, b, c], |k, i, p| {
+                    let va = k.ld_elem(Space::Global, Type::F64, p[0], i);
+                    let vb = k.ld_elem(Space::Global, Type::F64, p[1], i);
+                    let s = k.bin(BinOp::Add, va, vb);
+                    k.st_elem(Space::Global, p[2], i, s);
+                })
+            })
+            .map_err(fail)?;
+            sw.time(StreamKernel::Triad, || {
+                queue.parallel_for_usm(n, &[a, b, c], |k, i, p| {
+                    let vb = k.ld_elem(Space::Global, Type::F64, p[1], i);
+                    let vc = k.ld_elem(Space::Global, Type::F64, p[2], i);
+                    let sc = k.bin(BinOp::Mul, vc, Value::F64(SCALAR));
+                    let s = k.bin(BinOp::Add, vb, sc);
+                    k.st_elem(Space::Global, p[0], i, s);
+                })
+            })
+            .map_err(fail)?;
+            gold.step();
+            queue.memcpy_to_device_f64(sum, &[0.0]).map_err(fail)?;
+            sw.time(StreamKernel::Dot, || {
+                queue.parallel_for_usm(n, &[a, b, sum], |k, i, p| {
+                    let va = k.ld_elem(Space::Global, Type::F64, p[0], i);
+                    let vb = k.ld_elem(Space::Global, Type::F64, p[1], i);
+                    let prod = k.bin(BinOp::Mul, va, vb);
+                    let _ = k.atomic(AtomicOp::Add, Space::Global, p[2], prod);
+                })
+            })
+            .map_err(fail)?;
+            dot = queue.memcpy_from_device_f64(sum, 1).map_err(fail)?[0];
+        }
+
+        let ha = queue.memcpy_from_device_f64(a, n).map_err(fail)?;
+        let hb = queue.memcpy_from_device_f64(b, n).map_err(fail)?;
+        let hc = queue.memcpy_from_device_f64(c, n).map_err(fail)?;
+        let dot_ok = ((dot - gold.expected_dot(n)) / gold.expected_dot(n)).abs() < 1e-8;
+        Ok(RunResult {
+            model: "SYCL",
+            toolchain: queue.toolchain().to_owned(),
+            vendor,
+            n,
+            kernels: sw.results(n),
+            dot,
+            verified: crate::verify(&ha, &hb, &hc, gold) && dot_ok,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_on_all_three_vendors() {
+        // §6: SYCL "supports all three GPU platform[s]".
+        for v in Vendor::ALL {
+            let r = SyclStream.run(v, 2048, 2).unwrap();
+            assert!(r.verified, "{v}");
+            assert_eq!(r.kernels.len(), 5);
+        }
+    }
+
+    #[test]
+    fn native_on_intel() {
+        let r = SyclStream.run(Vendor::Intel, 1024, 1).unwrap();
+        assert_eq!(r.toolchain, "Intel oneAPI DPC++ (icpx -fsycl)");
+    }
+}

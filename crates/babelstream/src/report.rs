@@ -1,0 +1,128 @@
+//! Text reports for the BabelStream sweep.
+
+use crate::runner::SweepEntry;
+use crate::{StreamError, StreamKernel};
+use mcmm_core::taxonomy::Vendor;
+
+/// The classic per-run BabelStream table (one model on one vendor):
+/// function, modeled GB/s, best modeled time.
+pub fn run_table(entry: &SweepEntry) -> String {
+    let mut out = String::new();
+    match &entry.outcome {
+        Ok(r) => {
+            out.push_str(&format!(
+                "BabelStream — {} on {} via {} (n = {}, modeled)\n",
+                r.model, r.vendor, r.toolchain, r.n
+            ));
+            out.push_str("Function    GBytes/s   Best-time(µs)\n");
+            for k in &r.kernels {
+                out.push_str(&format!(
+                    "{:<10} {:>9.1} {:>14.2}\n",
+                    k.kernel.name(),
+                    k.gbps(),
+                    k.best_time.micros()
+                ));
+            }
+            out.push_str(&format!(
+                "Dot result {:.6e}; verification {}\n",
+                r.dot,
+                if r.verified { "PASSED" } else { "FAILED" }
+            ));
+        }
+        Err(e) => out.push_str(&format!("{} on {}: {e}\n", entry.model, entry.vendor)),
+    }
+    out
+}
+
+/// The cross-model overview: one row per model, triad GB/s per vendor,
+/// `--` where the matrix has a hole.
+pub fn sweep_table(entries: &[SweepEntry]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<14}", "Model"));
+    for v in Vendor::ALL {
+        out.push_str(&format!("{:>22}", format!("{v} Triad GB/s")));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(14 + 22 * 3));
+    out.push('\n');
+    let mut models: Vec<&'static str> = Vec::new();
+    for e in entries {
+        if !models.contains(&e.model) {
+            models.push(e.model);
+        }
+    }
+    for model in models {
+        out.push_str(&format!("{model:<14}"));
+        for v in Vendor::ALL {
+            let cell = entries.iter().find(|e| e.model == model && e.vendor == v);
+            let text = match cell.map(|e| &e.outcome) {
+                Some(Ok(r)) if r.verified => format!("{:.0}", r.triad_gbps()),
+                Some(Ok(_)) => "UNVERIFIED".to_owned(),
+                Some(Err(StreamError::Unsupported { .. })) => "--".to_owned(),
+                Some(Err(_)) => "ERROR".to_owned(),
+                None => "?".to_owned(),
+            };
+            out.push_str(&format!("{text:>22}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Per-kernel detail for one model across vendors.
+pub fn kernel_series(entries: &[SweepEntry], model: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{model} — modeled GB/s per kernel\n"));
+    out.push_str(&format!("{:<8}", "Kernel"));
+    for v in Vendor::ALL {
+        out.push_str(&format!("{:>12}", v.name()));
+    }
+    out.push('\n');
+    for k in StreamKernel::ALL {
+        out.push_str(&format!("{:<8}", k.name()));
+        for v in Vendor::ALL {
+            let cell = entries.iter().find(|e| e.model == model && e.vendor == v);
+            let text = match cell.map(|e| &e.outcome) {
+                Some(Ok(r)) => r
+                    .kernel(k)
+                    .map(|kr| format!("{:.0}", kr.gbps()))
+                    .unwrap_or_else(|| "?".into()),
+                _ => "--".into(),
+            };
+            out.push_str(&format!("{text:>12}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::sweep;
+
+    #[test]
+    fn tables_render_for_a_small_sweep() {
+        let entries: Vec<SweepEntry> = sweep(256, 1);
+        let table = sweep_table(&entries);
+        assert!(table.contains("CUDA"));
+        assert!(table.contains("--"), "expected unsupported markers:\n{table}");
+        assert!(!table.contains("ERROR"), "{table}");
+        assert!(!table.contains("UNVERIFIED"), "{table}");
+
+        let cuda_on_nvidia = entries
+            .iter()
+            .find(|e| e.model == "CUDA" && e.vendor == Vendor::Nvidia)
+            .unwrap();
+        let one = run_table(cuda_on_nvidia);
+        assert!(one.contains("Copy"));
+        assert!(one.contains("PASSED"));
+
+        let cuda_on_amd =
+            entries.iter().find(|e| e.model == "CUDA" && e.vendor == Vendor::Amd).unwrap();
+        assert!(run_table(cuda_on_amd).contains("does not run"));
+
+        let series = kernel_series(&entries, "SYCL");
+        assert!(series.contains("Triad"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Run the full model × vendor sweep.
+
+use crate::adapters::all_backends;
+use crate::{RunResult, StreamError};
+use mcmm_core::taxonomy::Vendor;
+
+/// The outcome of one (model, vendor) cell of the sweep.
+#[derive(Debug)]
+pub struct SweepEntry {
+    /// The model column.
+    pub model: &'static str,
+    /// The vendor row.
+    pub vendor: Vendor,
+    /// The run's result, or why it could not run.
+    pub outcome: Result<RunResult, StreamError>,
+}
+
+/// Sweep every registered model over every vendor.
+pub fn sweep(n: usize, iters: usize) -> Vec<SweepEntry> {
+    let backends = all_backends();
+    let mut out = Vec::with_capacity(backends.len() * Vendor::ALL.len());
+    for backend in &backends {
+        for vendor in Vendor::ALL {
+            out.push(SweepEntry {
+                model: backend.model_name(),
+                vendor,
+                outcome: backend.run(vendor, n, iters),
+            });
+        }
+    }
+    out
+}
+
+/// How many sweep cells ran and verified.
+pub fn verified_count(entries: &[SweepEntry]) -> usize {
+    entries
+        .iter()
+        .filter(|e| matches!(&e.outcome, Ok(r) if r.verified))
+        .count()
+}
+
+/// How many sweep cells are unsupported (matrix holes).
+pub fn unsupported_count(entries: &[SweepEntry]) -> usize {
+    entries
+        .iter()
+        .filter(|e| matches!(&e.outcome, Err(StreamError::Unsupported { .. })))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_expected_support_pattern() {
+        // Small n to keep the full 27-cell sweep quick.
+        let entries = sweep(512, 1);
+        assert_eq!(entries.len(), 27);
+        // Holes: CUDA on AMD+Intel, HIP on Intel, OpenACC on Intel = 4.
+        assert_eq!(unsupported_count(&entries), 4);
+        // Everything else runs and verifies.
+        assert_eq!(verified_count(&entries), 23);
+        // No cell fails for any reason other than Unsupported.
+        for e in &entries {
+            if let Err(err) = &e.outcome {
+                assert!(
+                    matches!(err, StreamError::Unsupported { .. }),
+                    "{} on {} failed: {err}",
+                    e.model,
+                    e.vendor
+                );
+            }
+        }
+    }
+}

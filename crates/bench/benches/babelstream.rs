@@ -1,0 +1,41 @@
+//! E6 wall-clock bench: BabelStream iterations through selected frontends
+//! on each vendor device. (The *modeled* GB/s series comes from the
+//! `babelstream` binary; this measures the simulator's own throughput.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcmm_babelstream::adapters::{cuda::CudaStream, hip::HipStream, openmp::OpenMpStream, sycl::SyclStream};
+use mcmm_babelstream::StreamBackend;
+use mcmm_core::taxonomy::Vendor;
+use std::hint::black_box;
+
+const N: usize = 8192;
+
+fn bench_streams(c: &mut Criterion) {
+    let mut g = c.benchmark_group("babelstream_wallclock");
+    g.sample_size(10);
+
+    let native: Vec<(&'static str, &dyn StreamBackend, Vendor)> = vec![
+        ("cuda_on_nvidia", &CudaStream, Vendor::Nvidia),
+        ("hip_on_amd", &HipStream, Vendor::Amd),
+        ("sycl_on_intel", &SyclStream, Vendor::Intel),
+    ];
+    for (name, backend, vendor) in native {
+        g.bench_with_input(BenchmarkId::new("native", name), &vendor, |b, &v| {
+            b.iter(|| black_box(backend.run(v, N, 1).expect("run")))
+        });
+    }
+
+    // The portable models across all vendors.
+    for vendor in Vendor::ALL {
+        g.bench_with_input(BenchmarkId::new("sycl", vendor.name()), &vendor, |b, &v| {
+            b.iter(|| black_box(SyclStream.run(v, N, 1).expect("run")))
+        });
+        g.bench_with_input(BenchmarkId::new("openmp", vendor.name()), &vendor, |b, &v| {
+            b.iter(|| black_box(OpenMpStream.run(v, N, 1).expect("run")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_streams);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E1 machinery bench: building the matrix and rendering Figure 1 in each
+//! backend format.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcmm_core::matrix::CompatMatrix;
+use mcmm_core::render;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.bench_function("build_matrix", |b| b.iter(|| black_box(CompatMatrix::paper())));
+
+    let m = CompatMatrix::paper();
+    g.bench_function("render_ascii", |b| b.iter(|| black_box(render::ascii::render(&m))));
+    g.bench_function("render_markdown", |b| b.iter(|| black_box(render::markdown::render(&m))));
+    g.bench_function("render_latex", |b| b.iter(|| black_box(render::latex::render(&m))));
+    g.bench_function("render_html", |b| b.iter(|| black_box(render::html::render(&m))));
+    g.bench_function("render_json", |b| b.iter(|| black_box(render::json::render(&m))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

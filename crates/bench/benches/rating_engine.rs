@@ -1,0 +1,38 @@
+//! E3/E7 machinery bench: the §3 rating engine replayed over the full
+//! dataset, plus an evolution event storm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcmm_core::evolution::{apply, Event};
+use mcmm_core::matrix::CompatMatrix;
+use mcmm_core::provider::Maintenance;
+use mcmm_core::rating::rate;
+use std::hint::black_box;
+
+fn bench_rating(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rating");
+    let cells = mcmm_core::dataset::paper_cells();
+    g.bench_function("rate_all_51_cells", |b| {
+        b.iter(|| {
+            for cell in &cells {
+                black_box(rate(&cell.routes));
+            }
+        })
+    });
+
+    g.bench_function("evolution_storm", |b| {
+        let toolchains: Vec<&'static str> =
+            cells.iter().flat_map(|c| c.routes.iter().map(|r| r.toolchain)).collect();
+        let events: Vec<Event> = toolchains
+            .iter()
+            .map(|&t| Event::SetMaintenance { toolchain: t, status: Maintenance::Stale })
+            .collect();
+        b.iter(|| {
+            let mut m = CompatMatrix::paper();
+            black_box(apply(&mut m, &events))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rating);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! A3 — the translation pipelines: HIPIFY and SYCLomatic rewriting, the
+//! virtual compile step, and the end-to-end translated-program run vs the
+//! native run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcmm_gpu_sim::{Device, DeviceSpec};
+use mcmm_translate::ast::cuda_saxpy_program;
+use mcmm_translate::exec::run_program;
+use mcmm_translate::{hipify, syclomatic};
+use std::hint::black_box;
+
+fn bench_translation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a3_translation");
+    g.sample_size(10);
+    let program = cuda_saxpy_program(4096, 2.0);
+
+    g.bench_function("hipify_rewrite", |b| {
+        b.iter(|| black_box(hipify::hipify(&program).unwrap()))
+    });
+    g.bench_function("syclomatic_rewrite", |b| {
+        b.iter(|| black_box(syclomatic::syclomatic(&program).unwrap()))
+    });
+
+    g.bench_function("native_cuda_on_nvidia", |b| {
+        let dev = Device::new(DeviceSpec::nvidia_a100());
+        b.iter(|| black_box(run_program(&program, &dev).unwrap()))
+    });
+    g.bench_function("hipified_on_amd", |b| {
+        let dev = Device::new(DeviceSpec::amd_mi250x());
+        let hip = hipify::hipify(&program).unwrap();
+        b.iter(|| black_box(run_program(&hip, &dev).unwrap()))
+    });
+    g.bench_function("syclomatic_on_intel", |b| {
+        let dev = Device::new(DeviceSpec::intel_pvc());
+        let sycl = syclomatic::syclomatic(&program).unwrap().program;
+        b.iter(|| black_box(run_program(&sycl, &dev).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

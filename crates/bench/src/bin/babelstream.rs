@@ -1,0 +1,43 @@
+//! E6 — the BabelStream model × vendor sweep (the performance evaluation
+//! the paper names as the natural extension, §5).
+//!
+//! ```text
+//! cargo run --release -p mcmm-bench --bin babelstream [--n 65536] [--iters 2] [--model SYCL]
+//! ```
+//!
+//! Numbers are **modeled** GB/s from the analytic timing model against
+//! public-spec device attributes — shapes, not measurements.
+
+use mcmm_babelstream::report::{kernel_series, run_table, sweep_table};
+use mcmm_babelstream::runner::{sweep, unsupported_count, verified_count};
+use mcmm_bench::{arg_usize, DEFAULT_STREAM_ITERS, DEFAULT_STREAM_N};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_usize(&args, "--n", DEFAULT_STREAM_N);
+    let iters = arg_usize(&args, "--iters", DEFAULT_STREAM_ITERS);
+    let model_filter = args
+        .iter()
+        .position(|a| a == "--model")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    eprintln!("running BabelStream sweep: n = {n}, iters = {iters} (modeled timings)…");
+    let entries = sweep(n, iters);
+
+    println!("── BabelStream sweep (modeled GB/s; -- = no route in the matrix) ──");
+    println!("{}", sweep_table(&entries));
+    println!(
+        "verified runs: {} / 27; matrix holes: {}",
+        verified_count(&entries),
+        unsupported_count(&entries)
+    );
+
+    if let Some(model) = model_filter {
+        println!();
+        println!("{}", kernel_series(&entries, &model));
+        for e in entries.iter().filter(|e| e.model == model) {
+            println!("{}", run_table(e));
+        }
+    }
+}

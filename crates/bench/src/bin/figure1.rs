@@ -1,0 +1,45 @@
+//! E1 — regenerate Figure 1 in every format.
+//!
+//! ```text
+//! cargo run -p mcmm-bench --bin figure1 [--format ascii|markdown|latex|html|json|descriptions|all]
+//! ```
+
+use mcmm_core::matrix::CompatMatrix;
+use mcmm_core::render;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let format = args
+        .iter()
+        .position(|a| a == "--format")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("ascii")
+        .to_owned();
+
+    let matrix = CompatMatrix::paper();
+    let print = |name: &str, body: String| {
+        println!("── Figure 1 ({name}) ──");
+        println!("{body}");
+    };
+    match format.as_str() {
+        "ascii" => print("ASCII", render::ascii::render(&matrix)),
+        "markdown" => print("Markdown", render::markdown::render(&matrix)),
+        "latex" => print("LaTeX", render::latex::render(&matrix)),
+        "html" => print("HTML", render::html::render(&matrix)),
+        "json" => print("JSON", render::json::render(&matrix)),
+        "descriptions" => print("§4 descriptions", render::descriptions::render(&matrix)),
+        "all" => {
+            print("ASCII", render::ascii::render(&matrix));
+            print("Markdown", render::markdown::render(&matrix));
+            print("LaTeX", render::latex::render(&matrix));
+            print("HTML", render::html::render(&matrix));
+            print("JSON", render::json::render(&matrix));
+            print("§4 descriptions", render::descriptions::render(&matrix));
+        }
+        other => {
+            eprintln!("unknown format {other}; use ascii|markdown|latex|html|json|descriptions|all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! E2/E5 — the paper's headline numbers and §6 conclusions, computed.
+
+use mcmm_core::matrix::CompatMatrix;
+use mcmm_core::stats;
+use mcmm_core::support::Support;
+use mcmm_core::taxonomy::{Language, Vendor};
+
+fn main() {
+    let m = CompatMatrix::paper();
+    let s = stats::stats(&m);
+
+    println!("── Headline numbers (paper §1/§3) ──");
+    println!("combinations explored:        {} (paper: 51)", s.combinations);
+    println!("unique descriptions:          {} (paper: 44)", s.unique_descriptions);
+    println!("routes encoded:               {} (paper: 'more than 50 routes')", s.routes);
+
+    println!("\n── Cells per category ──");
+    for (cat, n) in &s.by_category {
+        println!("{:>2} × {} {}", n, cat.symbol(), cat.category_name());
+    }
+
+    println!("\n── Vendor comprehensiveness (score sum, best rating per cell) ──");
+    for (v, score) in &s.vendor_scores {
+        println!("{:>7}: {score}", v.name());
+    }
+    println!(
+        "most comprehensive: {} (paper §6: 'support for NVIDIA GPUs … most comprehensive')",
+        stats::most_comprehensive_vendor(&m)
+    );
+
+    println!("\n── Language gap (paper §6: Fortran 'severely different') ──");
+    let (cpp, fortran) = stats::language_gap(&m);
+    println!("average C++ cell score:     {cpp:.2}");
+    println!("average Fortran cell score: {fortran:.2}");
+
+    println!("\n── Models vendor-supported on all three platforms ──");
+    for lang in [Language::Cpp, Language::Fortran] {
+        let models = stats::models_vendor_supported_everywhere(&m, lang);
+        let names: Vec<_> = models.iter().map(|m| m.name()).collect();
+        println!("{lang}: {}", if names.is_empty() { "none".into() } else { names.join(", ") });
+    }
+    println!("(paper §6: for Fortran, 'the only natively supported programming model on all");
+    println!(" three platforms is OpenMP')");
+
+    println!("\n── Models usable everywhere (any provider) ──");
+    for (label, bar) in
+        [("≥ non-vendor good", Support::NonVendorGood), ("≥ limited", Support::Limited)]
+    {
+        let models = stats::models_supported_everywhere(&m, Language::Cpp, bar);
+        let names: Vec<_> = models.iter().map(|m| m.name()).collect();
+        println!("C++ {label}: {}", names.join(", "));
+    }
+
+    println!("\n── OpenACC on Intel (paper §6: 'support for Intel GPUs does not exist') ──");
+    let cell = m
+        .cell(Vendor::Intel, mcmm_core::taxonomy::Model::OpenAcc, Language::Cpp)
+        .expect("cell exists");
+    println!("Intel · OpenACC · C++: {} — {}", cell.support, cell.rationale);
+}

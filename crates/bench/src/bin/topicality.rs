@@ -1,0 +1,78 @@
+//! E7 — §5 "Topicality" as executable scenarios: perturb the ecosystem,
+//! re-rate with the §3 engine, report which cells move.
+
+use mcmm_core::evolution::{apply, Event};
+use mcmm_core::matrix::CompatMatrix;
+use mcmm_core::provider::Maintenance;
+use mcmm_core::route::Completeness;
+use mcmm_core::taxonomy::{Language, Model, Vendor};
+
+fn scenario(name: &str, events: Vec<Event>, watch: &[(Vendor, Model, Language)]) {
+    let mut m = CompatMatrix::paper();
+    let before: Vec<_> = watch.iter().map(|&(v, mo, l)| m.support(v, mo, l)).collect();
+    let changed = apply(&mut m, &events);
+    println!("── {name} ──");
+    println!("cells whose primary rating changed: {changed}");
+    for (&(v, mo, l), b) in watch.iter().zip(before) {
+        let a = m.support(v, mo, l);
+        let marker = if a != b { "→ CHANGED" } else { "  (unchanged)" };
+        println!("  {v} · {mo} · {l}: {b} → {a} {marker}");
+    }
+    println!();
+}
+
+fn main() {
+    println!("§5 'Topicality': the field evolves swiftly — replaying the rating engine\n");
+
+    scenario(
+        "roc-stdpar matures into a vendor-advertised solution (§5 prediction)",
+        vec![
+            Event::SetCompleteness {
+                toolchain: "roc-stdpar (-stdpar)",
+                completeness: Completeness::Complete,
+            },
+            Event::SetMaintenance { toolchain: "roc-stdpar (-stdpar)", status: Maintenance::Active },
+            Event::SetDocumented { toolchain: "roc-stdpar (-stdpar)", documented: true },
+        ],
+        &[(Vendor::Amd, Model::Standard, Language::Cpp)],
+    );
+
+    scenario(
+        "ComputeCpp discontinued (happened 09/2023 — ratings already absorbed it)",
+        vec![Event::RemoveRoute { toolchain: "ComputeCpp" }],
+        &[
+            (Vendor::Nvidia, Model::Sycl, Language::Cpp),
+            (Vendor::Intel, Model::Sycl, Language::Cpp),
+        ],
+    );
+
+    scenario(
+        "GPUFORT formally abandoned (paper: 'unclear if still officially supported')",
+        vec![Event::RemoveRoute { toolchain: "GPUFORT (CUDA Fortran→OpenMP/hipfort)" }],
+        &[(Vendor::Amd, Model::Cuda, Language::Fortran)],
+    );
+
+    scenario(
+        "chipStar reaches production quality",
+        vec![
+            Event::SetCompleteness {
+                toolchain: "chipStar (HIP→OpenCL/Level Zero)",
+                completeness: Completeness::Majority,
+            },
+            Event::SetMaintenance {
+                toolchain: "chipStar (HIP→OpenCL/Level Zero)",
+                status: Maintenance::Active,
+            },
+        ],
+        &[(Vendor::Intel, Model::Hip, Language::Cpp)],
+    );
+
+    scenario(
+        "Flacc lands complete OpenACC Fortran support in LLVM",
+        vec![
+            Event::SetCompleteness { toolchain: "LLVM Flacc", completeness: Completeness::Complete },
+            Event::SetMaintenance { toolchain: "LLVM Flacc", status: Maintenance::Active },
+        ],
+        &[(Vendor::Amd, Model::OpenAcc, Language::Fortran)],
+    );
+}

@@ -1,0 +1,46 @@
+//! V&V suites — the ECP-BoF-style compiler coverage tables the paper's
+//! §2/§5 lean on ([7, 8, 9, 50, 51]), regenerated against the virtual
+//! toolchains.
+
+use mcmm_core::taxonomy::Vendor;
+use mcmm_vandv::openacc_suite;
+use mcmm_vandv::openmp_suite;
+use mcmm_vandv::report::{bof_table, completeness_from_coverage, CompilerReport, Coverage};
+
+fn main() {
+    println!("══ OpenMP offload V&V (after SOLLVE V&V / ECP BoF 2022) ══\n");
+    for vendor in Vendor::ALL {
+        let reports: Vec<CompilerReport> = openmp_suite::compilers_for(vendor)
+            .into_iter()
+            .map(|tc| CompilerReport {
+                suite: "openmp",
+                vendor,
+                toolchain: tc.to_owned(),
+                results: openmp_suite::run(vendor, tc),
+            })
+            .collect();
+        println!("── {vendor} ──");
+        println!("{}", bof_table(&reports));
+        for r in &reports {
+            let c = r.coverage();
+            println!(
+                "  {}: {} → completeness class {:?}",
+                r.toolchain,
+                c,
+                completeness_from_coverage(c)
+            );
+        }
+        println!();
+    }
+
+    println!("══ OpenACC V&V (after Jarmusch et al.) ══\n");
+    for vendor in Vendor::ALL {
+        let results = openacc_suite::run(vendor);
+        let c = Coverage::from_results(&results);
+        println!("── {vendor}: {c} ──");
+        for r in &results {
+            println!("  {:<32} {}", r.case.name, r.outcome);
+        }
+        println!();
+    }
+}

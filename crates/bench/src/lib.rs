@@ -1,0 +1,54 @@
+//! # mcmm-bench — the experiment harness
+//!
+//! Binaries regenerate every table/figure of the paper (see DESIGN.md's
+//! experiment index and EXPERIMENTS.md for paper-vs-measured):
+//!
+//! * `figure1` — **E1**: the compatibility matrix in ASCII, Markdown,
+//!   LaTeX, HTML, and JSON.
+//! * `stats` — **E2/E5**: the headline counts (51 combinations, 44 unique
+//!   descriptions, >50 routes) and the §6 conclusions as computed queries.
+//! * `probe` — **E4**: the executable probe regenerating the matrix from
+//!   observed compile/run behaviour.
+//! * `babelstream` — **E6**: the model × vendor performance sweep the
+//!   paper defers to future work.
+//! * `topicality` — **E7**: §5 ecosystem-evolution scenarios re-rated by
+//!   the engine.
+//!
+//! Criterion benches (`cargo bench`) measure the machinery itself:
+//! rendering, the rating engine, the simulator ablations (A1 SIMT width,
+//! A2 scheduling), the translator pipeline (A3), and wall-clock
+//! BabelStream runs.
+
+/// Shared default problem size for benchmark binaries (elements per
+/// array). 2²⁰ puts the modeled kernels firmly in the bandwidth-bound
+/// regime (memory time ≈ 3× launch latency) while the interpreter still
+/// sweeps all 27 cells in under a minute in release mode.
+pub const DEFAULT_STREAM_N: usize = 1 << 20;
+
+/// Shared default iteration count for BabelStream binaries.
+pub const DEFAULT_STREAM_ITERS: usize = 1;
+
+/// Parse `--n <usize>` / `--iters <usize>`-style overrides from argv.
+pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["prog", "--n", "1024", "--iters", "7"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_usize(&args, "--n", 1), 1024);
+        assert_eq!(arg_usize(&args, "--iters", 1), 7);
+        assert_eq!(arg_usize(&args, "--missing", 42), 42);
+        let bad: Vec<String> = ["prog", "--n"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_usize(&bad, "--n", 9), 9);
+    }
+}

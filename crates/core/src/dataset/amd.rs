@@ -1,0 +1,524 @@
+//! AMD row of Figure 1 — descriptions 18–30, plus shared descriptions
+//! 4 (HIP·Fortran), 6 (SYCL·Fortran), 14 (Kokkos·Fortran),
+//! 16 (Alpaka·Fortran) (§4).
+
+use crate::cell::{Cell, CellBuilder, CellId};
+use crate::provider::{Maintenance, Provider};
+use crate::route::{Completeness, Directness, Route, RouteKind};
+use crate::support::Support;
+use crate::taxonomy::{Language, Model, Vendor};
+
+fn id(model: Model, language: Language) -> CellId {
+    CellId::new(Vendor::Amd, model, language)
+}
+
+pub(super) fn cells() -> Vec<Cell> {
+    vec![
+        // ─── 18 · AMD · CUDA · C++ ──────────────────────────────────────
+        CellBuilder::new(
+            id(Model::Cuda, Language::Cpp),
+            18,
+            Support::IndirectGood,
+            "CUDA is not directly supported on AMD GPUs, but AMD's HIPIFY \
+             translates CUDA to HIP; the translated code runs via hipcc \
+             with HIP_PLATFORM=amd.",
+        )
+        .because(
+            "Vendor-provided semi-automatic translation of a foreign model \
+             to the native one — the §3 definition of 'indirect good'.",
+        )
+        .route(
+            Route::new(
+                "HIPIFY (CUDA→HIP) + hipcc",
+                RouteKind::SourceTranslator,
+                Provider::DeviceVendor,
+                Directness::Translated,
+                Completeness::Complete,
+            )
+            .notes("HIP_PLATFORM=amd"),
+        )
+        .refs(&[12])
+        .build(),
+        // ─── 19 · AMD · CUDA · Fortran ──────────────────────────────────
+        CellBuilder::new(
+            id(Model::Cuda, Language::Fortran),
+            19,
+            Support::Limited,
+            "No direct CUDA Fortran support; AMD's GPUFORT research project \
+             source-to-source translates some CUDA Fortran to Fortran+OpenMP \
+             (AOMP) or Fortran+HIP bindings with extracted C kernels \
+             (hipfort). Coverage is use-case driven; last commit two years \
+             old.",
+        )
+        .because("Very incomplete, stale, extensive user effort — 'limited'.")
+        .route(
+            Route::new(
+                "GPUFORT (CUDA Fortran→OpenMP/hipfort)",
+                RouteKind::SourceTranslator,
+                Provider::DeviceVendor,
+                Directness::Translated,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Stale)
+            .notes("coverage driven by use-case requirements"),
+        )
+        .refs(&[34])
+        .build(),
+        // ─── 20 · AMD · HIP · C++ ───────────────────────────────────────
+        CellBuilder::new(
+            id(Model::Hip, Language::Cpp),
+            20,
+            Support::Full,
+            "HIP C++ is the native model for AMD GPUs: part of ROCm \
+             (compilers, libraries, tools, drivers; mostly open source). \
+             hipcc is a compiler driver finally calling AMD's Clang with \
+             the AMDGPU backend (--offload-arch=gfx90a etc.).",
+        )
+        .because("Native model: vendor-complete with full toolchain.")
+        .route(
+            Route::new(
+                "hipcc (ROCm/Clang AMDGPU)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            )
+            .notes("HIP_PLATFORM=amd; --offload-arch=gfx90a"),
+        )
+        .refs(&[12])
+        .build(),
+        // ─── 4 · AMD · HIP · Fortran (shared with NVIDIA) ───────────────
+        CellBuilder::new(
+            id(Model::Hip, Language::Fortran),
+            4,
+            Support::Some,
+            "No Fortran version of HIP exists; HIP is solely a C/C++ model. \
+             AMD offers hipfort (MIT), ready-made Fortran interfaces to the \
+             HIP API and ROCm libraries, with CUDA-like Fortran extensions \
+             for writing kernels.",
+        )
+        .because(
+            "Vendor-provided bindings cover the C functionality, but the \
+             model has no true Fortran surface — 'some support'.",
+        )
+        .route(
+            Route::new(
+                "hipfort",
+                RouteKind::LanguageBinding,
+                Provider::DeviceVendor,
+                Directness::Binding,
+                Completeness::Majority,
+            )
+            .notes("on AMD the binding provider is the device vendor itself"),
+        )
+        .refs(&[13])
+        .build(),
+        // ─── 21 · AMD · SYCL · C++ ──────────────────────────────────────
+        CellBuilder::new(
+            id(Model::Sycl, Language::Cpp),
+            21,
+            Support::NonVendorGood,
+            "No direct SYCL support by AMD, but Open SYCL (HIP/ROCm support \
+             in Clang; all internal compilation models) and DPC++ (open \
+             source, plus oneAPI via an AMD ROCm plugin) target AMD GPUs. \
+             Unlike for CUDA, no SYCLomatic-style conversion tool exists.",
+        )
+        .because("Comprehensive third-party support on vendor infrastructure.")
+        .route(
+            Route::new(
+                "Open SYCL (HIP/ROCm)",
+                RouteKind::Compiler,
+                Provider::Community("Open SYCL"),
+                Directness::Direct,
+                Completeness::Complete,
+            ),
+        )
+        .route(
+            Route::new(
+                "DPC++ (ROCm plugin)",
+                RouteKind::Compiler,
+                Provider::OtherVendor(Vendor::Intel),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .refs(&[15, 14])
+        .build(),
+        // ─── 6 · AMD · SYCL · Fortran (shared) ──────────────────────────
+        CellBuilder::new(
+            id(Model::Sycl, Language::Fortran),
+            6,
+            Support::None,
+            "SYCL is a C++-based programming model (C++17) and by its nature \
+             does not support Fortran; no pre-made bindings are available.",
+        )
+        .because("No surface, no bindings — §3 'no support'.")
+        .refs(&[16])
+        .build(),
+        // ─── 22 · AMD · OpenACC · C++ ───────────────────────────────────
+        CellBuilder::new(
+            id(Model::OpenAcc, Language::Cpp),
+            22,
+            Support::NonVendorGood,
+            "OpenACC C/C++ is not supported by AMD itself; third-party \
+             support exists through GCC (-fopenacc, \
+             -foffload=amdgcn-amdhsa=\"-march=gfx906\") and Clacc \
+             (OpenACC→OpenMP on LLVM's AMD support). Intel's OpenACC→OpenMP \
+             translator can also be used.",
+        )
+        .because("Good support exists, but none of it from AMD.")
+        .route(
+            Route::new(
+                "GCC (-fopenacc, amdgcn)",
+                RouteKind::Compiler,
+                Provider::Community("GCC"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .route(
+            Route::new(
+                "Clacc (OpenACC→OpenMP, amdgcn)",
+                RouteKind::Compiler,
+                Provider::Community("Clacc"),
+                Directness::Translated,
+                Completeness::Majority,
+            )
+            .notes("-fopenmp-targets=amdgcn-amd-amdhsa"),
+        )
+        .route(
+            Route::new(
+                "Intel OpenACC→OpenMP migration tool",
+                RouteKind::SourceTranslator,
+                Provider::OtherVendor(Vendor::Intel),
+                Directness::Translated,
+                Completeness::Minimal,
+            ),
+        )
+        .refs(&[18, 19])
+        .build(),
+        // ─── 23 · AMD · OpenACC · Fortran ───────────────────────────────
+        CellBuilder::new(
+            id(Model::OpenAcc, Language::Fortran),
+            23,
+            Support::NonVendorGood,
+            "No native OpenACC Fortran support; AMD's GPUFORT research \
+             project translates OpenACC Fortran to OpenMP or hipfort+C \
+             kernels (stale, use-case driven). Community support through \
+             GCC gfortran, upcoming LLVM Flacc, and HPE Cray PE; Intel's \
+             OpenACC→OpenMP translator also applies.",
+        )
+        .because(
+            "The viable routes (GCC, Cray) are comprehensive but non-vendor; \
+             the vendor's own GPUFORT is stale and minimal.",
+        )
+        .route(
+            Route::new(
+                "GCC (gfortran -fopenacc, amdgcn)",
+                RouteKind::Compiler,
+                Provider::Community("GCC"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .route(
+            Route::new(
+                "HPE Cray PE (ftn -hacc)",
+                RouteKind::Compiler,
+                Provider::Commercial("HPE Cray"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .route(
+            Route::new(
+                "GPUFORT (OpenACC Fortran→OpenMP/hipfort)",
+                RouteKind::SourceTranslator,
+                Provider::DeviceVendor,
+                Directness::Translated,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Stale),
+        )
+        .route(
+            Route::new(
+                "LLVM Flacc",
+                RouteKind::Compiler,
+                Provider::Community("LLVM"),
+                Directness::Direct,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Experimental)
+            .notes("upcoming"),
+        )
+        .refs(&[34, 18, 21])
+        .build(),
+        // ─── 24 · AMD · OpenMP · C++ ────────────────────────────────────
+        CellBuilder::new(
+            id(Model::OpenMp, Language::Cpp),
+            24,
+            Support::Some,
+            "AMD offers AOMP, a dedicated Clang-based compiler for OpenMP \
+             C/C++ offloading, usually shipped with ROCm; it supports most \
+             OpenMP 4.5 and some 5.0 features. HPE Cray PE also supports \
+             OpenMP on AMD GPUs.",
+        )
+        .because(
+            "Vendor-provided but not comprehensive ('most 4.5, some 5.0') — \
+             the §3 'some support' definition.",
+        )
+        .route(
+            Route::new(
+                "AOMP (Clang-based)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Majority,
+            )
+            .notes("-fopenmp; shipped with ROCm"),
+        )
+        .route(
+            Route::new(
+                "HPE Cray PE (CC -fopenmp)",
+                RouteKind::Compiler,
+                Provider::Commercial("HPE Cray"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .refs(&[35, 24])
+        .build(),
+        // ─── 25 · AMD · OpenMP · Fortran ────────────────────────────────
+        CellBuilder::new(
+            id(Model::OpenMp, Language::Fortran),
+            25,
+            Support::Some,
+            "Through AOMP (flang executable, -fopenmp) AMD supports OpenMP \
+             offloading in Fortran; HPE Cray PE provides further support.",
+        )
+        .because("Same vendor-provided-but-incomplete status as the C++ cell.")
+        .route(
+            Route::new(
+                "AOMP (flang -fopenmp)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .route(
+            Route::new(
+                "HPE Cray PE (ftn -fopenmp)",
+                RouteKind::Compiler,
+                Provider::Commercial("HPE Cray"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .refs(&[35, 24])
+        .build(),
+        // ─── 26 · AMD · Standard · C++ ──────────────────────────────────
+        CellBuilder::new(
+            id(Model::Standard, Language::Cpp),
+            26,
+            Support::Limited,
+            "No production-grade vendor support yet: roc-stdpar (ROCm \
+             Standard Parallelism Runtime) is under development aiming at \
+             upstream LLVM (-stdpar); Open SYCL is adding --hipsycl-stdpar; \
+             oneDPL via DPC++ has experimental AMD support.",
+        )
+        .because(
+            "§5 pins the ambivalence: 'currently no vendor-supported, \
+             advertised solution (which roc-stdpar might become)'.",
+        )
+        .route(
+            Route::new(
+                "roc-stdpar (-stdpar)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Experimental)
+            .undocumented()
+            .notes("under development; upstreaming to LLVM planned"),
+        )
+        .route(
+            Route::new(
+                "Open SYCL (--hipsycl-stdpar)",
+                RouteKind::Compiler,
+                Provider::Community("Open SYCL"),
+                Directness::Direct,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Experimental),
+        )
+        .route(
+            Route::new(
+                "oneDPL via DPC++ (ROCm)",
+                RouteKind::Library,
+                Provider::OtherVendor(Vendor::Intel),
+                Directness::Direct,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Experimental)
+            .undocumented()
+            .notes("DPC++ AMD support is experimental"),
+        )
+        .refs(&[36, 15, 26])
+        .build(),
+        // ─── 27 · AMD · Standard · Fortran ──────────────────────────────
+        CellBuilder::new(
+            id(Model::Standard, Language::Fortran),
+            27,
+            Support::None,
+            "There is no (known) way to launch Fortran standard-parallel \
+             algorithms (do concurrent) on AMD GPUs.",
+        )
+        .because("The paper finds no venue at all.")
+        .build(),
+        // ─── 28 · AMD · Kokkos · C++ ────────────────────────────────────
+        CellBuilder::new(
+            id(Model::Kokkos, Language::Cpp),
+            28,
+            Support::NonVendorGood,
+            "Kokkos supports AMD GPUs mainly through the HIP/ROCm backend; \
+             an OpenMP offloading backend is also available.",
+        )
+        .because("Comprehensive community support on vendor infrastructure.")
+        .route(
+            Route::new(
+                "Kokkos HIP backend",
+                RouteKind::Library,
+                Provider::Community("Kokkos"),
+                Directness::Direct,
+                Completeness::Complete,
+            ),
+        )
+        .route(
+            Route::new(
+                "Kokkos OpenMP-offload backend",
+                RouteKind::Library,
+                Provider::Community("Kokkos"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .refs(&[27])
+        .build(),
+        // ─── 14 · AMD · Kokkos · Fortran (shared) ───────────────────────
+        CellBuilder::new(
+            id(Model::Kokkos, Language::Fortran),
+            14,
+            Support::Limited,
+            "Kokkos is a C++ model, but the official Fortran Language \
+             Compatibility Layer (FLCL) lets Fortran use GPUs as supported \
+             by Kokkos C++.",
+        )
+        .because("Indirect via a compatibility layer with user effort — 'limited'.")
+        .route(
+            Route::new(
+                "Kokkos FLCL",
+                RouteKind::LanguageBinding,
+                Provider::Community("Kokkos"),
+                Directness::Binding,
+                Completeness::Minimal,
+            ),
+        )
+        .refs(&[27])
+        .build(),
+        // ─── 29 · AMD · Alpaka · C++ ────────────────────────────────────
+        CellBuilder::new(
+            id(Model::Alpaka, Language::Cpp),
+            29,
+            Support::NonVendorGood,
+            "Alpaka supports AMD GPUs in C++ through HIP or through an \
+             OpenMP backend.",
+        )
+        .because("Comprehensive community support on vendor infrastructure.")
+        .route(
+            Route::new(
+                "Alpaka HIP backend",
+                RouteKind::Library,
+                Provider::Community("Alpaka"),
+                Directness::Direct,
+                Completeness::Complete,
+            ),
+        )
+        .route(
+            Route::new(
+                "Alpaka OpenMP backend",
+                RouteKind::Library,
+                Provider::Community("Alpaka"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .refs(&[28])
+        .build(),
+        // ─── 16 · AMD · Alpaka · Fortran (shared) ───────────────────────
+        CellBuilder::new(
+            id(Model::Alpaka, Language::Fortran),
+            16,
+            Support::None,
+            "Alpaka is a C++ programming model and no ready-made Fortran \
+             support exists.",
+        )
+        .because("No surface, no bindings.")
+        .refs(&[28])
+        .build(),
+        // ─── 30 · AMD · Python ──────────────────────────────────────────
+        CellBuilder::new(
+            id(Model::Python, Language::Python),
+            30,
+            Support::Limited,
+            "AMD does not officially support Python GPU programming; CuPy \
+             experimentally supports ROCm (cupy-rocm-5-0), Numba's ROCm \
+             target is unmaintained, low-level bindings exist (PyHIP, \
+             PyOpenCL).",
+        )
+        .because("Third-party, experimental or unmaintained — 'limited'.")
+        .route(
+            Route::new(
+                "CuPy (ROCm, experimental)",
+                RouteKind::Library,
+                Provider::Community("CuPy"),
+                Directness::Direct,
+                Completeness::Majority,
+            )
+            .maintenance(Maintenance::Experimental)
+            .notes("PyPI cupy-rocm-5-0"),
+        )
+        .route(
+            Route::new(
+                "Numba (ROCm target)",
+                RouteKind::Library,
+                Provider::Community("Numba"),
+                Directness::Direct,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Unmaintained),
+        )
+        .route(
+            Route::new(
+                "PyHIP",
+                RouteKind::LanguageBinding,
+                Provider::Community("PyHIP"),
+                Directness::Binding,
+                Completeness::Minimal,
+            )
+            .notes("PyPI pyhip-interface"),
+        )
+        .route(
+            Route::new(
+                "PyOpenCL",
+                RouteKind::LanguageBinding,
+                Provider::Community("PyOpenCL"),
+                Directness::Binding,
+                Completeness::Majority,
+            ),
+        )
+        .refs(&[29])
+        .build(),
+    ]
+}

@@ -1,0 +1,452 @@
+//! Intel row of Figure 1 — descriptions 31–44, plus shared descriptions
+//! 6 (SYCL·Fortran), 14 (Kokkos·Fortran), 16 (Alpaka·Fortran) (§4).
+
+use crate::cell::{Cell, CellBuilder, CellId};
+use crate::provider::{Maintenance, Provider};
+use crate::route::{Completeness, Directness, Route, RouteKind};
+use crate::support::Support;
+use crate::taxonomy::{Language, Model, Vendor};
+
+fn id(model: Model, language: Language) -> CellId {
+    CellId::new(Vendor::Intel, model, language)
+}
+
+pub(super) fn cells() -> Vec<Cell> {
+    vec![
+        // ─── 31 · Intel · CUDA · C++ ────────────────────────────────────
+        CellBuilder::new(
+            id(Model::Cuda, Language::Cpp),
+            31,
+            Support::IndirectGood,
+            "Intel does not support CUDA C/C++ on their GPUs but offers \
+             SYCLomatic (open source; commercial variant: DPC++ \
+             Compatibility Tool) to translate CUDA to SYCL. The community \
+             project chipStar (previously CHIP-SPV, 1.0 released) targets \
+             Intel GPUs from CUDA via Clang's CUDA support (cuspv wrapper). \
+             ZLUDA implemented CUDA on Intel GPUs but is unmaintained.",
+        )
+        .also(Support::Limited)
+        .because(
+            "§5 pins the double rating: vendor translation tooling \
+             (SYCLomatic) plus honoring the chipStar research project.",
+        )
+        .route(
+            Route::new(
+                "SYCLomatic (CUDA→SYCL)",
+                RouteKind::SourceTranslator,
+                Provider::DeviceVendor,
+                Directness::Translated,
+                Completeness::Complete,
+            )
+            .notes("commercial variant: DPC++ Compatibility Tool (oneAPI)"),
+        )
+        .route(
+            Route::new(
+                "chipStar (cuspv)",
+                RouteKind::Compiler,
+                Provider::Community("chipStar"),
+                Directness::Translated,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Experimental)
+            .notes("previously CHIP-SPV; replaces nvcc calls"),
+        )
+        .route(
+            Route::new(
+                "ZLUDA",
+                RouteKind::Library,
+                Provider::Community("ZLUDA"),
+                Directness::Translated,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Unmaintained),
+        )
+        .refs(&[37, 38, 39])
+        .build(),
+        // ─── 32 · Intel · CUDA · Fortran ────────────────────────────────
+        CellBuilder::new(
+            id(Model::Cuda, Language::Fortran),
+            32,
+            Support::None,
+            "No direct support for CUDA Fortran on Intel GPUs; only a simple \
+             GitHub example binds SYCL to a (CUDA) Fortran program via \
+             ISO_C_BINDING.",
+        )
+        .because(
+            "ISO_C_BINDING heroics are exactly the §3 'no support' \
+             escape hatch, not support.",
+        )
+        .build(),
+        // ─── 33 · Intel · HIP · C++ ─────────────────────────────────────
+        CellBuilder::new(
+            id(Model::Hip, Language::Cpp),
+            33,
+            Support::Limited,
+            "No native HIP support on Intel GPUs; the open-source chipStar \
+             maps HIP to OpenCL or Intel's Level Zero runtime via an \
+             LLVM-based toolchain (HIP + SPIR-V functionality).",
+        )
+        .because("One community research project, not yet comprehensive.")
+        .route(
+            Route::new(
+                "chipStar (HIP→OpenCL/Level Zero)",
+                RouteKind::Compiler,
+                Provider::Community("chipStar"),
+                Directness::Translated,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Experimental),
+        )
+        .refs(&[38])
+        .build(),
+        // ─── 34 · Intel · HIP · Fortran ─────────────────────────────────
+        CellBuilder::new(
+            id(Model::Hip, Language::Fortran),
+            34,
+            Support::None,
+            "HIP for Fortran does not exist, and there are no translation \
+             efforts for Intel GPUs.",
+        )
+        .because("No surface, no bindings, no translators.")
+        .build(),
+        // ─── 35 · Intel · SYCL · C++ ────────────────────────────────────
+        CellBuilder::new(
+            id(Model::Sycl, Language::Cpp),
+            35,
+            Support::Full,
+            "SYCL (C++17-based Khronos standard) is Intel's prime model, \
+             implemented via DPC++ (LLVM-based; own fork with upstreaming \
+             planned) and released commercially as Intel oneAPI DPC++. \
+             Open SYCL also supports Intel GPUs (SPIR-V or Level Zero); \
+             ComputeCpp was a previous solution, unsupported since 09/2023.",
+        )
+        .because("Native model: vendor-complete with full toolchain.")
+        .route(
+            Route::new(
+                "Intel oneAPI DPC++ (icpx -fsycl)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            ),
+        )
+        .route(
+            Route::new(
+                "Open SYCL (SPIR-V/Level Zero)",
+                RouteKind::Compiler,
+                Provider::Community("Open SYCL"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .route(
+            Route::new(
+                "ComputeCpp",
+                RouteKind::Compiler,
+                Provider::Commercial("CodePlay"),
+                Directness::Direct,
+                Completeness::Majority,
+            )
+            .maintenance(Maintenance::Unmaintained)
+            .notes("unsupported since September 2023"),
+        )
+        .refs(&[14, 39, 15])
+        .build(),
+        // ─── 6 · Intel · SYCL · Fortran (shared) ────────────────────────
+        CellBuilder::new(
+            id(Model::Sycl, Language::Fortran),
+            6,
+            Support::None,
+            "SYCL is a C++-based programming model (C++17) and by its nature \
+             does not support Fortran; no pre-made bindings are available.",
+        )
+        .because("No surface, no bindings — §3 'no support'.")
+        .refs(&[16])
+        .build(),
+        // ─── 36 · Intel · OpenACC · C++ ─────────────────────────────────
+        CellBuilder::new(
+            id(Model::OpenAcc, Language::Cpp),
+            36,
+            Support::Limited,
+            "No direct OpenACC C/C++ support for Intel GPUs; Intel offers a \
+             Python-based source translator, the Application Migration Tool \
+             for OpenACC to OpenMP API.",
+        )
+        .because(
+            "Only a migration tool exists — the §6 conclusion states \
+             OpenACC 'support for Intel GPUs does not exist'; the tool \
+             merits 'limited' rather than 'none'.",
+        )
+        .route(
+            Route::new(
+                "Intel OpenACC→OpenMP migration tool",
+                RouteKind::SourceTranslator,
+                Provider::DeviceVendor,
+                Directness::Translated,
+                Completeness::Minimal,
+            ),
+        )
+        .refs(&[40])
+        .build(),
+        // ─── 37 · Intel · OpenACC · Fortran ─────────────────────────────
+        CellBuilder::new(
+            id(Model::OpenAcc, Language::Fortran),
+            37,
+            Support::Limited,
+            "No direct OpenACC Fortran support on Intel GPUs; Intel's \
+             OpenACC→OpenMP source translator supports Fortran as well.",
+        )
+        .because("Same migration-tool-only status as the C++ cell.")
+        .route(
+            Route::new(
+                "Intel OpenACC→OpenMP migration tool (Fortran)",
+                RouteKind::SourceTranslator,
+                Provider::DeviceVendor,
+                Directness::Translated,
+                Completeness::Minimal,
+            ),
+        )
+        .refs(&[40])
+        .build(),
+        // ─── 38 · Intel · OpenMP · C++ ──────────────────────────────────
+        CellBuilder::new(
+            id(Model::OpenMp, Language::Cpp),
+            38,
+            Support::Full,
+            "OpenMP is a second key model for Intel GPUs: built into Intel \
+             oneAPI DPC++/C++ (icpx -qopenmp -fopenmp-targets=spir64). All \
+             OpenMP 4.5 and most 5.0/5.1 features are supported.",
+        )
+        .because(
+            "Vendor-provided, prominently promoted, near-complete coverage \
+             ('all 4.5, most 5.0/5.1').",
+        )
+        .route(
+            Route::new(
+                "Intel oneAPI DPC++/C++ (icpx -qopenmp)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            )
+            .notes("-fopenmp-targets=spir64"),
+        )
+        .refs(&[39])
+        .build(),
+        // ─── 39 · Intel · OpenMP · Fortran ──────────────────────────────
+        CellBuilder::new(
+            id(Model::OpenMp, Language::Fortran),
+            39,
+            Support::Full,
+            "OpenMP Fortran offloading is Intel's main route for Fortran on \
+             their GPUs, via the LLVM-based ifx compiler (oneAPI HPC \
+             Toolkit): -qopenmp -fopenmp-targets=spir64.",
+        )
+        .because("Vendor's selected Fortran route, complete implementation.")
+        .route(
+            Route::new(
+                "Intel Fortran Compiler ifx (-qopenmp)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            )
+            .notes("the new LLVM-based ifx, not Fortran Compiler Classic"),
+        )
+        .refs(&[39])
+        .build(),
+        // ─── 40 · Intel · Standard · C++ ────────────────────────────────
+        CellBuilder::new(
+            id(Model::Standard, Language::Cpp),
+            40,
+            Support::Some,
+            "Intel supports C++ pSTL through the open-source oneDPL (oneAPI \
+             DPC++ Library) on top of DPC++ — but algorithms, data \
+             structures and policies live in the oneapi::dpl:: namespace. \
+             Open SYCL is adding --hipsycl-stdpar support.",
+        )
+        .because(
+            "§5 pins the ambivalence: 'all pSTL functionality currently \
+             resides in a custom namespace' — supported, not standard-pure.",
+        )
+        .route(
+            Route::new(
+                "oneDPL (oneapi::dpl::)",
+                RouteKind::Library,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Majority,
+            )
+            .notes("custom namespace rather than std::execution"),
+        )
+        .route(
+            Route::new(
+                "Open SYCL (--hipsycl-stdpar)",
+                RouteKind::Compiler,
+                Provider::Community("Open SYCL"),
+                Directness::Direct,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Experimental),
+        )
+        .refs(&[26])
+        .build(),
+        // ─── 41 · Intel · Standard · Fortran ────────────────────────────
+        CellBuilder::new(
+            id(Model::Standard, Language::Fortran),
+            41,
+            Support::Full,
+            "Fortran standard parallelism (do concurrent) is supported on \
+             Intel GPUs through ifx (oneAPI HPC Toolkit): added in oneAPI \
+             2022.1 and extended since; enabled via -qopenmp with \
+             -fopenmp-target-do-concurrent and -fopenmp-targets=spir64.",
+        )
+        .because("Vendor-provided, extended over successive releases.")
+        .route(
+            Route::new(
+                "Intel ifx (do concurrent offload)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            )
+            .notes("-fopenmp-target-do-concurrent"),
+        )
+        .refs(&[39])
+        .build(),
+        // ─── 42 · Intel · Kokkos · C++ ──────────────────────────────────
+        CellBuilder::new(
+            id(Model::Kokkos, Language::Cpp),
+            42,
+            Support::Limited,
+            "No direct Intel support for Kokkos; Kokkos targets Intel GPUs \
+             through an experimental SYCL backend.",
+        )
+        .because("Single experimental community backend — 'limited'.")
+        .route(
+            Route::new(
+                "Kokkos SYCL backend (experimental)",
+                RouteKind::Library,
+                Provider::Community("Kokkos"),
+                Directness::Direct,
+                Completeness::Majority,
+            )
+            .maintenance(Maintenance::Experimental),
+        )
+        .refs(&[27])
+        .build(),
+        // ─── 14 · Intel · Kokkos · Fortran (shared) ─────────────────────
+        CellBuilder::new(
+            id(Model::Kokkos, Language::Fortran),
+            14,
+            Support::Limited,
+            "Kokkos is a C++ model, but the official Fortran Language \
+             Compatibility Layer (FLCL) lets Fortran use GPUs as supported \
+             by Kokkos C++.",
+        )
+        .because(
+            "Indirect via a compatibility layer on top of an experimental \
+             backend — 'limited'.",
+        )
+        .route(
+            Route::new(
+                "Kokkos FLCL (over SYCL backend)",
+                RouteKind::LanguageBinding,
+                Provider::Community("Kokkos"),
+                Directness::Binding,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Experimental),
+        )
+        .refs(&[27])
+        .build(),
+        // ─── 43 · Intel · Alpaka · C++ ──────────────────────────────────
+        CellBuilder::new(
+            id(Model::Alpaka, Language::Cpp),
+            43,
+            Support::Limited,
+            "Since v0.9.0 Alpaka contains experimental SYCL support that can \
+             target Intel GPUs; Alpaka can also fall back to an OpenMP \
+             backend.",
+        )
+        .because("Experimental support only — 'limited'.")
+        .route(
+            Route::new(
+                "Alpaka SYCL backend (experimental, v0.9.0+)",
+                RouteKind::Library,
+                Provider::Community("Alpaka"),
+                Directness::Direct,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Experimental),
+        )
+        .route(
+            Route::new(
+                "Alpaka OpenMP fallback",
+                RouteKind::Library,
+                Provider::Community("Alpaka"),
+                Directness::Direct,
+                Completeness::Minimal,
+            )
+            .notes("host-side fallback, not a GPU offload path"),
+        )
+        .refs(&[28])
+        .build(),
+        // ─── 16 · Intel · Alpaka · Fortran (shared) ─────────────────────
+        CellBuilder::new(
+            id(Model::Alpaka, Language::Fortran),
+            16,
+            Support::None,
+            "Alpaka is a C++ programming model and no ready-made Fortran \
+             support exists.",
+        )
+        .because("No surface, no bindings.")
+        .refs(&[28])
+        .build(),
+        // ─── 44 · Intel · Python ────────────────────────────────────────
+        CellBuilder::new(
+            id(Model::Python, Language::Python),
+            44,
+            Support::Full,
+            "Intel GPUs are usable from Python through three Intel packages: \
+             dpctl (low-level SYCL bindings, PyPI), numba-dpex (Numba JIT \
+             extension, Anaconda), and dpnp (NumPy-API extension, PyPI/\
+             GitHub).",
+        )
+        .because(
+            "A full vendor-provided stack (low-level bindings, JIT, \
+             NumPy-level) — rated as vendor support.",
+        )
+        .route(
+            Route::new(
+                "dpctl",
+                RouteKind::LanguageBinding,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            )
+            .notes("Data Parallel Control; low-level SYCL bindings"),
+        )
+        .route(
+            Route::new(
+                "numba-dpex",
+                RouteKind::Library,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .route(
+            Route::new(
+                "dpnp",
+                RouteKind::Library,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Majority,
+            )
+            .notes("latest versions appear to be available only on GitHub"),
+        )
+        .refs(&[41, 42, 43])
+        .build(),
+    ]
+}

@@ -1,0 +1,174 @@
+//! The paper's data: all 51 vendor × model × language combinations (§4,
+//! descriptions 1–44), encoded as [`Cell`]s with routes, references, and
+//! rating rationales.
+//!
+//! Provenance: the per-cell categories are derived from the §4 description
+//! texts and the §5 per-category discussion (which pins several cells
+//! explicitly). Where the text leaves latitude, the cell's `rationale`
+//! records the reasoning; see DESIGN.md "Figure 1 cell data — provenance
+//! note".
+//!
+//! The structural invariants printed in the paper's text are exact and
+//! asserted by tests here and in `tests/`:
+//!
+//! * 51 combinations, explained in **44 unique descriptions** (§3);
+//! * the shared descriptions are exactly 4 (HIP·Fortran on NVIDIA+AMD),
+//!   6 (SYCL·Fortran, all vendors), 14 (Kokkos·Fortran, all vendors), and
+//!   16 (Alpaka·Fortran, all vendors);
+//! * "more than 50 routes for programming a GPU device" (§1).
+
+mod amd;
+mod intel;
+mod nvidia;
+
+use crate::cell::Cell;
+
+/// Build the full 51-cell dataset in Figure 1 order
+/// (AMD, Intel, NVIDIA rows; model columns; C++ before Fortran).
+pub fn paper_cells() -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(51);
+    cells.extend(amd::cells());
+    cells.extend(intel::cells());
+    cells.extend(nvidia::cells());
+    cells
+}
+
+/// Description numbers that cover more than one cell, with their coverage
+/// count: (id, number of cells).
+pub const SHARED_DESCRIPTIONS: [(u8, usize); 4] = [(4, 2), (6, 3), (14, 3), (16, 3)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::Support;
+    use crate::taxonomy::{all_combinations, Language, Model, Vendor};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    #[test]
+    fn fifty_one_cells_covering_every_combination() {
+        let cells = paper_cells();
+        assert_eq!(cells.len(), 51);
+        let have: BTreeSet<_> =
+            cells.iter().map(|c| (c.id.vendor, c.id.model, c.id.language)).collect();
+        for combo in all_combinations() {
+            assert!(have.contains(&combo), "missing cell for {combo:?}");
+        }
+    }
+
+    #[test]
+    fn forty_four_unique_descriptions() {
+        let cells = paper_cells();
+        let ids: BTreeSet<u8> = cells.iter().map(|c| c.description_id).collect();
+        assert_eq!(ids.len(), 44);
+        assert_eq!(ids.iter().copied().min(), Some(1));
+        assert_eq!(ids.iter().copied().max(), Some(44));
+        // Consecutive numbering 1..=44 with no gaps.
+        assert_eq!(ids, (1..=44).collect());
+    }
+
+    #[test]
+    fn shared_descriptions_match_paper() {
+        let cells = paper_cells();
+        let mut by_id: BTreeMap<u8, usize> = BTreeMap::new();
+        for c in &cells {
+            *by_id.entry(c.description_id).or_default() += 1;
+        }
+        for (id, n) in SHARED_DESCRIPTIONS {
+            assert_eq!(by_id[&id], n, "description {id} should cover {n} cells");
+        }
+        // All other descriptions cover exactly one cell.
+        let shared: BTreeSet<u8> = SHARED_DESCRIPTIONS.iter().map(|&(id, _)| id).collect();
+        for (&id, &n) in &by_id {
+            if !shared.contains(&id) {
+                assert_eq!(n, 1, "description {id} unexpectedly shared");
+            }
+        }
+    }
+
+    #[test]
+    fn more_than_fifty_routes() {
+        // §1: "more than 50 routes for programming a GPU device are
+        // identified when no further limitations (pre-)exist".
+        let total: usize = paper_cells().iter().map(|c| c.routes.len()).sum();
+        assert!(total > 50, "only {total} routes encoded");
+    }
+
+    #[test]
+    fn native_models_are_fully_supported_on_their_platform() {
+        let cells = paper_cells();
+        for v in Vendor::ALL {
+            let native = v.native_model();
+            let cell = cells
+                .iter()
+                .find(|c| c.id.vendor == v && c.id.model == native && c.id.language == Language::Cpp)
+                .unwrap();
+            assert_eq!(cell.support, Support::Full, "{v} native model not Full");
+        }
+    }
+
+    #[test]
+    fn none_cells_have_no_routes_and_vice_versa() {
+        for c in paper_cells() {
+            if c.support == Support::None && !c.is_double_rated() {
+                assert!(
+                    c.routes.is_empty(),
+                    "{} rated none but has routes: {:?}",
+                    c.id,
+                    c.routes.iter().map(|r| r.toolchain).collect::<Vec<_>>()
+                );
+            } else {
+                assert!(c.has_any_route(), "{} rated {} but has no routes", c.id, c.support);
+            }
+        }
+    }
+
+    #[test]
+    fn double_rated_cells_match_section_5() {
+        let cells = paper_cells();
+        let doubles: BTreeSet<_> = cells
+            .iter()
+            .filter(|c| c.is_double_rated())
+            .map(|c| (c.id.vendor, c.id.model, c.id.language))
+            .collect();
+        // §5 discusses exactly two double-rated cells: Python on NVIDIA and
+        // CUDA C++ on Intel.
+        let expected: BTreeSet<_> = [
+            (Vendor::Nvidia, Model::Python, Language::Python),
+            (Vendor::Intel, Model::Cuda, Language::Cpp),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(doubles, expected);
+    }
+
+    #[test]
+    fn every_cell_has_description_and_rationale() {
+        for c in paper_cells() {
+            assert!(!c.description.is_empty(), "{} missing description", c.id);
+            assert!(!c.rationale.is_empty(), "{} missing rationale", c.id);
+        }
+    }
+
+    #[test]
+    fn references_resolve_in_bibliography() {
+        for c in paper_cells() {
+            for &r in &c.references {
+                assert!(
+                    crate::references::lookup(r).is_some(),
+                    "{} cites unknown reference [{r}]",
+                    c.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn python_cells_exist_for_each_vendor() {
+        let cells = paper_cells();
+        for v in Vendor::ALL {
+            assert!(cells
+                .iter()
+                .any(|c| c.id.vendor == v && c.id.model == Model::Python));
+        }
+    }
+}

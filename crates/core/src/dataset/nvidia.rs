@@ -1,0 +1,652 @@
+//! NVIDIA row of Figure 1 — descriptions 1–17 (§4).
+
+use crate::cell::{Cell, CellBuilder, CellId};
+use crate::provider::{Maintenance, Provider};
+use crate::route::{Completeness, Directness, Route, RouteKind};
+use crate::support::Support;
+use crate::taxonomy::{Language, Model, Vendor};
+
+fn id(model: Model, language: Language) -> CellId {
+    CellId::new(Vendor::Nvidia, model, language)
+}
+
+pub(super) fn cells() -> Vec<Cell> {
+    vec![
+        // ─── 1 · NVIDIA · CUDA · C++ ────────────────────────────────────
+        CellBuilder::new(
+            id(Model::Cuda, Language::Cpp),
+            1,
+            Support::Full,
+            "CUDA C/C++ is supported through the CUDA Toolkit (since 2007); \
+             the toolkit covers nearly all aspects of the platform: API, \
+             libraries, profiling/debugging tools, compiler, management \
+             tools. Higher languages are translated to PTX, then compiled \
+             to SASS. Clang can also target NVIDIA GPUs via LLVM.",
+        )
+        .because(
+            "Reference platform: vendor-complete implementation, extensive \
+             documentation, regular updates (§3 'full support' verbatim).",
+        )
+        .route(
+            Route::new(
+                "CUDA Toolkit (nvcc)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            )
+            .notes("CUDA 12.2 current; proprietary with open-source components"),
+        )
+        .route(
+            Route::new(
+                "Clang CUDA (LLVM)",
+                RouteKind::Compiler,
+                Provider::Community("LLVM"),
+                Directness::Direct,
+                Completeness::Majority,
+            )
+            .notes("emits PTX via the LLVM NVPTX backend"),
+        )
+        .refs(&[10])
+        .build(),
+        // ─── 2 · NVIDIA · CUDA · Fortran ────────────────────────────────
+        CellBuilder::new(
+            id(Model::Cuda, Language::Fortran),
+            2,
+            Support::Full,
+            "CUDA Fortran, a proprietary Fortran extension, is supported via \
+             the NVIDIA HPC SDK: -cuda switch in nvfortran; explicit kernels \
+             and `cuf kernels` auto-parallelization. CUDA Fortran support \
+             was recently merged into LLVM Flang.",
+        )
+        .because(
+            "Vendor-provided, modeled closely after CUDA C/C++, implements \
+             most of the CUDA API in Fortran.",
+        )
+        .route(
+            Route::new(
+                "NVIDIA HPC SDK (nvfortran -cuda)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            )
+            .notes("explicit kernels plus `cuf kernels` compiler-generated parallelism"),
+        )
+        .route(
+            Route::new(
+                "LLVM Flang (CUDA Fortran)",
+                RouteKind::Compiler,
+                Provider::Community("LLVM"),
+                Directness::Direct,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Experimental)
+            .notes("support merged very recently"),
+        )
+        .refs(&[11])
+        .build(),
+        // ─── 3 · NVIDIA · HIP · C++ ─────────────────────────────────────
+        CellBuilder::new(
+            id(Model::Hip, Language::Cpp),
+            3,
+            Support::IndirectGood,
+            "HIP programs directly use NVIDIA GPUs via a CUDA backend; API \
+             calls map one-to-one (hipMalloc→cudaMalloc) and kernel syntax \
+             is identical. hipcc with HIP_PLATFORM=nvidia targets NVIDIA; \
+             HIPIFY converts CUDA sources to HIP.",
+        )
+        .because(
+            "Comprehensive but indirect: a foreign model mapped \
+             semi-automatically onto the native one (§3 'indirect good').",
+        )
+        .route(
+            Route::new(
+                "hipcc (CUDA backend)",
+                RouteKind::Compiler,
+                Provider::OtherVendor(Vendor::Amd),
+                Directness::Translated,
+                Completeness::Complete,
+            )
+            .notes("HIP_PLATFORM=nvidia; hipBLAS etc. interface to CUDA libraries"),
+        )
+        .route(
+            Route::new(
+                "HIPIFY (CUDA→HIP)",
+                RouteKind::SourceTranslator,
+                Provider::OtherVendor(Vendor::Amd),
+                Directness::Translated,
+                Completeness::Complete,
+            )
+            .notes("bootstraps a HIP code base from CUDA"),
+        )
+        .refs(&[12])
+        .build(),
+        // ─── 4 · NVIDIA · HIP · Fortran (shared with AMD) ───────────────
+        CellBuilder::new(
+            id(Model::Hip, Language::Fortran),
+            4,
+            Support::Some,
+            "No Fortran version of HIP exists; HIP is solely a C/C++ model. \
+             AMD offers hipfort (MIT), ready-made Fortran interfaces to the \
+             HIP API and ROCm libraries, with CUDA-like Fortran extensions \
+             for writing kernels.",
+        )
+        .because(
+            "Bindings cover the C functionality, but the model itself has no \
+             Fortran surface — usable for a majority of needs, not \
+             comprehensive.",
+        )
+        .route(
+            Route::new(
+                "hipfort",
+                RouteKind::LanguageBinding,
+                Provider::OtherVendor(Vendor::Amd),
+                Directness::Binding,
+                Completeness::Majority,
+            )
+            .notes("interfaces to HIP API + HIP/ROCm libraries"),
+        )
+        .refs(&[13])
+        .build(),
+        // ─── 5 · NVIDIA · SYCL · C++ ────────────────────────────────────
+        CellBuilder::new(
+            id(Model::Sycl, Language::Cpp),
+            5,
+            Support::NonVendorGood,
+            "No direct support by NVIDIA, but SYCL runs on NVIDIA GPUs via \
+             DPC++ (Intel's open-source LLVM compiler, plus oneAPI plugin), \
+             via Open SYCL (previously hipSYCL; through LLVM CUDA or nvc++), \
+             and previously via ComputeCpp (unsupported since 09/2023). \
+             SYCLomatic translates CUDA to SYCL.",
+        )
+        .because(
+            "Comprehensive support exists, but from Intel and the community, \
+             not from the device vendor (§3 'non-vendor good').",
+        )
+        .route(
+            Route::new(
+                "DPC++ (CUDA plugin)",
+                RouteKind::Compiler,
+                Provider::OtherVendor(Vendor::Intel),
+                Directness::Direct,
+                Completeness::Complete,
+            )
+            .notes("needs CUDA toolkit for final compilation beyond PTX"),
+        )
+        .route(
+            Route::new(
+                "Open SYCL",
+                RouteKind::Compiler,
+                Provider::Community("Open SYCL"),
+                Directness::Direct,
+                Completeness::Complete,
+            )
+            .notes("via LLVM CUDA support or NVHPC nvc++"),
+        )
+        .route(
+            Route::new(
+                "ComputeCpp",
+                RouteKind::Compiler,
+                Provider::Commercial("CodePlay"),
+                Directness::Direct,
+                Completeness::Majority,
+            )
+            .maintenance(Maintenance::Unmaintained)
+            .notes("unsupported since September 2023"),
+        )
+        .refs(&[14, 15])
+        .build(),
+        // ─── 6 · NVIDIA · SYCL · Fortran (shared: all vendors) ──────────
+        CellBuilder::new(
+            id(Model::Sycl, Language::Fortran),
+            6,
+            Support::None,
+            "SYCL is a C++-based programming model (C++17) and by its nature \
+             does not support Fortran; no pre-made bindings are available.",
+        )
+        .because("No surface, no bindings — §3 'no support'.")
+        .refs(&[16])
+        .build(),
+        // ─── 7 · NVIDIA · OpenACC · C++ ─────────────────────────────────
+        CellBuilder::new(
+            id(Model::OpenAcc, Language::Cpp),
+            7,
+            Support::Full,
+            "OpenACC C/C++ is supported most extensively through the NVIDIA \
+             HPC SDK (nvc/nvc++ with -acc -gpu; conforms to OpenACC 2.7). \
+             GCC ≥5.0 supports OpenACC 2.6 via the nvptx architecture \
+             (-fopenacc); Clacc adds OpenACC to LLVM by translating it to \
+             OpenMP.",
+        )
+        .because("§5 pins this cell: 'OpenACC C++ support on NVIDIA GPUs (7) was rated complete'.")
+        .route(
+            Route::new(
+                "NVIDIA HPC SDK (nvc/nvc++ -acc)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            )
+            .notes("conforms to OpenACC 2.7"),
+        )
+        .route(
+            Route::new(
+                "GCC (-fopenacc, nvptx)",
+                RouteKind::Compiler,
+                Provider::Community("GCC"),
+                Directness::Direct,
+                Completeness::Majority,
+            )
+            .notes("OpenACC 2.6 since GCC 5.0"),
+        )
+        .route(
+            Route::new(
+                "Clacc (LLVM)",
+                RouteKind::Compiler,
+                Provider::Community("Clacc"),
+                Directness::Translated,
+                Completeness::Majority,
+            )
+            .notes("translates OpenACC to OpenMP inside Clang"),
+        )
+        .refs(&[17, 18, 19, 20])
+        .build(),
+        // ─── 8 · NVIDIA · OpenACC · Fortran ─────────────────────────────
+        CellBuilder::new(
+            id(Model::OpenAcc, Language::Fortran),
+            8,
+            Support::Full,
+            "OpenACC Fortran mirrors the C/C++ support: NVIDIA HPC SDK \
+             (nvfortran), GCC (gfortran), LLVM Flang (via the Flacc \
+             project, now in mainline LLVM), and the HPE Cray Programming \
+             Environment (ftn -hacc).",
+        )
+        .because("Vendor-complete via nvfortran, with three further routes.")
+        .route(
+            Route::new(
+                "NVIDIA HPC SDK (nvfortran -acc)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            ),
+        )
+        .route(
+            Route::new(
+                "GCC (gfortran -fopenacc)",
+                RouteKind::Compiler,
+                Provider::Community("GCC"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .route(
+            Route::new(
+                "LLVM Flang (Flacc)",
+                RouteKind::Compiler,
+                Provider::Community("LLVM"),
+                Directness::Direct,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Experimental),
+        )
+        .route(
+            Route::new(
+                "HPE Cray PE (ftn -hacc)",
+                RouteKind::Compiler,
+                Provider::Commercial("HPE Cray"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .refs(&[17, 18, 21])
+        .build(),
+        // ─── 9 · NVIDIA · OpenMP · C++ ──────────────────────────────────
+        CellBuilder::new(
+            id(Model::OpenMp, Language::Cpp),
+            9,
+            Support::Some,
+            "OpenMP offloading to NVIDIA GPUs works through NVHPC (nvc/nvc++ \
+             -mp; subset of OpenMP 5.0), GCC (-fopenmp; OpenMP 4.5 complete, \
+             5.x in progress), Clang (-fopenmp -fopenmp-targets=…; 4.5 plus \
+             selected 5.0/5.1), HPE Cray PE, and AMD's AOMP.",
+        )
+        .because(
+            "§5 pins this cell: rated 'some support' because NVIDIA is \
+             upfront that some OpenMP offloading features are still missing.",
+        )
+        .route(
+            Route::new(
+                "NVIDIA HPC SDK (nvc/nvc++ -mp)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Majority,
+            )
+            .notes("subset of OpenMP 5.0; documented unsupported features"),
+        )
+        .route(
+            Route::new(
+                "GCC (-fopenmp -foffload=nvptx-none)",
+                RouteKind::Compiler,
+                Provider::Community("GCC"),
+                Directness::Direct,
+                Completeness::Majority,
+            )
+            .notes("OpenMP 4.5 complete; 5.0/5.1/5.2 being implemented"),
+        )
+        .route(
+            Route::new(
+                "Clang (-fopenmp -fopenmp-targets=nvptx64)",
+                RouteKind::Compiler,
+                Provider::Community("LLVM"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .route(
+            Route::new(
+                "HPE Cray PE (CC -fopenmp)",
+                RouteKind::Compiler,
+                Provider::Commercial("HPE Cray"),
+                Directness::Direct,
+                Completeness::Majority,
+            )
+            .notes("subset of OpenMP 5.0/5.1"),
+        )
+        .route(
+            Route::new(
+                "AOMP (NVIDIA target)",
+                RouteKind::Compiler,
+                Provider::OtherVendor(Vendor::Amd),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .refs(&[17, 22, 23, 24])
+        .build(),
+        // ─── 10 · NVIDIA · OpenMP · Fortran ─────────────────────────────
+        CellBuilder::new(
+            id(Model::OpenMp, Language::Fortran),
+            10,
+            Support::Some,
+            "OpenMP Fortran offloading is supported nearly identically to \
+             C/C++: NVHPC nvfortran, GCC gfortran, LLVM Flang (-mp, when \
+             Flang is compiled via Clang), and HPE Cray PE.",
+        )
+        .because("Same feature gaps as the C++ cell; vendor-provided but incomplete.")
+        .route(
+            Route::new(
+                "NVIDIA HPC SDK (nvfortran -mp)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .route(
+            Route::new(
+                "GCC (gfortran -fopenmp)",
+                RouteKind::Compiler,
+                Provider::Community("GCC"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .route(
+            Route::new(
+                "LLVM Flang (-mp)",
+                RouteKind::Compiler,
+                Provider::Community("LLVM"),
+                Directness::Direct,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Experimental),
+        )
+        .route(
+            Route::new(
+                "HPE Cray PE (ftn -fopenmp)",
+                RouteKind::Compiler,
+                Provider::Commercial("HPE Cray"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .refs(&[17, 22, 24, 25])
+        .build(),
+        // ─── 11 · NVIDIA · Standard · C++ ───────────────────────────────
+        CellBuilder::new(
+            id(Model::Standard, Language::Cpp),
+            11,
+            Support::Full,
+            "Parallel-STL algorithms offload to NVIDIA GPUs through nvc++ \
+             -stdpar=gpu (NVIDIA HPC SDK). Open SYCL is adding pSTL support \
+             (--hipsycl-stdpar), and DPC++ enables oneDPL algorithms on \
+             NVIDIA GPUs.",
+        )
+        .because("Vendor-complete (-stdpar=gpu) with additional community venues.")
+        .route(
+            Route::new(
+                "NVIDIA HPC SDK (nvc++ -stdpar=gpu)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            ),
+        )
+        .route(
+            Route::new(
+                "Open SYCL (--hipsycl-stdpar)",
+                RouteKind::Compiler,
+                Provider::Community("Open SYCL"),
+                Directness::Direct,
+                Completeness::Minimal,
+            )
+            .maintenance(Maintenance::Experimental)
+            .notes("support in progress"),
+        )
+        .route(
+            Route::new(
+                "oneDPL via DPC++",
+                RouteKind::Library,
+                Provider::OtherVendor(Vendor::Intel),
+                Directness::Direct,
+                Completeness::Majority,
+            )
+            .undocumented()
+            .notes("pSTL support on NVIDIA through DPC++ is not advertised in docs (§5)"),
+        )
+        .refs(&[17, 15, 26])
+        .build(),
+        // ─── 12 · NVIDIA · Standard · Fortran ───────────────────────────
+        CellBuilder::new(
+            id(Model::Standard, Language::Fortran),
+            12,
+            Support::Full,
+            "Fortran standard parallelism (mainly `do concurrent`) offloads \
+             to NVIDIA GPUs through nvfortran -stdpar=gpu (NVIDIA HPC SDK).",
+        )
+        .because("Vendor-provided and complete for the standard's surface.")
+        .route(
+            Route::new(
+                "NVIDIA HPC SDK (nvfortran -stdpar=gpu)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            ),
+        )
+        .refs(&[17])
+        .build(),
+        // ─── 13 · NVIDIA · Kokkos · C++ ─────────────────────────────────
+        CellBuilder::new(
+            id(Model::Kokkos, Language::Cpp),
+            13,
+            Support::NonVendorGood,
+            "Kokkos supports NVIDIA GPUs with multiple backends: native CUDA \
+             (nvcc), NVHPC (CUDA support in nvc++), and Clang (CUDA directly \
+             or via OpenMP offloading).",
+        )
+        .because("Comprehensive, community-driven, vendor infrastructure underneath.")
+        .route(
+            Route::new(
+                "Kokkos CUDA backend (nvcc)",
+                RouteKind::Library,
+                Provider::Community("Kokkos"),
+                Directness::Direct,
+                Completeness::Complete,
+            ),
+        )
+        .route(
+            Route::new(
+                "Kokkos NVHPC backend (nvc++)",
+                RouteKind::Library,
+                Provider::Community("Kokkos"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .route(
+            Route::new(
+                "Kokkos Clang backend (CUDA or OpenMP offload)",
+                RouteKind::Library,
+                Provider::Community("Kokkos"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .refs(&[27])
+        .build(),
+        // ─── 14 · NVIDIA · Kokkos · Fortran (shared: all vendors) ───────
+        CellBuilder::new(
+            id(Model::Kokkos, Language::Fortran),
+            14,
+            Support::Limited,
+            "Kokkos is a C++ model, but the official Fortran Language \
+             Compatibility Layer (FLCL) lets Fortran use GPUs as supported \
+             by Kokkos C++.",
+        )
+        .because(
+            "Indirect via a compatibility layer with user effort; the model \
+             itself never gains a Fortran surface (§3 'limited').",
+        )
+        .route(
+            Route::new(
+                "Kokkos FLCL",
+                RouteKind::LanguageBinding,
+                Provider::Community("Kokkos"),
+                Directness::Binding,
+                Completeness::Minimal,
+            )
+            .notes("Fortran Language Compatibility Layer"),
+        )
+        .refs(&[27])
+        .build(),
+        // ─── 15 · NVIDIA · Alpaka · C++ ─────────────────────────────────
+        CellBuilder::new(
+            id(Model::Alpaka, Language::Cpp),
+            15,
+            Support::NonVendorGood,
+            "Alpaka supports NVIDIA GPUs in C++17, through nvcc or through \
+             Clang's CUDA support (clang++).",
+        )
+        .because("Comprehensive community support on vendor infrastructure.")
+        .route(
+            Route::new(
+                "Alpaka CUDA backend (nvcc)",
+                RouteKind::Library,
+                Provider::Community("Alpaka"),
+                Directness::Direct,
+                Completeness::Complete,
+            ),
+        )
+        .route(
+            Route::new(
+                "Alpaka Clang-CUDA backend (clang++)",
+                RouteKind::Library,
+                Provider::Community("Alpaka"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .refs(&[28])
+        .build(),
+        // ─── 16 · NVIDIA · Alpaka · Fortran (shared: all vendors) ───────
+        CellBuilder::new(
+            id(Model::Alpaka, Language::Fortran),
+            16,
+            Support::None,
+            "Alpaka is a C++ programming model and no ready-made Fortran \
+             support exists.",
+        )
+        .because("No surface, no bindings.")
+        .refs(&[28])
+        .build(),
+        // ─── 17 · NVIDIA · Python ───────────────────────────────────────
+        CellBuilder::new(
+            id(Model::Python, Language::Python),
+            17,
+            Support::Full,
+            "NVIDIA offers CUDA Python (low-level interfaces, PyPI \
+             cuda-python) and cuNumeric (NumPy-inspired, scales via Legate); \
+             the community adds PyCUDA, CuPy (NumPy-compatible plus custom \
+             kernels), and Numba (decorator-based JIT).",
+        )
+        .also(Support::NonVendorGood)
+        .because(
+            "§5 pins the double rating: vendor packages plus the \
+             acknowledged pick-up of the open-source community.",
+        )
+        .route(
+            Route::new(
+                "CUDA Python",
+                RouteKind::Library,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            )
+            .notes("PyPI cuda-python; backend for higher-level models"),
+        )
+        .route(
+            Route::new(
+                "cuNumeric",
+                RouteKind::Library,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Majority,
+            )
+            .notes("NumPy-like; transparent multi-GPU via Legate"),
+        )
+        .route(
+            Route::new(
+                "CuPy",
+                RouteKind::Library,
+                Provider::Community("CuPy"),
+                Directness::Direct,
+                Completeness::Complete,
+            )
+            .notes("PyPI cupy-cuda12x"),
+        )
+        .route(
+            Route::new(
+                "PyCUDA",
+                RouteKind::Library,
+                Provider::Community("PyCUDA"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .route(
+            Route::new(
+                "Numba (CUDA target)",
+                RouteKind::Library,
+                Provider::Community("Numba"),
+                Directness::Direct,
+                Completeness::Majority,
+            ),
+        )
+        .refs(&[29, 30, 31, 32, 33])
+        .build(),
+    ]
+}

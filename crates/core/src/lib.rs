@@ -1,0 +1,71 @@
+//! # mcmm-core — the compatibility overview, as a library
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! *"Many Cores, Many Models: GPU Programming Model vs. Vendor Compatibility
+//! Overview"* (Herten, SC'23): a typed, queryable knowledge base matching
+//! HPC GPU **vendors** (AMD, Intel, NVIDIA) against **programming models**
+//! (CUDA, HIP, SYCL, OpenACC, OpenMP, standard-language parallelism, Kokkos,
+//! Alpaka, Python) for the languages **C++** and **Fortran**.
+//!
+//! The paper's method is implemented in three layers:
+//!
+//! 1. [`taxonomy`], [`support`], [`provider`], [`route`], [`cell`] — the
+//!    vocabulary: the six support categories of §3, providers, toolchain
+//!    routes, and the combination cells of Figure 1.
+//! 2. [`dataset`] — the data: all 51 vendor × model × language combinations,
+//!    described by the paper in 44 unique descriptions (§4), each cell
+//!    carrying its routes, evidence, references and a rationale string.
+//! 3. [`rating`], [`matrix`], [`query`], [`stats`], [`render`],
+//!    [`evolution`] — the machinery: the evidence → category rating engine,
+//!    the Figure 1 matrix with renderers (ASCII/Markdown/HTML/LaTeX/JSON),
+//!    aggregate statistics reproducing the paper's headline numbers, and the
+//!    §5 "topicality" evolution model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mcmm_core::prelude::*;
+//!
+//! let matrix = CompatMatrix::paper();
+//! assert_eq!(matrix.cells().count(), 51);
+//! assert_eq!(matrix.unique_description_count(), 44);
+//!
+//! let cell = matrix.cell(Vendor::Nvidia, Model::Cuda, Language::Cpp).unwrap();
+//! assert_eq!(cell.primary_support(), Support::Full);
+//!
+//! // Render Figure 1 as ASCII art:
+//! let fig1 = mcmm_core::render::ascii::render(&matrix);
+//! assert!(fig1.contains("NVIDIA"));
+//! ```
+
+pub mod cell;
+pub mod dataset;
+pub mod evolution;
+pub mod matrix;
+pub mod provider;
+pub mod query;
+pub mod rating;
+pub mod references;
+pub mod render;
+pub mod route;
+pub mod stats;
+pub mod support;
+pub mod taxonomy;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::cell::{Cell, CellId};
+    pub use crate::matrix::CompatMatrix;
+    pub use crate::provider::{Maintenance, Provider};
+    pub use crate::query::Query;
+    pub use crate::rating::{rate, Evidence};
+    pub use crate::route::{Completeness, Directness, Route, RouteKind};
+    pub use crate::stats::Stats;
+    pub use crate::support::Support;
+    pub use crate::taxonomy::{Language, Model, Vendor};
+}
+
+pub use cell::{Cell, CellId};
+pub use matrix::CompatMatrix;
+pub use support::Support;
+pub use taxonomy::{Language, Model, Vendor};

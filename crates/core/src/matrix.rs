@@ -1,0 +1,150 @@
+//! The Figure 1 matrix: all cells, indexed by (vendor, model, language).
+
+use crate::cell::{Cell, CellId};
+use crate::dataset;
+use crate::support::Support;
+use crate::taxonomy::{Language, Model, Vendor};
+use std::collections::BTreeMap;
+
+/// The compatibility matrix of Figure 1.
+///
+/// Holds one [`Cell`] per vendor × model × language combination and provides
+/// lookup, iteration, and aggregate views. Construct the paper's data with
+/// [`CompatMatrix::paper`], or build a custom/perturbed matrix with
+/// [`CompatMatrix::from_cells`] (see [`crate::evolution`]).
+#[derive(Debug, Clone)]
+pub struct CompatMatrix {
+    cells: BTreeMap<CellId, Cell>,
+}
+
+impl CompatMatrix {
+    /// The matrix exactly as published in the paper.
+    pub fn paper() -> Self {
+        Self::from_cells(dataset::paper_cells())
+    }
+
+    /// Build a matrix from arbitrary cells (later duplicates replace
+    /// earlier ones).
+    pub fn from_cells(cells: impl IntoIterator<Item = Cell>) -> Self {
+        Self { cells: cells.into_iter().map(|c| (c.id, c)).collect() }
+    }
+
+    /// Look up one cell.
+    pub fn cell(&self, vendor: Vendor, model: Model, language: Language) -> Option<&Cell> {
+        self.cells.get(&CellId::new(vendor, model, language))
+    }
+
+    /// Iterate all cells in (vendor, model, language) order.
+    pub fn cells(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.values()
+    }
+
+    /// Iterate the cells of one vendor row.
+    pub fn row(&self, vendor: Vendor) -> impl Iterator<Item = &Cell> + '_ {
+        self.cells.values().filter(move |c| c.id.vendor == vendor)
+    }
+
+    /// Iterate the cells of one model column.
+    pub fn column(&self, model: Model) -> impl Iterator<Item = &Cell> + '_ {
+        self.cells.values().filter(move |c| c.id.model == model)
+    }
+
+    /// The number of unique §4 description entries covering the matrix.
+    pub fn unique_description_count(&self) -> usize {
+        self.cells
+            .values()
+            .map(|c| c.description_id)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    }
+
+    /// Total number of encoded routes across all cells.
+    pub fn route_count(&self) -> usize {
+        self.cells.values().map(|c| c.routes.len()).sum()
+    }
+
+    /// The support level of a combination, `Support::None` if the cell is
+    /// absent entirely.
+    pub fn support(&self, vendor: Vendor, model: Model, language: Language) -> Support {
+        self.cell(vendor, model, language).map_or(Support::None, |c| c.support)
+    }
+
+    /// Replace a cell (used by [`crate::evolution`]).
+    pub fn replace(&mut self, cell: Cell) -> Option<Cell> {
+        self.cells.insert(cell.id, cell)
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Is the matrix empty?
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+impl Default for CompatMatrix {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matrix_has_51_cells() {
+        let m = CompatMatrix::paper();
+        assert_eq!(m.len(), 51);
+        assert!(!m.is_empty());
+        assert_eq!(m.cells().count(), 51);
+    }
+
+    #[test]
+    fn rows_have_17_cells_each() {
+        let m = CompatMatrix::paper();
+        for v in Vendor::ALL {
+            assert_eq!(m.row(v).count(), 17);
+        }
+    }
+
+    #[test]
+    fn columns_have_expected_sizes() {
+        let m = CompatMatrix::paper();
+        for model in Model::ALL {
+            let expect = if model == Model::Python { 3 } else { 6 };
+            assert_eq!(m.column(model).count(), expect, "{model}");
+        }
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        let m = CompatMatrix::paper();
+        assert!(m.cell(Vendor::Amd, Model::Hip, Language::Cpp).is_some());
+        // Python language only exists under the Python column.
+        assert!(m.cell(Vendor::Amd, Model::Hip, Language::Python).is_none());
+        assert_eq!(m.support(Vendor::Amd, Model::Hip, Language::Python), Support::None);
+        assert_eq!(m.support(Vendor::Amd, Model::Hip, Language::Cpp), Support::Full);
+    }
+
+    #[test]
+    fn replace_swaps_a_cell() {
+        let mut m = CompatMatrix::paper();
+        let mut cell = m.cell(Vendor::Amd, Model::Standard, Language::Cpp).unwrap().clone();
+        cell.support = Support::Full;
+        let old = m.replace(cell).unwrap();
+        assert_eq!(old.support, Support::Limited);
+        assert_eq!(m.support(Vendor::Amd, Model::Standard, Language::Cpp), Support::Full);
+        assert_eq!(m.len(), 51);
+    }
+
+    #[test]
+    fn unique_descriptions_and_routes() {
+        let m = CompatMatrix::paper();
+        assert_eq!(m.unique_description_count(), 44);
+        assert!(m.route_count() > 50);
+    }
+}

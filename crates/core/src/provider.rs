@@ -1,0 +1,134 @@
+//! Who provides a support route, and in what state of maintenance.
+//!
+//! The paper's categories (§3) hinge on *who* provides support (the device
+//! vendor, another vendor, or the community) and whether the route is alive
+//! (§5 "Topicality" discusses stale projects such as GPUFORT, ComputeCpp and
+//! ZLUDA at length).
+
+use crate::taxonomy::Vendor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The entity providing a particular support route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provider {
+    /// The vendor of the GPU device itself (e.g. NVIDIA providing CUDA on
+    /// NVIDIA GPUs, AMD providing AOMP on AMD GPUs).
+    DeviceVendor,
+    /// A *different* hardware/software vendor (e.g. AMD providing HIP's
+    /// CUDA backend on NVIDIA GPUs; Intel's DPC++ targeting AMD GPUs;
+    /// HPE Cray's programming environment).
+    OtherVendor(Vendor),
+    /// A commercial third party that is not one of the three GPU vendors
+    /// (e.g. HPE Cray, CodePlay's ComputeCpp).
+    Commercial(&'static str),
+    /// A community / academic open-source project (e.g. Open SYCL, GCC,
+    /// chipStar, Kokkos, Alpaka, PyCUDA).
+    Community(&'static str),
+}
+
+impl Provider {
+    /// Is this route provided by the vendor of the device it targets?
+    pub fn is_device_vendor(self) -> bool {
+        matches!(self, Provider::DeviceVendor)
+    }
+
+    /// A short display label.
+    pub fn label(self) -> String {
+        match self {
+            Provider::DeviceVendor => "device vendor".to_owned(),
+            Provider::OtherVendor(v) => format!("other vendor ({v})"),
+            Provider::Commercial(name) => format!("commercial ({name})"),
+            Provider::Community(name) => format!("community ({name})"),
+        }
+    }
+}
+
+impl fmt::Display for Provider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Maintenance status of a route (§5 "Topicality").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Maintenance {
+    /// Actively developed and regularly updated.
+    Active,
+    /// Development ongoing but the route is explicitly experimental or
+    /// pre-production (e.g. roc-stdpar, Kokkos' SYCL backend,
+    /// Alpaka's SYCL support since v0.9.0).
+    Experimental,
+    /// No recent activity; coverage frozen "driven by use-case requirements"
+    /// (e.g. GPUFORT, whose last commit the paper notes is two years old).
+    Stale,
+    /// Explicitly discontinued/unsupported (e.g. ComputeCpp since 09/2023,
+    /// ZLUDA, Numba's ROCm target).
+    Unmaintained,
+}
+
+impl Maintenance {
+    /// All statuses, healthiest first.
+    pub const ALL: [Maintenance; 4] = [
+        Maintenance::Active,
+        Maintenance::Experimental,
+        Maintenance::Stale,
+        Maintenance::Unmaintained,
+    ];
+
+    /// Can this route be recommended to a scientific programmer today?
+    pub fn is_viable(self) -> bool {
+        matches!(self, Maintenance::Active | Maintenance::Experimental)
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Maintenance::Active => "active",
+            Maintenance::Experimental => "experimental",
+            Maintenance::Stale => "stale",
+            Maintenance::Unmaintained => "unmaintained",
+        }
+    }
+}
+
+impl fmt::Display for Maintenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_vendor_detection() {
+        assert!(Provider::DeviceVendor.is_device_vendor());
+        assert!(!Provider::OtherVendor(Vendor::Amd).is_device_vendor());
+        assert!(!Provider::Community("Open SYCL").is_device_vendor());
+        assert!(!Provider::Commercial("HPE Cray").is_device_vendor());
+    }
+
+    #[test]
+    fn maintenance_viability() {
+        assert!(Maintenance::Active.is_viable());
+        assert!(Maintenance::Experimental.is_viable());
+        assert!(!Maintenance::Stale.is_viable());
+        assert!(!Maintenance::Unmaintained.is_viable());
+    }
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(Provider::OtherVendor(Vendor::Intel).label(), "other vendor (Intel)");
+        assert_eq!(Provider::Community("GCC").label(), "community (GCC)");
+        assert_eq!(Maintenance::Stale.to_string(), "stale");
+    }
+
+    #[test]
+    fn maintenance_order_healthiest_first() {
+        assert!(Maintenance::Active < Maintenance::Experimental);
+        assert!(Maintenance::Experimental < Maintenance::Stale);
+        assert!(Maintenance::Stale < Maintenance::Unmaintained);
+    }
+}

@@ -1,0 +1,220 @@
+//! A fluent query interface over the matrix — the "guide for scientific
+//! programmers" use-case from the paper's introduction: given constraints
+//! (my code is Fortran; I refuse unmaintained toolchains; I need at least
+//! vendor-tier support), which combinations remain?
+
+use crate::cell::Cell;
+use crate::matrix::CompatMatrix;
+use crate::support::Support;
+use crate::taxonomy::{Language, Model, Vendor};
+
+/// A filter over matrix cells. All constraints are conjunctive.
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    vendors: Option<Vec<Vendor>>,
+    models: Option<Vec<Model>>,
+    languages: Option<Vec<Language>>,
+    at_least: Option<Support>,
+    require_viable_route: bool,
+    require_vendor_tier: bool,
+}
+
+impl Query {
+    /// Start an unconstrained query (matches all 51 cells).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restrict to the given vendors.
+    pub fn vendors(mut self, vendors: impl IntoIterator<Item = Vendor>) -> Self {
+        self.vendors = Some(vendors.into_iter().collect());
+        self
+    }
+
+    /// Restrict to the given models.
+    pub fn models(mut self, models: impl IntoIterator<Item = Model>) -> Self {
+        self.models = Some(models.into_iter().collect());
+        self
+    }
+
+    /// Restrict to the given languages.
+    pub fn languages(mut self, languages: impl IntoIterator<Item = Language>) -> Self {
+        self.languages = Some(languages.into_iter().collect());
+        self
+    }
+
+    /// Require the cell's best rating to be at least this good
+    /// (remember: [`Support`] orders best-to-worst).
+    pub fn at_least(mut self, support: Support) -> Self {
+        self.at_least = Some(support);
+        self
+    }
+
+    /// Require at least one route that is maintained and non-minimal.
+    pub fn viable_route(mut self) -> Self {
+        self.require_viable_route = true;
+        self
+    }
+
+    /// Require support provided by a vendor (the §3 vendor tiers:
+    /// full / indirect good / some).
+    pub fn vendor_tier(mut self) -> Self {
+        self.require_vendor_tier = true;
+        self
+    }
+
+    /// Does a cell satisfy this query?
+    pub fn matches(&self, cell: &Cell) -> bool {
+        if let Some(v) = &self.vendors {
+            if !v.contains(&cell.id.vendor) {
+                return false;
+            }
+        }
+        if let Some(m) = &self.models {
+            if !m.contains(&cell.id.model) {
+                return false;
+            }
+        }
+        if let Some(l) = &self.languages {
+            if !l.contains(&cell.id.language) {
+                return false;
+            }
+        }
+        if let Some(bar) = self.at_least {
+            if cell.best_support() > bar {
+                return false;
+            }
+        }
+        if self.require_viable_route && cell.viable_routes().next().is_none() {
+            return false;
+        }
+        if self.require_vendor_tier && !cell.best_support().is_vendor_tier() {
+            return false;
+        }
+        true
+    }
+
+    /// Run the query over a matrix.
+    pub fn run<'m>(&'m self, matrix: &'m CompatMatrix) -> impl Iterator<Item = &'m Cell> + 'm {
+        matrix.cells().filter(move |c| self.matches(c))
+    }
+
+    /// Run the query and count matches.
+    pub fn count(&self, matrix: &CompatMatrix) -> usize {
+        self.run(matrix).count()
+    }
+}
+
+/// Advice produced by [`advise`]: viable combinations ranked best-first.
+#[derive(Debug, Clone)]
+pub struct Advice<'m> {
+    /// Matching cells, best support first; ties keep matrix order.
+    pub options: Vec<&'m Cell>,
+}
+
+/// The paper's introductory scenario: help a scientific programmer navigate
+/// the choices. Returns matching cells ranked by best support, then by
+/// number of viable routes (more routes = less lock-in).
+pub fn advise<'m>(matrix: &'m CompatMatrix, query: &'m Query) -> Advice<'m> {
+    let mut options: Vec<&Cell> = query.run(matrix).collect();
+    options.sort_by_key(|c| (c.best_support(), usize::MAX - c.viable_routes().count()));
+    Advice { options }
+}
+
+impl<'m> Advice<'m> {
+    /// The single best option, if any.
+    pub fn best(&self) -> Option<&'m Cell> {
+        self.options.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_query_matches_all() {
+        let m = CompatMatrix::paper();
+        assert_eq!(Query::new().count(&m), 51);
+    }
+
+    #[test]
+    fn fortran_on_intel_is_narrow() {
+        // §6: for Fortran, OpenMP is the well-supported route on Intel.
+        let m = CompatMatrix::paper();
+        let q = Query::new()
+            .vendors([Vendor::Intel])
+            .languages([Language::Fortran])
+            .at_least(Support::Some);
+        let hits: Vec<_> = q.run(&m).map(|c| c.id.model).collect();
+        assert_eq!(hits, vec![Model::OpenMp, Model::Standard]);
+    }
+
+    #[test]
+    fn vendor_tier_filter() {
+        let m = CompatMatrix::paper();
+        // SYCL on NVIDIA is good but non-vendor — excluded by vendor_tier.
+        let q = Query::new()
+            .vendors([Vendor::Nvidia])
+            .models([Model::Sycl])
+            .languages([Language::Cpp])
+            .vendor_tier();
+        assert_eq!(q.count(&m), 0);
+        // CUDA on NVIDIA is vendor-tier.
+        let q = Query::new()
+            .vendors([Vendor::Nvidia])
+            .models([Model::Cuda])
+            .languages([Language::Cpp])
+            .vendor_tier();
+        assert_eq!(q.count(&m), 1);
+    }
+
+    #[test]
+    fn viable_route_filter_excludes_stale_only_cells() {
+        let m = CompatMatrix::paper();
+        // AMD CUDA Fortran has only the stale GPUFORT route.
+        let q = Query::new()
+            .vendors([Vendor::Amd])
+            .models([Model::Cuda])
+            .languages([Language::Fortran])
+            .viable_route();
+        assert_eq!(q.count(&m), 0);
+    }
+
+    #[test]
+    fn advise_ranks_best_first() {
+        let m = CompatMatrix::paper();
+        let q = Query::new().vendors([Vendor::Amd]).languages([Language::Cpp]);
+        let advice = advise(&m, &q);
+        let best = advice.best().unwrap();
+        assert_eq!(best.id.model, Model::Hip);
+        assert_eq!(best.support, Support::Full);
+        // Everything is sorted non-decreasing in support rank.
+        for w in advice.options.windows(2) {
+            assert!(w[0].best_support() <= w[1].best_support());
+        }
+    }
+
+    #[test]
+    fn portable_models_for_cpp() {
+        // Which models offer at least usable support on *every* vendor for
+        // C++? §6 names SYCL, OpenMP, Kokkos, Alpaka as all-platform; with
+        // a strict >=Some bar, Kokkos/Alpaka drop out on Intel (limited).
+        let m = CompatMatrix::paper();
+        let mut portable = Vec::new();
+        for model in Model::ALL {
+            if model == Model::Python {
+                continue;
+            }
+            let ok = Vendor::ALL.iter().all(|&v| {
+                m.cell(v, model, Language::Cpp)
+                    .map(|c| c.best_support() <= Support::NonVendorGood)
+                    .unwrap_or(false)
+            });
+            if ok {
+                portable.push(model);
+            }
+        }
+        assert_eq!(portable, vec![Model::Cuda, Model::Sycl, Model::OpenMp]);
+    }
+}

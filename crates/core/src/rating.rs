@@ -1,0 +1,363 @@
+//! The §3 rating methodology as an executable engine: evidence about the
+//! available toolchain routes is mapped to one of the six support
+//! categories.
+//!
+//! The paper assesses each combination "by this available information";
+//! this module codifies the assessment so it can be replayed, audited, and
+//! perturbed (see [`crate::evolution`] for the §5 "Topicality" experiments).
+//!
+//! ## The rules
+//!
+//! Each individual [`Route`] *qualifies* for exactly one category:
+//!
+//! 1. **Full** — device vendor, direct, complete, actively maintained.
+//! 2. **Indirect good** — a GPU vendor (device vendor or another one)
+//!    providing a complete, maintained mapping/translation of a foreign
+//!    model onto a native one.
+//! 3. **Some** — vendor-tier support that is not comprehensive: the device
+//!    vendor's direct-or-binding route at majority coverage, or a GPU
+//!    vendor's comprehensive *binding* (the hipfort case).
+//! 4. **Non-vendor good** — comprehensive (complete or majority), direct,
+//!    actively maintained, documented support from the community, a
+//!    commercial third party, or a non-device vendor.
+//! 5. **Limited** — any other existing route (experimental, stale,
+//!    unmaintained, minimal coverage, undocumented back doors).
+//!
+//! A cell's **primary rating is the best qualifying category** of any of
+//! its routes ([`Support`]'s derived ordering is exactly the §3
+//! best-to-worst order); a cell with no routes at all rates **None**.
+//! Double-rated cells (§5) carry an editorial secondary symbol which must
+//! itself be a qualifying category of one of the remaining routes — the
+//! engine exposes the full qualifying set so this can be checked.
+
+use crate::provider::{Maintenance, Provider};
+use crate::route::{Completeness, Directness, Route};
+use crate::support::Support;
+use std::collections::BTreeSet;
+
+/// Evidence about one route, reduced to the fields the §3 method inspects.
+///
+/// This mirrors [`Route`] but is decoupled from it so that the simulator's
+/// probe (crate `mcmm-toolchain`) can synthesise evidence from *observed*
+/// compile/run behaviour rather than from encoded metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evidence {
+    /// Is the provider the vendor of the device?
+    pub device_vendor: bool,
+    /// Is the provider any of the three GPU vendors (device vendor
+    /// included)?
+    pub gpu_vendor: bool,
+    /// How directly the route maps the model onto the device.
+    pub directness: Directness,
+    /// How much of the model's surface the route covers.
+    pub completeness: Completeness,
+    /// How alive the route is.
+    pub maintenance: Maintenance,
+    /// Whether the route is properly documented.
+    pub documented: bool,
+}
+
+impl Evidence {
+    /// Extract the evidence carried by an encoded route.
+    pub fn from_route(route: &Route) -> Self {
+        let gpu_vendor = matches!(
+            route.provider,
+            Provider::DeviceVendor | Provider::OtherVendor(_)
+        );
+        Self {
+            device_vendor: route.provider.is_device_vendor(),
+            gpu_vendor,
+            directness: route.directness,
+            completeness: route.completeness,
+            maintenance: route.maintenance,
+            documented: route.documented,
+        }
+    }
+}
+
+/// The category a single route qualifies for under the §3 rules.
+pub fn qualify(e: Evidence) -> Support {
+    let active = e.maintenance == Maintenance::Active;
+    let comprehensive = matches!(e.completeness, Completeness::Complete | Completeness::Majority);
+
+    // Rule 1: full support.
+    if e.device_vendor
+        && e.directness == Directness::Direct
+        && e.completeness == Completeness::Complete
+        && active
+    {
+        return Support::Full;
+    }
+    // Rule 2: indirect good support — vendor-provided complete translation.
+    if e.gpu_vendor
+        && e.directness == Directness::Translated
+        && e.completeness == Completeness::Complete
+        && active
+    {
+        return Support::IndirectGood;
+    }
+    // Rule 3: some support — vendor-tier but not comprehensive-direct.
+    let vendor_tier = (e.device_vendor && matches!(e.directness, Directness::Direct | Directness::Binding))
+        || (e.gpu_vendor && e.directness == Directness::Binding);
+    if vendor_tier && comprehensive && active {
+        return Support::Some;
+    }
+    // Rule 4: non-vendor good support.
+    if !e.device_vendor
+        && e.directness == Directness::Direct
+        && comprehensive
+        && active
+        && e.documented
+    {
+        return Support::NonVendorGood;
+    }
+    // Rule 5: anything that exists but matched nothing above.
+    Support::Limited
+}
+
+/// The outcome of rating a set of routes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatingOutcome {
+    /// The best qualifying category — the cell's primary symbol.
+    pub primary: Support,
+    /// Every category some route qualifies for (used to validate the
+    /// editorial secondary symbols of double-rated cells).
+    pub qualifying: BTreeSet<Support>,
+}
+
+impl RatingOutcome {
+    /// Would `secondary` be a defensible second symbol for this cell?
+    pub fn admits_secondary(&self, secondary: Support) -> bool {
+        self.qualifying.contains(&secondary)
+    }
+}
+
+/// Rate a combination from its routes, per the §3 method.
+pub fn rate(routes: &[Route]) -> RatingOutcome {
+    rate_evidence(routes.iter().map(Evidence::from_route))
+}
+
+/// Rate a combination from raw evidence (used by the executable probe).
+pub fn rate_evidence(evidence: impl IntoIterator<Item = Evidence>) -> RatingOutcome {
+    let qualifying: BTreeSet<Support> = evidence.into_iter().map(qualify).collect();
+    let primary = qualifying.iter().next().copied().unwrap_or(Support::None);
+    RatingOutcome { primary, qualifying }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::RouteKind;
+
+    fn route(
+        provider: Provider,
+        directness: Directness,
+        completeness: Completeness,
+        maintenance: Maintenance,
+        documented: bool,
+    ) -> Route {
+        let mut r = Route::new("test", RouteKind::Compiler, provider, directness, completeness)
+            .maintenance(maintenance);
+        if !documented {
+            r = r.undocumented();
+        }
+        r
+    }
+
+    #[test]
+    fn no_routes_rates_none() {
+        let out = rate(&[]);
+        assert_eq!(out.primary, Support::None);
+        assert!(out.qualifying.is_empty());
+    }
+
+    #[test]
+    fn vendor_direct_complete_active_is_full() {
+        let r = route(
+            Provider::DeviceVendor,
+            Directness::Direct,
+            Completeness::Complete,
+            Maintenance::Active,
+            true,
+        );
+        assert_eq!(rate(&[r]).primary, Support::Full);
+    }
+
+    #[test]
+    fn vendor_translation_is_indirect_good() {
+        // HIPIFY on AMD / SYCLomatic on Intel.
+        let r = route(
+            Provider::DeviceVendor,
+            Directness::Translated,
+            Completeness::Complete,
+            Maintenance::Active,
+            true,
+        );
+        assert_eq!(rate(&[r]).primary, Support::IndirectGood);
+        // HIP's CUDA backend on NVIDIA — provided by AMD (another vendor).
+        let r = route(
+            Provider::OtherVendor(crate::taxonomy::Vendor::Amd),
+            Directness::Translated,
+            Completeness::Complete,
+            Maintenance::Active,
+            true,
+        );
+        assert_eq!(rate(&[r]).primary, Support::IndirectGood);
+    }
+
+    #[test]
+    fn community_translation_is_not_indirect_good() {
+        // Clacc translates OpenACC→OpenMP but is a community project.
+        let r = route(
+            Provider::Community("Clacc"),
+            Directness::Translated,
+            Completeness::Majority,
+            Maintenance::Active,
+            true,
+        );
+        assert_eq!(rate(&[r]).primary, Support::Limited);
+    }
+
+    #[test]
+    fn vendor_majority_is_some() {
+        // NVHPC OpenMP offload / AOMP.
+        let r = route(
+            Provider::DeviceVendor,
+            Directness::Direct,
+            Completeness::Majority,
+            Maintenance::Active,
+            true,
+        );
+        assert_eq!(rate(&[r]).primary, Support::Some);
+    }
+
+    #[test]
+    fn vendor_binding_is_some_even_cross_vendor() {
+        // hipfort by AMD used on NVIDIA devices.
+        let r = route(
+            Provider::OtherVendor(crate::taxonomy::Vendor::Amd),
+            Directness::Binding,
+            Completeness::Majority,
+            Maintenance::Active,
+            true,
+        );
+        assert_eq!(rate(&[r]).primary, Support::Some);
+    }
+
+    #[test]
+    fn community_binding_is_limited() {
+        // PyOpenCL-style bindings require user effort — limited.
+        let r = route(
+            Provider::Community("PyOpenCL"),
+            Directness::Binding,
+            Completeness::Majority,
+            Maintenance::Active,
+            true,
+        );
+        assert_eq!(rate(&[r]).primary, Support::Limited);
+    }
+
+    #[test]
+    fn comprehensive_community_compiler_is_non_vendor_good() {
+        let r = route(
+            Provider::Community("Open SYCL"),
+            Directness::Direct,
+            Completeness::Complete,
+            Maintenance::Active,
+            true,
+        );
+        assert_eq!(rate(&[r]).primary, Support::NonVendorGood);
+    }
+
+    #[test]
+    fn experimental_routes_cap_at_limited() {
+        // Kokkos' experimental SYCL backend on Intel GPUs.
+        let r = route(
+            Provider::Community("Kokkos"),
+            Directness::Direct,
+            Completeness::Majority,
+            Maintenance::Experimental,
+            true,
+        );
+        assert_eq!(rate(&[r]).primary, Support::Limited);
+    }
+
+    #[test]
+    fn stale_and_unmaintained_routes_cap_at_limited() {
+        for m in [Maintenance::Stale, Maintenance::Unmaintained] {
+            let r = route(
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+                m,
+                true,
+            );
+            assert_eq!(rate(&[r]).primary, Support::Limited, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn undocumented_non_vendor_routes_cap_at_limited() {
+        // §5: pSTL on NVIDIA/AMD through DPC++ is "not even advertised in
+        // the documentation".
+        let r = route(
+            Provider::OtherVendor(crate::taxonomy::Vendor::Intel),
+            Directness::Direct,
+            Completeness::Majority,
+            Maintenance::Active,
+            false,
+        );
+        assert_eq!(rate(&[r]).primary, Support::Limited);
+    }
+
+    #[test]
+    fn best_route_wins() {
+        let full = route(
+            Provider::DeviceVendor,
+            Directness::Direct,
+            Completeness::Complete,
+            Maintenance::Active,
+            true,
+        );
+        let limited = route(
+            Provider::Community("x"),
+            Directness::Binding,
+            Completeness::Minimal,
+            Maintenance::Stale,
+            false,
+        );
+        let out = rate(&[limited.clone(), full]);
+        assert_eq!(out.primary, Support::Full);
+        assert!(out.admits_secondary(Support::Limited));
+        assert!(!out.admits_secondary(Support::IndirectGood));
+        let out = rate(&[limited]);
+        assert_eq!(out.primary, Support::Limited);
+    }
+
+    #[test]
+    fn whole_paper_dataset_reproduces_figure_1() {
+        // E3/E4 core check: replaying the §3 method over the encoded routes
+        // yields exactly the category encoded for every one of the 51 cells,
+        // and each double rating is admissible.
+        for cell in crate::dataset::paper_cells() {
+            let out = rate(&cell.routes);
+            assert_eq!(
+                out.primary, cell.support,
+                "{}: engine says {}, figure says {} (routes: {:?})",
+                cell.id,
+                out.primary,
+                cell.support,
+                cell.routes.iter().map(|r| r.toolchain).collect::<Vec<_>>()
+            );
+            if let Some(sec) = cell.secondary_support {
+                assert!(
+                    out.admits_secondary(sec),
+                    "{}: secondary {} not admitted by qualifying set {:?}",
+                    cell.id,
+                    sec,
+                    out.qualifying
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 1 as a Unicode box-drawing table for terminals.
+
+use super::cell_symbols;
+use crate::matrix::CompatMatrix;
+use crate::taxonomy::{Model, Vendor};
+
+/// Render the matrix with Unicode symbols and box drawing.
+pub fn render(matrix: &CompatMatrix) -> String {
+    render_opts(matrix, true)
+}
+
+/// Render with plain-ASCII symbols (for dumb terminals / logs).
+pub fn render_plain(matrix: &CompatMatrix) -> String {
+    render_opts(matrix, false)
+}
+
+fn render_opts(matrix: &CompatMatrix, unicode: bool) -> String {
+    // Column layout: vendor | per model: one sub-column per language.
+    let vendor_w = Vendor::ALL.iter().map(|v| v.name().len()).max().unwrap_or(6);
+    let mut out = String::new();
+
+    // Header line 1: model names spanning their language sub-columns.
+    let sub_w = 4; // width of one language sub-column
+    out.push_str(&format!("{:vendor_w$} ", ""));
+    for m in Model::ALL {
+        let span = m.languages().len() * (sub_w + 1) - 1;
+        out.push_str(&format!("|{:^span$}", m.name().chars().take(span).collect::<String>()));
+    }
+    out.push_str("|\n");
+
+    // Header line 2: language sub-columns.
+    out.push_str(&format!("{:vendor_w$} ", ""));
+    for m in Model::ALL {
+        for l in m.languages() {
+            let label = match l {
+                crate::taxonomy::Language::Cpp => "C++",
+                crate::taxonomy::Language::Fortran => "Ftn",
+                crate::taxonomy::Language::Python => "Py",
+            };
+            out.push_str(&format!("|{label:^sub_w$}"));
+        }
+    }
+    out.push_str("|\n");
+
+    // Separator.
+    let total = vendor_w
+        + 1
+        + Model::ALL
+            .iter()
+            .map(|m| m.languages().len() * (sub_w + 1))
+            .sum::<usize>()
+        + 1;
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+
+    // One row per vendor.
+    for v in Vendor::ALL {
+        out.push_str(&format!("{:vendor_w$} ", v.name()));
+        for m in Model::ALL {
+            for &l in m.languages() {
+                let sym = matrix
+                    .cell(v, m, l)
+                    .map(|c| cell_symbols(c, unicode))
+                    .unwrap_or_else(|| "?".to_owned());
+                // Pad by display width: count chars, not bytes.
+                let w = sym.chars().count();
+                let pad = sub_w.saturating_sub(w);
+                let left = pad / 2 + pad % 2;
+                let right = pad / 2;
+                out.push('|');
+                out.push_str(&" ".repeat(left));
+                out.push_str(&sym);
+                out.push_str(&" ".repeat(right));
+            }
+        }
+        out.push_str("|\n");
+    }
+
+    out.push('\n');
+    out.push_str(&super::legend(unicode));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_all_vendors_and_models() {
+        let m = CompatMatrix::paper();
+        let s = render(&m);
+        for v in Vendor::ALL {
+            assert!(s.contains(v.name()), "missing {v}");
+        }
+        // Model names may be truncated to their span; check prefixes.
+        assert!(s.contains("CUDA"));
+        assert!(s.contains("HIP"));
+        assert!(s.contains("SYCL"));
+    }
+
+    #[test]
+    fn has_51_symbol_cells() {
+        let m = CompatMatrix::paper();
+        let s = render(&m);
+        let symbols: usize = s
+            .lines()
+            .filter(|l| Vendor::ALL.iter().any(|v| l.starts_with(v.name())))
+            .map(|l| {
+                l.chars()
+                    .filter(|c| ['●', '◐', '◒', '◍', '◌', '✕'].contains(c))
+                    .count()
+            })
+            .sum();
+        // 51 cells + 2 double ratings = 53 symbols, legend excluded because
+        // legend lines don't start with a vendor name.
+        assert_eq!(symbols, 53);
+    }
+
+    #[test]
+    fn plain_variant_is_pure_ascii() {
+        let m = CompatMatrix::paper();
+        let s = render_plain(&m);
+        assert!(s.is_ascii(), "plain render contains non-ASCII");
+        assert!(s.contains('#')); // full support marker
+        assert!(s.contains('x')); // no support marker
+    }
+
+    #[test]
+    fn rows_have_consistent_width() {
+        let m = CompatMatrix::paper();
+        let s = render(&m);
+        let row_widths: Vec<usize> = s
+            .lines()
+            .filter(|l| l.contains('|'))
+            .map(|l| l.chars().count())
+            .collect();
+        assert!(!row_widths.is_empty());
+        for w in &row_widths {
+            assert_eq!(*w, row_widths[0], "ragged table:\n{s}");
+        }
+    }
+}

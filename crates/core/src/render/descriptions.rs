@@ -1,0 +1,107 @@
+//! The §4 descriptions list — "the core of this paper" — as a rendered
+//! document: each of the 44 numbered entries with its combination(s),
+//! rating symbol(s), description text, rating rationale, routes, and
+//! bibliography references.
+
+use crate::matrix::CompatMatrix;
+use crate::references;
+use std::collections::BTreeMap;
+
+/// Render the full §4-style listing in Markdown.
+pub fn render(matrix: &CompatMatrix) -> String {
+    // Group cells by description id (shared descriptions list all their
+    // combinations on one entry, as the paper's "NVIDIA, AMD • HIP •
+    // Fortran" headers do).
+    let mut by_id: BTreeMap<u8, Vec<&crate::cell::Cell>> = BTreeMap::new();
+    for cell in matrix.cells() {
+        by_id.entry(cell.description_id).or_default().push(cell);
+    }
+
+    let mut out = String::new();
+    out.push_str("# Descriptions\n\n");
+    for (id, mut cells) in by_id {
+        cells.sort_by_key(|c| c.id);
+        let lead = cells[0];
+        // Header: "4 — NVIDIA, AMD · HIP · Fortran"
+        let vendors: Vec<&str> = cells.iter().map(|c| c.id.vendor.name()).collect();
+        out.push_str(&format!(
+            "## {id} — {} · {} · {}\n\n",
+            vendors.join(", "),
+            lead.id.model.name(),
+            lead.id.language.name()
+        ));
+        // Symbols per cell (ratings can differ between cells sharing a
+        // description).
+        for c in &cells {
+            out.push_str(&format!("* {} — {} ({})\n", c.id.vendor, c.symbols(), c.support));
+        }
+        out.push('\n');
+        out.push_str(lead.description);
+        out.push_str("\n\n");
+        out.push_str(&format!("*Rating rationale:* {}\n\n", lead.rationale));
+        if !lead.routes.is_empty() {
+            out.push_str("Routes:\n\n");
+            for r in &lead.routes {
+                out.push_str(&format!("* {r}\n"));
+            }
+            out.push('\n');
+        }
+        if !lead.references.is_empty() {
+            let refs: Vec<String> = lead
+                .references
+                .iter()
+                .map(|&n| match references::lookup(n) {
+                    Some(r) => format!("[{n}] {}", r.key),
+                    None => format!("[{n}]"),
+                })
+                .collect();
+            out.push_str(&format!("References: {}\n\n", refs.join("; ")));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_all_44_entries_once() {
+        let m = CompatMatrix::paper();
+        let doc = render(&m);
+        for id in 1..=44u8 {
+            assert!(doc.contains(&format!("## {id} — ")), "entry {id} missing");
+        }
+        // Exactly 44 section headers.
+        assert_eq!(doc.matches("\n## ").count() + usize::from(doc.starts_with("## ")), 44);
+    }
+
+    #[test]
+    fn shared_descriptions_name_all_their_vendors() {
+        let m = CompatMatrix::paper();
+        let doc = render(&m);
+        // Description 6 covers SYCL·Fortran on all three vendors.
+        let header6 = doc
+            .lines()
+            .find(|l| l.starts_with("## 6 — "))
+            .expect("entry 6 present");
+        for v in ["AMD", "Intel", "NVIDIA"] {
+            assert!(header6.contains(v), "entry 6 header missing {v}: {header6}");
+        }
+    }
+
+    #[test]
+    fn entries_cite_their_references() {
+        let m = CompatMatrix::paper();
+        let doc = render(&m);
+        assert!(doc.contains("[12] AMD HIP"));
+        assert!(doc.contains("[37] Intel SYCLomatic"));
+    }
+
+    #[test]
+    fn routes_are_listed_with_metadata() {
+        let doc = render(&CompatMatrix::paper());
+        assert!(doc.contains("CUDA Toolkit (nvcc)"));
+        assert!(doc.contains("device vendor"));
+    }
+}

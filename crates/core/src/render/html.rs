@@ -1,0 +1,100 @@
+//! Figure 1 as a standalone HTML page — mirroring the paper artifact's
+//! YAML→HTML conversion.
+
+use super::cell_symbols;
+use crate::matrix::CompatMatrix;
+use crate::taxonomy::{Model, Vendor};
+
+/// Render the matrix as a self-contained HTML document. Cell tooltips carry
+/// the description number and rating rationale.
+pub fn render(matrix: &CompatMatrix) -> String {
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n");
+    out.push_str("<title>GPU Programming Model vs. Vendor Compatibility</title>\n");
+    out.push_str(
+        "<style>table{border-collapse:collapse}td,th{border:1px solid #888;\
+         padding:4px 8px;text-align:center}th.model{background:#eee}</style>\n",
+    );
+    out.push_str("</head><body>\n<h1>GPU Programming Model vs. Vendor Compatibility</h1>\n");
+    out.push_str("<table>\n<tr><th rowspan=\"2\">Vendor</th>");
+    for m in Model::ALL {
+        out.push_str(&format!(
+            "<th class=\"model\" colspan=\"{}\">{}</th>",
+            m.languages().len(),
+            escape(m.name())
+        ));
+    }
+    out.push_str("</tr>\n<tr>");
+    for m in Model::ALL {
+        for l in m.languages() {
+            out.push_str(&format!("<th>{}</th>", escape(l.name())));
+        }
+    }
+    out.push_str("</tr>\n");
+
+    for v in Vendor::ALL {
+        out.push_str(&format!("<tr><th>{}</th>", escape(v.name())));
+        for m in Model::ALL {
+            for &l in m.languages() {
+                match matrix.cell(v, m, l) {
+                    Some(c) => out.push_str(&format!(
+                        "<td title=\"[{}] {}\">{}</td>",
+                        c.description_id,
+                        escape(c.rationale),
+                        cell_symbols(c, true)
+                    )),
+                    None => out.push_str("<td>?</td>"),
+                }
+            }
+        }
+        out.push_str("</tr>\n");
+    }
+    out.push_str("</table>\n<h2>Legend</h2>\n<ul>\n");
+    for s in crate::support::Support::ALL {
+        out.push_str(&format!("<li>{} — {}</li>\n", s.symbol(), escape(s.category_name())));
+    }
+    out.push_str("</ul>\n</body></html>\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_complete_document() {
+        let m = CompatMatrix::paper();
+        let s = render(&m);
+        assert!(s.starts_with("<!DOCTYPE html>"));
+        assert!(s.contains("</html>"));
+        assert!(s.contains("<table>"));
+        assert!(s.contains("</table>"));
+    }
+
+    #[test]
+    fn has_51_data_cells() {
+        let m = CompatMatrix::paper();
+        let s = render(&m);
+        assert_eq!(s.matches("<td ").count() + s.matches("<td>").count(), 51);
+    }
+
+    #[test]
+    fn tooltips_carry_description_ids() {
+        let m = CompatMatrix::paper();
+        let s = render(&m);
+        assert!(s.contains("title=\"[1] "));
+        assert!(s.contains("title=\"[44] "));
+    }
+
+    #[test]
+    fn escape_handles_special_chars() {
+        assert_eq!(escape("a<b & \"c\""), "a&lt;b &amp; &quot;c&quot;");
+    }
+}

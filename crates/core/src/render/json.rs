@@ -1,0 +1,55 @@
+//! Figure 1 as machine-readable JSON — the analogue of the paper artifact's
+//! YAML source data, enabling round-trips into other tools.
+
+use crate::matrix::CompatMatrix;
+use serde::Serialize;
+
+/// The serialized form of the whole overview.
+#[derive(Debug, Serialize)]
+struct Document<'m> {
+    title: &'static str,
+    combinations: usize,
+    unique_descriptions: usize,
+    cells: Vec<&'m crate::cell::Cell>,
+}
+
+/// Serialize the matrix (all cells with routes, rationales, references) to
+/// pretty-printed JSON.
+pub fn render(matrix: &CompatMatrix) -> String {
+    let doc = Document {
+        title: "GPU Programming Model vs. Vendor Compatibility Overview",
+        combinations: matrix.len(),
+        unique_descriptions: matrix.unique_description_count(),
+        cells: matrix.cells().collect(),
+    };
+    serde_json::to_string_pretty(&doc).expect("matrix serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_back_as_json() {
+        let m = CompatMatrix::paper();
+        let s = render(&m);
+        let v: serde_json::Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(v["combinations"], 51);
+        assert_eq!(v["unique_descriptions"], 44);
+        assert_eq!(v["cells"].as_array().unwrap().len(), 51);
+    }
+
+    #[test]
+    fn cells_carry_routes_and_references() {
+        let m = CompatMatrix::paper();
+        let v: serde_json::Value = serde_json::from_str(&render(&m)).unwrap();
+        let cells = v["cells"].as_array().unwrap();
+        let nvidia_cuda = cells
+            .iter()
+            .find(|c| c["id"]["vendor"] == "Nvidia" && c["id"]["model"] == "Cuda" && c["id"]["language"] == "Cpp")
+            .unwrap();
+        assert_eq!(nvidia_cuda["support"], "Full");
+        assert!(!nvidia_cuda["routes"].as_array().unwrap().is_empty());
+        assert!(!nvidia_cuda["references"].as_array().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Figure 1 as a LaTeX tabular — the paper artifact's YAML→TeX conversion.
+
+use crate::matrix::CompatMatrix;
+use crate::support::Support;
+use crate::taxonomy::{Model, Vendor};
+
+/// LaTeX command name used for a category symbol (the real paper defines
+/// such macros for its glyphs).
+fn macro_for(s: Support) -> &'static str {
+    match s {
+        Support::Full => "\\supfull",
+        Support::IndirectGood => "\\supindirect",
+        Support::Some => "\\supsome",
+        Support::NonVendorGood => "\\supnonvendor",
+        Support::Limited => "\\suplimited",
+        Support::None => "\\supnone",
+    }
+}
+
+/// Render the matrix as a LaTeX `tabular` environment with a macro
+/// preamble.
+pub fn render(matrix: &CompatMatrix) -> String {
+    let mut out = String::new();
+    out.push_str("% Auto-generated compatibility table\n");
+    for s in Support::ALL {
+        out.push_str(&format!(
+            "\\newcommand{{{}}}{{{}}} % {}\n",
+            macro_for(s),
+            s.symbol(),
+            s.category_name()
+        ));
+    }
+    let ncols = Model::ALL.iter().map(|m| m.languages().len()).sum::<usize>();
+    out.push_str(&format!("\\begin{{tabular}}{{l{}}}\n", "c".repeat(ncols)));
+    out.push_str("\\toprule\n");
+
+    // Model header with multicolumn spans.
+    out.push_str("Vendor");
+    for m in Model::ALL {
+        out.push_str(&format!(
+            " & \\multicolumn{{{}}}{{c}}{{{}}}",
+            m.languages().len(),
+            tex_escape(m.name())
+        ));
+    }
+    out.push_str(" \\\\\n");
+
+    // Language header.
+    out.push(' ');
+    for m in Model::ALL {
+        for l in m.languages() {
+            out.push_str(&format!(" & {}", tex_escape(l.name())));
+        }
+    }
+    out.push_str(" \\\\\n\\midrule\n");
+
+    for v in Vendor::ALL {
+        out.push_str(v.name());
+        for m in Model::ALL {
+            for &l in m.languages() {
+                match matrix.cell(v, m, l) {
+                    Some(c) => {
+                        out.push_str(" & ");
+                        out.push_str(macro_for(c.support));
+                        if let Some(sec) = c.secondary_support {
+                            out.push_str(macro_for(sec));
+                        }
+                    }
+                    None => out.push_str(" & ?"),
+                }
+            }
+        }
+        out.push_str(" \\\\\n");
+    }
+    out.push_str("\\bottomrule\n\\end{tabular}\n");
+    out
+}
+
+fn tex_escape(s: &str) -> String {
+    s.replace('&', "\\&").replace('%', "\\%").replace('_', "\\_").replace('#', "\\#")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defines_six_macros() {
+        let m = CompatMatrix::paper();
+        let s = render(&m);
+        assert_eq!(s.matches("\\newcommand").count(), 6);
+    }
+
+    #[test]
+    fn tabular_is_balanced() {
+        let m = CompatMatrix::paper();
+        let s = render(&m);
+        assert_eq!(s.matches("\\begin{tabular}").count(), 1);
+        assert_eq!(s.matches("\\end{tabular}").count(), 1);
+        assert!(s.contains("\\toprule"));
+        assert!(s.contains("\\bottomrule"));
+    }
+
+    #[test]
+    fn data_rows_have_17_ampersands() {
+        let m = CompatMatrix::paper();
+        let s = render(&m);
+        for v in Vendor::ALL {
+            let row = s
+                .lines()
+                .find(|l| l.starts_with(v.name()))
+                .unwrap_or_else(|| panic!("no row for {v}"));
+            assert_eq!(row.matches(" & ").count(), 17, "{row}");
+        }
+    }
+
+    #[test]
+    fn escape_rules() {
+        assert_eq!(tex_escape("a&b_c%d#e"), "a\\&b\\_c\\%d\\#e");
+    }
+}

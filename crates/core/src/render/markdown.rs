@@ -1,0 +1,84 @@
+//! Figure 1 as a GitHub-flavored Markdown table (the paper's companion
+//! repository renders the same data into its README).
+
+use super::cell_symbols;
+use crate::matrix::CompatMatrix;
+use crate::taxonomy::{Model, Vendor};
+
+/// Render the matrix as a Markdown table with a legend.
+pub fn render(matrix: &CompatMatrix) -> String {
+    let mut out = String::new();
+
+    // Header: one column per model × language.
+    out.push_str("| Vendor ");
+    for m in Model::ALL {
+        for l in m.languages() {
+            if m.languages().len() == 1 {
+                out.push_str(&format!("| {} ", m.name()));
+            } else {
+                out.push_str(&format!("| {} {} ", m.name(), l.name()));
+            }
+        }
+    }
+    out.push_str("|\n");
+
+    let cols = 1 + Model::ALL.iter().map(|m| m.languages().len()).sum::<usize>();
+    out.push_str(&"|---".repeat(cols));
+    out.push_str("|\n");
+
+    for v in Vendor::ALL {
+        out.push_str(&format!("| **{}** ", v.name()));
+        for m in Model::ALL {
+            for &l in m.languages() {
+                let sym = matrix
+                    .cell(v, m, l)
+                    .map(|c| cell_symbols(c, true))
+                    .unwrap_or_else(|| "?".to_owned());
+                out.push_str(&format!("| {sym} "));
+            }
+        }
+        out.push_str("|\n");
+    }
+
+    out.push('\n');
+    out.push_str("Legend:\n\n");
+    for s in crate::support::Support::ALL {
+        out.push_str(&format!("- {} — {}\n", s.symbol(), s.category_name()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_three_data_rows_and_18_columns() {
+        let m = CompatMatrix::paper();
+        let s = render(&m);
+        let rows: Vec<&str> = s.lines().filter(|l| l.starts_with("| **")).collect();
+        assert_eq!(rows.len(), 3);
+        for row in rows {
+            // 18 columns → 19 pipes.
+            assert_eq!(row.matches('|').count(), 19, "{row}");
+        }
+    }
+
+    #[test]
+    fn header_mentions_languages() {
+        let m = CompatMatrix::paper();
+        let s = render(&m);
+        let header = s.lines().next().unwrap();
+        assert!(header.contains("CUDA C++"));
+        assert!(header.contains("CUDA Fortran"));
+        assert!(header.contains("etc (Python)"));
+    }
+
+    #[test]
+    fn legend_present() {
+        let m = CompatMatrix::paper();
+        let s = render(&m);
+        assert!(s.contains("Legend:"));
+        assert!(s.contains("full support"));
+    }
+}

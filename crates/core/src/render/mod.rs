@@ -1,0 +1,69 @@
+//! Renderers regenerating Figure 1 in several formats.
+//!
+//! The paper's artifact keeps the source data in YAML and converts it to
+//! HTML and TeX; this module mirrors that pipeline with ASCII/Unicode
+//! (for terminals), Markdown, HTML, LaTeX, and JSON backends, all fed from
+//! the same [`crate::matrix::CompatMatrix`].
+
+pub mod ascii;
+pub mod descriptions;
+pub mod html;
+pub mod json;
+pub mod latex;
+pub mod markdown;
+
+use crate::cell::Cell;
+
+/// The symbol text for a cell as used by all text renderers — the primary
+/// symbol, plus the secondary one for double-rated cells.
+pub(crate) fn cell_symbols(cell: &Cell, unicode: bool) -> String {
+    let one = |s: crate::support::Support| {
+        if unicode {
+            s.symbol().to_owned()
+        } else {
+            s.ascii_symbol().to_owned()
+        }
+    };
+    match cell.secondary_support {
+        Some(sec) => format!("{}{}", one(cell.support), one(sec)),
+        None => one(cell.support),
+    }
+}
+
+/// A legend describing the six categories, shared by the text renderers.
+pub fn legend(unicode: bool) -> String {
+    use crate::support::Support;
+    let mut out = String::new();
+    for s in Support::ALL {
+        let sym = if unicode { s.symbol() } else { s.ascii_symbol() };
+        out.push_str(&format!("  {sym}  {}\n", s.category_name()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::CompatMatrix;
+    use crate::taxonomy::{Language, Model, Vendor};
+
+    #[test]
+    fn legend_lists_all_six_categories() {
+        let l = legend(true);
+        assert_eq!(l.lines().count(), 6);
+        assert!(l.contains("full support"));
+        assert!(l.contains("no support"));
+        let l = legend(false);
+        assert_eq!(l.lines().count(), 6);
+    }
+
+    #[test]
+    fn double_rated_cells_get_two_symbols() {
+        let m = CompatMatrix::paper();
+        let c = m.cell(Vendor::Nvidia, Model::Python, Language::Python).unwrap();
+        assert_eq!(cell_symbols(c, true).chars().count(), 2);
+        assert_eq!(cell_symbols(c, false).chars().count(), 2);
+        let c = m.cell(Vendor::Amd, Model::Hip, Language::Cpp).unwrap();
+        assert_eq!(cell_symbols(c, true).chars().count(), 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Concrete implementation *routes*: the toolchains through which a
+//! programming model reaches a device.
+//!
+//! §1 counts "more than 50 routes for programming a GPU device ... when no
+//! further limitations (pre-)exist"; §4's descriptions enumerate them per
+//! cell (e.g. SYCL reaches NVIDIA GPUs through DPC++, Open SYCL, or — until
+//! 09/2023 — ComputeCpp). A [`Route`] captures one such path together with
+//! the evidence the §3 rating method needs: provider, directness,
+//! completeness, maintenance, and documentation.
+
+use crate::provider::{Maintenance, Provider};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How directly the route maps the model onto the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Directness {
+    /// A first-class implementation (nvcc for CUDA on NVIDIA, DPC++ for
+    /// SYCL on Intel).
+    Direct,
+    /// The model is (semi-)automatically mapped/translated onto a native
+    /// model or runtime (HIP's CUDA backend; Clacc translating OpenACC to
+    /// OpenMP; HIPIFY/SYCLomatic source translation).
+    Translated,
+    /// A binding/compatibility layer exposes an existing implementation to
+    /// another language (hipfort, Kokkos' FLCL).
+    Binding,
+}
+
+impl Directness {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Directness::Direct => "direct",
+            Directness::Translated => "translated",
+            Directness::Binding => "binding",
+        }
+    }
+}
+
+impl fmt::Display for Directness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How much of the model's surface the route covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Completeness {
+    /// Nearly all of the model is available (CUDA on NVIDIA; OpenACC in
+    /// NVHPC, which "conforms to version 2.7 of the specification").
+    Complete,
+    /// The majority of applications work, specific features missing
+    /// (OpenMP offload in NVHPC — "only a subset of the entire OpenMP 5.0
+    /// standard"; AOMP — "most OpenMP 4.5 and some OpenMP 5.0").
+    Majority,
+    /// Coverage "driven by use-case requirements" or otherwise very
+    /// incomplete (GPUFORT).
+    Minimal,
+}
+
+impl Completeness {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Completeness::Complete => "complete",
+            Completeness::Majority => "majority",
+            Completeness::Minimal => "minimal",
+        }
+    }
+}
+
+impl fmt::Display for Completeness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A broad classification of the software artifact realising the route,
+/// used by the simulator-side toolchain registry to pick an executable path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouteKind {
+    /// A compiler or compiler driver (nvcc, hipcc, icpx, gcc, clang).
+    Compiler,
+    /// A library implementing the model atop another (Kokkos, Alpaka,
+    /// oneDPL, CuPy).
+    Library,
+    /// A source-to-source translator run ahead of compilation (HIPIFY,
+    /// SYCLomatic, GPUFORT, Intel's OpenACC→OpenMP migration tool).
+    SourceTranslator,
+    /// A pre-made language binding (hipfort, FLCL, dpctl).
+    LanguageBinding,
+}
+
+impl RouteKind {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RouteKind::Compiler => "compiler",
+            RouteKind::Library => "library",
+            RouteKind::SourceTranslator => "source translator",
+            RouteKind::LanguageBinding => "language binding",
+        }
+    }
+}
+
+/// One concrete toolchain path from model+language to device.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Route {
+    /// Short name of the toolchain ("NVIDIA HPC SDK (nvfortran)",
+    /// "Open SYCL", "GCC ≥5.0", "chipStar").
+    pub toolchain: &'static str,
+    /// What kind of artifact the toolchain is.
+    pub kind: RouteKind,
+    /// Who provides it.
+    pub provider: Provider,
+    /// How direct the mapping is.
+    pub directness: Directness,
+    /// How much of the model's surface it covers.
+    pub completeness: Completeness,
+    /// How alive it is.
+    pub maintenance: Maintenance,
+    /// Whether the provider documents the route properly (§5 notes that at
+    /// times "proper documentation sometimes does not exist (yet)").
+    pub documented: bool,
+    /// Free-text notes taken from the paper's description (compiler flags,
+    /// environment variables, caveats).
+    pub notes: &'static str,
+}
+
+impl Route {
+    /// A builder-style constructor with the common defaults
+    /// (documented, active, no notes).
+    pub fn new(
+        toolchain: &'static str,
+        kind: RouteKind,
+        provider: Provider,
+        directness: Directness,
+        completeness: Completeness,
+    ) -> Self {
+        Self {
+            toolchain,
+            kind,
+            provider,
+            directness,
+            completeness,
+            maintenance: Maintenance::Active,
+            documented: true,
+            notes: "",
+        }
+    }
+
+    /// Override the maintenance status.
+    pub fn maintenance(mut self, m: Maintenance) -> Self {
+        self.maintenance = m;
+        self
+    }
+
+    /// Mark the route as undocumented (or under-documented).
+    pub fn undocumented(mut self) -> Self {
+        self.documented = false;
+        self
+    }
+
+    /// Attach free-text notes (flags, env vars, caveats).
+    pub fn notes(mut self, notes: &'static str) -> Self {
+        self.notes = notes;
+        self
+    }
+
+    /// Is the route practically usable today (maintained and at least
+    /// majority-complete)?
+    pub fn is_viable(&self) -> bool {
+        self.maintenance.is_viable() && self.completeness != Completeness::Minimal
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} | {} | {} | {} | {}]",
+            self.toolchain,
+            self.kind.label(),
+            self.provider,
+            self.directness,
+            self.completeness,
+            self.maintenance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::Vendor;
+
+    fn sample() -> Route {
+        Route::new(
+            "Open SYCL",
+            RouteKind::Compiler,
+            Provider::Community("Open SYCL"),
+            Directness::Direct,
+            Completeness::Complete,
+        )
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let r = sample();
+        assert_eq!(r.maintenance, Maintenance::Active);
+        assert!(r.documented);
+        assert!(r.is_viable());
+    }
+
+    #[test]
+    fn stale_routes_not_viable() {
+        let r = sample().maintenance(Maintenance::Stale);
+        assert!(!r.is_viable());
+        let r = sample().maintenance(Maintenance::Unmaintained);
+        assert!(!r.is_viable());
+    }
+
+    #[test]
+    fn minimal_coverage_not_viable() {
+        let mut r = sample();
+        r.completeness = Completeness::Minimal;
+        assert!(!r.is_viable());
+    }
+
+    #[test]
+    fn experimental_routes_are_viable_but_flagged() {
+        let r = sample().maintenance(Maintenance::Experimental);
+        assert!(r.is_viable());
+        assert_ne!(r.maintenance, Maintenance::Active);
+    }
+
+    #[test]
+    fn display_contains_key_facts() {
+        let r = Route::new(
+            "HIP (CUDA backend)",
+            RouteKind::Compiler,
+            Provider::OtherVendor(Vendor::Amd),
+            Directness::Translated,
+            Completeness::Complete,
+        )
+        .notes("HIP_PLATFORM=nvidia");
+        let s = r.to_string();
+        assert!(s.contains("HIP (CUDA backend)"));
+        assert!(s.contains("translated"));
+        assert!(s.contains("AMD"));
+    }
+
+    #[test]
+    fn serde_roundtrip_loses_nothing() {
+        let r = sample().notes("-fsycl").maintenance(Maintenance::Experimental);
+        let j = serde_json::to_string(&r).unwrap();
+        // &'static str fields deserialize via owned leak-free path only for
+        // borrowed data; verify serialization shape instead.
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["toolchain"], "Open SYCL");
+        assert_eq!(v["maintenance"], "Experimental");
+        assert_eq!(v["notes"], "-fsycl");
+    }
+}

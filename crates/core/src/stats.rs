@@ -1,0 +1,223 @@
+//! Aggregate statistics reproducing the paper's headline numbers (§1, §3)
+//! and §6 conclusions as machine-checkable queries.
+
+use crate::matrix::CompatMatrix;
+use crate::support::Support;
+use crate::taxonomy::{Language, Model, Vendor};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// All headline numbers of the paper, computed from a matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct Stats {
+    /// §3: "In total, 51 possible combinations are explored …"
+    pub combinations: usize,
+    /// §3: "… and explained in 44 unique descriptions."
+    pub unique_descriptions: usize,
+    /// §1: "more than 50 routes for programming a GPU device are identified".
+    pub routes: usize,
+    /// Per-category cell counts over primary ratings.
+    pub by_category: BTreeMap<Support, usize>,
+    /// Per-vendor comprehensiveness score (sum of cell scores, best rating).
+    pub vendor_scores: BTreeMap<Vendor, u32>,
+    /// Per-language average score (the §6 C++ vs Fortran gap).
+    pub language_scores: BTreeMap<Language, f64>,
+}
+
+/// Compute all statistics for a matrix.
+pub fn stats(matrix: &CompatMatrix) -> Stats {
+    let mut by_category: BTreeMap<Support, usize> = BTreeMap::new();
+    let mut vendor_scores: BTreeMap<Vendor, u32> = BTreeMap::new();
+    let mut lang_sum: BTreeMap<Language, (u32, u32)> = BTreeMap::new();
+    for cell in matrix.cells() {
+        *by_category.entry(cell.support).or_default() += 1;
+        *vendor_scores.entry(cell.id.vendor).or_default() += cell.best_support().score();
+        let e = lang_sum.entry(cell.id.language).or_default();
+        e.0 += cell.best_support().score();
+        e.1 += 1;
+    }
+    Stats {
+        combinations: matrix.len(),
+        unique_descriptions: matrix.unique_description_count(),
+        routes: matrix.route_count(),
+        by_category,
+        vendor_scores,
+        language_scores: lang_sum
+            .into_iter()
+            .map(|(l, (sum, n))| (l, f64::from(sum) / f64::from(n)))
+            .collect(),
+    }
+}
+
+/// The vendor with the most comprehensive overall support
+/// (§6: "The support for NVIDIA GPUs can be considered most comprehensive").
+pub fn most_comprehensive_vendor(matrix: &CompatMatrix) -> Vendor {
+    let s = stats(matrix);
+    *s.vendor_scores
+        .iter()
+        .max_by_key(|&(_, score)| *score)
+        .expect("matrix is non-empty")
+        .0
+}
+
+/// Models whose best support reaches at least `bar` on every vendor for the
+/// given language.
+pub fn models_supported_everywhere(
+    matrix: &CompatMatrix,
+    language: Language,
+    bar: Support,
+) -> Vec<Model> {
+    Model::ALL
+        .into_iter()
+        .filter(|m| m.languages().contains(&language))
+        .filter(|&m| {
+            Vendor::ALL.iter().all(|&v| {
+                matrix
+                    .cell(v, m, language)
+                    .map(|c| c.best_support() <= bar)
+                    .unwrap_or(false)
+            })
+        })
+        .collect()
+}
+
+/// §6: "The only natively supported programming model on all three
+/// platforms [for Fortran] is OpenMP" — models with *vendor-tier* support
+/// (full / indirect good / some) on every vendor for a language.
+pub fn models_vendor_supported_everywhere(matrix: &CompatMatrix, language: Language) -> Vec<Model> {
+    Model::ALL
+        .into_iter()
+        .filter(|m| m.languages().contains(&language))
+        .filter(|&m| {
+            Vendor::ALL.iter().all(|&v| {
+                matrix
+                    .cell(v, m, language)
+                    .map(|c| c.support.is_vendor_tier() || c.secondary_support.is_some_and(|s| s.is_vendor_tier()))
+                    .unwrap_or(false)
+            })
+        })
+        .collect()
+}
+
+/// The §6 C++ vs Fortran observation: average cell score per language.
+/// Returns (cpp_avg, fortran_avg).
+pub fn language_gap(matrix: &CompatMatrix) -> (f64, f64) {
+    let s = stats(matrix);
+    (
+        s.language_scores.get(&Language::Cpp).copied().unwrap_or(0.0),
+        s.language_scores.get(&Language::Fortran).copied().unwrap_or(0.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_numbers() {
+        let m = CompatMatrix::paper();
+        let s = stats(&m);
+        assert_eq!(s.combinations, 51);
+        assert_eq!(s.unique_descriptions, 44);
+        assert!(s.routes > 50, "routes = {}", s.routes);
+    }
+
+    #[test]
+    fn nvidia_most_comprehensive() {
+        // §6 conclusion.
+        let m = CompatMatrix::paper();
+        assert_eq!(most_comprehensive_vendor(&m), Vendor::Nvidia);
+    }
+
+    #[test]
+    fn vendor_score_ordering_matches_field_history() {
+        // §6 claims only that NVIDIA's support is the most comprehensive,
+        // "founded in their long-time prevalence in the field" — it makes
+        // no AMD-vs-Intel claim (our encoding has them within one point).
+        let m = CompatMatrix::paper();
+        let s = stats(&m);
+        assert!(s.vendor_scores[&Vendor::Nvidia] > s.vendor_scores[&Vendor::Amd]);
+        assert!(s.vendor_scores[&Vendor::Nvidia] > s.vendor_scores[&Vendor::Intel]);
+        let gap = s.vendor_scores[&Vendor::Amd].abs_diff(s.vendor_scores[&Vendor::Intel]);
+        assert!(gap <= 3, "AMD/Intel unexpectedly far apart: {gap}");
+    }
+
+    #[test]
+    fn openmp_is_the_only_fortran_model_vendor_supported_everywhere() {
+        // §6: "While the C++ support appears to be well on the way to good
+        // compatibility and portability, the situation looks severely
+        // different for Fortran. The only natively supported programming
+        // model on all three platforms is OpenMP."
+        let m = CompatMatrix::paper();
+        let models = models_vendor_supported_everywhere(&m, Language::Fortran);
+        assert_eq!(models, vec![Model::OpenMp]);
+    }
+
+    #[test]
+    fn sycl_and_openmp_reach_all_three_platforms_in_cpp() {
+        // §6: SYCL "supports all three GPU platform[s]"; OpenMP "is
+        // supported on all three platforms".
+        let m = CompatMatrix::paper();
+        let everywhere = models_supported_everywhere(&m, Language::Cpp, Support::NonVendorGood);
+        assert!(everywhere.contains(&Model::Sycl));
+        assert!(everywhere.contains(&Model::OpenMp));
+        // OpenACC does not reach Intel (§6: "support for Intel GPUs does
+        // not exist").
+        assert!(!everywhere.contains(&Model::OpenAcc));
+    }
+
+    #[test]
+    fn kokkos_and_alpaka_reach_all_platforms_at_some_level() {
+        // §6: "Kokkos and Alpaka both provide higher-level abstractions and
+        // support all three platform[s]" — on Intel only via experimental
+        // backends, so the bar here is Limited, not NonVendorGood.
+        let m = CompatMatrix::paper();
+        let everywhere = models_supported_everywhere(&m, Language::Cpp, Support::Limited);
+        assert!(everywhere.contains(&Model::Kokkos));
+        assert!(everywhere.contains(&Model::Alpaka));
+    }
+
+    #[test]
+    fn python_well_supported_on_all_platforms() {
+        // §6: "Python … is also well-supported by all three platforms" —
+        // with AMD's support being third-party/limited, the universal bar
+        // is Limited.
+        let m = CompatMatrix::paper();
+        let everywhere = models_supported_everywhere(&m, Language::Python, Support::Limited);
+        assert_eq!(everywhere, vec![Model::Python]);
+    }
+
+    #[test]
+    fn cpp_beats_fortran_on_average() {
+        // §6: "the situation looks severely different for Fortran".
+        let m = CompatMatrix::paper();
+        let (cpp, fortran) = language_gap(&m);
+        assert!(
+            cpp > fortran + 1.0,
+            "expected a clear gap, got C++ {cpp:.2} vs Fortran {fortran:.2}"
+        );
+    }
+
+    #[test]
+    fn category_counts_cover_all_cells() {
+        let m = CompatMatrix::paper();
+        let s = stats(&m);
+        assert_eq!(s.by_category.values().sum::<usize>(), 51);
+        // Every category from the §3 list is actually used somewhere.
+        for cat in Support::ALL {
+            assert!(
+                s.by_category.get(&cat).copied().unwrap_or(0) > 0,
+                "category {cat} unused — the paper's legend would be dead weight"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_serialize_to_json() {
+        let m = CompatMatrix::paper();
+        let s = stats(&m);
+        let j = serde_json::to_string_pretty(&s).unwrap();
+        assert!(j.contains("combinations"));
+        assert!(j.contains("51"));
+    }
+}

@@ -1,0 +1,211 @@
+//! The six support categories of §3.
+//!
+//! The paper rates every vendor × model × language combination into one of
+//! six categories, "reaching from ● (full support) to ✕ (no support), with
+//! various intermediate steps". The ordering here is *support quality*
+//! descending — [`Support::Full`] is the best, [`Support::None`] the worst —
+//! so `a < b` means "a is better supported than b" under the derived `Ord`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the paper's six support categories (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Support {
+    /// *Full support*: the vendor provides a complete implementation,
+    /// extensive documentation, regular updates, and error support.
+    Full,
+    /// *Indirect good support*: indirectly but comprehensively supported by
+    /// the device vendor, usually by (semi-)automatically mapping or
+    /// translating a foreign model to a native one.
+    IndirectGood,
+    /// *Some support*: supported by the vendor, but not (yet) comprehensive;
+    /// usable for the majority of applications, some features missing.
+    Some,
+    /// *Non-vendor good support*: comprehensive support, but not by the
+    /// device vendor — usually community-driven higher-level models using
+    /// vendor-native infrastructure underneath.
+    NonVendorGood,
+    /// *Limited support*: very limited, possibly indirect, requiring
+    /// extensive user effort, and/or very incomplete.
+    Limited,
+    /// *No support*: no direct support; only heroics remain (custom headers,
+    /// direct library linking, `ISO_C_BINDING` in Fortran).
+    None,
+}
+
+impl Support {
+    /// All categories, best to worst.
+    pub const ALL: [Support; 6] = [
+        Support::Full,
+        Support::IndirectGood,
+        Support::Some,
+        Support::NonVendorGood,
+        Support::Limited,
+        Support::None,
+    ];
+
+    /// The category name as printed in the paper's §3 list.
+    pub fn category_name(self) -> &'static str {
+        match self {
+            Support::Full => "full support",
+            Support::IndirectGood => "indirect good support",
+            Support::Some => "some support",
+            Support::NonVendorGood => "non-vendor good support",
+            Support::Limited => "limited support",
+            Support::None => "no support",
+        }
+    }
+
+    /// The Unicode symbol used for the category in our rendering of
+    /// Figure 1. The paper uses graphical glyphs; we use close textual
+    /// equivalents so the table renders in a terminal.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Support::Full => "●",
+            Support::IndirectGood => "◐",
+            Support::Some => "◒",
+            Support::NonVendorGood => "◍",
+            Support::Limited => "◌",
+            Support::None => "✕",
+        }
+    }
+
+    /// A pure-ASCII fallback symbol (for environments without Unicode).
+    pub fn ascii_symbol(self) -> &'static str {
+        match self {
+            Support::Full => "#",
+            Support::IndirectGood => "D",
+            Support::Some => "o",
+            Support::NonVendorGood => "C",
+            Support::Limited => ".",
+            Support::None => "x",
+        }
+    }
+
+    /// A numeric score for aggregate comparisons (5 = full ... 0 = none).
+    ///
+    /// Used by [`crate::stats`] to reproduce the paper's §6 conclusion that
+    /// "support for NVIDIA GPUs can be considered most comprehensive".
+    pub fn score(self) -> u32 {
+        match self {
+            Support::Full => 5,
+            Support::IndirectGood => 4,
+            Support::Some => 3,
+            Support::NonVendorGood => 3,
+            Support::Limited => 1,
+            Support::None => 0,
+        }
+    }
+
+    /// Does this category imply the combination is practically usable for
+    /// the majority of applications?
+    pub fn is_usable(self) -> bool {
+        !matches!(self, Support::Limited | Support::None)
+    }
+
+    /// Is the support (at whatever level) provided by the device vendor?
+    ///
+    /// Per §3, `Full`, `IndirectGood` and `Some` are vendor-provided tiers;
+    /// `NonVendorGood` is explicitly not; `Limited`/`None` make no claim,
+    /// so this returns `false` for them.
+    pub fn is_vendor_tier(self) -> bool {
+        matches!(self, Support::Full | Support::IndirectGood | Support::Some)
+    }
+}
+
+impl fmt::Display for Support {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.category_name())
+    }
+}
+
+impl FromStr for Support {
+    type Err = crate::taxonomy::ParseAxisError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.to_ascii_lowercase().replace([' ', '_'], "-");
+        match norm.as_str() {
+            "full" | "full-support" => Ok(Support::Full),
+            "indirect" | "indirect-good" | "indirect-good-support" => Ok(Support::IndirectGood),
+            "some" | "some-support" => Ok(Support::Some),
+            "non-vendor" | "non-vendor-good" | "non-vendor-good-support" => {
+                Ok(Support::NonVendorGood)
+            }
+            "limited" | "limited-support" => Ok(Support::Limited),
+            "none" | "no" | "no-support" => Ok(Support::None),
+            _ => Err(crate::taxonomy::ParseAxisError::new("support category", s)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_categories() {
+        // §3 introduces exactly six categories.
+        assert_eq!(Support::ALL.len(), 6);
+    }
+
+    #[test]
+    fn ordering_best_to_worst() {
+        assert!(Support::Full < Support::IndirectGood);
+        assert!(Support::IndirectGood < Support::Some);
+        assert!(Support::Some < Support::NonVendorGood);
+        assert!(Support::NonVendorGood < Support::Limited);
+        assert!(Support::Limited < Support::None);
+    }
+
+    #[test]
+    fn scores_monotone_with_usability() {
+        assert_eq!(Support::Full.score(), 5);
+        assert_eq!(Support::None.score(), 0);
+        for s in Support::ALL {
+            if s.is_usable() {
+                assert!(s.score() >= 3, "{s} usable but score {}", s.score());
+            } else {
+                assert!(s.score() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn symbols_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in Support::ALL {
+            assert!(seen.insert(s.symbol()), "duplicate symbol for {s}");
+        }
+        let mut seen = std::collections::HashSet::new();
+        for s in Support::ALL {
+            assert!(seen.insert(s.ascii_symbol()), "duplicate ascii symbol for {s}");
+        }
+    }
+
+    #[test]
+    fn vendor_tiers() {
+        assert!(Support::Full.is_vendor_tier());
+        assert!(Support::IndirectGood.is_vendor_tier());
+        assert!(Support::Some.is_vendor_tier());
+        assert!(!Support::NonVendorGood.is_vendor_tier());
+        assert!(!Support::Limited.is_vendor_tier());
+        assert!(!Support::None.is_vendor_tier());
+    }
+
+    #[test]
+    fn parse_category_names() {
+        for s in Support::ALL {
+            assert_eq!(s.category_name().parse::<Support>().unwrap(), s);
+        }
+        assert!("superb".parse::<Support>().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for s in Support::ALL {
+            let j = serde_json::to_string(&s).unwrap();
+            assert_eq!(serde_json::from_str::<Support>(&j).unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! The axes of the compatibility matrix: GPU vendors, programming models,
+//! and programming languages.
+//!
+//! The paper (§3) matches three dedicated-HPC-GPU vendors against nine
+//! programming-model columns; each model column is split into C++ and
+//! Fortran sub-columns, except the summary *Python* column which stands for
+//! the Python ecosystem as a whole.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A vendor of dedicated HPC GPUs.
+///
+/// Ordered as the paper's Figure 1 rows (alphabetically: AMD, Intel, NVIDIA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    /// Advanced Micro Devices — Radeon Instinct / Instinct MI series
+    /// (Frontier: 37 888 × MI250X; El Capitan: MI300A).
+    Amd,
+    /// Intel — Data Center GPU Max series, codename Ponte Vecchio
+    /// (Aurora: 63 744 × PVC).
+    Intel,
+    /// NVIDIA — A100/H100 class devices; the longest-established HPC GPU
+    /// vendor and the reference platform for CUDA.
+    Nvidia,
+}
+
+impl Vendor {
+    /// All vendors in Figure 1 row order.
+    pub const ALL: [Vendor; 3] = [Vendor::Amd, Vendor::Intel, Vendor::Nvidia];
+
+    /// The vendor's *native* programming model (§1): CUDA for NVIDIA, HIP
+    /// for AMD, SYCL for Intel.
+    pub fn native_model(self) -> Model {
+        match self {
+            Vendor::Amd => Model::Hip,
+            Vendor::Intel => Model::Sycl,
+            Vendor::Nvidia => Model::Cuda,
+        }
+    }
+
+    /// Human-readable name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vendor::Amd => "AMD",
+            Vendor::Intel => "Intel",
+            Vendor::Nvidia => "NVIDIA",
+        }
+    }
+
+    /// The flagship supercomputer installation the paper associates with the
+    /// vendor's HPC GPUs.
+    pub fn flagship_system(self) -> &'static str {
+        match self {
+            Vendor::Amd => "Frontier",
+            Vendor::Intel => "Aurora",
+            Vendor::Nvidia => "JUPITER",
+        }
+    }
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Vendor {
+    type Err = ParseAxisError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "amd" => Ok(Vendor::Amd),
+            "intel" => Ok(Vendor::Intel),
+            "nvidia" => Ok(Vendor::Nvidia),
+            _ => Err(ParseAxisError::new("vendor", s)),
+        }
+    }
+}
+
+/// A GPU programming model surveyed by the paper.
+///
+/// Ordered as the paper's Figure 1 columns: the three native models first,
+/// then the two directive-based models, standard-language parallelism, the
+/// two community portability layers, and finally the Python ecosystem
+/// summary column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Model {
+    /// NVIDIA's native model; the oldest and most famous GPU programming
+    /// model (CUDA Toolkit since 2007).
+    Cuda,
+    /// AMD's native model, deliberately designed to mimic CUDA
+    /// (`hipMalloc()` for `cudaMalloc()`), part of ROCm.
+    Hip,
+    /// The Khronos C++17-based standard, selected by Intel as the prime
+    /// model for their GPUs (implemented by DPC++ within oneAPI).
+    Sycl,
+    /// Directive-based model, historically NVIDIA-centric.
+    OpenAcc,
+    /// Directive-based model with offloading since 4.0; the only model the
+    /// paper finds natively supported on all three platforms for Fortran.
+    OpenMp,
+    /// Standard-language parallelism: C++ parallel STL / Fortran
+    /// `do concurrent`.
+    Standard,
+    /// Sandia's C++ performance-portability ecosystem.
+    Kokkos,
+    /// HZDR's C++ abstraction library for performance portability.
+    Alpaka,
+    /// The "etc" column: GPU access from Python (CUDA Python, CuPy, Numba,
+    /// dpctl/dpnp, PyHIP, ...).
+    Python,
+}
+
+impl Model {
+    /// All model columns in Figure 1 column order.
+    pub const ALL: [Model; 9] = [
+        Model::Cuda,
+        Model::Hip,
+        Model::Sycl,
+        Model::OpenAcc,
+        Model::OpenMp,
+        Model::Standard,
+        Model::Kokkos,
+        Model::Alpaka,
+        Model::Python,
+    ];
+
+    /// Name as printed in the Figure 1 header.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::Cuda => "CUDA",
+            Model::Hip => "HIP",
+            Model::Sycl => "SYCL",
+            Model::OpenAcc => "OpenACC",
+            Model::OpenMp => "OpenMP",
+            Model::Standard => "Standard",
+            Model::Kokkos => "Kokkos",
+            Model::Alpaka => "ALPAKA",
+            Model::Python => "etc (Python)",
+        }
+    }
+
+    /// The languages for which Figure 1 has a sub-column under this model.
+    ///
+    /// Eight models split into C++ and Fortran; the Python summary column is
+    /// its own language. This is exactly how the paper reaches
+    /// 3 × (8 × 2 + 1) = 51 combinations.
+    pub fn languages(self) -> &'static [Language] {
+        match self {
+            Model::Python => &[Language::Python],
+            _ => &[Language::Cpp, Language::Fortran],
+        }
+    }
+
+    /// Is this one of the three vendor-native models (§1)?
+    pub fn is_native(self) -> bool {
+        matches!(self, Model::Cuda | Model::Hip | Model::Sycl)
+    }
+
+    /// Is this one of the two major directive-based models?
+    pub fn is_directive_based(self) -> bool {
+        matches!(self, Model::OpenAcc | Model::OpenMp)
+    }
+
+    /// Is this a community-driven higher-level portability layer?
+    pub fn is_portability_layer(self) -> bool {
+        matches!(self, Model::Kokkos | Model::Alpaka)
+    }
+
+    /// The vendor whose native model this is, if any.
+    pub fn native_vendor(self) -> Option<Vendor> {
+        match self {
+            Model::Cuda => Some(Vendor::Nvidia),
+            Model::Hip => Some(Vendor::Amd),
+            Model::Sycl => Some(Vendor::Intel),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Model {
+    type Err = ParseAxisError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "cuda" => Ok(Model::Cuda),
+            "hip" => Ok(Model::Hip),
+            "sycl" => Ok(Model::Sycl),
+            "openacc" | "acc" => Ok(Model::OpenAcc),
+            "openmp" | "omp" => Ok(Model::OpenMp),
+            "standard" | "std" | "stdpar" | "pstl" => Ok(Model::Standard),
+            "kokkos" => Ok(Model::Kokkos),
+            "alpaka" => Ok(Model::Alpaka),
+            "python" | "etc" | "etc (python)" => Ok(Model::Python),
+            _ => Err(ParseAxisError::new("model", s)),
+        }
+    }
+}
+
+/// A programming language surface considered by the paper.
+///
+/// The paper deliberately ignores language *versions* (§3): backward
+/// compatibility makes them a non-issue for scientists. C-style usage of
+/// C++-capable models is folded into `Cpp` for brevity, as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Language {
+    /// C++ (including C-style use of C++ models).
+    Cpp,
+    /// Fortran — still prevalent in many scientific applications.
+    Fortran,
+    /// Python — higher-level, interpreted; relies on C/C++ backends.
+    Python,
+}
+
+impl Language {
+    /// All languages.
+    pub const ALL: [Language; 3] = [Language::Cpp, Language::Fortran, Language::Python];
+
+    /// Name as printed in Figure 1 sub-column headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Language::Cpp => "C++",
+            Language::Fortran => "Fortran",
+            Language::Python => "Python",
+        }
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Language {
+    type Err = ParseAxisError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "c++" | "cpp" | "cxx" | "c" => Ok(Language::Cpp),
+            "fortran" | "f" | "f90" => Ok(Language::Fortran),
+            "python" | "py" => Ok(Language::Python),
+            _ => Err(ParseAxisError::new("language", s)),
+        }
+    }
+}
+
+/// Error returned when parsing a matrix axis label fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAxisError {
+    axis: &'static str,
+    input: String,
+}
+
+impl ParseAxisError {
+    pub(crate) fn new(axis: &'static str, input: &str) -> Self {
+        Self { axis, input: input.to_owned() }
+    }
+}
+
+impl fmt::Display for ParseAxisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown {}: {:?}", self.axis, self.input)
+    }
+}
+
+impl std::error::Error for ParseAxisError {}
+
+/// Iterate all 51 (vendor, model, language) combinations in Figure 1 order
+/// (vendor-major, then model column, then language sub-column).
+pub fn all_combinations() -> impl Iterator<Item = (Vendor, Model, Language)> {
+    Vendor::ALL.into_iter().flat_map(|v| {
+        Model::ALL
+            .into_iter()
+            .flat_map(move |m| m.languages().iter().map(move |&l| (v, m, l)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combination_count_is_51() {
+        // §3: "In total, 51 possible combinations are explored"
+        assert_eq!(all_combinations().count(), 51);
+    }
+
+    #[test]
+    fn seventeen_combinations_per_vendor() {
+        for v in Vendor::ALL {
+            assert_eq!(all_combinations().filter(|&(vv, _, _)| vv == v).count(), 17);
+        }
+    }
+
+    #[test]
+    fn native_models_match_vendors() {
+        assert_eq!(Vendor::Nvidia.native_model(), Model::Cuda);
+        assert_eq!(Vendor::Amd.native_model(), Model::Hip);
+        assert_eq!(Vendor::Intel.native_model(), Model::Sycl);
+        for v in Vendor::ALL {
+            assert_eq!(v.native_model().native_vendor(), Some(v));
+        }
+    }
+
+    #[test]
+    fn python_column_has_single_language() {
+        assert_eq!(Model::Python.languages(), &[Language::Python]);
+        for m in Model::ALL {
+            if m != Model::Python {
+                assert_eq!(m.languages(), &[Language::Cpp, Language::Fortran]);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for v in Vendor::ALL {
+            assert_eq!(v.name().parse::<Vendor>().unwrap(), v);
+        }
+        for m in Model::ALL {
+            assert_eq!(m.name().parse::<Model>().unwrap(), m);
+        }
+        for l in Language::ALL {
+            assert_eq!(l.name().parse::<Language>().unwrap(), l);
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        let err = "voodoo".parse::<Vendor>().unwrap_err();
+        assert!(err.to_string().contains("voodoo"));
+        assert!("".parse::<Model>().is_err());
+        assert!("klingon".parse::<Language>().is_err());
+    }
+
+    #[test]
+    fn model_classes_partition_sensibly() {
+        let native: Vec<_> = Model::ALL.into_iter().filter(|m| m.is_native()).collect();
+        assert_eq!(native, vec![Model::Cuda, Model::Hip, Model::Sycl]);
+        let directive: Vec<_> = Model::ALL.into_iter().filter(|m| m.is_directive_based()).collect();
+        assert_eq!(directive, vec![Model::OpenAcc, Model::OpenMp]);
+        let layers: Vec<_> = Model::ALL.into_iter().filter(|m| m.is_portability_layer()).collect();
+        assert_eq!(layers, vec![Model::Kokkos, Model::Alpaka]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for (v, m, l) in all_combinations() {
+            let j = serde_json::to_string(&(v, m, l)).unwrap();
+            let (v2, m2, l2): (Vendor, Model, Language) = serde_json::from_str(&j).unwrap();
+            assert_eq!((v, m, l), (v2, m2, l2));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Performance counters collected during a launch.
+//!
+//! Counters are accumulated per block into a shared [`Counters`] with
+//! relaxed atomics (blocks run concurrently on the pool); the final
+//! snapshot feeds the analytic timing model in [`crate::timing`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mutable, thread-shared counters for one launch.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Warp-instructions issued (one per instruction per warp, regardless
+    /// of how many lanes were active — SIMT issues the full warp).
+    pub warp_instructions: AtomicU64,
+    /// Of which arithmetic (FLOP-counting) issues.
+    pub warp_arith: AtomicU64,
+    /// Bytes read from global memory (active lanes × element size).
+    pub bytes_read: AtomicU64,
+    /// Bytes written to global memory.
+    pub bytes_written: AtomicU64,
+    /// Atomic operations performed (lane-level).
+    pub atomics: AtomicU64,
+    /// Barriers executed (block-level).
+    pub barriers: AtomicU64,
+    /// Blocks executed.
+    pub blocks: AtomicU64,
+    /// Warps executed (sum over blocks).
+    pub warps: AtomicU64,
+}
+
+impl Counters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` warp-instruction issues.
+    pub fn add_warp_instructions(&self, n: u64) {
+        self.warp_instructions.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Record `n` arithmetic warp issues.
+    pub fn add_warp_arith(&self, n: u64) {
+        self.warp_arith.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Record `n` bytes read from global memory.
+    pub fn add_bytes_read(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Record `n` bytes written to global memory.
+    pub fn add_bytes_written(&self, n: u64) {
+        self.bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Record `n` lane-level atomic operations.
+    pub fn add_atomics(&self, n: u64) {
+        self.atomics.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Record `n` block-level barriers.
+    pub fn add_barriers(&self, n: u64) {
+        self.barriers.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Record one completed block of `warps` warps.
+    pub fn add_block(&self, warps: u64) {
+        self.blocks.fetch_add(1, Ordering::Relaxed);
+        self.warps.fetch_add(warps, Ordering::Relaxed);
+    }
+
+    /// Immutable snapshot.
+    pub fn snapshot(&self) -> LaunchStats {
+        LaunchStats {
+            warp_instructions: self.warp_instructions.load(Ordering::Relaxed),
+            warp_arith: self.warp_arith.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            atomics: self.atomics.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            blocks: self.blocks.load(Ordering::Relaxed),
+            warps: self.warps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable launch statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Warp-instructions issued (whole warps, regardless of active lanes).
+    pub warp_instructions: u64,
+    /// Arithmetic (FLOP-class) warp issues.
+    pub warp_arith: u64,
+    /// Bytes read from global memory.
+    pub bytes_read: u64,
+    /// Bytes written to global memory.
+    pub bytes_written: u64,
+    /// Lane-level atomic operations.
+    pub atomics: u64,
+    /// Block-level barriers executed.
+    pub barriers: u64,
+    /// Blocks executed.
+    pub blocks: u64,
+    /// Warps executed (summed over blocks).
+    pub warps: u64,
+}
+
+impl LaunchStats {
+    /// Total global-memory traffic.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Merge two launches' statistics.
+    pub fn merged(self, other: LaunchStats) -> LaunchStats {
+        LaunchStats {
+            warp_instructions: self.warp_instructions + other.warp_instructions,
+            warp_arith: self.warp_arith + other.warp_arith,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+            atomics: self.atomics + other.atomics,
+            barriers: self.barriers + other.barriers,
+            blocks: self.blocks + other.blocks,
+            warps: self.warps + other.warps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_adds() {
+        let c = Counters::new();
+        c.add_warp_instructions(10);
+        c.add_warp_arith(4);
+        c.add_bytes_read(128);
+        c.add_bytes_written(64);
+        c.add_atomics(2);
+        c.add_barriers(1);
+        c.add_block(8);
+        let s = c.snapshot();
+        assert_eq!(s.warp_instructions, 10);
+        assert_eq!(s.warp_arith, 4);
+        assert_eq!(s.bytes_total(), 192);
+        assert_eq!(s.blocks, 1);
+        assert_eq!(s.warps, 8);
+    }
+
+    #[test]
+    fn merged_sums_fields() {
+        let a = LaunchStats { warp_instructions: 1, bytes_read: 2, blocks: 1, ..Default::default() };
+        let b = LaunchStats { warp_instructions: 3, bytes_written: 4, blocks: 2, ..Default::default() };
+        let m = a.merged(b);
+        assert_eq!(m.warp_instructions, 4);
+        assert_eq!(m.bytes_total(), 6);
+        assert_eq!(m.blocks, 3);
+    }
+
+    #[test]
+    fn concurrent_accumulation() {
+        use std::sync::Arc;
+        let c = Arc::new(Counters::new());
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.add_warp_instructions(1);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().warp_instructions, 4000);
+    }
+}

@@ -1,0 +1,577 @@
+//! Simulated GPU devices.
+//!
+//! A [`DeviceSpec`] carries the public-datasheet attributes of one device
+//! model; the three presets correspond to the flagship HPC parts of the
+//! paper's three vendors (§1): NVIDIA A100, one GCD of an AMD Instinct
+//! MI250X (Frontier), and one stack of an Intel Data Center GPU Max
+//! ("Ponte Vecchio", Aurora). Attribute values are public-spec numbers and
+//! serve as *calibration*, not measurement — see EXPERIMENTS.md.
+//!
+//! A [`Device`] owns global memory, a block-execution pool sized to the
+//! host, a module cache, and a modeled clock accumulating
+//! [`crate::timing::ModeledTime`].
+
+use crate::counters::{Counters, LaunchStats};
+use crate::exec::{run_block, BlockCtx};
+use crate::ir::{KernelIr, Value};
+use crate::isa::{disassemble, IsaKind, Module};
+use crate::mem::{DevicePtr, GlobalMemory};
+use crate::pool::ThreadPool;
+use crate::sched::SchedulePolicy;
+use crate::timing::{kernel_time, transfer_time, ModeledTime};
+use crate::{Result, SimError};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Static attributes of a device model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// The ISA this device executes — also identifies the vendor.
+    pub isa: IsaKind,
+    /// Streaming multiprocessors / compute units / Xe-cores.
+    pub compute_units: u32,
+    /// Warp (NVIDIA, 32), wavefront (AMD, 64), sub-group (Intel, 16) width.
+    pub warp_width: u32,
+    /// Boost clock in GHz.
+    pub clock_ghz: f64,
+    /// Warp-instructions each CU can issue per cycle (schedulers).
+    pub warp_issue_per_cycle: f64,
+    /// Peak DRAM bandwidth in decimal GB/s.
+    pub dram_gbps: f64,
+    /// Host interconnect bandwidth in GB/s.
+    pub pcie_gbps: f64,
+    /// Kernel launch latency in microseconds.
+    pub launch_latency_us: f64,
+    /// Host↔device transfer latency in microseconds.
+    pub transfer_latency_us: f64,
+    /// Device memory capacity in bytes (simulated allocations are smaller).
+    pub mem_bytes: u64,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Shared memory per block in bytes.
+    pub shared_per_block: u64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA A100-SXM4-80GB (public datasheet values).
+    pub fn nvidia_a100() -> Self {
+        Self {
+            name: "NVIDIA A100 (sim)",
+            isa: IsaKind::PtxLike,
+            compute_units: 108,
+            warp_width: 32,
+            clock_ghz: 1.41,
+            warp_issue_per_cycle: 4.0,
+            dram_gbps: 2039.0,
+            pcie_gbps: 32.0,
+            launch_latency_us: 5.0,
+            transfer_latency_us: 10.0,
+            mem_bytes: 256 << 20, // simulated capacity, not the real 80 GB
+            max_threads_per_block: 1024,
+            shared_per_block: 48 << 10,
+        }
+    }
+
+    /// One GCD of an AMD Instinct MI250X (Frontier's device).
+    pub fn amd_mi250x() -> Self {
+        Self {
+            name: "AMD Instinct MI250X GCD (sim)",
+            isa: IsaKind::GcnLike,
+            compute_units: 110,
+            warp_width: 64,
+            clock_ghz: 1.70,
+            warp_issue_per_cycle: 2.0,
+            dram_gbps: 1638.0,
+            pcie_gbps: 36.0,
+            launch_latency_us: 6.0,
+            transfer_latency_us: 10.0,
+            mem_bytes: 256 << 20,
+            max_threads_per_block: 1024,
+            shared_per_block: 64 << 10,
+        }
+    }
+
+    /// One stack of an Intel Data Center GPU Max 1550 ("Ponte Vecchio",
+    /// Aurora's device).
+    pub fn intel_pvc() -> Self {
+        Self {
+            name: "Intel Data Center GPU Max (sim)",
+            isa: IsaKind::SpirvLike,
+            compute_units: 128,
+            warp_width: 16,
+            clock_ghz: 1.60,
+            warp_issue_per_cycle: 4.0,
+            dram_gbps: 1638.0,
+            pcie_gbps: 32.0,
+            launch_latency_us: 8.0,
+            transfer_latency_us: 12.0,
+            mem_bytes: 256 << 20,
+            max_threads_per_block: 1024,
+            shared_per_block: 64 << 10,
+        }
+    }
+
+    /// All three presets.
+    pub fn presets() -> [DeviceSpec; 3] {
+        [Self::nvidia_a100(), Self::amd_mi250x(), Self::intel_pvc()]
+    }
+}
+
+/// A kernel argument at launch time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelArg {
+    /// A 32-bit float scalar.
+    F32(f32),
+    /// A 64-bit float scalar.
+    F64(f64),
+    /// A 32-bit integer scalar.
+    I32(i32),
+    /// A 64-bit integer scalar.
+    I64(i64),
+    /// A device pointer (passed to the kernel as its I64 byte address).
+    Ptr(DevicePtr),
+}
+
+impl KernelArg {
+    fn to_value(self) -> Value {
+        match self {
+            KernelArg::F32(x) => Value::F32(x),
+            KernelArg::F64(x) => Value::F64(x),
+            KernelArg::I32(x) => Value::I32(x),
+            KernelArg::I64(x) => Value::I64(x),
+            KernelArg::Ptr(p) => Value::I64(p.0 as i64),
+        }
+    }
+}
+
+/// A 1-D launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchConfig {
+    /// Number of blocks.
+    pub grid_dim: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+    /// Block scheduling policy.
+    pub policy: SchedulePolicy,
+    /// Route-efficiency factor (0, 1]; native toolchains use 1.0.
+    pub efficiency: f64,
+}
+
+impl LaunchConfig {
+    /// Grid sized to cover `n` elements with `block_dim` threads per block.
+    pub fn linear(n: u64, block_dim: u32) -> Self {
+        let bd = block_dim.max(1);
+        let grid = n.div_ceil(u64::from(bd)).max(1);
+        Self {
+            grid_dim: u32::try_from(grid).expect("grid too large"),
+            block_dim: bd,
+            policy: SchedulePolicy::default(),
+            efficiency: 1.0,
+        }
+    }
+
+    /// Override the route efficiency.
+    pub fn with_efficiency(mut self, efficiency: f64) -> Self {
+        self.efficiency = efficiency;
+        self
+    }
+
+    /// Override the scheduling policy.
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        u64::from(self.grid_dim) * u64::from(self.block_dim)
+    }
+}
+
+/// The result of one launch: counters plus modeled time.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchReport {
+    /// The performance counters the launch accumulated.
+    pub stats: LaunchStats,
+    /// The modeled execution time derived from those counters.
+    pub time: ModeledTime,
+}
+
+/// A simulated GPU device.
+pub struct Device {
+    spec: DeviceSpec,
+    memory: GlobalMemory,
+    pool: ThreadPool,
+    kernel_cache: Mutex<HashMap<u64, Arc<KernelIr>>>,
+    clock: Mutex<f64>,
+}
+
+impl Device {
+    /// Bring up a device of the given model. The execution pool is sized to
+    /// the host's parallelism (the *modeled* CU count only affects timing).
+    pub fn new(spec: DeviceSpec) -> Arc<Self> {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Arc::new(Self {
+            memory: GlobalMemory::new(spec.mem_bytes),
+            pool: ThreadPool::new(workers.min(8)),
+            kernel_cache: Mutex::new(HashMap::new()),
+            clock: Mutex::new(0.0),
+            spec,
+        })
+    }
+
+    /// The device model.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Raw global memory (used by model frontends for typed access).
+    pub fn memory(&self) -> &GlobalMemory {
+        &self.memory
+    }
+
+    /// Total modeled time accumulated on this device.
+    pub fn modeled_clock(&self) -> ModeledTime {
+        ModeledTime::from_seconds(*self.clock.lock())
+    }
+
+    fn advance_clock(&self, t: ModeledTime) {
+        *self.clock.lock() += t.seconds();
+    }
+
+    /// Allocate `len` bytes of device memory.
+    pub fn alloc(&self, len: u64) -> Result<DevicePtr> {
+        self.memory.alloc(len)
+    }
+
+    /// Free a device allocation.
+    pub fn free(&self, ptr: DevicePtr, len: u64) {
+        self.memory.free(ptr, len);
+    }
+
+    /// Host → device transfer; advances the modeled clock.
+    pub fn memcpy_h2d(&self, dst: DevicePtr, data: &[u8]) -> Result<ModeledTime> {
+        self.memory.write_bytes(dst, data)?;
+        let t = transfer_time(&self.spec, data.len() as u64);
+        self.advance_clock(t);
+        Ok(t)
+    }
+
+    /// Device → host transfer; advances the modeled clock.
+    pub fn memcpy_d2h(&self, src: DevicePtr, len: u64) -> Result<(Vec<u8>, ModeledTime)> {
+        let data = self.memory.read_bytes(src, len)?;
+        let t = transfer_time(&self.spec, len);
+        self.advance_clock(t);
+        Ok((data, t))
+    }
+
+    /// Allocate and upload an `f32` slice.
+    pub fn alloc_copy_f32(&self, data: &[f32]) -> Result<DevicePtr> {
+        let ptr = self.alloc(data.len() as u64 * 4)?;
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.memcpy_h2d(ptr, &bytes)?;
+        Ok(ptr)
+    }
+
+    /// Allocate and upload an `f64` slice.
+    pub fn alloc_copy_f64(&self, data: &[f64]) -> Result<DevicePtr> {
+        let ptr = self.alloc(data.len() as u64 * 8)?;
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.memcpy_h2d(ptr, &bytes)?;
+        Ok(ptr)
+    }
+
+    /// Read back `n` `f32` values.
+    pub fn read_f32(&self, ptr: DevicePtr, n: usize) -> Result<Vec<f32>> {
+        let (bytes, _) = self.memcpy_d2h(ptr, n as u64 * 4)?;
+        Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    /// Read back `n` `f64` values.
+    pub fn read_f64(&self, ptr: DevicePtr, n: usize) -> Result<Vec<f64>> {
+        let (bytes, _) = self.memcpy_d2h(ptr, n as u64 * 8)?;
+        Ok(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    /// Load (decode + validate + cache) a module. Rejects foreign ISAs —
+    /// the hard compatibility wall of the paper's matrix.
+    pub fn load(&self, module: &Module) -> Result<Arc<KernelIr>> {
+        if module.isa != self.spec.isa {
+            return Err(SimError::IsaMismatch { module: module.isa, device: self.spec.isa });
+        }
+        let mut hasher = DefaultHasher::new();
+        module.bytes.hash(&mut hasher);
+        let key = hasher.finish();
+        if let Some(k) = self.kernel_cache.lock().get(&key) {
+            return Ok(Arc::clone(k));
+        }
+        let kernel = Arc::new(disassemble(module)?);
+        self.kernel_cache.lock().insert(key, Arc::clone(&kernel));
+        Ok(kernel)
+    }
+
+    /// Launch a kernel and wait for completion. Returns counters and the
+    /// modeled execution time (also added to the device clock).
+    pub fn launch(
+        &self,
+        module: &Module,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+    ) -> Result<LaunchReport> {
+        let kernel = self.load(module)?;
+        self.launch_kernel(&kernel, cfg, args)
+    }
+
+    /// Launch a pre-loaded kernel.
+    pub fn launch_kernel(
+        &self,
+        kernel: &KernelIr,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+    ) -> Result<LaunchReport> {
+        if cfg.block_dim == 0 || cfg.grid_dim == 0 {
+            return Err(SimError::BadLaunch("zero grid or block dimension".into()));
+        }
+        if cfg.block_dim > self.spec.max_threads_per_block {
+            return Err(SimError::BadLaunch(format!(
+                "block_dim {} exceeds device limit {}",
+                cfg.block_dim, self.spec.max_threads_per_block
+            )));
+        }
+        if kernel.shared_bytes > self.spec.shared_per_block {
+            return Err(SimError::BadLaunch(format!(
+                "kernel needs {} B shared, device offers {}",
+                kernel.shared_bytes, self.spec.shared_per_block
+            )));
+        }
+        if !(cfg.efficiency > 0.0 && cfg.efficiency <= 1.0) {
+            return Err(SimError::BadLaunch(format!("efficiency {} out of (0,1]", cfg.efficiency)));
+        }
+        let values: Vec<Value> = args.iter().map(|a| a.to_value()).collect();
+
+        let counters = Counters::new();
+        let error: Mutex<Option<SimError>> = Mutex::new(None);
+        self.pool.run_indexed(cfg.grid_dim as usize, cfg.policy.claim(), |block| {
+            if error.lock().is_some() {
+                return; // a sibling block already failed — stop early
+            }
+            let ctx = BlockCtx {
+                kernel,
+                global: &self.memory,
+                counters: &counters,
+                block_id: block as u32,
+                grid_dim: cfg.grid_dim,
+                block_dim: cfg.block_dim,
+                warp_width: self.spec.warp_width,
+            };
+            if let Err(e) = run_block(&ctx, &values) {
+                error.lock().get_or_insert(e);
+            }
+        });
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        let stats = counters.snapshot();
+        let time = kernel_time(&self.spec, &stats, cfg.efficiency);
+        self.advance_clock(time);
+        Ok(LaunchReport { stats, time })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, CmpOp, KernelBuilder, Space, Type};
+    use crate::isa::assemble;
+
+    fn saxpy_kernel() -> KernelIr {
+        let mut k = KernelBuilder::new("saxpy");
+        let a = k.param(Type::F32);
+        let x = k.param(Type::I64);
+        let y = k.param(Type::I64);
+        let n = k.param(Type::I32);
+        let i = k.global_thread_id_x();
+        let ok = k.cmp(CmpOp::Lt, i, n);
+        k.if_(ok, |k| {
+            let xi = k.ld_elem(Space::Global, Type::F32, x, i);
+            let yi = k.ld_elem(Space::Global, Type::F32, y, i);
+            let ax = k.bin(BinOp::Mul, a, xi);
+            let s = k.bin(BinOp::Add, ax, yi);
+            k.st_elem(Space::Global, y, i, s);
+        });
+        k.finish()
+    }
+
+    #[test]
+    fn end_to_end_saxpy_on_each_vendor() {
+        let kernel = saxpy_kernel();
+        for spec in DeviceSpec::presets() {
+            let isa = spec.isa;
+            let name = spec.name;
+            let dev = Device::new(spec);
+            let module = assemble(&kernel, isa).unwrap();
+            let n = 1000usize;
+            let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let ys = vec![10.0f32; n];
+            let dx = dev.alloc_copy_f32(&xs).unwrap();
+            let dy = dev.alloc_copy_f32(&ys).unwrap();
+            let report = dev
+                .launch(
+                    &module,
+                    LaunchConfig::linear(n as u64, 256),
+                    &[
+                        KernelArg::F32(2.0),
+                        KernelArg::Ptr(dx),
+                        KernelArg::Ptr(dy),
+                        KernelArg::I32(n as i32),
+                    ],
+                )
+                .unwrap();
+            let out = dev.read_f32(dy, n).unwrap();
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, 2.0 * i as f32 + 10.0, "{name} wrong at {i}");
+            }
+            assert!(report.time.seconds() > 0.0);
+            assert_eq!(report.stats.blocks, 4);
+        }
+    }
+
+    #[test]
+    fn cross_isa_launch_fails() {
+        let kernel = saxpy_kernel();
+        let dev = Device::new(DeviceSpec::amd_mi250x());
+        let module = assemble(&kernel, IsaKind::PtxLike).unwrap();
+        match dev.launch(&module, LaunchConfig::linear(32, 32), &[]) {
+            Err(SimError::IsaMismatch { module: m, device: d }) => {
+                assert_eq!(m, IsaKind::PtxLike);
+                assert_eq!(d, IsaKind::GcnLike);
+            }
+            other => panic!("expected IsaMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn launch_limits_enforced() {
+        let kernel = saxpy_kernel();
+        let dev = Device::new(DeviceSpec::nvidia_a100());
+        let module = assemble(&kernel, IsaKind::PtxLike).unwrap();
+        let cfg = LaunchConfig { grid_dim: 1, block_dim: 4096, policy: SchedulePolicy::Dynamic, efficiency: 1.0 };
+        assert!(matches!(dev.launch(&module, cfg, &[]), Err(SimError::BadLaunch(_))));
+        let cfg = LaunchConfig { grid_dim: 0, block_dim: 32, policy: SchedulePolicy::Dynamic, efficiency: 1.0 };
+        assert!(matches!(dev.launch(&module, cfg, &[]), Err(SimError::BadLaunch(_))));
+        let cfg = LaunchConfig::linear(32, 32).with_efficiency(0.0);
+        assert!(matches!(dev.launch(&module, cfg, &[]), Err(SimError::BadLaunch(_))));
+    }
+
+    #[test]
+    fn warp_width_differs_across_vendors_in_counters() {
+        // The same launch issues fewer (wider) warps on AMD (64) than on
+        // Intel (16).
+        let kernel = saxpy_kernel();
+        let mut warps = Vec::new();
+        for spec in [DeviceSpec::amd_mi250x(), DeviceSpec::intel_pvc()] {
+            let isa = spec.isa;
+            let dev = Device::new(spec);
+            let module = assemble(&kernel, isa).unwrap();
+            let n = 256usize;
+            let dx = dev.alloc_copy_f32(&vec![0.0; n]).unwrap();
+            let dy = dev.alloc_copy_f32(&vec![0.0; n]).unwrap();
+            let report = dev
+                .launch(
+                    &module,
+                    LaunchConfig::linear(n as u64, 256),
+                    &[
+                        KernelArg::F32(1.0),
+                        KernelArg::Ptr(dx),
+                        KernelArg::Ptr(dy),
+                        KernelArg::I32(n as i32),
+                    ],
+                )
+                .unwrap();
+            warps.push(report.stats.warps);
+        }
+        assert_eq!(warps[0], 4, "AMD: 256/64");
+        assert_eq!(warps[1], 16, "Intel: 256/16");
+    }
+
+    #[test]
+    fn modeled_clock_accumulates() {
+        let dev = Device::new(DeviceSpec::nvidia_a100());
+        assert_eq!(dev.modeled_clock().seconds(), 0.0);
+        let ptr = dev.alloc(1024).unwrap();
+        dev.memcpy_h2d(ptr, &[0u8; 1024]).unwrap();
+        let t1 = dev.modeled_clock();
+        assert!(t1.seconds() > 0.0);
+        let (_, _) = dev.memcpy_d2h(ptr, 1024).unwrap();
+        assert!(dev.modeled_clock().seconds() > t1.seconds());
+    }
+
+    #[test]
+    fn module_cache_returns_same_kernel() {
+        let kernel = saxpy_kernel();
+        let dev = Device::new(DeviceSpec::nvidia_a100());
+        let module = assemble(&kernel, IsaKind::PtxLike).unwrap();
+        let k1 = dev.load(&module).unwrap();
+        let k2 = dev.load(&module).unwrap();
+        assert!(Arc::ptr_eq(&k1, &k2));
+    }
+
+    #[test]
+    fn kernel_errors_propagate_from_blocks() {
+        let mut k = KernelBuilder::new("oob");
+        let out = k.param(Type::I64);
+        let i = k.global_thread_id_x();
+        k.st_elem(Space::Global, out, i, Value::I32(1));
+        let kernel = k.finish();
+        let dev = Device::new(DeviceSpec::nvidia_a100());
+        let module = assemble(&kernel, IsaKind::PtxLike).unwrap();
+        // Pointer at the very end of memory → every block goes OOB.
+        let bad = dev.spec().mem_bytes - 4;
+        let res = dev.launch(
+            &module,
+            LaunchConfig::linear(1024, 128),
+            &[KernelArg::I64(bad as i64)],
+        );
+        assert!(matches!(res, Err(SimError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn f64_roundtrip_helpers() {
+        let dev = Device::new(DeviceSpec::intel_pvc());
+        let data: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let p = dev.alloc_copy_f64(&data).unwrap();
+        assert_eq!(dev.read_f64(p, 100).unwrap(), data);
+    }
+
+    #[test]
+    fn static_and_dynamic_scheduling_agree_on_results() {
+        let kernel = saxpy_kernel();
+        let dev = Device::new(DeviceSpec::nvidia_a100());
+        let module = assemble(&kernel, IsaKind::PtxLike).unwrap();
+        let n = 10_000usize;
+        for policy in [SchedulePolicy::Static, SchedulePolicy::Dynamic] {
+            let dx = dev.alloc_copy_f32(&vec![1.0; n]).unwrap();
+            let dy = dev.alloc_copy_f32(&vec![1.0; n]).unwrap();
+            dev.launch(
+                &module,
+                LaunchConfig::linear(n as u64, 128).with_policy(policy),
+                &[
+                    KernelArg::F32(3.0),
+                    KernelArg::Ptr(dx),
+                    KernelArg::Ptr(dy),
+                    KernelArg::I32(n as i32),
+                ],
+            )
+            .unwrap();
+            let out = dev.read_f32(dy, n).unwrap();
+            assert!(out.iter().all(|&v| v == 4.0), "{policy:?} wrong");
+            dev.free(dx, n as u64 * 4);
+            dev.free(dy, n as u64 * 4);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Events — completion markers recorded into streams (CUDA `cudaEvent_t`,
+//! HIP `hipEvent_t`, SYCL `sycl::event` analogues).
+
+use crate::timing::ModeledTime;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct State {
+    completed: Option<ModeledTime>,
+}
+
+/// A completion event. Cheap to clone; all clones observe the same state.
+#[derive(Debug, Clone)]
+pub struct Event {
+    state: Arc<(Mutex<State>, Condvar)>,
+}
+
+impl Event {
+    /// Create a not-yet-recorded event.
+    pub fn new() -> Self {
+        Self { state: Arc::new((Mutex::new(State { completed: None }), Condvar::new())) }
+    }
+
+    /// Mark the event complete at the given modeled timestamp.
+    pub fn complete(&self, at: ModeledTime) {
+        let (lock, cv) = &*self.state;
+        let mut s = lock.lock();
+        s.completed = Some(at);
+        cv.notify_all();
+    }
+
+    /// Has the event completed?
+    pub fn query(&self) -> bool {
+        self.state.0.lock().completed.is_some()
+    }
+
+    /// Block until the event completes; returns its modeled timestamp.
+    pub fn wait(&self) -> ModeledTime {
+        let (lock, cv) = &*self.state;
+        let mut s = lock.lock();
+        while s.completed.is_none() {
+            cv.wait(&mut s);
+        }
+        s.completed.unwrap()
+    }
+
+    /// Modeled elapsed time between two completed events
+    /// (`cudaEventElapsedTime` analogue). `None` if either is pending.
+    pub fn elapsed_since(&self, earlier: &Event) -> Option<ModeledTime> {
+        let a = earlier.state.0.lock().completed?;
+        let b = self.state.0.lock().completed?;
+        Some(ModeledTime::from_seconds((b.seconds() - a.seconds()).max(0.0)))
+    }
+}
+
+impl Default for Event {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_event_is_pending() {
+        let e = Event::new();
+        assert!(!e.query());
+        assert_eq!(e.elapsed_since(&Event::new()), None);
+    }
+
+    #[test]
+    fn complete_then_wait_returns_timestamp() {
+        let e = Event::new();
+        e.complete(ModeledTime::from_seconds(1.5));
+        assert!(e.query());
+        assert_eq!(e.wait().seconds(), 1.5);
+    }
+
+    #[test]
+    fn wait_blocks_until_completion_from_other_thread() {
+        let e = Event::new();
+        let e2 = e.clone();
+        let h = std::thread::spawn(move || e2.wait().seconds());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        e.complete(ModeledTime::from_seconds(2.0));
+        assert_eq!(h.join().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn elapsed_between_events() {
+        let a = Event::new();
+        let b = Event::new();
+        a.complete(ModeledTime::from_seconds(1.0));
+        b.complete(ModeledTime::from_seconds(3.5));
+        assert_eq!(b.elapsed_since(&a).unwrap().seconds(), 2.5);
+        // Reversed order clamps at zero rather than going negative.
+        assert_eq!(a.elapsed_since(&b).unwrap().seconds(), 0.0);
+    }
+}

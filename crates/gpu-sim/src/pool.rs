@@ -1,0 +1,264 @@
+//! A persistent work-stealing thread pool.
+//!
+//! Simulated compute units execute thread blocks concurrently on this pool
+//! (one pool per [`crate::device::Device`]). Built on `crossbeam-deque`
+//! (global injector + per-worker deques with stealing) and `parking_lot`
+//! primitives, following the design in *Rust Atomics and Locks*: workers
+//! park when idle and are unparked on submission; shutdown is a flag plus a
+//! final wake-all.
+
+use crossbeam_deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    shutdown: AtomicBool,
+    /// Sleep/wake machinery: count of parked workers and a condvar.
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    pending: AtomicUsize,
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with `workers` threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let locals: Vec<Worker<Job>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers = locals.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            pending: AtomicUsize::new(0),
+        });
+        let handles = locals
+            .into_iter()
+            .enumerate()
+            .map(|(idx, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mcmm-cu-{idx}"))
+                    .spawn(move || worker_loop(idx, local, shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { shared, handles, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Submit a job for asynchronous execution.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.injector.push(Box::new(job));
+        // Wake one parked worker.
+        let _g = self.shared.idle_lock.lock();
+        self.shared.idle_cv.notify_one();
+    }
+
+    /// Run `f(0..n)` across the pool and wait for completion. `f` runs on
+    /// pool threads *and* the calling thread (the caller participates, so a
+    /// 1-worker pool still overlaps with the host).
+    pub fn run_indexed<F>(&self, n: usize, chunk_claim: ClaimStrategy, f: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        std::thread::scope(|scope| {
+            let claim = Arc::new(AtomicUsize::new(0));
+            let participants = (self.workers + 1).min(n);
+            let f = &f;
+            for worker_idx in 1..participants {
+                let claim = Arc::clone(&claim);
+                scope.spawn(move || {
+                    claim_loop(n, worker_idx, participants, chunk_claim, &claim, f);
+                });
+            }
+            claim_loop(n, 0, participants, chunk_claim, &claim, f);
+        });
+    }
+
+    /// Wait for all `execute`d jobs to finish.
+    pub fn wait_idle(&self) {
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// How indices are claimed in [`ThreadPool::run_indexed`] — the block
+/// scheduling ablation (DESIGN.md A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimStrategy {
+    /// Contiguous pre-partitioned ranges (static scheduling).
+    Static,
+    /// A shared atomic counter; each participant grabs the next index
+    /// (dynamic self-scheduling — what real GPU block dispatchers do).
+    Dynamic,
+}
+
+fn claim_loop(
+    n: usize,
+    me: usize,
+    participants: usize,
+    strategy: ClaimStrategy,
+    claim: &AtomicUsize,
+    f: &(impl Fn(usize) + Send + Sync),
+) {
+    match strategy {
+        ClaimStrategy::Static => {
+            let per = n.div_ceil(participants);
+            let start = me * per;
+            let end = ((me + 1) * per).min(n);
+            for i in start..end {
+                f(i);
+            }
+        }
+        ClaimStrategy::Dynamic => loop {
+            let i = claim.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            f(i);
+        },
+    }
+}
+
+fn worker_loop(me: usize, local: Worker<Job>, shared: Arc<Shared>) {
+    loop {
+        // 1. local queue; 2. global injector; 3. steal from siblings.
+        let job = local.pop().or_else(|| {
+            std::iter::repeat_with(|| {
+                shared
+                    .injector
+                    .steal_batch_and_pop(&local)
+                    .or_else(|| shared.stealers.iter().enumerate().filter(|&(i, _)| i != me).map(|(_, s)| s.steal()).collect())
+            })
+            .find(|s| !s.is_retry())
+            .and_then(|s| s.success())
+        });
+        match job {
+            Some(job) => {
+                job();
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Park until new work or shutdown.
+                let mut g = shared.idle_lock.lock();
+                if shared.injector.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                    shared.idle_cv.wait_for(&mut g, std::time::Duration::from_millis(1));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _g = self.shared.idle_lock.lock();
+            self.shared.idle_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_indexed_covers_every_index_dynamic() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.run_indexed(1000, ClaimStrategy::Dynamic, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} run {} times", h.load(Ordering::Relaxed));
+        }
+    }
+
+    #[test]
+    fn run_indexed_covers_every_index_static() {
+        let pool = ThreadPool::new(3);
+        let hits: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+        pool.run_indexed(97, ClaimStrategy::Static, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_indexed_zero_is_noop() {
+        let pool = ThreadPool::new(2);
+        pool.run_indexed(0, ClaimStrategy::Dynamic, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn run_indexed_n_smaller_than_workers() {
+        let pool = ThreadPool::new(8);
+        let hits = AtomicU64::new(0);
+        pool.run_indexed(3, ClaimStrategy::Static, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn execute_and_wait_idle() {
+        let pool = ThreadPool::new(2);
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_pending_none() {
+        let pool = ThreadPool::new(2);
+        drop(pool);
+    }
+
+    #[test]
+    fn single_worker_pool_still_works() {
+        let pool = ThreadPool::new(1);
+        let sum = AtomicU64::new(0);
+        pool.run_indexed(10, ClaimStrategy::Dynamic, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+}

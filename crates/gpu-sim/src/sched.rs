@@ -1,0 +1,45 @@
+//! Block scheduling policy — how the grid's blocks are distributed over
+//! the simulated compute units.
+//!
+//! Real GPUs dispatch blocks dynamically to whichever SM/CU has free slots;
+//! static partitioning is what a naive simulator would do and suffers under
+//! skewed per-block cost. Both are provided for the scheduling ablation
+//! (DESIGN.md experiment A2).
+
+use crate::pool::ClaimStrategy;
+
+/// Block scheduling policy for kernel launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Dynamic self-scheduling (hardware-like). Default.
+    #[default]
+    Dynamic,
+    /// Static contiguous partitioning.
+    Static,
+}
+
+impl SchedulePolicy {
+    /// Map to the pool's claiming strategy.
+    pub(crate) fn claim(self) -> ClaimStrategy {
+        match self {
+            SchedulePolicy::Dynamic => ClaimStrategy::Dynamic,
+            SchedulePolicy::Static => ClaimStrategy::Static,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_dynamic() {
+        assert_eq!(SchedulePolicy::default(), SchedulePolicy::Dynamic);
+    }
+
+    #[test]
+    fn maps_to_claim_strategies() {
+        assert_eq!(SchedulePolicy::Dynamic.claim(), ClaimStrategy::Dynamic);
+        assert_eq!(SchedulePolicy::Static.claim(), ClaimStrategy::Static);
+    }
+}

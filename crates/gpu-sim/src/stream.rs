@@ -1,0 +1,238 @@
+//! Streams — in-order asynchronous work queues (CUDA streams, HIP streams,
+//! SYCL in-order queues).
+//!
+//! A [`Stream`] owns a worker thread draining a FIFO of operations against
+//! one device. Submission returns immediately; [`Stream::synchronize`]
+//! blocks until everything submitted so far has executed. Device→host reads
+//! return a [`Pending`] handle resolved on completion.
+
+use crate::device::{Device, KernelArg, LaunchConfig};
+use crate::event::Event;
+use crate::isa::Module;
+use crate::mem::DevicePtr;
+use crate::{Result, SimError};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce(&Device) -> Result<()> + Send>;
+
+enum Op {
+    Task(Task),
+    Sync(Sender<Result<()>>),
+    Shutdown,
+}
+
+/// A value produced asynchronously by a stream operation.
+pub struct Pending<T> {
+    rx: Receiver<Result<T>>,
+}
+
+impl<T> Pending<T> {
+    /// Block until the producing operation has run.
+    pub fn wait(self) -> Result<T> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(SimError::Trap("stream dropped before producing the value".into()))
+        })
+    }
+}
+
+/// An in-order asynchronous queue on one device.
+pub struct Stream {
+    device: Arc<Device>,
+    tx: Sender<Op>,
+    worker: Option<JoinHandle<()>>,
+    /// Sticky error: once an op fails, subsequent syncs report it.
+    poisoned: Arc<parking_lot::Mutex<Option<SimError>>>,
+}
+
+impl Stream {
+    /// Create a stream on a device.
+    pub fn new(device: Arc<Device>) -> Self {
+        let (tx, rx) = channel::<Op>();
+        let dev = Arc::clone(&device);
+        let poisoned: Arc<parking_lot::Mutex<Option<SimError>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let poison = Arc::clone(&poisoned);
+        let worker = std::thread::Builder::new()
+            .name("mcmm-stream".into())
+            .spawn(move || {
+                for op in rx {
+                    match op {
+                        Op::Task(f) => {
+                            if poison.lock().is_some() {
+                                continue; // skip work after first failure
+                            }
+                            if let Err(e) = f(&dev) {
+                                poison.lock().get_or_insert(e);
+                            }
+                        }
+                        Op::Sync(done) => {
+                            let res = match poison.lock().clone() {
+                                Some(e) => Err(e),
+                                None => Ok(()),
+                            };
+                            let _ = done.send(res);
+                        }
+                        Op::Shutdown => return,
+                    }
+                }
+            })
+            .expect("failed to spawn stream worker");
+        Self { device, tx, worker: Some(worker), poisoned }
+    }
+
+    /// The device this stream targets.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    fn submit(&self, f: impl FnOnce(&Device) -> Result<()> + Send + 'static) {
+        // A disconnected worker only happens after Drop; ignore.
+        let _ = self.tx.send(Op::Task(Box::new(f)));
+    }
+
+    /// Enqueue a host→device copy (the data is moved into the stream).
+    pub fn memcpy_h2d(&self, dst: DevicePtr, data: Vec<u8>) {
+        self.submit(move |dev| dev.memcpy_h2d(dst, &data).map(|_| ()));
+    }
+
+    /// Enqueue a device→host read; resolve via [`Pending::wait`].
+    pub fn memcpy_d2h(&self, src: DevicePtr, len: u64) -> Pending<Vec<u8>> {
+        let (tx, rx) = channel();
+        self.submit(move |dev| {
+            let res = dev.memcpy_d2h(src, len).map(|(data, _)| data);
+            let failed = res.is_err();
+            let err = res.as_ref().err().cloned();
+            let _ = tx.send(res);
+            if failed {
+                return Err(err.unwrap());
+            }
+            Ok(())
+        });
+        Pending { rx }
+    }
+
+    /// Enqueue a kernel launch.
+    pub fn launch(&self, module: Module, cfg: LaunchConfig, args: Vec<KernelArg>) {
+        self.submit(move |dev| dev.launch(&module, cfg, &args).map(|_| ()));
+    }
+
+    /// Enqueue an event record; the event completes when all previously
+    /// submitted work has run.
+    pub fn record(&self, event: &Event) {
+        let ev = event.clone();
+        self.submit(move |dev| {
+            ev.complete(dev.modeled_clock());
+            Ok(())
+        });
+    }
+
+    /// Block until all submitted work has executed. Returns the first
+    /// error any operation produced (sticky).
+    pub fn synchronize(&self) -> Result<()> {
+        let (tx, rx) = channel();
+        let _ = self.tx.send(Op::Sync(tx));
+        rx.recv().unwrap_or_else(|_| Err(SimError::Trap("stream worker died".into())))
+    }
+
+    /// Has any operation on this stream failed?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.lock().is_some()
+    }
+}
+
+impl Drop for Stream {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Op::Shutdown);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use crate::ir::{BinOp, CmpOp, KernelBuilder, Space, Type};
+    use crate::isa::assemble;
+
+    fn scale_kernel() -> crate::ir::KernelIr {
+        let mut k = KernelBuilder::new("scale");
+        let x = k.param(Type::I64);
+        let n = k.param(Type::I32);
+        let i = k.global_thread_id_x();
+        let ok = k.cmp(CmpOp::Lt, i, n);
+        k.if_(ok, |k| {
+            let v = k.ld_elem(Space::Global, Type::F32, x, i);
+            let w = k.bin(BinOp::Mul, v, crate::ir::Value::F32(2.0));
+            k.st_elem(Space::Global, x, i, w);
+        });
+        k.finish()
+    }
+
+    #[test]
+    fn async_pipeline_h2d_launch_d2h() {
+        let dev = Device::new(DeviceSpec::nvidia_a100());
+        let stream = Stream::new(Arc::clone(&dev));
+        let module = assemble(&scale_kernel(), crate::isa::IsaKind::PtxLike).unwrap();
+        let n = 256;
+        let ptr = dev.alloc(n as u64 * 4).unwrap();
+        let data: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        stream.memcpy_h2d(ptr, data);
+        stream.launch(
+            module,
+            LaunchConfig::linear(n as u64, 128),
+            vec![KernelArg::Ptr(ptr), KernelArg::I32(n)],
+        );
+        let pending = stream.memcpy_d2h(ptr, n as u64 * 4);
+        stream.synchronize().unwrap();
+        let bytes = pending.wait().unwrap();
+        let vals: Vec<f32> =
+            bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f32);
+        }
+    }
+
+    #[test]
+    fn events_record_in_order() {
+        let dev = Device::new(DeviceSpec::amd_mi250x());
+        let stream = Stream::new(Arc::clone(&dev));
+        let before = Event::new();
+        let after = Event::new();
+        stream.record(&before);
+        let ptr = dev.alloc(1 << 20).unwrap();
+        stream.memcpy_h2d(ptr, vec![0u8; 1 << 20]);
+        stream.record(&after);
+        stream.synchronize().unwrap();
+        let dt = after.elapsed_since(&before).unwrap();
+        assert!(dt.seconds() > 0.0, "transfer must advance the modeled clock");
+    }
+
+    #[test]
+    fn errors_poison_the_stream() {
+        let dev = Device::new(DeviceSpec::intel_pvc());
+        let stream = Stream::new(Arc::clone(&dev));
+        // Write far out of bounds.
+        stream.memcpy_h2d(DevicePtr(dev.spec().mem_bytes), vec![0u8; 16]);
+        assert!(stream.synchronize().is_err());
+        assert!(stream.is_poisoned());
+        // Later work is skipped but sync still reports the sticky error.
+        let ptr = dev.alloc(64).unwrap();
+        stream.memcpy_h2d(ptr, vec![0u8; 16]);
+        assert!(stream.synchronize().is_err());
+    }
+
+    #[test]
+    fn pending_after_poison_reports_error() {
+        let dev = Device::new(DeviceSpec::intel_pvc());
+        let stream = Stream::new(Arc::clone(&dev));
+        stream.memcpy_h2d(DevicePtr(dev.spec().mem_bytes), vec![0u8; 16]);
+        let pending = stream.memcpy_d2h(DevicePtr(0), 16);
+        stream.synchronize().unwrap_err();
+        // The d2h was skipped; waiting must error, not hang.
+        assert!(pending.wait().is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! The analytic timing model.
+//!
+//! The simulator runs on a CPU, so wall-clock times say nothing about GPU
+//! performance. Instead, each launch's *modeled* time is derived from the
+//! performance counters against the device attributes — a classic
+//! roofline-style bound:
+//!
+//! ```text
+//! t = launch_latency + max(compute_time, memory_time) / efficiency
+//! compute_time = warp_instructions / (compute_units × warps_per_cu_per_cycle × clock)
+//! memory_time  = (bytes_read + bytes_written) / dram_bandwidth
+//! ```
+//!
+//! `efficiency` (0 < e ≤ 1) is contributed by the toolchain route: native
+//! compilers get 1.0, translated/indirect routes get the penalty factors
+//! the literature reports (see `mcmm-toolchain`). The model is
+//! deterministic: identical launches produce identical modeled times,
+//! which is what lets the benchmark harness reproduce *shapes* without
+//! hardware.
+
+use crate::counters::LaunchStats;
+use crate::device::DeviceSpec;
+
+/// A modeled duration in seconds, with convenience accessors.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct ModeledTime {
+    seconds: f64,
+}
+
+impl ModeledTime {
+    /// From raw seconds (must be finite and non-negative).
+    pub fn from_seconds(seconds: f64) -> Self {
+        assert!(seconds.is_finite() && seconds >= 0.0, "invalid modeled time {seconds}");
+        Self { seconds }
+    }
+
+    /// Zero time.
+    pub fn zero() -> Self {
+        Self { seconds: 0.0 }
+    }
+
+    /// The duration in seconds.
+    pub fn seconds(self) -> f64 {
+        self.seconds
+    }
+
+    /// The duration in microseconds.
+    pub fn micros(self) -> f64 {
+        self.seconds * 1e6
+    }
+
+    /// Effective bandwidth achieved moving `bytes` in this time (GB/s,
+    /// decimal GB as BabelStream reports).
+    pub fn bandwidth_gbps(self, bytes: u64) -> f64 {
+        if self.seconds == 0.0 {
+            return 0.0;
+        }
+        (bytes as f64 / 1e9) / self.seconds
+    }
+}
+
+impl std::ops::Add for ModeledTime {
+    /// Summing modeled times yields a modeled time.
+    type Output = ModeledTime;
+    fn add(self, rhs: ModeledTime) -> ModeledTime {
+        ModeledTime { seconds: self.seconds + rhs.seconds }
+    }
+}
+
+impl std::iter::Sum for ModeledTime {
+    fn sum<I: Iterator<Item = ModeledTime>>(iter: I) -> Self {
+        iter.fold(ModeledTime::zero(), |a, b| a + b)
+    }
+}
+
+/// Model the time of one kernel launch.
+///
+/// `efficiency` is the route-efficiency factor in (0, 1]; pass 1.0 for a
+/// native toolchain.
+pub fn kernel_time(spec: &DeviceSpec, stats: &LaunchStats, efficiency: f64) -> ModeledTime {
+    assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency out of range: {efficiency}");
+    // Instruction throughput: each CU retires `ipc` warp-instructions per
+    // cycle across its schedulers.
+    let issue_rate =
+        spec.compute_units as f64 * spec.warp_issue_per_cycle * spec.clock_ghz * 1e9;
+    let compute = stats.warp_instructions as f64 / issue_rate;
+    let memory = stats.bytes_total() as f64 / (spec.dram_gbps * 1e9);
+    // Atomics serialize on contention; charge a fixed per-op cost on top.
+    let atomic_cost = stats.atomics as f64 * 2e-9 / spec.compute_units as f64;
+    let busy = compute.max(memory) + atomic_cost;
+    ModeledTime::from_seconds(spec.launch_latency_us * 1e-6 + busy / efficiency)
+}
+
+/// Model a host↔device transfer over the interconnect.
+pub fn transfer_time(spec: &DeviceSpec, bytes: u64) -> ModeledTime {
+    ModeledTime::from_seconds(spec.transfer_latency_us * 1e-6 + bytes as f64 / (spec.pcie_gbps * 1e9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    fn stats(bytes: u64, instrs: u64) -> LaunchStats {
+        LaunchStats {
+            warp_instructions: instrs,
+            bytes_read: bytes / 2,
+            bytes_written: bytes - bytes / 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn memory_bound_kernel_tracks_bandwidth() {
+        let spec = DeviceSpec::nvidia_a100();
+        // 1 GB of traffic, trivial compute.
+        let s = stats(1_000_000_000, 1000);
+        let t = kernel_time(&spec, &s, 1.0);
+        let achieved = t.bandwidth_gbps(s.bytes_total());
+        // Achieved BW must be close to (but below) peak.
+        assert!(achieved < spec.dram_gbps);
+        assert!(achieved > 0.9 * spec.dram_gbps, "achieved {achieved} vs peak {}", spec.dram_gbps);
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_instructions() {
+        let spec = DeviceSpec::nvidia_a100();
+        let t1 = kernel_time(&spec, &stats(0, 1_000_000_000), 1.0);
+        let t2 = kernel_time(&spec, &stats(0, 2_000_000_000), 1.0);
+        assert!(t2.seconds() > 1.9 * (t1.seconds() - spec.launch_latency_us * 1e-6));
+    }
+
+    #[test]
+    fn efficiency_penalty_slows_down() {
+        let spec = DeviceSpec::amd_mi250x();
+        let s = stats(1_000_000_000, 1000);
+        let native = kernel_time(&spec, &s, 1.0);
+        let translated = kernel_time(&spec, &s, 0.8);
+        assert!(translated.seconds() > native.seconds());
+        let ratio = (translated.seconds() - spec.launch_latency_us * 1e-6)
+            / (native.seconds() - spec.launch_latency_us * 1e-6);
+        assert!((ratio - 1.25).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn launch_latency_floors_empty_kernels() {
+        let spec = DeviceSpec::intel_pvc();
+        let t = kernel_time(&spec, &LaunchStats::default(), 1.0);
+        assert!((t.micros() - spec.launch_latency_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfers_include_latency_and_bandwidth() {
+        let spec = DeviceSpec::nvidia_a100();
+        let small = transfer_time(&spec, 8);
+        let big = transfer_time(&spec, 1_000_000_000);
+        assert!(small.micros() >= spec.transfer_latency_us);
+        assert!(big.seconds() > 1.0 / spec.pcie_gbps * 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency out of range")]
+    fn zero_efficiency_rejected() {
+        let spec = DeviceSpec::nvidia_a100();
+        kernel_time(&spec, &LaunchStats::default(), 0.0);
+    }
+
+    #[test]
+    fn modeled_time_arithmetic() {
+        let a = ModeledTime::from_seconds(1.0);
+        let b = ModeledTime::from_seconds(2.0);
+        assert_eq!((a + b).seconds(), 3.0);
+        let sum: ModeledTime = [a, b, a].into_iter().sum();
+        assert_eq!(sum.seconds(), 4.0);
+        assert_eq!(ModeledTime::zero().bandwidth_gbps(100), 0.0);
+        assert!((ModeledTime::from_seconds(1.0).bandwidth_gbps(2_000_000_000) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,347 @@
+//! # mcmm-model-cuda — a CUDA-style frontend for the simulated ecosystem
+//!
+//! Mirrors the CUDA runtime API surface (description 1 of the paper) on
+//! top of the virtual substrate: contexts, `cudaMalloc`/`cudaMemcpy`
+//! analogues, kernel launches through the nvcc-like virtual compiler, and
+//! the CUDA Fortran surface of description 2 ([`cuf`]): explicit Fortran
+//! kernels with 1-based indexing plus `cuf kernels` auto-parallelised
+//! loops.
+//!
+//! CUDA is NVIDIA's native model: [`CudaContext::new`] refuses non-NVIDIA
+//! devices with [`CudaError::NoDevice`] — reaching AMD or Intel from CUDA
+//! code requires the translators in `mcmm-translate` (HIPIFY, SYCLomatic,
+//! chipStar), exactly as in the paper (descriptions 18, 31).
+
+pub mod cuf;
+pub mod streams;
+
+use mcmm_core::taxonomy::{Language, Model, Vendor};
+use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig, LaunchReport};
+use mcmm_gpu_sim::ir::KernelIr;
+use mcmm_gpu_sim::isa::Module;
+use mcmm_gpu_sim::mem::DevicePtr;
+use mcmm_toolchain::Registry;
+use std::fmt;
+use std::sync::Arc;
+
+pub use mcmm_gpu_sim::ir::{BinOp, CmpOp, KernelBuilder, Space, Type, UnOp, Value};
+
+/// Errors in the style of `cudaError_t`.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field meanings are fully specified per variant
+pub enum CudaError {
+    /// `cudaErrorNoDevice` — the device is not a CUDA (NVIDIA) device.
+    NoDevice { actual: Vendor },
+    /// `cudaErrorMemoryAllocation`.
+    MemoryAllocation(String),
+    /// `cudaErrorInvalidValue`.
+    InvalidValue(String),
+    /// `cudaErrorLaunchFailure`.
+    LaunchFailure(String),
+    /// No toolchain available (should not happen on NVIDIA).
+    NoToolchain,
+}
+
+impl fmt::Display for CudaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CudaError::NoDevice { actual } => {
+                write!(f, "cudaErrorNoDevice: CUDA requires an NVIDIA device, found {actual}")
+            }
+            CudaError::MemoryAllocation(m) => write!(f, "cudaErrorMemoryAllocation: {m}"),
+            CudaError::InvalidValue(m) => write!(f, "cudaErrorInvalidValue: {m}"),
+            CudaError::LaunchFailure(m) => write!(f, "cudaErrorLaunchFailure: {m}"),
+            CudaError::NoToolchain => write!(f, "no CUDA toolchain registered"),
+        }
+    }
+}
+
+impl std::error::Error for CudaError {}
+
+/// Result alias in the CUDA style.
+pub type CudaResult<T> = Result<T, CudaError>;
+
+/// Direction of a `cudaMemcpy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemcpyKind {
+    /// Host memory → device memory.
+    HostToDevice,
+    /// Device memory → host memory.
+    DeviceToHost,
+    /// Device memory → device memory.
+    DeviceToDevice,
+}
+
+/// A CUDA context bound to one NVIDIA device.
+pub struct CudaContext {
+    device: Arc<Device>,
+    registry: Registry,
+    language: Language,
+}
+
+impl CudaContext {
+    /// Create a context on a device. Errors with [`CudaError::NoDevice`]
+    /// if the device is not NVIDIA.
+    pub fn new(device: Arc<Device>) -> CudaResult<Self> {
+        Self::with_language(device, Language::Cpp)
+    }
+
+    /// Create a CUDA Fortran context (NVHPC `nvfortran -cuda` analogue).
+    pub fn new_fortran(device: Arc<Device>) -> CudaResult<Self> {
+        Self::with_language(device, Language::Fortran)
+    }
+
+    fn with_language(device: Arc<Device>, language: Language) -> CudaResult<Self> {
+        let vendor = mcmm_toolchain::isa_vendor(device.spec().isa);
+        if vendor != Vendor::Nvidia {
+            return Err(CudaError::NoDevice { actual: vendor });
+        }
+        Ok(Self { device, registry: Registry::paper(), language })
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// `cudaMalloc` — allocate `len` bytes.
+    pub fn cuda_malloc(&self, len: u64) -> CudaResult<DevicePtr> {
+        self.device.alloc(len).map_err(|e| CudaError::MemoryAllocation(e.to_string()))
+    }
+
+    /// `cudaFree`.
+    pub fn cuda_free(&self, ptr: DevicePtr, len: u64) {
+        self.device.free(ptr, len);
+    }
+
+    /// `cudaMemcpy` for raw bytes.
+    pub fn cuda_memcpy(
+        &self,
+        dst: DevicePtr,
+        src_host: &mut [u8],
+        kind: MemcpyKind,
+    ) -> CudaResult<()> {
+        match kind {
+            MemcpyKind::HostToDevice => self
+                .device
+                .memcpy_h2d(dst, src_host)
+                .map(|_| ())
+                .map_err(|e| CudaError::InvalidValue(e.to_string())),
+            MemcpyKind::DeviceToHost => {
+                let (data, _) = self
+                    .device
+                    .memcpy_d2h(dst, src_host.len() as u64)
+                    .map_err(|e| CudaError::InvalidValue(e.to_string()))?;
+                src_host.copy_from_slice(&data);
+                Ok(())
+            }
+            MemcpyKind::DeviceToDevice => Err(CudaError::InvalidValue(
+                "device-to-device memcpy requires two device pointers; use cuda_memcpy_d2d".into(),
+            )),
+        }
+    }
+
+    /// `cudaMemcpy` device-to-device.
+    pub fn cuda_memcpy_d2d(&self, dst: DevicePtr, src: DevicePtr, len: u64) -> CudaResult<()> {
+        self.device
+            .memory()
+            .copy_within(src, dst, len)
+            .map_err(|e| CudaError::InvalidValue(e.to_string()))
+    }
+
+    /// Upload an `f32` slice (convenience; CUDA codebases wrap memcpy the
+    /// same way).
+    pub fn upload_f32(&self, data: &[f32]) -> CudaResult<DevicePtr> {
+        self.device.alloc_copy_f32(data).map_err(|e| CudaError::MemoryAllocation(e.to_string()))
+    }
+
+    /// Download `n` `f32` values.
+    pub fn download_f32(&self, ptr: DevicePtr, n: usize) -> CudaResult<Vec<f32>> {
+        self.device.read_f32(ptr, n).map_err(|e| CudaError::InvalidValue(e.to_string()))
+    }
+
+    /// Upload an `f64` slice.
+    pub fn upload_f64(&self, data: &[f64]) -> CudaResult<DevicePtr> {
+        self.device.alloc_copy_f64(data).map_err(|e| CudaError::MemoryAllocation(e.to_string()))
+    }
+
+    /// Download `n` `f64` values.
+    pub fn download_f64(&self, ptr: DevicePtr, n: usize) -> CudaResult<Vec<f64>> {
+        self.device.read_f64(ptr, n).map_err(|e| CudaError::InvalidValue(e.to_string()))
+    }
+
+    /// Compile a kernel with the best available CUDA toolchain (nvcc-like;
+    /// Clang-CUDA is the registered fallback, as in description 1).
+    pub fn compile(&self, kernel: &KernelIr) -> CudaResult<CudaKernel> {
+        let compiler = self
+            .registry
+            .select_best(Model::Cuda, self.language, Vendor::Nvidia)
+            .ok_or(CudaError::NoToolchain)?;
+        let module = compiler
+            .compile(kernel, Model::Cuda, self.language, Vendor::Nvidia)
+            .map_err(|e| CudaError::LaunchFailure(e.to_string()))?;
+        Ok(CudaKernel { module, efficiency: compiler.efficiency(), toolchain: compiler.name })
+    }
+
+    /// `<<<grid, block>>>` launch.
+    pub fn launch(
+        &self,
+        kernel: &CudaKernel,
+        grid_dim: u32,
+        block_dim: u32,
+        args: &[KernelArg],
+    ) -> CudaResult<LaunchReport> {
+        let cfg = LaunchConfig {
+            grid_dim,
+            block_dim,
+            policy: Default::default(),
+            efficiency: kernel.efficiency,
+        };
+        self.device
+            .launch(&kernel.module, cfg, args)
+            .map_err(|e| CudaError::LaunchFailure(e.to_string()))
+    }
+}
+
+/// A compiled CUDA kernel (module + the toolchain that produced it).
+pub struct CudaKernel {
+    module: Module,
+    efficiency: f64,
+    /// Which virtual toolchain compiled this kernel.
+    pub toolchain: &'static str,
+}
+
+impl CudaKernel {
+    /// The compiled module (used by BabelStream adapters and tests).
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Route efficiency applied at launch.
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmm_gpu_sim::DeviceSpec;
+
+    fn nvidia() -> Arc<Device> {
+        Device::new(DeviceSpec::nvidia_a100())
+    }
+
+    fn saxpy_ir() -> KernelIr {
+        let mut k = KernelBuilder::new("saxpy");
+        let a = k.param(Type::F32);
+        let x = k.param(Type::I64);
+        let y = k.param(Type::I64);
+        let n = k.param(Type::I32);
+        let i = k.global_thread_id_x();
+        let ok = k.cmp(CmpOp::Lt, i, n);
+        k.if_(ok, |k| {
+            let xi = k.ld_elem(Space::Global, Type::F32, x, i);
+            let yi = k.ld_elem(Space::Global, Type::F32, y, i);
+            let ax = k.bin(BinOp::Mul, a, xi);
+            let s = k.bin(BinOp::Add, ax, yi);
+            k.st_elem(Space::Global, y, i, s);
+        });
+        k.finish()
+    }
+
+    #[test]
+    fn context_rejects_non_nvidia_devices() {
+        // Description 18/31: CUDA does not run directly on AMD/Intel.
+        for spec in [DeviceSpec::amd_mi250x(), DeviceSpec::intel_pvc()] {
+            let dev = Device::new(spec);
+            match CudaContext::new(dev) {
+                Err(CudaError::NoDevice { actual }) => assert_ne!(actual, Vendor::Nvidia),
+                other => panic!("expected NoDevice, got {:?}", other.err()),
+            }
+        }
+    }
+
+    #[test]
+    fn saxpy_end_to_end() {
+        let ctx = CudaContext::new(nvidia()).unwrap();
+        let kernel = ctx.compile(&saxpy_ir()).unwrap();
+        assert_eq!(kernel.toolchain, "CUDA Toolkit (nvcc)");
+        assert_eq!(kernel.efficiency(), 1.0);
+
+        let n = 1 << 12;
+        let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let ys = vec![0.5f32; n];
+        let dx = ctx.upload_f32(&xs).unwrap();
+        let dy = ctx.upload_f32(&ys).unwrap();
+        ctx.launch(
+            &kernel,
+            (n as u32).div_ceil(256),
+            256,
+            &[KernelArg::F32(2.0), KernelArg::Ptr(dx), KernelArg::Ptr(dy), KernelArg::I32(n as i32)],
+        )
+        .unwrap();
+        let out = ctx.download_f32(dy, n).unwrap();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f32 + 0.5);
+        }
+    }
+
+    #[test]
+    fn memcpy_roundtrip_and_d2d() {
+        let ctx = CudaContext::new(nvidia()).unwrap();
+        let a = ctx.cuda_malloc(1024).unwrap();
+        let b = ctx.cuda_malloc(1024).unwrap();
+        let mut host: Vec<u8> = (0..=255).cycle().take(1024).collect();
+        ctx.cuda_memcpy(a, &mut host, MemcpyKind::HostToDevice).unwrap();
+        ctx.cuda_memcpy_d2d(b, a, 1024).unwrap();
+        let mut back = vec![0u8; 1024];
+        ctx.cuda_memcpy(b, &mut back, MemcpyKind::DeviceToHost).unwrap();
+        assert_eq!(host, back);
+        ctx.cuda_free(a, 1024);
+        ctx.cuda_free(b, 1024);
+    }
+
+    #[test]
+    fn invalid_memcpy_kind_reports_invalid_value() {
+        let ctx = CudaContext::new(nvidia()).unwrap();
+        let a = ctx.cuda_malloc(16).unwrap();
+        let mut buf = vec![0u8; 16];
+        assert!(matches!(
+            ctx.cuda_memcpy(a, &mut buf, MemcpyKind::DeviceToDevice),
+            Err(CudaError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_malloc_fails_cleanly() {
+        let ctx = CudaContext::new(nvidia()).unwrap();
+        let err = ctx.cuda_malloc(1 << 60).unwrap_err();
+        assert!(matches!(err, CudaError::MemoryAllocation(_)));
+        assert!(err.to_string().contains("cudaErrorMemoryAllocation"));
+    }
+
+    #[test]
+    fn f64_kernels_work() {
+        let mut k = KernelBuilder::new("scale64");
+        let x = k.param(Type::I64);
+        let n = k.param(Type::I32);
+        let i = k.global_thread_id_x();
+        let ok = k.cmp(CmpOp::Lt, i, n);
+        k.if_(ok, |k| {
+            let v = k.ld_elem(Space::Global, Type::F64, x, i);
+            let w = k.bin(BinOp::Mul, v, Value::F64(3.0));
+            k.st_elem(Space::Global, x, i, w);
+        });
+        let ir = k.finish();
+        let ctx = CudaContext::new(nvidia()).unwrap();
+        let kernel = ctx.compile(&ir).unwrap();
+        let data: Vec<f64> = (0..100).map(f64::from).collect();
+        let d = ctx.upload_f64(&data).unwrap();
+        ctx.launch(&kernel, 1, 128, &[KernelArg::Ptr(d), KernelArg::I32(100)]).unwrap();
+        let out = ctx.download_f64(d, 100).unwrap();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 3.0 * i as f64);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Virtual compilers — one per encoded route.
+
+use crate::{vendor_isa, efficiency::route_efficiency};
+use mcmm_core::provider::Maintenance;
+use mcmm_core::route::{Route, RouteKind};
+use mcmm_core::taxonomy::{Language, Model, Vendor};
+use mcmm_gpu_sim::ir::KernelIr;
+use mcmm_gpu_sim::isa::{assemble, Module};
+use std::fmt;
+
+/// Why a compilation was refused — each variant corresponds to a hole the
+/// paper documents.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field meanings are fully specified per variant
+pub enum CompileError {
+    /// The toolchain does not accept this model/language pair
+    /// (e.g. SYCL has no Fortran surface, description 6).
+    UnsupportedSource { toolchain: String, model: Model, language: Language },
+    /// The toolchain cannot target this vendor
+    /// (e.g. nvcc cannot emit GCN code).
+    UnsupportedTarget { toolchain: String, vendor: Vendor },
+    /// The toolchain is discontinued (ComputeCpp after 09/2023, ZLUDA).
+    Discontinued { toolchain: String },
+    /// The kernel itself is invalid.
+    InvalidKernel(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnsupportedSource { toolchain, model, language } => {
+                write!(f, "{toolchain}: does not accept {model} {language}")
+            }
+            CompileError::UnsupportedTarget { toolchain, vendor } => {
+                write!(f, "{toolchain}: cannot target {vendor} GPUs")
+            }
+            CompileError::Discontinued { toolchain } => {
+                write!(f, "{toolchain}: discontinued / unmaintained")
+            }
+            CompileError::InvalidKernel(m) => write!(f, "invalid kernel: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A virtual compiler: the executable form of one dataset route.
+#[derive(Debug, Clone)]
+pub struct VirtualCompiler {
+    /// Toolchain name — identical to the dataset route's `toolchain` string.
+    pub name: &'static str,
+    /// Which model/language pairs this compiler front-end accepts.
+    pub accepts: Vec<(Model, Language)>,
+    /// Which vendors it can emit code for.
+    pub targets: Vec<Vendor>,
+    /// The dataset route this compiler realises (metadata for rating and
+    /// efficiency).
+    pub route: Route,
+}
+
+impl VirtualCompiler {
+    /// Can this compiler handle the given source on the given target?
+    pub fn supports(&self, model: Model, language: Language, vendor: Vendor) -> bool {
+        self.accepts.contains(&(model, language)) && self.targets.contains(&vendor)
+    }
+
+    /// Is the compiler usable at all (not discontinued)?
+    pub fn is_available(&self) -> bool {
+        self.route.maintenance != Maintenance::Unmaintained
+    }
+
+    /// The efficiency factor its emitted code achieves.
+    pub fn efficiency(&self) -> f64 {
+        route_efficiency(&self.route)
+    }
+
+    /// Compile a kernel for the given source pair and target vendor.
+    ///
+    /// This is where the paper's compatibility holes become real failures:
+    /// unsupported source → [`CompileError::UnsupportedSource`],
+    /// unsupported vendor → [`CompileError::UnsupportedTarget`],
+    /// discontinued toolchain → [`CompileError::Discontinued`].
+    pub fn compile(
+        &self,
+        kernel: &KernelIr,
+        model: Model,
+        language: Language,
+        vendor: Vendor,
+    ) -> Result<Module, CompileError> {
+        if !self.accepts.contains(&(model, language)) {
+            return Err(CompileError::UnsupportedSource {
+                toolchain: self.name.to_owned(),
+                model,
+                language,
+            });
+        }
+        if !self.targets.contains(&vendor) {
+            return Err(CompileError::UnsupportedTarget {
+                toolchain: self.name.to_owned(),
+                vendor,
+            });
+        }
+        if !self.is_available() {
+            return Err(CompileError::Discontinued { toolchain: self.name.to_owned() });
+        }
+        assemble(kernel, vendor_isa(vendor))
+            .map_err(|e| CompileError::InvalidKernel(e.to_string()))
+    }
+
+    /// Does this route's software kind involve compiling IR at all?
+    /// (Source translators transform frontend sources instead; they are
+    /// exercised in `mcmm-translate`.)
+    pub fn is_ir_compiler(&self) -> bool {
+        !matches!(self.route.kind, RouteKind::SourceTranslator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmm_core::provider::Provider;
+    use mcmm_core::route::{Completeness, Directness};
+    use mcmm_gpu_sim::ir::{KernelBuilder, Type};
+
+    fn nvcc_like() -> VirtualCompiler {
+        VirtualCompiler {
+            name: "CUDA Toolkit (nvcc)",
+            accepts: vec![(Model::Cuda, Language::Cpp)],
+            targets: vec![Vendor::Nvidia],
+            route: Route::new(
+                "CUDA Toolkit (nvcc)",
+                RouteKind::Compiler,
+                Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            ),
+        }
+    }
+
+    fn trivial_kernel() -> KernelIr {
+        let mut k = KernelBuilder::new("t");
+        let _ = k.param(Type::I64);
+        k.finish()
+    }
+
+    #[test]
+    fn compiles_supported_combination() {
+        let c = nvcc_like();
+        let m = c.compile(&trivial_kernel(), Model::Cuda, Language::Cpp, Vendor::Nvidia).unwrap();
+        assert_eq!(m.isa, mcmm_gpu_sim::isa::IsaKind::PtxLike);
+        assert_eq!(c.efficiency(), 1.0);
+    }
+
+    #[test]
+    fn rejects_wrong_language() {
+        let c = nvcc_like();
+        let err = c
+            .compile(&trivial_kernel(), Model::Cuda, Language::Fortran, Vendor::Nvidia)
+            .unwrap_err();
+        assert!(matches!(err, CompileError::UnsupportedSource { .. }));
+        assert!(err.to_string().contains("Fortran"));
+    }
+
+    #[test]
+    fn rejects_wrong_vendor() {
+        let c = nvcc_like();
+        let err =
+            c.compile(&trivial_kernel(), Model::Cuda, Language::Cpp, Vendor::Amd).unwrap_err();
+        assert!(matches!(err, CompileError::UnsupportedTarget { .. }));
+        assert!(err.to_string().contains("AMD"));
+    }
+
+    #[test]
+    fn discontinued_toolchain_refuses() {
+        let mut c = nvcc_like();
+        c.route = c.route.maintenance(Maintenance::Unmaintained);
+        let err =
+            c.compile(&trivial_kernel(), Model::Cuda, Language::Cpp, Vendor::Nvidia).unwrap_err();
+        assert!(matches!(err, CompileError::Discontinued { .. }));
+        assert!(!c.is_available());
+    }
+}

@@ -1,0 +1,95 @@
+//! Route-efficiency factors for the timing model.
+//!
+//! The paper deliberately does not evaluate performance (§5), but its
+//! sources do: translated and directive-based routes typically reach a
+//! large fraction — not all — of native throughput (BabelStream-style
+//! studies, Hammond's GTC survey \[6\]). This module encodes that gradient
+//! as a deterministic function of route metadata. The factors are
+//! **synthetic calibration**, documented in EXPERIMENTS.md: they produce
+//! the *shape* native ≥ translated ≥ binding ≥ experimental ≥ stale, not
+//! absolute numbers.
+
+use mcmm_core::provider::Maintenance;
+use mcmm_core::route::{Completeness, Directness, Route};
+
+/// Efficiency factor in (0, 1] for a route, fed to
+/// [`mcmm_gpu_sim::timing::kernel_time`].
+pub fn route_efficiency(route: &Route) -> f64 {
+    let mut e: f64 = match route.directness {
+        Directness::Direct => 1.0,
+        Directness::Translated => 0.92,
+        Directness::Binding => 0.90,
+    };
+    e *= match route.completeness {
+        Completeness::Complete => 1.0,
+        Completeness::Majority => 0.95,
+        Completeness::Minimal => 0.75,
+    };
+    e *= match route.maintenance {
+        Maintenance::Active => 1.0,
+        Maintenance::Experimental => 0.88,
+        Maintenance::Stale => 0.70,
+        Maintenance::Unmaintained => 0.60,
+    };
+    // Floor: even the worst route executes, just slowly.
+    e.max(0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmm_core::provider::Provider;
+    use mcmm_core::route::RouteKind;
+
+    fn route(d: Directness, c: Completeness, m: Maintenance) -> Route {
+        Route::new("t", RouteKind::Compiler, Provider::DeviceVendor, d, c).maintenance(m)
+    }
+
+    #[test]
+    fn native_route_is_unity() {
+        let r = route(Directness::Direct, Completeness::Complete, Maintenance::Active);
+        assert_eq!(route_efficiency(&r), 1.0);
+    }
+
+    #[test]
+    fn gradient_native_ge_translated_ge_stale() {
+        let native = route(Directness::Direct, Completeness::Complete, Maintenance::Active);
+        let translated = route(Directness::Translated, Completeness::Complete, Maintenance::Active);
+        let binding = route(Directness::Binding, Completeness::Majority, Maintenance::Active);
+        let experimental =
+            route(Directness::Direct, Completeness::Minimal, Maintenance::Experimental);
+        let stale = route(Directness::Translated, Completeness::Minimal, Maintenance::Stale);
+        let e = [
+            route_efficiency(&native),
+            route_efficiency(&translated),
+            route_efficiency(&binding),
+            route_efficiency(&experimental),
+            route_efficiency(&stale),
+        ];
+        for w in e.windows(2) {
+            assert!(w[0] >= w[1], "gradient violated: {e:?}");
+        }
+    }
+
+    #[test]
+    fn always_in_unit_interval() {
+        for d in [Directness::Direct, Directness::Translated, Directness::Binding] {
+            for c in [Completeness::Complete, Completeness::Majority, Completeness::Minimal] {
+                for m in Maintenance::ALL {
+                    let e = route_efficiency(&route(d, c, m));
+                    assert!(e > 0.0 && e <= 1.0, "{d:?}/{c:?}/{m:?} → {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whole_dataset_routes_have_valid_efficiencies() {
+        for cell in mcmm_core::dataset::paper_cells() {
+            for r in &cell.routes {
+                let e = route_efficiency(r);
+                assert!(e > 0.0 && e <= 1.0, "{}: {} → {e}", cell.id, r.toolchain);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The toolchain registry: every route of the Figure 1 dataset, as an
+//! executable [`VirtualCompiler`].
+//!
+//! Entries are instantiated per (cell, route) rather than merged by
+//! toolchain name, because the same software plays different roles on
+//! different targets (hipfort is *vendor* support on AMD but third-party
+//! support on NVIDIA; DPC++ is the native compiler on Intel and a plugin
+//! elsewhere) — the dataset encodes exactly that, and the registry
+//! preserves it.
+
+use crate::compiler::VirtualCompiler;
+use mcmm_core::matrix::CompatMatrix;
+use mcmm_core::taxonomy::{Language, Model, Vendor};
+
+/// All virtual compilers derived from a compatibility matrix.
+pub struct Registry {
+    entries: Vec<VirtualCompiler>,
+}
+
+impl Registry {
+    /// Build the registry from the paper's matrix.
+    pub fn paper() -> Self {
+        Self::from_matrix(&CompatMatrix::paper())
+    }
+
+    /// Build from an arbitrary (e.g. evolved/perturbed) matrix.
+    pub fn from_matrix(matrix: &CompatMatrix) -> Self {
+        let mut entries = Vec::new();
+        for cell in matrix.cells() {
+            for route in &cell.routes {
+                entries.push(VirtualCompiler {
+                    name: route.toolchain,
+                    accepts: vec![(cell.id.model, cell.id.language)],
+                    targets: vec![cell.id.vendor],
+                    route: route.clone(),
+                });
+            }
+        }
+        Self { entries }
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[VirtualCompiler] {
+        &self.entries
+    }
+
+    /// Compilers supporting the given source pair on the given vendor.
+    pub fn select(&self, model: Model, language: Language, vendor: Vendor) -> Vec<&VirtualCompiler> {
+        self.entries.iter().filter(|c| c.supports(model, language, vendor)).collect()
+    }
+
+    /// The best available compiler for the combination: available, IR-level
+    /// (source translators are handled by `mcmm-translate`), preferring
+    /// viable routes and then the highest efficiency.
+    pub fn select_best(
+        &self,
+        model: Model,
+        language: Language,
+        vendor: Vendor,
+    ) -> Option<&VirtualCompiler> {
+        self.select(model, language, vendor)
+            .into_iter()
+            .filter(|c| c.is_available() && c.is_ir_compiler())
+            .max_by(|a, b| {
+                let key = |c: &&VirtualCompiler| {
+                    (c.route.is_viable(), c.efficiency(), c.route.provider.is_device_vendor())
+                };
+                key(a).partial_cmp(&key(b)).expect("efficiencies are finite")
+            })
+    }
+}
+
+/// Convenience: select from the paper registry.
+pub fn select(model: Model, language: Language, vendor: Vendor) -> Vec<VirtualCompiler> {
+    Registry::paper().select(model, language, vendor).into_iter().cloned().collect()
+}
+
+/// Convenience: best compiler from the paper registry.
+pub fn select_best(model: Model, language: Language, vendor: Vendor) -> Option<VirtualCompiler> {
+    Registry::paper().select_best(model, language, vendor).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmm_core::support::Support;
+
+    #[test]
+    fn registry_has_one_entry_per_dataset_route() {
+        let m = CompatMatrix::paper();
+        let r = Registry::from_matrix(&m);
+        assert_eq!(r.entries().len(), m.route_count());
+        assert!(r.entries().len() > 50);
+    }
+
+    #[test]
+    fn native_models_resolve_to_native_compilers() {
+        let r = Registry::paper();
+        let best = r.select_best(Model::Cuda, Language::Cpp, Vendor::Nvidia).unwrap();
+        assert_eq!(best.name, "CUDA Toolkit (nvcc)");
+        assert_eq!(best.efficiency(), 1.0);
+        let best = r.select_best(Model::Hip, Language::Cpp, Vendor::Amd).unwrap();
+        assert_eq!(best.name, "hipcc (ROCm/Clang AMDGPU)");
+        let best = r.select_best(Model::Sycl, Language::Cpp, Vendor::Intel).unwrap();
+        assert_eq!(best.name, "Intel oneAPI DPC++ (icpx -fsycl)");
+    }
+
+    #[test]
+    fn unsupported_combinations_have_no_compiler() {
+        let r = Registry::paper();
+        // SYCL Fortran: description 6 — no support anywhere.
+        for v in Vendor::ALL {
+            assert!(r.select(Model::Sycl, Language::Fortran, v).is_empty(), "{v}");
+        }
+        // Alpaka Fortran: description 16.
+        for v in Vendor::ALL {
+            assert!(r.select_best(Model::Alpaka, Language::Fortran, v).is_none(), "{v}");
+        }
+    }
+
+    #[test]
+    fn every_supported_cell_has_a_route_and_none_cells_have_none() {
+        let m = CompatMatrix::paper();
+        let r = Registry::from_matrix(&m);
+        for cell in m.cells() {
+            let found = r.select(cell.id.model, cell.id.language, cell.id.vendor);
+            if cell.support == Support::None && !cell.is_double_rated() {
+                assert!(found.is_empty(), "{} rated none but registry has routes", cell.id);
+            } else {
+                assert!(!found.is_empty(), "{} rated {} but registry empty", cell.id, cell.support);
+            }
+        }
+    }
+
+    #[test]
+    fn hipfort_roles_differ_by_target() {
+        // Same toolchain name, different provider role per vendor.
+        let r = Registry::paper();
+        let on_amd = r.select(Model::Hip, Language::Fortran, Vendor::Amd);
+        let on_nvidia = r.select(Model::Hip, Language::Fortran, Vendor::Nvidia);
+        assert_eq!(on_amd.len(), 1);
+        assert_eq!(on_nvidia.len(), 1);
+        assert!(on_amd[0].route.provider.is_device_vendor());
+        assert!(!on_nvidia[0].route.provider.is_device_vendor());
+    }
+
+    #[test]
+    fn computecpp_exists_but_is_not_selected() {
+        let r = Registry::paper();
+        let all = r.select(Model::Sycl, Language::Cpp, Vendor::Nvidia);
+        assert!(all.iter().any(|c| c.name == "ComputeCpp"));
+        let best = r.select_best(Model::Sycl, Language::Cpp, Vendor::Nvidia).unwrap();
+        assert_ne!(best.name, "ComputeCpp", "discontinued toolchain must not win selection");
+    }
+}

@@ -1,0 +1,118 @@
+//! The Intel Application Migration Tool for OpenACC to OpenMP
+//! (descriptions 22, 23, 36, 37): a source-to-source directive rewriter.
+//!
+//! OpenACC has no Intel route, so the tool's job is to turn
+//! `#pragma acc parallel loop` into `#pragma omp target teams distribute
+//! parallel for`, data directives into `map` clauses, etc. It handles both
+//! C/C++ and Fortran directive spellings.
+
+use crate::ast::{Dialect, GpuProgram};
+use crate::TranslateError;
+
+/// Directive mapping (subset of the real tool's table).
+const DIRECTIVE_MAP: &[(&str, &str)] = &[
+    ("acc parallel loop gang vector", "omp target teams distribute parallel for"),
+    ("acc parallel loop", "omp target teams distribute parallel for"),
+    ("acc kernels", "omp target teams distribute parallel for"),
+    ("acc enter data copyin", "omp target enter data map(to:"),
+    ("acc exit data copyout", "omp target exit data map(from:"),
+    ("acc data copy", "omp target data map(tofrom:"),
+    ("acc update host", "omp target update from"),
+    ("acc update device", "omp target update to"),
+];
+
+/// Translate an OpenACC program (C++ or Fortran) to OpenMP.
+pub fn acc_to_omp(program: &GpuProgram) -> Result<GpuProgram, TranslateError> {
+    let target_dialect = match program.dialect {
+        Dialect::OpenAccCpp => Dialect::OpenMpCpp,
+        Dialect::OpenAccFortran => Dialect::OpenMpFortran,
+        other => {
+            return Err(TranslateError::WrongDialect {
+                translator: "Intel OpenACC→OpenMP migration tool",
+                found: other,
+            })
+        }
+    };
+    let mut out = program.clone();
+    out.dialect = target_dialect;
+    for step in &mut out.steps {
+        step.api = map_directive(&step.api);
+    }
+    for k in &mut out.kernels {
+        k.launch_syntax = map_directive(&k.launch_syntax);
+    }
+    Ok(out)
+}
+
+fn map_directive(text: &str) -> String {
+    let mut s = text.to_owned();
+    for (from, to) in DIRECTIVE_MAP {
+        if s.contains(from) {
+            s = s.replace(from, to);
+            break;
+        }
+    }
+    // Non-directive API helpers.
+    s = s.replace("acc_malloc", "omp_target_alloc").replace("acc_free", "omp_target_free");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::openacc_scale_program;
+    use crate::exec::run_program;
+    use mcmm_gpu_sim::{Device, DeviceSpec};
+
+    #[test]
+    fn rewrites_directives() {
+        let acc = openacc_scale_program(32, 2.0);
+        let omp = acc_to_omp(&acc).unwrap();
+        assert_eq!(omp.dialect, Dialect::OpenMpCpp);
+        assert!(omp.uses_api("omp target teams distribute parallel for"));
+        assert!(omp.uses_api("omp target enter data map(to:"));
+        assert!(omp.uses_api("omp_target_alloc"));
+        assert!(!omp.uses_api("#pragma acc"));
+    }
+
+    #[test]
+    fn openacc_cannot_run_on_intel_but_migrated_openmp_can() {
+        // The description 36 story end-to-end.
+        let acc = openacc_scale_program(100, 3.0);
+        let dev = Device::new(DeviceSpec::intel_pvc());
+        assert!(run_program(&acc, &dev).is_err(), "OpenACC must not run on Intel directly");
+        let omp = acc_to_omp(&acc).unwrap();
+        let out = run_program(&omp, &dev).unwrap();
+        for (i, v) in out["x"].iter().enumerate() {
+            assert_eq!(*v, 3.0 * i as f32);
+        }
+    }
+
+    #[test]
+    fn fortran_variant_translates_too() {
+        // Description 37.
+        let mut acc = openacc_scale_program(16, 1.0);
+        acc.dialect = Dialect::OpenAccFortran;
+        for s in &mut acc.steps {
+            s.api = s.api.replace("#pragma acc", "!$acc");
+        }
+        let omp = acc_to_omp(&acc).unwrap();
+        assert_eq!(omp.dialect, Dialect::OpenMpFortran);
+    }
+
+    #[test]
+    fn refuses_cuda_sources() {
+        let cuda = crate::ast::cuda_saxpy_program(8, 1.0);
+        assert!(matches!(acc_to_omp(&cuda), Err(TranslateError::WrongDialect { .. })));
+    }
+
+    #[test]
+    fn also_usable_for_amd_targets() {
+        // Description 22 notes the tool "can also be used for AMD's
+        // platform": migrate, then run the OpenMP program on MI250X.
+        let omp = acc_to_omp(&openacc_scale_program(64, 5.0)).unwrap();
+        let dev = Device::new(DeviceSpec::amd_mi250x());
+        let out = run_program(&omp, &dev).unwrap();
+        assert_eq!(out["x"][10], 50.0);
+    }
+}

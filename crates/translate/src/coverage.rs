@@ -1,0 +1,117 @@
+//! Coverage report across the translators — which dialects each tool
+//! accepts, produces, and where it lands in the matrix. Backs the
+//! migration-paths example and the §5 "Topicality" discussion (GPUFORT's
+//! staleness shows up as partial coverage here).
+
+use crate::ast::Dialect;
+
+/// A translator's static coverage facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranslatorInfo {
+    /// Translator name.
+    pub name: &'static str,
+    /// Source dialects it accepts.
+    pub accepts: &'static [Dialect],
+    /// Dialects of the programs it emits (empty for in-place compilers).
+    pub produces: &'static [Dialect],
+    /// Complete enough to ground an "indirect good support" rating?
+    pub comprehensive: bool,
+    /// Paper description numbers where the tool appears.
+    pub descriptions: &'static [u8],
+}
+
+/// All translators modeled in this crate.
+pub fn translators() -> Vec<TranslatorInfo> {
+    vec![
+        TranslatorInfo {
+            name: "HIPIFY",
+            accepts: &[Dialect::CudaCpp],
+            produces: &[Dialect::HipCpp],
+            comprehensive: true,
+            descriptions: &[3, 18],
+        },
+        TranslatorInfo {
+            name: "SYCLomatic",
+            accepts: &[Dialect::CudaCpp],
+            produces: &[Dialect::SyclCpp],
+            comprehensive: true,
+            descriptions: &[5, 31],
+        },
+        TranslatorInfo {
+            name: "GPUFORT",
+            accepts: &[Dialect::CudaFortran, Dialect::OpenAccFortran],
+            produces: &[Dialect::OpenMpFortran, Dialect::HipCpp],
+            comprehensive: false, // use-case-driven coverage, stale
+            descriptions: &[19, 23],
+        },
+        TranslatorInfo {
+            name: "Intel OpenACC→OpenMP migration tool",
+            accepts: &[Dialect::OpenAccCpp, Dialect::OpenAccFortran],
+            produces: &[Dialect::OpenMpCpp, Dialect::OpenMpFortran],
+            comprehensive: false,
+            descriptions: &[22, 23, 36, 37],
+        },
+        TranslatorInfo {
+            name: "chipStar",
+            accepts: &[Dialect::CudaCpp, Dialect::HipCpp],
+            produces: &[], // compiles in place, produces no source
+            comprehensive: false,
+            descriptions: &[31, 33],
+        },
+    ]
+}
+
+/// Which translators can take a program of `from` toward running on model
+/// `to` sources (directly producing `to`)?
+pub fn paths(from: Dialect, to: Dialect) -> Vec<&'static str> {
+    translators()
+        .into_iter()
+        .filter(|t| t.accepts.contains(&from) && t.produces.contains(&to))
+        .map(|t| t.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_translators_registered() {
+        assert_eq!(translators().len(), 5);
+    }
+
+    #[test]
+    fn cuda_to_hip_is_hipify() {
+        assert_eq!(paths(Dialect::CudaCpp, Dialect::HipCpp), vec!["HIPIFY"]);
+    }
+
+    #[test]
+    fn cuda_to_sycl_is_syclomatic() {
+        assert_eq!(paths(Dialect::CudaCpp, Dialect::SyclCpp), vec!["SYCLomatic"]);
+    }
+
+    #[test]
+    fn no_hip_to_sycl_source_path() {
+        // Description 21: "no conversion tool like SYCLomatic exists" for
+        // the AMD direction.
+        assert!(paths(Dialect::HipCpp, Dialect::SyclCpp).is_empty());
+    }
+
+    #[test]
+    fn acc_fortran_has_two_paths() {
+        let p = paths(Dialect::OpenAccFortran, Dialect::OpenMpFortran);
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&"GPUFORT"));
+        assert!(p.contains(&"Intel OpenACC→OpenMP migration tool"));
+    }
+
+    #[test]
+    fn comprehensive_flags_match_the_ratings() {
+        for t in translators() {
+            match t.name {
+                "HIPIFY" | "SYCLomatic" => assert!(t.comprehensive, "{}", t.name),
+                _ => assert!(!t.comprehensive, "{}", t.name),
+            }
+        }
+    }
+}

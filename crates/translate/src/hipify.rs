@@ -1,0 +1,117 @@
+//! HIPIFY (descriptions 3, 18): AMD's CUDA→HIP source translator.
+//!
+//! "The mapping is relatively straight-forward; API calls are named
+//! similarly (for example: hipMalloc() instead of cudaMalloc()) and
+//! keywords of the kernel syntax are identical. HIP also supports some
+//! CUDA libraries and creates interfaces to them (like hipblasSaxpy()
+//! instead of cublasSaxpy())."
+
+use crate::ast::{Dialect, GpuProgram};
+use crate::TranslateError;
+
+/// The API rename table (subset of `hipify-perl`'s).
+const RENAMES: &[(&str, &str)] = &[
+    ("cudaMalloc", "hipMalloc"),
+    ("cudaMemcpyAsync", "hipMemcpyAsync"),
+    ("cudaMemcpy", "hipMemcpy"),
+    ("cudaFree", "hipFree"),
+    ("cudaDeviceSynchronize", "hipDeviceSynchronize"),
+    ("cudaLaunchKernel", "hipLaunchKernelGGL"),
+    ("cudaStreamCreate", "hipStreamCreate"),
+    ("cudaEventRecord", "hipEventRecord"),
+    ("cublas", "hipblas"),
+    ("HostToDevice", "HostToDevice"),
+];
+
+/// Translate a CUDA C++ program to HIP C++. Complete coverage — HIPIFY is
+/// the one translator the paper rates as comprehensive enough to ground
+/// an "indirect good support" cell.
+pub fn hipify(program: &GpuProgram) -> Result<GpuProgram, TranslateError> {
+    if program.dialect != Dialect::CudaCpp {
+        return Err(TranslateError::WrongDialect { translator: "HIPIFY", found: program.dialect });
+    }
+    let mut out = program.clone();
+    out.dialect = Dialect::HipCpp;
+    for step in &mut out.steps {
+        step.api = rename(&step.api);
+    }
+    for k in &mut out.kernels {
+        // Kernel syntax is identical; only the launch spelling changes.
+        k.launch_syntax = if k.launch_syntax.contains("<<<") {
+            format!(
+                "hipLaunchKernelGGL({}, grid, block, 0, 0, ...)",
+                k.name
+            )
+        } else {
+            rename(&k.launch_syntax)
+        };
+    }
+    Ok(out)
+}
+
+fn rename(api: &str) -> String {
+    let mut s = api.to_owned();
+    for (from, to) in RENAMES {
+        if s.contains(from) {
+            s = s.replace(from, to);
+            break; // longest-prefix entries are ordered first
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::cuda_saxpy_program;
+    use crate::exec::run_program;
+    use mcmm_gpu_sim::{Device, DeviceSpec};
+
+    #[test]
+    fn renames_the_api_surface() {
+        let cuda = cuda_saxpy_program(64, 2.0);
+        let hip = hipify(&cuda).unwrap();
+        assert_eq!(hip.dialect, Dialect::HipCpp);
+        assert!(hip.uses_api("hipMalloc"));
+        assert!(hip.uses_api("hipMemcpy"));
+        assert!(hip.uses_api("hipLaunchKernelGGL"));
+        assert!(!hip.uses_api("cudaMalloc"));
+        // Kernel IR is untouched — "keywords of the kernel syntax are
+        // identical".
+        assert_eq!(hip.kernels[0].ir, cuda.kernels[0].ir);
+    }
+
+    #[test]
+    fn translated_program_runs_on_amd() {
+        // The end-to-end description-18 flow: CUDA fails on AMD (see
+        // exec tests), HIPIFY output succeeds.
+        let cuda = cuda_saxpy_program(128, 3.0);
+        let hip = hipify(&cuda).unwrap();
+        let dev = Device::new(DeviceSpec::amd_mi250x());
+        let out = run_program(&hip, &dev).unwrap();
+        for (i, v) in out["y"].iter().enumerate() {
+            assert_eq!(*v, 3.0 * i as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn translated_program_still_runs_on_nvidia() {
+        // Description 3: HIP_PLATFORM=nvidia — the same HIP program keeps
+        // working on NVIDIA.
+        let hip = hipify(&cuda_saxpy_program(128, 3.0)).unwrap();
+        let dev = Device::new(DeviceSpec::nvidia_a100());
+        let out = run_program(&hip, &dev).unwrap();
+        assert_eq!(out["y"][10], 31.0);
+    }
+
+    #[test]
+    fn refuses_non_cuda_sources() {
+        let acc = crate::ast::openacc_scale_program(8, 1.0);
+        match hipify(&acc) {
+            Err(TranslateError::WrongDialect { translator: "HIPIFY", found }) => {
+                assert_eq!(found, Dialect::OpenAccCpp);
+            }
+            other => panic!("expected WrongDialect, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # mcmm-vandv — validation & verification suites
+//!
+//! The paper grounds its ratings in "dedicated validation suites" (§2, §5):
+//! the ECP SOLLVE OpenMP V&V suite \[8, 51\] and the OpenACC V&V suite
+//! \[9, 50\], plus the 2022 ECP Community BoF's compiler-by-compiler OpenMP
+//! coverage comparison \[7\]. This crate rebuilds that instrument: a battery
+//! of per-feature test cases for the directive models, runnable against
+//! every virtual compiler on every vendor, producing the
+//! pass/fail/unsupported coverage tables those suites report.
+//!
+//! The suites close the loop on the §3 method: a compiler's measured
+//! coverage fraction maps back onto the `Completeness` evidence its route
+//! carries in the dataset ([`report::completeness_from_coverage`]), and a
+//! test asserts the dataset's encoded completeness agrees with what the
+//! suite observes — ratings grounded in execution, not citation.
+
+pub mod openacc_suite;
+pub mod openmp_suite;
+pub mod report;
+pub mod suite;
+
+pub use report::{CompilerReport, Coverage};
+pub use suite::{TestCase, TestOutcome, TestResult};

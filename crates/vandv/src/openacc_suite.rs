@@ -1,0 +1,199 @@
+//! The OpenACC V&V suite (after Jarmusch et al. [9, 50]).
+//!
+//! Exercises the OpenACC frontend's constructs per compiler per vendor.
+//! On Intel the entire suite reports *unsupported* — the executable form
+//! of the paper's "support for Intel GPUs does not exist".
+
+use crate::suite::{TestCase, TestOutcome, TestResult};
+use mcmm_core::taxonomy::Vendor;
+use mcmm_gpu_sim::device::Device;
+use mcmm_gpu_sim::ir::{AtomicOp, Space, Type};
+use mcmm_model_openacc::{AccDevice, AccError, BinOp, LoopSchedule, Value};
+use mcmm_toolchain::vendor_device_spec;
+
+/// All cases in the suite.
+pub const CASES: &[TestCase] = &[
+    TestCase { name: "parallel_loop_basic", spec_version: "2.0", baseline: true },
+    TestCase { name: "kernels_construct", spec_version: "2.0", baseline: true },
+    TestCase { name: "data_copyin_copyout", spec_version: "2.0", baseline: true },
+    TestCase { name: "data_create_scratch", spec_version: "2.0", baseline: true },
+    TestCase { name: "gang_vector_schedule", spec_version: "2.0", baseline: true },
+    TestCase { name: "update_host_device", spec_version: "2.0", baseline: false },
+    TestCase { name: "multiple_loops_one_region", spec_version: "2.0", baseline: false },
+    TestCase { name: "atomic_capture", spec_version: "2.5", baseline: false },
+];
+
+fn outcome_from(res: Result<(), AccError>) -> TestOutcome {
+    match res {
+        Ok(()) => TestOutcome::Pass,
+        Err(AccError::NoSupport { vendor, language, .. }) => {
+            TestOutcome::Unsupported(format!("no OpenACC {language} on {vendor}"))
+        }
+        Err(e) => TestOutcome::Fail(e.to_string()),
+    }
+}
+
+fn check(ok: bool, what: &str) -> Result<(), AccError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(AccError::Runtime(format!("wrong result in {what}")))
+    }
+}
+
+fn run_case(acc: &AccDevice, case: &TestCase) -> TestOutcome {
+    const N: usize = 128;
+    match case.name {
+        "parallel_loop_basic" => outcome_from((|| {
+            let region = acc.data_region().copyout("y", N)?;
+            region.parallel_loop(N, LoopSchedule::default(), |b, i, p| {
+                let iv = b.cvt(Type::F64, i);
+                b.st_elem(Space::Global, p[0], i, iv);
+            })?;
+            let mut out = vec![0.0; N];
+            region.close(&mut [("y", &mut out)])?;
+            check(out.iter().enumerate().all(|(i, &v)| v == i as f64), case.name)
+        })()),
+        "kernels_construct" => outcome_from((|| {
+            let region = acc.data_region().copyout("y", N)?;
+            region.kernels(N, |b, i, p| {
+                b.st_elem(Space::Global, p[0], i, Value::F64(7.0));
+            })?;
+            let mut out = vec![0.0; N];
+            region.close(&mut [("y", &mut out)])?;
+            check(out.iter().all(|&v| v == 7.0), case.name)
+        })()),
+        "data_copyin_copyout" => outcome_from((|| {
+            let input: Vec<f64> = (0..N).map(|i| i as f64).collect();
+            let region = acc.data_region().copyin("x", &input)?.copyout("y", N)?;
+            region.parallel_loop(N, LoopSchedule::default(), |b, i, p| {
+                let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                let w = b.bin(BinOp::Mul, v, Value::F64(2.0));
+                b.st_elem(Space::Global, p[1], i, w);
+            })?;
+            let mut out = vec![0.0; N];
+            region.close(&mut [("y", &mut out)])?;
+            check(out.iter().enumerate().all(|(i, &v)| v == 2.0 * i as f64), case.name)
+        })()),
+        "data_create_scratch" => outcome_from((|| {
+            // y[i] = (x[i] staged through scratch) + 1
+            let input = vec![4.0f64; N];
+            let region = acc
+                .data_region()
+                .copyin("x", &input)?
+                .create("tmp", N)?
+                .copyout("y", N)?;
+            region.parallel_loop(N, LoopSchedule::default(), |b, i, p| {
+                let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                b.st_elem(Space::Global, p[1], i, v);
+            })?;
+            region.parallel_loop(N, LoopSchedule::default(), |b, i, p| {
+                let v = b.ld_elem(Space::Global, Type::F64, p[1], i);
+                let w = b.bin(BinOp::Add, v, Value::F64(1.0));
+                b.st_elem(Space::Global, p[2], i, w);
+            })?;
+            let mut out = vec![0.0; N];
+            region.close(&mut [("y", &mut out)])?;
+            check(out.iter().all(|&v| v == 5.0), case.name)
+        })()),
+        "gang_vector_schedule" => outcome_from((|| {
+            let region = acc.data_region().copyout("y", N)?;
+            region.parallel_loop(
+                N,
+                LoopSchedule { gangs: Some(4), vector_length: 32 },
+                |b, i, p| {
+                    let iv = b.cvt(Type::F64, i);
+                    b.st_elem(Space::Global, p[0], i, iv);
+                },
+            )?;
+            let mut out = vec![0.0; N];
+            region.close(&mut [("y", &mut out)])?;
+            check(out.iter().enumerate().all(|(i, &v)| v == i as f64), case.name)
+        })()),
+        "update_host_device" => outcome_from((|| {
+            let region = acc.data_region().copyin("x", &vec![1.0f64; N])?;
+            region.parallel_loop(N, LoopSchedule::default(), |b, i, p| {
+                let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                let w = b.bin(BinOp::Add, v, Value::F64(1.0));
+                b.st_elem(Space::Global, p[0], i, w);
+            })?;
+            let mid = region.update_host("x")?;
+            check(mid.iter().all(|&v| v == 2.0), "update host")?;
+            region.update_device("x", &vec![10.0; N])?;
+            let after = region.update_host("x")?;
+            check(after.iter().all(|&v| v == 10.0), "update device")
+        })()),
+        "multiple_loops_one_region" => outcome_from((|| {
+            let region = acc.data_region().copyin("x", &vec![1.0f64; N])?;
+            for _ in 0..3 {
+                region.parallel_loop(N, LoopSchedule::default(), |b, i, p| {
+                    let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                    let w = b.bin(BinOp::Mul, v, Value::F64(2.0));
+                    b.st_elem(Space::Global, p[0], i, w);
+                })?;
+            }
+            let out = region.update_host("x")?;
+            check(out.iter().all(|&v| v == 8.0), case.name)
+        })()),
+        "atomic_capture" => outcome_from((|| {
+            let region = acc.data_region().copyin("counter", &[0.0f64])?;
+            region.parallel_loop(N, LoopSchedule::default(), |b, _i, p| {
+                let one = b.imm(Value::F64(1.0));
+                let zero = b.imm(Value::I32(0));
+                let addr = b.elem_addr(Type::F64, p[0], zero);
+                let _old = b.atomic(AtomicOp::Add, Space::Global, addr, one);
+            })?;
+            let out = region.update_host("counter")?;
+            check(out[0] == N as f64, case.name)
+        })()),
+        other => TestOutcome::Fail(format!("unknown test case {other}")),
+    }
+}
+
+/// Run the suite for a vendor's best OpenACC compiler (or report the
+/// whole suite unsupported, as on Intel).
+pub fn run(vendor: Vendor) -> Vec<TestResult> {
+    let device = Device::new(vendor_device_spec(vendor));
+    let acc = match AccDevice::new(device) {
+        Ok(acc) => acc,
+        Err(e) => {
+            return CASES
+                .iter()
+                .map(|&case| TestResult {
+                    case,
+                    outcome: TestOutcome::Unsupported(e.to_string()),
+                })
+                .collect()
+        }
+    };
+    CASES.iter().map(|case| TestResult { case: *case, outcome: run_case(&acc, case) }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvidia_and_amd_pass_the_whole_suite() {
+        for vendor in [Vendor::Nvidia, Vendor::Amd] {
+            for r in run(vendor) {
+                assert!(r.outcome.passed(), "{vendor}/{}: {}", r.case.name, r.outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn intel_reports_everything_unsupported() {
+        // Paper §6: OpenACC "support for Intel GPUs does not exist".
+        let results = run(Vendor::Intel);
+        assert_eq!(results.len(), CASES.len());
+        for r in results {
+            assert!(
+                matches!(r.outcome, TestOutcome::Unsupported(_)),
+                "{}: {}",
+                r.case.name,
+                r.outcome
+            );
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The OpenMP offload V&V suite (after SOLLVE V&V \[8, 51\] and the ECP
+//! BoF compiler comparison \[7\]).
+//!
+//! Each test case drives one offloading feature through
+//! [`mcmm_model_openmp::OmpDevice`] bound to a *specific* compiler, so the
+//! suite can be run compiler-by-compiler like the BoF table.
+
+use crate::suite::{TestCase, TestOutcome, TestResult};
+use mcmm_core::taxonomy::Vendor;
+use mcmm_gpu_sim::device::Device;
+use mcmm_gpu_sim::ir::{Space, Type};
+use mcmm_model_openmp::{BinOp, MapClause, OmpDevice, OmpError, OmpFeature, Reduction, Value};
+use mcmm_toolchain::vendor_device_spec;
+
+/// All cases in the suite.
+pub const CASES: &[TestCase] = &[
+    TestCase { name: "target_offload_basic", spec_version: "4.5", baseline: true },
+    TestCase { name: "map_to_and_from", spec_version: "4.5", baseline: true },
+    TestCase { name: "saxpy_numerics", spec_version: "4.5", baseline: true },
+    TestCase { name: "target_data_region", spec_version: "4.5", baseline: true },
+    TestCase { name: "reduction_add", spec_version: "4.5", baseline: false },
+    TestCase { name: "reduction_min", spec_version: "4.5", baseline: false },
+    TestCase { name: "reduction_max", spec_version: "4.5", baseline: false },
+    TestCase { name: "loop_construct", spec_version: "5.0", baseline: false },
+    TestCase { name: "unified_shared_memory", spec_version: "5.0", baseline: false },
+    TestCase { name: "metadirective", spec_version: "5.1", baseline: false },
+];
+
+/// OpenMP compilers the ECP BoF compared, per vendor, by registry name.
+pub fn compilers_for(vendor: Vendor) -> Vec<&'static str> {
+    match vendor {
+        Vendor::Nvidia => vec![
+            "NVIDIA HPC SDK (nvc/nvc++ -mp)",
+            "GCC (-fopenmp -foffload=nvptx-none)",
+            "Clang (-fopenmp -fopenmp-targets=nvptx64)",
+            "HPE Cray PE (CC -fopenmp)",
+            "AOMP (NVIDIA target)",
+        ],
+        Vendor::Amd => vec!["AOMP (Clang-based)", "HPE Cray PE (CC -fopenmp)"],
+        Vendor::Intel => vec!["Intel oneAPI DPC++/C++ (icpx -qopenmp)"],
+    }
+}
+
+fn outcome_from(res: Result<(), OmpError>) -> TestOutcome {
+    match res {
+        Ok(()) => TestOutcome::Pass,
+        Err(OmpError::UnsupportedFeature { toolchain, feature }) => {
+            TestOutcome::Unsupported(format!("{toolchain}: {feature:?}"))
+        }
+        Err(e) => TestOutcome::Fail(e.to_string()),
+    }
+}
+
+fn check(ok: bool, what: &str) -> Result<(), OmpError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(OmpError::Runtime(format!("wrong result in {what}")))
+    }
+}
+
+fn run_case(omp: &OmpDevice, case: &TestCase) -> TestOutcome {
+    const N: usize = 128;
+    match case.name {
+        "target_offload_basic" => outcome_from((|| {
+            let mut x = vec![1.0f64; N];
+            let mut maps = [MapClause::tofrom(&mut x)];
+            omp.target_teams_distribute_parallel_for(N, &mut maps, None, &[], |b, i, p| {
+                let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                let w = b.bin(BinOp::Add, v, Value::F64(1.0));
+                b.st_elem(Space::Global, p[0], i, w);
+            })?;
+            check(x.iter().all(|&v| v == 2.0), case.name)
+        })()),
+        "map_to_and_from" => outcome_from((|| {
+            let mut src: Vec<f64> = (0..N).map(|i| i as f64).collect();
+            let mut dst = vec![0.0f64; N];
+            let mut maps = [MapClause::to(&mut src), MapClause::from(&mut dst)];
+            omp.target_teams_distribute_parallel_for(N, &mut maps, None, &[], |b, i, p| {
+                let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                b.st_elem(Space::Global, p[1], i, v);
+            })?;
+            check(dst.iter().enumerate().all(|(i, &v)| v == i as f64), case.name)
+        })()),
+        "saxpy_numerics" => outcome_from((|| {
+            let mut x: Vec<f64> = (0..N).map(|i| i as f64).collect();
+            let mut y = vec![1.0f64; N];
+            let mut maps = [MapClause::to(&mut x), MapClause::tofrom(&mut y)];
+            omp.target_teams_distribute_parallel_for(N, &mut maps, None, &[], |b, i, p| {
+                let xv = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                let yv = b.ld_elem(Space::Global, Type::F64, p[1], i);
+                let ax = b.bin(BinOp::Mul, xv, Value::F64(3.0));
+                let s = b.bin(BinOp::Add, ax, yv);
+                b.st_elem(Space::Global, p[1], i, s);
+            })?;
+            check(y.iter().enumerate().all(|(i, &v)| v == 3.0 * i as f64 + 1.0), case.name)
+        })()),
+        "target_data_region" => outcome_from((|| {
+            let mut region = omp.target_data();
+            let a = region.map_to(&vec![1.0f64; N])?;
+            region.parallel_for(N, |b, i, p| {
+                let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                let w = b.bin(BinOp::Mul, v, Value::F64(2.0));
+                b.st_elem(Space::Global, p[0], i, w);
+            })?;
+            region.parallel_for(N, |b, i, p| {
+                let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                let w = b.bin(BinOp::Add, v, Value::F64(1.0));
+                b.st_elem(Space::Global, p[0], i, w);
+            })?;
+            let out = region.update_from(a)?;
+            region.close();
+            check(out.iter().all(|&v| v == 3.0), case.name)
+        })()),
+        "reduction_add" => outcome_from((|| {
+            let mut x: Vec<f64> = (0..N).map(|i| i as f64).collect();
+            let mut maps = [MapClause::to(&mut x)];
+            let sum = omp
+                .target_teams_distribute_parallel_for(
+                    N,
+                    &mut maps,
+                    Some(Reduction::Sum(0.0)),
+                    &[],
+                    |b, i, p| {
+                        let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                        OmpDevice::atomic_reduce(b, Reduction::Sum(0.0), p[1], v);
+                    },
+                )?
+                .expect("reduction value");
+            check(sum == (0..N).map(|i| i as f64).sum::<f64>(), case.name)
+        })()),
+        "reduction_min" => outcome_from((|| {
+            let mut x: Vec<f64> = (0..N).map(|i| (i as f64 - 50.0).abs()).collect();
+            let mut maps = [MapClause::to(&mut x)];
+            let min = omp
+                .target_teams_distribute_parallel_for(
+                    N,
+                    &mut maps,
+                    Some(Reduction::Min(f64::INFINITY)),
+                    &[],
+                    |b, i, p| {
+                        let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                        OmpDevice::atomic_reduce(b, Reduction::Min(0.0), p[1], v);
+                    },
+                )?
+                .expect("reduction value");
+            check(min == 0.0, case.name)
+        })()),
+        "reduction_max" => outcome_from((|| {
+            let mut x: Vec<f64> = (0..N).map(|i| i as f64).collect();
+            let mut maps = [MapClause::to(&mut x)];
+            let max = omp
+                .target_teams_distribute_parallel_for(
+                    N,
+                    &mut maps,
+                    Some(Reduction::Max(f64::NEG_INFINITY)),
+                    &[],
+                    |b, i, p| {
+                        let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                        OmpDevice::atomic_reduce(b, Reduction::Max(0.0), p[1], v);
+                    },
+                )?
+                .expect("reduction value");
+            check(max == (N - 1) as f64, case.name)
+        })()),
+        "loop_construct" => outcome_from((|| {
+            let mut x = vec![0.0f64; N];
+            let mut maps = [MapClause::tofrom(&mut x)];
+            omp.target_teams_distribute_parallel_for(
+                N,
+                &mut maps,
+                None,
+                &[OmpFeature::LoopConstruct50],
+                |b, i, p| {
+                    let iv = b.cvt(Type::F64, i);
+                    b.st_elem(Space::Global, p[0], i, iv);
+                },
+            )?;
+            check(x.iter().enumerate().all(|(i, &v)| v == i as f64), case.name)
+        })()),
+        "unified_shared_memory" => outcome_from((|| {
+            let mut x = vec![5.0f64; N];
+            let mut maps = [MapClause::tofrom(&mut x)];
+            omp.target_teams_distribute_parallel_for(
+                N,
+                &mut maps,
+                None,
+                &[OmpFeature::UnifiedSharedMemory50],
+                |b, i, p| {
+                    let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                    let w = b.bin(BinOp::Sub, v, Value::F64(4.0));
+                    b.st_elem(Space::Global, p[0], i, w);
+                },
+            )?;
+            check(x.iter().all(|&v| v == 1.0), case.name)
+        })()),
+        "metadirective" => outcome_from((|| {
+            let mut x = vec![1.0f64; N];
+            let mut maps = [MapClause::tofrom(&mut x)];
+            omp.target_teams_distribute_parallel_for(
+                N,
+                &mut maps,
+                None,
+                &[OmpFeature::Metadirective51],
+                |b, i, p| {
+                    let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                    let w = b.bin(BinOp::Mul, v, Value::F64(-1.0));
+                    b.st_elem(Space::Global, p[0], i, w);
+                },
+            )?;
+            check(x.iter().all(|&v| v == -1.0), case.name)
+        })()),
+        other => TestOutcome::Fail(format!("unknown test case {other}")),
+    }
+}
+
+/// Run the whole suite against one compiler on one vendor.
+pub fn run(vendor: Vendor, toolchain: &str) -> Vec<TestResult> {
+    let device = Device::new(vendor_device_spec(vendor));
+    let omp = match OmpDevice::with_compiler(device, toolchain) {
+        Ok(omp) => omp,
+        Err(e) => {
+            return CASES
+                .iter()
+                .map(|&case| TestResult {
+                    case,
+                    outcome: TestOutcome::Unsupported(e.to_string()),
+                })
+                .collect()
+        }
+    };
+    CASES.iter().map(|case| TestResult { case: *case, outcome: run_case(&omp, case) }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intel_compiler_passes_everything() {
+        // Description 38: "All OpenMP 4.5 and most OpenMP 5.0 and 5.1
+        // features are supported" — in our feature model, all suite cases.
+        let results = run(Vendor::Intel, "Intel oneAPI DPC++/C++ (icpx -qopenmp)");
+        for r in &results {
+            assert!(r.outcome.passed(), "{}: {}", r.case.name, r.outcome);
+        }
+    }
+
+    #[test]
+    fn nvhpc_fails_exactly_the_50_51_gaps() {
+        // Description 9: NVHPC implements "only a subset of the entire
+        // OpenMP 5.0 standard".
+        let results = run(Vendor::Nvidia, "NVIDIA HPC SDK (nvc/nvc++ -mp)");
+        for r in &results {
+            match r.case.name {
+                "loop_construct" | "metadirective" => {
+                    assert!(
+                        matches!(r.outcome, TestOutcome::Unsupported(_)),
+                        "{}: {}",
+                        r.case.name,
+                        r.outcome
+                    );
+                }
+                _ => assert!(r.outcome.passed(), "{}: {}", r.case.name, r.outcome),
+            }
+        }
+    }
+
+    #[test]
+    fn every_registered_compiler_passes_the_baseline() {
+        // The 4.5 baseline is table stakes on every compiler the BoF
+        // compared.
+        for vendor in Vendor::ALL {
+            for tc in compilers_for(vendor) {
+                let results = run(vendor, tc);
+                for r in results.iter().filter(|r| r.case.baseline) {
+                    assert!(r.outcome.passed(), "{vendor}/{tc}/{}: {}", r.case.name, r.outcome);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_compiler_reports_unsupported_not_panic() {
+        let results = run(Vendor::Nvidia, "definitely-not-a-compiler");
+        assert!(results.iter().all(|r| matches!(r.outcome, TestOutcome::Unsupported(_))));
+    }
+}

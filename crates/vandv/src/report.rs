@@ -1,0 +1,192 @@
+//! Coverage reports — the tables the V&V suites and the ECP BoF publish,
+//! and the bridge back to the §3 rating evidence.
+
+use crate::suite::{TestOutcome, TestResult};
+use mcmm_core::route::Completeness;
+use mcmm_core::taxonomy::Vendor;
+use std::fmt;
+
+/// Aggregate coverage of one suite run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Cases that ran correctly.
+    pub pass: usize,
+    /// Cases that ran but produced wrong results (bugs).
+    pub fail: usize,
+    /// Cases the compiler refused.
+    pub unsupported: usize,
+}
+
+impl Coverage {
+    /// Tally results.
+    pub fn from_results(results: &[TestResult]) -> Self {
+        let mut c = Coverage { pass: 0, fail: 0, unsupported: 0 };
+        for r in results {
+            match r.outcome {
+                TestOutcome::Pass => c.pass += 1,
+                TestOutcome::Fail(_) => c.fail += 1,
+                TestOutcome::Unsupported(_) => c.unsupported += 1,
+            }
+        }
+        c
+    }
+
+    /// Number of cases that ran.
+    pub fn total(&self) -> usize {
+        self.pass + self.fail + self.unsupported
+    }
+
+    /// Fraction of the suite that passes.
+    pub fn fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.pass as f64 / self.total() as f64
+    }
+
+    /// Did anything *fail* (wrong results, as opposed to unsupported)?
+    pub fn has_bugs(&self) -> bool {
+        self.fail > 0
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} pass ({} unsupported, {} fail) = {:.0}%",
+            self.pass,
+            self.total(),
+            self.unsupported,
+            self.fail,
+            self.fraction() * 100.0
+        )
+    }
+}
+
+/// The §3 bridge: a measured coverage fraction maps onto the
+/// `Completeness` evidence class a route carries in the dataset.
+pub fn completeness_from_coverage(coverage: Coverage) -> Completeness {
+    let f = coverage.fraction();
+    if f >= 0.95 {
+        Completeness::Complete
+    } else if f >= 0.60 {
+        Completeness::Majority
+    } else {
+        Completeness::Minimal
+    }
+}
+
+/// One compiler's suite run, labelled.
+#[derive(Debug, Clone)]
+pub struct CompilerReport {
+    /// Which suite ran ("openmp" / "openacc").
+    pub suite: &'static str,
+    /// The vendor whose device hosted the run.
+    pub vendor: Vendor,
+    /// The compiler under test.
+    pub toolchain: String,
+    /// Per-case results in suite order.
+    pub results: Vec<TestResult>,
+}
+
+impl CompilerReport {
+    /// Aggregate coverage of this run.
+    pub fn coverage(&self) -> Coverage {
+        Coverage::from_results(&self.results)
+    }
+}
+
+/// Render the ECP-BoF-style table: rows = test cases, columns = compilers.
+pub fn bof_table(reports: &[CompilerReport]) -> String {
+    let mut out = String::new();
+    if reports.is_empty() {
+        return out;
+    }
+    out.push_str(&format!("{:<36}", "Test case"));
+    for r in reports {
+        let label: String = r.toolchain.chars().take(14).collect();
+        out.push_str(&format!("{label:>16}"));
+    }
+    out.push('\n');
+    for (idx, first) in reports[0].results.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<36}",
+            format!("{} ({})", first.case.name, first.case.spec_version)
+        ));
+        for r in reports {
+            let mark = match &r.results[idx].outcome {
+                TestOutcome::Pass => "✓",
+                TestOutcome::Fail(_) => "✗ BUG",
+                TestOutcome::Unsupported(_) => "—",
+            };
+            out.push_str(&format!("{mark:>16}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<36}", "coverage"));
+    for r in reports {
+        out.push_str(&format!("{:>15.0}%", r.coverage().fraction() * 100.0));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::TestCase;
+
+    fn result(name: &'static str, outcome: TestOutcome) -> TestResult {
+        TestResult {
+            case: TestCase { name, spec_version: "4.5", baseline: true },
+            outcome,
+        }
+    }
+
+    #[test]
+    fn coverage_tally_and_fraction() {
+        let results = vec![
+            result("a", TestOutcome::Pass),
+            result("b", TestOutcome::Pass),
+            result("c", TestOutcome::Unsupported("x".into())),
+            result("d", TestOutcome::Fail("y".into())),
+        ];
+        let c = Coverage::from_results(&results);
+        assert_eq!(c.pass, 2);
+        assert_eq!(c.unsupported, 1);
+        assert_eq!(c.fail, 1);
+        assert_eq!(c.total(), 4);
+        assert!((c.fraction() - 0.5).abs() < 1e-12);
+        assert!(c.has_bugs());
+        assert!(c.to_string().contains("50%"));
+    }
+
+    #[test]
+    fn completeness_thresholds() {
+        let c = |pass, unsupported| Coverage { pass, fail: 0, unsupported };
+        assert_eq!(completeness_from_coverage(c(10, 0)), Completeness::Complete);
+        assert_eq!(completeness_from_coverage(c(8, 2)), Completeness::Majority);
+        assert_eq!(completeness_from_coverage(c(3, 7)), Completeness::Minimal);
+        assert_eq!(completeness_from_coverage(c(0, 0)), Completeness::Minimal);
+    }
+
+    #[test]
+    fn bof_table_renders() {
+        let reports = vec![CompilerReport {
+            suite: "openmp",
+            vendor: Vendor::Nvidia,
+            toolchain: "NVHPC".into(),
+            results: vec![
+                result("basic", TestOutcome::Pass),
+                result("meta", TestOutcome::Unsupported("5.1".into())),
+            ],
+        }];
+        let t = bof_table(&reports);
+        assert!(t.contains("basic"));
+        assert!(t.contains("✓"));
+        assert!(t.contains("—"));
+        assert!(t.contains("50%"));
+        assert!(bof_table(&[]).is_empty());
+    }
+}

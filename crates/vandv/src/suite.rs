@@ -1,0 +1,67 @@
+//! Core suite machinery: test cases, outcomes, and the runner contract.
+
+use std::fmt;
+
+/// How one test case ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestOutcome {
+    /// Compiled, ran, produced the expected values.
+    Pass,
+    /// Ran but produced wrong values (a *bug*, distinct from a gap).
+    Fail(String),
+    /// The compiler refused the feature (the V&V suites' "unsupported").
+    Unsupported(String),
+}
+
+impl TestOutcome {
+    /// Did the case pass?
+    pub fn passed(&self) -> bool {
+        matches!(self, TestOutcome::Pass)
+    }
+}
+
+impl fmt::Display for TestOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestOutcome::Pass => write!(f, "PASS"),
+            TestOutcome::Fail(m) => write!(f, "FAIL ({m})"),
+            TestOutcome::Unsupported(m) => write!(f, "UNSUPPORTED ({m})"),
+        }
+    }
+}
+
+/// A named test case in a suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestCase {
+    /// Suite-unique identifier, in the V&V suites' path style
+    /// (e.g. `"target_teams_distribute_parallel_for"`).
+    pub name: &'static str,
+    /// The specification version that introduced the feature.
+    pub spec_version: &'static str,
+    /// Is this a baseline feature every conforming offload implementation
+    /// must have?
+    pub baseline: bool,
+}
+
+/// One executed test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestResult {
+    /// Which case ran.
+    pub case: TestCase,
+    /// How it ended.
+    pub outcome: TestOutcome,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_display_and_pass() {
+        assert!(TestOutcome::Pass.passed());
+        assert!(!TestOutcome::Fail("x".into()).passed());
+        assert!(!TestOutcome::Unsupported("y".into()).passed());
+        assert_eq!(TestOutcome::Pass.to_string(), "PASS");
+        assert!(TestOutcome::Unsupported("no 5.1".into()).to_string().contains("no 5.1"));
+    }
+}

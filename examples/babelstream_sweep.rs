@@ -1,0 +1,49 @@
+//! BabelStream across all nine models and three vendors — the performance
+//! overview the paper defers to future work (§5), as a runnable example.
+//!
+//! ```text
+//! cargo run --release --example babelstream_sweep
+//! ```
+//!
+//! All numbers are *modeled* GB/s (analytic timing model over public-spec
+//! device attributes). Matrix holes show up as `--`: CUDA runs only on
+//! NVIDIA, HIP skips Intel, OpenACC skips Intel.
+
+use many_models::babelstream::report::{kernel_series, sweep_table};
+use many_models::babelstream::runner::{sweep, unsupported_count, verified_count};
+
+fn main() {
+    let n = 1 << 15;
+    let iters = 2;
+    eprintln!("sweeping 9 models × 3 vendors, n = {n}, iters = {iters}…");
+    let entries = sweep(n, iters);
+
+    println!("{}", sweep_table(&entries));
+    println!(
+        "verified: {}/27 cells; matrix holes: {}",
+        verified_count(&entries),
+        unsupported_count(&entries)
+    );
+    println!();
+    println!("{}", kernel_series(&entries, "SYCL"));
+    println!("{}", kernel_series(&entries, "OpenMP"));
+
+    // A few shape checks a reviewer would eyeball:
+    let triad = |model: &str, vendor: mcmm_core::taxonomy::Vendor| {
+        entries
+            .iter()
+            .find(|e| e.model == model && e.vendor == vendor)
+            .and_then(|e| e.outcome.as_ref().ok())
+            .map(|r| r.triad_gbps())
+    };
+    use mcmm_core::taxonomy::Vendor::*;
+    if let (Some(cuda), Some(hip)) = (triad("CUDA", Nvidia), triad("HIP", Nvidia)) {
+        println!("shape check: CUDA {cuda:.0} GB/s ≥ HIP-on-NVIDIA {hip:.0} GB/s (translated route)");
+        assert!(cuda >= hip);
+    }
+    if let (Some(nv), Some(py)) = (triad("SYCL", Nvidia), triad("etc (Python)", Nvidia)) {
+        println!("shape check: SYCL {nv:.0} GB/s ≥ Python {py:.0} GB/s (temporaries)");
+        assert!(nv >= py);
+    }
+    println!("per-kernel Dot rates trail Copy (atomic reduction cost) — see tables above.");
+}

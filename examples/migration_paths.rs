@@ -1,0 +1,90 @@
+//! Migration paths: one CUDA code, three vendors — the §6 story executed.
+//!
+//! ```text
+//! cargo run --example migration_paths
+//! ```
+//!
+//! Takes a CUDA SAXPY host program, shows it failing on AMD, then walks
+//! every translator route the paper describes: HIPIFY to AMD (and the
+//! same HIP source back to NVIDIA), SYCLomatic to Intel (and everywhere),
+//! chipStar compiling the *untranslated* CUDA for Intel, and GPUFORT for
+//! the Fortran variant — including the constructs it refuses.
+
+use many_models::gpu_sim::Device;
+use many_models::toolchain::vendor_device_spec;
+use many_models::translate::ast::{cuda_fortran_program_with_async, cuda_saxpy_program};
+use many_models::translate::exec::run_program;
+use many_models::translate::{acc2mp, chipstar, gpufort, hipify, syclomatic};
+use mcmm_core::taxonomy::Vendor;
+
+fn main() {
+    let n = 4096;
+    let cuda = cuda_saxpy_program(n, 2.0);
+    let check = |name: &str, y: &[f32]| {
+        let ok = y.iter().enumerate().all(|(i, &v)| v == 2.0 * i as f32 + 1.0);
+        println!("  {name}: {} ({} elements)", if ok { "correct" } else { "WRONG" }, y.len());
+        assert!(ok, "{name} produced wrong results");
+    };
+
+    println!("── The starting point: CUDA C++ ──");
+    let nvidia = Device::new(vendor_device_spec(Vendor::Nvidia));
+    let out = run_program(&cuda, &nvidia).expect("CUDA runs on NVIDIA");
+    check("CUDA on NVIDIA", &out["y"]);
+
+    let amd = Device::new(vendor_device_spec(Vendor::Amd));
+    match run_program(&cuda, &amd) {
+        Err(e) => println!("  CUDA on AMD: refused as expected — {e}"),
+        Ok(_) => panic!("CUDA must not run on AMD directly"),
+    }
+
+    println!("\n── Route 1: HIPIFY (description 18) ──");
+    let hip = hipify::hipify(&cuda).expect("hipify");
+    println!("  APIs after translation: {:?}", &hip.api_names()[..3]);
+    check("HIP on AMD", &run_program(&hip, &amd).expect("hip on amd")["y"]);
+    // §6: "NVIDIA and AMD GPUs can be used from the same source code."
+    check("same HIP source on NVIDIA", &run_program(&hip, &nvidia).expect("hip on nvidia")["y"]);
+
+    println!("\n── Route 2: SYCLomatic (description 31) ──");
+    let migration = syclomatic::syclomatic(&cuda).expect("syclomatic");
+    for w in &migration.dpct_warnings {
+        println!("  warning: {w}");
+    }
+    let intel = Device::new(vendor_device_spec(Vendor::Intel));
+    check("SYCL on Intel", &run_program(&migration.program, &intel).expect("sycl on intel")["y"]);
+    for vendor in [Vendor::Nvidia, Vendor::Amd] {
+        let dev = Device::new(vendor_device_spec(vendor));
+        check(
+            &format!("same SYCL source on {vendor}"),
+            &run_program(&migration.program, &dev).expect("sycl everywhere")["y"],
+        );
+    }
+
+    println!("\n── Route 3: chipStar — untranslated CUDA on Intel (description 31) ──");
+    let run = chipstar::run_on_intel(&cuda, &intel).expect("chipstar");
+    check("CUDA via chipStar on Intel", &run.outputs["y"]);
+    println!("  (research-grade route: efficiency factor {:.2})", run.efficiency);
+
+    println!("\n── Route 4: GPUFORT for the Fortran variant (description 19) ──");
+    let fortran = cuda_fortran_program_with_async(n);
+    match gpufort::gpufort(&fortran, gpufort::GpufortMode::OpenMp) {
+        Err(e) => println!("  with async copies: refused — {e}"),
+        Ok(_) => panic!("GPUFORT must refuse the async construct"),
+    }
+    let mut simple = fortran.clone();
+    simple.steps.retain(|s| !s.api.contains("Async"));
+    let omp = gpufort::gpufort(&simple, gpufort::GpufortMode::OpenMp).expect("gpufort");
+    check("Fortran→OpenMP on AMD", &run_program(&omp, &amd).expect("gpufort output runs")["y"]);
+
+    println!("\n── Route 5: OpenACC → OpenMP migration (description 36) ──");
+    let acc = many_models::translate::ast::openacc_scale_program(n, 3.0);
+    match run_program(&acc, &intel) {
+        Err(e) => println!("  OpenACC on Intel: refused as expected — {e}"),
+        Ok(_) => panic!("OpenACC must not run on Intel"),
+    }
+    let omp2 = acc2mp::acc_to_omp(&acc).expect("acc2mp");
+    let out = run_program(&omp2, &intel).expect("migrated openmp on intel");
+    assert!(out["x"].iter().enumerate().all(|(i, &v)| v == 3.0 * i as f32));
+    println!("  migrated OpenMP on Intel: correct ({} elements)", out["x"].len());
+
+    println!("\nAll migration paths behaved exactly as the paper describes.");
+}

@@ -1,0 +1,121 @@
+//! Portability audit: the paper's introductory scenario as a tool.
+//!
+//! ```text
+//! cargo run --example portability_audit
+//! ```
+//!
+//! "It is hard for scientific programmers to navigate this abundance of
+//! choices and limits" (§1). Given an application's constraints — its
+//! language, the platforms its HPC centre operates, its tolerance for
+//! unmaintained toolchains — the audit lists the viable combinations and
+//! flags lock-in risks.
+
+use many_models::core::prelude::*;
+use many_models::core::query::advise;
+
+struct Application {
+    name: &'static str,
+    language: Language,
+    /// Target machines (e.g. applying for Frontier + JUPITER time).
+    platforms: Vec<Vendor>,
+    /// Minimum acceptable support tier.
+    bar: Support,
+}
+
+fn audit(matrix: &CompatMatrix, app: &Application) {
+    println!("══ {} ({}; platforms {:?}; bar: {}) ══",
+        app.name,
+        app.language,
+        app.platforms.iter().map(|v| v.name()).collect::<Vec<_>>(),
+        app.bar
+    );
+
+    // Which models clear the bar on *every* requested platform?
+    let mut portable = Vec::new();
+    for model in Model::ALL {
+        if !model.languages().contains(&app.language) {
+            continue;
+        }
+        let everywhere = app.platforms.iter().all(|&v| {
+            matrix
+                .cell(v, model, app.language)
+                .map(|c| c.best_support() <= app.bar && c.viable_routes().next().is_some())
+                .unwrap_or(false)
+        });
+        if everywhere {
+            portable.push(model);
+        }
+    }
+    if portable.is_empty() {
+        println!("  NO model clears the bar on every platform — consider per-platform");
+        println!("  backends or a translator pipeline (see the migration_paths example).");
+    } else {
+        for model in portable {
+            println!("  ✓ {model} works on all requested platforms:");
+            for &v in &app.platforms {
+                let cell = matrix.cell(v, model, app.language).unwrap();
+                let best = cell.viable_routes().next().unwrap();
+                println!("      {v}: {} via {}", cell.support, best.toolchain);
+            }
+        }
+    }
+
+    // Best single option per platform, for the per-platform-backend route.
+    println!("  per-platform best choices:");
+    for &v in &app.platforms {
+        let q = Query::new().vendors([v]).languages([app.language]).viable_route();
+        let advice = advise(matrix, &q);
+        if let Some(best) = advice.best() {
+            println!("      {v}: {} ({})", best.id.model, best.support);
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let matrix = CompatMatrix::paper();
+
+    // A C++ code applying for time on all three exascale-class platforms.
+    audit(
+        &matrix,
+        &Application {
+            name: "C++ plasma code, wants one portable backend",
+            language: Language::Cpp,
+            platforms: vec![Vendor::Amd, Vendor::Intel, Vendor::Nvidia],
+            bar: Support::NonVendorGood,
+        },
+    );
+
+    // The Fortran climate code of the paper's motivation.
+    audit(
+        &matrix,
+        &Application {
+            name: "Fortran climate model (Frontier + Aurora + JUPITER)",
+            language: Language::Fortran,
+            platforms: vec![Vendor::Amd, Vendor::Intel, Vendor::Nvidia],
+            bar: Support::Some,
+        },
+    );
+
+    // A Python analysis pipeline that only targets the NVIDIA partition.
+    audit(
+        &matrix,
+        &Application {
+            name: "Python analysis pipeline (NVIDIA partition only)",
+            language: Language::Python,
+            platforms: vec![Vendor::Nvidia],
+            bar: Support::NonVendorGood,
+        },
+    );
+
+    // A CUDA-locked code wondering about an AMD procurement.
+    audit(
+        &matrix,
+        &Application {
+            name: "legacy CUDA C++ code eyeing an AMD machine",
+            language: Language::Cpp,
+            platforms: vec![Vendor::Amd],
+            bar: Support::IndirectGood,
+        },
+    );
+}

@@ -1,0 +1,39 @@
+//! # many-models — Many Cores, Many Models
+//!
+//! Umbrella crate for the reproduction of *"Many Cores, Many Models: GPU
+//! Programming Model vs. Vendor Compatibility Overview"* (Herten, SC'23
+//! workshops). Re-exports every workspace crate under one roof:
+//!
+//! * [`core`] — the compatibility knowledge base (the paper's
+//!   contribution): taxonomy, six-category ratings, the 51-cell dataset,
+//!   the rating engine, renderers, statistics.
+//! * [`gpu_sim`] — the simulated GPU substrate: kernel IR, vendor-style
+//!   virtual ISAs, SIMT interpreter, devices, streams, timing model.
+//! * [`toolchain`] — virtual compilers realising every dataset route, and
+//!   the probe that regenerates the matrix from observed behaviour.
+//! * [`cuda`], [`hip`], [`sycl`], [`openmp`], [`openacc`], [`stdpar`],
+//!   [`kokkos`], [`alpaka`], [`python`] — one frontend per surveyed
+//!   programming model.
+//! * [`translate`] — HIPIFY, SYCLomatic, GPUFORT, the OpenACC→OpenMP
+//!   migration tool, chipStar.
+//! * [`babelstream`] — the five STREAM kernels through every frontend on
+//!   every vendor.
+//!
+//! See the repository README for the quickstart, DESIGN.md for the system
+//! inventory, and EXPERIMENTS.md for paper-vs-measured results.
+
+pub use mcmm_babelstream as babelstream;
+pub use mcmm_core as core;
+pub use mcmm_gpu_sim as gpu_sim;
+pub use mcmm_model_alpaka as alpaka;
+pub use mcmm_model_cuda as cuda;
+pub use mcmm_model_hip as hip;
+pub use mcmm_model_kokkos as kokkos;
+pub use mcmm_model_openacc as openacc;
+pub use mcmm_model_openmp as openmp;
+pub use mcmm_model_python as python;
+pub use mcmm_model_raja as raja;
+pub use mcmm_model_stdpar as stdpar;
+pub use mcmm_model_sycl as sycl;
+pub use mcmm_toolchain as toolchain;
+pub use mcmm_translate as translate;

@@ -1,0 +1,181 @@
+//! E5 — every claim of the paper's §6 Conclusion, as a computed query.
+
+use many_models::core::prelude::*;
+use many_models::core::stats;
+
+fn matrix() -> CompatMatrix {
+    CompatMatrix::paper()
+}
+
+#[test]
+fn nvidia_support_is_most_comprehensive() {
+    // "The support for NVIDIA GPUs can be considered most comprehensive,
+    // founded in their long-time prevalence in the field."
+    assert_eq!(stats::most_comprehensive_vendor(&matrix()), Vendor::Nvidia);
+}
+
+#[test]
+fn both_other_vendors_provide_cuda_conversion_tools() {
+    // "both other vendors (AMD, Intel) provide tools for converting
+    // CUDA C/C++ to their native model (HIP, SYCL)".
+    let m = matrix();
+    let amd = m.cell(Vendor::Amd, Model::Cuda, Language::Cpp).unwrap();
+    assert!(amd.routes.iter().any(|r| r.toolchain.contains("HIPIFY")));
+    assert_eq!(amd.support, Support::IndirectGood);
+    let intel = m.cell(Vendor::Intel, Model::Cuda, Language::Cpp).unwrap();
+    assert!(intel.routes.iter().any(|r| r.toolchain.contains("SYCLomatic")));
+    assert_eq!(intel.support, Support::IndirectGood);
+}
+
+#[test]
+fn hip_covers_nvidia_and_amd_from_the_same_source() {
+    // "NVIDIA and AMD GPUs can be used from the same source code, and
+    // recently also Intel GPUs with chipStar."
+    let m = matrix();
+    assert!(m.support(Vendor::Nvidia, Model::Hip, Language::Cpp).is_usable());
+    assert!(m.support(Vendor::Amd, Model::Hip, Language::Cpp).is_usable());
+    // Intel only through chipStar — present, but limited.
+    let intel = m.cell(Vendor::Intel, Model::Hip, Language::Cpp).unwrap();
+    assert_eq!(intel.support, Support::Limited);
+    assert!(intel.routes.iter().any(|r| r.toolchain.contains("chipStar")));
+}
+
+#[test]
+fn sycl_supports_all_three_platforms() {
+    // "SYCL ... also supports all three GPU platform[s]; either by the
+    // work by Intel or the community (Open SYCL)."
+    let m = matrix();
+    for v in Vendor::ALL {
+        let cell = m.cell(v, Model::Sycl, Language::Cpp).unwrap();
+        assert!(cell.best_support() <= Support::NonVendorGood, "{v}: {}", cell.support);
+        assert!(
+            cell.routes
+                .iter()
+                .any(|r| r.toolchain.contains("DPC++") || r.toolchain.contains("Open SYCL")),
+            "{v} lacks both DPC++ and Open SYCL routes"
+        );
+    }
+}
+
+#[test]
+fn openacc_reaches_nvidia_and_amd_but_not_intel() {
+    // "While OpenACC can be used on NVIDIA and AMD GPUs, support for
+    // Intel GPUs does not exist."
+    let m = matrix();
+    assert!(m.support(Vendor::Nvidia, Model::OpenAcc, Language::Cpp).is_usable());
+    assert!(m.support(Vendor::Amd, Model::OpenAcc, Language::Cpp).is_usable());
+    assert!(!m.support(Vendor::Intel, Model::OpenAcc, Language::Cpp).is_usable());
+    assert!(!m.support(Vendor::Intel, Model::OpenAcc, Language::Fortran).is_usable());
+}
+
+#[test]
+fn openmp_is_supported_on_all_platforms_in_both_languages() {
+    // "OpenMP, on the other hand, is supported on all three platforms —
+    // and even for both C++ and Fortran."
+    let m = matrix();
+    for v in Vendor::ALL {
+        for l in [Language::Cpp, Language::Fortran] {
+            let s = m.support(v, Model::OpenMp, l);
+            assert!(s.is_usable() && s.is_vendor_tier(), "{v} {l}: {s}");
+        }
+    }
+}
+
+#[test]
+fn openmp_is_the_only_universal_native_fortran_model() {
+    // "The only natively supported programming model on all three
+    // platforms [for Fortran] is OpenMP."
+    let m = matrix();
+    assert_eq!(
+        stats::models_vendor_supported_everywhere(&m, Language::Fortran),
+        vec![Model::OpenMp]
+    );
+}
+
+#[test]
+fn kokkos_and_alpaka_support_all_three_platforms() {
+    // "Kokkos and Alpaka both provide higher-level abstractions and
+    // support all three platform[s]" — at some level (Intel: experimental).
+    let m = matrix();
+    for model in [Model::Kokkos, Model::Alpaka] {
+        for v in Vendor::ALL {
+            let cell = m.cell(v, model, Language::Cpp).unwrap();
+            assert!(cell.has_any_route(), "{model} has no route on {v}");
+        }
+    }
+}
+
+#[test]
+fn python_is_well_supported_by_all_three_platforms() {
+    // "Python, a somewhat outlier in the list, is also well-supported by
+    // all three platforms."
+    let m = matrix();
+    for v in Vendor::ALL {
+        let cell = m.cell(v, Model::Python, Language::Python).unwrap();
+        assert!(cell.has_any_route(), "{v} has no Python route");
+        assert!(cell.viable_routes().next().is_some(), "{v} has no viable Python route");
+    }
+}
+
+#[test]
+fn cpp_portability_outpaces_fortran() {
+    // "While the C++ support appears to be well on the way to good
+    // compatibility and portability, the situation looks severely
+    // different for Fortran."
+    let m = matrix();
+    let (cpp, fortran) = stats::language_gap(&m);
+    assert!(cpp - fortran > 1.0, "C++ {cpp:.2} vs Fortran {fortran:.2}");
+    // Count usable cells per language.
+    let usable = |lang| {
+        m.cells()
+            .filter(|c| c.id.language == lang && c.best_support().is_usable())
+            .count()
+    };
+    assert!(usable(Language::Cpp) > 2 * usable(Language::Fortran) - 4);
+}
+
+#[test]
+fn standard_parallelism_is_the_fastest_moving_model() {
+    // "Standard language parallelism appears to be the model with the
+    // fastest change at the moment, with multiple new projects in
+    // progress" — measurable as the highest share of experimental routes.
+    let m = matrix();
+    let experimental_share = |model| {
+        let routes: Vec<_> = m
+            .column(model)
+            .flat_map(|c| c.routes.iter())
+            .collect();
+        let exp = routes
+            .iter()
+            .filter(|r| r.maintenance == many_models::core::provider::Maintenance::Experimental)
+            .count();
+        exp as f64 / routes.len().max(1) as f64
+    };
+    let std_share = experimental_share(Model::Standard);
+    for model in [Model::Cuda, Model::Hip, Model::Sycl, Model::OpenMp, Model::OpenAcc] {
+        assert!(
+            std_share >= experimental_share(model),
+            "{model} has a higher experimental share than Standard"
+        );
+    }
+}
+
+#[test]
+fn llvm_is_the_ecosystem_keystone() {
+    // "A key component in the ecosystem is the LLVM toolchain." Count the
+    // routes whose toolchain is LLVM-based (Clang, LLVM, DPC++, AOMP,
+    // icpx, ifx, hipcc, Flang, nvc++ is not LLVM-based in name; we tag by
+    // the names the dataset uses).
+    let m = matrix();
+    let llvm_markers =
+        ["Clang", "LLVM", "DPC++", "AOMP", "icpx", "ifx", "hipcc", "Flang", "Flacc", "chipStar"];
+    let llvm_routes = m
+        .cells()
+        .flat_map(|c| c.routes.iter())
+        .filter(|r| llvm_markers.iter().any(|m| r.toolchain.contains(m)))
+        .count();
+    assert!(
+        llvm_routes >= 20,
+        "expected a large LLVM-based contingent, found {llvm_routes}"
+    );
+}

@@ -1,0 +1,107 @@
+//! E1 — Figure 1 regeneration: structure and cross-format consistency.
+
+use many_models::core::prelude::*;
+use many_models::core::render;
+
+#[test]
+fn matrix_has_the_papers_structure() {
+    let m = CompatMatrix::paper();
+    assert_eq!(m.len(), 51, "§3: 51 possible combinations");
+    assert_eq!(m.unique_description_count(), 44, "§3: 44 unique descriptions");
+    for v in Vendor::ALL {
+        assert_eq!(m.row(v).count(), 17);
+    }
+}
+
+#[test]
+fn ascii_and_markdown_and_latex_agree_on_symbols() {
+    let m = CompatMatrix::paper();
+    let ascii = render::ascii::render(&m);
+    let md = render::markdown::render(&m);
+    let tex = render::latex::render(&m);
+    // Count each category's symbol occurrences in the data rows; all three
+    // renderers must agree (legend lines excluded by counting data rows).
+    let data_rows = |s: &str, pred: fn(&str) -> bool| -> String {
+        s.lines().filter(|l| pred(l)).collect::<Vec<_>>().join("\n")
+    };
+    let ascii_rows = data_rows(&ascii, |l| {
+        Vendor::ALL.iter().any(|v| l.starts_with(v.name()))
+    });
+    let md_rows = data_rows(&md, |l| l.starts_with("| **"));
+    for s in Support::ALL {
+        let in_ascii = ascii_rows.matches(s.symbol()).count();
+        let in_md = md_rows.matches(s.symbol()).count();
+        assert_eq!(in_ascii, in_md, "symbol {} differs between ASCII and Markdown", s.symbol());
+        // LaTeX uses macros; count those.
+        let macro_name = match s {
+            Support::Full => "\\supfull",
+            Support::IndirectGood => "\\supindirect",
+            Support::Some => "\\supsome",
+            Support::NonVendorGood => "\\supnonvendor",
+            Support::Limited => "\\suplimited",
+            Support::None => "\\supnone",
+        };
+        let tex_rows = data_rows(&tex, |l| Vendor::ALL.iter().any(|v| l.starts_with(v.name())));
+        assert_eq!(
+            tex_rows.matches(macro_name).count(),
+            in_ascii,
+            "symbol {} differs between ASCII and LaTeX",
+            s.symbol()
+        );
+    }
+}
+
+#[test]
+fn json_roundtrip_preserves_every_cell() {
+    let m = CompatMatrix::paper();
+    let json = render::json::render(&m);
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    let cells = v["cells"].as_array().unwrap();
+    assert_eq!(cells.len(), 51);
+    // Spot-check the §5-discussed cells.
+    let find = |vendor: &str, model: &str, lang: &str| {
+        cells
+            .iter()
+            .find(|c| {
+                c["id"]["vendor"] == vendor && c["id"]["model"] == model && c["id"]["language"] == lang
+            })
+            .unwrap_or_else(|| panic!("missing {vendor}/{model}/{lang}"))
+    };
+    assert_eq!(find("Nvidia", "OpenAcc", "Cpp")["support"], "Full");
+    assert_eq!(find("Nvidia", "OpenMp", "Cpp")["support"], "Some");
+    assert_eq!(find("Nvidia", "Python", "Python")["secondary_support"], "NonVendorGood");
+    assert_eq!(find("Intel", "Cuda", "Cpp")["secondary_support"], "Limited");
+    assert_eq!(find("Amd", "Standard", "Cpp")["support"], "Limited");
+    assert_eq!(find("Intel", "Standard", "Cpp")["support"], "Some");
+}
+
+#[test]
+fn html_renders_every_description_id() {
+    let m = CompatMatrix::paper();
+    let html = render::html::render(&m);
+    for id in 1..=44u8 {
+        assert!(
+            html.contains(&format!("title=\"[{id}] ")),
+            "description {id} missing from HTML tooltips"
+        );
+    }
+}
+
+#[test]
+fn shared_description_cells_show_identical_text() {
+    // Descriptions 4, 6, 14, 16 cover multiple cells; their description
+    // text must be byte-identical wherever they appear.
+    let m = CompatMatrix::paper();
+    for (id, expected_count) in [(4u8, 2usize), (6, 3), (14, 3), (16, 3)] {
+        let texts: Vec<&str> = m
+            .cells()
+            .filter(|c| c.description_id == id)
+            .map(|c| c.description)
+            .collect();
+        assert_eq!(texts.len(), expected_count, "description {id}");
+        assert!(
+            texts.windows(2).all(|w| w[0] == w[1]),
+            "description {id} text diverges between cells"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Golden snapshot of the rendered Figure 1 — pins every symbol of every
+//! cell in one assertion, so any dataset or renderer drift is caught as a
+//! readable diff.
+
+use many_models::core::prelude::*;
+use many_models::core::render;
+
+// Note: starts with a newline (stripped in the test) so the indentation of
+// the header row survives the literal.
+const GOLDEN: &str = "
+       |  CUDA   |   HIP   |  SYCL   | OpenACC | OpenMP  |Standard | Kokkos  | ALPAKA  |etc |
+       |C++ |Ftn |C++ |Ftn |C++ |Ftn |C++ |Ftn |C++ |Ftn |C++ |Ftn |C++ |Ftn |C++ |Ftn | Py |
+---------------------------------------------------------------------------------------------
+AMD    |  ◐ |  ◌ |  ● |  ◒ |  ◍ |  ✕ |  ◍ |  ◍ |  ◒ |  ◒ |  ◌ |  ✕ |  ◍ |  ◌ |  ◍ |  ✕ |  ◌ |
+Intel  | ◐◌ |  ✕ |  ◌ |  ✕ |  ● |  ✕ |  ◌ |  ◌ |  ● |  ● |  ◒ |  ● |  ◌ |  ◌ |  ◌ |  ✕ |  ● |
+NVIDIA |  ● |  ● |  ◐ |  ◒ |  ◍ |  ✕ |  ● |  ● |  ◒ |  ◒ |  ● |  ● |  ◍ |  ◌ |  ◍ |  ✕ | ●◍ |
+";
+
+#[test]
+fn ascii_figure_matches_the_golden_snapshot() {
+    let rendered = render::ascii::render(&CompatMatrix::paper());
+    // The rendered output appends an empty line plus the legend; compare
+    // the table block only.
+    let table: String = rendered
+        .lines()
+        .take_while(|l| !l.is_empty())
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(
+        table,
+        &GOLDEN[1..], // strip the literal's leading newline
+        "Figure 1 drifted from the golden snapshot:\n{rendered}"
+    );
+}
+
+#[test]
+fn golden_snapshot_has_53_symbols() {
+    // 51 cells + 2 double ratings.
+    let symbols: usize = GOLDEN
+        .chars()
+        .filter(|c| ['●', '◐', '◒', '◍', '◌', '✕'].contains(c))
+        .count();
+    assert_eq!(symbols, 53);
+}
+
+#[test]
+fn golden_snapshot_agrees_with_cell_lookups() {
+    // Cross-check a few symbols against the dataset API so the snapshot
+    // and the data cannot drift independently.
+    let m = CompatMatrix::paper();
+    assert_eq!(m.support(Vendor::Amd, Model::Hip, Language::Cpp), Support::Full);
+    assert_eq!(m.support(Vendor::Intel, Model::Sycl, Language::Cpp), Support::Full);
+    assert_eq!(m.support(Vendor::Nvidia, Model::Cuda, Language::Fortran), Support::Full);
+    assert_eq!(m.support(Vendor::Amd, Model::Sycl, Language::Fortran), Support::None);
+    let intel_cuda = m.cell(Vendor::Intel, Model::Cuda, Language::Cpp).unwrap();
+    assert_eq!(intel_cuda.symbols(), "◐◌");
+    let nvidia_python = m.cell(Vendor::Nvidia, Model::Python, Language::Python).unwrap();
+    assert_eq!(nvidia_python.symbols(), "●◍");
+}

@@ -1,0 +1,55 @@
+//! E2 — the paper's headline counts, exactly.
+
+use many_models::core::prelude::*;
+use many_models::core::stats;
+use many_models::core::taxonomy::all_combinations;
+
+#[test]
+fn fifty_one_combinations() {
+    // §3: "In total, 51 possible combinations are explored".
+    assert_eq!(all_combinations().count(), 51);
+    assert_eq!(CompatMatrix::paper().len(), 51);
+}
+
+#[test]
+fn forty_four_unique_descriptions_numbered_1_to_44() {
+    // §3: "...and explained in 44 unique descriptions".
+    let m = CompatMatrix::paper();
+    let ids: std::collections::BTreeSet<u8> = m.cells().map(|c| c.description_id).collect();
+    assert_eq!(ids.len(), 44);
+    assert_eq!(ids, (1..=44).collect());
+}
+
+#[test]
+fn more_than_fifty_routes() {
+    // §1: "more than 50 routes for programming a GPU device are
+    // identified when no further limitations (pre-)exist".
+    let m = CompatMatrix::paper();
+    assert!(m.route_count() > 50, "only {} routes", m.route_count());
+}
+
+#[test]
+fn combination_arithmetic_matches_footnote_2() {
+    // Footnote 2: "GPU platforms × programming models × programming
+    // languages" — 3 × (8 × 2 + 1) = 51.
+    let per_vendor: usize = Model::ALL.iter().map(|m| m.languages().len()).sum();
+    assert_eq!(per_vendor, 17);
+    assert_eq!(per_vendor * Vendor::ALL.len(), 51);
+}
+
+#[test]
+fn category_legend_is_fully_used() {
+    // All six §3 categories appear in the figure.
+    let m = CompatMatrix::paper();
+    let s = stats::stats(&m);
+    assert_eq!(s.by_category.len(), 6);
+    assert_eq!(s.by_category.values().sum::<usize>(), 51);
+}
+
+#[test]
+fn stats_are_stable_across_rebuilds() {
+    // The dataset is deterministic: two builds agree exactly.
+    let a = stats::stats(&CompatMatrix::paper());
+    let b = stats::stats(&CompatMatrix::paper());
+    assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+}

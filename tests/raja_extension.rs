@@ -1,0 +1,80 @@
+//! The RAJA extension (§5's "most notable exclusion"): the frontend works
+//! on all three vendors, the published matrix stays untouched, and the
+//! evolution API shows exactly how the matrix would grow if RAJA were
+//! admitted as a tenth model column.
+
+use many_models::core::evolution::{apply, Event};
+use many_models::core::prelude::*;
+use many_models::gpu_sim::ir::{Space, Type};
+use many_models::gpu_sim::Device;
+use many_models::raja::{forall, ExecPolicy, RangeSegment, Resource};
+use many_models::toolchain::vendor_device_spec;
+
+#[test]
+fn raja_is_not_in_the_published_matrix() {
+    // §5: the paper deliberately excludes RAJA; our dataset must too.
+    let m = CompatMatrix::paper();
+    for cell in m.cells() {
+        for route in &cell.routes {
+            assert!(
+                !route.toolchain.contains("RAJA"),
+                "{}: RAJA leaked into the published matrix",
+                cell.id
+            );
+        }
+    }
+    assert_eq!(m.len(), 51, "matrix must stay at the published 51 cells");
+}
+
+#[test]
+fn raja_frontend_runs_on_every_vendor_anyway() {
+    for vendor in Vendor::ALL {
+        let res = Resource::new(Device::new(vendor_device_spec(vendor)));
+        let n = 256;
+        let buf = res.alloc(&vec![1.0; n]).unwrap();
+        forall(
+            &res,
+            ExecPolicy::default_for(vendor),
+            RangeSegment::new(0, n),
+            &[buf],
+            |b, i, p| {
+                let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                let w = b.bin(many_models::raja::BinOp::Mul, v, many_models::raja::Value::F64(3.0));
+                b.st_elem(Space::Global, p[0], i, w);
+            },
+        )
+        .unwrap();
+        assert!(res.to_host(buf, n).unwrap().iter().all(|&v| v == 3.0), "{vendor}");
+    }
+}
+
+#[test]
+fn admitting_raja_would_mirror_kokkos_ratings() {
+    // Extend a copy of the matrix with RAJA's backend routes via the
+    // evolution API; the derived ratings must match Kokkos' cells (the §5
+    // argument for the exclusion: "similar in spirit").
+    let mut m = CompatMatrix::paper();
+    // Reuse the Kokkos column's cells as hosts for the added routes (the
+    // matrix keys on (vendor, model, language); we graft RAJA routes into
+    // fresh copies of the Kokkos cells of a *scratch* matrix).
+    let events: Vec<Event> = [
+        (Vendor::Nvidia, ExecPolicy::CudaExec { block_size: 256 }),
+        (Vendor::Amd, ExecPolicy::HipExec { block_size: 256 }),
+        (Vendor::Intel, ExecPolicy::SyclExec { work_group_size: 256 }),
+    ]
+    .into_iter()
+    .map(|(vendor, policy)| Event::AddRoute {
+        vendor,
+        model: Model::Kokkos, // grafted next to its sibling layer
+        language: Language::Cpp,
+        route: policy.route(),
+    })
+    .collect();
+    apply(&mut m, &events);
+
+    // The §3 engine rates the extended cells exactly like the published
+    // Kokkos cells: non-vendor good on NVIDIA/AMD, limited on Intel.
+    assert_eq!(m.support(Vendor::Nvidia, Model::Kokkos, Language::Cpp), Support::NonVendorGood);
+    assert_eq!(m.support(Vendor::Amd, Model::Kokkos, Language::Cpp), Support::NonVendorGood);
+    assert_eq!(m.support(Vendor::Intel, Model::Kokkos, Language::Cpp), Support::Limited);
+}

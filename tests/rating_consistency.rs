@@ -1,0 +1,157 @@
+//! E3 — the §3 rating methodology: exact replay over the dataset plus
+//! property-based invariants of the engine.
+
+use many_models::core::prelude::*;
+use many_models::core::provider::{Maintenance, Provider};
+use many_models::core::rating::{qualify, rate, rate_evidence, Evidence};
+use many_models::core::route::{Completeness, Directness, Route, RouteKind};
+use proptest::prelude::*;
+
+#[test]
+fn engine_reproduces_every_figure_cell() {
+    for cell in many_models::core::dataset::paper_cells() {
+        let outcome = rate(&cell.routes);
+        assert_eq!(outcome.primary, cell.support, "{}", cell.id);
+        if let Some(sec) = cell.secondary_support {
+            assert!(outcome.admits_secondary(sec), "{}: secondary {sec}", cell.id);
+        }
+    }
+}
+
+// ── property tests ──────────────────────────────────────────────────────
+
+fn arb_directness() -> impl Strategy<Value = Directness> {
+    prop_oneof![
+        Just(Directness::Direct),
+        Just(Directness::Translated),
+        Just(Directness::Binding)
+    ]
+}
+
+fn arb_completeness() -> impl Strategy<Value = Completeness> {
+    prop_oneof![
+        Just(Completeness::Complete),
+        Just(Completeness::Majority),
+        Just(Completeness::Minimal)
+    ]
+}
+
+fn arb_maintenance() -> impl Strategy<Value = Maintenance> {
+    prop_oneof![
+        Just(Maintenance::Active),
+        Just(Maintenance::Experimental),
+        Just(Maintenance::Stale),
+        Just(Maintenance::Unmaintained)
+    ]
+}
+
+fn arb_provider() -> impl Strategy<Value = Provider> {
+    prop_oneof![
+        Just(Provider::DeviceVendor),
+        Just(Provider::OtherVendor(Vendor::Amd)),
+        Just(Provider::OtherVendor(Vendor::Intel)),
+        Just(Provider::Commercial("X Corp")),
+        Just(Provider::Community("x-project")),
+    ]
+}
+
+prop_compose! {
+    fn arb_route()(
+        provider in arb_provider(),
+        directness in arb_directness(),
+        completeness in arb_completeness(),
+        maintenance in arb_maintenance(),
+        documented in any::<bool>(),
+    ) -> Route {
+        let mut r = Route::new("prop", RouteKind::Compiler, provider, directness, completeness)
+            .maintenance(maintenance);
+        if !documented {
+            r = r.undocumented();
+        }
+        r
+    }
+}
+
+proptest! {
+    /// Adding a route can only improve (or keep) the primary rating —
+    /// more venues never hurt a combination.
+    #[test]
+    fn adding_routes_is_monotone(routes in proptest::collection::vec(arb_route(), 0..6),
+                                 extra in arb_route()) {
+        let before = rate(&routes).primary;
+        let mut more = routes.clone();
+        more.push(extra);
+        let after = rate(&more).primary;
+        prop_assert!(after <= before, "adding a route degraded {before} to {after}");
+    }
+
+    /// Any combination with at least one route is never rated `None`, and
+    /// one with no routes always is.
+    #[test]
+    fn none_iff_no_routes(routes in proptest::collection::vec(arb_route(), 0..6)) {
+        let outcome = rate(&routes);
+        if routes.is_empty() {
+            prop_assert_eq!(outcome.primary, Support::None);
+        } else {
+            prop_assert_ne!(outcome.primary, Support::None);
+        }
+    }
+
+    /// Degrading a route's maintenance never improves the rating.
+    #[test]
+    fn maintenance_decay_is_monotone(routes in proptest::collection::vec(arb_route(), 1..6),
+                                     idx in 0usize..6) {
+        let idx = idx % routes.len();
+        let before = rate(&routes).primary;
+        let mut decayed = routes.clone();
+        decayed[idx].maintenance = Maintenance::Unmaintained;
+        let after = rate(&decayed).primary;
+        prop_assert!(after >= before, "decay improved {before} to {after}");
+    }
+
+    /// Losing documentation never improves the rating.
+    #[test]
+    fn losing_docs_is_monotone(routes in proptest::collection::vec(arb_route(), 1..6),
+                               idx in 0usize..6) {
+        let idx = idx % routes.len();
+        let before = rate(&routes).primary;
+        let mut undoc = routes.clone();
+        undoc[idx].documented = false;
+        let after = rate(&undoc).primary;
+        prop_assert!(after >= before);
+    }
+
+    /// The primary rating is always the best qualifying category.
+    #[test]
+    fn primary_is_min_of_qualifying(routes in proptest::collection::vec(arb_route(), 1..6)) {
+        let outcome = rate(&routes);
+        let min = routes
+            .iter()
+            .map(|r| qualify(Evidence::from_route(r)))
+            .min()
+            .unwrap();
+        prop_assert_eq!(outcome.primary, min);
+    }
+
+    /// `rate` over routes equals `rate_evidence` over extracted evidence.
+    #[test]
+    fn route_and_evidence_paths_agree(routes in proptest::collection::vec(arb_route(), 0..6)) {
+        let a = rate(&routes);
+        let b = rate_evidence(routes.iter().map(Evidence::from_route));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Vendor tiers only come from vendor involvement: `Full`,
+    /// `IndirectGood` and `Some` require a GPU-vendor provider somewhere.
+    #[test]
+    fn vendor_tiers_require_vendor_providers(routes in proptest::collection::vec(arb_route(), 1..6)) {
+        let outcome = rate(&routes);
+        if outcome.primary.is_vendor_tier() {
+            let has_vendor = routes.iter().any(|r| matches!(
+                r.provider,
+                Provider::DeviceVendor | Provider::OtherVendor(_)
+            ));
+            prop_assert!(has_vendor, "vendor tier {} without vendor provider", outcome.primary);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! E7 — §5 "Topicality": the ecosystem evolves; the rating engine keeps
+//! the matrix consistent with the evidence.
+
+use many_models::core::evolution::{apply, Event};
+use many_models::core::prelude::*;
+use many_models::core::provider::Maintenance;
+use many_models::core::route::{Completeness, Directness, Route, RouteKind};
+
+#[test]
+fn roc_stdpar_maturing_upgrades_amd_standard() {
+    // §5: AMD C++ stdpar has "no vendor-supported, advertised solution
+    // (which roc-stdpar might become)".
+    let mut m = CompatMatrix::paper();
+    assert_eq!(m.support(Vendor::Amd, Model::Standard, Language::Cpp), Support::Limited);
+    apply(
+        &mut m,
+        &[
+            Event::SetCompleteness {
+                toolchain: "roc-stdpar (-stdpar)",
+                completeness: Completeness::Complete,
+            },
+            Event::SetMaintenance { toolchain: "roc-stdpar (-stdpar)", status: Maintenance::Active },
+            Event::SetDocumented { toolchain: "roc-stdpar (-stdpar)", documented: true },
+        ],
+    );
+    assert_eq!(m.support(Vendor::Amd, Model::Standard, Language::Cpp), Support::Full);
+}
+
+#[test]
+fn removing_every_community_project_collapses_non_vendor_cells() {
+    // Failure injection: the community disappears; every cell whose best
+    // support was community-provided must degrade.
+    let mut m = CompatMatrix::paper();
+    let community_toolchains: Vec<&'static str> = m
+        .cells()
+        .flat_map(|c| c.routes.iter())
+        .filter(|r| matches!(r.provider, many_models::core::provider::Provider::Community(_)))
+        .map(|r| r.toolchain)
+        .collect();
+    let events: Vec<Event> =
+        community_toolchains.into_iter().map(|t| Event::RemoveRoute { toolchain: t }).collect();
+    apply(&mut m, &events);
+    // "Non-vendor good" can still come from *another vendor* (DPC++ on
+    // AMD/NVIDIA is Intel's work) — but no surviving cell may rest on a
+    // community route.
+    for cell in m.cells() {
+        assert!(
+            !cell
+                .routes
+                .iter()
+                .any(|r| matches!(r.provider, many_models::core::provider::Provider::Community(_))),
+            "{} still has community routes",
+            cell.id
+        );
+    }
+    // SYCL on AMD survives only through DPC++ (another vendor).
+    let amd_sycl = m.support(Vendor::Amd, Model::Sycl, Language::Cpp);
+    assert_eq!(amd_sycl, Support::NonVendorGood, "DPC++ keeps SYCL alive on AMD");
+    let amd_sycl_cell = m.cell(Vendor::Amd, Model::Sycl, Language::Cpp).unwrap();
+    assert_eq!(amd_sycl_cell.routes.len(), 1);
+    assert_eq!(amd_sycl_cell.routes[0].toolchain, "DPC++ (ROCm plugin)");
+    // Kokkos and Alpaka disappear outright.
+    assert_eq!(m.support(Vendor::Nvidia, Model::Kokkos, Language::Cpp), Support::None);
+    assert_eq!(m.support(Vendor::Amd, Model::Alpaka, Language::Cpp), Support::None);
+}
+
+#[test]
+fn intel_adopting_openacc_would_fill_the_hole() {
+    // Counterfactual: Intel ships a complete OpenACC compiler.
+    let mut m = CompatMatrix::paper();
+    let changed = apply(
+        &mut m,
+        &[Event::AddRoute {
+            vendor: Vendor::Intel,
+            model: Model::OpenAcc,
+            language: Language::Cpp,
+            route: Route::new(
+                "hypothetical icx -fopenacc",
+                RouteKind::Compiler,
+                many_models::core::provider::Provider::DeviceVendor,
+                Directness::Direct,
+                Completeness::Complete,
+            ),
+        }],
+    );
+    assert_eq!(changed, 1);
+    assert_eq!(m.support(Vendor::Intel, Model::OpenAcc, Language::Cpp), Support::Full);
+    // And the §6 "OpenACC does not reach Intel" conclusion flips:
+    let everywhere = many_models::core::stats::models_supported_everywhere(
+        &m,
+        Language::Cpp,
+        Support::NonVendorGood,
+    );
+    assert!(everywhere.contains(&Model::OpenAcc));
+}
+
+#[test]
+fn evolution_keeps_structure_invariants() {
+    // Whatever events fire, the matrix keeps 51 cells and 44 descriptions.
+    let mut m = CompatMatrix::paper();
+    apply(
+        &mut m,
+        &[
+            Event::RemoveRoute { toolchain: "ComputeCpp" },
+            Event::RemoveRoute { toolchain: "ZLUDA" },
+            Event::SetMaintenance {
+                toolchain: "GPUFORT (CUDA Fortran→OpenMP/hipfort)",
+                status: Maintenance::Unmaintained,
+            },
+        ],
+    );
+    assert_eq!(m.len(), 51);
+    assert_eq!(m.unique_description_count(), 44);
+}
+
+#[test]
+fn rerated_matrix_stays_consistent_with_the_engine() {
+    // After arbitrary evolution, replaying the engine is a fixed point.
+    let mut m = CompatMatrix::paper();
+    apply(
+        &mut m,
+        &[
+            Event::RemoveRoute { toolchain: "Open SYCL" },
+            Event::SetMaintenance { toolchain: "CuPy", status: Maintenance::Stale },
+        ],
+    );
+    for cell in m.cells() {
+        let outcome = many_models::core::rating::rate(&cell.routes);
+        assert_eq!(outcome.primary, cell.support, "{} inconsistent after evolution", cell.id);
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end translator pipelines across crates: the full
+//! dialect × vendor runnability matrix, before and after each translator.
+
+use many_models::core::prelude::*;
+use many_models::gpu_sim::Device;
+use many_models::toolchain::vendor_device_spec;
+use many_models::translate::ast::{cuda_saxpy_program, openacc_scale_program, Dialect};
+use many_models::translate::exec::{run_program, ExecError};
+use many_models::translate::{acc2mp, chipstar, hipify, syclomatic};
+
+/// Which (dialect, vendor) pairs can run *untranslated*? Must mirror the
+/// matrix's IR-compiler coverage.
+#[test]
+fn dialect_runnability_matrix() {
+    let cuda = cuda_saxpy_program(64, 2.0);
+    let hip = hipify::hipify(&cuda).unwrap();
+    let sycl = syclomatic::syclomatic(&cuda).unwrap().program;
+    let acc = openacc_scale_program(64, 2.0);
+    let omp = acc2mp::acc_to_omp(&acc).unwrap();
+
+    // (program, expected-to-run-on)
+    let cases = [
+        (&cuda, vec![Vendor::Nvidia, Vendor::Intel]), // Intel via chipStar's compiler
+        (&hip, vec![Vendor::Amd, Vendor::Nvidia, Vendor::Intel]), // Intel via chipStar
+        (&sycl, vec![Vendor::Amd, Vendor::Intel, Vendor::Nvidia]),
+        (&acc, vec![Vendor::Amd, Vendor::Nvidia]),
+        (&omp, vec![Vendor::Amd, Vendor::Intel, Vendor::Nvidia]),
+    ];
+    for (program, expected) in cases {
+        for vendor in Vendor::ALL {
+            let dev = Device::new(vendor_device_spec(vendor));
+            let outcome = run_program(program, &dev);
+            if expected.contains(&vendor) {
+                assert!(
+                    outcome.is_ok(),
+                    "{:?} should run on {vendor}: {:?}",
+                    program.dialect,
+                    outcome.err()
+                );
+            } else {
+                assert!(
+                    matches!(outcome, Err(ExecError::NoRouteForDialect { .. })),
+                    "{:?} should NOT run on {vendor}",
+                    program.dialect
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chained_translation_cuda_to_hip_keeps_semantics() {
+    // CUDA → (HIPIFY) → HIP, run on both HIP platforms; outputs identical
+    // to the native CUDA run.
+    let n = 512;
+    let cuda = cuda_saxpy_program(n, 3.0);
+    let nvidia = Device::new(vendor_device_spec(Vendor::Nvidia));
+    let native = run_program(&cuda, &nvidia).unwrap();
+
+    let hip = hipify::hipify(&cuda).unwrap();
+    for vendor in [Vendor::Amd, Vendor::Nvidia] {
+        let dev = Device::new(vendor_device_spec(vendor));
+        let translated = run_program(&hip, &dev).unwrap();
+        assert_eq!(native["y"], translated["y"], "{vendor}");
+    }
+}
+
+#[test]
+fn all_translator_outputs_agree_numerically() {
+    // One CUDA source, four execution routes — every output identical.
+    let n = 256;
+    let cuda = cuda_saxpy_program(n, 2.0);
+    let expected: Vec<f32> = (0..n).map(|i| 2.0 * i as f32 + 1.0).collect();
+
+    let nvidia = Device::new(vendor_device_spec(Vendor::Nvidia));
+    assert_eq!(run_program(&cuda, &nvidia).unwrap()["y"], expected);
+
+    let amd = Device::new(vendor_device_spec(Vendor::Amd));
+    let hip = hipify::hipify(&cuda).unwrap();
+    assert_eq!(run_program(&hip, &amd).unwrap()["y"], expected);
+
+    let intel = Device::new(vendor_device_spec(Vendor::Intel));
+    let sycl = syclomatic::syclomatic(&cuda).unwrap().program;
+    assert_eq!(run_program(&sycl, &intel).unwrap()["y"], expected);
+
+    let chip = chipstar::run_on_intel(&cuda, &intel).unwrap();
+    assert_eq!(chip.outputs["y"], expected);
+}
+
+#[test]
+fn translator_dialect_gates_are_strict() {
+    let cuda = cuda_saxpy_program(16, 1.0);
+    let hip = hipify::hipify(&cuda).unwrap();
+    // HIPIFY refuses HIP input (idempotence is not silent).
+    assert!(hipify::hipify(&hip).is_err());
+    // SYCLomatic refuses HIP.
+    assert!(syclomatic::syclomatic(&hip).is_err());
+    // acc2mp refuses CUDA.
+    assert!(acc2mp::acc_to_omp(&cuda).is_err());
+    // chipStar refuses SYCL programs.
+    let sycl = syclomatic::syclomatic(&cuda).unwrap().program;
+    let intel = Device::new(vendor_device_spec(Vendor::Intel));
+    assert!(chipstar::run_on_intel(&sycl, &intel).is_err());
+}
+
+#[test]
+fn translated_dialect_tags_are_correct() {
+    let cuda = cuda_saxpy_program(8, 1.0);
+    assert_eq!(hipify::hipify(&cuda).unwrap().dialect, Dialect::HipCpp);
+    assert_eq!(syclomatic::syclomatic(&cuda).unwrap().program.dialect, Dialect::SyclCpp);
+    let acc = openacc_scale_program(8, 1.0);
+    assert_eq!(acc2mp::acc_to_omp(&acc).unwrap().dialect, Dialect::OpenMpCpp);
+}

@@ -1,0 +1,57 @@
+//! The V&V suites ground the §3 ratings: a compiler's *measured* coverage
+//! class must equal the `Completeness` evidence its route carries in the
+//! dataset — closing the loop between "the paper says" and "the code does".
+
+use many_models::core::prelude::*;
+use mcmm_vandv::openacc_suite;
+use mcmm_vandv::openmp_suite;
+use mcmm_vandv::report::{completeness_from_coverage, Coverage};
+
+#[test]
+fn openmp_measured_coverage_matches_dataset_completeness() {
+    let matrix = CompatMatrix::paper();
+    for vendor in Vendor::ALL {
+        let cell = matrix.cell(vendor, Model::OpenMp, Language::Cpp).unwrap();
+        for toolchain in openmp_suite::compilers_for(vendor) {
+            let route = cell
+                .routes
+                .iter()
+                .find(|r| r.toolchain == toolchain)
+                .unwrap_or_else(|| panic!("{vendor}: {toolchain} not in dataset"));
+            let results = openmp_suite::run(vendor, toolchain);
+            let coverage = Coverage::from_results(&results);
+            assert!(!coverage.has_bugs(), "{vendor}/{toolchain}: suite found wrong results");
+            assert_eq!(
+                completeness_from_coverage(coverage),
+                route.completeness,
+                "{vendor}/{toolchain}: measured {coverage} vs dataset {:?}",
+                route.completeness
+            );
+        }
+    }
+}
+
+#[test]
+fn openmp_suite_orders_compilers_like_the_descriptions() {
+    // Intel (complete) must out-cover NVHPC (subset of 5.0), which the
+    // descriptions and the BoF table both report.
+    let intel =
+        Coverage::from_results(&openmp_suite::run(Vendor::Intel, "Intel oneAPI DPC++/C++ (icpx -qopenmp)"));
+    let nvhpc =
+        Coverage::from_results(&openmp_suite::run(Vendor::Nvidia, "NVIDIA HPC SDK (nvc/nvc++ -mp)"));
+    assert!(intel.fraction() > nvhpc.fraction());
+    assert_eq!(intel.fraction(), 1.0);
+}
+
+#[test]
+fn openacc_suite_matches_the_vendor_split() {
+    // NVIDIA/AMD: full pass. Intel: all unsupported.
+    for vendor in [Vendor::Nvidia, Vendor::Amd] {
+        let c = Coverage::from_results(&openacc_suite::run(vendor));
+        assert_eq!(c.fraction(), 1.0, "{vendor}: {c}");
+    }
+    let intel = Coverage::from_results(&openacc_suite::run(Vendor::Intel));
+    assert_eq!(intel.pass, 0);
+    assert_eq!(intel.unsupported, openacc_suite::CASES.len());
+    assert_eq!(completeness_from_coverage(intel), mcmm_core::route::Completeness::Minimal);
+}
