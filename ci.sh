@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The full local CI gate: everything a PR must pass.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "── build ──────────────────────────────────────────"
+cargo build --workspace --release
+
+echo "── tests ──────────────────────────────────────────"
+cargo test --workspace -q
+
+echo "── clippy (warnings are errors) ───────────────────"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "── rustfmt ────────────────────────────────────────"
+cargo fmt --all --check
+
+echo "── analyzer report ────────────────────────────────"
+cargo run --release -p mcmm-bench --bin analyze
+
+echo "CI PASSED"

@@ -1,0 +1,154 @@
+//! Seeded-defect kernel corpus: at least two kernels per diagnostic code,
+//! each carrying the [`AnalysisOptions`] under which its defect is
+//! provable. Used by the analyzer's own tests, by the differential
+//! race tests in the umbrella crate, and by the `analyze` report binary.
+
+use crate::AnalysisOptions;
+use mcmm_gpu_sim::ir::{
+    BinOp, CmpOp, Instr, KernelBuilder, KernelIr, Operand, Reg, Space, Type, Value,
+};
+
+/// One corpus entry: a kernel seeded with exactly one class of defect.
+#[derive(Debug, Clone)]
+pub struct SeededKernel {
+    /// The defective kernel.
+    pub kernel: KernelIr,
+    /// Options under which the defect is detectable.
+    pub opts: AnalysisOptions,
+    /// The diagnostic code the analyzer must emit.
+    pub expect: &'static str,
+}
+
+/// MCA001: `r1 = r0` where `r0` has no definition at all.
+fn uninit_plain() -> KernelIr {
+    // KernelBuilder cannot express this defect (it defines every register
+    // at creation), so build the IR directly — `validate` only checks
+    // types, exactly like a real assembler.
+    KernelIr {
+        name: "seeded_uninit_plain".into(),
+        params: vec![],
+        regs: vec![Type::I32, Type::I32],
+        shared_bytes: 0,
+        body: vec![Instr::Mov { dst: Reg(1), src: Operand::Reg(Reg(0)) }],
+    }
+}
+
+/// MCA001: `r2` written only in the then-branch, read unconditionally.
+fn uninit_branch() -> KernelIr {
+    KernelIr {
+        name: "seeded_uninit_branch".into(),
+        params: vec![Type::I32],
+        regs: vec![Type::I32, Type::Bool, Type::I32],
+        shared_bytes: 0,
+        body: vec![
+            Instr::Cmp {
+                op: CmpOp::Lt,
+                dst: Reg(1),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(Value::I32(10)),
+            },
+            Instr::If {
+                cond: Reg(1),
+                then_: vec![Instr::Mov { dst: Reg(2), src: Operand::Imm(Value::I32(1)) }],
+                else_: vec![],
+            },
+            Instr::Bin {
+                op: BinOp::Add,
+                dst: Reg(2),
+                a: Operand::Reg(Reg(2)),
+                b: Operand::Imm(Value::I32(2)),
+            },
+        ],
+    }
+}
+
+/// MCA002: a barrier inside `if (tid < 16)` — half the block never arrives.
+fn divergent_barrier_if() -> KernelIr {
+    let mut k = KernelBuilder::new("seeded_divergent_barrier_if");
+    let tid = k.thread_id_x();
+    let c = k.cmp(CmpOp::Lt, tid, Value::I32(16));
+    k.if_(c, |k| k.barrier());
+    k.finish()
+}
+
+/// MCA002: a barrier inside `while (j < tid)` — per-lane trip counts.
+fn divergent_barrier_loop() -> KernelIr {
+    let mut k = KernelBuilder::new("seeded_divergent_barrier_loop");
+    let tid = k.thread_id_x();
+    let j = k.imm(Value::I32(0));
+    k.while_(
+        |k| k.cmp(CmpOp::Lt, j, tid),
+        |k| {
+            k.barrier();
+            k.bin_assign(BinOp::Add, j, Value::I32(1));
+        },
+    );
+    k.finish()
+}
+
+/// MCA003: every lane writes shared byte 0 in the same barrier interval.
+fn race_same_slot() -> KernelIr {
+    let mut k = KernelBuilder::new("seeded_race_same_slot");
+    let sh = k.shared_alloc(4);
+    let tid = k.thread_id_x();
+    k.st(Space::Shared, sh, tid);
+    k.finish()
+}
+
+/// MCA003: lane `i` writes `sh[i]` and reads `sh[i+1]` with no barrier in
+/// between — a classic missing-`__syncthreads()` neighbour exchange.
+fn race_neighbor_read() -> KernelIr {
+    let mut k = KernelBuilder::new("seeded_race_neighbor_read");
+    let sh = k.shared_alloc(4 * 257); // room for tid+1 at block_dim=256
+    let tid = k.thread_id_x();
+    k.st_elem(Space::Shared, sh, tid, tid);
+    let t1 = k.bin(BinOp::Add, tid, Value::I32(1));
+    let _ = k.ld_elem(Space::Shared, Type::I32, sh, t1);
+    k.finish()
+}
+
+/// MCA004: stores `p[n]` when `p` holds exactly `n` elements.
+fn oob_global_store() -> KernelIr {
+    let mut k = KernelBuilder::new("seeded_oob_global_store");
+    let p = k.param(Type::I64);
+    let n = k.param(Type::I32);
+    k.st_elem(Space::Global, p, n, Value::I32(7));
+    k.finish()
+}
+
+/// MCA004: stores `sh[tid]` with 64 lanes into a 16-element shared array.
+fn oob_shared_store() -> KernelIr {
+    let mut k = KernelBuilder::new("seeded_oob_shared_store");
+    let sh = k.shared_alloc(16 * 4);
+    let tid = k.thread_id_x();
+    k.st_elem(Space::Shared, sh, tid, tid);
+    k.finish()
+}
+
+/// The full seeded-defect corpus: ≥ 2 kernels per diagnostic code.
+pub fn seeded_defects() -> Vec<SeededKernel> {
+    let defaults = AnalysisOptions::default();
+    let mut oob_global_opts = AnalysisOptions::default();
+    // p (param register 0) holds 8 i32 elements; n (param register 1) = 8.
+    oob_global_opts.buffer_bytes.insert(0, 8 * 4);
+    oob_global_opts.param_values.insert(1, 8);
+    let oob_shared_opts = AnalysisOptions { block_dim: 64, ..AnalysisOptions::default() };
+    vec![
+        SeededKernel { kernel: uninit_plain(), opts: defaults.clone(), expect: crate::MCA001 },
+        SeededKernel { kernel: uninit_branch(), opts: defaults.clone(), expect: crate::MCA001 },
+        SeededKernel {
+            kernel: divergent_barrier_if(),
+            opts: defaults.clone(),
+            expect: crate::MCA002,
+        },
+        SeededKernel {
+            kernel: divergent_barrier_loop(),
+            opts: defaults.clone(),
+            expect: crate::MCA002,
+        },
+        SeededKernel { kernel: race_same_slot(), opts: defaults.clone(), expect: crate::MCA003 },
+        SeededKernel { kernel: race_neighbor_read(), opts: defaults, expect: crate::MCA003 },
+        SeededKernel { kernel: oob_global_store(), opts: oob_global_opts, expect: crate::MCA004 },
+        SeededKernel { kernel: oob_shared_store(), opts: oob_shared_opts, expect: crate::MCA004 },
+    ]
+}

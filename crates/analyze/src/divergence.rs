@@ -1,0 +1,172 @@
+//! MCA002 — barrier under thread-divergent control flow.
+//!
+//! `__syncthreads()`-style barriers must be reached by **every** thread of
+//! the block or none; a barrier guarded by a thread-dependent condition
+//! deadlocks (or worse) on real hardware. The check runs a divergence
+//! taint analysis over the structured tree: `TidX`/`LaneId` (and anything
+//! computed from them, loaded behind a variant address, or assigned under
+//! a variant guard) are *thread-variant*; `CtaIdX`/`NTidX`/`NCtaIdX` are
+//! block-uniform. A `Bar` nested under any variant `If`/`While` guard is
+//! flagged.
+//!
+//! Taint is computed to fixpoint first (loops can feed variance back into
+//! their own guards), then one recording pass emits diagnostics.
+
+use crate::cfg::Loc;
+use crate::{Diagnostic, MCA002};
+use mcmm_gpu_sim::ir::{Instr, KernelIr, Operand, Reg, Special};
+use std::collections::BTreeSet;
+
+struct Taint<'k> {
+    kernel: &'k KernelIr,
+    variant: BTreeSet<Reg>,
+    changed: bool,
+    /// Divergent barrier locations (filled on the recording pass).
+    found: Vec<(Loc, String)>,
+    record: bool,
+    next_loc: u32,
+}
+
+impl Taint<'_> {
+    fn op_variant(&self, o: &Operand) -> bool {
+        matches!(o, Operand::Reg(r) if self.variant.contains(r))
+    }
+
+    fn mark(&mut self, r: Reg) {
+        if self.variant.insert(r) {
+            self.changed = true;
+        }
+    }
+
+    fn loc(&mut self) -> Loc {
+        let l = Loc(self.next_loc);
+        self.next_loc += 1;
+        l
+    }
+
+    fn walk(&mut self, body: &[Instr], div_ctx: bool, guard: &str) {
+        for instr in body {
+            let loc = self.loc();
+            match instr {
+                Instr::Mov { dst, src } => {
+                    if div_ctx || self.op_variant(src) {
+                        self.mark(*dst);
+                    }
+                }
+                Instr::Bin { dst, a, b, .. } | Instr::Cmp { dst, a, b, .. } => {
+                    if div_ctx || self.op_variant(a) || self.op_variant(b) {
+                        self.mark(*dst);
+                    }
+                }
+                Instr::Un { dst, a, .. } | Instr::Cvt { dst, a } => {
+                    if div_ctx || self.op_variant(a) {
+                        self.mark(*dst);
+                    }
+                }
+                Instr::Sel { dst, cond, a, b } => {
+                    if div_ctx
+                        || self.variant.contains(cond)
+                        || self.op_variant(a)
+                        || self.op_variant(b)
+                    {
+                        self.mark(*dst);
+                    }
+                }
+                Instr::Special { dst, kind } => match kind {
+                    Special::TidX | Special::LaneId => self.mark(*dst),
+                    Special::CtaIdX | Special::NTidX | Special::NCtaIdX => {
+                        if div_ctx {
+                            self.mark(*dst);
+                        }
+                    }
+                },
+                Instr::Ld { dst, addr, .. } => {
+                    // A load from a uniform address yields the same value
+                    // in every lane; variant addresses (or partial
+                    // execution) make the destination variant.
+                    if div_ctx || self.op_variant(addr) {
+                        self.mark(*dst);
+                    }
+                }
+                Instr::St { .. } => {}
+                Instr::Atomic { dst, .. } => {
+                    // The returned old value depends on lane ordering.
+                    if let Some(d) = dst {
+                        self.mark(*d);
+                    }
+                }
+                Instr::Bar => {
+                    if div_ctx && self.record {
+                        self.found.push((
+                            loc,
+                            format!(
+                                "barrier at {loc} executes under thread-divergent control \
+                                 flow ({guard}) in kernel `{}`: lanes that skip the guard \
+                                 never arrive — deadlock on real devices",
+                                self.kernel.name
+                            ),
+                        ));
+                    }
+                }
+                Instr::If { cond, then_, else_ } => {
+                    let inner = div_ctx || self.variant.contains(cond);
+                    let g = if div_ctx {
+                        guard.to_owned()
+                    } else if inner {
+                        format!("guard r{} depends on the thread id", cond.0)
+                    } else {
+                        guard.to_owned()
+                    };
+                    self.walk(then_, inner, &g);
+                    self.walk(else_, inner, &g);
+                }
+                Instr::While { cond_block, cond, body } => {
+                    let inner = div_ctx || self.variant.contains(cond);
+                    let g = if div_ctx {
+                        guard.to_owned()
+                    } else if inner {
+                        format!("loop condition r{} depends on the thread id", cond.0)
+                    } else {
+                        guard.to_owned()
+                    };
+                    // Lanes exiting the loop at different trip counts make
+                    // everything in the loop divergent, including the
+                    // condition block re-evaluations.
+                    self.walk(cond_block, inner, &g);
+                    self.walk(body, inner, &g);
+                }
+                Instr::Trap { .. } => {}
+            }
+        }
+    }
+}
+
+/// The set of thread-variant registers at fixpoint.
+pub fn variant_regs(kernel: &KernelIr) -> BTreeSet<Reg> {
+    let mut t = Taint {
+        kernel,
+        variant: BTreeSet::new(),
+        changed: true,
+        found: Vec::new(),
+        record: false,
+        next_loc: 0,
+    };
+    while t.changed {
+        t.changed = false;
+        t.next_loc = 0;
+        t.walk(&kernel.body, false, "");
+    }
+    t.variant
+}
+
+/// Run the MCA002 check.
+pub fn check(kernel: &KernelIr) -> Vec<Diagnostic> {
+    let variant = variant_regs(kernel);
+    let mut t =
+        Taint { kernel, variant, changed: false, found: Vec::new(), record: true, next_loc: 0 };
+    t.walk(&kernel.body, false, "");
+    t.found
+        .into_iter()
+        .map(|(loc, message)| Diagnostic { code: MCA002, loc: Some(loc), message })
+        .collect()
+}

@@ -1,0 +1,63 @@
+//! MCA001 — read of a register that may never have been written.
+//!
+//! A use is flagged when the synthetic "uninitialized" entry definition of
+//! the register reaches it (see [`crate::dataflow::ReachingDefs`]). If the
+//! *only* reaching definition is synthetic, the read is definitely
+//! uninitialized; if real definitions also reach it, some path skips the
+//! write (the classic `if (...) x = ...; use(x)` shape).
+//!
+//! The interpreter zero-initializes registers, so this is a lint, not a
+//! soundness hole in the simulator — but real toolchains (and real GPUs)
+//! make no such promise, which is exactly why mature compilers warn here.
+
+use crate::cfg::{Cfg, Terminator};
+use crate::dataflow::{instr_uses, ReachingDefs};
+use crate::{Diagnostic, MCA001};
+use mcmm_gpu_sim::ir::KernelIr;
+
+/// Run the MCA001 check.
+pub fn check(kernel: &KernelIr, cfg: &Cfg, rd: &ReachingDefs) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut buf = Vec::new();
+    let mut flagged = std::collections::BTreeSet::new();
+    for bid in cfg.reverse_postorder() {
+        rd.for_each_state(cfg, bid, |state, loc, instr| {
+            instr_uses(instr, &mut buf);
+            for r in &buf {
+                let uninit_reaches =
+                    rd.uninit_defs.iter().any(|&d| rd.defs[d].reg == *r && state.contains(d));
+                if !uninit_reaches || !flagged.insert((loc, *r)) {
+                    continue;
+                }
+                let real_reaches =
+                    state.iter().any(|d| rd.defs[d].reg == *r && rd.defs[d].site.is_some());
+                let verb = if real_reaches { "may be read" } else { "is read" };
+                out.push(Diagnostic {
+                    code: MCA001,
+                    loc: Some(loc),
+                    message: format!(
+                        "register r{} {verb} before initialization at {loc} in kernel `{}`",
+                        r.0, kernel.name
+                    ),
+                });
+            }
+        });
+        // Branch conditions are uses too.
+        if let Terminator::Branch { cond, .. } = &cfg.blocks[bid].term {
+            let state_at_end = &rd.block_out[bid];
+            let uninit_reaches =
+                rd.uninit_defs.iter().any(|&d| rd.defs[d].reg == *cond && state_at_end.contains(d));
+            if uninit_reaches {
+                out.push(Diagnostic {
+                    code: MCA001,
+                    loc: None,
+                    message: format!(
+                        "branch condition r{} may be read before initialization in kernel `{}`",
+                        cond.0, kernel.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,188 @@
+//! The seeded-defect corpus must trip the analyzer — each kernel with
+//! exactly the diagnostic code its defect was seeded for — and known-clean
+//! kernels must stay clean.
+
+use mcmm_analyze::{analyze, corpus, AnalysisOptions, MCA001, MCA002, MCA003, MCA004};
+use mcmm_gpu_sim::ir::{BinOp, CmpOp, KernelBuilder, Space, Type, Value};
+use std::collections::BTreeSet;
+
+#[test]
+fn every_seeded_kernel_is_valid_ir() {
+    for entry in corpus::seeded_defects() {
+        assert_eq!(entry.kernel.validate(), Ok(()), "corpus kernel {}", entry.kernel.name);
+    }
+}
+
+#[test]
+fn every_seeded_kernel_is_flagged_with_its_code() {
+    for entry in corpus::seeded_defects() {
+        let report = analyze(&entry.kernel, &entry.opts);
+        assert!(
+            report.has_code(entry.expect),
+            "kernel `{}` should emit {} but reported {:?}",
+            entry.kernel.name,
+            entry.expect,
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn seeded_kernels_emit_only_their_seeded_code() {
+    for entry in corpus::seeded_defects() {
+        let report = analyze(&entry.kernel, &entry.opts);
+        assert_eq!(
+            report.codes(),
+            BTreeSet::from([entry.expect]),
+            "kernel `{}` emitted extra codes: {:?}",
+            entry.kernel.name,
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn at_least_two_kernels_per_code() {
+    let corpus = corpus::seeded_defects();
+    for code in [MCA001, MCA002, MCA003, MCA004] {
+        let n = corpus.iter().filter(|e| e.expect == code).count();
+        assert!(n >= 2, "only {n} corpus kernels for {code}");
+    }
+}
+
+#[test]
+fn diagnostics_carry_kernel_name_and_code_in_display() {
+    for entry in corpus::seeded_defects() {
+        let report = analyze(&entry.kernel, &entry.opts);
+        let d = &report.diagnostics[0];
+        let shown = d.to_string();
+        assert!(shown.starts_with(d.code), "display should lead with the code: {shown}");
+        assert!(shown.contains(&entry.kernel.name), "display should name the kernel: {shown}");
+    }
+}
+
+/// The canonical guarded SAXPY — the shape every frontend in the workspace
+/// emits — must be clean under every check.
+#[test]
+fn guarded_saxpy_is_clean() {
+    let mut k = KernelBuilder::new("saxpy");
+    let a = k.param(Type::F32);
+    let x = k.param(Type::I64);
+    let y = k.param(Type::I64);
+    let n = k.param(Type::I32);
+    let i = k.global_thread_id_x();
+    let ok = k.cmp(CmpOp::Lt, i, n);
+    k.if_(ok, |k| {
+        let xi = k.ld_elem(Space::Global, Type::F32, x, i);
+        let yi = k.ld_elem(Space::Global, Type::F32, y, i);
+        let ax = k.bin(BinOp::Mul, a, xi);
+        let s = k.bin(BinOp::Add, ax, yi);
+        k.st_elem(Space::Global, y, i, s);
+    });
+    let kernel = k.finish();
+    let report = analyze(&kernel, &AnalysisOptions::default());
+    assert!(report.is_clean(), "guarded saxpy flagged: {:?}", report.diagnostics);
+}
+
+/// The guard actually matters: give the analyzer concrete extents and the
+/// guarded kernel stays clean, while removing the guard trips MCA004.
+#[test]
+fn bounds_check_respects_the_guard() {
+    let build = |guarded: bool| {
+        let mut k = KernelBuilder::new(if guarded { "guarded" } else { "unguarded" });
+        let x = k.param(Type::I64);
+        let n = k.param(Type::I32);
+        let i = k.thread_id_x();
+        let body = |k: &mut KernelBuilder| {
+            k.st_elem(Space::Global, x, i, Value::I32(1));
+        };
+        if guarded {
+            let ok = k.cmp(CmpOp::Lt, i, n);
+            k.if_(ok, body);
+        } else {
+            body(&mut k);
+        }
+        k.finish()
+    };
+    // 100 elements, n = 100, block_dim = 256: lanes 100..255 are out of
+    // bounds unless the `i < n` guard masks them off.
+    let mut opts = AnalysisOptions::default();
+    opts.buffer_bytes.insert(0, 100 * 4);
+    opts.param_values.insert(1, 100);
+
+    let clean = analyze(&build(true), &opts);
+    assert!(clean.is_clean(), "guarded store flagged: {:?}", clean.diagnostics);
+    let dirty = analyze(&build(false), &opts);
+    assert!(dirty.has_code(MCA004), "unguarded store missed: {:?}", dirty.diagnostics);
+}
+
+/// A correctly-barriered tree reduction (the interpreter's own test
+/// kernel shape) must not be flagged as racy, while the same kernel with
+/// the barrier removed must be.
+#[test]
+fn barrier_separates_reduction_phases() {
+    let build = |with_barrier: bool| {
+        let mut k = KernelBuilder::new(if with_barrier { "reduce" } else { "reduce_racy" });
+        let sh = k.shared_alloc(4 * 64);
+        let tid = k.thread_id_x();
+        k.st_elem(Space::Shared, sh, tid, tid);
+        if with_barrier {
+            k.barrier();
+        }
+        // Lane 0 reads every slot — races with all other lanes' writes
+        // unless the barrier closes the interval first.
+        let zero = k.imm(Value::I32(0));
+        let is0 = k.cmp(CmpOp::Eq, tid, Value::I32(0));
+        k.if_(is0, |k| {
+            let _ = k.ld_elem(Space::Shared, Type::I32, sh, zero);
+            let _ = k.ld_elem(Space::Shared, Type::I32, sh, Value::I32(63));
+        });
+        k.finish()
+    };
+    let opts = AnalysisOptions { block_dim: 64, ..AnalysisOptions::default() };
+    let clean = analyze(&build(true), &opts);
+    assert!(clean.is_clean(), "barriered reduction flagged: {:?}", clean.diagnostics);
+    let dirty = analyze(&build(false), &opts);
+    assert!(dirty.has_code(MCA003), "unbarriered reduction missed: {:?}", dirty.diagnostics);
+}
+
+/// Uniform-condition barriers are fine; the divergence check must not
+/// flag a barrier behind a blockIdx-based guard.
+#[test]
+fn uniform_barrier_is_not_divergent() {
+    let mut k = KernelBuilder::new("uniform_bar");
+    let bid = k.block_id_x();
+    let c = k.cmp(CmpOp::Eq, bid, Value::I32(0));
+    k.if_(c, |k| k.barrier());
+    let report = analyze(&k.finish(), &AnalysisOptions::default());
+    assert!(!report.has_code(MCA002), "uniform barrier flagged: {:?}", report.diagnostics);
+}
+
+/// Atomics from all lanes to the same address are ordered — not a race.
+#[test]
+fn atomics_do_not_race_with_atomics() {
+    let mut k = KernelBuilder::new("atomic_accum");
+    let sh = k.shared_alloc(4);
+    let tid = k.thread_id_x();
+    let _ = k.atomic(mcmm_gpu_sim::ir::AtomicOp::Add, Space::Shared, sh, tid);
+    let report = analyze(&k.finish(), &AnalysisOptions::default());
+    assert!(!report.has_code(MCA003), "atomic-vs-atomic flagged: {:?}", report.diagnostics);
+}
+
+/// ...but an atomic racing a plain write is still a race.
+#[test]
+fn atomic_vs_plain_write_races() {
+    let mut k = KernelBuilder::new("atomic_vs_store");
+    let sh = k.shared_alloc(4);
+    let tid = k.thread_id_x();
+    let is0 = k.cmp(CmpOp::Eq, tid, Value::I32(0));
+    k.if_else(
+        is0,
+        |k| k.st(Space::Shared, sh, Value::I32(1)),
+        |k| {
+            let _ = k.atomic(mcmm_gpu_sim::ir::AtomicOp::Add, Space::Shared, sh, Value::I32(1));
+        },
+    );
+    let report = analyze(&k.finish(), &AnalysisOptions::default());
+    assert!(report.has_code(MCA003), "atomic-vs-store missed: {:?}", report.diagnostics);
+}

@@ -1,7 +1,9 @@
 //! BabelStream in Alpaka — kernel functors with explicit work division.
 
 use super::Stopwatch;
-use crate::{Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C};
+use crate::{
+    Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C,
+};
 use mcmm_core::taxonomy::Vendor;
 use mcmm_gpu_sim::device::Device;
 use mcmm_gpu_sim::ir::{AtomicOp, KernelBuilder, Reg, Space, Type};
@@ -63,10 +65,8 @@ impl StreamBackend for AlpakaStream {
     fn run(&self, vendor: Vendor, n: usize, iters: usize) -> Result<RunResult, StreamError> {
         let device = Device::new(mcmm_toolchain::vendor_device_spec(vendor));
         let dev = device.clone();
-        let acc = Accelerator::default_for_device(device).map_err(|e| StreamError::Unsupported {
-            model: "ALPAKA",
-            vendor,
-            detail: e.to_string(),
+        let acc = Accelerator::default_for_device(device).map_err(|e| {
+            StreamError::Unsupported { model: "ALPAKA", vendor, detail: e.to_string() }
         })?;
         let fail = |e: mcmm_model_alpaka::AlpakaError| StreamError::Failed(e.to_string());
 

@@ -1,7 +1,9 @@
 //! BabelStream in CUDA (the reference implementation's CUDA variant).
 
 use super::Stopwatch;
-use crate::{Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C};
+use crate::{
+    Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C,
+};
 use mcmm_core::taxonomy::Vendor;
 use mcmm_gpu_sim::device::{Device, KernelArg};
 use mcmm_gpu_sim::ir::{AtomicOp, BinOp, CmpOp, KernelBuilder, KernelIr, Space, Type, Value};
@@ -11,9 +13,16 @@ use mcmm_model_cuda::{CudaContext, CudaKernel};
 pub struct CudaStream;
 
 /// Build the five kernels with the uniform signature
-/// `(a: ptr, b: ptr, c: ptr, sum: ptr, n: i32)`.
-pub(crate) fn stream_kernels() -> [KernelIr; 5] {
-    let build = |name: &str, f: &dyn Fn(&mut KernelBuilder, mcmm_gpu_sim::ir::Reg, [mcmm_gpu_sim::ir::Reg; 4])| {
+/// `(a: ptr, b: ptr, c: ptr, sum: ptr, n: i32)`. Public so the analyzer's
+/// clean-corpus tests and the `analyze` report binary can audit the exact
+/// kernels the benchmark launches.
+pub fn stream_kernels() -> [KernelIr; 5] {
+    let build = |name: &str,
+                 f: &dyn Fn(
+        &mut KernelBuilder,
+        mcmm_gpu_sim::ir::Reg,
+        [mcmm_gpu_sim::ir::Reg; 4],
+    )| {
         let mut k = KernelBuilder::new(name);
         let a = k.param(Type::I64);
         let b = k.param(Type::I64);
@@ -110,8 +119,12 @@ impl StreamBackend for CudaStream {
             }
             gold.step();
             // Dot: zero the cell, then reduce.
-            ctx.device().memory().store(dsum.0, Value::F64(0.0)).map_err(|e| StreamError::Failed(e.to_string()))?;
-            sw.time(StreamKernel::Dot, || ctx.launch(&kernels[4], grid, 256, &args)).map_err(fail)?;
+            ctx.device()
+                .memory()
+                .store(dsum.0, Value::F64(0.0))
+                .map_err(|e| StreamError::Failed(e.to_string()))?;
+            sw.time(StreamKernel::Dot, || ctx.launch(&kernels[4], grid, 256, &args))
+                .map_err(fail)?;
             dot = ctx.download_f64(dsum, 1).map_err(fail)?[0];
         }
 

@@ -90,7 +90,14 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "CUDA", "HIP", "SYCL", "OpenACC", "OpenMP", "Standard", "Kokkos", "ALPAKA",
+                "CUDA",
+                "HIP",
+                "SYCL",
+                "OpenACC",
+                "OpenMP",
+                "Standard",
+                "Kokkos",
+                "ALPAKA",
                 "etc (Python)"
             ]
         );

@@ -2,7 +2,9 @@
 //! region with one `target teams distribute parallel for` per kernel.
 
 use super::Stopwatch;
-use crate::{Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C};
+use crate::{
+    Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C,
+};
 use mcmm_core::taxonomy::Vendor;
 use mcmm_gpu_sim::device::Device;
 use mcmm_gpu_sim::ir::{AtomicOp, Space, Type};
@@ -126,9 +128,6 @@ mod tests {
             OpenMpStream.run(Vendor::Intel, 256, 1).unwrap().toolchain,
             "Intel oneAPI DPC++/C++ (icpx -qopenmp)"
         );
-        assert_eq!(
-            OpenMpStream.run(Vendor::Amd, 256, 1).unwrap().toolchain,
-            "AOMP (Clang-based)"
-        );
+        assert_eq!(OpenMpStream.run(Vendor::Amd, 256, 1).unwrap().toolchain, "AOMP (Clang-based)");
     }
 }

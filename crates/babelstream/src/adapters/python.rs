@@ -5,13 +5,15 @@
 //! realistic shape for naive array code.
 
 use super::Stopwatch;
-use crate::{Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C};
+use crate::{
+    Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C,
+};
 use mcmm_core::taxonomy::Vendor;
 use mcmm_gpu_sim::device::Device;
 use mcmm_gpu_sim::ir::BinOp;
-use mcmm_model_python::PyRuntime;
 #[cfg(test)]
 use mcmm_model_python::DType;
+use mcmm_model_python::PyRuntime;
 
 /// The Python BabelStream adapter.
 pub struct PythonStream;

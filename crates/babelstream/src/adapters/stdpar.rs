@@ -2,7 +2,9 @@
 //! an index iota, as the reference implementation's STD variants do.
 
 use super::Stopwatch;
-use crate::{Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C};
+use crate::{
+    Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C,
+};
 use mcmm_core::taxonomy::Vendor;
 use mcmm_gpu_sim::device::Device;
 use mcmm_gpu_sim::ir::{Space, Type};

@@ -2,7 +2,9 @@
 //! reference implementation's sycl2020 variant does.
 
 use super::Stopwatch;
-use crate::{Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C};
+use crate::{
+    Gold, RunResult, StreamBackend, StreamError, StreamKernel, SCALAR, START_A, START_B, START_C,
+};
 use mcmm_core::taxonomy::Vendor;
 use mcmm_gpu_sim::device::Device;
 use mcmm_gpu_sim::ir::{AtomicOp, Space, Type};

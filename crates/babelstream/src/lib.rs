@@ -44,8 +44,13 @@ pub enum StreamKernel {
 
 impl StreamKernel {
     /// All kernels in BabelStream order.
-    pub const ALL: [StreamKernel; 5] =
-        [StreamKernel::Copy, StreamKernel::Mul, StreamKernel::Add, StreamKernel::Triad, StreamKernel::Dot];
+    pub const ALL: [StreamKernel; 5] = [
+        StreamKernel::Copy,
+        StreamKernel::Mul,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+        StreamKernel::Dot,
+    ];
 
     /// The kernel's BabelStream name.
     pub fn name(self) -> &'static str {

@@ -83,10 +83,9 @@ pub fn kernel_series(entries: &[SweepEntry], model: &str) -> String {
         for v in Vendor::ALL {
             let cell = entries.iter().find(|e| e.model == model && e.vendor == v);
             let text = match cell.map(|e| &e.outcome) {
-                Some(Ok(r)) => r
-                    .kernel(k)
-                    .map(|kr| format!("{:.0}", kr.gbps()))
-                    .unwrap_or_else(|| "?".into()),
+                Some(Ok(r)) => {
+                    r.kernel(k).map(|kr| format!("{:.0}", kr.gbps())).unwrap_or_else(|| "?".into())
+                }
                 _ => "--".into(),
             };
             out.push_str(&format!("{text:>12}"));
@@ -110,10 +109,8 @@ mod tests {
         assert!(!table.contains("ERROR"), "{table}");
         assert!(!table.contains("UNVERIFIED"), "{table}");
 
-        let cuda_on_nvidia = entries
-            .iter()
-            .find(|e| e.model == "CUDA" && e.vendor == Vendor::Nvidia)
-            .unwrap();
+        let cuda_on_nvidia =
+            entries.iter().find(|e| e.model == "CUDA" && e.vendor == Vendor::Nvidia).unwrap();
         let one = run_table(cuda_on_nvidia);
         assert!(one.contains("Copy"));
         assert!(one.contains("PASSED"));

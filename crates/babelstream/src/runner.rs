@@ -33,18 +33,12 @@ pub fn sweep(n: usize, iters: usize) -> Vec<SweepEntry> {
 
 /// How many sweep cells ran and verified.
 pub fn verified_count(entries: &[SweepEntry]) -> usize {
-    entries
-        .iter()
-        .filter(|e| matches!(&e.outcome, Ok(r) if r.verified))
-        .count()
+    entries.iter().filter(|e| matches!(&e.outcome, Ok(r) if r.verified)).count()
 }
 
 /// How many sweep cells are unsupported (matrix holes).
 pub fn unsupported_count(entries: &[SweepEntry]) -> usize {
-    entries
-        .iter()
-        .filter(|e| matches!(&e.outcome, Err(StreamError::Unsupported { .. })))
-        .count()
+    entries.iter().filter(|e| matches!(&e.outcome, Err(StreamError::Unsupported { .. }))).count()
 }
 
 #[cfg(test)]

@@ -3,7 +3,9 @@
 //! `babelstream` binary; this measures the simulator's own throughput.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mcmm_babelstream::adapters::{cuda::CudaStream, hip::HipStream, openmp::OpenMpStream, sycl::SyclStream};
+use mcmm_babelstream::adapters::{
+    cuda::CudaStream, hip::HipStream, openmp::OpenMpStream, sycl::SyclStream,
+};
 use mcmm_babelstream::StreamBackend;
 use mcmm_core::taxonomy::Vendor;
 use std::hint::black_box;

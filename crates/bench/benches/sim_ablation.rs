@@ -61,12 +61,8 @@ fn bench_simt_width(c: &mut Criterion) {
     let n = 1 << 14;
     let dx = dev.alloc_copy_f32(&vec![1.0; n]).unwrap();
     let dy = dev.alloc_copy_f32(&vec![1.0; n]).unwrap();
-    let args = [
-        KernelArg::F32(2.0),
-        KernelArg::Ptr(dx),
-        KernelArg::Ptr(dy),
-        KernelArg::I32(n as i32),
-    ];
+    let args =
+        [KernelArg::F32(2.0), KernelArg::Ptr(dx), KernelArg::Ptr(dy), KernelArg::I32(n as i32)];
     for block_dim in [1u32, 32, 256] {
         g.bench_with_input(BenchmarkId::new("block_dim", block_dim), &block_dim, |b, &bd| {
             let cfg = LaunchConfig::linear(n as u64, bd);
@@ -84,16 +80,10 @@ fn bench_scheduling(c: &mut Criterion) {
     let blocks = 256u32;
     let bd = 64u32;
     let dy = dev.alloc_copy_f32(&vec![0.0; (blocks * bd) as usize]).unwrap();
-    for (name, policy) in
-        [("static", SchedulePolicy::Static), ("dynamic", SchedulePolicy::Dynamic)]
+    for (name, policy) in [("static", SchedulePolicy::Static), ("dynamic", SchedulePolicy::Dynamic)]
     {
         g.bench_function(name, |b| {
-            let cfg = LaunchConfig {
-                grid_dim: blocks,
-                block_dim: bd,
-                policy,
-                efficiency: 1.0,
-            };
+            let cfg = LaunchConfig { grid_dim: blocks, block_dim: bd, policy, efficiency: 1.0 };
             b.iter(|| black_box(dev.launch(&module, cfg, &[KernelArg::Ptr(dy)]).unwrap()))
         });
     }

@@ -14,9 +14,7 @@ fn bench_translation(c: &mut Criterion) {
     g.sample_size(10);
     let program = cuda_saxpy_program(4096, 2.0);
 
-    g.bench_function("hipify_rewrite", |b| {
-        b.iter(|| black_box(hipify::hipify(&program).unwrap()))
-    });
+    g.bench_function("hipify_rewrite", |b| b.iter(|| black_box(hipify::hipify(&program).unwrap())));
     g.bench_function("syclomatic_rewrite", |b| {
         b.iter(|| black_box(syclomatic::syclomatic(&program).unwrap()))
     });

@@ -1,0 +1,81 @@
+//! X2 — the static-analyzer report: run `mcmm-analyze` over the
+//! seeded-defect corpus (every diagnostic must fire) and over every real
+//! kernel the repo ships (none may fire), then show which check subset
+//! each route's lint gate enforces.
+//!
+//! Exits non-zero if the corpus has a miss or a real kernel is flagged,
+//! so this binary doubles as a CI smoke test for the analyzer.
+
+use mcmm_analyze::{analyze, corpus, AnalysisOptions, Check};
+use mcmm_babelstream::adapters::cuda::stream_kernels;
+use mcmm_toolchain::probe::smoke_kernel;
+use mcmm_toolchain::Registry;
+use mcmm_translate::ast::cuda_saxpy_program;
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut failed = false;
+
+    println!("── mcmm-analyze report (X2) ──");
+    println!();
+    println!("Seeded-defect corpus (every kernel must be flagged with its code):");
+    let mut per_code: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for entry in corpus::seeded_defects() {
+        let report = analyze(&entry.kernel, &entry.opts);
+        let hit = report.has_code(entry.expect);
+        if hit {
+            *per_code.entry(entry.expect).or_default() += 1;
+        } else {
+            failed = true;
+        }
+        println!(
+            "  {:<22} expect {}  →  {}",
+            entry.kernel.name,
+            entry.expect,
+            if hit { "flagged" } else { "MISSED" }
+        );
+        for d in &report.diagnostics {
+            println!("      {d}");
+        }
+    }
+    println!(
+        "  per-code coverage: {}",
+        per_code.iter().map(|(c, n)| format!("{c}×{n}")).collect::<Vec<_>>().join(", ")
+    );
+
+    println!();
+    println!("Real kernels (all must be clean):");
+    let mut real: Vec<_> =
+        vec![smoke_kernel(), cuda_saxpy_program(1024, 2.0).kernels[0].ir.clone()];
+    real.extend(stream_kernels());
+    for kernel in &real {
+        let report = analyze(kernel, &AnalysisOptions::default());
+        if report.is_clean() {
+            println!("  {:<22} clean", kernel.name);
+        } else {
+            failed = true;
+            println!("  {:<22} FLAGGED:", kernel.name);
+            for d in &report.diagnostics {
+                println!("      {d}");
+            }
+        }
+    }
+
+    println!();
+    println!("Per-route lint gates (checks follow route maturity):");
+    for c in Registry::paper().entries() {
+        let checks: Vec<_> = c.lint_checks().into_iter().map(Check::code).collect();
+        println!("  {:<40} {}", c.name, checks.join(" "));
+    }
+
+    println!();
+    if failed {
+        println!("ANALYZE REPORT FAILED: see MISSED/FLAGGED lines above");
+        std::process::exit(1);
+    }
+    println!(
+        "ANALYZE REPORT PASSED: {} corpus kernels flagged, {} real kernels clean",
+        corpus::seeded_defects().len(),
+        real.len()
+    );
+}

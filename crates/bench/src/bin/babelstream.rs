@@ -16,11 +16,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n = arg_usize(&args, "--n", DEFAULT_STREAM_N);
     let iters = arg_usize(&args, "--iters", DEFAULT_STREAM_ITERS);
-    let model_filter = args
-        .iter()
-        .position(|a| a == "--model")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let model_filter =
+        args.iter().position(|a| a == "--model").and_then(|i| args.get(i + 1)).cloned();
 
     eprintln!("running BabelStream sweep: n = {n}, iters = {iters} (modeled timings)…");
     let entries = sweep(n, iters);

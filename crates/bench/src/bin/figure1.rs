@@ -38,7 +38,9 @@ fn main() {
             print("§4 descriptions", render::descriptions::render(&matrix));
         }
         other => {
-            eprintln!("unknown format {other}; use ascii|markdown|latex|html|json|descriptions|all");
+            eprintln!(
+                "unknown format {other}; use ascii|markdown|latex|html|json|descriptions|all"
+            );
             std::process::exit(2);
         }
     }

@@ -10,10 +10,7 @@ fn main() {
     let report = probe(&matrix);
 
     println!("── Executable probe of the compatibility matrix (E4) ──");
-    println!(
-        "{:<28} {:>10} {:>10}  functional routes",
-        "combination", "derived", "encoded"
-    );
+    println!("{:<28} {:>10} {:>10}  functional routes", "combination", "derived", "encoded");
     for cell in &report.cells {
         println!(
             "{:<28} {:>10} {:>10}  {}",
@@ -36,7 +33,10 @@ fn main() {
     } else {
         println!("PROBE FAILED on {} cells:", mismatches.len());
         for m in mismatches {
-            println!("  {} · {} · {}: derived {} vs encoded {}", m.vendor, m.model, m.language, m.derived, m.encoded);
+            println!(
+                "  {} · {} · {}: derived {} vs encoded {}",
+                m.vendor, m.model, m.language, m.derived, m.encoded
+            );
         }
         std::process::exit(1);
     }

@@ -31,7 +31,10 @@ fn main() {
                 toolchain: "roc-stdpar (-stdpar)",
                 completeness: Completeness::Complete,
             },
-            Event::SetMaintenance { toolchain: "roc-stdpar (-stdpar)", status: Maintenance::Active },
+            Event::SetMaintenance {
+                toolchain: "roc-stdpar (-stdpar)",
+                status: Maintenance::Active,
+            },
             Event::SetDocumented { toolchain: "roc-stdpar (-stdpar)", documented: true },
         ],
         &[(Vendor::Amd, Model::Standard, Language::Cpp)],
@@ -70,7 +73,10 @@ fn main() {
     scenario(
         "Flacc lands complete OpenACC Fortran support in LLVM",
         vec![
-            Event::SetCompleteness { toolchain: "LLVM Flacc", completeness: Completeness::Complete },
+            Event::SetCompleteness {
+                toolchain: "LLVM Flacc",
+                completeness: Completeness::Complete,
+            },
             Event::SetMaintenance { toolchain: "LLVM Flacc", status: Maintenance::Active },
         ],
         &[(Vendor::Amd, Model::OpenAcc, Language::Fortran)],

@@ -124,24 +124,20 @@ pub(super) fn cells() -> Vec<Cell> {
              Unlike for CUDA, no SYCLomatic-style conversion tool exists.",
         )
         .because("Comprehensive third-party support on vendor infrastructure.")
-        .route(
-            Route::new(
-                "Open SYCL (HIP/ROCm)",
-                RouteKind::Compiler,
-                Provider::Community("Open SYCL"),
-                Directness::Direct,
-                Completeness::Complete,
-            ),
-        )
-        .route(
-            Route::new(
-                "DPC++ (ROCm plugin)",
-                RouteKind::Compiler,
-                Provider::OtherVendor(Vendor::Intel),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "Open SYCL (HIP/ROCm)",
+            RouteKind::Compiler,
+            Provider::Community("Open SYCL"),
+            Directness::Direct,
+            Completeness::Complete,
+        ))
+        .route(Route::new(
+            "DPC++ (ROCm plugin)",
+            RouteKind::Compiler,
+            Provider::OtherVendor(Vendor::Intel),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .refs(&[15, 14])
         .build(),
         // ─── 6 · AMD · SYCL · Fortran (shared) ──────────────────────────
@@ -167,15 +163,13 @@ pub(super) fn cells() -> Vec<Cell> {
              translator can also be used.",
         )
         .because("Good support exists, but none of it from AMD.")
-        .route(
-            Route::new(
-                "GCC (-fopenacc, amdgcn)",
-                RouteKind::Compiler,
-                Provider::Community("GCC"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "GCC (-fopenacc, amdgcn)",
+            RouteKind::Compiler,
+            Provider::Community("GCC"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .route(
             Route::new(
                 "Clacc (OpenACC→OpenMP, amdgcn)",
@@ -186,15 +180,13 @@ pub(super) fn cells() -> Vec<Cell> {
             )
             .notes("-fopenmp-targets=amdgcn-amd-amdhsa"),
         )
-        .route(
-            Route::new(
-                "Intel OpenACC→OpenMP migration tool",
-                RouteKind::SourceTranslator,
-                Provider::OtherVendor(Vendor::Intel),
-                Directness::Translated,
-                Completeness::Minimal,
-            ),
-        )
+        .route(Route::new(
+            "Intel OpenACC→OpenMP migration tool",
+            RouteKind::SourceTranslator,
+            Provider::OtherVendor(Vendor::Intel),
+            Directness::Translated,
+            Completeness::Minimal,
+        ))
         .refs(&[18, 19])
         .build(),
         // ─── 23 · AMD · OpenACC · Fortran ───────────────────────────────
@@ -212,24 +204,20 @@ pub(super) fn cells() -> Vec<Cell> {
             "The viable routes (GCC, Cray) are comprehensive but non-vendor; \
              the vendor's own GPUFORT is stale and minimal.",
         )
-        .route(
-            Route::new(
-                "GCC (gfortran -fopenacc, amdgcn)",
-                RouteKind::Compiler,
-                Provider::Community("GCC"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
-        .route(
-            Route::new(
-                "HPE Cray PE (ftn -hacc)",
-                RouteKind::Compiler,
-                Provider::Commercial("HPE Cray"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "GCC (gfortran -fopenacc, amdgcn)",
+            RouteKind::Compiler,
+            Provider::Community("GCC"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
+        .route(Route::new(
+            "HPE Cray PE (ftn -hacc)",
+            RouteKind::Compiler,
+            Provider::Commercial("HPE Cray"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .route(
             Route::new(
                 "GPUFORT (OpenACC Fortran→OpenMP/hipfort)",
@@ -277,15 +265,13 @@ pub(super) fn cells() -> Vec<Cell> {
             )
             .notes("-fopenmp; shipped with ROCm"),
         )
-        .route(
-            Route::new(
-                "HPE Cray PE (CC -fopenmp)",
-                RouteKind::Compiler,
-                Provider::Commercial("HPE Cray"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "HPE Cray PE (CC -fopenmp)",
+            RouteKind::Compiler,
+            Provider::Commercial("HPE Cray"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .refs(&[35, 24])
         .build(),
         // ─── 25 · AMD · OpenMP · Fortran ────────────────────────────────
@@ -297,24 +283,20 @@ pub(super) fn cells() -> Vec<Cell> {
              offloading in Fortran; HPE Cray PE provides further support.",
         )
         .because("Same vendor-provided-but-incomplete status as the C++ cell.")
-        .route(
-            Route::new(
-                "AOMP (flang -fopenmp)",
-                RouteKind::Compiler,
-                Provider::DeviceVendor,
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
-        .route(
-            Route::new(
-                "HPE Cray PE (ftn -fopenmp)",
-                RouteKind::Compiler,
-                Provider::Commercial("HPE Cray"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "AOMP (flang -fopenmp)",
+            RouteKind::Compiler,
+            Provider::DeviceVendor,
+            Directness::Direct,
+            Completeness::Majority,
+        ))
+        .route(Route::new(
+            "HPE Cray PE (ftn -fopenmp)",
+            RouteKind::Compiler,
+            Provider::Commercial("HPE Cray"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .refs(&[35, 24])
         .build(),
         // ─── 26 · AMD · Standard · C++ ──────────────────────────────────
@@ -386,24 +368,20 @@ pub(super) fn cells() -> Vec<Cell> {
              an OpenMP offloading backend is also available.",
         )
         .because("Comprehensive community support on vendor infrastructure.")
-        .route(
-            Route::new(
-                "Kokkos HIP backend",
-                RouteKind::Library,
-                Provider::Community("Kokkos"),
-                Directness::Direct,
-                Completeness::Complete,
-            ),
-        )
-        .route(
-            Route::new(
-                "Kokkos OpenMP-offload backend",
-                RouteKind::Library,
-                Provider::Community("Kokkos"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "Kokkos HIP backend",
+            RouteKind::Library,
+            Provider::Community("Kokkos"),
+            Directness::Direct,
+            Completeness::Complete,
+        ))
+        .route(Route::new(
+            "Kokkos OpenMP-offload backend",
+            RouteKind::Library,
+            Provider::Community("Kokkos"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .refs(&[27])
         .build(),
         // ─── 14 · AMD · Kokkos · Fortran (shared) ───────────────────────
@@ -416,15 +394,13 @@ pub(super) fn cells() -> Vec<Cell> {
              by Kokkos C++.",
         )
         .because("Indirect via a compatibility layer with user effort — 'limited'.")
-        .route(
-            Route::new(
-                "Kokkos FLCL",
-                RouteKind::LanguageBinding,
-                Provider::Community("Kokkos"),
-                Directness::Binding,
-                Completeness::Minimal,
-            ),
-        )
+        .route(Route::new(
+            "Kokkos FLCL",
+            RouteKind::LanguageBinding,
+            Provider::Community("Kokkos"),
+            Directness::Binding,
+            Completeness::Minimal,
+        ))
         .refs(&[27])
         .build(),
         // ─── 29 · AMD · Alpaka · C++ ────────────────────────────────────
@@ -436,24 +412,20 @@ pub(super) fn cells() -> Vec<Cell> {
              OpenMP backend.",
         )
         .because("Comprehensive community support on vendor infrastructure.")
-        .route(
-            Route::new(
-                "Alpaka HIP backend",
-                RouteKind::Library,
-                Provider::Community("Alpaka"),
-                Directness::Direct,
-                Completeness::Complete,
-            ),
-        )
-        .route(
-            Route::new(
-                "Alpaka OpenMP backend",
-                RouteKind::Library,
-                Provider::Community("Alpaka"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "Alpaka HIP backend",
+            RouteKind::Library,
+            Provider::Community("Alpaka"),
+            Directness::Direct,
+            Completeness::Complete,
+        ))
+        .route(Route::new(
+            "Alpaka OpenMP backend",
+            RouteKind::Library,
+            Provider::Community("Alpaka"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .refs(&[28])
         .build(),
         // ─── 16 · AMD · Alpaka · Fortran (shared) ───────────────────────
@@ -509,15 +481,13 @@ pub(super) fn cells() -> Vec<Cell> {
             )
             .notes("PyPI pyhip-interface"),
         )
-        .route(
-            Route::new(
-                "PyOpenCL",
-                RouteKind::LanguageBinding,
-                Provider::Community("PyOpenCL"),
-                Directness::Binding,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "PyOpenCL",
+            RouteKind::LanguageBinding,
+            Provider::Community("PyOpenCL"),
+            Directness::Binding,
+            Completeness::Majority,
+        ))
         .refs(&[29])
         .build(),
     ]

@@ -121,24 +121,20 @@ pub(super) fn cells() -> Vec<Cell> {
              ComputeCpp was a previous solution, unsupported since 09/2023.",
         )
         .because("Native model: vendor-complete with full toolchain.")
-        .route(
-            Route::new(
-                "Intel oneAPI DPC++ (icpx -fsycl)",
-                RouteKind::Compiler,
-                Provider::DeviceVendor,
-                Directness::Direct,
-                Completeness::Complete,
-            ),
-        )
-        .route(
-            Route::new(
-                "Open SYCL (SPIR-V/Level Zero)",
-                RouteKind::Compiler,
-                Provider::Community("Open SYCL"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "Intel oneAPI DPC++ (icpx -fsycl)",
+            RouteKind::Compiler,
+            Provider::DeviceVendor,
+            Directness::Direct,
+            Completeness::Complete,
+        ))
+        .route(Route::new(
+            "Open SYCL (SPIR-V/Level Zero)",
+            RouteKind::Compiler,
+            Provider::Community("Open SYCL"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .route(
             Route::new(
                 "ComputeCpp",
@@ -177,15 +173,13 @@ pub(super) fn cells() -> Vec<Cell> {
              OpenACC 'support for Intel GPUs does not exist'; the tool \
              merits 'limited' rather than 'none'.",
         )
-        .route(
-            Route::new(
-                "Intel OpenACC→OpenMP migration tool",
-                RouteKind::SourceTranslator,
-                Provider::DeviceVendor,
-                Directness::Translated,
-                Completeness::Minimal,
-            ),
-        )
+        .route(Route::new(
+            "Intel OpenACC→OpenMP migration tool",
+            RouteKind::SourceTranslator,
+            Provider::DeviceVendor,
+            Directness::Translated,
+            Completeness::Minimal,
+        ))
         .refs(&[40])
         .build(),
         // ─── 37 · Intel · OpenACC · Fortran ─────────────────────────────
@@ -197,15 +191,13 @@ pub(super) fn cells() -> Vec<Cell> {
              OpenACC→OpenMP source translator supports Fortran as well.",
         )
         .because("Same migration-tool-only status as the C++ cell.")
-        .route(
-            Route::new(
-                "Intel OpenACC→OpenMP migration tool (Fortran)",
-                RouteKind::SourceTranslator,
-                Provider::DeviceVendor,
-                Directness::Translated,
-                Completeness::Minimal,
-            ),
-        )
+        .route(Route::new(
+            "Intel OpenACC→OpenMP migration tool (Fortran)",
+            RouteKind::SourceTranslator,
+            Provider::DeviceVendor,
+            Directness::Translated,
+            Completeness::Minimal,
+        ))
         .refs(&[40])
         .build(),
         // ─── 38 · Intel · OpenMP · C++ ──────────────────────────────────
@@ -427,15 +419,13 @@ pub(super) fn cells() -> Vec<Cell> {
             )
             .notes("Data Parallel Control; low-level SYCL bindings"),
         )
-        .route(
-            Route::new(
-                "numba-dpex",
-                RouteKind::Library,
-                Provider::DeviceVendor,
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "numba-dpex",
+            RouteKind::Library,
+            Provider::DeviceVendor,
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .route(
             Route::new(
                 "dpnp",

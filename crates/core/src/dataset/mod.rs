@@ -100,7 +100,9 @@ mod tests {
             let native = v.native_model();
             let cell = cells
                 .iter()
-                .find(|c| c.id.vendor == v && c.id.model == native && c.id.language == Language::Cpp)
+                .find(|c| {
+                    c.id.vendor == v && c.id.model == native && c.id.language == Language::Cpp
+                })
                 .unwrap();
             assert_eq!(cell.support, Support::Full, "{v} native model not Full");
         }
@@ -166,9 +168,7 @@ mod tests {
     fn python_cells_exist_for_each_vendor() {
         let cells = paper_cells();
         for v in Vendor::ALL {
-            assert!(cells
-                .iter()
-                .any(|c| c.id.vendor == v && c.id.model == Model::Python));
+            assert!(cells.iter().any(|c| c.id.vendor == v && c.id.model == Model::Python));
         }
     }
 }

@@ -263,24 +263,20 @@ pub(super) fn cells() -> Vec<Cell> {
              Environment (ftn -hacc).",
         )
         .because("Vendor-complete via nvfortran, with three further routes.")
-        .route(
-            Route::new(
-                "NVIDIA HPC SDK (nvfortran -acc)",
-                RouteKind::Compiler,
-                Provider::DeviceVendor,
-                Directness::Direct,
-                Completeness::Complete,
-            ),
-        )
-        .route(
-            Route::new(
-                "GCC (gfortran -fopenacc)",
-                RouteKind::Compiler,
-                Provider::Community("GCC"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "NVIDIA HPC SDK (nvfortran -acc)",
+            RouteKind::Compiler,
+            Provider::DeviceVendor,
+            Directness::Direct,
+            Completeness::Complete,
+        ))
+        .route(Route::new(
+            "GCC (gfortran -fopenacc)",
+            RouteKind::Compiler,
+            Provider::Community("GCC"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .route(
             Route::new(
                 "LLVM Flang (Flacc)",
@@ -291,15 +287,13 @@ pub(super) fn cells() -> Vec<Cell> {
             )
             .maintenance(Maintenance::Experimental),
         )
-        .route(
-            Route::new(
-                "HPE Cray PE (ftn -hacc)",
-                RouteKind::Compiler,
-                Provider::Commercial("HPE Cray"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "HPE Cray PE (ftn -hacc)",
+            RouteKind::Compiler,
+            Provider::Commercial("HPE Cray"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .refs(&[17, 18, 21])
         .build(),
         // ─── 9 · NVIDIA · OpenMP · C++ ──────────────────────────────────
@@ -336,15 +330,13 @@ pub(super) fn cells() -> Vec<Cell> {
             )
             .notes("OpenMP 4.5 complete; 5.0/5.1/5.2 being implemented"),
         )
-        .route(
-            Route::new(
-                "Clang (-fopenmp -fopenmp-targets=nvptx64)",
-                RouteKind::Compiler,
-                Provider::Community("LLVM"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "Clang (-fopenmp -fopenmp-targets=nvptx64)",
+            RouteKind::Compiler,
+            Provider::Community("LLVM"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .route(
             Route::new(
                 "HPE Cray PE (CC -fopenmp)",
@@ -355,15 +347,13 @@ pub(super) fn cells() -> Vec<Cell> {
             )
             .notes("subset of OpenMP 5.0/5.1"),
         )
-        .route(
-            Route::new(
-                "AOMP (NVIDIA target)",
-                RouteKind::Compiler,
-                Provider::OtherVendor(Vendor::Amd),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "AOMP (NVIDIA target)",
+            RouteKind::Compiler,
+            Provider::OtherVendor(Vendor::Amd),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .refs(&[17, 22, 23, 24])
         .build(),
         // ─── 10 · NVIDIA · OpenMP · Fortran ─────────────────────────────
@@ -376,24 +366,20 @@ pub(super) fn cells() -> Vec<Cell> {
              Flang is compiled via Clang), and HPE Cray PE.",
         )
         .because("Same feature gaps as the C++ cell; vendor-provided but incomplete.")
-        .route(
-            Route::new(
-                "NVIDIA HPC SDK (nvfortran -mp)",
-                RouteKind::Compiler,
-                Provider::DeviceVendor,
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
-        .route(
-            Route::new(
-                "GCC (gfortran -fopenmp)",
-                RouteKind::Compiler,
-                Provider::Community("GCC"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "NVIDIA HPC SDK (nvfortran -mp)",
+            RouteKind::Compiler,
+            Provider::DeviceVendor,
+            Directness::Direct,
+            Completeness::Majority,
+        ))
+        .route(Route::new(
+            "GCC (gfortran -fopenmp)",
+            RouteKind::Compiler,
+            Provider::Community("GCC"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .route(
             Route::new(
                 "LLVM Flang (-mp)",
@@ -404,15 +390,13 @@ pub(super) fn cells() -> Vec<Cell> {
             )
             .maintenance(Maintenance::Experimental),
         )
-        .route(
-            Route::new(
-                "HPE Cray PE (ftn -fopenmp)",
-                RouteKind::Compiler,
-                Provider::Commercial("HPE Cray"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "HPE Cray PE (ftn -fopenmp)",
+            RouteKind::Compiler,
+            Provider::Commercial("HPE Cray"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .refs(&[17, 22, 24, 25])
         .build(),
         // ─── 11 · NVIDIA · Standard · C++ ───────────────────────────────
@@ -426,15 +410,13 @@ pub(super) fn cells() -> Vec<Cell> {
              NVIDIA GPUs.",
         )
         .because("Vendor-complete (-stdpar=gpu) with additional community venues.")
-        .route(
-            Route::new(
-                "NVIDIA HPC SDK (nvc++ -stdpar=gpu)",
-                RouteKind::Compiler,
-                Provider::DeviceVendor,
-                Directness::Direct,
-                Completeness::Complete,
-            ),
-        )
+        .route(Route::new(
+            "NVIDIA HPC SDK (nvc++ -stdpar=gpu)",
+            RouteKind::Compiler,
+            Provider::DeviceVendor,
+            Directness::Direct,
+            Completeness::Complete,
+        ))
         .route(
             Route::new(
                 "Open SYCL (--hipsycl-stdpar)",
@@ -468,15 +450,13 @@ pub(super) fn cells() -> Vec<Cell> {
              to NVIDIA GPUs through nvfortran -stdpar=gpu (NVIDIA HPC SDK).",
         )
         .because("Vendor-provided and complete for the standard's surface.")
-        .route(
-            Route::new(
-                "NVIDIA HPC SDK (nvfortran -stdpar=gpu)",
-                RouteKind::Compiler,
-                Provider::DeviceVendor,
-                Directness::Direct,
-                Completeness::Complete,
-            ),
-        )
+        .route(Route::new(
+            "NVIDIA HPC SDK (nvfortran -stdpar=gpu)",
+            RouteKind::Compiler,
+            Provider::DeviceVendor,
+            Directness::Direct,
+            Completeness::Complete,
+        ))
         .refs(&[17])
         .build(),
         // ─── 13 · NVIDIA · Kokkos · C++ ─────────────────────────────────
@@ -489,33 +469,27 @@ pub(super) fn cells() -> Vec<Cell> {
              or via OpenMP offloading).",
         )
         .because("Comprehensive, community-driven, vendor infrastructure underneath.")
-        .route(
-            Route::new(
-                "Kokkos CUDA backend (nvcc)",
-                RouteKind::Library,
-                Provider::Community("Kokkos"),
-                Directness::Direct,
-                Completeness::Complete,
-            ),
-        )
-        .route(
-            Route::new(
-                "Kokkos NVHPC backend (nvc++)",
-                RouteKind::Library,
-                Provider::Community("Kokkos"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
-        .route(
-            Route::new(
-                "Kokkos Clang backend (CUDA or OpenMP offload)",
-                RouteKind::Library,
-                Provider::Community("Kokkos"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "Kokkos CUDA backend (nvcc)",
+            RouteKind::Library,
+            Provider::Community("Kokkos"),
+            Directness::Direct,
+            Completeness::Complete,
+        ))
+        .route(Route::new(
+            "Kokkos NVHPC backend (nvc++)",
+            RouteKind::Library,
+            Provider::Community("Kokkos"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
+        .route(Route::new(
+            "Kokkos Clang backend (CUDA or OpenMP offload)",
+            RouteKind::Library,
+            Provider::Community("Kokkos"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .refs(&[27])
         .build(),
         // ─── 14 · NVIDIA · Kokkos · Fortran (shared: all vendors) ───────
@@ -552,24 +526,20 @@ pub(super) fn cells() -> Vec<Cell> {
              Clang's CUDA support (clang++).",
         )
         .because("Comprehensive community support on vendor infrastructure.")
-        .route(
-            Route::new(
-                "Alpaka CUDA backend (nvcc)",
-                RouteKind::Library,
-                Provider::Community("Alpaka"),
-                Directness::Direct,
-                Completeness::Complete,
-            ),
-        )
-        .route(
-            Route::new(
-                "Alpaka Clang-CUDA backend (clang++)",
-                RouteKind::Library,
-                Provider::Community("Alpaka"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "Alpaka CUDA backend (nvcc)",
+            RouteKind::Library,
+            Provider::Community("Alpaka"),
+            Directness::Direct,
+            Completeness::Complete,
+        ))
+        .route(Route::new(
+            "Alpaka Clang-CUDA backend (clang++)",
+            RouteKind::Library,
+            Provider::Community("Alpaka"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .refs(&[28])
         .build(),
         // ─── 16 · NVIDIA · Alpaka · Fortran (shared: all vendors) ───────
@@ -628,24 +598,20 @@ pub(super) fn cells() -> Vec<Cell> {
             )
             .notes("PyPI cupy-cuda12x"),
         )
-        .route(
-            Route::new(
-                "PyCUDA",
-                RouteKind::Library,
-                Provider::Community("PyCUDA"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
-        .route(
-            Route::new(
-                "Numba (CUDA target)",
-                RouteKind::Library,
-                Provider::Community("Numba"),
-                Directness::Direct,
-                Completeness::Majority,
-            ),
-        )
+        .route(Route::new(
+            "PyCUDA",
+            RouteKind::Library,
+            Provider::Community("PyCUDA"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
+        .route(Route::new(
+            "Numba (CUDA target)",
+            RouteKind::Library,
+            Provider::Community("Numba"),
+            Directness::Direct,
+            Completeness::Majority,
+        ))
         .refs(&[29, 30, 31, 32, 33])
         .build(),
     ]

@@ -178,20 +178,15 @@ mod tests {
         let mut m = CompatMatrix::paper();
         let changed = apply(&mut m, &[Event::RemoveRoute { toolchain: "ComputeCpp" }]);
         assert_eq!(changed, 0);
-        assert_eq!(
-            m.support(Vendor::Nvidia, Model::Sycl, Language::Cpp),
-            Support::NonVendorGood
-        );
+        assert_eq!(m.support(Vendor::Nvidia, Model::Sycl, Language::Cpp), Support::NonVendorGood);
     }
 
     #[test]
     fn losing_the_last_route_degrades_to_none() {
         let mut m = CompatMatrix::paper();
         // Intel HIP C++ has only chipStar.
-        let changed = apply(
-            &mut m,
-            &[Event::RemoveRoute { toolchain: "chipStar (HIP→OpenCL/Level Zero)" }],
-        );
+        let changed =
+            apply(&mut m, &[Event::RemoveRoute { toolchain: "chipStar (HIP→OpenCL/Level Zero)" }]);
         assert!(changed >= 1);
         assert_eq!(m.support(Vendor::Intel, Model::Hip, Language::Cpp), Support::None);
     }
@@ -209,12 +204,7 @@ mod tests {
             .collect();
         apply(&mut m, &events);
         for cell in m.cells() {
-            assert!(
-                cell.support >= Support::Limited,
-                "{} still rated {}",
-                cell.id,
-                cell.support
-            );
+            assert!(cell.support >= Support::Limited, "{} still rated {}", cell.id, cell.support);
         }
     }
 
@@ -280,10 +270,7 @@ mod diff_tests {
     fn diff_reports_rating_and_route_changes() {
         let a = CompatMatrix::paper();
         let mut b = CompatMatrix::paper();
-        apply(
-            &mut b,
-            &[Event::RemoveRoute { toolchain: "chipStar (HIP→OpenCL/Level Zero)" }],
-        );
+        apply(&mut b, &[Event::RemoveRoute { toolchain: "chipStar (HIP→OpenCL/Level Zero)" }]);
         let changes = diff(&a, &b);
         assert_eq!(changes.len(), 1);
         let c = &changes[0];

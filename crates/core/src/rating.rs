@@ -60,10 +60,8 @@ pub struct Evidence {
 impl Evidence {
     /// Extract the evidence carried by an encoded route.
     pub fn from_route(route: &Route) -> Self {
-        let gpu_vendor = matches!(
-            route.provider,
-            Provider::DeviceVendor | Provider::OtherVendor(_)
-        );
+        let gpu_vendor =
+            matches!(route.provider, Provider::DeviceVendor | Provider::OtherVendor(_));
         Self {
             device_vendor: route.provider.is_device_vendor(),
             gpu_vendor,
@@ -97,7 +95,8 @@ pub fn qualify(e: Evidence) -> Support {
         return Support::IndirectGood;
     }
     // Rule 3: some support — vendor-tier but not comprehensive-direct.
-    let vendor_tier = (e.device_vendor && matches!(e.directness, Directness::Direct | Directness::Binding))
+    let vendor_tier = (e.device_vendor
+        && matches!(e.directness, Directness::Direct | Directness::Binding))
         || (e.gpu_vendor && e.directness == Directness::Binding);
     if vendor_tier && comprehensive && active {
         return Support::Some;
@@ -285,13 +284,8 @@ mod tests {
     #[test]
     fn stale_and_unmaintained_routes_cap_at_limited() {
         for m in [Maintenance::Stale, Maintenance::Unmaintained] {
-            let r = route(
-                Provider::DeviceVendor,
-                Directness::Direct,
-                Completeness::Complete,
-                m,
-                true,
-            );
+            let r =
+                route(Provider::DeviceVendor, Directness::Direct, Completeness::Complete, m, true);
             assert_eq!(rate(&[r]).primary, Support::Limited, "{m:?}");
         }
     }
@@ -342,7 +336,8 @@ mod tests {
         for cell in crate::dataset::paper_cells() {
             let out = rate(&cell.routes);
             assert_eq!(
-                out.primary, cell.support,
+                out.primary,
+                cell.support,
                 "{}: engine says {}, figure says {} (routes: {:?})",
                 cell.id,
                 out.primary,

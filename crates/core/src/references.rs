@@ -14,39 +14,119 @@ pub struct Reference {
 
 /// The subset of the paper's bibliography cited from Figure 1 cells.
 pub const REFERENCES: &[Reference] = &[
-    Reference { id: 10, key: "NVIDIA CUDA Toolkit", locator: "https://developer.nvidia.com/cuda-toolkit" },
-    Reference { id: 11, key: "NVIDIA CUDA Fortran", locator: "https://developer.nvidia.com/cuda-fortran" },
-    Reference { id: 12, key: "AMD HIP", locator: "https://rocm.docs.amd.com/projects/HIP/en/latest/" },
-    Reference { id: 13, key: "AMD hipfort", locator: "https://rocm.docs.amd.com/projects/hipfort/en/latest/" },
-    Reference { id: 14, key: "Intel oneAPI DPC++ Compiler", locator: "https://github.com/intel/llvm" },
-    Reference { id: 15, key: "Alpay et al. 2022 (hipSYCL/oneAPI)", locator: "10.1145/3529538.3530005" },
+    Reference {
+        id: 10,
+        key: "NVIDIA CUDA Toolkit",
+        locator: "https://developer.nvidia.com/cuda-toolkit",
+    },
+    Reference {
+        id: 11,
+        key: "NVIDIA CUDA Fortran",
+        locator: "https://developer.nvidia.com/cuda-fortran",
+    },
+    Reference {
+        id: 12,
+        key: "AMD HIP",
+        locator: "https://rocm.docs.amd.com/projects/HIP/en/latest/",
+    },
+    Reference {
+        id: 13,
+        key: "AMD hipfort",
+        locator: "https://rocm.docs.amd.com/projects/hipfort/en/latest/",
+    },
+    Reference {
+        id: 14,
+        key: "Intel oneAPI DPC++ Compiler",
+        locator: "https://github.com/intel/llvm",
+    },
+    Reference {
+        id: 15,
+        key: "Alpay et al. 2022 (hipSYCL/oneAPI)",
+        locator: "10.1145/3529538.3530005",
+    },
     Reference { id: 16, key: "Khronos SYCL", locator: "https://www.khronos.org/sycl/" },
     Reference { id: 17, key: "NVIDIA HPC SDK", locator: "https://developer.nvidia.com/hpc-sdk" },
     Reference { id: 18, key: "GCC OpenACC", locator: "https://gcc.gnu.org/wiki/OpenACC" },
-    Reference { id: 19, key: "Denny et al. 2018 (Clacc)", locator: "10.1109/LLVM-HPC.2018.8639349" },
-    Reference { id: 20, key: "Jarmusch et al. 2022 (OpenACC V&V)", locator: "10.1109/WACCPD56842.2022.00006" },
-    Reference { id: 21, key: "Clement & Vetter 2021 (Flacc)", locator: "10.1109/LLVMHPC54804.2021.00007" },
+    Reference {
+        id: 19,
+        key: "Denny et al. 2018 (Clacc)",
+        locator: "10.1109/LLVM-HPC.2018.8639349",
+    },
+    Reference {
+        id: 20,
+        key: "Jarmusch et al. 2022 (OpenACC V&V)",
+        locator: "10.1109/WACCPD56842.2022.00006",
+    },
+    Reference {
+        id: 21,
+        key: "Clement & Vetter 2021 (Flacc)",
+        locator: "10.1109/LLVMHPC54804.2021.00007",
+    },
     Reference { id: 22, key: "GCC OpenMP", locator: "https://gcc.gnu.org/wiki/openmp" },
-    Reference { id: 23, key: "Clang OpenMP", locator: "https://clang.llvm.org/docs/OpenMPSupport.html" },
-    Reference { id: 24, key: "HPE Cray Programming Environment", locator: "https://www.hpe.com/psnow/doc/a50002303enw" },
+    Reference {
+        id: 23,
+        key: "Clang OpenMP",
+        locator: "https://clang.llvm.org/docs/OpenMPSupport.html",
+    },
+    Reference {
+        id: 24,
+        key: "HPE Cray Programming Environment",
+        locator: "https://www.hpe.com/psnow/doc/a50002303enw",
+    },
     Reference { id: 25, key: "LLVM Flang", locator: "https://flang.llvm.org/" },
-    Reference { id: 26, key: "Intel oneDPL", locator: "https://oneapi-src.github.io/oneDPL/index.html" },
+    Reference {
+        id: 26,
+        key: "Intel oneDPL",
+        locator: "https://oneapi-src.github.io/oneDPL/index.html",
+    },
     Reference { id: 27, key: "Trott et al. 2022 (Kokkos 3)", locator: "10.1109/TPDS.2021.3097283" },
     Reference { id: 28, key: "Matthes et al. 2017 (Alpaka)", locator: "arXiv:1706.10086" },
-    Reference { id: 29, key: "NVIDIA CUDA Python", locator: "https://nvidia.github.io/cuda-python/index.html" },
+    Reference {
+        id: 29,
+        key: "NVIDIA CUDA Python",
+        locator: "https://nvidia.github.io/cuda-python/index.html",
+    },
     Reference { id: 30, key: "PyCUDA", locator: "10.5281/zenodo.8121901" },
-    Reference { id: 31, key: "Okuta et al. 2017 (CuPy)", locator: "http://learningsys.org/nips17/assets/papers/paper_16.pdf" },
+    Reference {
+        id: 31,
+        key: "Okuta et al. 2017 (CuPy)",
+        locator: "http://learningsys.org/nips17/assets/papers/paper_16.pdf",
+    },
     Reference { id: 32, key: "Numba", locator: "10.5281/zenodo.8087361" },
-    Reference { id: 33, key: "NVIDIA cuNumeric", locator: "https://developer.nvidia.com/cunumeric" },
-    Reference { id: 34, key: "AMD GPUFORT", locator: "https://github.com/ROCmSoftwarePlatform/gpufort" },
+    Reference {
+        id: 33,
+        key: "NVIDIA cuNumeric",
+        locator: "https://developer.nvidia.com/cunumeric",
+    },
+    Reference {
+        id: 34,
+        key: "AMD GPUFORT",
+        locator: "https://github.com/ROCmSoftwarePlatform/gpufort",
+    },
     Reference { id: 35, key: "AMD AOMP", locator: "https://github.com/ROCm-Developer-Tools/aomp" },
-    Reference { id: 36, key: "AMD roc-stdpar", locator: "https://github.com/ROCmSoftwarePlatform/roc-stdpar" },
-    Reference { id: 37, key: "Intel SYCLomatic", locator: "https://github.com/oneapi-src/SYCLomatic" },
+    Reference {
+        id: 36,
+        key: "AMD roc-stdpar",
+        locator: "https://github.com/ROCmSoftwarePlatform/roc-stdpar",
+    },
+    Reference {
+        id: 37,
+        key: "Intel SYCLomatic",
+        locator: "https://github.com/oneapi-src/SYCLomatic",
+    },
     Reference { id: 38, key: "Zhao et al. 2023 (HIPLZ/chipStar)", locator: "978-3-031-31209-0" },
     Reference { id: 39, key: "Intel oneAPI", locator: "https://www.intel.com/oneapi" },
-    Reference { id: 40, key: "Intel OpenACC→OpenMP migration tool", locator: "https://github.com/intel/intel-application-migration-tool-for-openacc-to-openmp" },
+    Reference {
+        id: 40,
+        key: "Intel OpenACC→OpenMP migration tool",
+        locator: "https://github.com/intel/intel-application-migration-tool-for-openacc-to-openmp",
+    },
     Reference { id: 41, key: "Intel dpctl", locator: "https://github.com/IntelPython/dpctl" },
-    Reference { id: 42, key: "Intel numba-dpex", locator: "https://github.com/IntelPython/numba-dpex" },
+    Reference {
+        id: 42,
+        key: "Intel numba-dpex",
+        locator: "https://github.com/IntelPython/numba-dpex",
+    },
     Reference { id: 43, key: "Intel dpnp", locator: "https://github.com/IntelPython/dpnp" },
 ];
 

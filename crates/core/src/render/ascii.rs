@@ -45,10 +45,7 @@ fn render_opts(matrix: &CompatMatrix, unicode: bool) -> String {
     // Separator.
     let total = vendor_w
         + 1
-        + Model::ALL
-            .iter()
-            .map(|m| m.languages().len() * (sub_w + 1))
-            .sum::<usize>()
+        + Model::ALL.iter().map(|m| m.languages().len() * (sub_w + 1)).sum::<usize>()
         + 1;
     out.push_str(&"-".repeat(total));
     out.push('\n');
@@ -105,11 +102,7 @@ mod tests {
         let symbols: usize = s
             .lines()
             .filter(|l| Vendor::ALL.iter().any(|v| l.starts_with(v.name())))
-            .map(|l| {
-                l.chars()
-                    .filter(|c| ['●', '◐', '◒', '◍', '◌', '✕'].contains(c))
-                    .count()
-            })
+            .map(|l| l.chars().filter(|c| ['●', '◐', '◒', '◍', '◌', '✕'].contains(c)).count())
             .sum();
         // 51 cells + 2 double ratings = 53 symbols, legend excluded because
         // legend lines don't start with a vendor name.
@@ -129,11 +122,8 @@ mod tests {
     fn rows_have_consistent_width() {
         let m = CompatMatrix::paper();
         let s = render(&m);
-        let row_widths: Vec<usize> = s
-            .lines()
-            .filter(|l| l.contains('|'))
-            .map(|l| l.chars().count())
-            .collect();
+        let row_widths: Vec<usize> =
+            s.lines().filter(|l| l.contains('|')).map(|l| l.chars().count()).collect();
         assert!(!row_widths.is_empty());
         for w in &row_widths {
             assert_eq!(*w, row_widths[0], "ragged table:\n{s}");

@@ -81,10 +81,7 @@ mod tests {
         let m = CompatMatrix::paper();
         let doc = render(&m);
         // Description 6 covers SYCL·Fortran on all three vendors.
-        let header6 = doc
-            .lines()
-            .find(|l| l.starts_with("## 6 — "))
-            .expect("entry 6 present");
+        let header6 = doc.lines().find(|l| l.starts_with("## 6 — ")).expect("entry 6 present");
         for v in ["AMD", "Intel", "NVIDIA"] {
             assert!(header6.contains(v), "entry 6 header missing {v}: {header6}");
         }

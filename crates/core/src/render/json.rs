@@ -46,7 +46,11 @@ mod tests {
         let cells = v["cells"].as_array().unwrap();
         let nvidia_cuda = cells
             .iter()
-            .find(|c| c["id"]["vendor"] == "Nvidia" && c["id"]["model"] == "Cuda" && c["id"]["language"] == "Cpp")
+            .find(|c| {
+                c["id"]["vendor"] == "Nvidia"
+                    && c["id"]["model"] == "Cuda"
+                    && c["id"]["language"] == "Cpp"
+            })
             .unwrap();
         assert_eq!(nvidia_cuda["support"], "Full");
         assert!(!nvidia_cuda["routes"].as_array().unwrap().is_empty());

@@ -53,11 +53,7 @@ pub fn stats(matrix: &CompatMatrix) -> Stats {
 /// (§6: "The support for NVIDIA GPUs can be considered most comprehensive").
 pub fn most_comprehensive_vendor(matrix: &CompatMatrix) -> Vendor {
     let s = stats(matrix);
-    *s.vendor_scores
-        .iter()
-        .max_by_key(|&(_, score)| *score)
-        .expect("matrix is non-empty")
-        .0
+    *s.vendor_scores.iter().max_by_key(|&(_, score)| *score).expect("matrix is non-empty").0
 }
 
 /// Models whose best support reaches at least `bar` on every vendor for the
@@ -72,10 +68,7 @@ pub fn models_supported_everywhere(
         .filter(|m| m.languages().contains(&language))
         .filter(|&m| {
             Vendor::ALL.iter().all(|&v| {
-                matrix
-                    .cell(v, m, language)
-                    .map(|c| c.best_support() <= bar)
-                    .unwrap_or(false)
+                matrix.cell(v, m, language).map(|c| c.best_support() <= bar).unwrap_or(false)
             })
         })
         .collect()
@@ -92,7 +85,10 @@ pub fn models_vendor_supported_everywhere(matrix: &CompatMatrix, language: Langu
             Vendor::ALL.iter().all(|&v| {
                 matrix
                     .cell(v, m, language)
-                    .map(|c| c.support.is_vendor_tier() || c.secondary_support.is_some_and(|s| s.is_vendor_tier()))
+                    .map(|c| {
+                        c.support.is_vendor_tier()
+                            || c.secondary_support.is_some_and(|s| s.is_vendor_tier())
+                    })
                     .unwrap_or(false)
             })
         })

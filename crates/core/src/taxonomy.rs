@@ -275,9 +275,7 @@ impl std::error::Error for ParseAxisError {}
 /// (vendor-major, then model column, then language sub-column).
 pub fn all_combinations() -> impl Iterator<Item = (Vendor, Model, Language)> {
     Vendor::ALL.into_iter().flat_map(|v| {
-        Model::ALL
-            .into_iter()
-            .flat_map(move |m| m.languages().iter().map(move |&l| (v, m, l)))
+        Model::ALL.into_iter().flat_map(move |m| m.languages().iter().map(move |&l| (v, m, l)))
     })
 }
 

@@ -145,8 +145,10 @@ mod tests {
 
     #[test]
     fn merged_sums_fields() {
-        let a = LaunchStats { warp_instructions: 1, bytes_read: 2, blocks: 1, ..Default::default() };
-        let b = LaunchStats { warp_instructions: 3, bytes_written: 4, blocks: 2, ..Default::default() };
+        let a =
+            LaunchStats { warp_instructions: 1, bytes_read: 2, blocks: 1, ..Default::default() };
+        let b =
+            LaunchStats { warp_instructions: 3, bytes_written: 4, blocks: 2, ..Default::default() };
         let m = a.merged(b);
         assert_eq!(m.warp_instructions, 4);
         assert_eq!(m.bytes_total(), 6);

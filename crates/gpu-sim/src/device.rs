@@ -460,9 +460,19 @@ mod tests {
         let kernel = saxpy_kernel();
         let dev = Device::new(DeviceSpec::nvidia_a100());
         let module = assemble(&kernel, IsaKind::PtxLike).unwrap();
-        let cfg = LaunchConfig { grid_dim: 1, block_dim: 4096, policy: SchedulePolicy::Dynamic, efficiency: 1.0 };
+        let cfg = LaunchConfig {
+            grid_dim: 1,
+            block_dim: 4096,
+            policy: SchedulePolicy::Dynamic,
+            efficiency: 1.0,
+        };
         assert!(matches!(dev.launch(&module, cfg, &[]), Err(SimError::BadLaunch(_))));
-        let cfg = LaunchConfig { grid_dim: 0, block_dim: 32, policy: SchedulePolicy::Dynamic, efficiency: 1.0 };
+        let cfg = LaunchConfig {
+            grid_dim: 0,
+            block_dim: 32,
+            policy: SchedulePolicy::Dynamic,
+            efficiency: 1.0,
+        };
         assert!(matches!(dev.launch(&module, cfg, &[]), Err(SimError::BadLaunch(_))));
         let cfg = LaunchConfig::linear(32, 32).with_efficiency(0.0);
         assert!(matches!(dev.launch(&module, cfg, &[]), Err(SimError::BadLaunch(_))));
@@ -532,11 +542,8 @@ mod tests {
         let module = assemble(&kernel, IsaKind::PtxLike).unwrap();
         // Pointer at the very end of memory → every block goes OOB.
         let bad = dev.spec().mem_bytes - 4;
-        let res = dev.launch(
-            &module,
-            LaunchConfig::linear(1024, 128),
-            &[KernelArg::I64(bad as i64)],
-        );
+        let res =
+            dev.launch(&module, LaunchConfig::linear(1024, 128), &[KernelArg::I64(bad as i64)]);
         assert!(matches!(res, Err(SimError::OutOfBounds { .. })));
     }
 

@@ -19,6 +19,7 @@ use crate::ir::{
 };
 use crate::mem::GlobalMemory;
 use crate::{Result, SimError};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-lane register storage, struct-of-arrays by type.
 #[derive(Debug, Clone)]
@@ -140,15 +141,122 @@ pub struct BlockCtx<'a> {
     pub warp_width: u32,
 }
 
+/// How a logged shared-memory access touched memory (racecheck mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SharedAccessKind {
+    /// Plain load.
+    Read,
+    /// Plain store.
+    Write,
+    /// Atomic read-modify-write.
+    Atomic,
+}
+
+impl SharedAccessKind {
+    /// Two same-byte accesses from different lanes conflict unless both
+    /// are reads (no mutation) or both are atomics (ordered by hardware).
+    pub fn conflicts(self, other: SharedAccessKind) -> bool {
+        !matches!(
+            (self, other),
+            (SharedAccessKind::Read, SharedAccessKind::Read)
+                | (SharedAccessKind::Atomic, SharedAccessKind::Atomic)
+        )
+    }
+}
+
+/// One shared-memory race observed by [`run_block_racecheck`]: two lanes
+/// touched the same byte in the same barrier interval, at least one of
+/// them mutating it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceFinding {
+    /// The shared-memory byte both lanes touched.
+    pub byte: u64,
+    /// First lane involved.
+    pub lane_a: u32,
+    /// How the first lane accessed the byte.
+    pub kind_a: SharedAccessKind,
+    /// Second lane involved.
+    pub lane_b: u32,
+    /// How the second lane accessed the byte.
+    pub kind_b: SharedAccessKind,
+}
+
+/// Shadow access log for the current barrier interval.
+#[derive(Default)]
+struct RaceLog {
+    /// byte -> distinct (lane, kind) accesses since the last barrier.
+    interval: BTreeMap<u64, Vec<(u32, SharedAccessKind)>>,
+    /// Already-reported conflict pairs, to keep findings deduplicated.
+    seen: BTreeSet<(u32, SharedAccessKind, u32, SharedAccessKind)>,
+    findings: Vec<RaceFinding>,
+}
+
+impl RaceLog {
+    fn record(&mut self, lane: usize, addr: u64, len: u64, kind: SharedAccessKind) {
+        for byte in addr..addr + len {
+            let entry = (lane as u32, kind);
+            let v = self.interval.entry(byte).or_default();
+            if !v.contains(&entry) {
+                v.push(entry);
+            }
+        }
+    }
+
+    /// Close the barrier interval: scan it for conflicts, then clear.
+    fn flush(&mut self) {
+        let interval = std::mem::take(&mut self.interval);
+        for (byte, accesses) in interval {
+            for (i, &(la, ka)) in accesses.iter().enumerate() {
+                for &(lb, kb) in &accesses[i + 1..] {
+                    if la == lb || !ka.conflicts(kb) {
+                        continue;
+                    }
+                    let key =
+                        if (la, ka) <= (lb, kb) { (la, ka, lb, kb) } else { (lb, kb, la, ka) };
+                    if self.seen.insert(key) {
+                        self.findings.push(RaceFinding {
+                            byte,
+                            lane_a: key.0,
+                            kind_a: key.1,
+                            lane_b: key.2,
+                            kind_b: key.3,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
 struct Interp<'a> {
     ctx: &'a BlockCtx<'a>,
     regs: Vec<LaneVec>,
     shared: SharedMem,
     n: usize,
+    /// Present in racecheck mode; shared accesses are mirrored into it.
+    race: Option<RaceLog>,
 }
 
 /// Execute one thread block.
 pub fn run_block(ctx: &BlockCtx<'_>, args: &[Value]) -> Result<()> {
+    run_block_impl(ctx, args, None).map(|_| ())
+}
+
+/// Execute one thread block with the shared-memory race detector enabled:
+/// every shared access is mirrored into a shadow log, each barrier closes
+/// the interval and scans it for same-byte cross-lane conflicts. The
+/// conflict rule matches `mcmm-analyze`'s static MCA003 check exactly, so
+/// static findings can be confirmed differentially against this mode.
+pub fn run_block_racecheck(ctx: &BlockCtx<'_>, args: &[Value]) -> Result<Vec<RaceFinding>> {
+    let log = run_block_impl(ctx, args, Some(RaceLog::default()))?;
+    Ok(log.map(|l| l.findings).unwrap_or_default())
+}
+
+fn run_block_impl(
+    ctx: &BlockCtx<'_>,
+    args: &[Value],
+    race: Option<RaceLog>,
+) -> Result<Option<RaceLog>> {
     let n = ctx.block_dim as usize;
     if args.len() != ctx.kernel.params.len() {
         return Err(SimError::BadArguments(format!(
@@ -173,14 +281,14 @@ pub fn run_block(ctx: &BlockCtx<'_>, args: &[Value]) -> Result<()> {
             regs.push(LaneVec::zeroed(ty, n));
         }
     }
-    let mut interp = Interp { ctx, regs, shared: SharedMem::new(ctx.kernel.shared_bytes), n };
+    let mut interp = Interp { ctx, regs, shared: SharedMem::new(ctx.kernel.shared_bytes), n, race };
     let mask = vec![true; n];
     interp.run(&ctx.kernel.body, &mask)?;
-    interp
-        .ctx
-        .counters
-        .add_block(u64::from(ctx.block_dim.div_ceil(ctx.warp_width.max(1))));
-    Ok(())
+    if let Some(log) = interp.race.as_mut() {
+        log.flush(); // the interval between the last barrier and exit
+    }
+    interp.ctx.counters.add_block(u64::from(ctx.block_dim.div_ceil(ctx.warp_width.max(1))));
+    Ok(interp.race)
 }
 
 impl<'a> Interp<'a> {
@@ -277,7 +385,12 @@ impl<'a> Interp<'a> {
                     let a = self.addr(addr, lane)?;
                     let v = match space {
                         Space::Global => self.ctx.global.load(ty, a)?,
-                        Space::Shared => self.shared.load(ty, a)?,
+                        Space::Shared => {
+                            if let Some(log) = self.race.as_mut() {
+                                log.record(lane, a, ty.size(), SharedAccessKind::Read);
+                            }
+                            self.shared.load(ty, a)?
+                        }
                     };
                     self.regs[dst.0 as usize].set(lane, v);
                     lanes += 1;
@@ -295,7 +408,12 @@ impl<'a> Interp<'a> {
                     sz = v.ty().size();
                     match space {
                         Space::Global => self.ctx.global.store(a, v)?,
-                        Space::Shared => self.shared.store(a, v)?,
+                        Space::Shared => {
+                            if let Some(log) = self.race.as_mut() {
+                                log.record(lane, a, sz, SharedAccessKind::Write);
+                            }
+                            self.shared.store(a, v)?
+                        }
                     }
                     lanes += 1;
                 }
@@ -311,6 +429,9 @@ impl<'a> Interp<'a> {
                     let old = match space {
                         Space::Global => self.ctx.global.atomic_rmw(a, *op, v)?,
                         Space::Shared => {
+                            if let Some(log) = self.race.as_mut() {
+                                log.record(lane, a, v.ty().size(), SharedAccessKind::Atomic);
+                            }
                             // Single-threaded per block: plain RMW.
                             let cur = self.shared.load(v.ty(), a)?;
                             let new = match op {
@@ -333,6 +454,9 @@ impl<'a> Interp<'a> {
             Instr::Bar => {
                 // Whole-block lockstep interpretation ⇒ all lanes have
                 // already reached this point.
+                if let Some(log) = self.race.as_mut() {
+                    log.flush();
+                }
                 self.ctx.counters.add_barriers(1);
             }
             Instr::If { cond, then_, else_ } => {
@@ -425,7 +549,9 @@ fn bin_value(op: BinOp, a: Value, b: Value) -> Result<Value> {
             Max => x.max(y),
             _ => unreachable!("float {op:?} rejected by validation"),
         }),
-        (Value::I32(x), Value::I32(y)) => Value::I32(int_bin(op, i64::from(x), i64::from(y))? as i32),
+        (Value::I32(x), Value::I32(y)) => {
+            Value::I32(int_bin(op, i64::from(x), i64::from(y))? as i32)
+        }
         (Value::I64(x), Value::I64(y)) => Value::I64(int_bin(op, x, y)?),
         (Value::Bool(x), Value::Bool(y)) => Value::Bool(match op {
             And => x & y,
@@ -554,7 +680,12 @@ mod tests {
     use super::*;
     use crate::ir::KernelBuilder;
 
-    fn run(kernel: &KernelIr, args: &[Value], block_dim: u32, mem: &GlobalMemory) -> Result<Counters> {
+    fn run(
+        kernel: &KernelIr,
+        args: &[Value],
+        block_dim: u32,
+        mem: &GlobalMemory,
+    ) -> Result<Counters> {
         let counters = Counters::new();
         let ctx = BlockCtx {
             kernel,
@@ -598,7 +729,10 @@ mod tests {
         )
         .unwrap();
         for i in 0..64u64 {
-            assert_eq!(mem.load(Type::F32, yp.0 + i * 4).unwrap(), Value::F32(2.0 * i as f32 + 1.0));
+            assert_eq!(
+                mem.load(Type::F32, yp.0 + i * 4).unwrap(),
+                Value::F32(2.0 * i as f32 + 1.0)
+            );
         }
     }
 
@@ -764,10 +898,7 @@ mod tests {
         let kernel = k.finish();
         let mem = GlobalMemory::new(64);
         assert!(matches!(run(&kernel, &[], 1, &mem), Err(SimError::BadArguments(_))));
-        assert!(matches!(
-            run(&kernel, &[Value::I32(1)], 1, &mem),
-            Err(SimError::BadArguments(_))
-        ));
+        assert!(matches!(run(&kernel, &[Value::I32(1)], 1, &mem), Err(SimError::BadArguments(_))));
     }
 
     #[test]
@@ -803,5 +934,128 @@ mod tests {
         assert!(cmp_value(CmpOp::Ne, nan, nan));
         assert!(!cmp_value(CmpOp::Lt, nan, nan));
         assert!(!cmp_value(CmpOp::Ge, nan, nan));
+    }
+
+    fn racecheck(kernel: &KernelIr, args: &[Value], block_dim: u32) -> Vec<RaceFinding> {
+        let mem = GlobalMemory::new(4096);
+        let counters = Counters::new();
+        let ctx = BlockCtx {
+            kernel,
+            global: &mem,
+            counters: &counters,
+            block_id: 0,
+            grid_dim: 1,
+            block_dim,
+            warp_width: 32,
+        };
+        run_block_racecheck(&ctx, args).unwrap()
+    }
+
+    #[test]
+    fn racecheck_flags_all_lanes_writing_one_slot() {
+        let mut k = KernelBuilder::new("race");
+        let sh = k.shared_alloc(4);
+        let tid = k.thread_id_x();
+        k.st(Space::Shared, sh, tid);
+        let findings = racecheck(&k.finish(), &[], 32);
+        assert!(!findings.is_empty(), "same-slot writes must race");
+        let f = findings[0];
+        assert_ne!(f.lane_a, f.lane_b);
+        assert!(f.kind_a.conflicts(f.kind_b));
+    }
+
+    #[test]
+    fn racecheck_clean_when_barrier_separates_phases() {
+        let mut k = KernelBuilder::new("no_race");
+        let sh = k.shared_alloc(4 * 32);
+        let tid = k.thread_id_x();
+        k.st_elem(Space::Shared, sh, tid, tid);
+        k.barrier();
+        let zero = k.imm(Value::I32(0));
+        let is0 = k.cmp(CmpOp::Eq, tid, Value::I32(0));
+        k.if_(is0, |k| {
+            let _ = k.ld_elem(Space::Shared, Type::I32, sh, zero);
+            let _ = k.ld_elem(Space::Shared, Type::I32, sh, Value::I32(31));
+        });
+        let findings = racecheck(&k.finish(), &[], 32);
+        assert!(findings.is_empty(), "barriered phases flagged: {findings:?}");
+    }
+
+    #[test]
+    fn racecheck_removing_the_barrier_reintroduces_the_race() {
+        let mut k = KernelBuilder::new("race_again");
+        let sh = k.shared_alloc(4 * 32);
+        let tid = k.thread_id_x();
+        k.st_elem(Space::Shared, sh, tid, tid);
+        let is0 = k.cmp(CmpOp::Eq, tid, Value::I32(0));
+        k.if_(is0, |k| {
+            let _ = k.ld_elem(Space::Shared, Type::I32, sh, Value::I32(31));
+        });
+        let findings = racecheck(&k.finish(), &[], 32);
+        assert!(!findings.is_empty());
+        assert!(findings.iter().any(|f| f.kind_a.conflicts(f.kind_b) && (f.byte / 4 == 31)));
+    }
+
+    #[test]
+    fn racecheck_atomics_are_ordered() {
+        let mut k = KernelBuilder::new("atomic_ok");
+        let sh = k.shared_alloc(4);
+        let tid = k.thread_id_x();
+        let _ = k.atomic(AtomicOp::Add, Space::Shared, sh, tid);
+        let findings = racecheck(&k.finish(), &[], 32);
+        assert!(findings.is_empty(), "atomic-vs-atomic flagged: {findings:?}");
+    }
+
+    #[test]
+    fn racecheck_does_not_disturb_results() {
+        // The barriered tree-reduction still computes the right sum with
+        // the detector on, and reports no races.
+        let mut k = KernelBuilder::new("reduce");
+        let out = k.param(Type::I64);
+        let sh = k.shared_alloc(4 * 64);
+        let tid = k.thread_id_x();
+        k.st_elem(Space::Shared, sh, tid, tid);
+        k.barrier();
+        let stride = k.imm(Value::I32(32));
+        k.while_(
+            |k| k.cmp(CmpOp::Gt, stride, Value::I32(0)),
+            |k| {
+                let in_half = k.cmp(CmpOp::Lt, tid, stride);
+                k.if_(in_half, |k| {
+                    let other = k.bin(BinOp::Add, tid, stride);
+                    let a = k.ld_elem(Space::Shared, Type::I32, sh, tid);
+                    let b = k.ld_elem(Space::Shared, Type::I32, sh, other);
+                    let s = k.bin(BinOp::Add, a, b);
+                    k.st_elem(Space::Shared, sh, tid, s);
+                });
+                k.barrier();
+                let two = k.imm(Value::I32(2));
+                let half = k.bin(BinOp::Div, stride, two);
+                k.assign(stride, half);
+            },
+        );
+        let is0 = k.cmp(CmpOp::Eq, tid, Value::I32(0));
+        k.if_(is0, |k| {
+            let zero = k.imm(Value::I32(0));
+            let total = k.ld_elem(Space::Shared, Type::I32, sh, zero);
+            k.st_elem(Space::Global, out, zero, total);
+        });
+        let kernel = k.finish();
+
+        let mem = GlobalMemory::new(4096);
+        let outp = mem.alloc(4).unwrap();
+        let counters = Counters::new();
+        let ctx = BlockCtx {
+            kernel: &kernel,
+            global: &mem,
+            counters: &counters,
+            block_id: 0,
+            grid_dim: 1,
+            block_dim: 64,
+            warp_width: 32,
+        };
+        let findings = run_block_racecheck(&ctx, &[Value::I64(outp.0 as i64)]).unwrap();
+        assert!(findings.is_empty(), "correct reduction flagged: {findings:?}");
+        assert_eq!(mem.load(Type::I32, outp.0).unwrap(), Value::I32((0..64).sum()));
     }
 }

@@ -98,7 +98,7 @@ impl Value {
 
 /// A virtual register handle. Obtained from [`KernelBuilder`]; the type is
 /// recorded in the kernel's register table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u16);
 
 /// An instruction operand: a register or an immediate.
@@ -156,7 +156,13 @@ impl BinOp {
     pub fn supports_float(self) -> bool {
         matches!(
             self,
-            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem | BinOp::Min | BinOp::Max
+            BinOp::Add
+                | BinOp::Sub
+                | BinOp::Mul
+                | BinOp::Div
+                | BinOp::Rem
+                | BinOp::Min
+                | BinOp::Max
         )
     }
 }
@@ -330,7 +336,9 @@ impl KernelIr {
 
     fn operand_type(&self, o: &Operand) -> Result<Type, String> {
         match o {
-            Operand::Reg(r) => self.reg_type(*r).ok_or_else(|| format!("register {r:?} out of range")),
+            Operand::Reg(r) => {
+                self.reg_type(*r).ok_or_else(|| format!("register {r:?} out of range"))
+            }
             Operand::Imm(v) => Ok(v.ty()),
         }
     }
@@ -355,7 +363,8 @@ impl KernelIr {
                 }
             }
             Instr::Bin { op, dst, a, b } => {
-                let (d, ta, tb) = (self.dst_type(*dst)?, self.operand_type(a)?, self.operand_type(b)?);
+                let (d, ta, tb) =
+                    (self.dst_type(*dst)?, self.operand_type(a)?, self.operand_type(b)?);
                 if ta != tb || ta != d {
                     return Err(format!("bin {op:?} type mismatch: {d} <- {ta}, {tb}"));
                 }
@@ -385,7 +394,8 @@ impl KernelIr {
                 }
             }
             Instr::Cmp { dst, a, b, .. } => {
-                let (d, ta, tb) = (self.dst_type(*dst)?, self.operand_type(a)?, self.operand_type(b)?);
+                let (d, ta, tb) =
+                    (self.dst_type(*dst)?, self.operand_type(a)?, self.operand_type(b)?);
                 if d != Type::Bool {
                     return Err(format!("cmp destination must be bool, got {d}"));
                 }
@@ -660,7 +670,12 @@ impl KernelBuilder {
 
     /// Compute the byte address `base + index * sizeof(ty)`; `index` may be
     /// I32 (widened) or I64.
-    pub fn elem_addr(&mut self, ty: Type, base: impl Into<Operand>, index: impl Into<Operand>) -> Reg {
+    pub fn elem_addr(
+        &mut self,
+        ty: Type,
+        base: impl Into<Operand>,
+        index: impl Into<Operand>,
+    ) -> Reg {
         let (base, index) = (base.into(), index.into());
         assert_eq!(self.ty_of(base), Type::I64, "base pointer must be i64");
         let idx64 = match self.ty_of(index) {
@@ -750,7 +765,11 @@ impl KernelBuilder {
 
     /// Structured `while`: `cond_fn` computes the condition register each
     /// iteration; `body_fn` is the loop body.
-    pub fn while_(&mut self, cond_fn: impl FnOnce(&mut Self) -> Reg, body_fn: impl FnOnce(&mut Self)) {
+    pub fn while_(
+        &mut self,
+        cond_fn: impl FnOnce(&mut Self) -> Reg,
+        body_fn: impl FnOnce(&mut Self),
+    ) {
         self.blocks.push(Vec::new());
         let cond = cond_fn(self);
         let cond_block = self.blocks.pop().expect("builder block stack corrupted");

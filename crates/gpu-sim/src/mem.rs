@@ -159,12 +159,7 @@ impl GlobalMemory {
     }
 
     /// Kernel-visible atomic read-modify-write. Returns the old value.
-    pub fn atomic_rmw(
-        &self,
-        addr: u64,
-        op: crate::ir::AtomicOp,
-        operand: Value,
-    ) -> Result<Value> {
+    pub fn atomic_rmw(&self, addr: u64, op: crate::ir::AtomicOp, operand: Value) -> Result<Value> {
         use crate::ir::AtomicOp;
         let ty = operand.ty();
         let len = ty.size();

@@ -149,10 +149,15 @@ fn worker_loop(me: usize, local: Worker<Job>, shared: Arc<Shared>) {
         // 1. local queue; 2. global injector; 3. steal from siblings.
         let job = local.pop().or_else(|| {
             std::iter::repeat_with(|| {
-                shared
-                    .injector
-                    .steal_batch_and_pop(&local)
-                    .or_else(|| shared.stealers.iter().enumerate().filter(|&(i, _)| i != me).map(|(_, s)| s.steal()).collect())
+                shared.injector.steal_batch_and_pop(&local).or_else(|| {
+                    shared
+                        .stealers
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != me)
+                        .map(|(_, s)| s.steal())
+                        .collect()
+                })
             })
             .find(|s| !s.is_retry())
             .and_then(|s| s.success())
@@ -202,7 +207,12 @@ mod tests {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         for (i, h) in hits.iter().enumerate() {
-            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} run {} times", h.load(Ordering::Relaxed));
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                1,
+                "index {i} run {} times",
+                h.load(Ordering::Relaxed)
+            );
         }
     }
 

@@ -81,8 +81,7 @@ pub fn kernel_time(spec: &DeviceSpec, stats: &LaunchStats, efficiency: f64) -> M
     assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency out of range: {efficiency}");
     // Instruction throughput: each CU retires `ipc` warp-instructions per
     // cycle across its schedulers.
-    let issue_rate =
-        spec.compute_units as f64 * spec.warp_issue_per_cycle * spec.clock_ghz * 1e9;
+    let issue_rate = spec.compute_units as f64 * spec.warp_issue_per_cycle * spec.clock_ghz * 1e9;
     let compute = stats.warp_instructions as f64 / issue_rate;
     let memory = stats.bytes_total() as f64 / (spec.dram_gbps * 1e9);
     // Atomics serialize on contention; charge a fixed per-op cost on top.
@@ -93,7 +92,9 @@ pub fn kernel_time(spec: &DeviceSpec, stats: &LaunchStats, efficiency: f64) -> M
 
 /// Model a host↔device transfer over the interconnect.
 pub fn transfer_time(spec: &DeviceSpec, bytes: u64) -> ModeledTime {
-    ModeledTime::from_seconds(spec.transfer_latency_us * 1e-6 + bytes as f64 / (spec.pcie_gbps * 1e9))
+    ModeledTime::from_seconds(
+        spec.transfer_latency_us * 1e-6 + bytes as f64 / (spec.pcie_gbps * 1e9),
+    )
 }
 
 #[cfg(test)]

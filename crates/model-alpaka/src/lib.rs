@@ -234,8 +234,7 @@ mod tests {
             let n = 333;
             let x = acc.alloc_buf(&(0..n).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
             let y = acc.alloc_buf(&vec![100.0; n]).unwrap();
-            acc.exec(WorkDiv::for_elements(n, 64), n, &AxpyKernel { alpha: 2.0 }, &[x, y])
-                .unwrap();
+            acc.exec(WorkDiv::for_elements(n, 64), n, &AxpyKernel { alpha: 2.0 }, &[x, y]).unwrap();
             let out = acc.memcpy_to_host(y, n).unwrap();
             for (i, v) in out.iter().enumerate() {
                 assert_eq!(*v, 2.0 * i as f64 + 100.0, "{name}");

@@ -278,7 +278,12 @@ mod tests {
             &kernel,
             (n as u32).div_ceil(256),
             256,
-            &[KernelArg::F32(2.0), KernelArg::Ptr(dx), KernelArg::Ptr(dy), KernelArg::I32(n as i32)],
+            &[
+                KernelArg::F32(2.0),
+                KernelArg::Ptr(dx),
+                KernelArg::Ptr(dy),
+                KernelArg::I32(n as i32),
+            ],
         )
         .unwrap();
         let out = ctx.download_f32(dy, n).unwrap();

@@ -67,12 +67,7 @@ impl<'a> Hipfort<'a> {
     }
 
     /// Launch a hipfort kernel over `1..=n`.
-    pub fn launch(
-        &self,
-        kernel: &HipKernel,
-        n: u32,
-        arrays: &[DevicePtr],
-    ) -> HipResult<()> {
+    pub fn launch(&self, kernel: &HipKernel, n: u32, arrays: &[DevicePtr]) -> HipResult<()> {
         let mut args: Vec<KernelArg> = arrays.iter().map(|&p| KernelArg::Ptr(p)).collect();
         args.push(KernelArg::I32(n as i32));
         self.ctx.launch(kernel, n.div_ceil(256).max(1), 256, &args).map(|_| ())

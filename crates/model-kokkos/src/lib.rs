@@ -185,10 +185,8 @@ impl ExecSpace {
 
     /// Create a rank-1 view from host data.
     pub fn view_from_host(&self, label: &'static str, data: &[f64]) -> KokkosResult<View> {
-        let ptr = self
-            .device
-            .alloc_copy_f64(data)
-            .map_err(|e| KokkosError::Runtime(e.to_string()))?;
+        let ptr =
+            self.device.alloc_copy_f64(data).map_err(|e| KokkosError::Runtime(e.to_string()))?;
         Ok(View { label, ptr, dims: [data.len(), 1], layout: Layout::Left })
     }
 
@@ -367,11 +365,14 @@ mod tests {
         for spec in DeviceSpec::presets() {
             let name = spec.name;
             let space = flcl::exec_space(Device::new(spec)).unwrap();
-            assert_eq!(space.backend(), if name.contains("Intel") {
-                "Kokkos FLCL (over SYCL backend)"
-            } else {
-                "Kokkos FLCL"
-            });
+            assert_eq!(
+                space.backend(),
+                if name.contains("Intel") {
+                    "Kokkos FLCL (over SYCL backend)"
+                } else {
+                    "Kokkos FLCL"
+                }
+            );
             assert!(space.efficiency() < 0.9, "FLCL binding is not free");
             let v = space.view_from_host("x", &vec![1.0; 64]).unwrap();
             flcl::parallel_for_1based(&space, 64, &[&v], |b, i, bases| {

@@ -172,11 +172,8 @@ enum Transfer {
 impl<'a> DataRegion<'a> {
     /// `copyin(name[0:n])` — upload now, discard at region end.
     pub fn copyin(mut self, name: &'static str, data: &[f64]) -> AccResult<Self> {
-        let ptr = self
-            .acc
-            .device
-            .alloc_copy_f64(data)
-            .map_err(|e| AccError::Runtime(e.to_string()))?;
+        let ptr =
+            self.acc.device.alloc_copy_f64(data).map_err(|e| AccError::Runtime(e.to_string()))?;
         self.names.insert(name, self.arrays.len());
         self.arrays.push((ptr, data.len(), Transfer::CopyIn));
         Ok(self)
@@ -184,11 +181,8 @@ impl<'a> DataRegion<'a> {
 
     /// `copyout(name[0:n])` — allocate now, download at region end.
     pub fn copyout(mut self, name: &'static str, len: usize) -> AccResult<Self> {
-        let ptr = self
-            .acc
-            .device
-            .alloc(len as u64 * 8)
-            .map_err(|e| AccError::Runtime(e.to_string()))?;
+        let ptr =
+            self.acc.device.alloc(len as u64 * 8).map_err(|e| AccError::Runtime(e.to_string()))?;
         self.names.insert(name, self.arrays.len());
         self.arrays.push((ptr, len, Transfer::CopyOut));
         Ok(self)
@@ -196,11 +190,8 @@ impl<'a> DataRegion<'a> {
 
     /// `create(name[0:n])` — device-only scratch.
     pub fn create(mut self, name: &'static str, len: usize) -> AccResult<Self> {
-        let ptr = self
-            .acc
-            .device
-            .alloc(len as u64 * 8)
-            .map_err(|e| AccError::Runtime(e.to_string()))?;
+        let ptr =
+            self.acc.device.alloc(len as u64 * 8).map_err(|e| AccError::Runtime(e.to_string()))?;
         self.names.insert(name, self.arrays.len());
         self.arrays.push((ptr, len, Transfer::Create));
         Ok(self)
@@ -214,8 +205,7 @@ impl<'a> DataRegion<'a> {
         schedule: LoopSchedule,
         body: impl FnOnce(&mut KernelBuilder, Reg, &[Reg]),
     ) -> AccResult<()> {
-        let arrays: Vec<(DevicePtr, usize)> =
-            self.arrays.iter().map(|&(p, l, _)| (p, l)).collect();
+        let arrays: Vec<(DevicePtr, usize)> = self.arrays.iter().map(|&(p, l, _)| (p, l)).collect();
         self.acc.launch_loop(n, schedule, &arrays, body)
     }
 
@@ -269,11 +259,8 @@ impl<'a> DataRegion<'a> {
             if transfer != Transfer::CopyOut {
                 return Err(AccError::Runtime(format!("{name} is not a copyout array")));
             }
-            let data = self
-                .acc
-                .device
-                .read_f64(ptr, len)
-                .map_err(|e| AccError::Runtime(e.to_string()))?;
+            let data =
+                self.acc.device.read_f64(ptr, len).map_err(|e| AccError::Runtime(e.to_string()))?;
             host.copy_from_slice(&data);
         }
         for (ptr, len, _) in self.arrays {
@@ -291,12 +278,7 @@ mod tests {
     fn run_vec_scale(acc: &AccDevice) -> Vec<f64> {
         let n = 512;
         let input: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        let region = acc
-            .data_region()
-            .copyin("x", &input)
-            .unwrap()
-            .copyout("y", n)
-            .unwrap();
+        let region = acc.data_region().copyin("x", &input).unwrap().copyout("y", n).unwrap();
         region
             .parallel_loop(n, LoopSchedule::default(), |b, i, p| {
                 let xv = b.ld_elem(Space::Global, Type::F64, p[0], i);
@@ -365,18 +347,13 @@ mod tests {
         let acc = AccDevice::new(Device::new(DeviceSpec::nvidia_a100())).unwrap();
         let n = 300;
         let input = vec![1.0f64; n];
-        let region =
-            acc.data_region().copyin("x", &input).unwrap().copyout("y", n).unwrap();
+        let region = acc.data_region().copyin("x", &input).unwrap().copyout("y", n).unwrap();
         region
-            .parallel_loop(
-                n,
-                LoopSchedule { gangs: Some(5), vector_length: 64 },
-                |b, i, p| {
-                    let xv = b.ld_elem(Space::Global, Type::F64, p[0], i);
-                    let yv = b.bin(BinOp::Add, xv, Value::F64(41.0));
-                    b.st_elem(Space::Global, p[1], i, yv);
-                },
-            )
+            .parallel_loop(n, LoopSchedule { gangs: Some(5), vector_length: 64 }, |b, i, p| {
+                let xv = b.ld_elem(Space::Global, Type::F64, p[0], i);
+                let yv = b.bin(BinOp::Add, xv, Value::F64(41.0));
+                b.st_elem(Space::Global, p[1], i, yv);
+            })
             .unwrap();
         let mut out = vec![0.0; n];
         region.close(&mut [("y", &mut out)]).unwrap();

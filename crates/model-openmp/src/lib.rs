@@ -71,9 +71,13 @@ fn supported_features(toolchain: &str) -> &'static [OmpFeature] {
             &[TargetOffload45, TargetReduction, LoopConstruct50, Metadirective51]
         }
         // Intel: all 4.5, most 5.0/5.1.
-        "Intel oneAPI DPC++/C++ (icpx -qopenmp)" | "Intel Fortran Compiler ifx (-qopenmp)" => {
-            &[TargetOffload45, TargetReduction, LoopConstruct50, UnifiedSharedMemory50, Metadirective51]
-        }
+        "Intel oneAPI DPC++/C++ (icpx -qopenmp)" | "Intel Fortran Compiler ifx (-qopenmp)" => &[
+            TargetOffload45,
+            TargetReduction,
+            LoopConstruct50,
+            UnifiedSharedMemory50,
+            Metadirective51,
+        ],
         // LLVM Flang and other minimal routes: baseline only.
         _ => &[TargetOffload45],
     }
@@ -262,13 +266,10 @@ impl OmpDevice {
                     .device
                     .alloc_copy_f64(m.host)
                     .map_err(|e| OmpError::Runtime(e.to_string()))?,
-                MapDir::From => {
-                    
-                    self
-                        .device
-                        .alloc(m.host.len() as u64 * 8)
-                        .map_err(|e| OmpError::Runtime(e.to_string()))?
-                }
+                MapDir::From => self
+                    .device
+                    .alloc(m.host.len() as u64 * 8)
+                    .map_err(|e| OmpError::Runtime(e.to_string()))?,
             };
             ptrs.push((ptr, m.host.len()));
         }
@@ -317,10 +318,8 @@ impl OmpDevice {
         // Map "from"/"tofrom" data out; free everything.
         for (m, &(ptr, len)) in maps.iter_mut().zip(&ptrs) {
             if matches!(m.dir, MapDir::From | MapDir::ToFrom) {
-                let out = self
-                    .device
-                    .read_f64(ptr, len)
-                    .map_err(|e| OmpError::Runtime(e.to_string()))?;
+                let out =
+                    self.device.read_f64(ptr, len).map_err(|e| OmpError::Runtime(e.to_string()))?;
                 m.host.copy_from_slice(&out);
             }
             self.device.free(ptr, len as u64 * 8);
@@ -351,12 +350,7 @@ impl OmpDevice {
     }
 
     /// Atomic reduction helper for bodies: `reduction_cell += v`.
-    pub fn atomic_reduce(
-        b: &mut KernelBuilder,
-        red: Reduction,
-        cell: Reg,
-        v: Reg,
-    ) {
+    pub fn atomic_reduce(b: &mut KernelBuilder, red: Reduction, cell: Reg, v: Reg) {
         let _ = b.atomic(red.atomic_op(), Space::Global, cell, v);
     }
 }
@@ -372,22 +366,16 @@ pub struct TargetData<'a> {
 impl<'a> TargetData<'a> {
     /// `map(to: data[0:n])` — upload; returns the array's region index.
     pub fn map_to(&mut self, data: &[f64]) -> OmpResult<usize> {
-        let ptr = self
-            .omp
-            .device
-            .alloc_copy_f64(data)
-            .map_err(|e| OmpError::Runtime(e.to_string()))?;
+        let ptr =
+            self.omp.device.alloc_copy_f64(data).map_err(|e| OmpError::Runtime(e.to_string()))?;
         self.arrays.push((ptr, data.len()));
         Ok(self.arrays.len() - 1)
     }
 
     /// `map(alloc: …[0:n])` — device-only allocation.
     pub fn map_alloc(&mut self, len: usize) -> OmpResult<usize> {
-        let ptr = self
-            .omp
-            .device
-            .alloc(len as u64 * 8)
-            .map_err(|e| OmpError::Runtime(e.to_string()))?;
+        let ptr =
+            self.omp.device.alloc(len as u64 * 8).map_err(|e| OmpError::Runtime(e.to_string()))?;
         self.arrays.push((ptr, len));
         Ok(self.arrays.len() - 1)
     }
@@ -423,10 +411,7 @@ impl<'a> TargetData<'a> {
         args.push(KernelArg::I32(n as i32));
         let cfg =
             LaunchConfig::linear(n as u64, 256).with_efficiency(self.omp.compiler.efficiency());
-        self.omp
-            .device
-            .launch(&module, cfg, &args)
-            .map_err(|e| OmpError::Runtime(e.to_string()))
+        self.omp.device.launch(&module, cfg, &args).map_err(|e| OmpError::Runtime(e.to_string()))
     }
 
     /// `#pragma omp target update from(...)` — read an array back.

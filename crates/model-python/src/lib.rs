@@ -160,19 +160,15 @@ impl PyRuntime {
 
     /// `cupy.asarray(host)` — upload with a dtype.
     pub fn asarray_f64(&self, data: &[f64]) -> PyResult<PyArray> {
-        let ptr = self
-            .device
-            .alloc_copy_f64(data)
-            .map_err(|e| PyError::RuntimeError(e.to_string()))?;
+        let ptr =
+            self.device.alloc_copy_f64(data).map_err(|e| PyError::RuntimeError(e.to_string()))?;
         Ok(PyArray { ptr, len: data.len(), dtype: DType::Float64 })
     }
 
     /// `cupy.asarray(host, dtype=float32)`.
     pub fn asarray_f32(&self, data: &[f32]) -> PyResult<PyArray> {
-        let ptr = self
-            .device
-            .alloc_copy_f32(data)
-            .map_err(|e| PyError::RuntimeError(e.to_string()))?;
+        let ptr =
+            self.device.alloc_copy_f32(data).map_err(|e| PyError::RuntimeError(e.to_string()))?;
         Ok(PyArray { ptr, len: data.len(), dtype: DType::Float32 })
     }
 
@@ -271,7 +267,8 @@ impl PyRuntime {
             KernelArg::F64(alpha),
             KernelArg::I32(a.len as i32),
         ];
-        let cfg = LaunchConfig::linear(a.len as u64, 256).with_efficiency(self.backend.efficiency());
+        let cfg =
+            LaunchConfig::linear(a.len as u64, 256).with_efficiency(self.backend.efficiency());
         self.device
             .launch(&module, cfg, &args)
             .map_err(|e| PyError::RuntimeError(e.to_string()))?;
@@ -281,7 +278,10 @@ impl PyRuntime {
     /// `arr.sum()` — reduction to a host scalar (f64 arrays).
     pub fn sum(&self, a: &PyArray) -> PyResult<f64> {
         if a.dtype != DType::Float64 {
-            return Err(PyError::TypeError(format!("sum: expected float64, got {}", a.dtype.name())));
+            return Err(PyError::TypeError(format!(
+                "sum: expected float64, got {}",
+                a.dtype.name()
+            )));
         }
         let cell = self.device.alloc(8).map_err(|e| PyError::RuntimeError(e.to_string()))?;
         self.device
@@ -314,15 +314,17 @@ impl PyRuntime {
     /// `cupy.asnumpy(arr)` — download to host (f64).
     pub fn asnumpy_f64(&self, a: &PyArray) -> PyResult<Vec<f64>> {
         if a.dtype != DType::Float64 {
-            return Err(PyError::TypeError(format!(
-                "asnumpy_f64: array is {}",
-                a.dtype.name()
-            )));
+            return Err(PyError::TypeError(format!("asnumpy_f64: array is {}", a.dtype.name())));
         }
         self.device.read_f64(a.ptr, a.len).map_err(|e| PyError::RuntimeError(e.to_string()))
     }
 
-    fn launch(&self, kernel: &mcmm_gpu_sim::ir::KernelIr, n: usize, ptrs: &[DevicePtr]) -> PyResult<()> {
+    fn launch(
+        &self,
+        kernel: &mcmm_gpu_sim::ir::KernelIr,
+        n: usize,
+        ptrs: &[DevicePtr],
+    ) -> PyResult<()> {
         let module = self
             .backend
             .compile(kernel, Model::Python, Language::Python, self.vendor)

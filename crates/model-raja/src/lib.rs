@@ -313,8 +313,8 @@ fn launch(
         }
     });
     let kernel = b.finish();
-    let module = assemble(&kernel, vendor_isa(res.vendor))
-        .map_err(|e| RajaError::Runtime(e.to_string()))?;
+    let module =
+        assemble(&kernel, vendor_isa(res.vendor)).map_err(|e| RajaError::Runtime(e.to_string()))?;
     let mut args: Vec<KernelArg> = arrays.iter().map(|&p| KernelArg::Ptr(p)).collect();
     if let Some(c) = extra_cell {
         args.push(KernelArg::Ptr(c));
@@ -507,7 +507,10 @@ mod tests {
     fn sycl_backend_is_experimental_with_penalty() {
         let route = ExecPolicy::SyclExec { work_group_size: 128 }.route();
         assert_eq!(route.maintenance, Maintenance::Experimental);
-        assert!(route_efficiency(&route) < route_efficiency(&ExecPolicy::CudaExec { block_size: 128 }.route()));
+        assert!(
+            route_efficiency(&route)
+                < route_efficiency(&ExecPolicy::CudaExec { block_size: 128 }.route())
+        );
     }
 
     #[test]

@@ -168,10 +168,7 @@ impl Policy {
 
     /// `std::reduce(policy, v.begin(), v.end(), init)` — atomic-add tree.
     pub fn reduce(&self, v: &DeviceVec, init: f64) -> StdparResult<f64> {
-        let cell = self
-            .device
-            .alloc(8)
-            .map_err(|e| StdparError::Runtime(e.to_string()))?;
+        let cell = self.device.alloc(8).map_err(|e| StdparError::Runtime(e.to_string()))?;
         self.device
             .memory()
             .store(cell.0, Value::F64(init))
@@ -254,10 +251,8 @@ pub struct DeviceVec {
 impl DeviceVec {
     /// Upload host data.
     pub fn from_host(policy: &Policy, data: &[f64]) -> StdparResult<Self> {
-        let ptr = policy
-            .device
-            .alloc_copy_f64(data)
-            .map_err(|e| StdparError::Runtime(e.to_string()))?;
+        let ptr =
+            policy.device.alloc_copy_f64(data).map_err(|e| StdparError::Runtime(e.to_string()))?;
         Ok(Self { ptr, len: data.len() })
     }
 
@@ -337,9 +332,7 @@ mod tests {
         assert_eq!(policy.to_host(&v).unwrap(), vec![2.0, 4.0, 6.0, 8.0]);
 
         let mut out = DeviceVec::zeroed(&policy, 4).unwrap();
-        policy
-            .transform(&v, &mut out, |b, x| b.un(UnOp::Sqrt, x))
-            .unwrap();
+        policy.transform(&v, &mut out, |b, x| b.un(UnOp::Sqrt, x)).unwrap();
         let host = policy.to_host(&out).unwrap();
         for (a, b) in host.iter().zip([2.0f64, 4.0, 6.0, 8.0]) {
             assert!((a - b.sqrt()).abs() < 1e-12);

@@ -391,8 +391,8 @@ mod tests {
         assert_eq!(q.toolchain(), "DPC++ (CUDA plugin)");
         // DPC++ on NVIDIA is complete+active (non-vendor good) → still 1.0
         // directness-wise; Open SYCL path also works:
-        let q2 = Queue::with_impl(Device::new(DeviceSpec::nvidia_a100()), SyclImpl::OpenSycl)
-            .unwrap();
+        let q2 =
+            Queue::with_impl(Device::new(DeviceSpec::nvidia_a100()), SyclImpl::OpenSycl).unwrap();
         assert_eq!(q2.toolchain(), "Open SYCL");
     }
 

@@ -1,8 +1,9 @@
 //! Virtual compilers — one per encoded route.
 
-use crate::{vendor_isa, efficiency::route_efficiency};
+use crate::{efficiency::route_efficiency, vendor_isa};
+use mcmm_analyze::{analyze_with, AnalysisOptions, Check, Diagnostic};
 use mcmm_core::provider::Maintenance;
-use mcmm_core::route::{Route, RouteKind};
+use mcmm_core::route::{Completeness, Route, RouteKind};
 use mcmm_core::taxonomy::{Language, Model, Vendor};
 use mcmm_gpu_sim::ir::KernelIr;
 use mcmm_gpu_sim::isa::{assemble, Module};
@@ -23,6 +24,12 @@ pub enum CompileError {
     Discontinued { toolchain: String },
     /// The kernel itself is invalid.
     InvalidKernel(String),
+    /// The toolchain's static-analysis gate rejected the kernel. Which
+    /// checks run depends on the route's maturity (see
+    /// [`VirtualCompiler::lint_checks`]) — exactly the paper's point that
+    /// what gets caught at compile time varies per toolchain, not per
+    /// language.
+    Lint { toolchain: String, diagnostics: Vec<Diagnostic> },
 }
 
 impl fmt::Display for CompileError {
@@ -38,6 +45,13 @@ impl fmt::Display for CompileError {
                 write!(f, "{toolchain}: discontinued / unmaintained")
             }
             CompileError::InvalidKernel(m) => write!(f, "invalid kernel: {m}"),
+            CompileError::Lint { toolchain, diagnostics } => {
+                write!(f, "{toolchain}: lint gate rejected kernel")?;
+                for d in diagnostics {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -74,6 +88,32 @@ impl VirtualCompiler {
         route_efficiency(&self.route)
     }
 
+    /// Which static checks this toolchain enforces at compile time,
+    /// derived from the route's maturity metadata — mirroring the real
+    /// ecosystem, where a first-party complete toolchain ships sanitizers
+    /// an experimental port does not:
+    ///
+    /// * every toolchain warns on uninitialized reads (MCA001);
+    /// * `Complete`/`Majority` front-ends understand the barrier contract
+    ///   well enough to reject divergent barriers (MCA002);
+    /// * only `Complete` toolchains carry the interprocedural machinery
+    ///   for bounds checking (MCA004);
+    /// * the shared-memory race detector (MCA003) additionally needs an
+    ///   *actively maintained* complete toolchain.
+    pub fn lint_checks(&self) -> Vec<Check> {
+        let mut checks = vec![Check::UninitRead];
+        if matches!(self.route.completeness, Completeness::Complete | Completeness::Majority) {
+            checks.push(Check::DivergentBarrier);
+        }
+        if self.route.completeness == Completeness::Complete {
+            checks.push(Check::OutOfBounds);
+            if self.route.maintenance == Maintenance::Active {
+                checks.push(Check::SharedRace);
+            }
+        }
+        checks
+    }
+
     /// Compile a kernel for the given source pair and target vendor.
     ///
     /// This is where the paper's compatibility holes become real failures:
@@ -103,8 +143,16 @@ impl VirtualCompiler {
         if !self.is_available() {
             return Err(CompileError::Discontinued { toolchain: self.name.to_owned() });
         }
-        assemble(kernel, vendor_isa(vendor))
-            .map_err(|e| CompileError::InvalidKernel(e.to_string()))
+        // The sanitizer gate: analyze under generic launch assumptions
+        // (no known buffer extents — only provable defects fire).
+        let report = analyze_with(kernel, &AnalysisOptions::default(), &self.lint_checks());
+        if !report.is_clean() {
+            return Err(CompileError::Lint {
+                toolchain: self.name.to_owned(),
+                diagnostics: report.diagnostics,
+            });
+        }
+        assemble(kernel, vendor_isa(vendor)).map_err(|e| CompileError::InvalidKernel(e.to_string()))
     }
 
     /// Does this route's software kind involve compiling IR at all?
@@ -178,5 +226,77 @@ mod tests {
             c.compile(&trivial_kernel(), Model::Cuda, Language::Cpp, Vendor::Nvidia).unwrap_err();
         assert!(matches!(err, CompileError::Discontinued { .. }));
         assert!(!c.is_available());
+    }
+
+    /// A kernel with a barrier under a thread-dependent branch: the classic
+    /// MCA002 defect, used to exercise the lint gate below.
+    fn divergent_barrier_kernel() -> KernelIr {
+        use mcmm_gpu_sim::ir::{CmpOp, Value};
+        let mut k = KernelBuilder::new("div_bar");
+        let tid = k.thread_id_x();
+        let low = k.cmp(CmpOp::Lt, tid, Value::I32(16));
+        k.if_(low, |k| k.barrier());
+        k.finish()
+    }
+
+    #[test]
+    fn complete_route_lints_divergent_barriers() {
+        let c = nvcc_like();
+        let err = c
+            .compile(&divergent_barrier_kernel(), Model::Cuda, Language::Cpp, Vendor::Nvidia)
+            .unwrap_err();
+        match &err {
+            CompileError::Lint { toolchain, diagnostics } => {
+                assert_eq!(*toolchain, "CUDA Toolkit (nvcc)");
+                assert!(diagnostics.iter().any(|d| d.code == mcmm_analyze::MCA002));
+            }
+            other => panic!("expected a lint rejection, got {other:?}"),
+        }
+        assert!(err.to_string().contains("lint gate"));
+    }
+
+    #[test]
+    fn minimal_route_skips_the_barrier_check() {
+        let mut c = nvcc_like();
+        c.route.completeness = Completeness::Minimal;
+        // An immature port does not carry the barrier sanitizer …
+        assert_eq!(c.lint_checks(), vec![Check::UninitRead]);
+        // … so the same defective kernel compiles.
+        c.compile(&divergent_barrier_kernel(), Model::Cuda, Language::Cpp, Vendor::Nvidia)
+            .expect("minimal route must not run the barrier check");
+    }
+
+    #[test]
+    fn lint_checks_follow_route_maturity() {
+        let c = nvcc_like();
+        assert_eq!(
+            c.lint_checks(),
+            vec![Check::UninitRead, Check::DivergentBarrier, Check::OutOfBounds, Check::SharedRace]
+        );
+        let mut majority = nvcc_like();
+        majority.route.completeness = Completeness::Majority;
+        assert_eq!(majority.lint_checks(), vec![Check::UninitRead, Check::DivergentBarrier]);
+    }
+
+    #[test]
+    fn every_uninit_read_is_rejected_everywhere() {
+        use mcmm_gpu_sim::ir::{Instr, Operand, Reg};
+        // Even the weakest route rejects a read of a never-written register.
+        let kernel = KernelIr {
+            name: "uninit".into(),
+            params: vec![],
+            regs: vec![Type::I32, Type::I32],
+            shared_bytes: 0,
+            body: vec![Instr::Mov { dst: Reg(1), src: Operand::Reg(Reg(0)) }],
+        };
+        let mut c = nvcc_like();
+        c.route.completeness = Completeness::Minimal;
+        let err = c.compile(&kernel, Model::Cuda, Language::Cpp, Vendor::Nvidia).unwrap_err();
+        match err {
+            CompileError::Lint { diagnostics, .. } => {
+                assert!(diagnostics.iter().all(|d| d.code == mcmm_analyze::MCA001));
+            }
+            other => panic!("expected a lint rejection, got {other:?}"),
+        }
     }
 }

@@ -106,7 +106,12 @@ fn smoke_run(device: &Device, module: &mcmm_gpu_sim::Module, efficiency: f64) ->
         .launch(
             module,
             cfg,
-            &[KernelArg::F32(2.0), KernelArg::Ptr(dx), KernelArg::Ptr(dy), KernelArg::I32(N as i32)],
+            &[
+                KernelArg::F32(2.0),
+                KernelArg::Ptr(dx),
+                KernelArg::Ptr(dy),
+                KernelArg::I32(N as i32),
+            ],
         )
         .is_ok()
         && device
@@ -173,20 +178,15 @@ mod tests {
     #[test]
     fn native_cells_are_functional() {
         let report = probe(&CompatMatrix::paper());
-        for (v, m) in [
-            (Vendor::Nvidia, Model::Cuda),
-            (Vendor::Amd, Model::Hip),
-            (Vendor::Intel, Model::Sycl),
-        ] {
+        for (v, m) in
+            [(Vendor::Nvidia, Model::Cuda), (Vendor::Amd, Model::Hip), (Vendor::Intel, Model::Sycl)]
+        {
             let cell = report
                 .cells
                 .iter()
                 .find(|c| c.vendor == v && c.model == m && c.language == Language::Cpp)
                 .unwrap();
-            assert!(
-                !cell.functional_routes.is_empty(),
-                "{v} native model has no functional route"
-            );
+            assert!(!cell.functional_routes.is_empty(), "{v} native model has no functional route");
         }
     }
 

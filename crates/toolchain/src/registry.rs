@@ -45,7 +45,12 @@ impl Registry {
     }
 
     /// Compilers supporting the given source pair on the given vendor.
-    pub fn select(&self, model: Model, language: Language, vendor: Vendor) -> Vec<&VirtualCompiler> {
+    pub fn select(
+        &self,
+        model: Model,
+        language: Language,
+        vendor: Vendor,
+    ) -> Vec<&VirtualCompiler> {
         self.entries.iter().filter(|c| c.supports(model, language, vendor)).collect()
     }
 

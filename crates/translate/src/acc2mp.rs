@@ -7,6 +7,7 @@
 //! C/C++ and Fortran directive spellings.
 
 use crate::ast::{Dialect, GpuProgram};
+use crate::coverage::{audit_async_constructs, TranslationCoverage};
 use crate::TranslateError;
 
 /// Directive mapping (subset of the real tool's table).
@@ -23,6 +24,19 @@ const DIRECTIVE_MAP: &[(&str, &str)] = &[
 
 /// Translate an OpenACC program (C++ or Fortran) to OpenMP.
 pub fn acc_to_omp(program: &GpuProgram) -> Result<GpuProgram, TranslateError> {
+    acc_to_omp_with_coverage(program).map(|(out, _)| out)
+}
+
+/// Like [`acc_to_omp`], but also report what the tool's directive table
+/// did *not* cover. The real migration tool emits its untranslated
+/// directives as comments in the output; here they surface as a
+/// [`TranslationCoverage`] whose entries render as MCA005 diagnostics.
+/// Unlike GPUFORT, the tool does not refuse such programs — the dropped
+/// constructs pass through unrewritten, which is exactly why the report
+/// matters.
+pub fn acc_to_omp_with_coverage(
+    program: &GpuProgram,
+) -> Result<(GpuProgram, TranslationCoverage), TranslateError> {
     let target_dialect = match program.dialect {
         Dialect::OpenAccCpp => Dialect::OpenMpCpp,
         Dialect::OpenAccFortran => Dialect::OpenMpFortran,
@@ -33,6 +47,7 @@ pub fn acc_to_omp(program: &GpuProgram) -> Result<GpuProgram, TranslateError> {
             })
         }
     };
+    let dropped = audit_async_constructs(program);
     let mut out = program.clone();
     out.dialect = target_dialect;
     for step in &mut out.steps {
@@ -41,7 +56,12 @@ pub fn acc_to_omp(program: &GpuProgram) -> Result<GpuProgram, TranslateError> {
     for k in &mut out.kernels {
         k.launch_syntax = map_directive(&k.launch_syntax);
     }
-    Ok(out)
+    let coverage = TranslationCoverage {
+        translator: "Intel OpenACC→OpenMP migration tool",
+        covered: out.steps.len() - dropped.len(),
+        dropped,
+    };
+    Ok((out, coverage))
 }
 
 fn map_directive(text: &str) -> String {
@@ -104,6 +124,41 @@ mod tests {
     fn refuses_cuda_sources() {
         let cuda = crate::ast::cuda_saxpy_program(8, 1.0);
         assert!(matches!(acc_to_omp(&cuda), Err(TranslateError::WrongDialect { .. })));
+    }
+
+    #[test]
+    fn complete_input_reports_full_coverage() {
+        let acc = openacc_scale_program(32, 2.0);
+        let (_, cov) = acc_to_omp_with_coverage(&acc).unwrap();
+        assert!(cov.is_complete());
+        assert_eq!(cov.covered, acc.steps.len());
+        assert!(cov.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn async_constructs_are_reported_dropped_not_rejected() {
+        use crate::ast::{Op, Step};
+        let mut acc = openacc_scale_program(16, 2.0);
+        acc.steps.insert(
+            1,
+            Step {
+                api: "#pragma acc enter data copyin(x) async(1)".into(),
+                op: Op::CopyInAsync { var: "x", data: vec![0.0; 16], stream: 1 },
+            },
+        );
+        // Where GPUFORT errors out, the migration tool translates the rest
+        // and reports the gap …
+        let (omp, cov) = acc_to_omp_with_coverage(&acc).unwrap();
+        assert_eq!(omp.dialect, Dialect::OpenMpCpp);
+        assert!(!cov.is_complete());
+        assert_eq!(cov.covered, acc.steps.len() - 1);
+        assert_eq!(cov.dropped.len(), 1);
+        assert!(cov.dropped[0].api.contains("async"));
+        // … which renders through the analyzer's diagnostic channel.
+        let diags = cov.diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, mcmm_analyze::MCA005);
+        assert!(diags[0].to_string().contains("not translated"));
     }
 
     #[test]

@@ -35,9 +35,7 @@ pub fn run_on_intel(
     let model = match program.dialect {
         Dialect::CudaCpp => Model::Cuda,
         Dialect::HipCpp => Model::Hip,
-        other => {
-            return Err(TranslateError::WrongDialect { translator: "chipStar", found: other })
-        }
+        other => return Err(TranslateError::WrongDialect { translator: "chipStar", found: other }),
     };
     let vendor = mcmm_toolchain::isa_vendor(device.spec().isa);
     if vendor != Vendor::Intel {
@@ -95,7 +93,8 @@ pub fn run_on_intel(
                 device.launch(&module, cfg, &kargs).map_err(|e| fail(e.to_string()))?;
             }
             Op::CopyOut { var } => {
-                let &(ptr, elems) = arrays.get(var).ok_or_else(|| fail(format!("unknown {var}")))?;
+                let &(ptr, elems) =
+                    arrays.get(var).ok_or_else(|| fail(format!("unknown {var}")))?;
                 outputs.insert(*var, device.read_f32(ptr, elems).map_err(|e| fail(e.to_string()))?);
             }
             Op::Free { var } => {

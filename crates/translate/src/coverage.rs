@@ -3,7 +3,8 @@
 //! migration-paths example and the §5 "Topicality" discussion (GPUFORT's
 //! staleness shows up as partial coverage here).
 
-use crate::ast::Dialect;
+use crate::ast::{Dialect, GpuProgram, Op};
+use mcmm_analyze::{Diagnostic, MCA005};
 
 /// A translator's static coverage facts.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +62,70 @@ pub fn translators() -> Vec<TranslatorInfo> {
     ]
 }
 
+/// A host-side construct a partial translator did not carry across.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DroppedConstruct {
+    /// The API spelling of the untranslated step (`cudaf_MemcpyAsync`, …).
+    pub api: String,
+    /// Why the translator's coverage excludes it.
+    pub reason: String,
+}
+
+/// What a single translation run actually covered. Complete translators
+/// always report an empty `dropped` list; the partial ones (GPUFORT, the
+/// OpenACC migration tool) surface here exactly the constructs the paper
+/// says their use-case-driven coverage misses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslationCoverage {
+    /// The translator that produced this report.
+    pub translator: &'static str,
+    /// How many host steps were translated.
+    pub covered: usize,
+    /// The steps that were not.
+    pub dropped: Vec<DroppedConstruct>,
+}
+
+impl TranslationCoverage {
+    /// Did the translation cover every construct in the input?
+    pub fn is_complete(&self) -> bool {
+        self.dropped.is_empty()
+    }
+
+    /// Render the dropped constructs as MCA005 analyzer diagnostics, so
+    /// translation gaps flow through the same reporting channel as the
+    /// kernel-IR checks.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.dropped
+            .iter()
+            .map(|d| Diagnostic {
+                code: MCA005,
+                loc: None,
+                message: format!(
+                    "{}: construct `{}` not translated ({})",
+                    self.translator, d.api, d.reason
+                ),
+            })
+            .collect()
+    }
+}
+
+/// The shared coverage audit for the partial translators: asynchronous
+/// copies/streams sit outside both GPUFORT's use-case set and the OpenACC
+/// migration tool's directive table. GPUFORT turns the result into a hard
+/// [`crate::TranslateError::UnsupportedConstructs`]; the migration tool
+/// reports it as dropped coverage instead.
+pub fn audit_async_constructs(program: &GpuProgram) -> Vec<DroppedConstruct> {
+    program
+        .steps
+        .iter()
+        .filter(|s| matches!(s.op, Op::CopyInAsync { .. }))
+        .map(|s| DroppedConstruct {
+            api: s.api.clone(),
+            reason: "asynchronous copies/streams are outside the covered subset".into(),
+        })
+        .collect()
+}
+
 /// Which translators can take a program of `from` toward running on model
 /// `to` sources (directly producing `to`)?
 pub fn paths(from: Dialect, to: Dialect) -> Vec<&'static str> {
@@ -103,6 +168,33 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert!(p.contains(&"GPUFORT"));
         assert!(p.contains(&"Intel OpenACC→OpenMP migration tool"));
+    }
+
+    #[test]
+    fn audit_finds_exactly_the_async_steps() {
+        let p = crate::ast::cuda_fortran_program_with_async(8);
+        let dropped = audit_async_constructs(&p);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].api, "cudaf_MemcpyAsync");
+        let clean = crate::ast::cuda_saxpy_program(8, 1.0);
+        assert!(audit_async_constructs(&clean).is_empty());
+    }
+
+    #[test]
+    fn coverage_renders_as_mca005() {
+        let cov = TranslationCoverage {
+            translator: "GPUFORT",
+            covered: 5,
+            dropped: vec![DroppedConstruct {
+                api: "cudaf_MemcpyAsync".into(),
+                reason: "asynchronous copies/streams are outside the covered subset".into(),
+            }],
+        };
+        let diags = cov.diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, MCA005);
+        assert!(diags[0].message.contains("cudaf_MemcpyAsync"));
+        assert!(!cov.is_complete());
     }
 
     #[test]

@@ -162,7 +162,10 @@ mod tests {
         let p = cuda_saxpy_program(64, 2.0);
         let dev = Device::new(DeviceSpec::amd_mi250x());
         match run_program(&p, &dev) {
-            Err(ExecError::NoRouteForDialect { dialect: Dialect::CudaCpp, vendor: Vendor::Amd }) => {}
+            Err(ExecError::NoRouteForDialect {
+                dialect: Dialect::CudaCpp,
+                vendor: Vendor::Amd,
+            }) => {}
             other => panic!("expected NoRouteForDialect, got {other:?}"),
         }
     }

@@ -8,7 +8,8 @@
 //! (asynchronous copies/streams) are rejected with the full list, rather
 //! than silently mistranslated.
 
-use crate::ast::{Dialect, GpuProgram, Op};
+use crate::ast::{Dialect, GpuProgram};
+use crate::coverage::audit_async_constructs;
 use crate::TranslateError;
 
 /// The two output modes GPUFORT supports.
@@ -25,17 +26,13 @@ pub fn gpufort(program: &GpuProgram, mode: GpufortMode) -> Result<GpuProgram, Tr
     if !matches!(program.dialect, Dialect::CudaFortran | Dialect::OpenAccFortran) {
         return Err(TranslateError::WrongDialect { translator: "GPUFORT", found: program.dialect });
     }
-    // Coverage check: use-case-driven subset only.
-    let unsupported: Vec<String> = program
-        .steps
-        .iter()
-        .filter(|s| matches!(s.op, Op::CopyInAsync { .. }))
-        .map(|s| s.api.clone())
-        .collect();
+    // Coverage check: use-case-driven subset only. GPUFORT refuses rather
+    // than silently dropping what the shared audit finds.
+    let unsupported = audit_async_constructs(program);
     if !unsupported.is_empty() {
         return Err(TranslateError::UnsupportedConstructs {
             translator: "GPUFORT",
-            constructs: unsupported,
+            constructs: unsupported.into_iter().map(|d| d.api).collect(),
         });
     }
     let mut out = program.clone();
@@ -46,9 +43,7 @@ pub fn gpufort(program: &GpuProgram, mode: GpufortMode) -> Result<GpuProgram, Tr
                 step.api = match step.api.as_str() {
                     s if s.contains("Malloc") => "omp_target_alloc".into(),
                     s if s.contains("Memcpy") => "!$omp target update".into(),
-                    s if s.contains("Launch") => {
-                        "!$omp target teams distribute parallel do".into()
-                    }
+                    s if s.contains("Launch") => "!$omp target teams distribute parallel do".into(),
                     s if s.contains("Free") => "omp_target_free".into(),
                     s if s.contains("Synchronize") => "!$omp taskwait".into(),
                     other => other.to_owned(),
@@ -71,7 +66,8 @@ pub fn gpufort(program: &GpuProgram, mode: GpufortMode) -> Result<GpuProgram, Tr
                 };
             }
             for k in &mut out.kernels {
-                k.launch_syntax = format!("call launch_{}(grid, block, ...) ! extracted C kernel", k.name);
+                k.launch_syntax =
+                    format!("call launch_{}(grid, block, ...) ! extracted C kernel", k.name);
             }
         }
     }

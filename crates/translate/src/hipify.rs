@@ -38,10 +38,7 @@ pub fn hipify(program: &GpuProgram) -> Result<GpuProgram, TranslateError> {
     for k in &mut out.kernels {
         // Kernel syntax is identical; only the launch spelling changes.
         k.launch_syntax = if k.launch_syntax.contains("<<<") {
-            format!(
-                "hipLaunchKernelGGL({}, grid, block, 0, 0, ...)",
-                k.name
-            )
+            format!("hipLaunchKernelGGL({}, grid, block, 0, 0, ...)", k.name)
         } else {
             rename(&k.launch_syntax)
         };

@@ -37,7 +37,9 @@ pub fn syclomatic(program: &GpuProgram) -> Result<Migration, TranslateError> {
             "cudaMalloc" => "sycl::malloc_device".into(),
             "cudaFree" => "sycl::free".into(),
             "cudaDeviceSynchronize" => "queue.wait()".into(),
-            s if s.starts_with("cudaMemcpy(") => format!("queue.memcpy{}", &s["cudaMemcpy".len()..]),
+            s if s.starts_with("cudaMemcpy(") => {
+                format!("queue.memcpy{}", &s["cudaMemcpy".len()..])
+            }
             s if s.contains("LaunchKernel") => "queue.parallel_for".into(),
             other => {
                 warnings.push(format!(
@@ -48,10 +50,8 @@ pub fn syclomatic(program: &GpuProgram) -> Result<Migration, TranslateError> {
         };
     }
     for k in &mut out.kernels {
-        k.launch_syntax = format!(
-            "q.parallel_for(sycl::nd_range<1>{{grid*block, block}}, {}_functor)",
-            k.name
-        );
+        k.launch_syntax =
+            format!("q.parallel_for(sycl::nd_range<1>{{grid*block, block}}, {}_functor)", k.name);
     }
     Ok(Migration { program: out, dpct_warnings: warnings })
 }

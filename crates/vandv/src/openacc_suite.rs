@@ -78,11 +78,8 @@ fn run_case(acc: &AccDevice, case: &TestCase) -> TestOutcome {
         "data_create_scratch" => outcome_from((|| {
             // y[i] = (x[i] staged through scratch) + 1
             let input = vec![4.0f64; N];
-            let region = acc
-                .data_region()
-                .copyin("x", &input)?
-                .create("tmp", N)?
-                .copyout("y", N)?;
+            let region =
+                acc.data_region().copyin("x", &input)?.create("tmp", N)?.copyout("y", N)?;
             region.parallel_loop(N, LoopSchedule::default(), |b, i, p| {
                 let v = b.ld_elem(Space::Global, Type::F64, p[0], i);
                 b.st_elem(Space::Global, p[1], i, v);
@@ -159,10 +156,7 @@ pub fn run(vendor: Vendor) -> Vec<TestResult> {
         Err(e) => {
             return CASES
                 .iter()
-                .map(|&case| TestResult {
-                    case,
-                    outcome: TestOutcome::Unsupported(e.to_string()),
-                })
+                .map(|&case| TestResult { case, outcome: TestOutcome::Unsupported(e.to_string()) })
                 .collect()
         }
     };

@@ -222,10 +222,7 @@ pub fn run(vendor: Vendor, toolchain: &str) -> Vec<TestResult> {
         Err(e) => {
             return CASES
                 .iter()
-                .map(|&case| TestResult {
-                    case,
-                    outcome: TestOutcome::Unsupported(e.to_string()),
-                })
+                .map(|&case| TestResult { case, outcome: TestOutcome::Unsupported(e.to_string()) })
                 .collect()
         }
     };

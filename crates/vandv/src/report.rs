@@ -138,10 +138,7 @@ mod tests {
     use crate::suite::TestCase;
 
     fn result(name: &'static str, outcome: TestOutcome) -> TestResult {
-        TestResult {
-            case: TestCase { name, spec_version: "4.5", baseline: true },
-            outcome,
-        }
+        TestResult { case: TestCase { name, spec_version: "4.5", baseline: true }, outcome }
     }
 
     #[test]

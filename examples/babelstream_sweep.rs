@@ -38,7 +38,9 @@ fn main() {
     };
     use mcmm_core::taxonomy::Vendor::*;
     if let (Some(cuda), Some(hip)) = (triad("CUDA", Nvidia), triad("HIP", Nvidia)) {
-        println!("shape check: CUDA {cuda:.0} GB/s ≥ HIP-on-NVIDIA {hip:.0} GB/s (translated route)");
+        println!(
+            "shape check: CUDA {cuda:.0} GB/s ≥ HIP-on-NVIDIA {hip:.0} GB/s (translated route)"
+        );
         assert!(cuda >= hip);
     }
     if let (Some(nv), Some(py)) = (triad("SYCL", Nvidia), triad("etc (Python)", Nvidia)) {

@@ -23,7 +23,8 @@ struct Application {
 }
 
 fn audit(matrix: &CompatMatrix, app: &Application) {
-    println!("══ {} ({}; platforms {:?}; bar: {}) ══",
+    println!(
+        "══ {} ({}; platforms {:?}; bar: {}) ══",
         app.name,
         app.language,
         app.platforms.iter().map(|v| v.name()).collect::<Vec<_>>(),

@@ -130,9 +130,7 @@ fn main() {
         let mut idx = [a, b_idx];
         for _ in 0..STEPS {
             let (src, dst) = (idx[0], idx[1]);
-            region
-                .parallel_for(N, |b, i, p| stencil_body(b, i, p[src], p[dst]))
-                .expect("step");
+            region.parallel_for(N, |b, i, p| stencil_body(b, i, p[src], p[dst])).expect("step");
             idx.swap(0, 1);
         }
         let dt = (dev.modeled_clock().seconds() - t0) * 1e6;
@@ -147,6 +145,9 @@ fn main() {
 
 fn report(label: &str, modeled_us: f64, out: &[f64], reference: &[f64]) {
     let exact = out.iter().zip(reference).all(|(a, b)| a.to_bits() == b.to_bits());
-    println!("{label:<28} {STEPS:>10} {modeled_us:>14.1} {:>10}", if exact { "exact" } else { "DIFFERS" });
+    println!(
+        "{label:<28} {STEPS:>10} {modeled_us:>14.1} {:>10}",
+        if exact { "exact" } else { "DIFFERS" }
+    );
     assert!(exact, "{label} diverged from the host reference");
 }

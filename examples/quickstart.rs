@@ -33,8 +33,7 @@ fn main() {
     // ── 3. §6-style questions ──────────────────────────────────────────
     println!();
     println!("most comprehensive vendor: {}", stats::most_comprehensive_vendor(&matrix));
-    let fortran_everywhere =
-        stats::models_vendor_supported_everywhere(&matrix, Language::Fortran);
+    let fortran_everywhere = stats::models_vendor_supported_everywhere(&matrix, Language::Fortran);
     println!(
         "vendor-supported Fortran models on all platforms: {:?}",
         fortran_everywhere.iter().map(|m| m.name()).collect::<Vec<_>>()

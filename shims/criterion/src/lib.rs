@@ -1,0 +1,168 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace pins
+//! `criterion` to this path shim. It keeps the bench-definition API
+//! (`Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!`) but replaces the
+//! statistical engine with a fixed warmup-plus-measure loop that prints
+//! one mean-time line per benchmark. This keeps `cargo test`/`cargo bench`
+//! runs fast while still exercising every bench body.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations used to warm up before timing.
+const WARMUP_ITERS: u32 = 2;
+/// Timed iterations whose mean is reported.
+const MEASURE_ITERS: u32 = 5;
+
+/// Entry point handed to bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.to_string(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim's iteration counts are
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Run a parameterized benchmark inside this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier combining a name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier rendered as `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{name}/{parameter}") }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record its mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / MEASURE_ITERS);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => println!("bench {id}: {mean:?} (mean of {MEASURE_ITERS})"),
+        None => println!("bench {id}: no measurement"),
+    }
+}
+
+/// Collect bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        let mut ran = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| ran += 1);
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &v| {
+            b.iter(|| v * 2);
+        });
+        g.finish();
+        assert_eq!(ran, WARMUP_ITERS + MEASURE_ITERS);
+    }
+}

@@ -1,0 +1,259 @@
+//! Workspace-local stand-in for the `crossbeam-deque` crate.
+//!
+//! The build environment has no crates.io access, so the workspace pins
+//! `crossbeam-deque` to this path shim. It provides the same
+//! [`Worker`]/[`Stealer`]/[`Injector`]/[`Steal`] API the thread pool uses,
+//! implemented with mutex-protected `VecDeque`s instead of lock-free
+//! deques. Semantics (FIFO order, batch stealing, `Steal` composition)
+//! match; only the synchronization strategy differs.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// How many jobs `steal_batch_and_pop` moves to the destination worker at
+/// most (beyond the one it returns).
+const BATCH: usize = 4;
+
+fn locked<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Is this `Success`?
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// Is this `Empty`?
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Is this `Retry`?
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// If this is not `Success`, try the fallback `f`; `Retry` from either
+    /// side is sticky so callers know to spin again.
+    pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+        match self {
+            Steal::Success(t) => Steal::Success(t),
+            Steal::Empty => f(),
+            Steal::Retry => match f() {
+                Steal::Success(t) => Steal::Success(t),
+                _ => Steal::Retry,
+            },
+        }
+    }
+}
+
+impl<T> FromIterator<Steal<T>> for Steal<T> {
+    /// Collect steal attempts: the first `Success` wins; otherwise `Retry`
+    /// if any attempt needs retrying; otherwise `Empty`.
+    fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+        let mut retry = false;
+        for s in iter {
+            match s {
+                Steal::Success(t) => return Steal::Success(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if retry {
+            Steal::Retry
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+/// A worker-owned FIFO queue.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Create a new FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Self { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Push a task onto the queue.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Pop the next task in FIFO order.
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue).pop_front()
+    }
+
+    /// Is the queue currently empty?
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Create a stealer handle sharing this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Self::new_fifo()
+    }
+}
+
+/// A shareable handle that steals tasks from a [`Worker`].
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task from the front of the worker's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Is the observed queue currently empty?
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// A global FIFO injector queue shared by all workers.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Self { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Push a task into the global queue.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch of tasks, moving all but the first into `dest` and
+    /// returning the first.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = locked(&self.queue);
+        let first = match q.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        for _ in 0..BATCH {
+            match q.pop_front() {
+                Some(t) => dest.push(t),
+                None => break,
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// Is the queue currently empty?
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_fifo() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_from_worker() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(7);
+        assert_eq!(s.steal(), Steal::Success(7));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn batch_steal_moves_extra_work() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        // A batch beyond the popped task landed in the worker, in order.
+        assert_eq!(w.pop(), Some(1));
+        assert!(!inj.is_empty());
+    }
+
+    #[test]
+    fn collect_prefers_success_and_remembers_retry() {
+        let all: Steal<i32> = [Steal::Empty, Steal::Retry, Steal::Success(3)].into_iter().collect();
+        assert_eq!(all, Steal::Success(3));
+        let none: Steal<i32> = [Steal::Empty, Steal::Retry].into_iter().collect();
+        assert_eq!(none, Steal::Retry);
+        let empty: Steal<i32> = [Steal::<i32>::Empty; 2].into_iter().collect();
+        assert_eq!(empty, Steal::Empty);
+    }
+
+    #[test]
+    fn or_else_falls_through() {
+        assert_eq!(Steal::Success(1).or_else(|| Steal::Success(2)), Steal::Success(1));
+        assert_eq!(Steal::Empty.or_else(|| Steal::Success(2)), Steal::Success(2));
+        assert_eq!(Steal::<i32>::Retry.or_else(|| Steal::Empty), Steal::Retry);
+    }
+}

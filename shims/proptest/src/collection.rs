@@ -1,0 +1,41 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Strategy producing vectors with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.len.gen_value(rng);
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// Generate vectors of `element` draws with a length in `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty vec length range");
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Just;
+
+    #[test]
+    fn lengths_respect_the_range() {
+        let s = vec(Just(7u8), 2..5);
+        let mut rng = TestRng::deterministic("vec-len");
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x == 7));
+        }
+    }
+}

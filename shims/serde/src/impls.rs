@@ -1,0 +1,213 @@
+//! `Serialize`/`Deserialize` implementations for the std types the
+//! workspace serializes.
+
+use crate::{DeError, Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::custom("expected a boolean"))
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    Value::Int(*self as i64)
+                }
+            }
+
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, DeError> {
+                    let i = v
+                        .as_i64()
+                        .ok_or_else(|| DeError::custom("expected an integer"))?;
+                    <$t>::try_from(i)
+                        .map_err(|_| DeError::custom("integer out of range"))
+                }
+            }
+        )*
+    };
+}
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::custom("expected a number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| DeError::custom("expected a string"))
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Deserializing into `&'static str` leaks the decoded string. The
+    /// workspace only does this in tests round-tripping small structs with
+    /// `&'static str` fields; real serde would borrow from the input.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        String::from_value(v).map(|s| &*s.leak())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::custom("expected a string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected a single character")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::custom("expected an array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+/// Render a map key the way serde_json does: strings stay themselves,
+/// other scalars use their JSON text.
+fn key_string(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        other => other.to_json(),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (key_string(&k.to_value()), v.to_value())).collect())
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+))*) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn to_value(&self) -> Value {
+                    Value::Array(vec![$(self.$idx.to_value()),+])
+                }
+            }
+
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn from_value(v: &Value) -> Result<Self, DeError> {
+                    let items = v
+                        .as_array()
+                        .ok_or_else(|| DeError::custom("expected a tuple array"))?;
+                    let expected = [$($idx),+].len();
+                    if items.len() != expected {
+                        return Err(DeError::custom("tuple length mismatch"));
+                    }
+                    Ok(($($name::from_value(&items[$idx])?,)+))
+                }
+            }
+        )*
+    };
+}
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}

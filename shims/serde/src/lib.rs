@@ -1,0 +1,52 @@
+//! Workspace-local stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace pins
+//! `serde` to this path shim. Instead of serde's visitor architecture it
+//! serializes through an owned JSON-like [`Value`] tree: `Serialize`
+//! converts a type *to* a `Value`, `Deserialize` reads it back *from* one,
+//! and the accompanying `serde_json` shim renders/parses the tree as JSON
+//! text. The derive macros (from the sibling `serde_derive` shim) emit the
+//! same external representation real serde would: structs become objects
+//! in field order, unit enum variants become strings, and newtype variants
+//! become single-entry objects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+mod value;
+
+pub use value::Value;
+
+/// Error produced when a [`Value`] cannot be decoded into the requested
+/// type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Create an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself as a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Decode an instance from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}

@@ -1,0 +1,297 @@
+//! The JSON-like value tree all (de)serialization goes through, plus its
+//! text rendering. Object entries keep insertion order, which for derived
+//! structs is declaration order — the same shape real serde_json produces.
+
+use crate::DeError;
+
+/// An owned JSON-like value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number without a fractional part.
+    Int(i64),
+    /// JSON number with a fractional part (or out of `i64` range).
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Is this `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrow the string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Borrow the elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow the entries, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Look up an object entry by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Like [`Value::get`] but yielding `null` for missing keys — the
+    /// lookup the derived `Deserialize` impls use, so `Option` fields read
+    /// absent keys as `None`.
+    pub fn get_field(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+
+    /// The key and value of a single-entry object — the external
+    /// representation of a newtype enum variant.
+    pub fn as_single_entry(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Object(o) if o.len() == 1 => Some((o[0].0.as_str(), &o[0].1)),
+            _ => None,
+        }
+    }
+
+    /// Render as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, None, 0);
+        out
+    }
+
+    /// Render as pretty JSON (two-space indent).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write_json(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // `{:?}` prints the shortest representation that
+                    // round-trips, always with a decimal point or exponent.
+                    out.push_str(&format!("{f:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
+                    items[i].write_json(out, indent, level + 1);
+                });
+            }
+            Value::Object(entries) => {
+                write_seq(out, indent, level, '{', '}', entries.len(), |out, i| {
+                    let (k, v) = &entries[i];
+                    write_json_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write_json(out, indent, level + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (level + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+    out.push(close);
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get_field(key)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+macro_rules! value_eq_int {
+    ($($t:ty),*) => {
+        $(
+            impl PartialEq<$t> for Value {
+                fn eq(&self, other: &$t) -> bool {
+                    match self {
+                        Value::Int(i) => i128::from(*i) == i128::from(*other),
+                        _ => false,
+                    }
+                }
+            }
+        )*
+    };
+}
+value_eq_int!(i8, i16, i32, i64, u8, u16, u32, u64);
+
+impl PartialEq<usize> for Value {
+    fn eq(&self, other: &usize) -> bool {
+        match self {
+            Value::Int(i) => i128::from(*i) == *other as i128,
+            _ => false,
+        }
+    }
+}
+
+impl From<DeError> for String {
+    fn from(e: DeError) -> String {
+        e.to_string()
+    }
+}

@@ -1,0 +1,321 @@
+//! Workspace-local stand-in for the `serde_json` crate.
+//!
+//! The build environment has no crates.io access, so the workspace pins
+//! `serde_json` to this path shim. It renders and parses JSON text over
+//! the `serde` shim's [`Value`] tree: `to_string` walks a `Serialize`
+//! type's value tree, `from_str` parses text into a tree and decodes it
+//! with `Deserialize`. Output shape matches real serde_json (compact with
+//! no spaces; pretty with two-space indent; struct fields in declaration
+//! order).
+
+pub use serde::Value;
+
+/// Error from serialization or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+/// Serialize a value as compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serialize a value as pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Serialize a value into a JSON [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = Parser { bytes: s.as_bytes(), pos: 0 }.parse_document()?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Deserialize a value from a JSON [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::from_value(&value)?)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn parse_document(mut self) -> Result<Value, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error::new(format!("trailing characters at byte {}", self.pos)));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| Error::new("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.eat_keyword("null").map(|()| Value::Null),
+            b't' => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            b'f' => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::String),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            c => Err(Error::new(format!("unexpected `{}` at byte {}", c as char, self.pos))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                c => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]`, found `{}` at byte {}",
+                        c as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            entries.push((key, self.parse_value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                c => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}`, found `{}` at byte {}",
+                        c as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.bytes.get(self.pos).ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.parse_hex4()?;
+                            // Combine a UTF-16 surrogate pair if present.
+                            let code = if (0xD800..0xDC00).contains(&unit) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.parse_hex4()?;
+                                    0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    return Err(Error::new("lone surrogate"));
+                                }
+                            } else {
+                                unit
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                            );
+                        }
+                        c => return Err(Error::new(format!("invalid escape `\\{}`", c as char))),
+                    }
+                }
+                _ => {
+                    // Copy the full UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        self.pos += 4;
+        let s = std::str::from_utf8(hex).map_err(|_| Error::new("invalid \\u escape"))?;
+        u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid \\u escape"))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "42", "-7", "2.5", "\"hi\""] {
+            let v: Value = from_str(text).unwrap();
+            assert_eq!(v.to_json(), text, "round-tripping {text}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_parse() {
+        let v: Value = from_str(r#" { "a": [1, 2.0, {"b": null}], "c": "x\n\"y\"" } "#).unwrap();
+        assert_eq!(v["a"].as_array().unwrap().len(), 3);
+        assert_eq!(v["a"][1], 2.0);
+        assert!(v["a"][2]["b"].is_null());
+        assert_eq!(v["c"], "x\n\"y\"");
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        // A BMP escape, a surrogate pair, and raw multi-byte UTF-8.
+        let v: Value = from_str("\"\\u00e9 \\ud83d\\ude00 é\"").unwrap();
+        assert_eq!(v, "é 😀 é");
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = Value::Object(vec![
+            ("n".to_string(), Value::Int(1)),
+            ("list".to_string(), Value::Array(vec![Value::Bool(true), Value::Null])),
+        ]);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"n\": 1"));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+    }
+}

@@ -126,11 +126,8 @@ fn cpp_portability_outpaces_fortran() {
     let (cpp, fortran) = stats::language_gap(&m);
     assert!(cpp - fortran > 1.0, "C++ {cpp:.2} vs Fortran {fortran:.2}");
     // Count usable cells per language.
-    let usable = |lang| {
-        m.cells()
-            .filter(|c| c.id.language == lang && c.best_support().is_usable())
-            .count()
-    };
+    let usable =
+        |lang| m.cells().filter(|c| c.id.language == lang && c.best_support().is_usable()).count();
     assert!(usable(Language::Cpp) > 2 * usable(Language::Fortran) - 4);
 }
 
@@ -141,10 +138,7 @@ fn standard_parallelism_is_the_fastest_moving_model() {
     // progress" — measurable as the highest share of experimental routes.
     let m = matrix();
     let experimental_share = |model| {
-        let routes: Vec<_> = m
-            .column(model)
-            .flat_map(|c| c.routes.iter())
-            .collect();
+        let routes: Vec<_> = m.column(model).flat_map(|c| c.routes.iter()).collect();
         let exp = routes
             .iter()
             .filter(|r| r.maintenance == many_models::core::provider::Maintenance::Experimental)
@@ -174,8 +168,5 @@ fn llvm_is_the_ecosystem_keystone() {
         .flat_map(|c| c.routes.iter())
         .filter(|r| llvm_markers.iter().any(|m| r.toolchain.contains(m)))
         .count();
-    assert!(
-        llvm_routes >= 20,
-        "expected a large LLVM-based contingent, found {llvm_routes}"
-    );
+    assert!(llvm_routes >= 20, "expected a large LLVM-based contingent, found {llvm_routes}");
 }

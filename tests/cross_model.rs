@@ -167,9 +167,11 @@ fn atomics_agree_across_devices() {
     let mut results = Vec::new();
     for vendor in Vendor::ALL {
         let device: Arc<Device> = Device::new(vendor_device_spec(vendor));
-        let module =
-            many_models::gpu_sim::isa::assemble(&kernel, many_models::toolchain::vendor_isa(vendor))
-                .unwrap();
+        let module = many_models::gpu_sim::isa::assemble(
+            &kernel,
+            many_models::toolchain::vendor_isa(vendor),
+        )
+        .unwrap();
         let hist_ptr = device.alloc(16 * 4).unwrap();
         device.memcpy_h2d(hist_ptr, &[0u8; 64]).unwrap();
         device

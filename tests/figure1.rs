@@ -24,9 +24,7 @@ fn ascii_and_markdown_and_latex_agree_on_symbols() {
     let data_rows = |s: &str, pred: fn(&str) -> bool| -> String {
         s.lines().filter(|l| pred(l)).collect::<Vec<_>>().join("\n")
     };
-    let ascii_rows = data_rows(&ascii, |l| {
-        Vendor::ALL.iter().any(|v| l.starts_with(v.name()))
-    });
+    let ascii_rows = data_rows(&ascii, |l| Vendor::ALL.iter().any(|v| l.starts_with(v.name())));
     let md_rows = data_rows(&md, |l| l.starts_with("| **"));
     for s in Support::ALL {
         let in_ascii = ascii_rows.matches(s.symbol()).count();
@@ -63,7 +61,9 @@ fn json_roundtrip_preserves_every_cell() {
         cells
             .iter()
             .find(|c| {
-                c["id"]["vendor"] == vendor && c["id"]["model"] == model && c["id"]["language"] == lang
+                c["id"]["vendor"] == vendor
+                    && c["id"]["model"] == model
+                    && c["id"]["language"] == lang
             })
             .unwrap_or_else(|| panic!("missing {vendor}/{model}/{lang}"))
     };
@@ -93,11 +93,8 @@ fn shared_description_cells_show_identical_text() {
     // text must be byte-identical wherever they appear.
     let m = CompatMatrix::paper();
     for (id, expected_count) in [(4u8, 2usize), (6, 3), (14, 3), (16, 3)] {
-        let texts: Vec<&str> = m
-            .cells()
-            .filter(|c| c.description_id == id)
-            .map(|c| c.description)
-            .collect();
+        let texts: Vec<&str> =
+            m.cells().filter(|c| c.description_id == id).map(|c| c.description).collect();
         assert_eq!(texts.len(), expected_count, "description {id}");
         assert!(
             texts.windows(2).all(|w| w[0] == w[1]),

@@ -21,11 +21,8 @@ fn ascii_figure_matches_the_golden_snapshot() {
     let rendered = render::ascii::render(&CompatMatrix::paper());
     // The rendered output appends an empty line plus the legend; compare
     // the table block only.
-    let table: String = rendered
-        .lines()
-        .take_while(|l| !l.is_empty())
-        .map(|l| format!("{l}\n"))
-        .collect();
+    let table: String =
+        rendered.lines().take_while(|l| !l.is_empty()).map(|l| format!("{l}\n")).collect();
     assert_eq!(
         table,
         &GOLDEN[1..], // strip the literal's leading newline
@@ -36,10 +33,8 @@ fn ascii_figure_matches_the_golden_snapshot() {
 #[test]
 fn golden_snapshot_has_53_symbols() {
     // 51 cells + 2 double ratings.
-    let symbols: usize = GOLDEN
-        .chars()
-        .filter(|c| ['●', '◐', '◒', '◍', '◌', '✕'].contains(c))
-        .count();
+    let symbols: usize =
+        GOLDEN.chars().filter(|c| ['●', '◐', '◒', '◍', '◌', '✕'].contains(c)).count();
     assert_eq!(symbols, 53);
 }
 

@@ -116,8 +116,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Max(a.into(), b.into())),
             inner.clone().prop_map(|a| Expr::Neg(a.into())),
             inner.clone().prop_map(|a| Expr::Abs(a.into())),
-            (-2.0..2.0f64, inner.clone(), inner)
-                .prop_map(|(k, a, b)| Expr::Select(k, a.into(), b.into())),
+            (-2.0..2.0f64, inner.clone(), inner).prop_map(|(k, a, b)| Expr::Select(
+                k,
+                a.into(),
+                b.into()
+            )),
         ]
     })
 }

@@ -16,7 +16,10 @@ fn probed_matrix_equals_figure_1_on_all_51_cells() {
         mismatches.len(),
         mismatches
             .iter()
-            .map(|c| format!("{}·{}·{}: {} vs {}", c.vendor, c.model, c.language, c.derived, c.encoded))
+            .map(|c| format!(
+                "{}·{}·{}: {} vs {}",
+                c.vendor, c.model, c.language, c.derived, c.encoded
+            ))
             .collect::<Vec<_>>()
     );
 }

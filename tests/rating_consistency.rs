@@ -21,11 +21,7 @@ fn engine_reproduces_every_figure_cell() {
 // ── property tests ──────────────────────────────────────────────────────
 
 fn arb_directness() -> impl Strategy<Value = Directness> {
-    prop_oneof![
-        Just(Directness::Direct),
-        Just(Directness::Translated),
-        Just(Directness::Binding)
-    ]
+    prop_oneof![Just(Directness::Direct), Just(Directness::Translated), Just(Directness::Binding)]
 }
 
 fn arb_completeness() -> impl Strategy<Value = Completeness> {

@@ -19,7 +19,10 @@ fn roc_stdpar_maturing_upgrades_amd_standard() {
                 toolchain: "roc-stdpar (-stdpar)",
                 completeness: Completeness::Complete,
             },
-            Event::SetMaintenance { toolchain: "roc-stdpar (-stdpar)", status: Maintenance::Active },
+            Event::SetMaintenance {
+                toolchain: "roc-stdpar (-stdpar)",
+                status: Maintenance::Active,
+            },
             Event::SetDocumented { toolchain: "roc-stdpar (-stdpar)", documented: true },
         ],
     );

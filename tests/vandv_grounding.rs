@@ -35,10 +35,14 @@ fn openmp_measured_coverage_matches_dataset_completeness() {
 fn openmp_suite_orders_compilers_like_the_descriptions() {
     // Intel (complete) must out-cover NVHPC (subset of 5.0), which the
     // descriptions and the BoF table both report.
-    let intel =
-        Coverage::from_results(&openmp_suite::run(Vendor::Intel, "Intel oneAPI DPC++/C++ (icpx -qopenmp)"));
-    let nvhpc =
-        Coverage::from_results(&openmp_suite::run(Vendor::Nvidia, "NVIDIA HPC SDK (nvc/nvc++ -mp)"));
+    let intel = Coverage::from_results(&openmp_suite::run(
+        Vendor::Intel,
+        "Intel oneAPI DPC++/C++ (icpx -qopenmp)",
+    ));
+    let nvhpc = Coverage::from_results(&openmp_suite::run(
+        Vendor::Nvidia,
+        "NVIDIA HPC SDK (nvc/nvc++ -mp)",
+    ));
     assert!(intel.fraction() > nvhpc.fraction());
     assert_eq!(intel.fraction(), 1.0);
 }
