@@ -9,6 +9,12 @@ cargo build --workspace --release
 echo "── tests ──────────────────────────────────────────"
 cargo test --workspace -q
 
+echo "── benches compile ────────────────────────────────"
+cargo bench --workspace --no-run
+
+echo "── serve smoke ────────────────────────────────────"
+cargo run --release -p mcmm-bench --bin serve -- --smoke
+
 echo "── clippy (warnings are errors) ───────────────────"
 cargo clippy --workspace --all-targets -- -D warnings
 

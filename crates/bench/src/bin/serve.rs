@@ -1,0 +1,133 @@
+//! X3 — serve the matrix: replay a seeded mixed workload (all 9 frontends
+//! × 3 devices) through the concurrent execution service, verify the
+//! results byte-for-byte against serial single-stream execution, and
+//! print the serving report.
+//!
+//! Usage: `cargo run -p mcmm-bench --bin serve [--] [--smoke] [--jobs N]
+//! [--seed S] [--json]`. `--smoke` shrinks the workload for CI; `--json`
+//! prints the machine-readable report instead of the human one. Exits
+//! non-zero if any serving invariant is violated, so this binary doubles
+//! as an end-to-end smoke test.
+
+use mcmm_serve::workload::{run_serial, Workload, WorkloadConfig};
+use mcmm_serve::{JobCompletion, JobId, ServeConfig, ServeReport, Service, SubmitError};
+use mcmm_toolchain::Registry;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+    let smoke = flag("--smoke");
+    let jobs = value("--jobs")
+        .map(|v| v.parse().expect("--jobs takes a number"))
+        .unwrap_or(if smoke { 60 } else { 500 });
+    let seed =
+        value("--seed").map(|v| v.parse().expect("--seed takes a number")).unwrap_or(0xC0FFEE);
+    let json = flag("--json");
+
+    let registry = Registry::paper();
+    let cfg = WorkloadConfig { jobs, seed, ..Default::default() };
+    let workload = Workload::generate(cfg, &registry);
+    let (models, vendors) = workload.coverage();
+
+    let service = Service::new(ServeConfig::default());
+    let wall = Instant::now();
+    let (completions, retries) = replay(&service, &workload);
+    service.drain();
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+    let report = ServeReport::collect(&service, &completions, seed, wall_ms);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("── Serving the executable matrix (X3) ──");
+        println!(
+            "workload: {} jobs over {} frontends × {} devices ({} admission retries)",
+            jobs,
+            models.len(),
+            vendors.len(),
+            retries
+        );
+        print!("{}", report.render());
+    }
+
+    // Invariants — the same contract the acceptance test enforces.
+    let mut failed = false;
+    let counts = service.counts();
+    if counts.completed + counts.failed != counts.submitted {
+        eprintln!(
+            "FAIL: {} submitted but only {} retired",
+            counts.submitted,
+            counts.completed + counts.failed
+        );
+        failed = true;
+    }
+    if counts.failed > 0 {
+        eprintln!("FAIL: {} workload jobs failed", counts.failed);
+        failed = true;
+    }
+    // The 80% floor is a consequence of the key budget (4 shapes × ~24
+    // routable combos ≈ 97 distinct cache keys), so it only holds once the
+    // workload is large enough to amortize the compulsory misses.
+    let hit_rate = service.cache().stats().hit_rate();
+    if jobs >= 500 && hit_rate <= 0.80 {
+        eprintln!("FAIL: cache hit rate {:.1}% ≤ 80%", hit_rate * 100.0);
+        failed = true;
+    }
+    let serial = run_serial(&workload, &registry);
+    let divergent = serial
+        .iter()
+        .zip(&completions)
+        .filter(|(expect, got)| got.output.as_ref() != Some(expect))
+        .count();
+    if divergent > 0 {
+        eprintln!("FAIL: {divergent} jobs diverged from serial single-stream execution");
+        failed = true;
+    } else if !json {
+        println!("verify: all {} result buffers byte-identical to serial execution", serial.len());
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Submit the plan, absorbing admission-control rejections by retiring
+/// the oldest outstanding job and retrying. Returns completions in plan
+/// order and the number of retries.
+fn replay(service: &Service, workload: &Workload) -> (Vec<JobCompletion>, u64) {
+    let mut ids: Vec<JobId> = Vec::with_capacity(workload.jobs.len());
+    let mut outstanding: VecDeque<(usize, mcmm_serve::JobHandle)> = VecDeque::new();
+    let mut completions: Vec<Option<JobCompletion>> = Vec::new();
+    completions.resize_with(workload.jobs.len(), || None);
+    let mut retries = 0u64;
+    for (i, planned) in workload.jobs.iter().enumerate() {
+        let spec = planned.to_spec(&ids);
+        loop {
+            match service.submit(spec.clone()) {
+                Ok(handle) => {
+                    ids.push(handle.id);
+                    outstanding.push_back((i, handle));
+                    break;
+                }
+                Err(SubmitError::QueueFull { .. }) => {
+                    retries += 1;
+                    let (idx, handle) =
+                        outstanding.pop_front().expect("queue full with nothing outstanding");
+                    completions[idx] = Some(handle.wait());
+                }
+                Err(e) => {
+                    eprintln!("FAIL: planned job {i} refused: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    for (idx, handle) in outstanding {
+        completions[idx] = Some(handle.wait());
+    }
+    (completions.into_iter().map(|c| c.expect("every job completes")).collect(), retries)
+}

@@ -4,6 +4,7 @@
 //! relaxed atomics (blocks run concurrently on the pool); the final
 //! snapshot feeds the analytic timing model in [`crate::timing`].
 
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Mutable, thread-shared counters for one launch.
@@ -121,6 +122,48 @@ impl LaunchStats {
     }
 }
 
+/// A lock-protected accumulator of [`LaunchStats`] whose reads are
+/// *consistent*: all fields come from the same instant.
+///
+/// [`Counters`] accumulates with relaxed per-field atomics, which is right
+/// for the hot per-block path but means a reader racing a launch can see a
+/// torn view (bytes from one block, warps from another). A `StatsCell` is
+/// the opposite trade-off: writers merge a whole `LaunchStats` under a
+/// mutex at launch granularity, and [`StatsCell::read`] returns an
+/// atomic-in-the-transactional-sense snapshot — safe to call from a
+/// reporting thread while launches are in flight on other threads. The
+/// device's cumulative counters ([`crate::device::Device::stats`]) and the
+/// serving layer's utilization reports are built on this.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    inner: Mutex<(LaunchStats, u64)>,
+}
+
+impl StatsCell {
+    /// A zeroed cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one completed launch's statistics into the running total.
+    pub fn merge(&self, stats: LaunchStats) {
+        let mut g = self.inner.lock();
+        g.0 = g.0.merged(stats);
+        g.1 += 1;
+    }
+
+    /// A consistent snapshot of the running total. Never torn, even with
+    /// concurrent [`StatsCell::merge`] calls in flight.
+    pub fn read(&self) -> LaunchStats {
+        self.inner.lock().0
+    }
+
+    /// Number of launches merged so far, consistent with [`StatsCell::read`].
+    pub fn merges(&self) -> u64 {
+        self.inner.lock().1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +196,66 @@ mod tests {
         assert_eq!(m.warp_instructions, 4);
         assert_eq!(m.bytes_total(), 6);
         assert_eq!(m.blocks, 3);
+    }
+
+    #[test]
+    fn stats_cell_snapshots_are_consistent_under_concurrent_merges() {
+        use std::sync::Arc;
+        // Each merge adds a LaunchStats whose fields are all equal, so any
+        // *consistent* snapshot must have all fields equal — a torn read
+        // (some merges visible in one field but not another) breaks that
+        // invariant.
+        let cell = Arc::new(StatsCell::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        cell.merge(LaunchStats {
+                            warp_instructions: 1,
+                            warp_arith: 1,
+                            bytes_read: 1,
+                            bytes_written: 1,
+                            atomics: 1,
+                            barriers: 1,
+                            blocks: 1,
+                            warps: 1,
+                        });
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let (cell, stop) = (Arc::clone(&cell), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let s = cell.read();
+                    assert!(
+                        [
+                            s.warp_arith,
+                            s.bytes_read,
+                            s.bytes_written,
+                            s.atomics,
+                            s.barriers,
+                            s.blocks,
+                            s.warps
+                        ]
+                        .iter()
+                        .all(|&v| v == s.warp_instructions),
+                        "torn snapshot: {s:?}"
+                    );
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        let s = cell.read();
+        assert_eq!(s.blocks, 2000);
+        assert_eq!(cell.merges(), 2000);
     }
 
     #[test]

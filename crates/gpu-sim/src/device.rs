@@ -11,7 +11,7 @@
 //! host, a module cache, and a modeled clock accumulating
 //! [`crate::timing::ModeledTime`].
 
-use crate::counters::{Counters, LaunchStats};
+use crate::counters::{Counters, LaunchStats, StatsCell};
 use crate::exec::{run_block, BlockCtx};
 use crate::ir::{KernelIr, Value};
 use crate::isa::{disassemble, IsaKind, Module};
@@ -209,6 +209,9 @@ pub struct Device {
     pool: ThreadPool,
     kernel_cache: Mutex<HashMap<u64, Arc<KernelIr>>>,
     clock: Mutex<f64>,
+    /// Cumulative per-device counters, merged once per completed launch
+    /// under a lock so concurrent readers get consistent snapshots.
+    cumulative: StatsCell,
 }
 
 impl Device {
@@ -221,6 +224,7 @@ impl Device {
             pool: ThreadPool::new(workers.min(8)),
             kernel_cache: Mutex::new(HashMap::new()),
             clock: Mutex::new(0.0),
+            cumulative: StatsCell::new(),
             spec,
         })
     }
@@ -238,6 +242,18 @@ impl Device {
     /// Total modeled time accumulated on this device.
     pub fn modeled_clock(&self) -> ModeledTime {
         ModeledTime::from_seconds(*self.clock.lock())
+    }
+
+    /// Cumulative counters over every launch this device has completed.
+    /// The snapshot is consistent (all fields from the same instant) and
+    /// safe to read while launches are in flight on other threads.
+    pub fn stats(&self) -> LaunchStats {
+        self.cumulative.read()
+    }
+
+    /// Number of launches completed on this device.
+    pub fn launches(&self) -> u64 {
+        self.cumulative.merges()
     }
 
     fn advance_clock(&self, t: ModeledTime) {
@@ -379,6 +395,7 @@ impl Device {
         let stats = counters.snapshot();
         let time = kernel_time(&self.spec, &stats, cfg.efficiency);
         self.advance_clock(time);
+        self.cumulative.merge(stats);
         Ok(LaunchReport { stats, time })
     }
 }
@@ -545,6 +562,24 @@ mod tests {
         let res =
             dev.launch(&module, LaunchConfig::linear(1024, 128), &[KernelArg::I64(bad as i64)]);
         assert!(matches!(res, Err(SimError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn cumulative_stats_accumulate_across_launches() {
+        let kernel = saxpy_kernel();
+        let dev = Device::new(DeviceSpec::nvidia_a100());
+        let module = assemble(&kernel, IsaKind::PtxLike).unwrap();
+        assert_eq!(dev.stats(), LaunchStats::default());
+        assert_eq!(dev.launches(), 0);
+        let n = 512usize;
+        let dx = dev.alloc_copy_f32(&vec![1.0; n]).unwrap();
+        let dy = dev.alloc_copy_f32(&vec![1.0; n]).unwrap();
+        let args =
+            [KernelArg::F32(2.0), KernelArg::Ptr(dx), KernelArg::Ptr(dy), KernelArg::I32(n as i32)];
+        let r1 = dev.launch(&module, LaunchConfig::linear(n as u64, 128), &args).unwrap();
+        let r2 = dev.launch(&module, LaunchConfig::linear(n as u64, 128), &args).unwrap();
+        assert_eq!(dev.launches(), 2);
+        assert_eq!(dev.stats(), r1.stats.merged(r2.stats));
     }
 
     #[test]

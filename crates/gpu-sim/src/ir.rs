@@ -315,6 +315,29 @@ impl KernelIr {
         count(&self.body)
     }
 
+    /// A structural content fingerprint: equal kernels hash equal, and any
+    /// change to the signature, register table, shared-memory size, or any
+    /// instruction (including nested blocks and float immediates, compared
+    /// by bit pattern) changes the hash with overwhelming probability.
+    /// This is the key the content-addressed compile cache indexes on, so
+    /// it is built to be cheap: one FNV-1a-style pass over the structure,
+    /// no intermediate formatting.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.bytes(self.name.as_bytes());
+        fp.word(self.params.len() as u64);
+        for p in &self.params {
+            fp.word(*p as u64);
+        }
+        fp.word(self.regs.len() as u64);
+        for r in &self.regs {
+            fp.word(*r as u64);
+        }
+        fp.word(self.shared_bytes);
+        fp.block(&self.body);
+        fp.finish()
+    }
+
     /// Validate an (untrusted, e.g. freshly disassembled) kernel: register
     /// indices in range, operand types consistent, addresses I64,
     /// conditions Bool, loads/stores of addressable types only.
@@ -473,6 +496,175 @@ impl KernelIr {
             }
         }
         Ok(())
+    }
+}
+
+/// FNV-1a-style accumulator behind [`KernelIr::fingerprint`], with an
+/// extra diffusion shift per word so structurally-close kernels (one
+/// immediate changed, two instructions swapped) land far apart.
+struct Fingerprint(u64);
+
+impl Fingerprint {
+    fn new() -> Self {
+        Self(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn word(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x0000_0100_0000_01B3);
+        self.0 ^= self.0 >> 29;
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.word(b.len() as u64);
+        for chunk in b.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.word(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::F32(x) => {
+                self.word(1);
+                self.word(x.to_bits() as u64);
+            }
+            Value::F64(x) => {
+                self.word(2);
+                self.word(x.to_bits());
+            }
+            Value::I32(x) => {
+                self.word(3);
+                self.word(*x as u32 as u64);
+            }
+            Value::I64(x) => {
+                self.word(4);
+                self.word(*x as u64);
+            }
+            Value::Bool(x) => {
+                self.word(5);
+                self.word(*x as u64);
+            }
+        }
+    }
+
+    fn operand(&mut self, o: &Operand) {
+        match o {
+            Operand::Reg(r) => {
+                self.word(1);
+                self.word(r.0 as u64);
+            }
+            Operand::Imm(v) => {
+                self.word(2);
+                self.value(v);
+            }
+        }
+    }
+
+    fn block(&mut self, body: &[Instr]) {
+        self.word(body.len() as u64);
+        for i in body {
+            self.instr(i);
+        }
+    }
+
+    fn instr(&mut self, i: &Instr) {
+        match i {
+            Instr::Mov { dst, src } => {
+                self.word(1);
+                self.word(dst.0 as u64);
+                self.operand(src);
+            }
+            Instr::Bin { op, dst, a, b } => {
+                self.word(2);
+                self.word(*op as u64);
+                self.word(dst.0 as u64);
+                self.operand(a);
+                self.operand(b);
+            }
+            Instr::Un { op, dst, a } => {
+                self.word(3);
+                self.word(*op as u64);
+                self.word(dst.0 as u64);
+                self.operand(a);
+            }
+            Instr::Cmp { op, dst, a, b } => {
+                self.word(4);
+                self.word(*op as u64);
+                self.word(dst.0 as u64);
+                self.operand(a);
+                self.operand(b);
+            }
+            Instr::Sel { dst, cond, a, b } => {
+                self.word(5);
+                self.word(dst.0 as u64);
+                self.word(cond.0 as u64);
+                self.operand(a);
+                self.operand(b);
+            }
+            Instr::Cvt { dst, a } => {
+                self.word(6);
+                self.word(dst.0 as u64);
+                self.operand(a);
+            }
+            Instr::Special { dst, kind } => {
+                self.word(7);
+                self.word(dst.0 as u64);
+                self.word(*kind as u64);
+            }
+            Instr::Ld { dst, space, addr } => {
+                self.word(8);
+                self.word(dst.0 as u64);
+                self.word(*space as u64);
+                self.operand(addr);
+            }
+            Instr::St { space, addr, value } => {
+                self.word(9);
+                self.word(*space as u64);
+                self.operand(addr);
+                self.operand(value);
+            }
+            Instr::Atomic { op, space, addr, value, dst } => {
+                self.word(10);
+                self.word(*op as u64);
+                self.word(*space as u64);
+                self.operand(addr);
+                self.operand(value);
+                match dst {
+                    None => self.word(0),
+                    Some(r) => {
+                        self.word(1);
+                        self.word(r.0 as u64);
+                    }
+                }
+            }
+            Instr::Bar => self.word(11),
+            Instr::If { cond, then_, else_ } => {
+                self.word(12);
+                self.word(cond.0 as u64);
+                self.block(then_);
+                self.block(else_);
+            }
+            Instr::While { cond_block, cond, body } => {
+                self.word(13);
+                self.block(cond_block);
+                self.word(cond.0 as u64);
+                self.block(body);
+            }
+            Instr::Trap { message } => {
+                self.word(14);
+                self.bytes(message.as_bytes());
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        // Final avalanche so short kernels still use the full width.
+        let mut x = self.0;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        x
     }
 }
 
@@ -823,6 +1015,48 @@ mod tests {
         assert_eq!(k.params.len(), 4);
         assert!(k.instruction_count() > 5);
         assert_eq!(k.validate(), Ok(()));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        // Equal structure, equal fingerprint — across separate builds.
+        assert_eq!(saxpy().fingerprint(), saxpy().fingerprint());
+
+        // Any structural edit moves the fingerprint: name, an immediate's
+        // bit pattern, shared memory, or an extra instruction.
+        let base = saxpy();
+        let mut renamed = base.clone();
+        renamed.name = "saxpy2".into();
+        assert_ne!(base.fingerprint(), renamed.fingerprint());
+
+        let mut shared = base.clone();
+        shared.shared_bytes += 4;
+        assert_ne!(base.fingerprint(), shared.fingerprint());
+
+        let mut extra = base.clone();
+        extra.body.push(Instr::Bar);
+        assert_ne!(base.fingerprint(), extra.fingerprint());
+
+        // Nested edits count too: flip the comparison inside the guard.
+        let mut flipped = base.clone();
+        if let Some(Instr::Cmp { op, .. }) =
+            flipped.body.iter_mut().find(|i| matches!(i, Instr::Cmp { .. }))
+        {
+            *op = CmpOp::Le;
+        } else {
+            panic!("saxpy has a guard compare");
+        }
+        assert_ne!(base.fingerprint(), flipped.fingerprint());
+
+        // Float immediates compare by bits: 0.0 and -0.0 are ==, but are
+        // different kernels (e.g. under copysign/division semantics).
+        let imm = |v: f32| {
+            let mut k = KernelBuilder::new("imm");
+            k.mov(Value::F32(v));
+            k.finish()
+        };
+        assert_ne!(imm(0.0).fingerprint(), imm(-0.0).fingerprint());
+        assert_eq!(imm(1.5).fingerprint(), imm(1.5).fingerprint());
     }
 
     #[test]

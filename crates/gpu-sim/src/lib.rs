@@ -83,7 +83,7 @@ pub mod timing;
 
 /// Common re-exports.
 pub mod prelude {
-    pub use crate::counters::LaunchStats;
+    pub use crate::counters::{LaunchStats, StatsCell};
     pub use crate::device::{Device, DeviceSpec, KernelArg, LaunchConfig};
     pub use crate::event::Event;
     pub use crate::ir::{

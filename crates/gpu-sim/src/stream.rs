@@ -18,7 +18,12 @@ use std::thread::JoinHandle;
 type Task = Box<dyn FnOnce(&Device) -> Result<()> + Send>;
 
 enum Op {
+    /// Ordinary device work; skipped once the stream is poisoned.
     Task(Task),
+    /// Progress marker; runs even on a poisoned stream so that waiters
+    /// (events, host callbacks, cross-stream dependencies) never deadlock
+    /// behind a failure.
+    Always(Task),
     Sync(Sender<Result<()>>),
     Shutdown,
 }
@@ -67,6 +72,11 @@ impl Stream {
                                 poison.lock().get_or_insert(e);
                             }
                         }
+                        Op::Always(f) => {
+                            if let Err(e) = f(&dev) {
+                                poison.lock().get_or_insert(e);
+                            }
+                        }
                         Op::Sync(done) => {
                             let res = match poison.lock().clone() {
                                 Some(e) => Err(e),
@@ -90,6 +100,43 @@ impl Stream {
     fn submit(&self, f: impl FnOnce(&Device) -> Result<()> + Send + 'static) {
         // A disconnected worker only happens after Drop; ignore.
         let _ = self.tx.send(Op::Task(Box::new(f)));
+    }
+
+    fn submit_always(&self, f: impl FnOnce(&Device) -> Result<()> + Send + 'static) {
+        let _ = self.tx.send(Op::Always(Box::new(f)));
+    }
+
+    /// Enqueue arbitrary device work. The closure runs in stream order on
+    /// the worker thread; an `Err` poisons the stream like any built-in
+    /// operation. This is the extension point layered schedulers (the
+    /// serving layer's job executor) use to interleave custom work with
+    /// transfers and launches.
+    pub fn exec(&self, f: impl FnOnce(&Device) -> Result<()> + Send + 'static) {
+        self.submit(f);
+    }
+
+    /// Enqueue a host callback that fires when the stream drains to this
+    /// point — **even if an earlier operation failed** (`cudaLaunchHostFunc`
+    /// analogue). Use it to release scheduler slots or notify waiters;
+    /// device work belongs in [`Stream::exec`].
+    pub fn callback(&self, f: impl FnOnce() + Send + 'static) {
+        self.submit_always(move |_| {
+            f();
+            Ok(())
+        });
+    }
+
+    /// Enqueue a wait: the stream stalls until `event` completes
+    /// (`cudaStreamWaitEvent` analogue — the cross-stream dependency
+    /// primitive). Waiting on an event that is never recorded deadlocks
+    /// the stream, exactly like the real APIs; schedulers must only wait
+    /// on events already submitted for recording elsewhere.
+    pub fn wait_event(&self, event: &Event) {
+        let ev = event.clone();
+        self.submit(move |_| {
+            ev.wait();
+            Ok(())
+        });
     }
 
     /// Enqueue a host→device copy (the data is moved into the stream).
@@ -119,10 +166,14 @@ impl Stream {
     }
 
     /// Enqueue an event record; the event completes when all previously
-    /// submitted work has run.
+    /// submitted work has run. Events mark stream *progress*, so they are
+    /// retired even after a failure poisoned the stream — otherwise a
+    /// cross-stream [`Stream::wait_event`] or a host [`Event::wait`] on a
+    /// poisoned stream would deadlock instead of observing the error via
+    /// [`Stream::synchronize`].
     pub fn record(&self, event: &Event) {
         let ev = event.clone();
-        self.submit(move |dev| {
+        self.submit_always(move |dev| {
             ev.complete(dev.modeled_clock());
             Ok(())
         });

@@ -1,0 +1,214 @@
+//! Stream/event ordering under concurrency.
+//!
+//! The serving layer maps job DAGs onto streams and events, so the
+//! primitives must uphold two guarantees even when hammered from many
+//! host threads at once:
+//!
+//! 1. **Event-enforced ordering** — work submitted after
+//!    `Stream::wait_event(e)` observes everything that ran before `e` was
+//!    recorded, across streams.
+//! 2. **Determinism** — a dependency chain produces the same bytes no
+//!    matter how many streams/threads the links are scattered over.
+
+use mcmm_gpu_sim::prelude::*;
+use std::sync::Arc;
+
+/// `x[i] = a * x[i] + b` for `i < n` — chaining k of these from
+/// `x[i] = i` gives a closed form that detects any reordering or lost
+/// link (the operations do not commute: a*x+b ≠ applied-out-of-order).
+fn affine_kernel() -> KernelIr {
+    let mut k = KernelBuilder::new("affine");
+    let a = k.param(Type::F32);
+    let b = k.param(Type::F32);
+    let x = k.param(Type::I64);
+    let n = k.param(Type::I32);
+    let i = k.global_thread_id_x();
+    let ok = k.cmp(CmpOp::Lt, i, n);
+    k.if_(ok, |k| {
+        let xi = k.ld_elem(Space::Global, Type::F32, x, i);
+        let ax = k.bin(BinOp::Mul, a, xi);
+        let s = k.bin(BinOp::Add, ax, b);
+        k.st_elem(Space::Global, x, i, s);
+    });
+    k.finish()
+}
+
+/// Expected value of element `i` after `steps` applications of
+/// `x ← a·x + b` starting from `x = i`.
+fn expect(i: usize, steps: u32, a: f32, b: f32) -> f32 {
+    let mut v = i as f32;
+    for _ in 0..steps {
+        v = a * v + b;
+    }
+    v
+}
+
+const N: usize = 1 << 10;
+
+fn upload_iota(dev: &Arc<Device>) -> DevicePtr {
+    let xs: Vec<f32> = (0..N).map(|i| i as f32).collect();
+    dev.alloc_copy_f32(&xs).unwrap()
+}
+
+#[test]
+fn event_chain_across_two_streams_orders_dependent_launches() {
+    let dev = Device::new(DeviceSpec::nvidia_a100());
+    let module = assemble(&affine_kernel(), IsaKind::PtxLike).unwrap();
+    let ptr = upload_iota(&dev);
+    let s1 = Stream::new(Arc::clone(&dev));
+    let s2 = Stream::new(Arc::clone(&dev));
+
+    // Alternate 8 dependent launches between the two streams; each link
+    // waits on the previous link's event.
+    let (a, b) = (2.0f32, 1.0f32);
+    let mut prev: Option<Event> = None;
+    for step in 0..8 {
+        let stream = if step % 2 == 0 { &s1 } else { &s2 };
+        if let Some(e) = &prev {
+            stream.wait_event(e);
+        }
+        stream.launch(
+            module.clone(),
+            LaunchConfig::linear(N as u64, 128),
+            vec![
+                KernelArg::F32(a),
+                KernelArg::F32(b),
+                KernelArg::Ptr(ptr),
+                KernelArg::I32(N as i32),
+            ],
+        );
+        let done = Event::new();
+        stream.record(&done);
+        prev = Some(done);
+    }
+    s1.synchronize().unwrap();
+    s2.synchronize().unwrap();
+    let out = dev.read_f32(ptr, N).unwrap();
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, expect(i, 8, a, b), "element {i} saw reordered launches");
+    }
+}
+
+#[test]
+fn dependent_chains_from_many_threads_on_many_streams_are_deterministic() {
+    // 6 independent chains, each hopping across 3 streams, all submitted
+    // concurrently from 6 host threads onto one device. Every chain must
+    // come out exactly as if executed serially.
+    let dev = Device::new(DeviceSpec::amd_mi250x());
+    let module = assemble(&affine_kernel(), IsaKind::GcnLike).unwrap();
+    const CHAINS: usize = 6;
+    const STEPS: u32 = 9;
+    let streams: Vec<Arc<Stream>> =
+        (0..3).map(|_| Arc::new(Stream::new(Arc::clone(&dev)))).collect();
+    let ptrs: Vec<DevicePtr> = (0..CHAINS).map(|_| upload_iota(&dev)).collect();
+
+    std::thread::scope(|scope| {
+        for (chain, &ptr) in ptrs.iter().enumerate() {
+            let streams = &streams;
+            let module = &module;
+            scope.spawn(move || {
+                let a = 1.5f32 + chain as f32 * 0.25;
+                let b = chain as f32;
+                let mut prev: Option<Event> = None;
+                for step in 0..STEPS {
+                    // Spread the chain's links over all streams.
+                    let stream = &streams[(chain + step as usize) % streams.len()];
+                    if let Some(e) = &prev {
+                        stream.wait_event(e);
+                    }
+                    stream.launch(
+                        module.clone(),
+                        LaunchConfig::linear(N as u64, 256),
+                        vec![
+                            KernelArg::F32(a),
+                            KernelArg::F32(b),
+                            KernelArg::Ptr(ptr),
+                            KernelArg::I32(N as i32),
+                        ],
+                    );
+                    let done = Event::new();
+                    stream.record(&done);
+                    prev = Some(done);
+                }
+                // The chain's last event must complete, and by then the
+                // chain's full arithmetic must be visible.
+                prev.unwrap().wait();
+            });
+        }
+    });
+    for s in &streams {
+        s.synchronize().unwrap();
+    }
+    for (chain, &ptr) in ptrs.iter().enumerate() {
+        let a = 1.5f32 + chain as f32 * 0.25;
+        let b = chain as f32;
+        let out = dev.read_f32(ptr, N).unwrap();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, expect(i, STEPS, a, b), "chain {chain} element {i} nondeterministic");
+        }
+    }
+}
+
+#[test]
+fn wait_event_enforces_cross_device_transfer_after_launch() {
+    // transfer-after-launch across devices: device B's upload of a result
+    // computed on device A must wait for A's launch event.
+    let dev_a = Device::new(DeviceSpec::nvidia_a100());
+    let dev_b = Device::new(DeviceSpec::intel_pvc());
+    let module = assemble(&affine_kernel(), IsaKind::PtxLike).unwrap();
+    let ptr_a = upload_iota(&dev_a);
+    let sa = Stream::new(Arc::clone(&dev_a));
+    let sb = Stream::new(Arc::clone(&dev_b));
+
+    sa.launch(
+        module,
+        LaunchConfig::linear(N as u64, 128),
+        vec![
+            KernelArg::F32(3.0),
+            KernelArg::F32(2.0),
+            KernelArg::Ptr(ptr_a),
+            KernelArg::I32(N as i32),
+        ],
+    );
+    let a_done = Event::new();
+    sa.record(&a_done);
+    let staged = sa.memcpy_d2h(ptr_a, N as u64 * 4);
+
+    // B waits for A's event before consuming the staged bytes.
+    sb.wait_event(&a_done);
+    let ptr_b = dev_b.alloc(N as u64 * 4).unwrap();
+    let bytes = staged.wait().unwrap();
+    sb.memcpy_h2d(ptr_b, bytes);
+    sb.synchronize().unwrap();
+    sa.synchronize().unwrap();
+
+    let out = dev_b.read_f32(ptr_b, N).unwrap();
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, expect(i, 1, 3.0, 2.0), "element {i} transferred before the launch");
+    }
+}
+
+#[test]
+fn events_and_callbacks_retire_on_poisoned_streams() {
+    // A failing op poisons the stream; later *work* is skipped but events
+    // and host callbacks still retire, so dependents never deadlock.
+    let dev = Device::new(DeviceSpec::intel_pvc());
+    let s1 = Stream::new(Arc::clone(&dev));
+    let s2 = Stream::new(Arc::clone(&dev));
+    // Poison s1 with an out-of-bounds upload.
+    s1.memcpy_h2d(DevicePtr(dev.spec().mem_bytes), vec![0u8; 64]);
+    let after_failure = Event::new();
+    s1.record(&after_failure);
+    let fired = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let fired2 = Arc::clone(&fired);
+    s1.callback(move || fired2.store(true, std::sync::atomic::Ordering::SeqCst));
+    // s2 depends on the poisoned stream's event — must not hang.
+    s2.wait_event(&after_failure);
+    let ok = dev.alloc(64).unwrap();
+    s2.memcpy_h2d(ok, vec![1u8; 64]);
+    s2.synchronize().unwrap();
+    assert!(s1.synchronize().is_err(), "s1 must report its failure");
+    assert!(after_failure.query(), "events record progress even after poison");
+    assert!(fired.load(std::sync::atomic::Ordering::SeqCst), "callbacks fire even after poison");
+    assert_eq!(dev.memory().read_bytes(ok, 64).unwrap(), vec![1u8; 64]);
+}

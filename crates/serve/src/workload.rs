@@ -1,0 +1,392 @@
+//! The deterministic load generator and the serial reference executor.
+//!
+//! A [`Workload`] is a seeded, reproducible mix of jobs over every
+//! routable frontend × device combination of the executable matrix: a
+//! handful of guarded element-wise kernel shapes, fresh or chained input
+//! buffers (chains alias the previous job's output buffer and add a
+//! dependency edge), and per-job scalars — everything derived from one
+//! seed through a splitmix/xorshift generator, so two runs of the same
+//! seed submit byte-identical job streams.
+//!
+//! [`run_serial`] executes the same plan one job at a time on fresh
+//! devices with a single in-order path — the ground truth the concurrent
+//! service must match byte-for-byte.
+
+use crate::job::{ArgSpec, JobSpec};
+use mcmm_core::taxonomy::{Language, Model, Vendor};
+use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig};
+use mcmm_gpu_sim::ir::{BinOp, CmpOp, KernelBuilder, KernelIr, Space, Type};
+use mcmm_gpu_sim::mem::DevicePtr;
+use mcmm_toolchain::{vendor_device_spec, CompileCache, Registry};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Deterministic 64-bit generator (splitmix64 seeding + xorshift64*).
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator; any seed (including 0) is fine.
+    pub fn new(seed: u64) -> Self {
+        // splitmix64 scramble so nearby seeds diverge immediately.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self((z ^ (z >> 31)).max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound` (bound ≥ 1).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+}
+
+/// The kernel shapes the generator mixes. All share the signature
+/// `(f32 a, ptr x, ptr y, i32 n)` and the guarded element-wise form that
+/// passes every route's lint gate; they differ in the arithmetic, so each
+/// shape is a distinct compile-cache entry per route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelShape {
+    /// `y[i] = x[i]`
+    Copy,
+    /// `y[i] = a · x[i]`
+    Scale,
+    /// `y[i] = a · x[i] + y[i]`
+    Saxpy,
+    /// `y[i] = x[i] + a · y[i]`
+    Triad,
+}
+
+impl KernelShape {
+    /// Every shape, in generation order.
+    pub const ALL: [KernelShape; 4] =
+        [KernelShape::Copy, KernelShape::Scale, KernelShape::Saxpy, KernelShape::Triad];
+
+    /// Build the shape's kernel IR.
+    pub fn kernel(self) -> KernelIr {
+        let name = match self {
+            KernelShape::Copy => "serve_copy",
+            KernelShape::Scale => "serve_scale",
+            KernelShape::Saxpy => "serve_saxpy",
+            KernelShape::Triad => "serve_triad",
+        };
+        let mut k = KernelBuilder::new(name);
+        let a = k.param(Type::F32);
+        let x = k.param(Type::I64);
+        let y = k.param(Type::I64);
+        let n = k.param(Type::I32);
+        let i = k.global_thread_id_x();
+        let ok = k.cmp(CmpOp::Lt, i, n);
+        k.if_(ok, |k| {
+            let xi = k.ld_elem(Space::Global, Type::F32, x, i);
+            let v = match self {
+                KernelShape::Copy => xi,
+                KernelShape::Scale => k.bin(BinOp::Mul, a, xi),
+                KernelShape::Saxpy => {
+                    let yi = k.ld_elem(Space::Global, Type::F32, y, i);
+                    let ax = k.bin(BinOp::Mul, a, xi);
+                    k.bin(BinOp::Add, ax, yi)
+                }
+                KernelShape::Triad => {
+                    let yi = k.ld_elem(Space::Global, Type::F32, y, i);
+                    let ay = k.bin(BinOp::Mul, a, yi);
+                    k.bin(BinOp::Add, xi, ay)
+                }
+            };
+            k.st_elem(Space::Global, y, i, v);
+        });
+        k.finish()
+    }
+
+    /// Host reference of the shape's arithmetic (for spot checks).
+    pub fn apply(self, a: f32, x: f32, y: f32) -> f32 {
+        match self {
+            KernelShape::Copy => x,
+            KernelShape::Scale => a * x,
+            KernelShape::Saxpy => a * x + y,
+            KernelShape::Triad => x + a * y,
+        }
+    }
+}
+
+/// Where a planned job's `x` input comes from.
+#[derive(Debug, Clone)]
+pub enum PlannedInput {
+    /// Fresh host data uploaded for this job.
+    Fresh(Vec<f32>),
+    /// The output buffer of an earlier planned job (same vendor) — a
+    /// dependency edge in the job DAG.
+    ChainedFrom(usize),
+}
+
+/// One job of the plan, with dependencies as *plan indices* (the runner
+/// translates them to service [`crate::JobId`]s at submission time, which
+/// keeps the plan valid across admission-control retries).
+#[derive(Debug, Clone)]
+pub struct PlannedJob {
+    /// Kernel shape.
+    pub shape: KernelShape,
+    /// Route: programming model.
+    pub model: Model,
+    /// Route: language.
+    pub language: Language,
+    /// Route: target vendor / device.
+    pub vendor: Vendor,
+    /// Scalar `a`.
+    pub a: f32,
+    /// The `x` input.
+    pub x: PlannedInput,
+    /// Initial contents of the `y` buffer.
+    pub y: Vec<f32>,
+    /// Elements.
+    pub n: u64,
+}
+
+impl PlannedJob {
+    /// Lower to a service [`JobSpec`], given the service ids already
+    /// assigned to earlier plan entries.
+    pub fn to_spec(&self, ids: &[crate::JobId]) -> JobSpec {
+        let x = match &self.x {
+            PlannedInput::Fresh(data) => ArgSpec::In(f32_bytes(data)),
+            // y is argument 2 of every shape's signature.
+            PlannedInput::ChainedFrom(idx) => ArgSpec::Output(ids[*idx], 2),
+        };
+        JobSpec {
+            kernel: self.shape.kernel(),
+            model: self.model,
+            language: self.language,
+            vendor: self.vendor,
+            n: self.n,
+            block_dim: 128,
+            args: vec![
+                ArgSpec::Scalar(KernelArg::F32(self.a)),
+                x,
+                ArgSpec::In(f32_bytes(&self.y)),
+                ArgSpec::Scalar(KernelArg::I32(self.n as i32)),
+            ],
+            after: Vec::new(),
+            read_back: Some(2),
+        }
+    }
+}
+
+/// Workload tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Total jobs to plan.
+    pub jobs: usize,
+    /// Seed: same seed, same plan, byte for byte.
+    pub seed: u64,
+    /// Elements per buffer.
+    pub n: u64,
+    /// Percent (0–100) of jobs that chain onto the previous job on the
+    /// same device instead of uploading fresh input.
+    pub chain_percent: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self { jobs: 500, seed: 0xC0FFEE, n: 256, chain_percent: 40 }
+    }
+}
+
+/// A planned workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The jobs, in submission order.
+    pub jobs: Vec<PlannedJob>,
+}
+
+/// Every (model, language, vendor) combination with a viable route in the
+/// registry — the serving surface of the matrix. Python routes use the
+/// Python language surface, all others C++.
+pub fn routable_combos(registry: &Registry) -> Vec<(Model, Language, Vendor)> {
+    let mut combos = Vec::new();
+    for model in Model::ALL {
+        let language = if model == Model::Python { Language::Python } else { Language::Cpp };
+        for vendor in Vendor::ALL {
+            if registry.select_best(model, language, vendor).is_some() {
+                combos.push((model, language, vendor));
+            }
+        }
+    }
+    combos
+}
+
+impl Workload {
+    /// Plan a seeded workload over every routable combination.
+    pub fn generate(cfg: WorkloadConfig, registry: &Registry) -> Self {
+        let combos = routable_combos(registry);
+        assert!(!combos.is_empty(), "registry has no routable combination");
+        let mut rng = Rng::new(cfg.seed);
+        // The most recent plan index whose output lives on each device.
+        let mut last_on: BTreeMap<Vendor, usize> = BTreeMap::new();
+        let mut jobs = Vec::with_capacity(cfg.jobs);
+        for i in 0..cfg.jobs {
+            let (model, language, vendor) = combos[rng.below(combos.len())];
+            let shape = KernelShape::ALL[rng.below(KernelShape::ALL.len())];
+            let a = 0.25 + rng.below(8) as f32 * 0.25;
+            let chain = rng.below(100) < cfg.chain_percent;
+            let x = match (chain, last_on.get(&vendor)) {
+                (true, Some(&prev)) => PlannedInput::ChainedFrom(prev),
+                _ => PlannedInput::Fresh(
+                    (0..cfg.n).map(|j| (rng.below(64) as f32 - 32.0) + j as f32 * 0.125).collect(),
+                ),
+            };
+            let y = (0..cfg.n).map(|j| rng.below(16) as f32 + j as f32 * 0.0625).collect();
+            last_on.insert(vendor, i);
+            jobs.push(PlannedJob { shape, model, language, vendor, a, x, y, n: cfg.n });
+        }
+        Self { jobs }
+    }
+
+    /// Vendors × models the plan actually touches.
+    pub fn coverage(&self) -> (Vec<Model>, Vec<Vendor>) {
+        let mut models: Vec<Model> = self.jobs.iter().map(|j| j.model).collect();
+        let mut vendors: Vec<Vendor> = self.jobs.iter().map(|j| j.vendor).collect();
+        models.sort();
+        models.dedup();
+        vendors.sort();
+        vendors.dedup();
+        (models, vendors)
+    }
+}
+
+fn f32_bytes(data: &[f32]) -> Vec<u8> {
+    data.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Execute a workload serially — one fresh device per vendor, one job at a
+/// time, in plan order, single in-order path — and return each job's
+/// read-back bytes. This is the determinism ground truth for the service.
+pub fn run_serial(workload: &Workload, registry: &Registry) -> Vec<Vec<u8>> {
+    let cache = CompileCache::default();
+    let devices: BTreeMap<Vendor, Arc<Device>> =
+        Vendor::ALL.iter().map(|&v| (v, Device::new(vendor_device_spec(v)))).collect();
+    // Plan index → that job's y buffer (device pointer).
+    let mut outputs: Vec<DevicePtr> = Vec::with_capacity(workload.jobs.len());
+    let mut results = Vec::with_capacity(workload.jobs.len());
+    for job in &workload.jobs {
+        let dev = &devices[&job.vendor];
+        let compiler = registry
+            .select_best(job.model, job.language, job.vendor)
+            .expect("planned job lost its route");
+        let (module, _) = cache
+            .compile(compiler, &job.shape.kernel(), job.model, job.language, job.vendor)
+            .expect("planned kernel must compile");
+        let x = match &job.x {
+            PlannedInput::Fresh(data) => {
+                let ptr = dev.alloc(data.len() as u64 * 4).expect("serial x alloc");
+                dev.memcpy_h2d(ptr, &f32_bytes(data)).expect("serial x upload");
+                ptr
+            }
+            PlannedInput::ChainedFrom(idx) => outputs[*idx],
+        };
+        let y = dev.alloc(job.y.len() as u64 * 4).expect("serial y alloc");
+        dev.memcpy_h2d(y, &f32_bytes(&job.y)).expect("serial y upload");
+        let cfg = LaunchConfig::linear(job.n, 128).with_efficiency(compiler.efficiency());
+        dev.launch(
+            &module,
+            cfg,
+            &[
+                KernelArg::F32(job.a),
+                KernelArg::Ptr(x),
+                KernelArg::Ptr(y),
+                KernelArg::I32(job.n as i32),
+            ],
+        )
+        .expect("serial launch");
+        let (bytes, _) = dev.memcpy_d2h(y, job.n * 4).expect("serial read-back");
+        outputs.push(y);
+        results.push(bytes);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let reg = Registry::paper();
+        let cfg = WorkloadConfig { jobs: 40, seed: 7, n: 64, chain_percent: 50 };
+        let a = Workload::generate(cfg, &reg);
+        let b = Workload::generate(cfg, &reg);
+        assert_eq!(a.jobs.len(), b.jobs.len());
+        for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(ja.shape, jb.shape);
+            assert_eq!((ja.model, ja.language, ja.vendor), (jb.model, jb.language, jb.vendor));
+            assert_eq!(ja.a, jb.a);
+            assert_eq!(ja.y, jb.y);
+            match (&ja.x, &jb.x) {
+                (PlannedInput::Fresh(da), PlannedInput::Fresh(db)) => assert_eq!(da, db),
+                (PlannedInput::ChainedFrom(ia), PlannedInput::ChainedFrom(ib)) => {
+                    assert_eq!(ia, ib)
+                }
+                other => panic!("plans diverged: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let reg = Registry::paper();
+        let a = Workload::generate(WorkloadConfig { seed: 1, ..Default::default() }, &reg);
+        let b = Workload::generate(WorkloadConfig { seed: 2, ..Default::default() }, &reg);
+        let same = a
+            .jobs
+            .iter()
+            .zip(&b.jobs)
+            .filter(|(x, y)| x.shape == y.shape && x.vendor == y.vendor && x.a == y.a)
+            .count();
+        assert!(same < a.jobs.len(), "different seeds produced identical plans");
+    }
+
+    #[test]
+    fn chains_stay_on_one_device() {
+        let reg = Registry::paper();
+        let w = Workload::generate(
+            WorkloadConfig { jobs: 200, seed: 3, n: 32, chain_percent: 70 },
+            &reg,
+        );
+        for (i, job) in w.jobs.iter().enumerate() {
+            if let PlannedInput::ChainedFrom(prev) = job.x {
+                assert!(prev < i, "chain must reference an earlier job");
+                assert_eq!(w.jobs[prev].vendor, job.vendor, "chain crossed devices at {i}");
+                assert_eq!(w.jobs[prev].n, job.n, "chain changed buffer size at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_covers_all_models_and_vendors() {
+        let reg = Registry::paper();
+        let combos = routable_combos(&reg);
+        let models: std::collections::BTreeSet<_> = combos.iter().map(|c| c.0).collect();
+        assert_eq!(models.len(), 9, "every frontend must have at least one route: {combos:?}");
+        let w = Workload::generate(WorkloadConfig::default(), &reg);
+        let (m, v) = w.coverage();
+        assert_eq!(m.len(), 9, "500 jobs must touch all 9 frontends");
+        assert_eq!(v.len(), 3, "500 jobs must touch all 3 devices");
+    }
+
+    #[test]
+    fn kernel_shapes_validate_and_match_host_reference() {
+        for shape in KernelShape::ALL {
+            assert_eq!(shape.kernel().validate(), Ok(()));
+        }
+        assert_eq!(KernelShape::Saxpy.apply(2.0, 3.0, 4.0), 10.0);
+        assert_eq!(KernelShape::Triad.apply(2.0, 3.0, 4.0), 11.0);
+    }
+}

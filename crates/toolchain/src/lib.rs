@@ -14,11 +14,13 @@
 //! and [`probe`] compiles and runs a smoke kernel through every viable
 //! route to verify the matrix is not just data but *behaviour*.
 
+pub mod cache;
 pub mod compiler;
 pub mod efficiency;
 pub mod probe;
 pub mod registry;
 
+pub use cache::{CacheStats, CompileCache};
 pub use compiler::{CompileError, VirtualCompiler};
 pub use registry::{select, select_best, Registry};
 

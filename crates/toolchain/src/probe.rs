@@ -14,6 +14,7 @@
 //! `tests/probe_matrix.rs` asserts the derived matrix equals the published
 //! one for all 51 cells.
 
+use crate::cache::CompileCache;
 use crate::registry::Registry;
 use crate::vendor_device_spec;
 use mcmm_core::matrix::CompatMatrix;
@@ -123,8 +124,18 @@ fn smoke_run(device: &Device, module: &mcmm_gpu_sim::Module, efficiency: f64) ->
     ok
 }
 
-/// Probe the full matrix.
+/// Probe the full matrix with a throwaway compile cache.
 pub fn probe(matrix: &CompatMatrix) -> ProbeReport {
+    probe_with_cache(matrix, &CompileCache::default())
+}
+
+/// Probe the full matrix, compiling every route through `cache`.
+///
+/// Repeated probes sharing one cache (the test harness, the serving
+/// layer's warm-up) reuse each route's artifact instead of re-running the
+/// lint gate and assembler per probe — same derived categories, a fraction
+/// of the compile work.
+pub fn probe_with_cache(matrix: &CompatMatrix, cache: &CompileCache) -> ProbeReport {
     let registry = Registry::from_matrix(matrix);
     let kernel = smoke_kernel();
     let devices: BTreeMap<Vendor, std::sync::Arc<Device>> =
@@ -137,8 +148,8 @@ pub fn probe(matrix: &CompatMatrix) -> ProbeReport {
         let mut unexercised = Vec::new();
         for c in &routes {
             if c.is_available() && c.is_ir_compiler() {
-                match c.compile(&kernel, model, language, vendor) {
-                    Ok(module) => {
+                match cache.compile(c, &kernel, model, language, vendor) {
+                    Ok((module, _hit)) => {
                         if smoke_run(&devices[&vendor], &module, c.efficiency()) {
                             functional.push(c.name);
                         } else {

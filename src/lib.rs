@@ -16,6 +16,9 @@
 //!   programming model.
 //! * [`translate`] — HIPIFY, SYCLomatic, GPUFORT, the OpenACC→OpenMP
 //!   migration tool, chipStar.
+//! * [`serve`] — the concurrent kernel-execution service: content-
+//!   addressed compile cache, admission-controlled per-device scheduling,
+//!   dependency-aware job DAGs on streams/events, seeded load generator.
 //! * [`babelstream`] — the five STREAM kernels through every frontend on
 //!   every vendor.
 //!
@@ -35,5 +38,6 @@ pub use mcmm_model_python as python;
 pub use mcmm_model_raja as raja;
 pub use mcmm_model_stdpar as stdpar;
 pub use mcmm_model_sycl as sycl;
+pub use mcmm_serve as serve;
 pub use mcmm_toolchain as toolchain;
 pub use mcmm_translate as translate;

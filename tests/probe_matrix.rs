@@ -2,7 +2,17 @@
 //! every registered route must rederive the published matrix exactly.
 
 use many_models::core::prelude::*;
-use many_models::toolchain::probe::{probe, smoke_kernel};
+use many_models::toolchain::probe::{probe_with_cache, smoke_kernel};
+use many_models::toolchain::CompileCache;
+
+/// One compile cache for the whole test binary: each `#[test]` probes the
+/// same 91 routes, so all probes after the first reuse the cached
+/// artifacts instead of re-running every route's lint gate and assembler.
+fn probe(matrix: &CompatMatrix) -> many_models::toolchain::probe::ProbeReport {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<CompileCache> = OnceLock::new();
+    probe_with_cache(matrix, CACHE.get_or_init(CompileCache::default))
+}
 
 #[test]
 fn probed_matrix_equals_figure_1_on_all_51_cells() {
@@ -71,6 +81,26 @@ fn native_model_cells_run_through_their_vendor_toolchains() {
             "{vendor}: {toolchain} not functional (got {:?})",
             cell.functional_routes
         );
+    }
+}
+
+#[test]
+fn cached_probe_is_identical_and_reuses_artifacts() {
+    // A cold and a warm probe through one shared cache must derive the
+    // exact same matrix; the warm probe must be almost entirely cache hits.
+    let matrix = CompatMatrix::paper();
+    let cache = CompileCache::default();
+    let cold = probe_with_cache(&matrix, &cache);
+    let after_cold = cache.stats();
+    assert_eq!(after_cold.hits, 0, "first probe cannot hit an empty cache");
+    assert!(after_cold.misses > 0);
+    let warm = probe_with_cache(&matrix, &cache);
+    let after_warm = cache.stats();
+    assert_eq!(after_warm.misses, after_cold.misses, "warm probe must not compile anything anew");
+    assert_eq!(after_warm.hits, after_cold.misses, "every warm compile must be a hit");
+    for (c, w) in cold.cells.iter().zip(&warm.cells) {
+        assert_eq!(c.derived, w.derived, "{}·{}·{}", c.vendor, c.model, c.language);
+        assert_eq!(c.functional_routes, w.functional_routes);
     }
 }
 
