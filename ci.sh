@@ -15,6 +15,10 @@ cargo bench --workspace --no-run
 echo "── serve smoke ────────────────────────────────────"
 cargo run --release -p mcmm-bench --bin serve -- --smoke
 
+echo "── chaos smoke ────────────────────────────────────"
+# Small fault storm: asserts zero lost jobs and ≥1 successful failover.
+cargo run --release -p mcmm-bench --bin chaos -- --smoke
+
 echo "── clippy (warnings are errors) ───────────────────"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -12,7 +12,8 @@
 //! [`crate::timing::ModeledTime`].
 
 use crate::counters::{Counters, LaunchStats, StatsCell};
-use crate::exec::{run_block, BlockCtx};
+use crate::exec::{injected_block_crash, run_block, BlockCtx};
+use crate::fault::{LaunchFault, TransferFault};
 use crate::ir::{KernelIr, Value};
 use crate::isa::{disassemble, IsaKind, Module};
 use crate::mem::{DevicePtr, GlobalMemory};
@@ -286,6 +287,36 @@ impl Device {
         Ok((data, t))
     }
 
+    /// [`Device::memcpy_h2d`] with an optional injected transfer fault:
+    /// the copy aborts before touching device memory, but the modeled
+    /// transfer latency for the attempted bytes is still paid.
+    pub fn memcpy_h2d_faulted(
+        &self,
+        dst: DevicePtr,
+        data: &[u8],
+        fault: Option<&TransferFault>,
+    ) -> Result<ModeledTime> {
+        if let Some(f) = fault {
+            self.advance_clock(transfer_time(&self.spec, data.len() as u64));
+            return Err(SimError::FaultInjected(format!("h2d transfer aborted: {}", f.reason)));
+        }
+        self.memcpy_h2d(dst, data)
+    }
+
+    /// [`Device::memcpy_d2h`] with an optional injected transfer fault.
+    pub fn memcpy_d2h_faulted(
+        &self,
+        src: DevicePtr,
+        len: u64,
+        fault: Option<&TransferFault>,
+    ) -> Result<(Vec<u8>, ModeledTime)> {
+        if let Some(f) = fault {
+            self.advance_clock(transfer_time(&self.spec, len));
+            return Err(SimError::FaultInjected(format!("d2h transfer aborted: {}", f.reason)));
+        }
+        self.memcpy_d2h(src, len)
+    }
+
     /// Allocate and upload an `f32` slice.
     pub fn alloc_copy_f32(&self, data: &[f32]) -> Result<DevicePtr> {
         let ptr = self.alloc(data.len() as u64 * 4)?;
@@ -343,12 +374,71 @@ impl Device {
         self.launch_kernel(&kernel, cfg, args)
     }
 
+    /// [`Device::launch`] with an optional injected launch fault.
+    pub fn launch_faulted(
+        &self,
+        module: &Module,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+        fault: Option<&LaunchFault>,
+    ) -> Result<LaunchReport> {
+        let kernel = self.load(module)?;
+        self.launch_kernel_faulted(&kernel, cfg, args, fault)
+    }
+
+    /// [`Device::launch_kernel`] with an optional injected launch fault:
+    ///
+    /// * [`LaunchFault::Refuse`] — fails before any block runs; launch
+    ///   latency is paid, memory untouched.
+    /// * [`LaunchFault::Stall`] — the device hangs for the given modeled
+    ///   microseconds, then the watchdog kills the launch; nothing
+    ///   executes but the stall lands on the device clock.
+    /// * [`LaunchFault::CrashBlock`] — one block (index modulo the grid)
+    ///   crashes before issuing; sibling blocks may already have written,
+    ///   so a retry must use fresh buffers.
+    pub fn launch_kernel_faulted(
+        &self,
+        kernel: &KernelIr,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+        fault: Option<&LaunchFault>,
+    ) -> Result<LaunchReport> {
+        match fault {
+            None => self.launch_kernel(kernel, cfg, args),
+            Some(LaunchFault::Refuse(reason)) => {
+                self.advance_clock(ModeledTime::from_seconds(self.spec.launch_latency_us * 1e-6));
+                Err(SimError::FaultInjected(format!("launch refused: {reason}")))
+            }
+            Some(LaunchFault::Stall(us)) => {
+                self.advance_clock(ModeledTime::from_seconds(
+                    (self.spec.launch_latency_us + us.max(0.0)) * 1e-6,
+                ));
+                Err(SimError::FaultInjected(format!(
+                    "watchdog killed launch after {us:.0} us stall"
+                )))
+            }
+            Some(LaunchFault::CrashBlock(b)) => {
+                self.launch_kernel_inner(kernel, cfg, args, Some(b % cfg.grid_dim.max(1)))
+            }
+        }
+    }
+
     /// Launch a pre-loaded kernel.
     pub fn launch_kernel(
         &self,
         kernel: &KernelIr,
         cfg: LaunchConfig,
         args: &[KernelArg],
+    ) -> Result<LaunchReport> {
+        self.launch_kernel_inner(kernel, cfg, args, None)
+    }
+
+    fn launch_kernel_inner(
+        &self,
+        kernel: &KernelIr,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+        crash_block: Option<u32>,
     ) -> Result<LaunchReport> {
         if cfg.block_dim == 0 || cfg.grid_dim == 0 {
             return Err(SimError::BadLaunch("zero grid or block dimension".into()));
@@ -385,6 +475,10 @@ impl Device {
                 block_dim: cfg.block_dim,
                 warp_width: self.spec.warp_width,
             };
+            if crash_block == Some(ctx.block_id) {
+                error.lock().get_or_insert(injected_block_crash(&ctx));
+                return;
+            }
             if let Err(e) = run_block(&ctx, &values) {
                 error.lock().get_or_insert(e);
             }

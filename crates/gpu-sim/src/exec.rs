@@ -141,6 +141,18 @@ pub struct BlockCtx<'a> {
     pub warp_width: u32,
 }
 
+/// The error produced when an injected lane crash aborts a block before
+/// its first instruction ([`crate::fault::LaunchFault::CrashBlock`]).
+/// Lives next to the interpreter it interrupts so the fault message can
+/// name the exact SIMT context that died; the device layer calls this in
+/// place of [`run_block`] for the crashing block.
+pub fn injected_block_crash(ctx: &BlockCtx<'_>) -> SimError {
+    SimError::FaultInjected(format!(
+        "lanes of block {}/{} crashed in kernel `{}`",
+        ctx.block_id, ctx.grid_dim, ctx.kernel.name
+    ))
+}
+
 /// How a logged shared-memory access touched memory (racecheck mode).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum SharedAccessKind {

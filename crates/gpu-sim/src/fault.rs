@@ -1,0 +1,75 @@
+//! Injectable fault points — the mechanics side of fault injection.
+//!
+//! This module defines *what* can go wrong on a device: a launch can be
+//! refused before any block runs, one block's lanes can crash mid-kernel,
+//! the device can stall for a stretch of modeled time, and a host↔device
+//! transfer can fail in flight. It deliberately does **not** decide *when*
+//! faults happen — probabilities, budgets, and per-route targeting live in
+//! `mcmm-chaos`, which hands fully-formed fault values to the
+//! fault-carrying device entry points ([`crate::device::Device`]'s
+//! `*_faulted` methods). Keeping mechanics and policy apart means the
+//! simulator stays deterministic: a fault either is or is not passed in,
+//! and the same inputs always produce the same failure.
+//!
+//! Every injected failure surfaces as [`crate::SimError::FaultInjected`],
+//! so consumers can tell synthetic faults from genuine simulator errors
+//! (out-of-bounds, ISA mismatch, …) and retry only the former.
+
+/// A fault to apply to one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaunchFault {
+    /// The launch is refused before any block executes (a driver or queue
+    /// error). No memory is touched; launch latency is still paid.
+    Refuse(String),
+    /// The lanes of one block crash before the block issues its first
+    /// instruction. Sibling blocks may already have run — exactly the
+    /// partial-write hazard that makes retry-on-fresh-buffers necessary.
+    /// The index is taken modulo the launch's grid dimension.
+    CrashBlock(u32),
+    /// The device hangs for this many modeled microseconds until a
+    /// watchdog kills the launch. Nothing executes; the stall is added to
+    /// the device clock.
+    Stall(f64),
+}
+
+impl LaunchFault {
+    /// Short label for records and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LaunchFault::Refuse(_) => "launch-refusal",
+            LaunchFault::CrashBlock(_) => "lane-crash",
+            LaunchFault::Stall(_) => "stall",
+        }
+    }
+}
+
+/// A fault to apply to one host↔device transfer: the copy aborts in
+/// flight. Transfer latency for the attempted length is still paid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferFault {
+    /// Human-readable cause, carried into the resulting error.
+    pub reason: String,
+}
+
+impl TransferFault {
+    /// A transfer fault with the given cause.
+    pub fn new(reason: impl Into<String>) -> Self {
+        Self { reason: reason.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_fault_labels_are_distinct() {
+        let faults = [
+            LaunchFault::Refuse("r".into()),
+            LaunchFault::CrashBlock(3),
+            LaunchFault::Stall(100.0),
+        ];
+        let labels: std::collections::BTreeSet<_> = faults.iter().map(|f| f.label()).collect();
+        assert_eq!(labels.len(), faults.len());
+    }
+}

@@ -73,6 +73,7 @@ pub mod counters;
 pub mod device;
 pub mod event;
 pub mod exec;
+pub mod fault;
 pub mod ir;
 pub mod isa;
 pub mod mem;
@@ -86,6 +87,7 @@ pub mod prelude {
     pub use crate::counters::{LaunchStats, StatsCell};
     pub use crate::device::{Device, DeviceSpec, KernelArg, LaunchConfig};
     pub use crate::event::Event;
+    pub use crate::fault::{LaunchFault, TransferFault};
     pub use crate::ir::{
         AtomicOp, BinOp, CmpOp, KernelBuilder, KernelIr, Reg, Space, Type, UnOp, Value,
     };
@@ -139,6 +141,10 @@ pub enum SimError {
     BadLaunch(String),
     /// A kernel trapped at runtime; the message carries the detail.
     Trap(String),
+    /// A synthetic fault injected through the [`fault`] hooks. Distinct
+    /// from every organic error so resilience layers can retry injected
+    /// failures without masking real bugs.
+    FaultInjected(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -160,6 +166,7 @@ impl std::fmt::Display for SimError {
             SimError::BadArguments(m) => write!(f, "bad kernel arguments: {m}"),
             SimError::BadLaunch(m) => write!(f, "bad launch configuration: {m}"),
             SimError::Trap(m) => write!(f, "kernel trap: {m}"),
+            SimError::FaultInjected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }

@@ -165,6 +165,20 @@ impl Stream {
         self.submit(move |dev| dev.launch(&module, cfg, &args).map(|_| ()));
     }
 
+    /// Enqueue a kernel launch carrying an optional injected fault
+    /// ([`Device::launch_faulted`] in stream order). With `None` this is
+    /// exactly [`Stream::launch`]; with a fault the launch fails on the
+    /// worker thread and poisons the stream like any organic error.
+    pub fn launch_faulted(
+        &self,
+        module: Module,
+        cfg: LaunchConfig,
+        args: Vec<KernelArg>,
+        fault: Option<crate::fault::LaunchFault>,
+    ) {
+        self.submit(move |dev| dev.launch_faulted(&module, cfg, &args, fault.as_ref()).map(|_| ()));
+    }
+
     /// Enqueue an event record; the event completes when all previously
     /// submitted work has run. Events mark stream *progress*, so they are
     /// retired even after a failure poisoned the stream — otherwise a

@@ -1,0 +1,185 @@
+//! Integration tests for the fault-injection mechanics: each injectable
+//! failure point must (a) surface as `SimError::FaultInjected`, (b) keep
+//! the modeled clock moving (faults cost time), and (c) leave the device
+//! in a state where a clean retry produces correct results — the
+//! contract the failover router in mcmm-serve is built on.
+
+use mcmm_gpu_sim::prelude::*;
+use std::sync::Arc;
+
+/// y[i] = a * x[i] + y[i]
+fn saxpy_kernel() -> KernelIr {
+    let mut k = KernelBuilder::new("fault_saxpy");
+    let a = k.param(Type::F32);
+    let x = k.param(Type::I64);
+    let y = k.param(Type::I64);
+    let n = k.param(Type::I32);
+    let i = k.global_thread_id_x();
+    let ok = k.cmp(CmpOp::Lt, i, n);
+    k.if_(ok, |k| {
+        let xi = k.ld_elem(Space::Global, Type::F32, x, i);
+        let yi = k.ld_elem(Space::Global, Type::F32, y, i);
+        let ax = k.bin(BinOp::Mul, a, xi);
+        let sum = k.bin(BinOp::Add, ax, yi);
+        k.st_elem(Space::Global, y, i, sum);
+    });
+    k.finish()
+}
+
+fn setup(n: usize) -> (Arc<Device>, Module, DevicePtr, DevicePtr) {
+    let dev = Device::new(DeviceSpec::nvidia_a100());
+    let module = assemble(&saxpy_kernel(), IsaKind::PtxLike).unwrap();
+    let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let ys = vec![1.0f32; n];
+    let dx = dev.alloc_copy_f32(&xs).unwrap();
+    let dy = dev.alloc_copy_f32(&ys).unwrap();
+    (dev, module, dx, dy)
+}
+
+fn args(dx: DevicePtr, dy: DevicePtr, n: usize) -> Vec<KernelArg> {
+    vec![KernelArg::F32(2.0), KernelArg::Ptr(dx), KernelArg::Ptr(dy), KernelArg::I32(n as i32)]
+}
+
+fn expect_injected(res: Result<impl std::fmt::Debug, SimError>) -> String {
+    match res {
+        Err(SimError::FaultInjected(m)) => m,
+        other => panic!("expected FaultInjected, got {other:?}"),
+    }
+}
+
+#[test]
+fn refused_launch_fails_cleanly_and_pays_latency() {
+    let n = 256;
+    let (dev, module, dx, dy) = setup(n);
+    let cfg = LaunchConfig::linear(n as u64, 128);
+    let before = dev.modeled_clock();
+
+    let fault = LaunchFault::Refuse("driver said no".into());
+    let msg = expect_injected(dev.launch_faulted(&module, cfg, &args(dx, dy, n), Some(&fault)));
+    assert!(msg.contains("driver said no"), "cause must be carried: {msg}");
+    assert!(dev.modeled_clock() > before, "a refused launch still pays launch latency");
+
+    // Memory untouched: no block ever ran.
+    let ys = dev.read_f32(dy, n).unwrap();
+    assert!(ys.iter().all(|&v| v == 1.0), "refusal must not touch device memory");
+
+    // A clean retry on the same buffers succeeds with correct results.
+    dev.launch_faulted(&module, cfg, &args(dx, dy, n), None).unwrap();
+    let ys = dev.read_f32(dy, n).unwrap();
+    for (i, v) in ys.iter().enumerate() {
+        assert_eq!(*v, 2.0 * i as f32 + 1.0);
+    }
+}
+
+#[test]
+fn stall_advances_clock_by_at_least_the_stall_time() {
+    let n = 128;
+    let (dev, module, dx, dy) = setup(n);
+    let cfg = LaunchConfig::linear(n as u64, 128);
+    let before = dev.modeled_clock();
+
+    let stall_us = 750.0;
+    let fault = LaunchFault::Stall(stall_us);
+    let msg = expect_injected(dev.launch_faulted(&module, cfg, &args(dx, dy, n), Some(&fault)));
+    assert!(msg.contains("watchdog"), "stall must read as a watchdog kill: {msg}");
+
+    let elapsed = dev.modeled_clock().seconds() - before.seconds();
+    assert!(
+        elapsed >= stall_us * 1e-6,
+        "stall of {stall_us} us must advance the clock at least that far (got {elapsed}s)"
+    );
+    // Nothing executed.
+    let ys = dev.read_f32(dy, n).unwrap();
+    assert!(ys.iter().all(|&v| v == 1.0));
+}
+
+#[test]
+fn crashed_block_fails_the_launch_but_fresh_retry_is_clean() {
+    let n = 1024;
+    let (dev, module, dx, dy) = setup(n);
+    let cfg = LaunchConfig::linear(n as u64, 128);
+
+    let fault = LaunchFault::CrashBlock(3);
+    let msg = expect_injected(dev.launch_faulted(&module, cfg, &args(dx, dy, n), Some(&fault)));
+    assert!(msg.contains("block"), "crash must name the dead block: {msg}");
+
+    // Sibling blocks may have partially written dy — that is the point of
+    // the hazard. Retry on FRESH output buffers (the failover router's
+    // strategy) and demand exact results.
+    let ys = vec![1.0f32; n];
+    let dy2 = dev.alloc_copy_f32(&ys).unwrap();
+    dev.launch_faulted(&module, cfg, &args(dx, dy2, n), None).unwrap();
+    let out = dev.read_f32(dy2, n).unwrap();
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, 2.0 * i as f32 + 1.0);
+    }
+}
+
+#[test]
+fn crash_block_index_wraps_modulo_grid() {
+    let n = 256;
+    let (dev, module, dx, dy) = setup(n);
+    // Grid of 2 blocks; index 7 wraps to block 1.
+    let cfg = LaunchConfig::linear(n as u64, 128);
+    let fault = LaunchFault::CrashBlock(7);
+    let msg = expect_injected(dev.launch_faulted(&module, cfg, &args(dx, dy, n), Some(&fault)));
+    assert!(msg.contains("block 1/2"), "index must wrap into the grid: {msg}");
+}
+
+#[test]
+fn transfer_faults_abort_before_writing() {
+    let dev = Device::new(DeviceSpec::amd_mi250x());
+    let data = vec![7u8; 4096];
+    let ptr = dev.alloc(4096).unwrap();
+    dev.memcpy_h2d(ptr, &vec![0u8; 4096]).unwrap();
+
+    let before = dev.modeled_clock();
+    let fault = TransferFault::new("pcie hiccup");
+    let msg = expect_injected(dev.memcpy_h2d_faulted(ptr, &data, Some(&fault)));
+    assert!(msg.contains("h2d") && msg.contains("pcie hiccup"), "{msg}");
+    assert!(dev.modeled_clock() > before, "aborted transfer still pays transfer time");
+
+    // Destination untouched.
+    let (bytes, _) = dev.memcpy_d2h(ptr, 4096).unwrap();
+    assert!(bytes.iter().all(|&b| b == 0), "faulted h2d must not write");
+
+    // d2h fault is symmetric.
+    let msg = expect_injected(dev.memcpy_d2h_faulted(ptr, 4096, Some(&fault)));
+    assert!(msg.contains("d2h"), "{msg}");
+
+    // Fault-free paths still work through the faulted entry points.
+    dev.memcpy_h2d_faulted(ptr, &data, None).unwrap();
+    let (bytes, _) = dev.memcpy_d2h_faulted(ptr, 4096, None).unwrap();
+    assert_eq!(bytes, data);
+}
+
+#[test]
+fn faulted_launch_on_stream_poisons_it() {
+    let n = 256;
+    let (dev, module, dx, dy) = setup(n);
+    let stream = Stream::new(Arc::clone(&dev));
+    let cfg = LaunchConfig::linear(n as u64, 128);
+
+    stream.launch_faulted(
+        module,
+        cfg,
+        args(dx, dy, n),
+        Some(LaunchFault::Refuse("queue wedged".into())),
+    );
+    let err = stream.synchronize().unwrap_err();
+    assert!(matches!(err, SimError::FaultInjected(_)), "got {err:?}");
+    assert!(stream.is_poisoned());
+}
+
+#[test]
+fn injected_faults_are_distinguishable_from_organic_errors() {
+    let n = 64;
+    let (dev, module, dx, dy) = setup(n);
+    // Organic failure: efficiency outside (0, 1].
+    let bad = LaunchConfig::linear(n as u64, 128).with_efficiency(0.0);
+    let organic = dev.launch_faulted(&module, bad, &args(dx, dy, n), None).unwrap_err();
+    assert!(
+        !matches!(organic, SimError::FaultInjected(_)),
+        "organic errors must not masquerade as injected faults: {organic:?}"
+    );
+}

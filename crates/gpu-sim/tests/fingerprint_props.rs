@@ -1,0 +1,148 @@
+//! Property tests for `KernelIr::fingerprint` — the key the
+//! content-addressed compile cache indexes on. Two guarantees matter for
+//! cache correctness under failover recompiles:
+//!
+//! 1. structurally-equal kernels collide (a rebuilt-but-identical kernel
+//!    must hit the cache), and
+//! 2. any single-instruction mutation changes the hash (a changed kernel
+//!    must *never* silently hit a stale artifact).
+
+use mcmm_gpu_sim::ir::{BinOp, Instr, KernelIr, Operand, Reg, Type, UnOp, Value};
+use proptest::prelude::*;
+
+/// A compact, always-structurally-valid instruction plan: each entry maps
+/// to one instruction over four I32 registers.
+#[derive(Debug, Clone, PartialEq)]
+enum PlannedInstr {
+    MovImm { dst: u8, imm: i32 },
+    Bin { op: u8, dst: u8, a: u8, b: u8 },
+    Un { op: u8, dst: u8, a: u8 },
+}
+
+const NREGS: u8 = 4;
+
+fn bin_op(code: u8) -> BinOp {
+    match code % 4 {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        _ => BinOp::Xor,
+    }
+}
+
+fn un_op(code: u8) -> UnOp {
+    if code.is_multiple_of(2) {
+        UnOp::Neg
+    } else {
+        UnOp::Abs
+    }
+}
+
+fn lower(p: &PlannedInstr) -> Instr {
+    match *p {
+        PlannedInstr::MovImm { dst, imm } => {
+            Instr::Mov { dst: Reg(u16::from(dst % NREGS)), src: Operand::Imm(Value::I32(imm)) }
+        }
+        PlannedInstr::Bin { op, dst, a, b } => Instr::Bin {
+            op: bin_op(op),
+            dst: Reg(u16::from(dst % NREGS)),
+            a: Operand::Reg(Reg(u16::from(a % NREGS))),
+            b: Operand::Reg(Reg(u16::from(b % NREGS))),
+        },
+        PlannedInstr::Un { op, dst, a } => Instr::Un {
+            op: un_op(op),
+            dst: Reg(u16::from(dst % NREGS)),
+            a: Operand::Reg(Reg(u16::from(a % NREGS))),
+        },
+    }
+}
+
+fn build(name: &str, shared_bytes: u64, plan: &[PlannedInstr]) -> KernelIr {
+    KernelIr {
+        name: name.to_string(),
+        params: vec![],
+        regs: vec![Type::I32; NREGS as usize],
+        shared_bytes,
+        body: plan.iter().map(lower).collect(),
+    }
+}
+
+/// Mutate exactly one planned instruction into a structurally different
+/// one (same slot, different content).
+fn mutate_one(plan: &mut [PlannedInstr], idx: usize) {
+    let idx = idx % plan.len();
+    plan[idx] = match plan[idx].clone() {
+        PlannedInstr::MovImm { dst, imm } => PlannedInstr::MovImm { dst, imm: imm.wrapping_add(1) },
+        PlannedInstr::Bin { op, dst, a, b } => {
+            PlannedInstr::Bin { op: op.wrapping_add(1), dst, a, b }
+        }
+        PlannedInstr::Un { op, dst, a } => PlannedInstr::Un { op: op.wrapping_add(1), dst, a },
+    };
+}
+
+fn arb_instr() -> impl Strategy<Value = PlannedInstr> {
+    prop_oneof![
+        (0u8..NREGS, -100i32..100).prop_map(|(dst, imm)| PlannedInstr::MovImm { dst, imm }),
+        (0u8..8, 0u8..NREGS, 0u8..NREGS, 0u8..NREGS)
+            .prop_map(|(op, dst, a, b)| PlannedInstr::Bin { op, dst, a, b }),
+        (0u8..8, 0u8..NREGS, 0u8..NREGS).prop_map(|(op, dst, a)| PlannedInstr::Un { op, dst, a }),
+    ]
+}
+
+fn arb_plan() -> impl Strategy<Value = Vec<PlannedInstr>> {
+    proptest::collection::vec(arb_instr(), 1..40)
+}
+
+proptest! {
+    #[test]
+    fn structurally_equal_kernels_collide(plan in arb_plan(), shared in 0u64..4096) {
+        // Build the same kernel twice from the same plan — independent
+        // allocations, same structure.
+        let a = build("prop_kernel", shared, &plan);
+        let b = build("prop_kernel", shared, &plan);
+        prop_assert_eq!(a.clone(), b.clone());
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn single_op_mutation_changes_the_hash(plan in arb_plan(), idx in 0usize..64) {
+        let original = build("prop_kernel", 0, &plan);
+        let mut mutated_plan = plan.clone();
+        mutate_one(&mut mutated_plan, idx);
+        let mutated = build("prop_kernel", 0, &mutated_plan);
+        prop_assert_ne!(original.clone(), mutated.clone(), "mutation must change structure");
+        prop_assert_ne!(
+            original.fingerprint(), mutated.fingerprint(),
+            "a one-instruction change must change the cache key"
+        );
+    }
+
+    #[test]
+    fn name_shared_and_arity_feed_the_hash(plan in arb_plan()) {
+        let base = build("prop_kernel", 64, &plan);
+        let renamed = build("prop_kernel2", 64, &plan);
+        let resized = build("prop_kernel", 128, &plan);
+        prop_assert_ne!(base.fingerprint(), renamed.fingerprint());
+        prop_assert_ne!(base.fingerprint(), resized.fingerprint());
+
+        // An extra register (unused) still changes the key: register
+        // tables are part of the compiled artifact.
+        let mut wider = build("prop_kernel", 64, &plan);
+        wider.regs.push(Type::F32);
+        prop_assert_ne!(base.fingerprint(), wider.fingerprint());
+    }
+}
+
+#[test]
+fn float_immediates_hash_by_bit_pattern() {
+    // 0.0 and -0.0 compare equal as floats but are different constants in
+    // a compiled artifact; the fingerprint must keep them apart.
+    let mk = |v: f32| KernelIr {
+        name: "fneg".into(),
+        params: vec![],
+        regs: vec![Type::F32],
+        shared_bytes: 0,
+        body: vec![Instr::Mov { dst: Reg(0), src: Operand::Imm(Value::F32(v)) }],
+    };
+    assert_ne!(mk(0.0).fingerprint(), mk(-0.0).fingerprint());
+}

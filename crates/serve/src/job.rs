@@ -79,6 +79,12 @@ pub enum SubmitError {
         vendor: Vendor,
         /// The configured admission depth that was hit.
         depth: usize,
+        /// How many in-flight jobs must retire before a resubmission can
+        /// be admitted — the overshoot beyond the depth plus one. A
+        /// client that waits for this many completions on the vendor's
+        /// lane before retrying will not bounce off admission again
+        /// (absent competing submitters).
+        retry_after_jobs: usize,
     },
     /// The executable matrix has no viable route for this combination —
     /// the serving-layer face of the paper's empty cells.
@@ -118,8 +124,11 @@ pub enum SubmitError {
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::QueueFull { vendor, depth } => {
-                write!(f, "{vendor} queue full (admission depth {depth})")
+            SubmitError::QueueFull { vendor, depth, retry_after_jobs } => {
+                write!(
+                    f,
+                    "{vendor} queue full (admission depth {depth}; retry after {retry_after_jobs} completions)"
+                )
             }
             SubmitError::NoRoute { model, language, vendor } => {
                 write!(f, "no viable route for {model} {language} on {vendor}")

@@ -28,12 +28,14 @@
 //! concurrent service produces **byte-identical** result buffers to a
 //! serial single-stream execution of the same plan ([`run_serial`]).
 
+pub mod failover;
 pub mod job;
 pub mod report;
 pub mod service;
 pub mod workload;
 
+pub use failover::{AttemptRecord, FailoverPolicy, FailoverRouter, FailoverStats, FailoverTrace};
 pub use job::{ArgSpec, JobCompletion, JobId, JobSpec, SubmitError};
 pub use report::{DeviceReport, LatencyStats, ServeReport};
-pub use service::{JobHandle, ServeConfig, Service, ServiceCounts};
+pub use service::{JobHandle, ServeConfig, Service, ServiceCounts, SubmitOptions};
 pub use workload::{run_serial, KernelShape, PlannedInput, Workload, WorkloadConfig};

@@ -5,6 +5,7 @@
 //! `wall`: the point of the report is the analytic performance model, not
 //! the host machine the simulation happens to run on.
 
+use crate::failover::FailoverStats;
 use crate::job::JobCompletion;
 use crate::service::{Service, ServiceCounts};
 use mcmm_core::taxonomy::Vendor;
@@ -86,6 +87,11 @@ pub struct JobsReport {
     pub failed: u64,
     /// Submissions explicitly refused by admission control.
     pub rejected: u64,
+    /// Accepted submissions that matched an earlier rejection — the
+    /// tenant heeded the `retry_after_jobs` hint and got in.
+    pub resubmitted: u64,
+    /// Rejections never followed by an accepted resubmission.
+    pub rejected_hard: u64,
 }
 
 /// The full serving report.
@@ -108,6 +114,9 @@ pub struct ServeReport {
     pub wall_ms: f64,
     /// Per-device breakdown.
     pub devices: Vec<DeviceReport>,
+    /// Failover accounting, when the run went through the
+    /// [`crate::FailoverRouter`].
+    pub failover: Option<FailoverStats>,
 }
 
 impl ServeReport {
@@ -148,6 +157,8 @@ impl ServeReport {
                 completed: counts.completed,
                 failed: counts.failed,
                 rejected: counts.rejected,
+                resubmitted: counts.resubmitted,
+                rejected_hard: counts.rejected_hard,
             },
             cache: CacheReport {
                 hits: cache.hits,
@@ -165,7 +176,14 @@ impl ServeReport {
             },
             wall_ms,
             devices,
+            failover: None,
         }
+    }
+
+    /// Attach a failover run's accounting (builder style).
+    pub fn with_failover(mut self, stats: FailoverStats) -> Self {
+        self.failover = Some(stats);
+        self
     }
 
     /// Machine-readable JSON.
@@ -178,8 +196,13 @@ impl ServeReport {
         let mut out = String::new();
         out.push_str(&format!("serve report (seed {:#x})\n", self.seed));
         out.push_str(&format!(
-            "  jobs       {} submitted, {} completed, {} failed, {} rejected\n",
-            self.jobs.submitted, self.jobs.completed, self.jobs.failed, self.jobs.rejected
+            "  jobs       {} submitted, {} completed, {} failed, {} rejected ({} resubmitted, {} hard)\n",
+            self.jobs.submitted,
+            self.jobs.completed,
+            self.jobs.failed,
+            self.jobs.rejected,
+            self.jobs.resubmitted,
+            self.jobs.rejected_hard
         ));
         out.push_str(&format!(
             "  cache      {:.1}% hit rate ({} hits / {} misses, {} evictions, {} live)\n",
@@ -207,6 +230,18 @@ impl ServeReport {
                 d.launches,
                 d.busy_s * 1e3,
                 d.utilization * 100.0
+            ));
+        }
+        if let Some(f) = &self.failover {
+            out.push_str(&format!(
+                "  failover   {} retries, {} failovers, {} degraded, {} lost, backoff {:.0} us\n",
+                f.retries, f.failovers, f.degraded, f.lost, f.backoff_us_total
+            ));
+            out.push_str(&format!(
+                "  breaker    {} quarantined route(s): [{}] ({} health checks)\n",
+                f.quarantined.len(),
+                f.quarantined.join(", "),
+                f.health_checks
             ));
         }
         out

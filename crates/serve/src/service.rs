@@ -20,6 +20,7 @@
 //! out-of-bounds access never poisons the stream for its neighbours.
 
 use crate::job::{ArgSpec, JobCompletion, JobId, JobSpec, SubmitError};
+use mcmm_chaos::AttemptFaults;
 use mcmm_core::taxonomy::Vendor;
 use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig};
 use mcmm_gpu_sim::event::Event;
@@ -29,7 +30,9 @@ use mcmm_gpu_sim::timing::ModeledTime;
 use mcmm_gpu_sim::{Module, SimError};
 use mcmm_toolchain::{vendor_device_spec, CompileCache, Registry};
 use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -64,6 +67,30 @@ pub struct ServiceCounts {
     pub failed: u64,
     /// Submissions refused with [`SubmitError::QueueFull`].
     pub rejected: u64,
+    /// Accepted submissions that matched an earlier [`SubmitError::QueueFull`]
+    /// rejection of the same spec — the tenant came back and got in.
+    pub resubmitted: u64,
+    /// Rejections whose spec was never accepted afterwards — the tenant
+    /// gave up (or has not come back yet). `rejected` counts *events*;
+    /// this counts the ones still unresolved.
+    pub rejected_hard: u64,
+}
+
+/// Per-submission options: a route override and injected faults.
+///
+/// The default (no override, no faults) makes [`Service::submit_with`]
+/// behave exactly like [`Service::submit`]. The failover router uses the
+/// override to steer a retried job onto an alternative route of the same
+/// cell, and threads the chaos injector's decisions through `faults`.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions<'a> {
+    /// Compile through the route with this exact toolchain name instead
+    /// of [`Registry::select_best`]'s choice. The route must exist,
+    /// support the job's (model, language, vendor), and be usable,
+    /// otherwise the submission fails with [`SubmitError::NoRoute`].
+    pub route: Option<&'a str>,
+    /// Faults to inject into this submission's pipeline stages.
+    pub faults: AttemptFaults,
 }
 
 /// One device plus its scheduling state.
@@ -134,6 +161,35 @@ pub struct Service {
     completed: Arc<AtomicU64>,
     failed: Arc<AtomicU64>,
     rejected: AtomicU64,
+    resubmitted: AtomicU64,
+    /// Spec-content keys of rejected submissions not yet resubmitted:
+    /// key → outstanding rejection count. Distinguishes
+    /// rejected-then-resubmitted jobs from hard rejections.
+    rejected_pending: Mutex<HashMap<u64, u64>>,
+}
+
+/// Content key of a job spec, for matching a resubmission to its earlier
+/// rejection: kernel fingerprint, route triple, launch shape, argument
+/// bindings, dependencies, and read-back slot. Two submissions of the
+/// same work hash equal even though they are distinct `JobSpec` values.
+fn spec_key(spec: &JobSpec) -> u64 {
+    let mut h = DefaultHasher::new();
+    spec.kernel.fingerprint().hash(&mut h);
+    (spec.model as u8, spec.language as u8, spec.vendor as u8).hash(&mut h);
+    (spec.n, spec.block_dim).hash(&mut h);
+    for a in &spec.args {
+        match a {
+            ArgSpec::Scalar(k) => (0u8, format!("{k:?}")).hash(&mut h),
+            ArgSpec::In(bytes) => (1u8, bytes).hash(&mut h),
+            ArgSpec::Zeroed(len) => (2u8, len).hash(&mut h),
+            ArgSpec::Output(id, idx) => (3u8, id.0, idx).hash(&mut h),
+        }
+    }
+    for id in &spec.after {
+        id.0.hash(&mut h);
+    }
+    spec.read_back.hash(&mut h);
+    h.finish()
 }
 
 impl Service {
@@ -174,12 +230,19 @@ impl Service {
             completed: Arc::new(AtomicU64::new(0)),
             failed: Arc::new(AtomicU64::new(0)),
             rejected: AtomicU64::new(0),
+            resubmitted: AtomicU64::new(0),
+            rejected_pending: Mutex::new(HashMap::new()),
         }
     }
 
     /// The shared compile cache.
     pub fn cache(&self) -> &CompileCache {
         &self.cache
+    }
+
+    /// The route registry this service schedules over.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// The simulated device serving a vendor.
@@ -199,6 +262,8 @@ impl Service {
             completed: self.completed.load(Ordering::SeqCst),
             failed: self.failed.load(Ordering::SeqCst),
             rejected: self.rejected.load(Ordering::SeqCst),
+            resubmitted: self.resubmitted.load(Ordering::SeqCst),
+            rejected_hard: self.rejected_pending.lock().values().sum(),
         }
     }
 
@@ -206,23 +271,59 @@ impl Service {
     /// [`JobHandle`] tracks it; every refusal is an explicit
     /// [`SubmitError`] — the service never drops work silently.
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
-        let lane = &self.lanes[&spec.vendor];
+        self.submit_with(spec, SubmitOptions::default())
+    }
 
-        // 1. Route resolution — the matrix's empty cells surface here.
-        let compiler = self.registry.select_best(spec.model, spec.language, spec.vendor).ok_or(
-            SubmitError::NoRoute {
-                model: spec.model,
-                language: spec.language,
-                vendor: spec.vendor,
-            },
-        )?;
+    /// [`Service::submit`] with per-submission [`SubmitOptions`]: an
+    /// explicit route override (the failover router steering a retry onto
+    /// an alternative route of the same cell) and injected faults.
+    pub fn submit_with(
+        &self,
+        spec: JobSpec,
+        opts: SubmitOptions<'_>,
+    ) -> Result<JobHandle, SubmitError> {
+        let lane = &self.lanes[&spec.vendor];
+        let no_route = SubmitError::NoRoute {
+            model: spec.model,
+            language: spec.language,
+            vendor: spec.vendor,
+        };
+
+        // 1. Route resolution — the matrix's empty cells surface here. An
+        //    explicit override must name a usable route for the cell.
+        let compiler = match opts.route {
+            None => self.registry.select_best(spec.model, spec.language, spec.vendor),
+            Some(name) => self
+                .registry
+                .ranked(spec.model, spec.language, spec.vendor)
+                .into_iter()
+                .find(|c| c.name == name),
+        }
+        .ok_or(no_route)?;
 
         // 2. Admission control: bounded in-flight jobs per device.
         let admitted = lane.in_flight.fetch_add(1, Ordering::SeqCst);
         if admitted >= self.queue_depth {
             lane.in_flight.fetch_sub(1, Ordering::SeqCst);
             self.rejected.fetch_add(1, Ordering::SeqCst);
-            return Err(SubmitError::QueueFull { vendor: spec.vendor, depth: self.queue_depth });
+            *self.rejected_pending.lock().entry(spec_key(&spec)).or_insert(0) += 1;
+            return Err(SubmitError::QueueFull {
+                vendor: spec.vendor,
+                depth: self.queue_depth,
+                retry_after_jobs: admitted - self.queue_depth + 1,
+            });
+        }
+        // Admitted: if this spec bounced off admission earlier, the
+        // tenant came back — settle one outstanding rejection.
+        {
+            let mut pending = self.rejected_pending.lock();
+            if let Some(count) = pending.get_mut(&spec_key(&spec)) {
+                *count -= 1;
+                if *count == 0 {
+                    pending.remove(&spec_key(&spec));
+                }
+                self.resubmitted.fetch_add(1, Ordering::SeqCst);
+            }
         }
         // Any refusal below must give the slot back.
         let release_on_err = |e: SubmitError| {
@@ -232,9 +333,18 @@ impl Service {
 
         // 3. Compile through the content-addressed cache. The lint gate
         //    runs once per cache fill; warm submissions skip it entirely.
+        //    An injected toolchain fault fails a cold compile only — a
+        //    resident artifact rides it out.
         let (module, cache_hit) = self
             .cache
-            .compile(compiler, &spec.kernel, spec.model, spec.language, spec.vendor)
+            .compile_faulted(
+                compiler,
+                &spec.kernel,
+                spec.model,
+                spec.language,
+                spec.vendor,
+                opts.faults.compile.as_deref(),
+            )
             .map_err(|e| release_on_err(SubmitError::Compile(e)))?;
         let efficiency = compiler.efficiency();
 
@@ -253,13 +363,18 @@ impl Service {
         for dep in &resolved.wait_on {
             stream.wait_event(dep);
         }
+        // An injected upload fault aborts the job's *first* upload; the
+        // remaining uploads are skipped via the job-local error slot, the
+        // same path an organic transfer failure takes.
+        let mut upload_fault = opts.faults.upload;
         for (ptr, bytes) in resolved.uploads {
             let slot = Arc::clone(&error);
+            let fault = upload_fault.take();
             stream.exec(move |dev| {
                 if slot.lock().is_some() {
                     return Ok(()); // a prior op of *this job* failed
                 }
-                if let Err(e) = dev.memcpy_h2d(ptr, &bytes) {
+                if let Err(e) = dev.memcpy_h2d_faulted(ptr, &bytes, fault.as_ref()) {
                     slot.lock().get_or_insert(e);
                 }
                 Ok(()) // job-local error: never poison the stream
@@ -270,11 +385,12 @@ impl Service {
             let module: Arc<Module> = Arc::clone(&module);
             let cfg = LaunchConfig::linear(spec.n, spec.block_dim).with_efficiency(efficiency);
             let args = resolved.args;
+            let fault = opts.faults.launch;
             stream.exec(move |dev| {
                 if slot.lock().is_some() {
                     return Ok(());
                 }
-                if let Err(e) = dev.launch(&module, cfg, &args) {
+                if let Err(e) = dev.launch_faulted(&module, cfg, &args, fault.as_ref()) {
                     slot.lock().get_or_insert(e);
                 }
                 Ok(())
@@ -283,11 +399,12 @@ impl Service {
         if let Some((ptr, len)) = resolved.read_back {
             let slot = Arc::clone(&error);
             let out = Arc::clone(&output);
+            let fault = opts.faults.read_back;
             stream.exec(move |dev| {
                 if slot.lock().is_some() {
                     return Ok(());
                 }
-                match dev.memcpy_d2h(ptr, len) {
+                match dev.memcpy_d2h_faulted(ptr, len, fault.as_ref()) {
                     Ok((bytes, _)) => *out.lock() = Some(bytes),
                     Err(e) => {
                         slot.lock().get_or_insert(e);

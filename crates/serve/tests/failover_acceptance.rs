@@ -1,0 +1,127 @@
+//! Acceptance: the failover router under a seeded fault storm.
+//!
+//! The resilience contract, end to end: with failover ON, a fault storm
+//! plus a sticky route outage costs *zero* jobs and the results stay
+//! byte-identical to the serial fault-free reference; with failover OFF
+//! and the same seed, jobs are demonstrably lost. The whole run replays
+//! from the seed alone.
+
+use mcmm_chaos::{ChaosConfig, FaultInjector};
+use mcmm_core::taxonomy::Vendor;
+use mcmm_serve::{
+    run_serial, FailoverPolicy, FailoverRouter, ServeConfig, Service, Workload, WorkloadConfig,
+};
+
+const SEED: u64 = 0xC0FFEE;
+
+fn small_workload() -> WorkloadConfig {
+    WorkloadConfig { jobs: 120, seed: SEED, n: 64, chain_percent: 40 }
+}
+
+/// The storm used across these tests: transient faults everywhere plus a
+/// sticky outage of NVIDIA's first-choice CUDA C++ route, which forces
+/// genuine cross-route failover (nvcc → Clang CUDA).
+fn storm() -> ChaosConfig {
+    ChaosConfig::storm(SEED).with_outage("CUDA Toolkit (nvcc)", Some(Vendor::Nvidia))
+}
+
+struct RunOutcome {
+    outputs: Vec<Option<Vec<u8>>>,
+    stats: mcmm_serve::FailoverStats,
+}
+
+fn run_with(policy: FailoverPolicy) -> RunOutcome {
+    let service = Service::new(ServeConfig::default());
+    let injector = FaultInjector::new(storm());
+    let workload = Workload::generate(small_workload(), service.registry());
+    let mut router = FailoverRouter::new(&service, &injector, policy);
+    let outputs = router.run(&workload);
+    service.drain();
+    RunOutcome { outputs, stats: router.stats().clone() }
+}
+
+#[test]
+fn failover_on_loses_nothing_and_matches_serial_reference() {
+    let outcome = run_with(FailoverPolicy::default());
+    let s = &outcome.stats;
+    assert_eq!(s.lost, 0, "failover must rescue every job: {s:?}");
+    assert!(s.retries >= 1, "storm must force at least one retry: {s:?}");
+    assert!(s.failovers >= 1, "outage must force a cross-route failover: {s:?}");
+    assert!(!s.quarantined.is_empty(), "outage route must trip the breaker: {s:?}");
+    assert!(s.degraded >= 1, "failed-over jobs finish on a worse-rated route: {s:?}");
+    assert!(s.backoff_us_total > 0.0, "retries book modeled backoff: {s:?}");
+
+    // Byte identity with the serial, fault-free reference: rescued jobs
+    // return exactly the bytes they would have without the storm.
+    let registry = mcmm_toolchain::Registry::paper();
+    let workload = Workload::generate(small_workload(), &registry);
+    let expected = run_serial(&workload, &registry);
+    assert_eq!(outcome.outputs.len(), expected.len());
+    for (i, (got, want)) in outcome.outputs.iter().zip(&expected).enumerate() {
+        assert_eq!(got.as_deref(), Some(want.as_slice()), "job {i} bytes diverged");
+    }
+}
+
+#[test]
+fn failover_off_same_seed_loses_jobs() {
+    let outcome = run_with(FailoverPolicy::disabled());
+    let s = &outcome.stats;
+    assert!(s.lost > 0, "without failover the outage must cost jobs: {s:?}");
+    assert_eq!(s.retries, 0, "disabled policy must not retry: {s:?}");
+    assert_eq!(s.failovers, 0, "disabled policy must not fail over: {s:?}");
+    assert_eq!(
+        outcome.outputs.iter().filter(|o| o.is_none()).count() as u64,
+        s.lost,
+        "every lost job is a None output"
+    );
+}
+
+#[test]
+fn whole_run_replays_from_the_seed() {
+    let a = run_with(FailoverPolicy::default());
+    let b = run_with(FailoverPolicy::default());
+    assert_eq!(a.outputs, b.outputs, "same seed, same bytes");
+    assert_eq!(a.stats.retries, b.stats.retries);
+    assert_eq!(a.stats.failovers, b.stats.failovers);
+    assert_eq!(a.stats.quarantined, b.stats.quarantined);
+    assert_eq!(a.stats.degraded, b.stats.degraded);
+    assert_eq!(a.stats.backoff_us_total, b.stats.backoff_us_total);
+}
+
+#[test]
+fn quarantined_routes_are_skipped_at_admission() {
+    let service = Service::new(ServeConfig::default());
+    let injector = FaultInjector::new(storm());
+    let workload = Workload::generate(small_workload(), service.registry());
+    let mut router = FailoverRouter::new(&service, &injector, FailoverPolicy::default());
+    router.run(&workload);
+    service.drain();
+
+    assert!(router.is_quarantined("CUDA Toolkit (nvcc)", Vendor::Nvidia));
+    // Once the breaker has tripped, later CUDA C++ jobs start straight on
+    // the fallback route — their traces never touch the dead route again.
+    let dead = "CUDA Toolkit (nvcc)";
+    let quarantine_trip = router
+        .traces()
+        .iter()
+        .position(|t| {
+            t.attempts.iter().filter(|a| a.route == dead && a.error.is_some()).count() > 0
+                && t.final_route.as_deref().is_some_and(|r| r.contains("Clang"))
+        })
+        .expect("some job must have failed over from nvcc to Clang CUDA");
+    let later_nvcc_attempts = router.traces()[quarantine_trip + 1..]
+        .iter()
+        .flat_map(|t| t.attempts.iter())
+        .filter(|a| a.route == dead)
+        .count();
+    assert_eq!(later_nvcc_attempts, 0, "quarantine must keep jobs off the dead route");
+
+    // Rating delta: jobs that finished on the fallback carry the runtime
+    // downgrade (Full -> non-vendor good support = positive delta).
+    let degraded_trace = router
+        .traces()
+        .iter()
+        .find(|t| t.final_route.as_deref().is_some_and(|r| r.contains("Clang")))
+        .expect("a failed-over job exists");
+    assert!(degraded_trace.rating_delta > 0, "failover to a worse-rated route must book a delta");
+}

@@ -207,9 +207,11 @@ fn admission_control_rejects_rather_than_drops() {
     let mut saw_rejection = false;
     for _ in 0..64 {
         match service.submit(spec(Some(h2.id))) {
-            Err(SubmitError::QueueFull { vendor, depth }) => {
+            Err(SubmitError::QueueFull { vendor, depth, retry_after_jobs }) => {
                 assert_eq!(vendor, Vendor::Amd);
                 assert_eq!(depth, 2);
+                // Queue exactly at depth → one retirement frees a slot.
+                assert_eq!(retry_after_jobs, 1);
                 saw_rejection = true;
                 break;
             }
@@ -232,6 +234,57 @@ fn admission_control_rejects_rather_than_drops() {
     let counts = service.counts();
     assert_eq!(counts.completed + counts.failed, counts.submitted, "books must balance");
     assert_eq!(service.in_flight(Vendor::Amd), 0);
+}
+
+#[test]
+fn resubmissions_after_queue_full_are_counted_separately() {
+    // Depth 1: the second submission bounces with a retry hint; coming
+    // back with the same spec is a *resubmission*, not a new rejection,
+    // and a spec that never returns stays a hard rejection.
+    let service =
+        Service::new(ServeConfig { streams_per_device: 1, queue_depth: 1, cache_capacity: 16 });
+    let n = 1u64 << 14;
+    let spec = |scale: f32| {
+        let x: Vec<u8> = vec![0u8; n as usize * 4];
+        JobSpec {
+            kernel: KernelShape::Scale.kernel(),
+            model: Model::Hip,
+            language: Language::Cpp,
+            vendor: Vendor::Amd,
+            n,
+            block_dim: 256,
+            args: vec![
+                ArgSpec::Scalar(KernelArg::F32(scale)),
+                ArgSpec::In(x.clone()),
+                ArgSpec::In(x),
+                ArgSpec::Scalar(KernelArg::I32(n as i32)),
+            ],
+            after: vec![],
+            read_back: None,
+        }
+    };
+    let first = service.submit(spec(1.0)).unwrap();
+    // The lane is full: both a comeback spec and a give-up spec bounce.
+    let comeback = spec(2.0);
+    let Err(SubmitError::QueueFull { retry_after_jobs, .. }) = service.submit(comeback.clone())
+    else {
+        panic!("depth-1 lane must reject the second submission");
+    };
+    assert_eq!(retry_after_jobs, 1);
+    assert!(matches!(service.submit(spec(3.0)), Err(SubmitError::QueueFull { .. })));
+    let counts = service.counts();
+    assert_eq!(counts.rejected, 2);
+    assert_eq!(counts.rejected_hard, 2, "nothing has come back yet");
+    assert_eq!(counts.resubmitted, 0);
+
+    // Heed the hint: wait for one completion, then resubmit the same spec.
+    first.wait();
+    service.submit(comeback).unwrap().wait();
+    service.drain();
+    let counts = service.counts();
+    assert_eq!(counts.rejected, 2, "rejection events are history, not state");
+    assert_eq!(counts.resubmitted, 1, "the comeback spec matched its rejection");
+    assert_eq!(counts.rejected_hard, 1, "the give-up spec never returned");
 }
 
 #[test]

@@ -153,6 +153,26 @@ impl CompileCache {
         language: Language,
         vendor: Vendor,
     ) -> Result<(Arc<Module>, bool), CompileError> {
+        self.compile_faulted(compiler, kernel, model, language, vendor, None)
+    }
+
+    /// [`CompileCache::compile`] with an optional injected toolchain
+    /// fault. The fault models a *transient* infrastructure failure (a
+    /// crashed compiler process, a wedged license server), so it only
+    /// fires when the toolchain would actually be invoked — a resident
+    /// artifact is served from the cache regardless, exactly like a real
+    /// build cache riding out a flaky compiler. A faulted miss returns
+    /// [`CompileError::ToolchainFault`] and caches nothing, so a retry
+    /// without the fault compiles cleanly.
+    pub fn compile_faulted(
+        &self,
+        compiler: &VirtualCompiler,
+        kernel: &KernelIr,
+        model: Model,
+        language: Language,
+        vendor: Vendor,
+        fault: Option<&str>,
+    ) -> Result<(Arc<Module>, bool), CompileError> {
         let route = {
             let mut h = DefaultHasher::new();
             compiler.route.hash(&mut h);
@@ -181,6 +201,12 @@ impl CompileCache {
         // keys don't serialize. Two racing fills of the same key both
         // compile; the first insert wins and the loser adopts it.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(reason) = fault {
+            return Err(CompileError::ToolchainFault {
+                toolchain: compiler.name.to_owned(),
+                reason: reason.to_owned(),
+            });
+        }
         let module = Arc::new(compiler.compile(kernel, model, language, vendor)?);
         let mut inner = self.inner.lock();
         inner.tick += 1;
@@ -357,6 +383,34 @@ mod tests {
         }
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn injected_fault_fires_on_miss_only_and_is_never_cached() {
+        let cache = CompileCache::new(8);
+        let c = native_cuda();
+        let k = smoke_kernel();
+        // Cold cache: the fault reaches the caller and fills nothing.
+        let err = cache
+            .compile_faulted(&c, &k, Model::Cuda, Language::Cpp, Vendor::Nvidia, Some("oom"))
+            .unwrap_err();
+        match err {
+            CompileError::ToolchainFault { toolchain, reason } => {
+                assert_eq!(toolchain, c.name);
+                assert_eq!(reason, "oom");
+            }
+            other => panic!("expected ToolchainFault, got {other:?}"),
+        }
+        assert_eq!(cache.stats().entries, 0, "faults must never be cached");
+        // A clean retry compiles and fills.
+        let (_, hit) = cache.compile(&c, &k, Model::Cuda, Language::Cpp, Vendor::Nvidia).unwrap();
+        assert!(!hit);
+        // Warm cache: the same fault is absorbed — the artifact is already
+        // resident, so the flaky toolchain is never invoked.
+        let (_, hit) = cache
+            .compile_faulted(&c, &k, Model::Cuda, Language::Cpp, Vendor::Nvidia, Some("oom"))
+            .unwrap();
+        assert!(hit, "a resident artifact must ride out a toolchain fault");
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub enum CompileError {
     Discontinued { toolchain: String },
     /// The kernel itself is invalid.
     InvalidKernel(String),
+    /// A transient, injected toolchain failure (a crashed compiler
+    /// process, a wedged license server, a full build cache). Produced
+    /// only through the fault-injection entry points
+    /// ([`crate::cache::CompileCache::compile_faulted`]) so resilience
+    /// layers can retry it; an organic refusal never uses this variant.
+    ToolchainFault { toolchain: String, reason: String },
     /// The toolchain's static-analysis gate rejected the kernel. Which
     /// checks run depends on the route's maturity (see
     /// [`VirtualCompiler::lint_checks`]) — exactly the paper's point that
@@ -45,6 +51,9 @@ impl fmt::Display for CompileError {
                 write!(f, "{toolchain}: discontinued / unmaintained")
             }
             CompileError::InvalidKernel(m) => write!(f, "invalid kernel: {m}"),
+            CompileError::ToolchainFault { toolchain, reason } => {
+                write!(f, "{toolchain}: transient toolchain fault: {reason}")
+            }
             CompileError::Lint { toolchain, diagnostics } => {
                 write!(f, "{toolchain}: lint gate rejected kernel")?;
                 for d in diagnostics {

@@ -124,6 +124,31 @@ fn smoke_run(device: &Device, module: &mcmm_gpu_sim::Module, efficiency: f64) ->
     ok
 }
 
+/// Health-check one route: compile the SAXPY smoke kernel through the
+/// cache and run it on a scratch device of the target vendor, verifying
+/// the numerical result. This is the check the failover router performs
+/// before adopting an alternative route for a failed job — a route that
+/// cannot pass its own smoke test is no failover target. Warm caches make
+/// repeated checks of the same route a map lookup plus one tiny launch.
+pub fn route_health(
+    compiler: &crate::compiler::VirtualCompiler,
+    cache: &CompileCache,
+    model: Model,
+    language: Language,
+    vendor: Vendor,
+) -> bool {
+    if !compiler.is_available() || !compiler.is_ir_compiler() {
+        return false;
+    }
+    match cache.compile(compiler, &smoke_kernel(), model, language, vendor) {
+        Ok((module, _hit)) => {
+            let device = Device::new(vendor_device_spec(vendor));
+            smoke_run(&device, &module, compiler.efficiency())
+        }
+        Err(_) => false,
+    }
+}
+
 /// Probe the full matrix with a throwaway compile cache.
 pub fn probe(matrix: &CompatMatrix) -> ProbeReport {
     probe_with_cache(matrix, &CompileCache::default())
@@ -205,5 +230,22 @@ mod tests {
     fn probe_covers_all_51_cells() {
         let report = probe(&CompatMatrix::paper());
         assert_eq!(report.cells.len(), 51);
+    }
+
+    #[test]
+    fn route_health_passes_functional_routes_and_fails_broken_ones() {
+        let registry = Registry::paper();
+        let cache = CompileCache::default();
+        let good = registry.select_best(Model::Cuda, Language::Cpp, Vendor::Nvidia).unwrap();
+        assert!(route_health(good, &cache, Model::Cuda, Language::Cpp, Vendor::Nvidia));
+        // The same compiler asked to target a vendor it cannot reach.
+        assert!(!route_health(good, &cache, Model::Cuda, Language::Cpp, Vendor::Amd));
+        // A discontinued toolchain is never healthy.
+        let dead = registry
+            .select(Model::Sycl, Language::Cpp, Vendor::Nvidia)
+            .into_iter()
+            .find(|c| c.name == "ComputeCpp")
+            .unwrap();
+        assert!(!route_health(dead, &cache, Model::Sycl, Language::Cpp, Vendor::Nvidia));
     }
 }

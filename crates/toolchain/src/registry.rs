@@ -54,24 +54,47 @@ impl Registry {
         self.entries.iter().filter(|c| c.supports(model, language, vendor)).collect()
     }
 
-    /// The best available compiler for the combination: available, IR-level
-    /// (source translators are handled by `mcmm-translate`), preferring
-    /// viable routes and then the highest efficiency.
+    /// Every usable compiler for the combination, best first: available,
+    /// IR-level (source translators are handled by `mcmm-translate`),
+    /// ordered by (viability, efficiency, device-vendor provider)
+    /// descending with rating-equal routes tie-broken **by toolchain name
+    /// ascending** — a documented, deterministic order that does not
+    /// depend on matrix entry order. This ranked list is the failover
+    /// router's route plan: when entry 0 breaks, entry 1 is the
+    /// next-best-rated alternative for the same cell.
+    pub fn ranked(
+        &self,
+        model: Model,
+        language: Language,
+        vendor: Vendor,
+    ) -> Vec<&VirtualCompiler> {
+        let mut usable: Vec<&VirtualCompiler> = self
+            .select(model, language, vendor)
+            .into_iter()
+            .filter(|c| c.is_available() && c.is_ir_compiler())
+            .collect();
+        let key = |c: &VirtualCompiler| {
+            (c.route.is_viable(), c.efficiency(), c.route.provider.is_device_vendor())
+        };
+        usable.sort_by(|a, b| {
+            key(b)
+                .partial_cmp(&key(a))
+                .expect("efficiencies are finite")
+                .then_with(|| a.name.cmp(b.name))
+        });
+        usable
+    }
+
+    /// The best available compiler for the combination — the head of
+    /// [`Registry::ranked`]. Rating-equal candidates resolve by toolchain
+    /// name, so the winner is stable across matrix reorderings.
     pub fn select_best(
         &self,
         model: Model,
         language: Language,
         vendor: Vendor,
     ) -> Option<&VirtualCompiler> {
-        self.select(model, language, vendor)
-            .into_iter()
-            .filter(|c| c.is_available() && c.is_ir_compiler())
-            .max_by(|a, b| {
-                let key = |c: &&VirtualCompiler| {
-                    (c.route.is_viable(), c.efficiency(), c.route.provider.is_device_vendor())
-                };
-                key(a).partial_cmp(&key(b)).expect("efficiencies are finite")
-            })
+        self.ranked(model, language, vendor).into_iter().next()
     }
 }
 
@@ -147,6 +170,51 @@ mod tests {
         assert_eq!(on_nvidia.len(), 1);
         assert!(on_amd[0].route.provider.is_device_vendor());
         assert!(!on_nvidia[0].route.provider.is_device_vendor());
+    }
+
+    #[test]
+    fn rating_equal_routes_tie_break_by_toolchain_name() {
+        // SYCL C++ on NVIDIA has two rating-equal survivors (both viable,
+        // efficiency 1.0, both third-party): "DPC++ (CUDA plugin)" and
+        // "Open SYCL". The documented order is toolchain name ascending,
+        // independent of matrix entry order.
+        let r = Registry::paper();
+        let ranked = r.ranked(Model::Sycl, Language::Cpp, Vendor::Nvidia);
+        let names: Vec<_> = ranked.iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["DPC++ (CUDA plugin)", "Open SYCL"]);
+        assert_eq!(
+            r.select_best(Model::Sycl, Language::Cpp, Vendor::Nvidia).unwrap().name,
+            "DPC++ (CUDA plugin)",
+            "tie must resolve to the lexicographically first toolchain"
+        );
+    }
+
+    #[test]
+    fn ranked_is_monotone_and_head_equals_select_best() {
+        let r = Registry::paper();
+        for vendor in Vendor::ALL {
+            for model in Model::ALL {
+                for language in Language::ALL {
+                    let ranked = r.ranked(model, language, vendor);
+                    let key = |c: &VirtualCompiler| {
+                        (c.route.is_viable(), c.efficiency(), c.route.provider.is_device_vendor())
+                    };
+                    for w in ranked.windows(2) {
+                        let (a, b) = (key(w[0]), key(w[1]));
+                        assert!(
+                            a > b || (a == b && w[0].name < w[1].name),
+                            "{model} {language} {vendor}: {} must not rank above {}",
+                            w[1].name,
+                            w[0].name
+                        );
+                    }
+                    assert_eq!(
+                        ranked.first().map(|c| c.name),
+                        r.select_best(model, language, vendor).map(|c| c.name)
+                    );
+                }
+            }
+        }
     }
 
     #[test]
