@@ -19,6 +19,18 @@ echo "â”€â”€ chaos smoke â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â
 # Small fault storm: asserts zero lost jobs and â‰¥1 successful failover.
 cargo run --release -p mcmm-bench --bin chaos -- --smoke
 
+echo "â”€â”€ adapter boilerplate guard â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€"
+# The blanket FrontendAdapter replaced nine hand-written BabelStream
+# adapters (1321 lines pre-refactor). Fail if per-model adapter
+# boilerplate creeps back in.
+adapter_lines=$(find crates/babelstream/src/adapters -name '*.rs' -print0 | xargs -0 cat | wc -l)
+if [ "$adapter_lines" -ge 1321 ]; then
+  echo "FAIL: crates/babelstream/src/adapters/ is ${adapter_lines} lines (>= pre-refactor 1321)."
+  echo "      Route new backends through the Frontend trait instead of a bespoke adapter."
+  exit 1
+fi
+echo "adapters/ is ${adapter_lines} lines (< 1321) â€” OK"
+
 echo "â”€â”€ clippy (warnings are errors) â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€"
 cargo clippy --workspace --all-targets -- -D warnings
 

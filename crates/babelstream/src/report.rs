@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn tables_render_for_a_small_sweep() {
-        let entries: Vec<SweepEntry> = sweep(256, 1);
+        let entries = sweep(256, 1);
         let table = sweep_table(&entries);
         assert!(table.contains("CUDA"));
         assert!(table.contains("--"), "expected unsupported markers:\n{table}");

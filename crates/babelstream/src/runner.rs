@@ -3,6 +3,8 @@
 use crate::adapters::all_backends;
 use crate::{RunResult, StreamError};
 use mcmm_core::taxonomy::Vendor;
+use mcmm_frontend::{shared_cache, CacheStats};
+use std::ops::Deref;
 
 /// The outcome of one (model, vendor) cell of the sweep.
 #[derive(Debug)]
@@ -15,20 +17,62 @@ pub struct SweepEntry {
     pub outcome: Result<RunResult, StreamError>,
 }
 
-/// Sweep every registered model over every vendor.
-pub fn sweep(n: usize, iters: usize) -> Vec<SweepEntry> {
+/// A completed sweep: the 27 cell outcomes plus what the sweep did to
+/// the process-wide [`CompileCache`](mcmm_frontend::CompileCache)
+/// every session compiles through. Derefs to the entry slice, so report
+/// helpers taking `&[SweepEntry]` accept a `&Sweep` unchanged.
+#[derive(Debug)]
+pub struct Sweep {
+    /// One entry per (model, vendor) cell.
+    pub entries: Vec<SweepEntry>,
+    /// Shared-cache hits attributable to this sweep (counter delta).
+    pub cache_hits: u64,
+    /// Shared-cache misses attributable to this sweep (counter delta).
+    pub cache_misses: u64,
+}
+
+impl Sweep {
+    /// Fraction of this sweep's compile requests served from the shared
+    /// cache (0 when the sweep compiled nothing).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl Deref for Sweep {
+    type Target = [SweepEntry];
+
+    fn deref(&self) -> &[SweepEntry] {
+        &self.entries
+    }
+}
+
+/// Sweep every registered model over every vendor, reporting the shared
+/// compile-cache traffic the sweep generated.
+pub fn sweep(n: usize, iters: usize) -> Sweep {
+    let before: CacheStats = shared_cache().stats();
     let backends = all_backends();
-    let mut out = Vec::with_capacity(backends.len() * Vendor::ALL.len());
+    let mut entries = Vec::with_capacity(backends.len() * Vendor::ALL.len());
     for backend in &backends {
         for vendor in Vendor::ALL {
-            out.push(SweepEntry {
+            entries.push(SweepEntry {
                 model: backend.model_name(),
                 vendor,
                 outcome: backend.run(vendor, n, iters),
             });
         }
     }
-    out
+    let after = shared_cache().stats();
+    Sweep {
+        entries,
+        cache_hits: after.hits.saturating_sub(before.hits),
+        cache_misses: after.misses.saturating_sub(before.misses),
+    }
 }
 
 /// How many sweep cells ran and verified.
@@ -55,7 +99,7 @@ mod tests {
         // Everything else runs and verifies.
         assert_eq!(verified_count(&entries), 23);
         // No cell fails for any reason other than Unsupported.
-        for e in &entries {
+        for e in entries.iter() {
             if let Err(err) = &e.outcome {
                 assert!(
                     matches!(err, StreamError::Unsupported { .. }),
@@ -65,5 +109,21 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn repeated_sweep_hits_the_shared_cache() {
+        // Warm the process-wide cache, then sweep again: every cell
+        // re-compiles the same five kernels through the same routes, so
+        // the second pass must be served from the cache.
+        let _warm = sweep(256, 1);
+        let again = sweep(256, 1);
+        assert!(
+            again.cache_hits > 0,
+            "second sweep saw no cache hits (hits {}, misses {})",
+            again.cache_hits,
+            again.cache_misses
+        );
+        assert!(again.cache_hit_rate() > 0.0);
     }
 }

@@ -3,26 +3,34 @@
 //! `babelstream` binary; this measures the simulator's own throughput.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mcmm_babelstream::adapters::{
-    cuda::CudaStream, hip::HipStream, openmp::OpenMpStream, sycl::SyclStream,
-};
+use mcmm_babelstream::adapters::all_backends;
 use mcmm_babelstream::StreamBackend;
 use mcmm_core::taxonomy::Vendor;
 use std::hint::black_box;
 
 const N: usize = 8192;
 
+fn backend(name: &str) -> Box<dyn StreamBackend> {
+    all_backends()
+        .into_iter()
+        .find(|b| b.model_name() == name)
+        .unwrap_or_else(|| panic!("no {name} backend registered"))
+}
+
 fn bench_streams(c: &mut Criterion) {
     let mut g = c.benchmark_group("babelstream_wallclock");
     g.sample_size(10);
 
-    let native: Vec<(&'static str, &dyn StreamBackend, Vendor)> = vec![
-        ("cuda_on_nvidia", &CudaStream, Vendor::Nvidia),
-        ("hip_on_amd", &HipStream, Vendor::Amd),
-        ("sycl_on_intel", &SyclStream, Vendor::Intel),
+    let sycl = backend("SYCL");
+    let openmp = backend("OpenMP");
+
+    let native: Vec<(&'static str, Box<dyn StreamBackend>, Vendor)> = vec![
+        ("cuda_on_nvidia", backend("CUDA"), Vendor::Nvidia),
+        ("hip_on_amd", backend("HIP"), Vendor::Amd),
+        ("sycl_on_intel", backend("SYCL"), Vendor::Intel),
     ];
-    for (name, backend, vendor) in native {
-        g.bench_with_input(BenchmarkId::new("native", name), &vendor, |b, &v| {
+    for (name, backend, vendor) in &native {
+        g.bench_with_input(BenchmarkId::new("native", name), vendor, |b, &v| {
             b.iter(|| black_box(backend.run(v, N, 1).expect("run")))
         });
     }
@@ -30,10 +38,10 @@ fn bench_streams(c: &mut Criterion) {
     // The portable models across all vendors.
     for vendor in Vendor::ALL {
         g.bench_with_input(BenchmarkId::new("sycl", vendor.name()), &vendor, |b, &v| {
-            b.iter(|| black_box(SyclStream.run(v, N, 1).expect("run")))
+            b.iter(|| black_box(sycl.run(v, N, 1).expect("run")))
         });
         g.bench_with_input(BenchmarkId::new("openmp", vendor.name()), &vendor, |b, &v| {
-            b.iter(|| black_box(OpenMpStream.run(v, N, 1).expect("run")))
+            b.iter(|| black_box(openmp.run(v, N, 1).expect("run")))
         });
     }
     g.finish();

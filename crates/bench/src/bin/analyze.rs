@@ -7,7 +7,7 @@
 //! so this binary doubles as a CI smoke test for the analyzer.
 
 use mcmm_analyze::{analyze, corpus, AnalysisOptions, Check};
-use mcmm_babelstream::adapters::cuda::stream_kernels;
+use mcmm_babelstream::adapters::stream_kernels;
 use mcmm_toolchain::probe::smoke_kernel;
 use mcmm_toolchain::Registry;
 use mcmm_translate::ast::cuda_saxpy_program;

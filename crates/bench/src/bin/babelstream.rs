@@ -29,6 +29,12 @@ fn main() {
         verified_count(&entries),
         unsupported_count(&entries)
     );
+    println!(
+        "shared compile cache: {} hits / {} misses ({:.0}% hit rate)",
+        entries.cache_hits,
+        entries.cache_misses,
+        entries.cache_hit_rate() * 100.0
+    );
 
     if let Some(model) = model_filter {
         println!();

@@ -97,6 +97,14 @@ impl Cell {
         !self.routes.is_empty()
     }
 
+    /// Routes a runtime frontend can actually drive end-to-end
+    /// (see [`Route::is_executable`]). Empty for cells whose support is
+    /// purely source-translation, unmaintained, or research-shim class —
+    /// the cells a frontend must *refuse* rather than emulate.
+    pub fn executable_routes(&self) -> impl Iterator<Item = &Route> {
+        self.routes.iter().filter(|r| r.is_executable())
+    }
+
     /// Every route of the cell paired with the §3 category it individually
     /// qualifies for, ordered best rating first; rating-equal routes are
     /// tie-broken by toolchain name ascending so the order is

@@ -16,6 +16,7 @@ pub struct Query {
     languages: Option<Vec<Language>>,
     at_least: Option<Support>,
     require_viable_route: bool,
+    require_executable_route: bool,
     require_vendor_tier: bool,
 }
 
@@ -56,6 +57,16 @@ impl Query {
         self
     }
 
+    /// Require at least one route a runtime frontend can drive end-to-end
+    /// (see `Route::is_executable`). This is the matrix's *routability
+    /// verdict*: the cells it matches are exactly those where a frontend
+    /// must accept the vendor, and the cells it rejects are those where a
+    /// frontend must refuse.
+    pub fn executable_route(mut self) -> Self {
+        self.require_executable_route = true;
+        self
+    }
+
     /// Require support provided by a vendor (the §3 vendor tiers:
     /// full / indirect good / some).
     pub fn vendor_tier(mut self) -> Self {
@@ -86,6 +97,9 @@ impl Query {
             }
         }
         if self.require_viable_route && cell.viable_routes().next().is_none() {
+            return false;
+        }
+        if self.require_executable_route && cell.executable_routes().next().is_none() {
             return false;
         }
         if self.require_vendor_tier && !cell.best_support().is_vendor_tier() {
@@ -179,6 +193,43 @@ mod tests {
             .languages([Language::Fortran])
             .viable_route();
         assert_eq!(q.count(&m), 0);
+    }
+
+    #[test]
+    fn executable_route_filter_refuses_translation_only_cells() {
+        let m = CompatMatrix::paper();
+        // CUDA C++ on AMD: HIPIFY is a source translator — not a runtime
+        // route, so the frontend verdict is "refuse".
+        let q = Query::new()
+            .vendors([Vendor::Amd])
+            .models([Model::Cuda])
+            .languages([Language::Cpp])
+            .executable_route();
+        assert_eq!(q.count(&m), 0);
+        // HIP C++ on Intel: chipStar exists and is registry-usable, but is
+        // a minimal-coverage translation shim — still a refusal.
+        let q = Query::new()
+            .vendors([Vendor::Intel])
+            .models([Model::Hip])
+            .languages([Language::Cpp])
+            .executable_route();
+        assert_eq!(q.count(&m), 0);
+        // HIP C++ on NVIDIA: hipcc's CUDA backend is translated but
+        // complete — executable.
+        let q = Query::new()
+            .vendors([Vendor::Nvidia])
+            .models([Model::Hip])
+            .languages([Language::Cpp])
+            .executable_route();
+        assert_eq!(q.count(&m), 1);
+        // Python on AMD: CuPy's ROCm support is experimental but direct
+        // and majority-complete — executable.
+        let q = Query::new()
+            .vendors([Vendor::Amd])
+            .models([Model::Python])
+            .languages([Language::Python])
+            .executable_route();
+        assert_eq!(q.count(&m), 1);
     }
 
     #[test]

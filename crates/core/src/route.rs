@@ -173,6 +173,24 @@ impl Route {
     pub fn is_viable(&self) -> bool {
         self.maintenance.is_viable() && self.completeness != Completeness::Minimal
     }
+
+    /// Can a frontend *drive* this route end-to-end at run time?
+    ///
+    /// A route is executable when it is an IR-level path (not an
+    /// ahead-of-time source translator, which produces code for a
+    /// *different* cell), is not explicitly unmaintained, and is not a
+    /// minimal-coverage translation shim — the chipStar class, which §5
+    /// credits as "one community research project" rather than a
+    /// comprehensive implementation. This is deliberately *weaker* than
+    /// [`Route::is_viable`] (experimental and stale-but-working routes
+    /// still execute) and *stronger* than mere matrix presence: it is the
+    /// accept/refuse line every runtime frontend draws for a vendor.
+    pub fn is_executable(&self) -> bool {
+        self.kind != RouteKind::SourceTranslator
+            && self.maintenance != Maintenance::Unmaintained
+            && !(self.directness == Directness::Translated
+                && self.completeness == Completeness::Minimal)
+    }
 }
 
 impl fmt::Display for Route {

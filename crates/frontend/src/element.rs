@@ -1,0 +1,114 @@
+//! Typed device-transfer elements.
+//!
+//! Every model frontend moves `f32`/`f64` slices across the host↔device
+//! boundary; before the spine existed each crate carried a hand-written
+//! `memcpy_*`/`memcpy_*_f64` method *pair* per direction. [`Element`]
+//! collapses the pairs: one generic transfer path, with the per-type
+//! byte layout confined to these impls.
+
+/// A plain-old-data element a device buffer can hold.
+///
+/// The contract mirrors what the simulated devices expect: fixed-size,
+/// little-endian storage with natural alignment equal to the size.
+pub trait Element: Copy + Send + Sync + 'static {
+    /// Bytes one element occupies in device memory.
+    const BYTES: usize;
+    /// Type name for diagnostics ("f32", "f64").
+    const NAME: &'static str;
+
+    /// Serialize a slice into the device's little-endian byte layout.
+    fn to_device_bytes(items: &[Self]) -> Vec<u8>;
+
+    /// Deserialize from the device's byte layout. `bytes.len()` must be a
+    /// multiple of [`Element::BYTES`]; trailing partial elements are a
+    /// logic error upstream and are dropped.
+    fn from_device_bytes(bytes: &[u8]) -> Vec<Self>;
+}
+
+impl Element for f32 {
+    const BYTES: usize = 4;
+    const NAME: &'static str = "f32";
+
+    fn to_device_bytes(items: &[Self]) -> Vec<u8> {
+        items.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn from_device_bytes(bytes: &[u8]) -> Vec<Self> {
+        bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+}
+
+impl Element for f64 {
+    const BYTES: usize = 8;
+    const NAME: &'static str = "f64";
+
+    fn to_device_bytes(items: &[Self]) -> Vec<u8> {
+        items.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn from_device_bytes(bytes: &[u8]) -> Vec<Self> {
+        bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+}
+
+impl Element for u8 {
+    const BYTES: usize = 1;
+    const NAME: &'static str = "u8";
+
+    fn to_device_bytes(items: &[Self]) -> Vec<u8> {
+        items.to_vec()
+    }
+
+    fn from_device_bytes(bytes: &[u8]) -> Vec<Self> {
+        bytes.to_vec()
+    }
+}
+
+impl Element for i32 {
+    const BYTES: usize = 4;
+    const NAME: &'static str = "i32";
+
+    fn to_device_bytes(items: &[Self]) -> Vec<u8> {
+        items.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn from_device_bytes(bytes: &[u8]) -> Vec<Self> {
+        bytes.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip() {
+        let xs = [1.5f32, -2.25, 0.0, f32::MAX];
+        let bytes = f32::to_device_bytes(&xs);
+        assert_eq!(bytes.len(), xs.len() * f32::BYTES);
+        assert_eq!(f32::from_device_bytes(&bytes), xs);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let xs = [0.1f64, 0.2, -1e300, f64::MIN_POSITIVE];
+        let bytes = f64::to_device_bytes(&xs);
+        assert_eq!(bytes.len(), xs.len() * f64::BYTES);
+        assert_eq!(f64::from_device_bytes(&bytes), xs);
+    }
+
+    #[test]
+    fn i32_roundtrip() {
+        let xs = [i32::MIN, -1, 0, 7, i32::MAX];
+        let bytes = i32::to_device_bytes(&xs);
+        assert_eq!(i32::from_device_bytes(&bytes), xs);
+    }
+
+    #[test]
+    fn names_and_sizes_are_coherent() {
+        assert_eq!(f32::NAME, "f32");
+        assert_eq!(f64::NAME, "f64");
+        assert_eq!(f32::BYTES, std::mem::size_of::<f32>());
+        assert_eq!(f64::BYTES, std::mem::size_of::<f64>());
+    }
+}

@@ -1,0 +1,138 @@
+//! The frontend registry: every programming-model surface as one
+//! uniform, session-producing object.
+//!
+//! A [`Frontend`] is the *thin* part of a model crate — the paper's
+//! claim, made structural: each model is a vendor-flavored way of
+//! opening the same [`ExecutionSession`](crate::ExecutionSession).
+//! Benchmarks (BabelStream) and conformance suites iterate a
+//! [`FrontendRegistry`] instead of hand-maintaining per-model adapters.
+
+use crate::error::FrontendError;
+use crate::session::ExecutionSession;
+use mcmm_core::taxonomy::{Language, Model, Vendor};
+
+/// One programming-model frontend, as seen by the execution spine.
+///
+/// Implementations live in the `model-*` crates, where the model's own
+/// vendor-refusal semantics (and per-model choices such as Python's
+/// backend package or OpenMP's per-vendor compiler) are applied before
+/// the session is handed back.
+pub trait Frontend: Send + Sync {
+    /// The programming model this frontend implements.
+    fn model(&self) -> Model;
+
+    /// The source language of the surface.
+    fn language(&self) -> Language {
+        Language::Cpp
+    }
+
+    /// Display name for benchmarks and reports — the Figure 1 column
+    /// header by default.
+    fn name(&self) -> &'static str {
+        self.model().name()
+    }
+
+    /// Open a session on a vendor, refusing exactly where the matrix
+    /// refuses. Refusal errors name the vendor (see
+    /// [`FrontendError::is_refusal`]).
+    fn open(&self, vendor: Vendor) -> Result<ExecutionSession, FrontendError>;
+}
+
+/// An ordered collection of frontends (Figure 1 column order by
+/// convention: the native models first, Python last).
+#[derive(Default)]
+pub struct FrontendRegistry {
+    entries: Vec<Box<dyn Frontend>>,
+}
+
+impl FrontendRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a frontend (builder style).
+    pub fn with(mut self, frontend: Box<dyn Frontend>) -> Self {
+        self.entries.push(frontend);
+        self
+    }
+
+    /// Append a frontend.
+    pub fn register(&mut self, frontend: Box<dyn Frontend>) {
+        self.entries.push(frontend);
+    }
+
+    /// Iterate the registered frontends in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Frontend> {
+        self.entries.iter().map(|b| b.as_ref())
+    }
+
+    /// Number of registered frontends.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The frontend for a model, if registered.
+    pub fn get(&self, model: Model) -> Option<&dyn Frontend> {
+        self.iter().find(|f| f.model() == model)
+    }
+
+    /// Consume the registry, yielding the frontends in registration
+    /// order (for callers that wrap each one, like the BabelStream
+    /// blanket adapter).
+    pub fn into_frontends(self) -> Vec<Box<dyn Frontend>> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Plain(Model);
+    impl Frontend for Plain {
+        fn model(&self) -> Model {
+            self.0
+        }
+        fn language(&self) -> Language {
+            if self.0 == Model::Python {
+                Language::Python
+            } else {
+                Language::Cpp
+            }
+        }
+        fn open(&self, vendor: Vendor) -> Result<ExecutionSession, FrontendError> {
+            ExecutionSession::open(self.0, self.language(), vendor)
+        }
+    }
+
+    #[test]
+    fn registry_preserves_order_and_lookup() {
+        let reg = FrontendRegistry::new()
+            .with(Box::new(Plain(Model::Cuda)))
+            .with(Box::new(Plain(Model::Python)));
+        assert_eq!(reg.len(), 2);
+        let names: Vec<_> = reg.iter().map(|f| f.name()).collect();
+        assert_eq!(names, vec!["CUDA", "etc (Python)"]);
+        assert!(reg.get(Model::Python).is_some());
+        assert!(reg.get(Model::Hip).is_none());
+    }
+
+    #[test]
+    fn default_name_is_the_figure_column_header() {
+        assert_eq!(Plain(Model::Alpaka).name(), "ALPAKA");
+        assert_eq!(Plain(Model::Standard).name(), "Standard");
+    }
+
+    #[test]
+    fn plain_frontend_agrees_with_the_matrix() {
+        let cuda = Plain(Model::Cuda);
+        assert!(cuda.open(Vendor::Nvidia).is_ok());
+        assert!(cuda.open(Vendor::Amd).unwrap_err().is_refusal());
+    }
+}

@@ -13,10 +13,10 @@
 
 use mcmm_core::provider::Maintenance;
 use mcmm_core::taxonomy::{Language, Model, Vendor};
+use mcmm_frontend::{Element, ExecutionSession, Frontend, FrontendError};
 use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig};
 use mcmm_gpu_sim::ir::{KernelBuilder, Reg, Type};
 use mcmm_gpu_sim::mem::DevicePtr;
-use mcmm_toolchain::{Registry, VirtualCompiler};
 use std::fmt;
 use std::sync::Arc;
 
@@ -121,10 +121,8 @@ pub type AlpakaResult<T> = Result<T, AlpakaError>;
 
 /// An accelerator instance: device + tag + resolved route.
 pub struct Accelerator {
-    device: Arc<Device>,
+    session: ExecutionSession,
     tag: AccTag,
-    vendor: Vendor,
-    compiler: VirtualCompiler,
 }
 
 impl Accelerator {
@@ -134,13 +132,19 @@ impl Accelerator {
         if tag.vendor() != vendor {
             return Err(AlpakaError::WrongAccelerator { tag, device_vendor: vendor });
         }
-        let compiler = Registry::paper()
-            .select(Model::Alpaka, Language::Cpp, vendor)
-            .into_iter()
-            .find(|c| c.name == tag.toolchain_name())
-            .cloned()
-            .ok_or(AlpakaError::WrongAccelerator { tag, device_vendor: vendor })?;
-        Ok(Self { device, tag, vendor, compiler })
+        let session = ExecutionSession::open_with_toolchain_on(
+            device,
+            Model::Alpaka,
+            Language::Cpp,
+            tag.toolchain_name(),
+        )
+        .map_err(|e| match e {
+            FrontendError::NoRoute { .. } | FrontendError::Discontinued { .. } => {
+                AlpakaError::WrongAccelerator { tag, device_vendor: vendor }
+            }
+            other => AlpakaError::Runtime(other.to_string()),
+        })?;
+        Ok(Self { session, tag })
     }
 
     /// Construct the default accelerator for a device.
@@ -154,19 +158,29 @@ impl Accelerator {
         self.tag
     }
 
+    /// The shared execution session underneath this accelerator.
+    pub fn session(&self) -> &ExecutionSession {
+        &self.session
+    }
+
     /// Is the backend experimental (Intel SYCL, description 43)?
     pub fn is_experimental(&self) -> bool {
-        self.compiler.route.maintenance == Maintenance::Experimental
+        self.session.route().maintenance == Maintenance::Experimental
     }
 
     /// Allocate a device buffer from host data.
     pub fn alloc_buf(&self, data: &[f64]) -> AlpakaResult<DevicePtr> {
-        self.device.alloc_copy_f64(data).map_err(|e| AlpakaError::Runtime(e.to_string()))
+        let ptr = self
+            .session
+            .alloc_bytes((data.len() * f64::BYTES) as u64)
+            .map_err(|e| AlpakaError::Runtime(e.to_string()))?;
+        self.session.upload_raw(ptr, data).map_err(|e| AlpakaError::Runtime(e.to_string()))?;
+        Ok(ptr)
     }
 
     /// Read a device buffer back.
     pub fn memcpy_to_host(&self, ptr: DevicePtr, n: usize) -> AlpakaResult<Vec<f64>> {
-        self.device.read_f64(ptr, n).map_err(|e| AlpakaError::Runtime(e.to_string()))
+        self.session.download_raw::<f64>(ptr, n).map_err(|e| AlpakaError::Runtime(e.to_string()))
     }
 
     /// `alpaka::exec` — run a kernel functor with an explicit work
@@ -188,22 +202,34 @@ impl Accelerator {
         let bases_ref = &bases;
         b.if_(ok, |b| kernel.operator(b, i, bases_ref));
         let ir = b.finish();
-        let module = self
-            .compiler
-            .compile(&ir, Model::Alpaka, Language::Cpp, self.vendor)
-            .map_err(|e| AlpakaError::Runtime(e.to_string()))?;
+        let module = self.session.compile(&ir).map_err(|e| AlpakaError::Runtime(e.to_string()))?;
         let mut args: Vec<KernelArg> = buffers.iter().map(|&p| KernelArg::Ptr(p)).collect();
         args.push(KernelArg::I32(n as i32));
+        // Alpaka's work division is explicit, so the launch geometry comes
+        // from the WorkDiv rather than the session's linear default.
         let cfg = LaunchConfig {
             grid_dim: work.blocks,
             block_dim: work.threads_per_block,
             policy: Default::default(),
-            efficiency: self.compiler.efficiency(),
+            efficiency: self.session.efficiency(),
         };
-        self.device
+        self.session
             .launch(&module, cfg, &args)
             .map(|_| ())
             .map_err(|e| AlpakaError::Runtime(e.to_string()))
+    }
+}
+
+/// [`Frontend`] registration for the shared BabelStream adapter.
+pub struct AlpakaFrontend;
+
+impl Frontend for AlpakaFrontend {
+    fn model(&self) -> Model {
+        Model::Alpaka
+    }
+
+    fn open(&self, vendor: Vendor) -> Result<ExecutionSession, FrontendError> {
+        ExecutionSession::open(Model::Alpaka, Language::Cpp, vendor)
     }
 }
 

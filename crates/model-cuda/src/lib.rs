@@ -16,11 +16,11 @@ pub mod cuf;
 pub mod streams;
 
 use mcmm_core::taxonomy::{Language, Model, Vendor};
+use mcmm_frontend::{Element, ExecutionSession, Frontend, FrontendError};
 use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig, LaunchReport};
 use mcmm_gpu_sim::ir::KernelIr;
 use mcmm_gpu_sim::isa::Module;
 use mcmm_gpu_sim::mem::DevicePtr;
-use mcmm_toolchain::Registry;
 use std::fmt;
 use std::sync::Arc;
 
@@ -72,16 +72,26 @@ pub enum MemcpyKind {
     DeviceToDevice,
 }
 
-/// A CUDA context bound to one NVIDIA device.
+/// A CUDA context bound to one NVIDIA device — a thin, CUDA-flavored
+/// surface over the shared [`ExecutionSession`] spine.
 pub struct CudaContext {
-    device: Arc<Device>,
-    registry: Registry,
-    language: Language,
+    session: ExecutionSession,
+}
+
+/// Map a routing refusal into `cudaErrorNoDevice`, anything else into the
+/// closest CUDA error, keeping the cause text.
+fn open_error(e: FrontendError) -> CudaError {
+    match e {
+        FrontendError::NoRoute { vendor, .. } => CudaError::NoDevice { actual: vendor },
+        FrontendError::Discontinued { .. } => CudaError::NoToolchain,
+        other => CudaError::LaunchFailure(other.to_string()),
+    }
 }
 
 impl CudaContext {
     /// Create a context on a device. Errors with [`CudaError::NoDevice`]
-    /// if the device is not NVIDIA.
+    /// if the device is not NVIDIA — the spine has no executable CUDA
+    /// route to any other vendor.
     pub fn new(device: Arc<Device>) -> CudaResult<Self> {
         Self::with_language(device, Language::Cpp)
     }
@@ -92,26 +102,29 @@ impl CudaContext {
     }
 
     fn with_language(device: Arc<Device>, language: Language) -> CudaResult<Self> {
-        let vendor = mcmm_toolchain::isa_vendor(device.spec().isa);
-        if vendor != Vendor::Nvidia {
-            return Err(CudaError::NoDevice { actual: vendor });
-        }
-        Ok(Self { device, registry: Registry::paper(), language })
+        let session =
+            ExecutionSession::open_on(device, Model::Cuda, language).map_err(open_error)?;
+        Ok(Self { session })
     }
 
     /// The underlying device.
     pub fn device(&self) -> &Arc<Device> {
-        &self.device
+        self.session.device()
+    }
+
+    /// The execution-spine session under this context.
+    pub fn session(&self) -> &ExecutionSession {
+        &self.session
     }
 
     /// `cudaMalloc` — allocate `len` bytes.
     pub fn cuda_malloc(&self, len: u64) -> CudaResult<DevicePtr> {
-        self.device.alloc(len).map_err(|e| CudaError::MemoryAllocation(e.to_string()))
+        self.session.alloc_bytes(len).map_err(|e| CudaError::MemoryAllocation(e.to_string()))
     }
 
     /// `cudaFree`.
     pub fn cuda_free(&self, ptr: DevicePtr, len: u64) {
-        self.device.free(ptr, len);
+        self.session.free_bytes(ptr, len);
     }
 
     /// `cudaMemcpy` for raw bytes.
@@ -123,14 +136,14 @@ impl CudaContext {
     ) -> CudaResult<()> {
         match kind {
             MemcpyKind::HostToDevice => self
-                .device
-                .memcpy_h2d(dst, src_host)
+                .session
+                .upload_raw(dst, src_host)
                 .map(|_| ())
                 .map_err(|e| CudaError::InvalidValue(e.to_string())),
             MemcpyKind::DeviceToHost => {
-                let (data, _) = self
-                    .device
-                    .memcpy_d2h(dst, src_host.len() as u64)
+                let data: Vec<u8> = self
+                    .session
+                    .download_raw(dst, src_host.len())
                     .map_err(|e| CudaError::InvalidValue(e.to_string()))?;
                 src_host.copy_from_slice(&data);
                 Ok(())
@@ -143,44 +156,61 @@ impl CudaContext {
 
     /// `cudaMemcpy` device-to-device.
     pub fn cuda_memcpy_d2d(&self, dst: DevicePtr, src: DevicePtr, len: u64) -> CudaResult<()> {
-        self.device
+        self.session
+            .device()
             .memory()
             .copy_within(src, dst, len)
             .map_err(|e| CudaError::InvalidValue(e.to_string()))
     }
 
-    /// Upload an `f32` slice (convenience; CUDA codebases wrap memcpy the
-    /// same way).
+    /// Upload a typed slice (convenience; CUDA codebases wrap memcpy the
+    /// same way). `upload_f32`/`upload_f64` are retained aliases.
+    pub fn upload<T: Element>(&self, data: &[T]) -> CudaResult<DevicePtr> {
+        let ptr = self.cuda_malloc((data.len() * T::BYTES) as u64)?;
+        self.session
+            .upload_raw(ptr, data)
+            .map_err(|e| CudaError::MemoryAllocation(e.to_string()))?;
+        Ok(ptr)
+    }
+
+    /// Download `n` typed values.
+    pub fn download<T: Element>(&self, ptr: DevicePtr, n: usize) -> CudaResult<Vec<T>> {
+        self.session.download_raw(ptr, n).map_err(|e| CudaError::InvalidValue(e.to_string()))
+    }
+
+    /// Upload an `f32` slice.
     pub fn upload_f32(&self, data: &[f32]) -> CudaResult<DevicePtr> {
-        self.device.alloc_copy_f32(data).map_err(|e| CudaError::MemoryAllocation(e.to_string()))
+        self.upload(data)
     }
 
     /// Download `n` `f32` values.
     pub fn download_f32(&self, ptr: DevicePtr, n: usize) -> CudaResult<Vec<f32>> {
-        self.device.read_f32(ptr, n).map_err(|e| CudaError::InvalidValue(e.to_string()))
+        self.download(ptr, n)
     }
 
     /// Upload an `f64` slice.
     pub fn upload_f64(&self, data: &[f64]) -> CudaResult<DevicePtr> {
-        self.device.alloc_copy_f64(data).map_err(|e| CudaError::MemoryAllocation(e.to_string()))
+        self.upload(data)
     }
 
     /// Download `n` `f64` values.
     pub fn download_f64(&self, ptr: DevicePtr, n: usize) -> CudaResult<Vec<f64>> {
-        self.device.read_f64(ptr, n).map_err(|e| CudaError::InvalidValue(e.to_string()))
+        self.download(ptr, n)
     }
 
     /// Compile a kernel with the best available CUDA toolchain (nvcc-like;
-    /// Clang-CUDA is the registered fallback, as in description 1).
+    /// Clang-CUDA is the registered fallback, as in description 1) through
+    /// the spine's shared, lint-gated compile cache.
     pub fn compile(&self, kernel: &KernelIr) -> CudaResult<CudaKernel> {
-        let compiler = self
-            .registry
-            .select_best(Model::Cuda, self.language, Vendor::Nvidia)
-            .ok_or(CudaError::NoToolchain)?;
-        let module = compiler
-            .compile(kernel, Model::Cuda, self.language, Vendor::Nvidia)
-            .map_err(|e| CudaError::LaunchFailure(e.to_string()))?;
-        Ok(CudaKernel { module, efficiency: compiler.efficiency(), toolchain: compiler.name })
+        let module = self.session.compile(kernel).map_err(|e| match e {
+            FrontendError::NoRoute { .. } => CudaError::NoToolchain,
+            other => CudaError::LaunchFailure(other.to_string()),
+        })?;
+        Ok(CudaKernel {
+            module,
+            efficiency: self.session.efficiency(),
+            toolchain: self.session.toolchain(),
+        })
     }
 
     /// `<<<grid, block>>>` launch.
@@ -197,15 +227,29 @@ impl CudaContext {
             policy: Default::default(),
             efficiency: kernel.efficiency,
         };
-        self.device
+        self.session
             .launch(&kernel.module, cfg, args)
             .map_err(|e| CudaError::LaunchFailure(e.to_string()))
     }
 }
 
+/// The CUDA column as a spine [`Frontend`]: accepts NVIDIA, refuses AMD
+/// and Intel (descriptions 18, 31).
+pub struct CudaFrontend;
+
+impl Frontend for CudaFrontend {
+    fn model(&self) -> Model {
+        Model::Cuda
+    }
+
+    fn open(&self, vendor: Vendor) -> Result<ExecutionSession, FrontendError> {
+        ExecutionSession::open(Model::Cuda, Language::Cpp, vendor)
+    }
+}
+
 /// A compiled CUDA kernel (module + the toolchain that produced it).
 pub struct CudaKernel {
-    module: Module,
+    module: Arc<Module>,
     efficiency: f64,
     /// Which virtual toolchain compiled this kernel.
     pub toolchain: &'static str,

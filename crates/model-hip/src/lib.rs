@@ -21,11 +21,11 @@
 pub mod hipfort;
 
 use mcmm_core::taxonomy::{Language, Model, Vendor};
+use mcmm_frontend::{Element, ExecutionSession, Frontend, FrontendError};
 use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig, LaunchReport};
 use mcmm_gpu_sim::ir::KernelIr;
 use mcmm_gpu_sim::isa::Module;
 use mcmm_gpu_sim::mem::DevicePtr;
-use mcmm_toolchain::Registry;
 use std::fmt;
 use std::sync::Arc;
 
@@ -94,12 +94,11 @@ impl std::error::Error for HipError {}
 /// Result alias in the HIP style.
 pub type HipResult<T> = Result<T, HipError>;
 
-/// A HIP context bound to a device through a platform.
+/// A HIP context bound to a device through a platform — a HIP-flavored
+/// surface over the shared [`ExecutionSession`] spine.
 pub struct HipContext {
-    device: Arc<Device>,
-    registry: Registry,
+    session: ExecutionSession,
     platform: HipPlatform,
-    language: Language,
 }
 
 impl HipContext {
@@ -118,7 +117,13 @@ impl HipContext {
         let vendor = mcmm_toolchain::isa_vendor(device.spec().isa);
         let platform =
             HipPlatform::for_vendor(vendor).ok_or(HipError::NoDevice { actual: vendor })?;
-        Ok(Self { device, registry: Registry::paper(), platform, language })
+        let session =
+            ExecutionSession::open_on(device, Model::Hip, language).map_err(|e| match e {
+                FrontendError::NoRoute { vendor, .. } => HipError::NoDevice { actual: vendor },
+                other => HipError::LaunchFailure(other.to_string()),
+            })?;
+        debug_assert_eq!(platform.vendor(), session.vendor());
+        Ok(Self { session, platform })
     }
 
     /// Which platform the context uses.
@@ -128,68 +133,87 @@ impl HipContext {
 
     /// The underlying device.
     pub fn device(&self) -> &Arc<Device> {
-        &self.device
+        self.session.device()
+    }
+
+    /// The execution-spine session under this context.
+    pub fn session(&self) -> &ExecutionSession {
+        &self.session
     }
 
     /// `hipMalloc`.
     pub fn hip_malloc(&self, len: u64) -> HipResult<DevicePtr> {
-        self.device.alloc(len).map_err(|e| HipError::MemoryAllocation(e.to_string()))
+        self.session.alloc_bytes(len).map_err(|e| HipError::MemoryAllocation(e.to_string()))
     }
 
     /// `hipFree`.
     pub fn hip_free(&self, ptr: DevicePtr, len: u64) {
-        self.device.free(ptr, len);
+        self.session.free_bytes(ptr, len);
     }
 
     /// `hipMemcpyHtoD`.
     pub fn hip_memcpy_htod(&self, dst: DevicePtr, src: &[u8]) -> HipResult<()> {
-        self.device
-            .memcpy_h2d(dst, src)
+        self.session
+            .upload_raw(dst, src)
             .map(|_| ())
             .map_err(|e| HipError::InvalidValue(e.to_string()))
     }
 
     /// `hipMemcpyDtoH`.
     pub fn hip_memcpy_dtoh(&self, src: DevicePtr, len: u64) -> HipResult<Vec<u8>> {
-        self.device
-            .memcpy_d2h(src, len)
-            .map(|(d, _)| d)
+        self.session
+            .download_raw(src, len as usize)
             .map_err(|e| HipError::InvalidValue(e.to_string()))
+    }
+
+    /// Upload a typed slice; `upload_f32`/`upload_f64` are retained aliases.
+    pub fn upload<T: Element>(&self, data: &[T]) -> HipResult<DevicePtr> {
+        let ptr = self.hip_malloc((data.len() * T::BYTES) as u64)?;
+        self.session
+            .upload_raw(ptr, data)
+            .map_err(|e| HipError::MemoryAllocation(e.to_string()))?;
+        Ok(ptr)
+    }
+
+    /// Download `n` typed values.
+    pub fn download<T: Element>(&self, ptr: DevicePtr, n: usize) -> HipResult<Vec<T>> {
+        self.session.download_raw(ptr, n).map_err(|e| HipError::InvalidValue(e.to_string()))
     }
 
     /// Upload an `f32` slice.
     pub fn upload_f32(&self, data: &[f32]) -> HipResult<DevicePtr> {
-        self.device.alloc_copy_f32(data).map_err(|e| HipError::MemoryAllocation(e.to_string()))
+        self.upload(data)
     }
 
     /// Download `n` `f32` values.
     pub fn download_f32(&self, ptr: DevicePtr, n: usize) -> HipResult<Vec<f32>> {
-        self.device.read_f32(ptr, n).map_err(|e| HipError::InvalidValue(e.to_string()))
+        self.download(ptr, n)
     }
 
     /// Upload an `f64` slice.
     pub fn upload_f64(&self, data: &[f64]) -> HipResult<DevicePtr> {
-        self.device.alloc_copy_f64(data).map_err(|e| HipError::MemoryAllocation(e.to_string()))
+        self.upload(data)
     }
 
     /// Download `n` `f64` values.
     pub fn download_f64(&self, ptr: DevicePtr, n: usize) -> HipResult<Vec<f64>> {
-        self.device.read_f64(ptr, n).map_err(|e| HipError::InvalidValue(e.to_string()))
+        self.download(ptr, n)
     }
 
     /// Compile with hipcc for the context's platform. On
     /// `HipPlatform::Nvidia` this resolves the CUDA-backend route and
-    /// carries its efficiency penalty.
+    /// carries its efficiency penalty. Goes through the spine's shared,
+    /// lint-gated compile cache.
     pub fn compile(&self, kernel: &KernelIr) -> HipResult<HipKernel> {
-        let vendor = self.platform.vendor();
-        let compiler = self
-            .registry
-            .select_best(Model::Hip, self.language, vendor)
-            .ok_or(HipError::NoToolchain)?;
-        let module = compiler
-            .compile(kernel, Model::Hip, self.language, vendor)
-            .map_err(|e| HipError::LaunchFailure(e.to_string()))?;
-        Ok(HipKernel { module, efficiency: compiler.efficiency(), toolchain: compiler.name })
+        let module = self.session.compile(kernel).map_err(|e| match e {
+            FrontendError::NoRoute { .. } => HipError::NoToolchain,
+            other => HipError::LaunchFailure(other.to_string()),
+        })?;
+        Ok(HipKernel {
+            module,
+            efficiency: self.session.efficiency(),
+            toolchain: self.session.toolchain(),
+        })
     }
 
     /// `hipLaunchKernelGGL`.
@@ -206,15 +230,29 @@ impl HipContext {
             policy: Default::default(),
             efficiency: kernel.efficiency,
         };
-        self.device
+        self.session
             .launch(&kernel.module, cfg, args)
             .map_err(|e| HipError::LaunchFailure(e.to_string()))
     }
 }
 
+/// The HIP column as a spine [`Frontend`]: native on AMD, CUDA backend on
+/// NVIDIA, refused on Intel (descriptions 3, 33).
+pub struct HipFrontend;
+
+impl Frontend for HipFrontend {
+    fn model(&self) -> Model {
+        Model::Hip
+    }
+
+    fn open(&self, vendor: Vendor) -> Result<ExecutionSession, FrontendError> {
+        ExecutionSession::open(Model::Hip, Language::Cpp, vendor)
+    }
+}
+
 /// A compiled HIP kernel.
 pub struct HipKernel {
-    module: Module,
+    module: Arc<Module>,
     efficiency: f64,
     /// The virtual toolchain that produced the module.
     pub toolchain: &'static str,

@@ -17,10 +17,10 @@
 
 use mcmm_core::provider::Maintenance;
 use mcmm_core::taxonomy::{Language, Model, Vendor};
-use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig};
+use mcmm_frontend::{Element, ExecutionSession, Frontend, FrontendError};
+use mcmm_gpu_sim::device::{Device, KernelArg};
 use mcmm_gpu_sim::ir::{AtomicOp, KernelBuilder, Reg, Type};
 use mcmm_gpu_sim::mem::DevicePtr;
-use mcmm_toolchain::{Registry, VirtualCompiler};
 use std::fmt;
 use std::sync::Arc;
 
@@ -63,10 +63,19 @@ pub enum Layout {
 
 /// A Kokkos execution space: device + selected backend route.
 pub struct ExecSpace {
-    device: Arc<Device>,
-    vendor: Vendor,
-    compiler: VirtualCompiler,
-    language: Language,
+    session: ExecutionSession,
+}
+
+fn open_error(e: FrontendError) -> KokkosError {
+    match e {
+        FrontendError::NoRoute { vendor, language, .. } => {
+            KokkosError::NoBackend { vendor, language }
+        }
+        FrontendError::Discontinued { vendor, .. } => {
+            KokkosError::NoBackend { vendor, language: Language::Cpp }
+        }
+        other => KokkosError::Runtime(other.to_string()),
+    }
 }
 
 impl ExecSpace {
@@ -76,27 +85,29 @@ impl ExecSpace {
     }
 
     fn with_language(device: Arc<Device>, language: Language) -> KokkosResult<Self> {
-        let vendor = mcmm_toolchain::isa_vendor(device.spec().isa);
-        let compiler = Registry::paper()
-            .select_best(Model::Kokkos, language, vendor)
-            .cloned()
-            .ok_or(KokkosError::NoBackend { vendor, language })?;
-        Ok(Self { device, vendor, compiler, language })
+        let session =
+            ExecutionSession::open_on(device, Model::Kokkos, language).map_err(open_error)?;
+        Ok(Self { session })
+    }
+
+    /// The shared execution session underneath this space.
+    pub fn session(&self) -> &ExecutionSession {
+        &self.session
     }
 
     /// The backend toolchain name.
     pub fn backend(&self) -> &'static str {
-        self.compiler.name
+        self.session.toolchain()
     }
 
     /// Is the backend experimental (description 42: Intel's SYCL backend)?
     pub fn is_experimental(&self) -> bool {
-        self.compiler.route.maintenance == Maintenance::Experimental
+        self.session.route().maintenance == Maintenance::Experimental
     }
 
     /// Route efficiency.
     pub fn efficiency(&self) -> f64 {
-        self.compiler.efficiency()
+        self.session.efficiency()
     }
 
     fn run(
@@ -127,16 +138,11 @@ impl ExecSpace {
             }
         });
         let kernel = b.finish();
-        let module = self
-            .compiler
-            .compile(&kernel, Model::Kokkos, self.language, self.vendor)
-            .map_err(|e| KokkosError::Runtime(e.to_string()))?;
         let mut args: Vec<KernelArg> = views.iter().map(|&p| KernelArg::Ptr(p)).collect();
         args.extend_from_slice(extra);
         args.push(KernelArg::I32(n as i32));
-        let cfg = LaunchConfig::linear(n as u64, 256).with_efficiency(self.efficiency());
-        self.device
-            .launch(&module, cfg, &args)
+        self.session
+            .run(&kernel, n as u64, 256, &args)
             .map(|_| ())
             .map_err(|e| KokkosError::Runtime(e.to_string()))
     }
@@ -159,8 +165,9 @@ impl ExecSpace {
         views: &[&View],
         body: impl FnOnce(&mut KernelBuilder, Reg, &[Reg]) -> Reg,
     ) -> KokkosResult<f64> {
-        let cell = self.device.alloc(8).map_err(|e| KokkosError::Runtime(e.to_string()))?;
-        self.device
+        let cell = self.session.alloc_bytes(8).map_err(|e| KokkosError::Runtime(e.to_string()))?;
+        self.session
+            .device()
             .memory()
             .store(cell.0, Value::F64(0.0))
             .map_err(|e| KokkosError::Runtime(e.to_string()))?;
@@ -172,11 +179,12 @@ impl ExecSpace {
             let _ = b.atomic(AtomicOp::Add, Space::Global, cell_reg, contribution);
         })?;
         let out = self
-            .device
+            .session
+            .device()
             .memory()
             .load(Type::F64, cell.0)
             .map_err(|e| KokkosError::Runtime(e.to_string()))?;
-        self.device.free(cell, 8);
+        self.session.free_bytes(cell, 8);
         match out {
             Value::F64(x) => Ok(x),
             _ => unreachable!("reduction cell is f64"),
@@ -185,9 +193,17 @@ impl ExecSpace {
 
     /// Create a rank-1 view from host data.
     pub fn view_from_host(&self, label: &'static str, data: &[f64]) -> KokkosResult<View> {
-        let ptr =
-            self.device.alloc_copy_f64(data).map_err(|e| KokkosError::Runtime(e.to_string()))?;
+        let ptr = self.alloc_upload(data)?;
         Ok(View { label, ptr, dims: [data.len(), 1], layout: Layout::Left })
+    }
+
+    fn alloc_upload(&self, data: &[f64]) -> KokkosResult<DevicePtr> {
+        let ptr = self
+            .session
+            .alloc_bytes((data.len() * f64::BYTES) as u64)
+            .map_err(|e| KokkosError::Runtime(e.to_string()))?;
+        self.session.upload_raw(ptr, data).map_err(|e| KokkosError::Runtime(e.to_string()))?;
+        Ok(ptr)
     }
 
     /// Create a zero-filled rank-2 view.
@@ -198,18 +214,28 @@ impl ExecSpace {
         cols: usize,
         layout: Layout,
     ) -> KokkosResult<View> {
-        let ptr = self
-            .device
-            .alloc_copy_f64(&vec![0.0; rows * cols])
-            .map_err(|e| KokkosError::Runtime(e.to_string()))?;
+        let ptr = self.alloc_upload(&vec![0.0; rows * cols])?;
         Ok(View { label, ptr, dims: [rows, cols], layout })
     }
 
     /// `deep_copy` back to the host.
     pub fn deep_copy_to_host(&self, view: &View) -> KokkosResult<Vec<f64>> {
-        self.device
-            .read_f64(view.ptr, view.dims[0] * view.dims[1])
+        self.session
+            .download_raw::<f64>(view.ptr, view.dims[0] * view.dims[1])
             .map_err(|e| KokkosError::Runtime(e.to_string()))
+    }
+}
+
+/// [`Frontend`] registration for the shared BabelStream adapter.
+pub struct KokkosFrontend;
+
+impl Frontend for KokkosFrontend {
+    fn model(&self) -> Model {
+        Model::Kokkos
+    }
+
+    fn open(&self, vendor: Vendor) -> Result<ExecutionSession, FrontendError> {
+        ExecutionSession::open(Model::Kokkos, Language::Cpp, vendor)
     }
 }
 

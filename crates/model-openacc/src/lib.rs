@@ -18,10 +18,10 @@
 //!   as description 36 does.
 
 use mcmm_core::taxonomy::{Language, Model, Vendor};
+use mcmm_frontend::{ExecutionSession, Frontend, FrontendError};
 use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig};
 use mcmm_gpu_sim::ir::{KernelBuilder, Reg, Type};
 use mcmm_gpu_sim::mem::DevicePtr;
-use mcmm_toolchain::{Registry, VirtualCompiler};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -70,12 +70,10 @@ impl std::error::Error for AccError {}
 /// Result alias.
 pub type AccResult<T> = Result<T, AccError>;
 
-/// An OpenACC-capable device binding.
+/// An OpenACC-capable device binding — a directive-flavored surface over
+/// the shared [`ExecutionSession`] spine.
 pub struct AccDevice {
-    device: Arc<Device>,
-    vendor: Vendor,
-    language: Language,
-    compiler: VirtualCompiler,
+    session: ExecutionSession,
 }
 
 impl AccDevice {
@@ -90,22 +88,27 @@ impl AccDevice {
     }
 
     fn with_language(device: Arc<Device>, language: Language) -> AccResult<Self> {
-        let vendor = mcmm_toolchain::isa_vendor(device.spec().isa);
-        let compiler = Registry::paper()
-            .select_best(Model::OpenAcc, language, vendor)
-            .cloned()
-            .ok_or(AccError::NoSupport {
-                vendor,
-                language,
-                hint: "use the Intel Application Migration Tool (mcmm-translate::acc2mp) \
+        let session =
+            ExecutionSession::open_on(device, Model::OpenAcc, language).map_err(|e| match e {
+                FrontendError::NoRoute { vendor, language, .. } => AccError::NoSupport {
+                    vendor,
+                    language,
+                    hint: "use the Intel Application Migration Tool (mcmm-translate::acc2mp) \
                        to convert the directives to OpenMP",
+                },
+                other => AccError::Runtime(other.to_string()),
             })?;
-        Ok(Self { device, vendor, language, compiler })
+        Ok(Self { session })
     }
 
     /// The resolved toolchain.
     pub fn toolchain(&self) -> &'static str {
-        self.compiler.name
+        self.session.toolchain()
+    }
+
+    /// The execution-spine session under this binding.
+    pub fn session(&self) -> &ExecutionSession {
+        &self.session
     }
 
     /// Open a structured data region.
@@ -133,24 +136,35 @@ impl AccDevice {
             }
         });
         let kernel = b.finish();
-        let module = self
-            .compiler
-            .compile(&kernel, Model::OpenAcc, self.language, self.vendor)
-            .map_err(|e| AccError::Runtime(e.to_string()))?;
+        let module = self.session.compile(&kernel).map_err(|e| AccError::Runtime(e.to_string()))?;
         let vl = schedule.vector_length.max(1);
         let gangs = schedule.gangs.unwrap_or_else(|| (n as u32).div_ceil(vl).max(1));
         let cfg = LaunchConfig {
             grid_dim: gangs,
             block_dim: vl,
             policy: Default::default(),
-            efficiency: self.compiler.efficiency(),
+            efficiency: self.session.efficiency(),
         };
         let mut args: Vec<KernelArg> = arrays.iter().map(|&(p, _)| KernelArg::Ptr(p)).collect();
         args.push(KernelArg::I32(n as i32));
-        self.device
+        self.session
             .launch(&module, cfg, &args)
             .map(|_| ())
             .map_err(|e| AccError::Runtime(e.to_string()))
+    }
+}
+
+/// The OpenACC column as a spine [`Frontend`]: vendor-complete on NVIDIA,
+/// community compilers on AMD, refused on Intel (descriptions 7, 22, 36).
+pub struct OpenAccFrontend;
+
+impl Frontend for OpenAccFrontend {
+    fn model(&self) -> Model {
+        Model::OpenAcc
+    }
+
+    fn open(&self, vendor: Vendor) -> Result<ExecutionSession, FrontendError> {
+        ExecutionSession::open(Model::OpenAcc, Language::Cpp, vendor)
     }
 }
 
@@ -172,8 +186,12 @@ enum Transfer {
 impl<'a> DataRegion<'a> {
     /// `copyin(name[0:n])` — upload now, discard at region end.
     pub fn copyin(mut self, name: &'static str, data: &[f64]) -> AccResult<Self> {
-        let ptr =
-            self.acc.device.alloc_copy_f64(data).map_err(|e| AccError::Runtime(e.to_string()))?;
+        let ptr = self
+            .acc
+            .session
+            .alloc_bytes(data.len() as u64 * 8)
+            .map_err(|e| AccError::Runtime(e.to_string()))?;
+        self.acc.session.upload_raw(ptr, data).map_err(|e| AccError::Runtime(e.to_string()))?;
         self.names.insert(name, self.arrays.len());
         self.arrays.push((ptr, data.len(), Transfer::CopyIn));
         Ok(self)
@@ -181,8 +199,11 @@ impl<'a> DataRegion<'a> {
 
     /// `copyout(name[0:n])` — allocate now, download at region end.
     pub fn copyout(mut self, name: &'static str, len: usize) -> AccResult<Self> {
-        let ptr =
-            self.acc.device.alloc(len as u64 * 8).map_err(|e| AccError::Runtime(e.to_string()))?;
+        let ptr = self
+            .acc
+            .session
+            .alloc_bytes(len as u64 * 8)
+            .map_err(|e| AccError::Runtime(e.to_string()))?;
         self.names.insert(name, self.arrays.len());
         self.arrays.push((ptr, len, Transfer::CopyOut));
         Ok(self)
@@ -190,8 +211,11 @@ impl<'a> DataRegion<'a> {
 
     /// `create(name[0:n])` — device-only scratch.
     pub fn create(mut self, name: &'static str, len: usize) -> AccResult<Self> {
-        let ptr =
-            self.acc.device.alloc(len as u64 * 8).map_err(|e| AccError::Runtime(e.to_string()))?;
+        let ptr = self
+            .acc
+            .session
+            .alloc_bytes(len as u64 * 8)
+            .map_err(|e| AccError::Runtime(e.to_string()))?;
         self.names.insert(name, self.arrays.len());
         self.arrays.push((ptr, len, Transfer::Create));
         Ok(self)
@@ -226,7 +250,7 @@ impl<'a> DataRegion<'a> {
             .get(name)
             .ok_or_else(|| AccError::Runtime(format!("no array named {name}")))?;
         let (ptr, len, _) = self.arrays[idx];
-        self.acc.device.read_f64(ptr, len).map_err(|e| AccError::Runtime(e.to_string()))
+        self.acc.session.download_raw(ptr, len).map_err(|e| AccError::Runtime(e.to_string()))
     }
 
     /// `#pragma acc update device(name)` — push host data mid-region.
@@ -239,10 +263,9 @@ impl<'a> DataRegion<'a> {
         if data.len() > len {
             return Err(AccError::Runtime(format!("update device overflows {name}")));
         }
-        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
         self.acc
-            .device
-            .memcpy_h2d(ptr, &bytes)
+            .session
+            .upload_raw(ptr, data)
             .map(|_| ())
             .map_err(|e| AccError::Runtime(e.to_string()))
     }
@@ -259,12 +282,15 @@ impl<'a> DataRegion<'a> {
             if transfer != Transfer::CopyOut {
                 return Err(AccError::Runtime(format!("{name} is not a copyout array")));
             }
-            let data =
-                self.acc.device.read_f64(ptr, len).map_err(|e| AccError::Runtime(e.to_string()))?;
+            let data: Vec<f64> = self
+                .acc
+                .session
+                .download_raw(ptr, len)
+                .map_err(|e| AccError::Runtime(e.to_string()))?;
             host.copy_from_slice(&data);
         }
         for (ptr, len, _) in self.arrays {
-            self.acc.device.free(ptr, len as u64 * 8);
+            self.acc.session.free_bytes(ptr, len as u64 * 8);
         }
         Ok(())
     }

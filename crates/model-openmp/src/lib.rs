@@ -17,10 +17,10 @@
 //! the executable form of the "some support" rating.
 
 use mcmm_core::taxonomy::{Language, Model, Vendor};
-use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig};
+use mcmm_frontend::{ExecutionSession, Frontend, FrontendError};
+use mcmm_gpu_sim::device::{Device, KernelArg};
 use mcmm_gpu_sim::ir::{AtomicOp, KernelBuilder, Reg, Space, Type};
 use mcmm_gpu_sim::mem::DevicePtr;
-use mcmm_toolchain::{Registry, VirtualCompiler};
 use std::fmt;
 use std::sync::Arc;
 
@@ -175,12 +175,10 @@ impl Reduction {
     }
 }
 
-/// The OpenMP device runtime for one device + language.
+/// The OpenMP device runtime for one device + language — a directive-
+/// flavored surface over the shared [`ExecutionSession`] spine.
 pub struct OmpDevice {
-    device: Arc<Device>,
-    vendor: Vendor,
-    language: Language,
-    compiler: VirtualCompiler,
+    session: ExecutionSession,
 }
 
 impl OmpDevice {
@@ -195,12 +193,14 @@ impl OmpDevice {
     }
 
     fn with_language(device: Arc<Device>, language: Language) -> OmpResult<Self> {
-        let vendor = mcmm_toolchain::isa_vendor(device.spec().isa);
-        let compiler = Registry::paper()
-            .select_best(Model::OpenMp, language, vendor)
-            .cloned()
-            .ok_or(OmpError::NoCompiler { vendor, language })?;
-        Ok(Self { device, vendor, language, compiler })
+        let session =
+            ExecutionSession::open_on(device, Model::OpenMp, language).map_err(|e| match e {
+                FrontendError::NoRoute { vendor, language, .. } => {
+                    OmpError::NoCompiler { vendor, language }
+                }
+                other => OmpError::Runtime(other.to_string()),
+            })?;
+        Ok(Self { session })
     }
 
     /// Bind a *specific* compiler by toolchain name (for the feature-subset
@@ -208,12 +208,15 @@ impl OmpDevice {
     pub fn with_compiler(device: Arc<Device>, toolchain: &str) -> OmpResult<Self> {
         let vendor = mcmm_toolchain::isa_vendor(device.spec().isa);
         for language in [Language::Cpp, Language::Fortran] {
-            if let Some(c) = Registry::paper()
-                .select(Model::OpenMp, language, vendor)
-                .into_iter()
-                .find(|c| c.name == toolchain)
-            {
-                return Ok(Self { device, vendor, language, compiler: c.clone() });
+            match ExecutionSession::open_with_toolchain_on(
+                Arc::clone(&device),
+                Model::OpenMp,
+                language,
+                toolchain,
+            ) {
+                Ok(session) => return Ok(Self { session }),
+                Err(FrontendError::NoRoute { .. }) => continue,
+                Err(other) => return Err(OmpError::Runtime(other.to_string())),
             }
         }
         Err(OmpError::NoCompiler { vendor, language: Language::Cpp })
@@ -221,12 +224,17 @@ impl OmpDevice {
 
     /// The resolved toolchain name.
     pub fn toolchain(&self) -> &'static str {
-        self.compiler.name
+        self.session.toolchain()
+    }
+
+    /// The execution-spine session under this runtime.
+    pub fn session(&self) -> &ExecutionSession {
+        &self.session
     }
 
     /// Does the bound compiler implement a feature?
     pub fn supports(&self, feature: OmpFeature) -> bool {
-        supported_features(self.compiler.name).contains(&feature)
+        supported_features(self.session.toolchain()).contains(&feature)
     }
 
     /// Execute a target region:
@@ -252,7 +260,7 @@ impl OmpDevice {
         for f in needed {
             if !self.supports(f) {
                 return Err(OmpError::UnsupportedFeature {
-                    toolchain: self.compiler.name.to_owned(),
+                    toolchain: self.session.toolchain().to_owned(),
                     feature: f,
                 });
             }
@@ -261,22 +269,23 @@ impl OmpDevice {
         // Map "to"/"tofrom" data in.
         let mut ptrs: Vec<(DevicePtr, usize)> = Vec::with_capacity(maps.len());
         for m in maps.iter() {
-            let ptr = match m.dir {
-                MapDir::To | MapDir::ToFrom => self
-                    .device
-                    .alloc_copy_f64(m.host)
-                    .map_err(|e| OmpError::Runtime(e.to_string()))?,
-                MapDir::From => self
-                    .device
-                    .alloc(m.host.len() as u64 * 8)
-                    .map_err(|e| OmpError::Runtime(e.to_string()))?,
-            };
+            let ptr = self
+                .session
+                .alloc_bytes(m.host.len() as u64 * 8)
+                .map_err(|e| OmpError::Runtime(e.to_string()))?;
+            if matches!(m.dir, MapDir::To | MapDir::ToFrom) {
+                self.session
+                    .upload_raw(ptr, m.host)
+                    .map_err(|e| OmpError::Runtime(e.to_string()))?;
+            }
             ptrs.push((ptr, m.host.len()));
         }
         let red_ptr = match reduction {
             Some(r) => {
-                let p = self.device.alloc(8).map_err(|e| OmpError::Runtime(e.to_string()))?;
-                self.device
+                let p =
+                    self.session.alloc_bytes(8).map_err(|e| OmpError::Runtime(e.to_string()))?;
+                self.session
+                    .device()
                     .memory()
                     .store(p.0, Value::F64(r.identity()))
                     .map_err(|e| OmpError::Runtime(e.to_string()))?;
@@ -303,35 +312,35 @@ impl OmpDevice {
         });
         let kernel = b.finish();
 
-        let module = self
-            .compiler
-            .compile(&kernel, Model::OpenMp, self.language, self.vendor)
-            .map_err(|e| OmpError::Runtime(e.to_string()))?;
         let mut args: Vec<KernelArg> = ptrs.iter().map(|&(p, _)| KernelArg::Ptr(p)).collect();
         if let Some(p) = red_ptr {
             args.push(KernelArg::Ptr(p));
         }
         args.push(KernelArg::I32(n as i32));
-        let cfg = LaunchConfig::linear(n as u64, 256).with_efficiency(self.compiler.efficiency());
-        self.device.launch(&module, cfg, &args).map_err(|e| OmpError::Runtime(e.to_string()))?;
+        self.session
+            .run(&kernel, n as u64, 256, &args)
+            .map_err(|e| OmpError::Runtime(e.to_string()))?;
 
         // Map "from"/"tofrom" data out; free everything.
         for (m, &(ptr, len)) in maps.iter_mut().zip(&ptrs) {
             if matches!(m.dir, MapDir::From | MapDir::ToFrom) {
-                let out =
-                    self.device.read_f64(ptr, len).map_err(|e| OmpError::Runtime(e.to_string()))?;
+                let out: Vec<f64> = self
+                    .session
+                    .download_raw(ptr, len)
+                    .map_err(|e| OmpError::Runtime(e.to_string()))?;
                 m.host.copy_from_slice(&out);
             }
-            self.device.free(ptr, len as u64 * 8);
+            self.session.free_bytes(ptr, len as u64 * 8);
         }
         let result = match red_ptr {
             Some(p) => {
                 let v = self
-                    .device
+                    .session
+                    .device()
                     .memory()
                     .load(Type::F64, p.0)
                     .map_err(|e| OmpError::Runtime(e.to_string()))?;
-                self.device.free(p, 8);
+                self.session.free_bytes(p, 8);
                 match v {
                     Value::F64(x) => Some(x),
                     _ => unreachable!("reduction cell is f64"),
@@ -366,16 +375,21 @@ pub struct TargetData<'a> {
 impl<'a> TargetData<'a> {
     /// `map(to: data[0:n])` — upload; returns the array's region index.
     pub fn map_to(&mut self, data: &[f64]) -> OmpResult<usize> {
-        let ptr =
-            self.omp.device.alloc_copy_f64(data).map_err(|e| OmpError::Runtime(e.to_string()))?;
-        self.arrays.push((ptr, data.len()));
-        Ok(self.arrays.len() - 1)
+        let index = self.map_alloc(data.len())?;
+        self.omp
+            .session
+            .upload_raw(self.arrays[index].0, data)
+            .map_err(|e| OmpError::Runtime(e.to_string()))?;
+        Ok(index)
     }
 
     /// `map(alloc: …[0:n])` — device-only allocation.
     pub fn map_alloc(&mut self, len: usize) -> OmpResult<usize> {
-        let ptr =
-            self.omp.device.alloc(len as u64 * 8).map_err(|e| OmpError::Runtime(e.to_string()))?;
+        let ptr = self
+            .omp
+            .session
+            .alloc_bytes(len as u64 * 8)
+            .map_err(|e| OmpError::Runtime(e.to_string()))?;
         self.arrays.push((ptr, len));
         Ok(self.arrays.len() - 1)
     }
@@ -401,30 +415,40 @@ impl<'a> TargetData<'a> {
             }
         });
         let kernel = b.finish();
-        let module = self
-            .omp
-            .compiler
-            .compile(&kernel, Model::OpenMp, self.omp.language, self.omp.vendor)
-            .map_err(|e| OmpError::Runtime(e.to_string()))?;
         let mut args: Vec<KernelArg> =
             self.arrays.iter().map(|&(p, _)| KernelArg::Ptr(p)).collect();
         args.push(KernelArg::I32(n as i32));
-        let cfg =
-            LaunchConfig::linear(n as u64, 256).with_efficiency(self.omp.compiler.efficiency());
-        self.omp.device.launch(&module, cfg, &args).map_err(|e| OmpError::Runtime(e.to_string()))
+        self.omp
+            .session
+            .run(&kernel, n as u64, 256, &args)
+            .map_err(|e| OmpError::Runtime(e.to_string()))
     }
 
     /// `#pragma omp target update from(...)` — read an array back.
     pub fn update_from(&self, index: usize) -> OmpResult<Vec<f64>> {
         let (ptr, len) = self.arrays[index];
-        self.omp.device.read_f64(ptr, len).map_err(|e| OmpError::Runtime(e.to_string()))
+        self.omp.session.download_raw(ptr, len).map_err(|e| OmpError::Runtime(e.to_string()))
     }
 
     /// Close the region, freeing device memory.
     pub fn close(self) {
         for (ptr, len) in self.arrays {
-            self.omp.device.free(ptr, len as u64 * 8);
+            self.omp.session.free_bytes(ptr, len as u64 * 8);
         }
+    }
+}
+
+/// The OpenMP column as a spine [`Frontend`] (§6: "supported on all three
+/// platforms — and even for both C++ and Fortran").
+pub struct OpenMpFrontend;
+
+impl Frontend for OpenMpFrontend {
+    fn model(&self) -> Model {
+        Model::OpenMp
+    }
+
+    fn open(&self, vendor: Vendor) -> Result<ExecutionSession, FrontendError> {
+        ExecutionSession::open(Model::OpenMp, Language::Cpp, vendor)
     }
 }
 

@@ -18,12 +18,11 @@
 //! runtimes underneath (the paper: Python "relies on backends in
 //! lower-level languages").
 
-use mcmm_core::provider::Maintenance;
 use mcmm_core::taxonomy::{Language, Model, Vendor};
-use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig};
+use mcmm_frontend::{Element, ExecutionSession, Frontend, FrontendError};
+use mcmm_gpu_sim::device::{Device, KernelArg};
 use mcmm_gpu_sim::ir::{BinOp, CmpOp, KernelBuilder, Space, Type};
 use mcmm_gpu_sim::mem::DevicePtr;
-use mcmm_toolchain::{Registry, VirtualCompiler};
 use std::fmt;
 use std::sync::Arc;
 
@@ -124,14 +123,42 @@ fn package_toolchain(package: &str, vendor: Vendor) -> Option<&'static str> {
     }
 }
 
+/// A typed element with a NumPy dtype — ties the spine's [`Element`]
+/// transfer path to the runtime [`DType`] tag carried by [`PyArray`].
+pub trait PyElement: Element {
+    /// The NumPy dtype this element type maps to.
+    const DTYPE: DType;
+}
+
+impl PyElement for f32 {
+    const DTYPE: DType = DType::Float32;
+}
+
+impl PyElement for f64 {
+    const DTYPE: DType = DType::Float64;
+}
+
 /// A Python runtime bound to one device — `python` with the platform's
-/// GPU stack installed.
+/// GPU stack installed, layered over the shared [`ExecutionSession`].
 pub struct PyRuntime {
-    device: Arc<Device>,
-    vendor: Vendor,
-    backend: VirtualCompiler,
+    session: ExecutionSession,
     /// Which package is serving as the array backend.
     pub backend_package: String,
+}
+
+/// Map a spine refusal to a Python `ImportError` for `package`.
+fn import_error(package: &str, e: FrontendError) -> PyError {
+    match e {
+        FrontendError::NoRoute { vendor, detail, .. } => {
+            PyError::ImportError { package: package.to_owned(), vendor, reason: detail }
+        }
+        FrontendError::Discontinued { vendor, .. } => PyError::ImportError {
+            package: package.to_owned(),
+            vendor,
+            reason: "package is unmaintained (paper §5 'Topicality')".into(),
+        },
+        other => PyError::RuntimeError(other.to_string()),
+    }
 }
 
 impl PyRuntime {
@@ -148,35 +175,49 @@ impl PyRuntime {
 
     /// `import <package>` and use it as the array backend.
     pub fn with_package(device: Arc<Device>, package: &str) -> PyResult<Self> {
-        let vendor = mcmm_toolchain::isa_vendor(device.spec().isa);
-        let backend = import_compiler(package, vendor)?;
-        Ok(Self { device, vendor, backend, backend_package: package.to_owned() })
+        let session = import_session(Arc::clone(&device), package)?;
+        Ok(Self { session, backend_package: package.to_owned() })
     }
 
     /// `import <package>` — checks availability without rebinding.
     pub fn import_(&self, package: &str) -> PyResult<()> {
-        import_compiler(package, self.vendor).map(|_| ())
+        import_session(Arc::clone(self.session.device()), package).map(|_| ())
     }
 
-    /// `cupy.asarray(host)` — upload with a dtype.
+    /// The execution-spine session under this runtime.
+    pub fn session(&self) -> &ExecutionSession {
+        &self.session
+    }
+
+    /// `cupy.asarray(host)` — upload, tagging the array with the dtype of
+    /// the host slice. One generic path; the `_f32`/`_f64` names are
+    /// deprecated sugar over it.
+    pub fn asarray<T: PyElement>(&self, data: &[T]) -> PyResult<PyArray> {
+        let ptr = self
+            .session
+            .alloc_bytes((data.len() * T::BYTES) as u64)
+            .map_err(|e| PyError::RuntimeError(e.to_string()))?;
+        self.session.upload_raw(ptr, data).map_err(|e| PyError::RuntimeError(e.to_string()))?;
+        Ok(PyArray { ptr, len: data.len(), dtype: T::DTYPE })
+    }
+
+    /// `cupy.asarray(host)` for `float64`.
+    #[deprecated(since = "0.1.0", note = "use the generic `asarray` instead")]
     pub fn asarray_f64(&self, data: &[f64]) -> PyResult<PyArray> {
-        let ptr =
-            self.device.alloc_copy_f64(data).map_err(|e| PyError::RuntimeError(e.to_string()))?;
-        Ok(PyArray { ptr, len: data.len(), dtype: DType::Float64 })
+        self.asarray(data)
     }
 
     /// `cupy.asarray(host, dtype=float32)`.
+    #[deprecated(since = "0.1.0", note = "use the generic `asarray` instead")]
     pub fn asarray_f32(&self, data: &[f32]) -> PyResult<PyArray> {
-        let ptr =
-            self.device.alloc_copy_f32(data).map_err(|e| PyError::RuntimeError(e.to_string()))?;
-        Ok(PyArray { ptr, len: data.len(), dtype: DType::Float32 })
+        self.asarray(data)
     }
 
     /// `cupy.zeros(n, dtype)`.
     pub fn zeros(&self, n: usize, dtype: DType) -> PyResult<PyArray> {
         match dtype {
-            DType::Float64 => self.asarray_f64(&vec![0.0; n]),
-            DType::Float32 => self.asarray_f32(&vec![0.0; n]),
+            DType::Float64 => self.asarray(&vec![0.0f64; n]),
+            DType::Float32 => self.asarray(&vec![0.0f32; n]),
             other => Err(PyError::TypeError(format!("zeros: unsupported dtype {}", other.name()))),
         }
     }
@@ -257,20 +298,14 @@ impl PyRuntime {
             k.st_elem(Space::Global, po, i, w);
         });
         // scalar_mul has an extra f64 argument between the pointers and n.
-        let module = self
-            .backend
-            .compile(&k.finish(), Model::Python, Language::Python, self.vendor)
-            .map_err(|e| PyError::RuntimeError(e.to_string()))?;
         let args = [
             KernelArg::Ptr(a.ptr),
             KernelArg::Ptr(out.ptr),
             KernelArg::F64(alpha),
             KernelArg::I32(a.len as i32),
         ];
-        let cfg =
-            LaunchConfig::linear(a.len as u64, 256).with_efficiency(self.backend.efficiency());
-        self.device
-            .launch(&module, cfg, &args)
+        self.session
+            .run(&k.finish(), a.len as u64, 256, &args)
             .map_err(|e| PyError::RuntimeError(e.to_string()))?;
         Ok(out)
     }
@@ -283,8 +318,9 @@ impl PyRuntime {
                 a.dtype.name()
             )));
         }
-        let cell = self.device.alloc(8).map_err(|e| PyError::RuntimeError(e.to_string()))?;
-        self.device
+        let cell = self.session.alloc_bytes(8).map_err(|e| PyError::RuntimeError(e.to_string()))?;
+        self.session
+            .device()
             .memory()
             .store(cell.0, Value::F64(0.0))
             .map_err(|e| PyError::RuntimeError(e.to_string()))?;
@@ -300,23 +336,35 @@ impl PyRuntime {
         });
         self.launch(&k.finish(), a.len, &[a.ptr, cell])?;
         let out = self
-            .device
+            .session
+            .device()
             .memory()
             .load(Type::F64, cell.0)
             .map_err(|e| PyError::RuntimeError(e.to_string()))?;
-        self.device.free(cell, 8);
+        self.session.free_bytes(cell, 8);
         match out {
             Value::F64(x) => Ok(x),
             _ => unreachable!("sum cell is f64"),
         }
     }
 
-    /// `cupy.asnumpy(arr)` — download to host (f64).
-    pub fn asnumpy_f64(&self, a: &PyArray) -> PyResult<Vec<f64>> {
-        if a.dtype != DType::Float64 {
-            return Err(PyError::TypeError(format!("asnumpy_f64: array is {}", a.dtype.name())));
+    /// `cupy.asnumpy(arr)` — download to host, checking the runtime dtype
+    /// against the requested element type.
+    pub fn asnumpy<T: PyElement>(&self, a: &PyArray) -> PyResult<Vec<T>> {
+        if a.dtype != T::DTYPE {
+            return Err(PyError::TypeError(format!(
+                "asnumpy: array is {}, requested {}",
+                a.dtype.name(),
+                T::DTYPE.name()
+            )));
         }
-        self.device.read_f64(a.ptr, a.len).map_err(|e| PyError::RuntimeError(e.to_string()))
+        self.session.download_raw(a.ptr, a.len).map_err(|e| PyError::RuntimeError(e.to_string()))
+    }
+
+    /// `cupy.asnumpy(arr)` for `float64`.
+    #[deprecated(since = "0.1.0", note = "use the generic `asnumpy` instead")]
+    pub fn asnumpy_f64(&self, a: &PyArray) -> PyResult<Vec<f64>> {
+        self.asnumpy(a)
     }
 
     fn launch(
@@ -325,44 +373,42 @@ impl PyRuntime {
         n: usize,
         ptrs: &[DevicePtr],
     ) -> PyResult<()> {
-        let module = self
-            .backend
-            .compile(kernel, Model::Python, Language::Python, self.vendor)
-            .map_err(|e| PyError::RuntimeError(e.to_string()))?;
         let mut args: Vec<KernelArg> = ptrs.iter().map(|&p| KernelArg::Ptr(p)).collect();
         args.push(KernelArg::I32(n as i32));
-        let cfg = LaunchConfig::linear(n as u64, 256).with_efficiency(self.backend.efficiency());
-        self.device
-            .launch(&module, cfg, &args)
+        self.session
+            .run(kernel, n as u64, 256, &args)
             .map(|_| ())
             .map_err(|e| PyError::RuntimeError(e.to_string()))
     }
 }
 
-fn import_compiler(package: &str, vendor: Vendor) -> PyResult<VirtualCompiler> {
+fn import_session(device: Arc<Device>, package: &str) -> PyResult<ExecutionSession> {
+    let vendor = mcmm_toolchain::isa_vendor(device.spec().isa);
     let toolchain = package_toolchain(package, vendor).ok_or_else(|| PyError::ImportError {
         package: package.to_owned(),
         vendor,
         reason: "package does not exist for this platform".into(),
     })?;
-    let compiler = Registry::paper()
-        .select(Model::Python, Language::Python, vendor)
-        .into_iter()
-        .find(|c| c.name == toolchain)
-        .cloned()
-        .ok_or_else(|| PyError::ImportError {
-            package: package.to_owned(),
-            vendor,
-            reason: "not registered".into(),
-        })?;
-    if compiler.route.maintenance == Maintenance::Unmaintained {
-        return Err(PyError::ImportError {
-            package: package.to_owned(),
-            vendor,
-            reason: "package is unmaintained (paper §5 'Topicality')".into(),
-        });
+    ExecutionSession::open_with_toolchain_on(device, Model::Python, Language::Python, toolchain)
+        .map_err(|e| import_error(package, e))
+}
+
+/// The "etc (Python)" column as a spine [`Frontend`] (§6: "well-supported
+/// by all three platforms").
+pub struct PythonFrontend;
+
+impl Frontend for PythonFrontend {
+    fn model(&self) -> Model {
+        Model::Python
     }
-    Ok(compiler)
+
+    fn language(&self) -> Language {
+        Language::Python
+    }
+
+    fn open(&self, vendor: Vendor) -> Result<ExecutionSession, FrontendError> {
+        ExecutionSession::open(Model::Python, Language::Python, vendor)
+    }
 }
 
 /// A device array with runtime dtype — the `cupy.ndarray`/`dpnp.ndarray`
@@ -398,12 +444,12 @@ mod tests {
         for spec in DeviceSpec::presets() {
             let name = spec.name;
             let py = PyRuntime::new(Device::new(spec)).unwrap();
-            let a = py.asarray_f64(&[1.0, 2.0, 3.0, 4.0]).unwrap();
-            let b = py.asarray_f64(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+            let a = py.asarray(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+            let b = py.asarray(&[10.0, 20.0, 30.0, 40.0]).unwrap();
             let c = py.elementwise(BinOp::Add, &a, &b).unwrap();
-            assert_eq!(py.asnumpy_f64(&c).unwrap(), vec![11.0, 22.0, 33.0, 44.0], "{name}");
+            assert_eq!(py.asnumpy::<f64>(&c).unwrap(), vec![11.0, 22.0, 33.0, 44.0], "{name}");
             let d = py.elementwise(BinOp::Mul, &a, &b).unwrap();
-            assert_eq!(py.asnumpy_f64(&d).unwrap(), vec![10.0, 40.0, 90.0, 160.0], "{name}");
+            assert_eq!(py.asnumpy::<f64>(&d).unwrap(), vec![10.0, 40.0, 90.0, 160.0], "{name}");
         }
     }
 
@@ -443,23 +489,33 @@ mod tests {
     #[test]
     fn dynamic_type_errors() {
         let py = PyRuntime::new(Device::new(DeviceSpec::nvidia_a100())).unwrap();
-        let a = py.asarray_f64(&[1.0, 2.0]).unwrap();
-        let b = py.asarray_f64(&[1.0, 2.0, 3.0]).unwrap();
+        let a = py.asarray(&[1.0, 2.0]).unwrap();
+        let b = py.asarray(&[1.0, 2.0, 3.0]).unwrap();
         match py.elementwise(BinOp::Add, &a, &b) {
             Err(PyError::TypeError(m)) => assert!(m.contains("broadcast")),
             other => panic!("expected TypeError, got {other:?}"),
         }
-        let c = py.asarray_f32(&[1.0, 2.0]).unwrap();
+        let c = py.asarray(&[1.0f32, 2.0]).unwrap();
         assert!(matches!(py.elementwise(BinOp::Add, &a, &c), Err(PyError::TypeError(_))));
     }
 
     #[test]
     fn sum_reduction() {
         let py = PyRuntime::new(Device::new(DeviceSpec::intel_pvc())).unwrap();
-        let a = py.asarray_f64(&(0..100).map(f64::from).collect::<Vec<_>>()).unwrap();
+        let a = py.asarray(&(0..100).map(f64::from).collect::<Vec<_>>()).unwrap();
         assert_eq!(py.sum(&a).unwrap(), 4950.0);
-        let f32arr = py.asarray_f32(&[1.0]).unwrap();
+        let f32arr = py.asarray(&[1.0f32]).unwrap();
         assert!(matches!(py.sum(&f32arr), Err(PyError::TypeError(_))));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_asarray_names_still_work() {
+        let py = PyRuntime::new(Device::new(DeviceSpec::nvidia_a100())).unwrap();
+        let a = py.asarray_f64(&[1.0, 2.0]).unwrap();
+        assert_eq!(py.asnumpy_f64(&a).unwrap(), vec![1.0, 2.0]);
+        let b = py.asarray_f32(&[1.0, 2.0]).unwrap();
+        assert_eq!(b.dtype, DType::Float32);
     }
 
     #[test]
@@ -473,8 +529,8 @@ mod tests {
     #[test]
     fn f32_arrays_work_end_to_end() {
         let py = PyRuntime::new(Device::new(DeviceSpec::amd_mi250x())).unwrap();
-        let a = py.asarray_f32(&[1.5, 2.5]).unwrap();
-        let b = py.asarray_f32(&[0.5, 0.5]).unwrap();
+        let a = py.asarray(&[1.5f32, 2.5]).unwrap();
+        let b = py.asarray(&[0.5f32, 0.5]).unwrap();
         let c = py.elementwise(BinOp::Sub, &a, &b).unwrap();
         assert_eq!(c.dtype, DType::Float32);
         // Read back as f32 through the device API.

@@ -19,12 +19,11 @@
 
 use mcmm_core::provider::{Maintenance, Provider};
 use mcmm_core::route::{Completeness, Directness, Route, RouteKind};
-use mcmm_core::taxonomy::Vendor;
+use mcmm_core::taxonomy::{Language, Model, Vendor};
+use mcmm_frontend::{Element, ExecutionSession};
 use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig};
 use mcmm_gpu_sim::ir::{AtomicOp, KernelBuilder, Reg, Space, Type};
-use mcmm_gpu_sim::isa::assemble;
 use mcmm_gpu_sim::mem::DevicePtr;
-use mcmm_toolchain::{efficiency::route_efficiency, vendor_isa};
 use std::fmt;
 use std::sync::Arc;
 
@@ -161,16 +160,33 @@ impl RangeSegment {
 }
 
 /// A RAJA resource: device + policy defaults.
+///
+/// RAJA is not in the paper's matrix, so the resource rides the spine
+/// through [`ExecutionSession::for_route`] with the extension routes
+/// declared on [`ExecPolicy`]. The default-policy session carries the
+/// transfers; each `forall` opens a per-policy session (the compile
+/// cache is process-wide, so repeated launches still hit it).
 pub struct Resource {
-    device: Arc<Device>,
+    session: ExecutionSession,
     vendor: Vendor,
+}
+
+/// The nominal model slot extension sessions run under; the paper calls
+/// RAJA "similar in spirit to" Kokkos, whose matrix column it borrows.
+const HOST_MODEL: Model = Model::Kokkos;
+
+fn session_for(device: Arc<Device>, policy: ExecPolicy) -> RajaResult<ExecutionSession> {
+    ExecutionSession::for_route(device, HOST_MODEL, Language::Cpp, policy.route())
+        .map_err(|e| RajaError::Runtime(e.to_string()))
 }
 
 impl Resource {
     /// Wrap a device.
     pub fn new(device: Arc<Device>) -> Self {
         let vendor = mcmm_toolchain::isa_vendor(device.spec().isa);
-        Self { device, vendor }
+        let session = session_for(device, ExecPolicy::default_for(vendor))
+            .expect("RAJA default backends are executable routes");
+        Self { session, vendor }
     }
 
     /// The device vendor.
@@ -178,14 +194,24 @@ impl Resource {
         self.vendor
     }
 
+    /// The shared execution session carrying this resource's transfers.
+    pub fn session(&self) -> &ExecutionSession {
+        &self.session
+    }
+
     /// Allocate + upload a device array.
     pub fn alloc(&self, data: &[f64]) -> RajaResult<DevicePtr> {
-        self.device.alloc_copy_f64(data).map_err(|e| RajaError::Runtime(e.to_string()))
+        let ptr = self
+            .session
+            .alloc_bytes((data.len() * f64::BYTES) as u64)
+            .map_err(|e| RajaError::Runtime(e.to_string()))?;
+        self.session.upload_raw(ptr, data).map_err(|e| RajaError::Runtime(e.to_string()))?;
+        Ok(ptr)
     }
 
     /// Read back a device array.
     pub fn to_host(&self, ptr: DevicePtr, n: usize) -> RajaResult<Vec<f64>> {
-        self.device.read_f64(ptr, n).map_err(|e| RajaError::Runtime(e.to_string()))
+        self.session.download_raw::<f64>(ptr, n).map_err(|e| RajaError::Runtime(e.to_string()))
     }
 }
 
@@ -213,13 +239,14 @@ pub struct ReduceMax(Reducer);
 
 impl Reducer {
     fn new(res: &Resource, kind: ReduceKind, init: f64) -> RajaResult<Self> {
-        let cell = res.device.alloc(8).map_err(|e| RajaError::Runtime(e.to_string()))?;
-        res.device
+        let cell = res.session.alloc_bytes(8).map_err(|e| RajaError::Runtime(e.to_string()))?;
+        res.session
+            .device()
             .memory()
             .store(cell.0, Value::F64(init))
             .map_err(|e| RajaError::Runtime(e.to_string()))?;
         let _ = kind; // identity is fixed by the initial value + combine op
-        Ok(Self { cell, device: Arc::clone(&res.device) })
+        Ok(Self { cell, device: Arc::clone(res.session.device()) })
     }
 
     /// Emit the combine of `v` into this reducer inside a kernel body.
@@ -313,8 +340,13 @@ fn launch(
         }
     });
     let kernel = b.finish();
-    let module =
-        assemble(&kernel, vendor_isa(res.vendor)).map_err(|e| RajaError::Runtime(e.to_string()))?;
+    let session = if route == *res.session.route() {
+        None
+    } else {
+        Some(session_for(Arc::clone(res.session.device()), policy)?)
+    };
+    let session = session.as_ref().unwrap_or(&res.session);
+    let module = session.compile(&kernel).map_err(|e| RajaError::Runtime(e.to_string()))?;
     let mut args: Vec<KernelArg> = arrays.iter().map(|&p| KernelArg::Ptr(p)).collect();
     if let Some(c) = extra_cell {
         args.push(KernelArg::Ptr(c));
@@ -322,8 +354,8 @@ fn launch(
     args.push(KernelArg::I32(seg.begin as i32));
     args.push(KernelArg::I32(seg.end as i32));
     let cfg = LaunchConfig::linear(seg.len() as u64, policy.block_size())
-        .with_efficiency(route_efficiency(&route));
-    res.device.launch(&module, cfg, &args).map_err(|e| RajaError::Runtime(e.to_string()))?;
+        .with_efficiency(session.efficiency());
+    session.launch(&module, cfg, &args).map_err(|e| RajaError::Runtime(e.to_string()))?;
     Ok(())
 }
 
@@ -388,6 +420,7 @@ pub fn forall_reduce_max(
 mod tests {
     use super::*;
     use mcmm_gpu_sim::DeviceSpec;
+    use mcmm_toolchain::efficiency::route_efficiency;
 
     #[test]
     fn forall_daxpy_on_all_vendors() {

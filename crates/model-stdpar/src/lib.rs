@@ -15,10 +15,10 @@
 //!   returns [`StdparError::NoSupport`]).
 
 use mcmm_core::taxonomy::{Language, Model, Vendor};
-use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig};
+use mcmm_frontend::{Element, ExecutionSession, Frontend, FrontendError};
+use mcmm_gpu_sim::device::{Device, KernelArg};
 use mcmm_gpu_sim::ir::{AtomicOp, KernelBuilder, Reg, Type};
 use mcmm_gpu_sim::mem::DevicePtr;
-use mcmm_toolchain::{Registry, VirtualCompiler};
 use std::fmt;
 use std::sync::Arc;
 
@@ -52,11 +52,10 @@ impl std::error::Error for StdparError {}
 pub type StdparResult<T> = Result<T, StdparError>;
 
 /// An execution policy bound to a device (``std::execution::par_unseq``
-/// with offload, as `-stdpar=gpu` interprets it).
+/// with offload, as `-stdpar=gpu` interprets it) — a pSTL-flavored surface
+/// over the shared [`ExecutionSession`] spine.
 pub struct Policy {
-    device: Arc<Device>,
-    vendor: Vendor,
-    compiler: VirtualCompiler,
+    session: ExecutionSession,
     /// Intel's oneDPL keeps pSTL in `oneapi::dpl::` rather than `std::`
     /// (§5 "ambivalence") — surfaced so callers can see the caveat.
     pub namespace_note: Option<&'static str>,
@@ -64,25 +63,32 @@ pub struct Policy {
 
 /// Construct the offloading policy for a device (C++ surface).
 pub fn par_unseq(device: Arc<Device>) -> StdparResult<Policy> {
-    let vendor = mcmm_toolchain::isa_vendor(device.spec().isa);
-    let compiler = Registry::paper()
-        .select_best(Model::Standard, Language::Cpp, vendor)
-        .cloned()
-        .ok_or(StdparError::NoSupport { vendor, language: Language::Cpp })?;
-    let namespace_note = (vendor == Vendor::Intel)
+    let session =
+        ExecutionSession::open_on(device, Model::Standard, Language::Cpp).map_err(|e| match e {
+            FrontendError::NoRoute { vendor, language, .. } => {
+                StdparError::NoSupport { vendor, language }
+            }
+            other => StdparError::Runtime(other.to_string()),
+        })?;
+    let namespace_note = (session.vendor() == Vendor::Intel)
         .then_some("algorithms live in oneapi::dpl::, not std:: (paper §5)");
-    Ok(Policy { device, vendor, compiler, namespace_note })
+    Ok(Policy { session, namespace_note })
 }
 
 impl Policy {
     /// The resolved toolchain.
     pub fn toolchain(&self) -> &'static str {
-        self.compiler.name
+        self.session.toolchain()
     }
 
     /// The route efficiency (AMD's experimental venues pay a penalty).
     pub fn efficiency(&self) -> f64 {
-        self.compiler.efficiency()
+        self.session.efficiency()
+    }
+
+    /// The execution-spine session under this policy.
+    pub fn session(&self) -> &ExecutionSession {
+        &self.session
     }
 
     fn run(
@@ -113,16 +119,11 @@ impl Policy {
             }
         });
         let kernel = b.finish();
-        let module = self
-            .compiler
-            .compile(&kernel, Model::Standard, Language::Cpp, self.vendor)
-            .map_err(|e| StdparError::Runtime(e.to_string()))?;
         let mut args: Vec<KernelArg> = arrays.iter().map(|&p| KernelArg::Ptr(p)).collect();
         args.extend_from_slice(extra);
         args.push(KernelArg::I32(n as i32));
-        let cfg = LaunchConfig::linear(n as u64, 256).with_efficiency(self.efficiency());
-        self.device
-            .launch(&module, cfg, &args)
+        self.session
+            .run(&kernel, n as u64, 256, &args)
             .map(|_| ())
             .map_err(|e| StdparError::Runtime(e.to_string()))
     }
@@ -168,8 +169,9 @@ impl Policy {
 
     /// `std::reduce(policy, v.begin(), v.end(), init)` — atomic-add tree.
     pub fn reduce(&self, v: &DeviceVec, init: f64) -> StdparResult<f64> {
-        let cell = self.device.alloc(8).map_err(|e| StdparError::Runtime(e.to_string()))?;
-        self.device
+        let cell = self.session.alloc_bytes(8).map_err(|e| StdparError::Runtime(e.to_string()))?;
+        self.session
+            .device()
             .memory()
             .store(cell.0, Value::F64(init))
             .map_err(|e| StdparError::Runtime(e.to_string()))?;
@@ -179,11 +181,12 @@ impl Policy {
             let _ = b.atomic(AtomicOp::Add, Space::Global, cell_reg, x);
         })?;
         let out = self
-            .device
+            .session
+            .device()
             .memory()
             .load(Type::F64, cell.0)
             .map_err(|e| StdparError::Runtime(e.to_string()))?;
-        self.device.free(cell, 8);
+        self.session.free_bytes(cell, 8);
         match out {
             Value::F64(x) => Ok(x),
             _ => unreachable!("reduction cell is f64"),
@@ -227,18 +230,33 @@ impl Policy {
         }
         if flipped {
             // Result currently lives in tmp; copy back.
-            self.device
+            self.session
+                .device()
                 .memory()
                 .copy_within(src, v.ptr, n as u64 * 8)
                 .map_err(|e| StdparError::Runtime(e.to_string()))?;
         }
-        self.device.free(tmp.ptr, n as u64 * 8);
+        self.session.free_bytes(tmp.ptr, n as u64 * 8);
         Ok(())
     }
 
-    /// Download a vector.
+    /// Download a vector (generic element path; `DeviceVec` holds `f64`).
     pub fn to_host(&self, v: &DeviceVec) -> StdparResult<Vec<f64>> {
-        self.device.read_f64(v.ptr, v.len).map_err(|e| StdparError::Runtime(e.to_string()))
+        self.session.download_raw(v.ptr, v.len).map_err(|e| StdparError::Runtime(e.to_string()))
+    }
+}
+
+/// The C++ pSTL column as a spine [`Frontend`] (§6: "the model with the
+/// fastest change at the moment").
+pub struct StdparFrontend;
+
+impl Frontend for StdparFrontend {
+    fn model(&self) -> Model {
+        Model::Standard
+    }
+
+    fn open(&self, vendor: Vendor) -> Result<ExecutionSession, FrontendError> {
+        ExecutionSession::open(Model::Standard, Language::Cpp, vendor)
     }
 }
 
@@ -249,10 +267,13 @@ pub struct DeviceVec {
 }
 
 impl DeviceVec {
-    /// Upload host data.
+    /// Upload host data (generic element path; `DeviceVec` holds `f64`).
     pub fn from_host(policy: &Policy, data: &[f64]) -> StdparResult<Self> {
-        let ptr =
-            policy.device.alloc_copy_f64(data).map_err(|e| StdparError::Runtime(e.to_string()))?;
+        let ptr = policy
+            .session
+            .alloc_bytes((data.len() * f64::BYTES) as u64)
+            .map_err(|e| StdparError::Runtime(e.to_string()))?;
+        policy.session.upload_raw(ptr, data).map_err(|e| StdparError::Runtime(e.to_string()))?;
         Ok(Self { ptr, len: data.len() })
     }
 
@@ -283,11 +304,14 @@ pub fn do_concurrent(
     arrays: &[DevicePtr],
     body: impl FnOnce(&mut KernelBuilder, Reg, &[Reg]),
 ) -> StdparResult<()> {
-    let vendor = mcmm_toolchain::isa_vendor(device.spec().isa);
-    let compiler = Registry::paper()
-        .select_best(Model::Standard, Language::Fortran, vendor)
-        .cloned()
-        .ok_or(StdparError::NoSupport { vendor, language: Language::Fortran })?;
+    let session = ExecutionSession::open_on(device, Model::Standard, Language::Fortran).map_err(
+        |e| match e {
+            FrontendError::NoRoute { vendor, language, .. } => {
+                StdparError::NoSupport { vendor, language }
+            }
+            other => StdparError::Runtime(other.to_string()),
+        },
+    )?;
     let mut b = KernelBuilder::new("do_concurrent");
     let bases: Vec<Reg> = arrays.iter().map(|_| b.param(Type::I64)).collect();
     let n_param = b.param(Type::I32);
@@ -302,13 +326,12 @@ pub fn do_concurrent(
         }
     });
     let kernel = b.finish();
-    let module = compiler
-        .compile(&kernel, Model::Standard, Language::Fortran, vendor)
-        .map_err(|e| StdparError::Runtime(e.to_string()))?;
     let mut args: Vec<KernelArg> = arrays.iter().map(|&p| KernelArg::Ptr(p)).collect();
     args.push(KernelArg::I32(n as i32));
-    let cfg = LaunchConfig::linear(n as u64, 256).with_efficiency(compiler.efficiency());
-    device.launch(&module, cfg, &args).map(|_| ()).map_err(|e| StdparError::Runtime(e.to_string()))
+    session
+        .run(&kernel, n as u64, 256, &args)
+        .map(|_| ())
+        .map_err(|e| StdparError::Runtime(e.to_string()))
 }
 
 #[cfg(test)]

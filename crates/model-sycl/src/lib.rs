@@ -20,11 +20,10 @@
 //! type-level: nothing in this crate accepts Fortran.
 
 use mcmm_core::taxonomy::{Language, Model, Vendor};
-use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig, LaunchReport};
+use mcmm_frontend::{Element, ExecutionSession, Frontend, FrontendError};
+use mcmm_gpu_sim::device::{Device, KernelArg, LaunchReport};
 use mcmm_gpu_sim::ir::{KernelBuilder, KernelIr, Reg, Type};
-use mcmm_gpu_sim::isa::Module;
 use mcmm_gpu_sim::mem::DevicePtr;
-use mcmm_toolchain::Registry;
 use std::fmt;
 use std::sync::Arc;
 
@@ -91,13 +90,11 @@ impl std::error::Error for SyclError {}
 /// Result alias.
 pub type SyclResult<T> = Result<T, SyclError>;
 
-/// An in-order SYCL queue on one device through one implementation.
+/// An in-order SYCL queue on one device through one implementation — a
+/// SYCL-flavored surface over the shared [`ExecutionSession`] spine.
 pub struct Queue {
-    device: Arc<Device>,
-    vendor: Vendor,
+    session: ExecutionSession,
     implementation: SyclImpl,
-    toolchain: &'static str,
-    efficiency: f64,
 }
 
 impl Queue {
@@ -107,23 +104,18 @@ impl Queue {
         let name = implementation
             .toolchain_name(vendor)
             .ok_or(SyclError::NoImplementation { implementation, vendor })?;
-        let registry = Registry::paper();
-        let compiler = registry
-            .select(Model::Sycl, Language::Cpp, vendor)
-            .into_iter()
-            .find(|c| c.name == name)
-            .ok_or(SyclError::NoImplementation { implementation, vendor })?;
-        if !compiler.is_available() {
-            // ComputeCpp after September 2023.
-            return Err(SyclError::NoImplementation { implementation, vendor });
-        }
-        Ok(Self {
-            device,
-            vendor,
-            implementation,
-            toolchain: compiler.name,
-            efficiency: compiler.efficiency(),
-        })
+        // The spine resolves the named toolchain and refuses discontinued
+        // ones (ComputeCpp after September 2023).
+        let session =
+            ExecutionSession::open_with_toolchain_on(device, Model::Sycl, Language::Cpp, name)
+                .map_err(|e| match e {
+                    FrontendError::NoRoute { vendor, .. }
+                    | FrontendError::Discontinued { vendor, .. } => {
+                        SyclError::NoImplementation { implementation, vendor }
+                    }
+                    other => SyclError::Runtime(other.to_string()),
+                })?;
+        Ok(Self { session, implementation })
     }
 
     /// Create a queue with the default (best available) implementation —
@@ -145,36 +137,54 @@ impl Queue {
 
     /// The toolchain name (diagnostics).
     pub fn toolchain(&self) -> &'static str {
-        self.toolchain
+        self.session.toolchain()
     }
 
     /// The device vendor.
     pub fn vendor(&self) -> Vendor {
-        self.vendor
+        self.session.vendor()
+    }
+
+    /// The route efficiency applied at launch.
+    pub fn efficiency(&self) -> f64 {
+        self.session.efficiency()
+    }
+
+    /// The execution-spine session under this queue.
+    pub fn session(&self) -> &ExecutionSession {
+        &self.session
+    }
+
+    /// USM: `malloc_device<T>` — one generic allocation path for every
+    /// element type (the old `_f32`/`_f64` pair is deprecated sugar).
+    pub fn malloc_device<T: Element>(&self, n: usize) -> SyclResult<DevicePtr> {
+        self.session
+            .alloc_bytes((n * T::BYTES) as u64)
+            .map_err(|e| SyclError::MemoryAllocation(e.to_string()))
     }
 
     /// USM: `malloc_device<f32>`.
+    #[deprecated(since = "0.1.0", note = "use the generic `malloc_device::<f32>` instead")]
     pub fn malloc_device_f32(&self, n: usize) -> SyclResult<DevicePtr> {
-        self.device.alloc(n as u64 * 4).map_err(|e| SyclError::MemoryAllocation(e.to_string()))
+        self.malloc_device::<f32>(n)
     }
 
     /// USM: `malloc_device<double>`.
+    #[deprecated(since = "0.1.0", note = "use the generic `malloc_device::<f64>` instead")]
     pub fn malloc_device_f64(&self, n: usize) -> SyclResult<DevicePtr> {
-        self.device.alloc(n as u64 * 8).map_err(|e| SyclError::MemoryAllocation(e.to_string()))
+        self.malloc_device::<f64>(n)
     }
 
     /// USM copy host→device for doubles.
+    #[deprecated(since = "0.1.0", note = "use the generic `memcpy_to_device` instead")]
     pub fn memcpy_to_device_f64(&self, dst: DevicePtr, src: &[f64]) -> SyclResult<()> {
-        let bytes: Vec<u8> = src.iter().flat_map(|v| v.to_le_bytes()).collect();
-        self.device
-            .memcpy_h2d(dst, &bytes)
-            .map(|_| ())
-            .map_err(|e| SyclError::Invalid(e.to_string()))
+        self.memcpy_to_device(dst, src)
     }
 
     /// USM copy device→host for doubles.
+    #[deprecated(since = "0.1.0", note = "use the generic `memcpy_from_device` instead")]
     pub fn memcpy_from_device_f64(&self, src: DevicePtr, n: usize) -> SyclResult<Vec<f64>> {
-        self.device.read_f64(src, n).map_err(|e| SyclError::Invalid(e.to_string()))
+        self.memcpy_from_device(src, n)
     }
 
     /// `parallel_for` over raw USM pointers (no buffer bookkeeping): the
@@ -199,25 +209,22 @@ impl Queue {
             }
         });
         let kernel = b.finish();
-        let module = self.compile(&kernel)?;
         let mut args: Vec<KernelArg> = ptrs.iter().map(|&p| KernelArg::Ptr(p)).collect();
         args.push(KernelArg::I32(range as i32));
-        let cfg = LaunchConfig::linear(range as u64, 256).with_efficiency(self.efficiency);
-        self.device.launch(&module, cfg, &args).map_err(|e| SyclError::Runtime(e.to_string()))
+        self.session
+            .run(&kernel, range as u64, 256, &args)
+            .map_err(|e| SyclError::Runtime(e.to_string()))
     }
 
-    /// USM copy host→device.
-    pub fn memcpy_to_device(&self, dst: DevicePtr, src: &[f32]) -> SyclResult<()> {
-        let bytes: Vec<u8> = src.iter().flat_map(|v| v.to_le_bytes()).collect();
-        self.device
-            .memcpy_h2d(dst, &bytes)
-            .map(|_| ())
-            .map_err(|e| SyclError::Invalid(e.to_string()))
+    /// USM copy host→device — generic over the element type ([`Element`]),
+    /// replacing the old `f32`/`f64` method pair.
+    pub fn memcpy_to_device<T: Element>(&self, dst: DevicePtr, src: &[T]) -> SyclResult<()> {
+        self.session.upload_raw(dst, src).map(|_| ()).map_err(|e| SyclError::Invalid(e.to_string()))
     }
 
-    /// USM copy device→host.
-    pub fn memcpy_from_device(&self, src: DevicePtr, n: usize) -> SyclResult<Vec<f32>> {
-        self.device.read_f32(src, n).map_err(|e| SyclError::Invalid(e.to_string()))
+    /// USM copy device→host — generic over the element type.
+    pub fn memcpy_from_device<T: Element>(&self, src: DevicePtr, n: usize) -> SyclResult<Vec<T>> {
+        self.session.download_raw(src, n).map_err(|e| SyclError::Invalid(e.to_string()))
     }
 
     /// `parallel_for` over a 1-D range: the body closure receives the
@@ -234,7 +241,7 @@ impl Queue {
     ) -> SyclResult<LaunchReport> {
         // Ensure device copies are current.
         for buf in buffers.iter_mut() {
-            buf.sync_to_device(&self.device)?;
+            buf.sync_to_device(self)?;
         }
         let mut b = KernelBuilder::new("sycl_parallel_for");
         let bases: Vec<Reg> = buffers.iter().map(|_| b.param(Type::I64)).collect();
@@ -262,27 +269,26 @@ impl Queue {
         range: usize,
         buffers: &[&mut Buffer],
     ) -> SyclResult<LaunchReport> {
-        let module = self.compile(kernel)?;
         let mut args: Vec<KernelArg> =
             buffers.iter().map(|buf| KernelArg::Ptr(buf.device_ptr.expect("synced"))).collect();
         args.push(KernelArg::I32(range as i32));
-        let cfg = LaunchConfig::linear(range as u64, 256).with_efficiency(self.efficiency);
-        self.device.launch(&module, cfg, &args).map_err(|e| SyclError::Runtime(e.to_string()))
+        self.session
+            .run(kernel, range as u64, 256, &args)
+            .map_err(|e| SyclError::Runtime(e.to_string()))
+    }
+}
+
+/// The SYCL column as a spine [`Frontend`]: one model, all three vendors
+/// (§6: SYCL "supports all three GPU platform[s]").
+pub struct SyclFrontend;
+
+impl Frontend for SyclFrontend {
+    fn model(&self) -> Model {
+        Model::Sycl
     }
 
-    fn compile(&self, kernel: &KernelIr) -> SyclResult<Module> {
-        let registry = Registry::paper();
-        let compiler = registry
-            .select(Model::Sycl, Language::Cpp, self.vendor)
-            .into_iter()
-            .find(|c| c.name == self.toolchain)
-            .ok_or(SyclError::NoImplementation {
-                implementation: self.implementation,
-                vendor: self.vendor,
-            })?;
-        compiler
-            .compile(kernel, Model::Sycl, Language::Cpp, self.vendor)
-            .map_err(|e| SyclError::Runtime(e.to_string()))
+    fn open(&self, vendor: Vendor) -> Result<ExecutionSession, FrontendError> {
+        ExecutionSession::open(Model::Sycl, Language::Cpp, vendor)
     }
 }
 
@@ -311,11 +317,10 @@ impl Buffer {
         self.host.is_empty()
     }
 
-    fn sync_to_device(&mut self, device: &Device) -> SyclResult<()> {
+    fn sync_to_device(&mut self, queue: &Queue) -> SyclResult<()> {
         if self.device_ptr.is_none() {
-            let ptr = device
-                .alloc_copy_f32(&self.host)
-                .map_err(|e| SyclError::MemoryAllocation(e.to_string()))?;
+            let ptr = queue.malloc_device::<f32>(self.host.len())?;
+            queue.memcpy_to_device(ptr, &self.host)?;
             self.device_ptr = Some(ptr);
         }
         Ok(())
@@ -386,7 +391,7 @@ mod tests {
     fn native_on_intel_full_efficiency_elsewhere_not() {
         let q = Queue::new(Device::new(DeviceSpec::intel_pvc())).unwrap();
         assert_eq!(q.toolchain(), "Intel oneAPI DPC++ (icpx -fsycl)");
-        assert_eq!(q.efficiency, 1.0);
+        assert_eq!(q.efficiency(), 1.0);
         let q = Queue::new(Device::new(DeviceSpec::nvidia_a100())).unwrap();
         assert_eq!(q.toolchain(), "DPC++ (CUDA plugin)");
         // DPC++ on NVIDIA is complete+active (non-vendor good) → still 1.0
@@ -417,10 +422,28 @@ mod tests {
     #[test]
     fn usm_roundtrip() {
         let q = Queue::new(Device::new(DeviceSpec::amd_mi250x())).unwrap();
-        let p = q.malloc_device_f32(100).unwrap();
+        let p = q.malloc_device::<f32>(100).unwrap();
         let data: Vec<f32> = (0..100).map(|i| i as f32 * 0.25).collect();
         q.memcpy_to_device(p, &data).unwrap();
-        assert_eq!(q.memcpy_from_device(p, 100).unwrap(), data);
+        assert_eq!(q.memcpy_from_device::<f32>(p, 100).unwrap(), data);
+        // f64 goes through the very same generic path.
+        let p64 = q.malloc_device::<f64>(50).unwrap();
+        let data64: Vec<f64> = (0..50).map(|i| i as f64 * 0.125).collect();
+        q.memcpy_to_device(p64, &data64).unwrap();
+        assert_eq!(q.memcpy_from_device::<f64>(p64, 50).unwrap(), data64);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_memcpy_names_still_work() {
+        let q = Queue::new(Device::new(DeviceSpec::intel_pvc())).unwrap();
+        let p = q.malloc_device_f64(8).unwrap();
+        let data: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        q.memcpy_to_device_f64(p, &data).unwrap();
+        assert_eq!(q.memcpy_from_device_f64(p, 8).unwrap(), data);
+        let p32 = q.malloc_device_f32(4).unwrap();
+        q.memcpy_to_device(p32, &[1.0f32; 4]).unwrap();
+        assert_eq!(q.memcpy_from_device::<f32>(p32, 4).unwrap(), vec![1.0; 4]);
     }
 
     #[test]

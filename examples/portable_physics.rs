@@ -101,9 +101,9 @@ fn main() {
         let device = Device::new(DeviceSpec::intel_pvc());
         let dev = device.clone();
         let queue = Queue::new(device).expect("sycl");
-        let a = queue.malloc_device_f64(N).expect("usm");
-        let b_buf = queue.malloc_device_f64(N).expect("usm");
-        queue.memcpy_to_device_f64(a, &initial()).expect("h2d");
+        let a = queue.malloc_device::<f64>(N).expect("usm");
+        let b_buf = queue.malloc_device::<f64>(N).expect("usm");
+        queue.memcpy_to_device(a, &initial()).expect("h2d");
         let t0 = dev.modeled_clock().seconds();
         let mut bufs = [a, b_buf];
         for _ in 0..STEPS {
@@ -113,7 +113,7 @@ fn main() {
             bufs.swap(0, 1);
         }
         let dt = (dev.modeled_clock().seconds() - t0) * 1e6;
-        let out = queue.memcpy_from_device_f64(bufs[0], N).expect("d2h");
+        let out = queue.memcpy_from_device::<f64>(bufs[0], N).expect("d2h");
         report("SYCL · PVC Max", dt, &out, &reference);
     }
 

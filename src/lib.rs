@@ -11,9 +11,12 @@
 //!   virtual ISAs, SIMT interpreter, devices, streams, timing model.
 //! * [`toolchain`] — virtual compilers realising every dataset route, and
 //!   the probe that regenerates the matrix from observed behaviour.
+//! * [`frontend`] — the shared execution spine: `ExecutionSession`,
+//!   the `Element` transfer trait, the `FrontendError` taxonomy, and the
+//!   `Frontend` registry every benchmark iterates.
 //! * [`cuda`], [`hip`], [`sycl`], [`openmp`], [`openacc`], [`stdpar`],
 //!   [`kokkos`], [`alpaka`], [`python`] — one frontend per surveyed
-//!   programming model.
+//!   programming model, each a thin surface over the spine.
 //! * [`translate`] — HIPIFY, SYCLomatic, GPUFORT, the OpenACC→OpenMP
 //!   migration tool, chipStar.
 //! * [`serve`] — the concurrent kernel-execution service: content-
@@ -27,6 +30,7 @@
 
 pub use mcmm_babelstream as babelstream;
 pub use mcmm_core as core;
+pub use mcmm_frontend as frontend;
 pub use mcmm_gpu_sim as gpu_sim;
 pub use mcmm_model_alpaka as alpaka;
 pub use mcmm_model_cuda as cuda;

@@ -5,7 +5,7 @@
 //! wave all nine frontends through unchanged.
 
 use mcmm_analyze::{analyze, AnalysisOptions};
-use mcmm_babelstream::adapters::cuda::stream_kernels;
+use mcmm_babelstream::adapters::stream_kernels;
 use mcmm_babelstream::runner::{sweep, unsupported_count, verified_count};
 use mcmm_toolchain::probe::smoke_kernel;
 use mcmm_translate::ast::cuda_saxpy_program;

@@ -60,10 +60,10 @@ fn sycl_frontend_matches_gold_on_every_vendor() {
     use many_models::sycl::{BinOp, Queue, Value};
     for vendor in Vendor::ALL {
         let queue = Queue::new(Device::new(vendor_device_spec(vendor))).unwrap();
-        let x = queue.malloc_device_f64(N).unwrap();
-        let y = queue.malloc_device_f64(N).unwrap();
-        queue.memcpy_to_device_f64(x, &xs()).unwrap();
-        queue.memcpy_to_device_f64(y, &ys()).unwrap();
+        let x = queue.malloc_device::<f64>(N).unwrap();
+        let y = queue.malloc_device::<f64>(N).unwrap();
+        queue.memcpy_to_device(x, &xs()).unwrap();
+        queue.memcpy_to_device(y, &ys()).unwrap();
         queue
             .parallel_for_usm(N, &[x, y], |k, i, p| {
                 let xi = k.ld_elem(Space::Global, Type::F64, p[0], i);
@@ -73,7 +73,7 @@ fn sycl_frontend_matches_gold_on_every_vendor() {
                 k.st_elem(Space::Global, p[1], i, s);
             })
             .unwrap();
-        assert_eq!(queue.memcpy_from_device_f64(y, N).unwrap(), gold(), "{vendor}");
+        assert_eq!(queue.memcpy_from_device::<f64>(y, N).unwrap(), gold(), "{vendor}");
     }
 }
 
@@ -128,7 +128,7 @@ fn kokkos_and_stdpar_and_python_agree_on_a_reduction() {
     {
         use many_models::python::PyRuntime;
         let py = PyRuntime::new(Device::new(DeviceSpec::intel_pvc())).unwrap();
-        let v = py.asarray_f64(&xs()).unwrap();
+        let v = py.asarray(&xs()).unwrap();
         assert_eq!(py.sum(&v).unwrap(), expect);
     }
 }

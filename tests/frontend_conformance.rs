@@ -1,0 +1,100 @@
+//! Cross-frontend conformance: every model frontend's accept/refuse
+//! decision must agree, cell by cell, with the matrix's routability
+//! verdict from `mcmm-core::query` — the frontends are surfaces over the
+//! published dataset, not independent opinions about it.
+
+use many_models::babelstream::adapters::frontend_registry;
+use many_models::core::prelude::*;
+
+/// The registry must cover all nine surveyed models exactly once.
+#[test]
+fn registry_covers_the_nine_surveyed_models() {
+    let registry = frontend_registry();
+    assert_eq!(registry.len(), 9);
+    let mut models: Vec<Model> = registry.iter().map(|f| f.model()).collect();
+    models.dedup();
+    assert_eq!(models.len(), 9, "each model registered once");
+    for f in registry.iter() {
+        assert_eq!(f.name(), f.model().name(), "Figure 1 column names");
+    }
+}
+
+/// For every (model, vendor) cell: the frontend opens a session exactly
+/// when the matrix has an executable route for the frontend's
+/// (model, language) on that vendor.
+#[test]
+fn accept_refuse_agrees_with_the_matrix_verdict() {
+    let matrix = CompatMatrix::paper();
+    let registry = frontend_registry();
+    for frontend in registry.iter() {
+        for vendor in Vendor::ALL {
+            let routable = Query::new()
+                .models([frontend.model()])
+                .languages([frontend.language()])
+                .vendors([vendor])
+                .executable_route()
+                .count(&matrix)
+                > 0;
+            match frontend.open(vendor) {
+                Ok(session) => {
+                    assert!(
+                        routable,
+                        "{} opened on {vendor} but the matrix has no executable route",
+                        frontend.name()
+                    );
+                    assert_eq!(session.model(), frontend.model());
+                    assert_eq!(session.vendor(), vendor);
+                    assert!(!session.toolchain().is_empty());
+                }
+                Err(e) => {
+                    assert!(
+                        !routable,
+                        "{} refused {vendor} but the matrix has an executable route: {e}",
+                        frontend.name()
+                    );
+                    assert!(
+                        e.is_refusal(),
+                        "{}: non-refusal error on a matrix hole: {e}",
+                        frontend.name()
+                    );
+                    assert_eq!(
+                        e.vendor(),
+                        Some(vendor),
+                        "{}: refusal must carry the actual vendor",
+                        frontend.name()
+                    );
+                    let msg = e.to_string();
+                    assert!(
+                        msg.contains(vendor.name()),
+                        "{}: refusal message must name {vendor}: {msg}",
+                        frontend.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The refusal pattern is exactly the paper's four holes (§6): the CUDA
+/// runtime off NVIDIA, HIP on Intel, OpenACC on Intel.
+#[test]
+fn refusal_pattern_matches_the_papers_holes() {
+    let registry = frontend_registry();
+    let mut refused: Vec<(&'static str, Vendor)> = Vec::new();
+    for frontend in registry.iter() {
+        for vendor in Vendor::ALL {
+            if frontend.open(vendor).is_err() {
+                refused.push((frontend.name(), vendor));
+            }
+        }
+    }
+    assert_eq!(
+        refused,
+        vec![
+            ("CUDA", Vendor::Amd),
+            ("CUDA", Vendor::Intel),
+            ("HIP", Vendor::Intel),
+            ("OpenACC", Vendor::Intel),
+        ]
+    );
+}
