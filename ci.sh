@@ -19,6 +19,12 @@ echo "â”€â”€ chaos smoke â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â
 # Small fault storm: asserts zero lost jobs and â‰¥1 successful failover.
 cargo run --release -p mcmm-bench --bin chaos -- --smoke
 
+echo "â”€â”€ exec tier smoke â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€"
+# Scalar vs vectorized execution tiers: asserts the vectorized tier is at
+# least as fast in aggregate, buffers are byte-identical between tiers,
+# and repeat launches hit the lowered-program cache.
+cargo run --release -p mcmm-bench --bin exec -- --smoke
+
 echo "â”€â”€ adapter boilerplate guard â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€"
 # The blanket FrontendAdapter replaced nine hand-written BabelStream
 # adapters (1321 lines pre-refactor). Fail if per-model adapter

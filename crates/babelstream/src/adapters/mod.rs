@@ -170,6 +170,7 @@ impl StreamBackend for FrontendAdapter {
             kernels: sw.results(n),
             dot,
             verified: crate::verify(&a, &b, &c, gold) && dot_ok,
+            programs: session.device().program_cache_stats(),
         })
     }
 }

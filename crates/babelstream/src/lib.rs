@@ -25,6 +25,7 @@ pub mod runner;
 
 use mcmm_core::taxonomy::Vendor;
 use mcmm_gpu_sim::timing::ModeledTime;
+use mcmm_gpu_sim::ProgramCacheStats;
 use std::fmt;
 
 /// The five BabelStream kernels.
@@ -122,6 +123,9 @@ pub struct RunResult {
     pub dot: f64,
     /// Did the final array contents match the host-side gold recurrence?
     pub verified: bool,
+    /// Lowered-program cache traffic on this run's device (sessions own a
+    /// fresh device, so this is exactly what the run itself generated).
+    pub programs: ProgramCacheStats,
 }
 
 impl RunResult {

@@ -3,7 +3,7 @@
 use crate::adapters::all_backends;
 use crate::{RunResult, StreamError};
 use mcmm_core::taxonomy::Vendor;
-use mcmm_frontend::{shared_cache, CacheStats};
+use mcmm_frontend::{shared_cache, CacheStats, ProgramCacheStats};
 use std::ops::Deref;
 
 /// The outcome of one (model, vendor) cell of the sweep.
@@ -29,6 +29,10 @@ pub struct Sweep {
     pub cache_hits: u64,
     /// Shared-cache misses attributable to this sweep (counter delta).
     pub cache_misses: u64,
+    /// Lowered-program cache traffic summed over every cell that ran
+    /// (each session brings up a fresh device, so per-run stats add up
+    /// cleanly — no delta needed).
+    pub programs: ProgramCacheStats,
 }
 
 impl Sweep {
@@ -68,10 +72,15 @@ pub fn sweep(n: usize, iters: usize) -> Sweep {
         }
     }
     let after = shared_cache().stats();
+    let programs = entries
+        .iter()
+        .filter_map(|e| e.outcome.as_ref().ok())
+        .fold(ProgramCacheStats::default(), |acc, r| acc.merged(r.programs));
     Sweep {
         entries,
         cache_hits: after.hits.saturating_sub(before.hits),
         cache_misses: after.misses.saturating_sub(before.misses),
+        programs,
     }
 }
 
@@ -125,5 +134,20 @@ mod tests {
             again.cache_misses
         );
         assert!(again.cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn multi_iteration_sweep_hits_the_program_cache() {
+        // With two iterations every kernel launches twice on its session's
+        // fresh device: the first launch lowers (miss), the second reuses
+        // the cached lane-vector program (hit).
+        let s = sweep(256, 2);
+        assert!(s.programs.misses > 0, "expected at least one lowering (got {:?})", s.programs);
+        assert!(
+            s.programs.hits > 0,
+            "second launches saw no program-cache hits (got {:?})",
+            s.programs
+        );
+        assert!(s.programs.hit_rate() > 0.0);
     }
 }

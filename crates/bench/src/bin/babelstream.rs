@@ -35,6 +35,12 @@ fn main() {
         entries.cache_misses,
         entries.cache_hit_rate() * 100.0
     );
+    println!(
+        "lowered-program cache: {} hits / {} misses ({:.0}% hit rate)",
+        entries.programs.hits,
+        entries.programs.misses,
+        entries.programs.hit_rate() * 100.0
+    );
 
     if let Some(model) = model_filter {
         println!();

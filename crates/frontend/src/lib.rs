@@ -40,4 +40,6 @@ pub use error::FrontendError;
 pub use registry::{Frontend, FrontendRegistry};
 pub use session::{shared_cache, DeviceBuffer, ExecutionSession};
 
-pub use mcmm_toolchain::{CacheStats, CompileCache};
+pub use mcmm_toolchain::{
+    set_process_exec_tier, CacheStats, CompileCache, ExecTier, ProgramCacheStats,
+};

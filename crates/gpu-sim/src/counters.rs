@@ -80,6 +80,60 @@ impl Counters {
     }
 }
 
+/// Block-local counter accumulator: plain `u64`s an interpreter bumps on
+/// its own stack while a block runs, flushed to the shared atomic
+/// [`Counters`] exactly once at block exit — one relaxed RMW per field
+/// instead of one per instruction. Both execution tiers (the scalar
+/// reference interpreter and the vectorized bytecode tier) accumulate
+/// through this, which is also what makes their reported totals
+/// bit-identical: the same additions land in the same single flush.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalCounters {
+    /// Warp-instruction issues accumulated by this block.
+    pub warp_instructions: u64,
+    /// Arithmetic warp issues accumulated by this block.
+    pub warp_arith: u64,
+    /// Bytes read from global memory by this block.
+    pub bytes_read: u64,
+    /// Bytes written to global memory by this block.
+    pub bytes_written: u64,
+    /// Lane-level atomics performed by this block.
+    pub atomics: u64,
+    /// Barriers this block executed.
+    pub barriers: u64,
+}
+
+impl LocalCounters {
+    /// Fresh zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flush the accumulated counts into the shared launch counters.
+    /// Zero fields are skipped entirely (no atomic traffic at all for a
+    /// block that, say, never touched global memory).
+    pub fn flush(&self, counters: &Counters) {
+        if self.warp_instructions > 0 {
+            counters.add_warp_instructions(self.warp_instructions);
+        }
+        if self.warp_arith > 0 {
+            counters.add_warp_arith(self.warp_arith);
+        }
+        if self.bytes_read > 0 {
+            counters.add_bytes_read(self.bytes_read);
+        }
+        if self.bytes_written > 0 {
+            counters.add_bytes_written(self.bytes_written);
+        }
+        if self.atomics > 0 {
+            counters.add_atomics(self.atomics);
+        }
+        if self.barriers > 0 {
+            counters.add_barriers(self.barriers);
+        }
+    }
+}
+
 /// Immutable launch statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LaunchStats {

@@ -16,16 +16,84 @@ use crate::exec::{injected_block_crash, run_block, BlockCtx};
 use crate::fault::{LaunchFault, TransferFault};
 use crate::ir::{KernelIr, Value};
 use crate::isa::{disassemble, IsaKind, Module};
+use crate::lower::{ProgramCache, ProgramCacheStats};
 use crate::mem::{DevicePtr, GlobalMemory};
 use crate::pool::ThreadPool;
 use crate::sched::SchedulePolicy;
 use crate::timing::{kernel_time, transfer_time, ModeledTime};
+use crate::vexec::run_block_lv;
 use crate::{Result, SimError};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
+
+/// Which execution engine a device uses for kernel blocks.
+///
+/// Both tiers implement identical semantics — every launch produces
+/// byte-identical buffers and identical counter totals on either one:
+///
+/// * [`ExecTier::Scalar`] — the reference interpreter in [`crate::exec`]:
+///   walks [`KernelIr`] directly, boxing each lane value in
+///   [`Value`]. Slow, simple, and the only tier with race-detection
+///   hooks ([`crate::exec::run_block_racecheck`] always uses it).
+/// * [`ExecTier::Vectorized`] — the performance tier: the kernel is
+///   lowered once by [`crate::lower`] into flat typed bytecode, cached in
+///   the device's [`ProgramCache`], and executed by [`crate::vexec`] over
+///   dense per-type lane vectors with a full-mask fast path.
+///
+/// The default is `Vectorized`. [`set_process_exec_tier`] or the
+/// `MCMM_EXEC_TIER` environment variable (`"scalar"` / `"vectorized"`)
+/// overrides the default for newly created devices;
+/// [`Device::set_exec_tier`] overrides one device at any time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecTier {
+    /// Reference scalar interpreter ([`crate::exec`]).
+    Scalar,
+    /// Lowered lane-vector bytecode ([`crate::lower`] + [`crate::vexec`]).
+    Vectorized,
+}
+
+/// Process-wide tier override: 0 = unset, 1 = scalar, 2 = vectorized.
+static PROCESS_TIER: AtomicU8 = AtomicU8::new(0);
+
+/// Force every *subsequently created* [`Device`] onto one tier (`None`
+/// clears the override). Takes precedence over `MCMM_EXEC_TIER`; exists so
+/// tests can flip tiers without racing on the process environment.
+pub fn set_process_exec_tier(tier: Option<ExecTier>) {
+    PROCESS_TIER.store(tier.map_or(0, ExecTier::as_u8), Ordering::SeqCst);
+}
+
+impl ExecTier {
+    fn as_u8(self) -> u8 {
+        match self {
+            ExecTier::Scalar => 1,
+            ExecTier::Vectorized => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(ExecTier::Scalar),
+            2 => Some(ExecTier::Vectorized),
+            _ => None,
+        }
+    }
+
+    /// The tier a new device starts on: process override, then the
+    /// `MCMM_EXEC_TIER` environment variable, then `Vectorized`.
+    pub fn resolve() -> Self {
+        if let Some(t) = Self::from_u8(PROCESS_TIER.load(Ordering::SeqCst)) {
+            return t;
+        }
+        match std::env::var("MCMM_EXEC_TIER") {
+            Ok(v) if v.eq_ignore_ascii_case("scalar") => ExecTier::Scalar,
+            _ => ExecTier::Vectorized,
+        }
+    }
+}
 
 /// Static attributes of a device model.
 #[derive(Debug, Clone, PartialEq)]
@@ -213,6 +281,10 @@ pub struct Device {
     /// Cumulative per-device counters, merged once per completed launch
     /// under a lock so concurrent readers get consistent snapshots.
     cumulative: StatsCell,
+    /// Active execution tier (`ExecTier::as_u8` encoding).
+    tier: AtomicU8,
+    /// Lowered lane-vector programs, keyed by kernel fingerprint.
+    programs: ProgramCache,
 }
 
 impl Device {
@@ -226,8 +298,25 @@ impl Device {
             kernel_cache: Mutex::new(HashMap::new()),
             clock: Mutex::new(0.0),
             cumulative: StatsCell::new(),
+            tier: AtomicU8::new(ExecTier::resolve().as_u8()),
+            programs: ProgramCache::new(),
             spec,
         })
+    }
+
+    /// The execution tier this device currently launches on.
+    pub fn exec_tier(&self) -> ExecTier {
+        ExecTier::from_u8(self.tier.load(Ordering::SeqCst)).unwrap_or(ExecTier::Vectorized)
+    }
+
+    /// Switch this device to the given tier for subsequent launches.
+    pub fn set_exec_tier(&self, tier: ExecTier) {
+        self.tier.store(tier.as_u8(), Ordering::SeqCst);
+    }
+
+    /// Hit/miss statistics of the lowered-program cache.
+    pub fn program_cache_stats(&self) -> ProgramCacheStats {
+        self.programs.stats()
     }
 
     /// The device model.
@@ -460,6 +549,13 @@ impl Device {
         }
         let values: Vec<Value> = args.iter().map(|a| a.to_value()).collect();
 
+        // Lower once per launch (cache-hit after the first); every block of
+        // the grid then shares the same flat program.
+        let program = match self.exec_tier() {
+            ExecTier::Vectorized => Some(self.programs.get_or_lower(kernel)),
+            ExecTier::Scalar => None,
+        };
+
         let counters = Counters::new();
         let error: Mutex<Option<SimError>> = Mutex::new(None);
         self.pool.run_indexed(cfg.grid_dim as usize, cfg.policy.claim(), |block| {
@@ -479,7 +575,11 @@ impl Device {
                 error.lock().get_or_insert(injected_block_crash(&ctx));
                 return;
             }
-            if let Err(e) = run_block(&ctx, &values) {
+            let res = match &program {
+                Some(p) => run_block_lv(&ctx, p, &values),
+                None => run_block(&ctx, &values),
+            };
+            if let Err(e) = res {
                 error.lock().get_or_insert(e);
             }
         });

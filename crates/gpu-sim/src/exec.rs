@@ -13,7 +13,7 @@
 //! paths) — this is what makes the warp-width attribute of a device
 //! observable in the performance counters.
 
-use crate::counters::Counters;
+use crate::counters::{Counters, LocalCounters};
 use crate::ir::{
     AtomicOp, BinOp, CmpOp, Instr, KernelIr, Operand, Space, Special, Type, UnOp, Value,
 };
@@ -76,13 +76,14 @@ impl LaneVec {
 
 /// Per-block shared memory (single interpreter thread per block ⇒ plain
 /// bytes, no atomics needed, but the same bounds/alignment contract as
-/// global memory).
-struct SharedMem {
+/// global memory). Shared with the vectorized tier in [`crate::vexec`] so
+/// both tiers get identical bounds/alignment behaviour.
+pub(crate) struct SharedMem {
     bytes: Vec<u8>,
 }
 
 impl SharedMem {
-    fn new(size: u64) -> Self {
+    pub(crate) fn new(size: u64) -> Self {
         Self { bytes: vec![0; size as usize] }
     }
 
@@ -97,7 +98,7 @@ impl SharedMem {
         Ok(addr as usize)
     }
 
-    fn load(&self, ty: Type, addr: u64) -> Result<Value> {
+    pub(crate) fn load(&self, ty: Type, addr: u64) -> Result<Value> {
         let i = self.check(addr, ty.size())?;
         let raw = &self.bytes[i..i + ty.size() as usize];
         Ok(match ty {
@@ -109,7 +110,7 @@ impl SharedMem {
         })
     }
 
-    fn store(&mut self, addr: u64, v: Value) -> Result<()> {
+    pub(crate) fn store(&mut self, addr: u64, v: Value) -> Result<()> {
         let ty = v.ty();
         let i = self.check(addr, ty.size())?;
         match v {
@@ -245,6 +246,8 @@ struct Interp<'a> {
     regs: Vec<LaneVec>,
     shared: SharedMem,
     n: usize,
+    /// Block-local counter accumulator, flushed once at block exit.
+    local: LocalCounters,
     /// Present in racecheck mode; shared accesses are mirrored into it.
     race: Option<RaceLog>,
 }
@@ -293,12 +296,21 @@ fn run_block_impl(
             regs.push(LaneVec::zeroed(ty, n));
         }
     }
-    let mut interp = Interp { ctx, regs, shared: SharedMem::new(ctx.kernel.shared_bytes), n, race };
+    let mut interp = Interp {
+        ctx,
+        regs,
+        shared: SharedMem::new(ctx.kernel.shared_bytes),
+        n,
+        local: LocalCounters::new(),
+        race,
+    };
     let mask = vec![true; n];
-    interp.run(&ctx.kernel.body, &mask)?;
+    let issues = interp.active_warps(&mask);
+    interp.run(&ctx.kernel.body, &mask, issues)?;
     if let Some(log) = interp.race.as_mut() {
         log.flush(); // the interval between the last barrier and exit
     }
+    interp.local.flush(interp.ctx.counters);
     interp.ctx.counters.add_block(u64::from(ctx.block_dim.div_ceil(ctx.warp_width.max(1))));
     Ok(interp.race)
 }
@@ -317,19 +329,21 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn run(&mut self, body: &[Instr], mask: &[bool]) -> Result<()> {
+    /// Run `body` under `mask`. `issues` is the active-warp count of
+    /// `mask`, computed by the caller once per mask *change* (block entry,
+    /// branch split, loop narrowing) instead of once per instruction.
+    fn run(&mut self, body: &[Instr], mask: &[bool], issues: u64) -> Result<()> {
         for instr in body {
-            self.step(instr, mask)?;
+            self.step(instr, mask, issues)?;
         }
         Ok(())
     }
 
-    fn step(&mut self, instr: &Instr, mask: &[bool]) -> Result<()> {
-        if !mask.iter().any(|&b| b) {
+    fn step(&mut self, instr: &Instr, mask: &[bool], issues: u64) -> Result<()> {
+        if issues == 0 {
             return Ok(());
         }
-        let issues = self.active_warps(mask);
-        self.ctx.counters.add_warp_instructions(issues);
+        self.local.warp_instructions += issues;
         match instr {
             Instr::Mov { dst, src } => {
                 for lane in active(mask) {
@@ -338,7 +352,7 @@ impl<'a> Interp<'a> {
                 }
             }
             Instr::Bin { op, dst, a, b } => {
-                self.ctx.counters.add_warp_arith(issues);
+                self.local.warp_arith += issues;
                 for lane in active(mask) {
                     let va = self.eval(a, lane);
                     let vb = self.eval(b, lane);
@@ -347,14 +361,14 @@ impl<'a> Interp<'a> {
                 }
             }
             Instr::Un { op, dst, a } => {
-                self.ctx.counters.add_warp_arith(issues);
+                self.local.warp_arith += issues;
                 for lane in active(mask) {
                     let va = self.eval(a, lane);
                     self.regs[dst.0 as usize].set(lane, un_value(*op, va));
                 }
             }
             Instr::Cmp { op, dst, a, b } => {
-                self.ctx.counters.add_warp_arith(issues);
+                self.local.warp_arith += issues;
                 for lane in active(mask) {
                     let va = self.eval(a, lane);
                     let vb = self.eval(b, lane);
@@ -362,7 +376,7 @@ impl<'a> Interp<'a> {
                 }
             }
             Instr::Sel { dst, cond, a, b } => {
-                self.ctx.counters.add_warp_arith(issues);
+                self.local.warp_arith += issues;
                 for lane in active(mask) {
                     let c = matches!(self.regs[cond.0 as usize].get(lane), Value::Bool(true));
                     let v = if c { self.eval(a, lane) } else { self.eval(b, lane) };
@@ -370,7 +384,7 @@ impl<'a> Interp<'a> {
                 }
             }
             Instr::Cvt { dst, a } => {
-                self.ctx.counters.add_warp_arith(issues);
+                self.local.warp_arith += issues;
                 let ty = self.ctx.kernel.regs[dst.0 as usize];
                 for lane in active(mask) {
                     let v = self.eval(a, lane);
@@ -408,7 +422,7 @@ impl<'a> Interp<'a> {
                     lanes += 1;
                 }
                 if *space == Space::Global {
-                    self.ctx.counters.add_bytes_read(lanes * ty.size());
+                    self.local.bytes_read += lanes * ty.size();
                 }
             }
             Instr::St { space, addr, value } => {
@@ -430,7 +444,7 @@ impl<'a> Interp<'a> {
                     lanes += 1;
                 }
                 if *space == Space::Global {
-                    self.ctx.counters.add_bytes_written(lanes * sz);
+                    self.local.bytes_written += lanes * sz;
                 }
             }
             Instr::Atomic { op, space, addr, value, dst } => {
@@ -461,7 +475,7 @@ impl<'a> Interp<'a> {
                     }
                     lanes += 1;
                 }
-                self.ctx.counters.add_atomics(lanes);
+                self.local.atomics += lanes;
             }
             Instr::Bar => {
                 // Whole-block lockstep interpretation ⇒ all lanes have
@@ -469,7 +483,7 @@ impl<'a> Interp<'a> {
                 if let Some(log) = self.race.as_mut() {
                     log.flush();
                 }
-                self.ctx.counters.add_barriers(1);
+                self.local.barriers += 1;
             }
             Instr::If { cond, then_, else_ } => {
                 let (tmask, emask): (Vec<bool>, Vec<bool>) = {
@@ -485,30 +499,41 @@ impl<'a> Interp<'a> {
                     }
                     (t, e)
                 };
-                if tmask.iter().any(|&b| b) {
-                    self.run(then_, &tmask)?;
+                // One active-warp scan per branch mask (the mask changed),
+                // amortized over every instruction the branch runs.
+                let t_issues = self.active_warps(&tmask);
+                if t_issues > 0 {
+                    self.run(then_, &tmask, t_issues)?;
                 }
-                if emask.iter().any(|&b| b) {
-                    self.run(else_, &emask)?;
+                let e_issues = self.active_warps(&emask);
+                if e_issues > 0 {
+                    self.run(else_, &emask, e_issues)?;
                 }
             }
             Instr::While { cond_block, cond, body } => {
                 let mut loop_mask = mask.to_vec();
+                let mut loop_issues = issues;
                 let mut guard = 0u64;
                 loop {
-                    self.run(cond_block, &loop_mask)?;
-                    {
+                    self.run(cond_block, &loop_mask, loop_issues)?;
+                    let narrowed = {
                         let c = &self.regs[cond.0 as usize];
+                        let mut narrowed = false;
                         for (lane, active) in loop_mask.iter_mut().enumerate() {
                             if *active && !matches!(c.get(lane), Value::Bool(true)) {
                                 *active = false;
+                                narrowed = true;
                             }
                         }
+                        narrowed
+                    };
+                    if narrowed {
+                        loop_issues = self.active_warps(&loop_mask);
                     }
-                    if !loop_mask.iter().any(|&b| b) {
+                    if loop_issues == 0 {
                         break;
                     }
-                    self.run(body, &loop_mask)?;
+                    self.run(body, &loop_mask, loop_issues)?;
                     guard += 1;
                     if guard > 100_000_000 {
                         return Err(SimError::Trap(format!(
@@ -538,7 +563,7 @@ fn active(mask: &[bool]) -> impl Iterator<Item = usize> + '_ {
     mask.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i)
 }
 
-fn bin_value(op: BinOp, a: Value, b: Value) -> Result<Value> {
+pub(crate) fn bin_value(op: BinOp, a: Value, b: Value) -> Result<Value> {
     use BinOp::*;
     Ok(match (a, b) {
         (Value::F32(x), Value::F32(y)) => Value::F32(match op {
@@ -575,7 +600,7 @@ fn bin_value(op: BinOp, a: Value, b: Value) -> Result<Value> {
     })
 }
 
-fn int_bin(op: BinOp, x: i64, y: i64) -> Result<i64> {
+pub(crate) fn int_bin(op: BinOp, x: i64, y: i64) -> Result<i64> {
     use BinOp::*;
     Ok(match op {
         Add => x.wrapping_add(y),

@@ -76,22 +76,27 @@ pub mod exec;
 pub mod fault;
 pub mod ir;
 pub mod isa;
+pub mod lower;
 pub mod mem;
 pub mod pool;
 pub mod sched;
 pub mod stream;
 pub mod timing;
+pub mod vexec;
 
 /// Common re-exports.
 pub mod prelude {
     pub use crate::counters::{LaunchStats, StatsCell};
-    pub use crate::device::{Device, DeviceSpec, KernelArg, LaunchConfig};
+    pub use crate::device::{
+        set_process_exec_tier, Device, DeviceSpec, ExecTier, KernelArg, LaunchConfig,
+    };
     pub use crate::event::Event;
     pub use crate::fault::{LaunchFault, TransferFault};
     pub use crate::ir::{
         AtomicOp, BinOp, CmpOp, KernelBuilder, KernelIr, Reg, Space, Type, UnOp, Value,
     };
     pub use crate::isa::{assemble, disassemble, IsaKind, Module};
+    pub use crate::lower::{ProgramCache, ProgramCacheStats};
     pub use crate::mem::DevicePtr;
     pub use crate::sched::SchedulePolicy;
     pub use crate::stream::Stream;
@@ -99,8 +104,9 @@ pub mod prelude {
     pub use crate::SimError;
 }
 
-pub use device::{Device, DeviceSpec};
+pub use device::{set_process_exec_tier, Device, DeviceSpec, ExecTier};
 pub use isa::{IsaKind, Module};
+pub use lower::ProgramCacheStats;
 
 /// Errors surfaced by the simulator.
 #[derive(Debug, Clone, PartialEq)]

@@ -117,8 +117,10 @@ impl GlobalMemory {
     }
 
     /// Read a raw little-endian scalar of up to 8 bytes at a naturally
-    /// aligned address.
-    fn read_raw(&self, addr: u64, len: u64) -> Result<u64> {
+    /// aligned address. `pub(crate)` so the vectorized tier's typed
+    /// load/store loops skip the `Value` round-trip while inheriting the
+    /// exact bounds/alignment checks.
+    pub(crate) fn read_raw(&self, addr: u64, len: u64) -> Result<u64> {
         self.check(addr, len)?;
         self.check_aligned(addr, len)?;
         let word = self.words[(addr / 8) as usize].load(Ordering::Relaxed);
@@ -127,8 +129,8 @@ impl GlobalMemory {
     }
 
     /// Write a raw little-endian scalar of up to 8 bytes at a naturally
-    /// aligned address.
-    fn write_raw(&self, addr: u64, len: u64, value: u64) -> Result<()> {
+    /// aligned address. See [`GlobalMemory::read_raw`] on visibility.
+    pub(crate) fn write_raw(&self, addr: u64, len: u64, value: u64) -> Result<()> {
         self.check(addr, len)?;
         self.check_aligned(addr, len)?;
         let w = &self.words[(addr / 8) as usize];

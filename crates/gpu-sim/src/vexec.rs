@@ -1,0 +1,1422 @@
+//! The vectorized execution tier: run a lowered [`LvProgram`] over a
+//! whole thread block.
+//!
+//! Where the scalar interpreter ([`crate::exec`]) walks the IR tree and
+//! boxes every register access in [`Value`], this tier executes the flat
+//! typed bytecode produced by [`crate::lower`]: registers live in dense
+//! per-type pools (`Vec<f32>`, `Vec<i64>`, …) laid out slot-major, each op
+//! dispatches on op×type **once** and then runs a monomorphic per-lane
+//! loop, and immediates are decoded once per op instead of once per lane.
+//!
+//! Divergence is tracked by a [`MaskSet`] whose `bits: None` state is the
+//! **full-mask fast path**: while no lane has diverged, per-lane loops
+//! iterate `0..n` with no mask load at all, and branch splits/loop
+//! narrowings that keep every lane active stay on the fast path.
+//! Active-warp counts are carried on the mask and straight-line segments
+//! charge their pre-summed issue counts with two multiplications, into a
+//! [`LocalCounters`] flushed once at block exit.
+//!
+//! Semantics are bit-identical to the scalar tier by construction: every
+//! lane loop uses the exact computation the scalar helpers use (including
+//! i32 shifts promoted through i64, conversions routed through f64, and
+//! NaN comparison behaviour), shared memory reuses
+//! [`SharedMem`](crate::exec), and atomics/global accesses go through the
+//! same [`GlobalMemory`](crate::mem::GlobalMemory) checks. The
+//! differential suite in `tests/exec_tier_differential.rs` holds the two
+//! tiers to byte-identical buffers and identical counter totals.
+//!
+//! Race checking stays on the scalar tier
+//! ([`crate::exec::run_block_racecheck`]): the shadow access log needs
+//! per-access interleaving hooks that would un-vectorize these loops.
+
+use crate::counters::LocalCounters;
+use crate::exec::{bin_value, BlockCtx, SharedMem};
+use crate::ir::{AtomicOp, BinOp, CmpOp, Space, Special, Type, Value};
+use crate::lower::{LvNode, LvOp, LvProgram, LvSrc};
+use crate::{Result, SimError};
+
+/// Execute one thread block through the vectorized tier.
+pub fn run_block_lv(ctx: &BlockCtx<'_>, prog: &LvProgram, args: &[Value]) -> Result<()> {
+    let n = ctx.block_dim as usize;
+    if args.len() != prog.params.len() {
+        return Err(SimError::BadArguments(format!(
+            "kernel {} expects {} args, got {}",
+            prog.name,
+            prog.params.len(),
+            args.len()
+        )));
+    }
+    let mut v = VInterp {
+        ctx,
+        prog,
+        n,
+        w: ctx.warp_width.max(1) as usize,
+        f32s: vec![0.0; prog.pools.f32s as usize * n],
+        f64s: vec![0.0; prog.pools.f64s as usize * n],
+        i32s: vec![0; prog.pools.i32s as usize * n],
+        i64s: vec![0; prog.pools.i64s as usize * n],
+        bools: vec![false; prog.pools.bools as usize * n],
+        shared: SharedMem::new(prog.shared_bytes),
+        local: LocalCounters::new(),
+    };
+    for (i, (&arg, &ty)) in args.iter().zip(&prog.params).enumerate() {
+        if arg.ty() != ty {
+            return Err(SimError::BadArguments(format!(
+                "arg {i} of {}: expected {ty}, got {}",
+                prog.name,
+                arg.ty()
+            )));
+        }
+        v.splat(i, arg);
+    }
+    let mask = MaskSet::full(n, v.w);
+    v.run(&prog.body, &mask)?;
+    v.local.flush(ctx.counters);
+    ctx.counters.add_block(u64::from(ctx.block_dim.div_ceil(ctx.warp_width.max(1))));
+    Ok(())
+}
+
+/// The set of active lanes, with its issue accounting precomputed.
+/// `bits: None` means *all* lanes are active — the fast path every block
+/// starts on and keeps until a branch or loop actually diverges.
+#[derive(Clone)]
+struct MaskSet {
+    bits: Option<Vec<bool>>,
+    /// Warps with ≥1 active lane (what one instruction issue costs).
+    warps: u64,
+    /// Active lanes.
+    lanes: u64,
+}
+
+impl MaskSet {
+    fn full(n: usize, w: usize) -> Self {
+        Self { bits: None, warps: n.div_ceil(w) as u64, lanes: n as u64 }
+    }
+
+    /// Placeholder for a branch no lane takes; callers check `lanes > 0`
+    /// before running under a mask, so the bits are never consulted.
+    fn none() -> Self {
+        Self { bits: None, warps: 0, lanes: 0 }
+    }
+
+    fn from_bits(bits: Vec<bool>, w: usize) -> Self {
+        let lanes = bits.iter().filter(|&&b| b).count() as u64;
+        let warps = bits.chunks(w).filter(|c| c.iter().any(|&b| b)).count() as u64;
+        Self { bits: Some(bits), warps, lanes }
+    }
+}
+
+/// A resolved operand for one typed lane loop: a premultiplied pool base
+/// (`slot * n`) or a decoded immediate. The two-variant match inside the
+/// loop is loop-invariant and gets unswitched by the compiler.
+#[derive(Clone, Copy)]
+enum In<T> {
+    Base(usize),
+    Imm(T),
+}
+
+#[inline(always)]
+fn rd<T: Copy>(pool: &[T], src: In<T>, i: usize) -> T {
+    match src {
+        In::Base(b) => pool[b + i],
+        In::Imm(v) => v,
+    }
+}
+
+fn resolve<T>(src: LvSrc, n: usize, dec: impl Fn(u64) -> T) -> In<T> {
+    match src {
+        LvSrc::Slot(s) => In::Base(s as usize * n),
+        LvSrc::Imm(bits) => In::Imm(dec(bits)),
+    }
+}
+
+fn dec_f32(b: u64) -> f32 {
+    f32::from_bits(b as u32)
+}
+fn dec_f64(b: u64) -> f64 {
+    f64::from_bits(b)
+}
+fn dec_i32(b: u64) -> i32 {
+    b as u32 as i32
+}
+fn dec_i64(b: u64) -> i64 {
+    b as i64
+}
+fn dec_bool(b: u64) -> bool {
+    b != 0
+}
+
+#[inline(always)]
+fn lane_addr(av: i64) -> Result<u64> {
+    if av >= 0 {
+        Ok(av as u64)
+    } else {
+        Err(SimError::OutOfBounds { addr: av as u64, len: 0 })
+    }
+}
+
+/// `dst[d+i] = f(a_i)` over active lanes, within one pool.
+fn map1<T: Copy>(
+    pool: &mut [T],
+    bits: Option<&[bool]>,
+    n: usize,
+    d: usize,
+    a: In<T>,
+    f: impl Fn(T) -> T,
+) {
+    match bits {
+        None => {
+            for i in 0..n {
+                let v = f(rd(pool, a, i));
+                pool[d + i] = v;
+            }
+        }
+        Some(m) => {
+            for i in 0..n {
+                if m[i] {
+                    let v = f(rd(pool, a, i));
+                    pool[d + i] = v;
+                }
+            }
+        }
+    }
+}
+
+/// `dst[d+i] = f(a_i, b_i)` over active lanes, within one pool.
+fn map2<T: Copy>(
+    pool: &mut [T],
+    bits: Option<&[bool]>,
+    n: usize,
+    d: usize,
+    a: In<T>,
+    b: In<T>,
+    f: impl Fn(T, T) -> T,
+) {
+    match bits {
+        None => {
+            for i in 0..n {
+                let v = f(rd(pool, a, i), rd(pool, b, i));
+                pool[d + i] = v;
+            }
+        }
+        Some(m) => {
+            for i in 0..n {
+                if m[i] {
+                    let v = f(rd(pool, a, i), rd(pool, b, i));
+                    pool[d + i] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Fallible [`map2`], for integer div/rem which trap on zero divisors.
+fn map2_try<T: Copy>(
+    pool: &mut [T],
+    bits: Option<&[bool]>,
+    n: usize,
+    d: usize,
+    a: In<T>,
+    b: In<T>,
+    f: impl Fn(T, T) -> Result<T>,
+) -> Result<()> {
+    match bits {
+        None => {
+            for i in 0..n {
+                let v = f(rd(pool, a, i), rd(pool, b, i))?;
+                pool[d + i] = v;
+            }
+        }
+        Some(m) => {
+            for i in 0..n {
+                if m[i] {
+                    let v = f(rd(pool, a, i), rd(pool, b, i))?;
+                    pool[d + i] = v;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Comparison loop: operands in `src`, result in the bool pool.
+#[allow(clippy::too_many_arguments)]
+fn cmp_into<T: Copy>(
+    src: &[T],
+    dst: &mut [bool],
+    bits: Option<&[bool]>,
+    n: usize,
+    d: usize,
+    a: In<T>,
+    b: In<T>,
+    f: impl Fn(T, T) -> bool,
+) {
+    match bits {
+        None => {
+            for i in 0..n {
+                dst[d + i] = f(rd(src, a, i), rd(src, b, i));
+            }
+        }
+        Some(m) => {
+            for i in 0..n {
+                if m[i] {
+                    dst[d + i] = f(rd(src, a, i), rd(src, b, i));
+                }
+            }
+        }
+    }
+}
+
+/// Hoist the comparison operator out of the lane loop. Native operators
+/// reproduce the scalar tier's `partial_cmp` behaviour exactly (every
+/// ordering comparison is false on NaN, `!=` is true).
+#[allow(clippy::too_many_arguments)]
+fn cmp_loop<T: Copy + PartialOrd>(
+    src: &[T],
+    dst: &mut [bool],
+    bits: Option<&[bool]>,
+    n: usize,
+    d: usize,
+    a: In<T>,
+    b: In<T>,
+    op: CmpOp,
+) {
+    match op {
+        CmpOp::Eq => cmp_into(src, dst, bits, n, d, a, b, |x, y| x == y),
+        CmpOp::Ne => cmp_into(src, dst, bits, n, d, a, b, |x, y| x != y),
+        CmpOp::Lt => cmp_into(src, dst, bits, n, d, a, b, |x, y| x < y),
+        CmpOp::Le => cmp_into(src, dst, bits, n, d, a, b, |x, y| x <= y),
+        CmpOp::Gt => cmp_into(src, dst, bits, n, d, a, b, |x, y| x > y),
+        CmpOp::Ge => cmp_into(src, dst, bits, n, d, a, b, |x, y| x >= y),
+    }
+}
+
+/// Select loop: condition in the bool pool, operands/result in `pool`.
+#[allow(clippy::too_many_arguments)]
+fn sel_into<T: Copy>(
+    conds: &[bool],
+    pool: &mut [T],
+    bits: Option<&[bool]>,
+    n: usize,
+    d: usize,
+    cb: usize,
+    a: In<T>,
+    b: In<T>,
+) {
+    match bits {
+        None => {
+            for i in 0..n {
+                let v = if conds[cb + i] { rd(pool, a, i) } else { rd(pool, b, i) };
+                pool[d + i] = v;
+            }
+        }
+        Some(m) => {
+            for i in 0..n {
+                if m[i] {
+                    let v = if conds[cb + i] { rd(pool, a, i) } else { rd(pool, b, i) };
+                    pool[d + i] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Conversion loop from the `src` pool into the `dst` pool.
+fn cvt_into<S: Copy, D: Copy>(
+    src: &[S],
+    dst: &mut [D],
+    bits: Option<&[bool]>,
+    n: usize,
+    d: usize,
+    a: In<S>,
+    f: impl Fn(S) -> D,
+) {
+    match bits {
+        None => {
+            for i in 0..n {
+                dst[d + i] = f(rd(src, a, i));
+            }
+        }
+        Some(m) => {
+            for i in 0..n {
+                if m[i] {
+                    dst[d + i] = f(rd(src, a, i));
+                }
+            }
+        }
+    }
+}
+
+/// Drive `f` over every active lane, stopping at the first error.
+fn for_each_lane(
+    bits: Option<&[bool]>,
+    n: usize,
+    mut f: impl FnMut(usize) -> Result<()>,
+) -> Result<()> {
+    match bits {
+        None => {
+            for i in 0..n {
+                f(i)?;
+            }
+        }
+        Some(m) => {
+            for (i, &live) in m.iter().enumerate().take(n) {
+                if live {
+                    f(i)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+struct VInterp<'a> {
+    ctx: &'a BlockCtx<'a>,
+    prog: &'a LvProgram,
+    n: usize,
+    /// Warp width, clamped to ≥1 (same clamp as the scalar tier).
+    w: usize,
+    f32s: Vec<f32>,
+    f64s: Vec<f64>,
+    i32s: Vec<i32>,
+    i64s: Vec<i64>,
+    bools: Vec<bool>,
+    shared: SharedMem,
+    local: LocalCounters,
+}
+
+impl<'a> VInterp<'a> {
+    fn splat(&mut self, reg: usize, v: Value) {
+        let (_, slot) = self.prog.reg_slots[reg];
+        let n = self.n;
+        let d = slot as usize * n;
+        match v {
+            Value::F32(x) => self.f32s[d..d + n].fill(x),
+            Value::F64(x) => self.f64s[d..d + n].fill(x),
+            Value::I32(x) => self.i32s[d..d + n].fill(x),
+            Value::I64(x) => self.i64s[d..d + n].fill(x),
+            Value::Bool(x) => self.bools[d..d + n].fill(x),
+        }
+    }
+
+    fn run(&mut self, nodes: &'a [LvNode], mask: &MaskSet) -> Result<()> {
+        let prog = self.prog;
+        for node in nodes {
+            match node {
+                LvNode::Straight { start, end, instrs, ariths } => {
+                    // The whole segment's issue accounting, pre-summed at
+                    // lowering time: two multiplications, no mask scans.
+                    self.local.warp_instructions += u64::from(*instrs) * mask.warps;
+                    self.local.warp_arith += u64::from(*ariths) * mask.warps;
+                    for op in &prog.ops[*start as usize..*end as usize] {
+                        self.op(op, mask)?;
+                    }
+                }
+                LvNode::If { cond, then_, else_ } => {
+                    // The If itself issues once under the incoming mask,
+                    // exactly like the scalar tier's `step`.
+                    self.local.warp_instructions += mask.warps;
+                    let (t, e) = self.split(*cond, mask);
+                    if t.lanes > 0 {
+                        self.run(then_, &t)?;
+                    }
+                    if e.lanes > 0 {
+                        self.run(else_, &e)?;
+                    }
+                }
+                LvNode::While { cond_block, cond, body } => {
+                    self.local.warp_instructions += mask.warps;
+                    let mut m = mask.clone();
+                    let mut guard = 0u64;
+                    loop {
+                        self.run(cond_block, &m)?;
+                        self.narrow(&mut m, *cond);
+                        if m.lanes == 0 {
+                            break;
+                        }
+                        self.run(body, &m)?;
+                        guard += 1;
+                        if guard > 100_000_000 {
+                            return Err(SimError::Trap(format!(
+                                "kernel {}: loop exceeded iteration guard",
+                                self.prog.name
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Split `mask` on a bool condition slot. A unanimously-taken branch
+    /// of a full mask *stays* on the full-mask fast path.
+    fn split(&self, cond: u32, mask: &MaskSet) -> (MaskSet, MaskSet) {
+        let n = self.n;
+        let cb = cond as usize * n;
+        let c = &self.bools[cb..cb + n];
+        match &mask.bits {
+            None => {
+                let t_lanes = c.iter().filter(|&&b| b).count();
+                if t_lanes == n {
+                    (MaskSet::full(n, self.w), MaskSet::none())
+                } else if t_lanes == 0 {
+                    (MaskSet::none(), MaskSet::full(n, self.w))
+                } else {
+                    let t = c.to_vec();
+                    let e: Vec<bool> = c.iter().map(|&b| !b).collect();
+                    (MaskSet::from_bits(t, self.w), MaskSet::from_bits(e, self.w))
+                }
+            }
+            Some(bits) => {
+                let t: Vec<bool> = bits.iter().zip(c).map(|(&m, &cv)| m && cv).collect();
+                let e: Vec<bool> = bits.iter().zip(c).map(|(&m, &cv)| m && !cv).collect();
+                (MaskSet::from_bits(t, self.w), MaskSet::from_bits(e, self.w))
+            }
+        }
+    }
+
+    /// Narrow a loop mask by its condition slot. A full mask no lane
+    /// exits stays full.
+    fn narrow(&self, m: &mut MaskSet, cond: u32) {
+        let n = self.n;
+        let cb = cond as usize * n;
+        let c = &self.bools[cb..cb + n];
+        match &mut m.bits {
+            None => {
+                if c.iter().all(|&b| b) {
+                    return;
+                }
+                *m = MaskSet::from_bits(c.to_vec(), self.w);
+            }
+            Some(bits) => {
+                for (b, &cv) in bits.iter_mut().zip(c) {
+                    if *b && !cv {
+                        *b = false;
+                    }
+                }
+                let lanes = bits.iter().filter(|&&b| b).count() as u64;
+                let warps = bits.chunks(self.w).filter(|ch| ch.iter().any(|&b| b)).count() as u64;
+                m.lanes = lanes;
+                m.warps = warps;
+            }
+        }
+    }
+
+    /// Read one lane of a typed operand as a boxed value (cold paths:
+    /// atomics and shared-memory traffic only).
+    fn read_value(&self, ty: Type, src: LvSrc, i: usize) -> Value {
+        let n = self.n;
+        match ty {
+            Type::F32 => Value::F32(match src {
+                LvSrc::Slot(s) => self.f32s[s as usize * n + i],
+                LvSrc::Imm(b) => dec_f32(b),
+            }),
+            Type::F64 => Value::F64(match src {
+                LvSrc::Slot(s) => self.f64s[s as usize * n + i],
+                LvSrc::Imm(b) => dec_f64(b),
+            }),
+            Type::I32 => Value::I32(match src {
+                LvSrc::Slot(s) => self.i32s[s as usize * n + i],
+                LvSrc::Imm(b) => dec_i32(b),
+            }),
+            Type::I64 => Value::I64(match src {
+                LvSrc::Slot(s) => self.i64s[s as usize * n + i],
+                LvSrc::Imm(b) => dec_i64(b),
+            }),
+            Type::Bool => Value::Bool(match src {
+                LvSrc::Slot(s) => self.bools[s as usize * n + i],
+                LvSrc::Imm(b) => dec_bool(b),
+            }),
+        }
+    }
+
+    /// Write one lane of a typed pool from a boxed value (cold paths).
+    fn set_lane(&mut self, ty: Type, d: usize, i: usize, v: Value) {
+        match (ty, v) {
+            (Type::F32, Value::F32(x)) => self.f32s[d + i] = x,
+            (Type::F64, Value::F64(x)) => self.f64s[d + i] = x,
+            (Type::I32, Value::I32(x)) => self.i32s[d + i] = x,
+            (Type::I64, Value::I64(x)) => self.i64s[d + i] = x,
+            (Type::Bool, Value::Bool(x)) => self.bools[d + i] = x,
+            _ => unreachable!("lane type mismatch slipped past validation"),
+        }
+    }
+
+    fn op(&mut self, op: &'a LvOp, mask: &MaskSet) -> Result<()> {
+        let n = self.n;
+        let bits = mask.bits.as_deref();
+        match op {
+            LvOp::Mov { ty, dst, src } => {
+                let d = *dst as usize * n;
+                match ty {
+                    Type::F32 => map1(&mut self.f32s, bits, n, d, resolve(*src, n, dec_f32), |x| x),
+                    Type::F64 => map1(&mut self.f64s, bits, n, d, resolve(*src, n, dec_f64), |x| x),
+                    Type::I32 => map1(&mut self.i32s, bits, n, d, resolve(*src, n, dec_i32), |x| x),
+                    Type::I64 => map1(&mut self.i64s, bits, n, d, resolve(*src, n, dec_i64), |x| x),
+                    Type::Bool => {
+                        map1(&mut self.bools, bits, n, d, resolve(*src, n, dec_bool), |x| x)
+                    }
+                }
+            }
+            LvOp::Bin { op, ty, dst, a, b } => {
+                let d = *dst as usize * n;
+                match ty {
+                    Type::F32 => self.bin_f32(*op, d, *a, *b, bits),
+                    Type::F64 => self.bin_f64(*op, d, *a, *b, bits),
+                    Type::I32 => self.bin_i32(*op, d, *a, *b, bits)?,
+                    Type::I64 => self.bin_i64(*op, d, *a, *b, bits)?,
+                    Type::Bool => self.bin_bool(*op, d, *a, *b, bits),
+                }
+            }
+            LvOp::Un { op, ty, dst, a } => {
+                use crate::ir::UnOp::*;
+                let d = *dst as usize * n;
+                match ty {
+                    Type::F32 => {
+                        let a = resolve(*a, n, dec_f32);
+                        let p = &mut self.f32s;
+                        match op {
+                            Neg => map1(p, bits, n, d, a, |x| -x),
+                            Abs => map1(p, bits, n, d, a, |x| x.abs()),
+                            Sqrt => map1(p, bits, n, d, a, |x| x.sqrt()),
+                            Exp => map1(p, bits, n, d, a, |x| x.exp()),
+                            Log => map1(p, bits, n, d, a, |x| x.ln()),
+                            Floor => map1(p, bits, n, d, a, |x| x.floor()),
+                            Not => unreachable!("not on float rejected by validation"),
+                        }
+                    }
+                    Type::F64 => {
+                        let a = resolve(*a, n, dec_f64);
+                        let p = &mut self.f64s;
+                        match op {
+                            Neg => map1(p, bits, n, d, a, |x| -x),
+                            Abs => map1(p, bits, n, d, a, |x| x.abs()),
+                            Sqrt => map1(p, bits, n, d, a, |x| x.sqrt()),
+                            Exp => map1(p, bits, n, d, a, |x| x.exp()),
+                            Log => map1(p, bits, n, d, a, |x| x.ln()),
+                            Floor => map1(p, bits, n, d, a, |x| x.floor()),
+                            Not => unreachable!("not on float rejected by validation"),
+                        }
+                    }
+                    Type::I32 => {
+                        let a = resolve(*a, n, dec_i32);
+                        let p = &mut self.i32s;
+                        match op {
+                            Neg => map1(p, bits, n, d, a, |x| x.wrapping_neg()),
+                            Abs => map1(p, bits, n, d, a, |x| x.wrapping_abs()),
+                            _ => unreachable!("{op:?} on int rejected by validation"),
+                        }
+                    }
+                    Type::I64 => {
+                        let a = resolve(*a, n, dec_i64);
+                        let p = &mut self.i64s;
+                        match op {
+                            Neg => map1(p, bits, n, d, a, |x| x.wrapping_neg()),
+                            Abs => map1(p, bits, n, d, a, |x| x.wrapping_abs()),
+                            _ => unreachable!("{op:?} on int rejected by validation"),
+                        }
+                    }
+                    Type::Bool => {
+                        let a = resolve(*a, n, dec_bool);
+                        match op {
+                            Not => map1(&mut self.bools, bits, n, d, a, |x| !x),
+                            _ => unreachable!("{op:?} on bool rejected by validation"),
+                        }
+                    }
+                }
+            }
+            LvOp::Cmp { op, ty, dst, a, b } => {
+                let d = *dst as usize * n;
+                match ty {
+                    Type::F32 => {
+                        let (a, b) = (resolve(*a, n, dec_f32), resolve(*b, n, dec_f32));
+                        cmp_loop(&self.f32s, &mut self.bools, bits, n, d, a, b, *op);
+                    }
+                    Type::F64 => {
+                        let (a, b) = (resolve(*a, n, dec_f64), resolve(*b, n, dec_f64));
+                        cmp_loop(&self.f64s, &mut self.bools, bits, n, d, a, b, *op);
+                    }
+                    Type::I32 => {
+                        let (a, b) = (resolve(*a, n, dec_i32), resolve(*b, n, dec_i32));
+                        cmp_loop(&self.i32s, &mut self.bools, bits, n, d, a, b, *op);
+                    }
+                    Type::I64 => {
+                        let (a, b) = (resolve(*a, n, dec_i64), resolve(*b, n, dec_i64));
+                        cmp_loop(&self.i64s, &mut self.bools, bits, n, d, a, b, *op);
+                    }
+                    Type::Bool => {
+                        // Operands and result share the bool pool: reuse
+                        // the same-pool map. bool's operators order
+                        // false < true exactly like the scalar `cmp`.
+                        let (a, b) = (resolve(*a, n, dec_bool), resolve(*b, n, dec_bool));
+                        let p = &mut self.bools;
+                        match op {
+                            CmpOp::Eq => map2(p, bits, n, d, a, b, |x, y| x == y),
+                            CmpOp::Ne => map2(p, bits, n, d, a, b, |x, y| x != y),
+                            CmpOp::Lt => map2(p, bits, n, d, a, b, |x, y| !x & y),
+                            CmpOp::Le => map2(p, bits, n, d, a, b, |x, y| x <= y),
+                            CmpOp::Gt => map2(p, bits, n, d, a, b, |x, y| x & !y),
+                            CmpOp::Ge => map2(p, bits, n, d, a, b, |x, y| x >= y),
+                        }
+                    }
+                }
+            }
+            LvOp::Sel { ty, dst, cond, a, b } => {
+                let d = *dst as usize * n;
+                let cb = *cond as usize * n;
+                match ty {
+                    Type::F32 => {
+                        let (a, b) = (resolve(*a, n, dec_f32), resolve(*b, n, dec_f32));
+                        sel_into(&self.bools, &mut self.f32s, bits, n, d, cb, a, b);
+                    }
+                    Type::F64 => {
+                        let (a, b) = (resolve(*a, n, dec_f64), resolve(*b, n, dec_f64));
+                        sel_into(&self.bools, &mut self.f64s, bits, n, d, cb, a, b);
+                    }
+                    Type::I32 => {
+                        let (a, b) = (resolve(*a, n, dec_i32), resolve(*b, n, dec_i32));
+                        sel_into(&self.bools, &mut self.i32s, bits, n, d, cb, a, b);
+                    }
+                    Type::I64 => {
+                        let (a, b) = (resolve(*a, n, dec_i64), resolve(*b, n, dec_i64));
+                        sel_into(&self.bools, &mut self.i64s, bits, n, d, cb, a, b);
+                    }
+                    Type::Bool => {
+                        // Condition, operands and result all share the
+                        // bool pool: per-lane reads stay in one slice.
+                        let (a, b) = (resolve(*a, n, dec_bool), resolve(*b, n, dec_bool));
+                        let p = &mut self.bools;
+                        match bits {
+                            None => {
+                                for i in 0..n {
+                                    let v = if p[cb + i] { rd(p, a, i) } else { rd(p, b, i) };
+                                    p[d + i] = v;
+                                }
+                            }
+                            Some(m) => {
+                                for i in 0..n {
+                                    if m[i] {
+                                        let v = if p[cb + i] { rd(p, a, i) } else { rd(p, b, i) };
+                                        p[d + i] = v;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            LvOp::Cvt { from, to, dst, a } => self.cvt(*from, *to, *dst, *a, bits),
+            LvOp::Special { kind, dst } => {
+                let d = *dst as usize * n;
+                let w = self.w as u32;
+                let splat = match kind {
+                    Special::TidX | Special::LaneId => None,
+                    Special::CtaIdX => Some(self.ctx.block_id as i32),
+                    Special::NTidX => Some(self.ctx.block_dim as i32),
+                    Special::NCtaIdX => Some(self.ctx.grid_dim as i32),
+                };
+                let p = &mut self.i32s;
+                let f = |i: usize| match kind {
+                    Special::TidX => i as i32,
+                    Special::LaneId => (i as u32 % w) as i32,
+                    _ => splat.unwrap_or_default(),
+                };
+                match bits {
+                    None => {
+                        for i in 0..n {
+                            p[d + i] = f(i);
+                        }
+                    }
+                    Some(m) => {
+                        for i in 0..n {
+                            if m[i] {
+                                p[d + i] = f(i);
+                            }
+                        }
+                    }
+                }
+            }
+            LvOp::Ld { ty, space, dst, addr } => self.ld(*ty, *space, *dst, *addr, bits)?,
+            LvOp::St { ty, space, addr, value } => self.st(*ty, *space, *addr, *value, bits)?,
+            LvOp::Atomic { op, ty, space, addr, value, dst } => {
+                self.atomic(*op, *ty, *space, *addr, *value, *dst, bits)?;
+            }
+            LvOp::Bar => {
+                // Whole-block lockstep ⇒ all lanes are already here.
+                self.local.barriers += 1;
+            }
+            LvOp::Trap { message } => {
+                return Err(SimError::Trap(format!("{}: {}", self.prog.name, message)));
+            }
+        }
+        Ok(())
+    }
+
+    fn bin_f32(&mut self, op: BinOp, d: usize, a: LvSrc, b: LvSrc, bits: Option<&[bool]>) {
+        let n = self.n;
+        let (a, b) = (resolve(a, n, dec_f32), resolve(b, n, dec_f32));
+        let p = &mut self.f32s;
+        match op {
+            BinOp::Add => map2(p, bits, n, d, a, b, |x, y| x + y),
+            BinOp::Sub => map2(p, bits, n, d, a, b, |x, y| x - y),
+            BinOp::Mul => map2(p, bits, n, d, a, b, |x, y| x * y),
+            BinOp::Div => map2(p, bits, n, d, a, b, |x, y| x / y),
+            BinOp::Rem => map2(p, bits, n, d, a, b, |x, y| x % y),
+            BinOp::Min => map2(p, bits, n, d, a, b, |x, y| x.min(y)),
+            BinOp::Max => map2(p, bits, n, d, a, b, |x, y| x.max(y)),
+            _ => unreachable!("float {op:?} rejected by validation"),
+        }
+    }
+
+    fn bin_f64(&mut self, op: BinOp, d: usize, a: LvSrc, b: LvSrc, bits: Option<&[bool]>) {
+        let n = self.n;
+        let (a, b) = (resolve(a, n, dec_f64), resolve(b, n, dec_f64));
+        let p = &mut self.f64s;
+        match op {
+            BinOp::Add => map2(p, bits, n, d, a, b, |x, y| x + y),
+            BinOp::Sub => map2(p, bits, n, d, a, b, |x, y| x - y),
+            BinOp::Mul => map2(p, bits, n, d, a, b, |x, y| x * y),
+            BinOp::Div => map2(p, bits, n, d, a, b, |x, y| x / y),
+            BinOp::Rem => map2(p, bits, n, d, a, b, |x, y| x % y),
+            BinOp::Min => map2(p, bits, n, d, a, b, |x, y| x.min(y)),
+            BinOp::Max => map2(p, bits, n, d, a, b, |x, y| x.max(y)),
+            _ => unreachable!("float {op:?} rejected by validation"),
+        }
+    }
+
+    /// i32 arithmetic. The scalar tier promotes through i64
+    /// (`int_bin(i64::from(x), ...) as i32`); each arm below is the
+    /// algebraically-equal direct form — except shifts, where promotion
+    /// is semantically load-bearing (the shift count masks with 63, not
+    /// 31) and therefore kept literally.
+    fn bin_i32(
+        &mut self,
+        op: BinOp,
+        d: usize,
+        a: LvSrc,
+        b: LvSrc,
+        bits: Option<&[bool]>,
+    ) -> Result<()> {
+        let n = self.n;
+        let (a, b) = (resolve(a, n, dec_i32), resolve(b, n, dec_i32));
+        let p = &mut self.i32s;
+        match op {
+            BinOp::Add => map2(p, bits, n, d, a, b, |x, y| x.wrapping_add(y)),
+            BinOp::Sub => map2(p, bits, n, d, a, b, |x, y| x.wrapping_sub(y)),
+            BinOp::Mul => map2(p, bits, n, d, a, b, |x, y| x.wrapping_mul(y)),
+            BinOp::Div => map2_try(p, bits, n, d, a, b, |x, y| {
+                if y == 0 {
+                    return Err(SimError::Trap("integer division by zero".into()));
+                }
+                Ok(i64::from(x).wrapping_div(i64::from(y)) as i32)
+            })?,
+            BinOp::Rem => map2_try(p, bits, n, d, a, b, |x, y| {
+                if y == 0 {
+                    return Err(SimError::Trap("integer remainder by zero".into()));
+                }
+                Ok(i64::from(x).wrapping_rem(i64::from(y)) as i32)
+            })?,
+            BinOp::Min => map2(p, bits, n, d, a, b, |x, y| x.min(y)),
+            BinOp::Max => map2(p, bits, n, d, a, b, |x, y| x.max(y)),
+            BinOp::And => map2(p, bits, n, d, a, b, |x, y| x & y),
+            BinOp::Or => map2(p, bits, n, d, a, b, |x, y| x | y),
+            BinOp::Xor => map2(p, bits, n, d, a, b, |x, y| x ^ y),
+            BinOp::Shl => map2(p, bits, n, d, a, b, |x, y| {
+                i64::from(x).wrapping_shl((i64::from(y) & 63) as u32) as i32
+            }),
+            BinOp::Shr => map2(p, bits, n, d, a, b, |x, y| {
+                i64::from(x).wrapping_shr((i64::from(y) & 63) as u32) as i32
+            }),
+        }
+        Ok(())
+    }
+
+    fn bin_i64(
+        &mut self,
+        op: BinOp,
+        d: usize,
+        a: LvSrc,
+        b: LvSrc,
+        bits: Option<&[bool]>,
+    ) -> Result<()> {
+        let n = self.n;
+        let (a, b) = (resolve(a, n, dec_i64), resolve(b, n, dec_i64));
+        let p = &mut self.i64s;
+        match op {
+            BinOp::Add => map2(p, bits, n, d, a, b, |x, y| x.wrapping_add(y)),
+            BinOp::Sub => map2(p, bits, n, d, a, b, |x, y| x.wrapping_sub(y)),
+            BinOp::Mul => map2(p, bits, n, d, a, b, |x, y| x.wrapping_mul(y)),
+            BinOp::Div => map2_try(p, bits, n, d, a, b, |x, y| {
+                if y == 0 {
+                    return Err(SimError::Trap("integer division by zero".into()));
+                }
+                Ok(x.wrapping_div(y))
+            })?,
+            BinOp::Rem => map2_try(p, bits, n, d, a, b, |x, y| {
+                if y == 0 {
+                    return Err(SimError::Trap("integer remainder by zero".into()));
+                }
+                Ok(x.wrapping_rem(y))
+            })?,
+            BinOp::Min => map2(p, bits, n, d, a, b, |x, y| x.min(y)),
+            BinOp::Max => map2(p, bits, n, d, a, b, |x, y| x.max(y)),
+            BinOp::And => map2(p, bits, n, d, a, b, |x, y| x & y),
+            BinOp::Or => map2(p, bits, n, d, a, b, |x, y| x | y),
+            BinOp::Xor => map2(p, bits, n, d, a, b, |x, y| x ^ y),
+            BinOp::Shl => map2(p, bits, n, d, a, b, |x, y| x.wrapping_shl((y & 63) as u32)),
+            BinOp::Shr => map2(p, bits, n, d, a, b, |x, y| x.wrapping_shr((y & 63) as u32)),
+        }
+        Ok(())
+    }
+
+    fn bin_bool(&mut self, op: BinOp, d: usize, a: LvSrc, b: LvSrc, bits: Option<&[bool]>) {
+        let n = self.n;
+        let (a, b) = (resolve(a, n, dec_bool), resolve(b, n, dec_bool));
+        let p = &mut self.bools;
+        match op {
+            BinOp::And => map2(p, bits, n, d, a, b, |x, y| x & y),
+            BinOp::Or => map2(p, bits, n, d, a, b, |x, y| x | y),
+            BinOp::Xor => map2(p, bits, n, d, a, b, |x, y| x ^ y),
+            _ => unreachable!("bool {op:?} rejected by validation"),
+        }
+    }
+
+    /// Conversions, routed exactly as the scalar `convert`: everything
+    /// goes through f64 except integer→integer, and `F32→F32` keeps the
+    /// (exact) f64 round-trip so the computation is literally the same.
+    fn cvt(&mut self, from: Type, to: Type, dst: u32, a: LvSrc, bits: Option<&[bool]>) {
+        let n = self.n;
+        let d = dst as usize * n;
+        match (from, to) {
+            (Type::F32, Type::F32) => {
+                map1(&mut self.f32s, bits, n, d, resolve(a, n, dec_f32), |x| f64::from(x) as f32)
+            }
+            (Type::F32, Type::F64) => {
+                cvt_into(&self.f32s, &mut self.f64s, bits, n, d, resolve(a, n, dec_f32), f64::from)
+            }
+            (Type::F32, Type::I32) => {
+                cvt_into(&self.f32s, &mut self.i32s, bits, n, d, resolve(a, n, dec_f32), |x| {
+                    f64::from(x) as i32
+                })
+            }
+            (Type::F32, Type::I64) => {
+                cvt_into(&self.f32s, &mut self.i64s, bits, n, d, resolve(a, n, dec_f32), |x| {
+                    f64::from(x) as i64
+                })
+            }
+            (Type::F64, Type::F32) => {
+                cvt_into(&self.f64s, &mut self.f32s, bits, n, d, resolve(a, n, dec_f64), |x| {
+                    x as f32
+                })
+            }
+            (Type::F64, Type::F64) => {
+                map1(&mut self.f64s, bits, n, d, resolve(a, n, dec_f64), |x| x)
+            }
+            (Type::F64, Type::I32) => {
+                cvt_into(&self.f64s, &mut self.i32s, bits, n, d, resolve(a, n, dec_f64), |x| {
+                    x as i32
+                })
+            }
+            (Type::F64, Type::I64) => {
+                cvt_into(&self.f64s, &mut self.i64s, bits, n, d, resolve(a, n, dec_f64), |x| {
+                    x as i64
+                })
+            }
+            (Type::I32, Type::F32) => {
+                cvt_into(&self.i32s, &mut self.f32s, bits, n, d, resolve(a, n, dec_i32), |x| {
+                    f64::from(x) as f32
+                })
+            }
+            (Type::I32, Type::F64) => {
+                cvt_into(&self.i32s, &mut self.f64s, bits, n, d, resolve(a, n, dec_i32), f64::from)
+            }
+            (Type::I32, Type::I32) => {
+                map1(&mut self.i32s, bits, n, d, resolve(a, n, dec_i32), |x| x)
+            }
+            (Type::I32, Type::I64) => {
+                cvt_into(&self.i32s, &mut self.i64s, bits, n, d, resolve(a, n, dec_i32), i64::from)
+            }
+            (Type::I64, Type::F32) => {
+                // Double rounding (i64→f64→f32) is the scalar semantics.
+                cvt_into(&self.i64s, &mut self.f32s, bits, n, d, resolve(a, n, dec_i64), |x| {
+                    (x as f64) as f32
+                })
+            }
+            (Type::I64, Type::F64) => {
+                cvt_into(&self.i64s, &mut self.f64s, bits, n, d, resolve(a, n, dec_i64), |x| {
+                    x as f64
+                })
+            }
+            (Type::I64, Type::I32) => {
+                cvt_into(&self.i64s, &mut self.i32s, bits, n, d, resolve(a, n, dec_i64), |x| {
+                    x as i32
+                })
+            }
+            (Type::I64, Type::I64) => {
+                map1(&mut self.i64s, bits, n, d, resolve(a, n, dec_i64), |x| x)
+            }
+            _ => unreachable!("bool cvt rejected by validation"),
+        }
+    }
+
+    fn ld(
+        &mut self,
+        ty: Type,
+        space: Space,
+        dst: u32,
+        addr: LvSrc,
+        bits: Option<&[bool]>,
+    ) -> Result<()> {
+        let n = self.n;
+        let d = dst as usize * n;
+        let am = resolve(addr, n, dec_i64);
+        let size = ty.size();
+        let global = self.ctx.global;
+        let mut lanes = 0u64;
+        match space {
+            Space::Global => match ty {
+                Type::F32 => {
+                    let (addrs, pool) = (&self.i64s, &mut self.f32s);
+                    for_each_lane(bits, n, |i| {
+                        let a = lane_addr(rd(addrs, am, i))?;
+                        pool[d + i] = f32::from_bits(global.read_raw(a, size)? as u32);
+                        lanes += 1;
+                        Ok(())
+                    })?;
+                }
+                Type::F64 => {
+                    let (addrs, pool) = (&self.i64s, &mut self.f64s);
+                    for_each_lane(bits, n, |i| {
+                        let a = lane_addr(rd(addrs, am, i))?;
+                        pool[d + i] = f64::from_bits(global.read_raw(a, size)?);
+                        lanes += 1;
+                        Ok(())
+                    })?;
+                }
+                Type::I32 => {
+                    let (addrs, pool) = (&self.i64s, &mut self.i32s);
+                    for_each_lane(bits, n, |i| {
+                        let a = lane_addr(rd(addrs, am, i))?;
+                        pool[d + i] = global.read_raw(a, size)? as u32 as i32;
+                        lanes += 1;
+                        Ok(())
+                    })?;
+                }
+                Type::I64 => {
+                    // Destination and address pool coincide: read the
+                    // address before overwriting the lane.
+                    let pool = &mut self.i64s;
+                    for_each_lane(bits, n, |i| {
+                        let a = lane_addr(rd(pool, am, i))?;
+                        pool[d + i] = global.read_raw(a, size)? as i64;
+                        lanes += 1;
+                        Ok(())
+                    })?;
+                }
+                Type::Bool => unreachable!("bool ld rejected by validation"),
+            },
+            Space::Shared => {
+                // Shared traffic is not counted and not hot: stay on the
+                // scalar tier's Value-based path for identical behaviour.
+                for i in 0..n {
+                    if let Some(m) = bits {
+                        if !m[i] {
+                            continue;
+                        }
+                    }
+                    let av = match am {
+                        In::Base(b) => self.i64s[b + i],
+                        In::Imm(v) => v,
+                    };
+                    let a = lane_addr(av)?;
+                    let v = self.shared.load(ty, a)?;
+                    self.set_lane(ty, d, i, v);
+                }
+            }
+        }
+        if space == Space::Global {
+            self.local.bytes_read += lanes * size;
+        }
+        Ok(())
+    }
+
+    fn st(
+        &mut self,
+        ty: Type,
+        space: Space,
+        addr: LvSrc,
+        value: LvSrc,
+        bits: Option<&[bool]>,
+    ) -> Result<()> {
+        let n = self.n;
+        let am = resolve(addr, n, dec_i64);
+        let size = ty.size();
+        let global = self.ctx.global;
+        let mut lanes = 0u64;
+        match space {
+            Space::Global => match ty {
+                Type::F32 => {
+                    let (addrs, pool) = (&self.i64s, &self.f32s);
+                    let vm = resolve(value, n, dec_f32);
+                    for_each_lane(bits, n, |i| {
+                        let a = lane_addr(rd(addrs, am, i))?;
+                        global.write_raw(a, size, u64::from(rd(pool, vm, i).to_bits()))?;
+                        lanes += 1;
+                        Ok(())
+                    })?;
+                }
+                Type::F64 => {
+                    let (addrs, pool) = (&self.i64s, &self.f64s);
+                    let vm = resolve(value, n, dec_f64);
+                    for_each_lane(bits, n, |i| {
+                        let a = lane_addr(rd(addrs, am, i))?;
+                        global.write_raw(a, size, rd(pool, vm, i).to_bits())?;
+                        lanes += 1;
+                        Ok(())
+                    })?;
+                }
+                Type::I32 => {
+                    let (addrs, pool) = (&self.i64s, &self.i32s);
+                    let vm = resolve(value, n, dec_i32);
+                    for_each_lane(bits, n, |i| {
+                        let a = lane_addr(rd(addrs, am, i))?;
+                        global.write_raw(a, size, u64::from(rd(pool, vm, i) as u32))?;
+                        lanes += 1;
+                        Ok(())
+                    })?;
+                }
+                Type::I64 => {
+                    // Address and value share the i64 pool; both reads
+                    // are shared borrows, so the generic shape still fits.
+                    let pool = &self.i64s;
+                    let vm = resolve(value, n, dec_i64);
+                    for_each_lane(bits, n, |i| {
+                        let a = lane_addr(rd(pool, am, i))?;
+                        global.write_raw(a, size, rd(pool, vm, i) as u64)?;
+                        lanes += 1;
+                        Ok(())
+                    })?;
+                }
+                Type::Bool => unreachable!("bool st rejected by validation"),
+            },
+            Space::Shared => {
+                for i in 0..n {
+                    if let Some(m) = bits {
+                        if !m[i] {
+                            continue;
+                        }
+                    }
+                    let av = match am {
+                        In::Base(b) => self.i64s[b + i],
+                        In::Imm(v) => v,
+                    };
+                    let a = lane_addr(av)?;
+                    let v = self.read_value(ty, value, i);
+                    self.shared.store(a, v)?;
+                }
+            }
+        }
+        if space == Space::Global {
+            self.local.bytes_written += lanes * size;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn atomic(
+        &mut self,
+        op: AtomicOp,
+        ty: Type,
+        space: Space,
+        addr: LvSrc,
+        value: LvSrc,
+        dst: Option<u32>,
+        bits: Option<&[bool]>,
+    ) -> Result<()> {
+        let n = self.n;
+        let mut lanes = 0u64;
+        for i in 0..n {
+            if let Some(m) = bits {
+                if !m[i] {
+                    continue;
+                }
+            }
+            let av = match addr {
+                LvSrc::Slot(s) => self.i64s[s as usize * n + i],
+                LvSrc::Imm(b) => dec_i64(b),
+            };
+            let a = lane_addr(av)?;
+            let v = self.read_value(ty, value, i);
+            let old = match space {
+                Space::Global => self.ctx.global.atomic_rmw(a, op, v)?,
+                Space::Shared => {
+                    // Single interpreter thread per block: plain RMW,
+                    // exactly like the scalar tier.
+                    let cur = self.shared.load(ty, a)?;
+                    let new = match op {
+                        AtomicOp::Add => bin_value(BinOp::Add, cur, v)?,
+                        AtomicOp::Min => bin_value(BinOp::Min, cur, v)?,
+                        AtomicOp::Max => bin_value(BinOp::Max, cur, v)?,
+                        AtomicOp::Exch => v,
+                    };
+                    self.shared.store(a, new)?;
+                    cur
+                }
+            };
+            if let Some(dslot) = dst {
+                self.set_lane(ty, dslot as usize * n, i, old);
+            }
+            lanes += 1;
+        }
+        self.local.atomics += lanes;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Counters;
+    use crate::exec::run_block;
+    use crate::ir::{KernelBuilder, KernelIr, UnOp};
+    use crate::lower::lower;
+    use crate::mem::{DevicePtr, GlobalMemory};
+
+    /// Run one block of `kernel` under both tiers, each on a fresh memory
+    /// prepared by `setup` (allocation order is deterministic, so pointers
+    /// agree across the two runs), and require identical results, identical
+    /// counter snapshots, and byte-identical buffer contents.
+    fn differential(
+        kernel: &KernelIr,
+        block_dim: u32,
+        warp_width: u32,
+        setup: impl Fn(&GlobalMemory) -> (Vec<Value>, Vec<(DevicePtr, u64)>),
+    ) {
+        let prog = lower(kernel);
+        let run_tier = |vectorized: bool| {
+            let mem = GlobalMemory::new(1 << 20);
+            let (args, bufs) = setup(&mem);
+            let counters = Counters::new();
+            let ctx = BlockCtx {
+                kernel,
+                global: &mem,
+                counters: &counters,
+                block_id: 0,
+                grid_dim: 1,
+                block_dim,
+                warp_width,
+            };
+            let res =
+                if vectorized { run_block_lv(&ctx, &prog, &args) } else { run_block(&ctx, &args) };
+            let bytes: Vec<Vec<u8>> =
+                bufs.iter().map(|&(p, len)| mem.read_bytes(p, len).unwrap()).collect();
+            (res, counters.snapshot(), bytes)
+        };
+        let (scalar_res, scalar_stats, scalar_bytes) = run_tier(false);
+        let (vec_res, vec_stats, vec_bytes) = run_tier(true);
+        assert_eq!(scalar_res, vec_res, "tier results diverge");
+        assert_eq!(scalar_stats, vec_stats, "tier counters diverge");
+        assert_eq!(scalar_bytes, vec_bytes, "tier buffers diverge");
+    }
+
+    #[test]
+    fn saxpy_full_mask_matches_scalar() {
+        // Straight-line kernel: stays on the full-mask fast path throughout.
+        let mut k = KernelBuilder::new("saxpy");
+        let a = k.param(Type::F32);
+        let x = k.param(Type::I64);
+        let y = k.param(Type::I64);
+        let i = k.thread_id_x();
+        let xi = k.ld_elem(Space::Global, Type::F32, x, i);
+        let yi = k.ld_elem(Space::Global, Type::F32, y, i);
+        let ax = k.bin(BinOp::Mul, a, xi);
+        let s = k.bin(BinOp::Add, ax, yi);
+        k.st_elem(Space::Global, y, i, s);
+        let kernel = k.finish();
+        differential(&kernel, 64, 32, |mem| {
+            let xp = mem.alloc(64 * 4).unwrap();
+            let yp = mem.alloc(64 * 4).unwrap();
+            for i in 0..64u64 {
+                mem.store(xp.0 + i * 4, Value::F32(i as f32 * 0.25)).unwrap();
+                mem.store(yp.0 + i * 4, Value::F32(1.5)).unwrap();
+            }
+            (
+                vec![Value::F32(2.0), Value::I64(xp.0 as i64), Value::I64(yp.0 as i64)],
+                vec![(yp, 64 * 4)],
+            )
+        });
+    }
+
+    #[test]
+    fn divergent_if_else_matches_scalar_on_every_warp_width() {
+        let mut k = KernelBuilder::new("div");
+        let out = k.param(Type::I64);
+        let i = k.thread_id_x();
+        let two = k.imm(Value::I32(2));
+        let r = k.bin(BinOp::Rem, i, two);
+        let even = k.cmp(CmpOp::Eq, r, Value::I32(0));
+        k.if_else(
+            even,
+            |k| k.st_elem(Space::Global, out, i, Value::I32(1)),
+            |k| k.st_elem(Space::Global, out, i, Value::I32(2)),
+        );
+        let kernel = k.finish();
+        for ww in [16, 32, 64] {
+            differential(&kernel, 96, ww, |mem| {
+                let p = mem.alloc(96 * 4).unwrap();
+                (vec![Value::I64(p.0 as i64)], vec![(p, 96 * 4)])
+            });
+        }
+    }
+
+    #[test]
+    fn while_loop_with_divergent_trip_counts_matches_scalar() {
+        let mut k = KernelBuilder::new("tri");
+        let out = k.param(Type::I64);
+        let i = k.thread_id_x();
+        let acc = k.imm(Value::I32(0));
+        let j = k.imm(Value::I32(0));
+        k.while_(
+            |k| k.cmp(CmpOp::Lt, j, i),
+            |k| {
+                k.bin_assign(BinOp::Add, acc, j);
+                k.bin_assign(BinOp::Add, j, Value::I32(1));
+            },
+        );
+        k.st_elem(Space::Global, out, i, acc);
+        let kernel = k.finish();
+        differential(&kernel, 48, 32, |mem| {
+            let p = mem.alloc(48 * 4).unwrap();
+            (vec![Value::I64(p.0 as i64)], vec![(p, 48 * 4)])
+        });
+    }
+
+    #[test]
+    fn shared_memory_reduction_matches_scalar() {
+        let mut k = KernelBuilder::new("reduce");
+        let out = k.param(Type::I64);
+        let sh = k.shared_alloc(64 * 4);
+        let tid = k.thread_id_x();
+        let tid_f = k.cvt(Type::F32, tid);
+        k.st_elem(Space::Shared, sh, tid, tid_f);
+        k.barrier();
+        let zero = k.imm(Value::I32(0));
+        let is0 = k.cmp(CmpOp::Eq, tid, zero);
+        k.if_(is0, |k| {
+            let acc = k.imm(Value::F32(0.0));
+            let j = k.imm(Value::I32(0));
+            k.while_(
+                |k| k.cmp(CmpOp::Lt, j, Value::I32(64)),
+                |k| {
+                    let v = k.ld_elem(Space::Shared, Type::F32, sh, j);
+                    k.bin_assign(BinOp::Add, acc, v);
+                    k.bin_assign(BinOp::Add, j, Value::I32(1));
+                },
+            );
+            k.st_elem(Space::Global, out, zero, acc);
+        });
+        let kernel = k.finish();
+        differential(&kernel, 64, 32, |mem| {
+            let p = mem.alloc(4).unwrap();
+            (vec![Value::I64(p.0 as i64)], vec![(p, 4)])
+        });
+    }
+
+    #[test]
+    fn global_atomics_match_scalar() {
+        // Every lane atomically adds into out[0] and records the fetched
+        // value; single interpreter thread per block, so the fetch order is
+        // deterministic and must agree across tiers.
+        let mut k = KernelBuilder::new("atom");
+        let out = k.param(Type::I64);
+        let old = k.param(Type::I64);
+        let i = k.thread_id_x();
+        let got = k.atomic(AtomicOp::Add, Space::Global, out, Value::I32(3));
+        k.st_elem(Space::Global, old, i, got);
+        let kernel = k.finish();
+        differential(&kernel, 32, 32, |mem| {
+            let p = mem.alloc(4).unwrap();
+            let q = mem.alloc(32 * 4).unwrap();
+            mem.store(p.0, Value::I32(0)).unwrap();
+            (vec![Value::I64(p.0 as i64), Value::I64(q.0 as i64)], vec![(p, 4), (q, 32 * 4)])
+        });
+    }
+
+    #[test]
+    fn integer_edge_ops_and_conversions_match_scalar() {
+        // Shifts with out-of-range amounts, signed div/rem, and a
+        // conversion chain — the arms most sensitive to semantic drift.
+        let mut k = KernelBuilder::new("edges");
+        let out = k.param(Type::I64);
+        let i = k.thread_id_x();
+        let big = k.imm(Value::I32(71)); // shift amount > 63: masked mod 64
+        let sh = k.bin(BinOp::Shl, i, big);
+        let neg = k.un(UnOp::Neg, i);
+        let seven = k.imm(Value::I32(7));
+        let d = k.bin(BinOp::Div, neg, seven);
+        let r = k.bin(BinOp::Rem, neg, seven);
+        let wide = k.cvt(Type::I64, i);
+        let f = k.cvt(Type::F32, wide);
+        let back = k.cvt(Type::I32, f);
+        let t1 = k.bin(BinOp::Add, sh, d);
+        let t2 = k.bin(BinOp::Add, t1, r);
+        let t3 = k.bin(BinOp::Add, t2, back);
+        k.st_elem(Space::Global, out, i, t3);
+        let kernel = k.finish();
+        differential(&kernel, 64, 32, |mem| {
+            let p = mem.alloc(64 * 4).unwrap();
+            (vec![Value::I64(p.0 as i64)], vec![(p, 64 * 4)])
+        });
+    }
+
+    #[test]
+    fn division_by_zero_traps_identically() {
+        let mut k = KernelBuilder::new("crash");
+        let out = k.param(Type::I64);
+        let i = k.thread_id_x();
+        let zero = k.imm(Value::I32(0));
+        let d = k.bin(BinOp::Div, i, zero);
+        k.st_elem(Space::Global, out, i, d);
+        let kernel = k.finish();
+        differential(&kernel, 32, 32, |mem| {
+            let p = mem.alloc(32 * 4).unwrap();
+            (vec![Value::I64(p.0 as i64)], vec![(p, 32 * 4)])
+        });
+    }
+
+    #[test]
+    fn out_of_bounds_store_fails_identically() {
+        let mut k = KernelBuilder::new("oob");
+        let out = k.param(Type::I64);
+        let i = k.thread_id_x();
+        k.st_elem(Space::Global, out, i, Value::I32(1));
+        let kernel = k.finish();
+        // Unallocated address far past the heap: both tiers must report the
+        // same OutOfBounds error and leave the counters untouched.
+        differential(&kernel, 32, 32, |mem| {
+            let p = mem.alloc(4).unwrap();
+            (vec![Value::I64(1 << 19)], vec![(p, 4)])
+        });
+    }
+
+    #[test]
+    fn full_mask_fast_path_survives_unanimous_branches() {
+        // A branch every lane takes keeps `bits: None`; results and counters
+        // still match the scalar tier exactly.
+        let mut k = KernelBuilder::new("unanimous");
+        let out = k.param(Type::I64);
+        let i = k.thread_id_x();
+        let yes = k.cmp(CmpOp::Ge, i, Value::I32(0));
+        k.if_(yes, |k| {
+            let two = k.imm(Value::I32(2));
+            let v = k.bin(BinOp::Mul, i, two);
+            k.st_elem(Space::Global, out, i, v);
+        });
+        let kernel = k.finish();
+        differential(&kernel, 64, 32, |mem| {
+            let p = mem.alloc(64 * 4).unwrap();
+            (vec![Value::I64(p.0 as i64)], vec![(p, 64 * 4)])
+        });
+    }
+}

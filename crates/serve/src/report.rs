@@ -76,6 +76,22 @@ pub struct CacheReport {
     pub hit_rate: f64,
 }
 
+/// Lowered-program cache behaviour, summed over the three devices. The
+/// compile cache above deduplicates *route compilations*; this one
+/// deduplicates the *lane-vector lowering* the vectorized execution tier
+/// performs per distinct kernel per device.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ProgramsReport {
+    /// Launches served by an already-lowered program.
+    pub hits: u64,
+    /// Lowerings actually performed.
+    pub misses: u64,
+    /// Distinct programs cached across the devices.
+    pub entries: usize,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+}
+
 /// Job accounting, mirrored from [`ServiceCounts`] for serialization.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct JobsReport {
@@ -103,6 +119,8 @@ pub struct ServeReport {
     pub jobs: JobsReport,
     /// Compile-cache behaviour.
     pub cache: CacheReport,
+    /// Lowered-program cache behaviour (vectorized execution tier).
+    pub programs: ProgramsReport,
     /// Modeled latency summary (admission → retirement, queueing included).
     pub latency: LatencyStats,
     /// Modeled makespan: the slowest device clock (seconds).
@@ -129,6 +147,10 @@ impl ServeReport {
     ) -> Self {
         let counts: ServiceCounts = service.counts();
         let cache = service.cache().stats();
+        let programs = Vendor::ALL
+            .into_iter()
+            .map(|v| service.device(v).program_cache_stats())
+            .fold(mcmm_gpu_sim::ProgramCacheStats::default(), |acc, s| acc.merged(s));
         let latencies: Vec<f64> = completions.iter().map(|c| c.latency.seconds()).collect();
 
         let clocks: Vec<(Vendor, f64, u64, String)> = Vendor::ALL
@@ -166,6 +188,12 @@ impl ServeReport {
                 evictions: cache.evictions,
                 entries: cache.entries,
                 hit_rate: cache.hit_rate(),
+            },
+            programs: ProgramsReport {
+                hits: programs.hits,
+                misses: programs.misses,
+                entries: programs.entries,
+                hit_rate: programs.hit_rate(),
             },
             latency: LatencyStats::from_seconds(&latencies),
             makespan_s: makespan,
@@ -211,6 +239,13 @@ impl ServeReport {
             self.cache.misses,
             self.cache.evictions,
             self.cache.entries
+        ));
+        out.push_str(&format!(
+            "  programs   {:.1}% hit rate ({} hits / {} misses, {} lowered programs)\n",
+            self.programs.hit_rate * 100.0,
+            self.programs.hits,
+            self.programs.misses,
+            self.programs.entries
         ));
         out.push_str(&format!(
             "  latency    p50 {:.1} us, p99 {:.1} us, mean {:.1} us, max {:.1} us (modeled)\n",

@@ -22,6 +22,7 @@ pub mod registry;
 
 pub use cache::{CacheStats, CompileCache};
 pub use compiler::{CompileError, VirtualCompiler};
+pub use mcmm_gpu_sim::{set_process_exec_tier, ExecTier, ProgramCacheStats};
 pub use registry::{select, select_best, Registry};
 
 use mcmm_core::taxonomy::Vendor;
