@@ -43,7 +43,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "── rustfmt ────────────────────────────────────────"
 cargo fmt --all --check
 
-echo "── analyzer report ────────────────────────────────"
-cargo run --release -p mcmm-bench --bin analyze
+echo "── analyzer report + portability differential ─────"
+# --smoke additionally executes the portability corpus on all three
+# simulated vendor devices under both execution tiers and fails on any
+# static/dynamic disagreement (MCA006–MCA010 differential validation).
+cargo run --release -p mcmm-bench --bin analyze -- --smoke
 
 echo "CI PASSED"

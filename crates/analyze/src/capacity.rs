@@ -1,0 +1,42 @@
+//! MCA007/MCA008 — vendor capacity limits.
+//!
+//! The cheapest portability breaks are not semantic at all: a kernel's
+//! static shared-memory demand or the chosen block shape simply exceeds
+//! what one vendor's device offers. Both quantities are known exactly at
+//! analysis time (the IR declares `shared_bytes`, the launch assumptions
+//! declare `block_dim`), so these checks are precise by construction —
+//! every finding corresponds to a launch the simulated device of that
+//! vendor refuses with `BadLaunch`, and a clean verdict guarantees the
+//! launch is admitted.
+
+use crate::{AnalysisOptions, Diagnostic, MCA007, MCA008};
+use mcmm_gpu_sim::device::DeviceSpec;
+use mcmm_gpu_sim::ir::KernelIr;
+
+/// Run the capacity checks against one vendor device.
+pub fn check(kernel: &KernelIr, opts: &AnalysisOptions, spec: &DeviceSpec) -> Vec<Diagnostic> {
+    let mut found = Vec::new();
+    if kernel.shared_bytes > spec.shared_per_block {
+        found.push(Diagnostic {
+            code: MCA007,
+            loc: None,
+            message: format!(
+                "kernel `{}` declares {} B of shared memory but `{}` offers only {} B \
+                 per block — the launch is refused on that device",
+                kernel.name, kernel.shared_bytes, spec.name, spec.shared_per_block
+            ),
+        });
+    }
+    if opts.block_dim > spec.max_threads_per_block {
+        found.push(Diagnostic {
+            code: MCA008,
+            loc: None,
+            message: format!(
+                "launch shape of {} threads per block exceeds `{}`'s limit of {} \
+                 for kernel `{}` — the launch is refused on that device",
+                opts.block_dim, spec.name, spec.max_threads_per_block, kernel.name
+            ),
+        });
+    }
+    found
+}

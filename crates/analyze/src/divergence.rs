@@ -9,16 +9,29 @@
 //! block-uniform. A `Bar` nested under any variant `If`/`While` guard is
 //! flagged.
 //!
+//! The analysis is **warp-width-parametric**: a comparison between a
+//! lane-affine expression and a constant is evaluated over every lane
+//! `0..W` of the given width, and if the predicate comes out identical in
+//! all of them (`lane < 32` at `W = 32` is uniformly true) the guard is
+//! *uniform at that width* and a barrier under it is sound. The same
+//! kernel re-analyzed at `W = 64` sees the predicate vary and flags the
+//! barrier — exactly the class of code that runs on one vendor's warp
+//! width and deadlocks on another's (the MCA009 portability check in
+//! [`crate::portability`] is built on this per-width reachability).
+//!
 //! Taint is computed to fixpoint first (loops can feed variance back into
 //! their own guards), then one recording pass emits diagnostics.
 
 use crate::cfg::Loc;
+use crate::range::{lane_bindings, LaneBindings};
 use crate::{Diagnostic, MCA002};
-use mcmm_gpu_sim::ir::{Instr, KernelIr, Operand, Reg, Special};
+use mcmm_gpu_sim::ir::{CmpOp, Instr, KernelIr, Operand, Reg, Special};
 use std::collections::BTreeSet;
 
 struct Taint<'k> {
     kernel: &'k KernelIr,
+    warp_width: u32,
+    bindings: LaneBindings,
     variant: BTreeSet<Reg>,
     changed: bool,
     /// Divergent barrier locations (filled on the recording pass).
@@ -44,6 +57,35 @@ impl Taint<'_> {
         l
     }
 
+    /// Is `a <op> b` provably the same boolean in every lane at this warp
+    /// width? Holds when one side is lane-affine (`LaneId + k`), the other
+    /// a constant, and brute-force evaluation over lanes `0..W` agrees.
+    fn degenerate_cmp(&self, op: CmpOp, a: &Operand, b: &Operand) -> bool {
+        let (off, c, flipped) = match (
+            self.bindings.lane_of(a),
+            self.bindings.const_of(b),
+            self.bindings.lane_of(b),
+            self.bindings.const_of(a),
+        ) {
+            (Some(off), Some(c), _, _) => (off, c, false),
+            (_, _, Some(off), Some(c)) => (off, c, true),
+            _ => return false,
+        };
+        let eval = |lane: i64| {
+            let (x, y) = if flipped { (c, lane + off) } else { (lane + off, c) };
+            match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }
+        };
+        let first = eval(0);
+        (1..i64::from(self.warp_width)).all(|lane| eval(lane) == first)
+    }
+
     fn walk(&mut self, body: &[Instr], div_ctx: bool, guard: &str) {
         for instr in body {
             let loc = self.loc();
@@ -53,8 +95,19 @@ impl Taint<'_> {
                         self.mark(*dst);
                     }
                 }
-                Instr::Bin { dst, a, b, .. } | Instr::Cmp { dst, a, b, .. } => {
+                Instr::Bin { dst, a, b, .. } => {
                     if div_ctx || self.op_variant(a) || self.op_variant(b) {
+                        self.mark(*dst);
+                    }
+                }
+                Instr::Cmp { op, dst, a, b } => {
+                    if div_ctx {
+                        self.mark(*dst);
+                    } else if self.degenerate_cmp(*op, a, b) {
+                        // Uniform at this width: every lane computes the
+                        // same boolean, so the result is NOT variant even
+                        // though its operands are.
+                    } else if self.op_variant(a) || self.op_variant(b) {
                         self.mark(*dst);
                     }
                 }
@@ -141,10 +194,11 @@ impl Taint<'_> {
     }
 }
 
-/// The set of thread-variant registers at fixpoint.
-pub fn variant_regs(kernel: &KernelIr) -> BTreeSet<Reg> {
+fn fixpoint(kernel: &KernelIr, warp_width: u32) -> Taint<'_> {
     let mut t = Taint {
         kernel,
+        warp_width: warp_width.max(1),
+        bindings: lane_bindings(kernel),
         variant: BTreeSet::new(),
         changed: true,
         found: Vec::new(),
@@ -156,17 +210,30 @@ pub fn variant_regs(kernel: &KernelIr) -> BTreeSet<Reg> {
         t.next_loc = 0;
         t.walk(&kernel.body, false, "");
     }
-    t.variant
+    t
 }
 
-/// Run the MCA002 check.
-pub fn check(kernel: &KernelIr) -> Vec<Diagnostic> {
-    let variant = variant_regs(kernel);
-    let mut t =
-        Taint { kernel, variant, changed: false, found: Vec::new(), record: true, next_loc: 0 };
+/// The set of thread-variant registers at fixpoint, for a device of the
+/// given warp width.
+pub fn variant_regs(kernel: &KernelIr, warp_width: u32) -> BTreeSet<Reg> {
+    fixpoint(kernel, warp_width).variant
+}
+
+/// Run the MCA002 check at one warp width.
+pub fn check(kernel: &KernelIr, warp_width: u32) -> Vec<Diagnostic> {
+    let mut t = fixpoint(kernel, warp_width);
+    t.record = true;
+    t.next_loc = 0;
     t.walk(&kernel.body, false, "");
     t.found
         .into_iter()
         .map(|(loc, message)| Diagnostic { code: MCA002, loc: Some(loc), message })
         .collect()
+}
+
+/// Locations of barriers that are divergent at the given warp width —
+/// the raw per-width reachability the MCA009 portability check compares
+/// across vendor widths.
+pub fn divergent_barrier_locs(kernel: &KernelIr, warp_width: u32) -> BTreeSet<Loc> {
+    check(kernel, warp_width).into_iter().filter_map(|d| d.loc).collect()
 }

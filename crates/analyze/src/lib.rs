@@ -29,6 +29,19 @@
 //! | `MCA003` | [`Check::SharedRace`] | `sh[0] = tid;` with no barrier — every lane writes the same shared bytes in one barrier interval. |
 //! | `MCA004` | [`Check::OutOfBounds`] | `p[n] = 7` when the launch declares `p` to hold `n` elements — the store lands one element past the extent. |
 //! | `MCA005` | translation coverage | a source translator silently dropped a construct (e.g. an async memcpy lowered by an incomplete OpenACC→OpenMP pass); reported by `mcmm-translate`, not by [`analyze`]. |
+//! | `MCA006` | [`width`] | `out[tid] = (lane < 32) ? a : b` — uniform on 32-wide warps and 16-wide sub-groups, but lanes 32..63 of a 64-wide wavefront take the other arm: the kernel silently computes different results on one vendor. |
+//! | `MCA007` | [`capacity`] | a kernel declaring 56 KiB of shared memory — fits the 64 KiB scratchpads, exceeds a 48 KiB-per-block device and fails to launch there. |
+//! | `MCA008` | [`capacity`] | a launch shape of 2048 threads per block — over every preset device's 1024-thread limit. |
+//! | `MCA009` | [`portability`] | `if (lane < 32) { __syncthreads(); }` — all lanes arrive at widths 16 and 32, half a 64-wide wavefront never does: a deadlock only one vendor observes. |
+//! | `MCA010` | [`portability`] | `atomicAdd(&sum, x)` on floats — the commit order (and therefore the rounding) depends on the warp width, so the three vendors produce three different sums. |
+//!
+//! `MCA001`–`MCA004` are vendor-neutral and run under a single set of
+//! launch assumptions; `MCA006`–`MCA010` form the **portability suite**
+//! ([`portability::portability`]), which re-runs the width-parametric
+//! analyses once per vendor [`mcmm_gpu_sim::DeviceSpec`] and reports a
+//! verdict per device. Every "breaks on vendor X" claim is differentially
+//! validated against the simulator (three devices × two execution tiers)
+//! by `tests/portability_differential.rs` and the `analyze --smoke` gate.
 //!
 //! Seeded-defect kernels demonstrating each code live in [`corpus`].
 //!
@@ -43,13 +56,16 @@
 
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod cfg;
 pub mod corpus;
 pub mod dataflow;
 pub mod divergence;
+pub mod portability;
 pub mod race;
 pub mod range;
 pub mod uninit;
+pub mod width;
 
 use mcmm_gpu_sim::ir::KernelIr;
 use std::collections::{BTreeMap, BTreeSet};
@@ -65,6 +81,19 @@ pub const MCA004: &str = "MCA004";
 /// Construct dropped by a source-to-source translator (emitted by
 /// `mcmm-translate`'s coverage audit, not by the IR passes here).
 pub const MCA005: &str = "MCA005";
+/// Warp-width assumption: a lane predicate or mask that computes different
+/// values on devices of a different warp/wavefront/sub-group width.
+pub const MCA006: &str = "MCA006";
+/// Shared-memory demand exceeds a vendor device's per-block capacity.
+pub const MCA007: &str = "MCA007";
+/// Block shape exceeds a vendor device's thread-per-block limit.
+pub const MCA008: &str = "MCA008";
+/// Barrier that is uniform at some warp widths but divergent at a vendor's
+/// width — a deadlock only that vendor observes.
+pub const MCA009: &str = "MCA009";
+/// Order-sensitive floating-point atomic: the commit order depends on the
+/// warp width, so results differ across vendors.
+pub const MCA010: &str = "MCA010";
 
 /// The individual analyses a toolchain can enforce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -188,7 +217,9 @@ pub fn analyze_with(kernel: &KernelIr, opts: &AnalysisOptions, checks: &[Check])
                 });
                 diagnostics.extend(uninit::check(kernel, cfg, rd));
             }
-            Check::DivergentBarrier => diagnostics.extend(divergence::check(kernel)),
+            Check::DivergentBarrier => {
+                diagnostics.extend(divergence::check(kernel, opts.warp_width))
+            }
             Check::SharedRace => diagnostics.extend(race::check(kernel, opts)),
             Check::OutOfBounds => diagnostics.extend(range::check(kernel, opts)),
         }

@@ -541,6 +541,145 @@ impl Analyzer<'_> {
     }
 }
 
+/// Closed-form classifications of registers, shared by the width-parametric
+/// passes ([`crate::divergence`], [`crate::width`]). Where the interval
+/// machinery above answers "what range can this register take", these
+/// bindings answer the stronger question "what *function of the lane id* is
+/// this register" — the form needed to evaluate a predicate at several
+/// warp widths and compare the outcomes.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct LaneBindings {
+    /// Registers provably equal to `LaneId + offset` in every lane.
+    pub lane: std::collections::BTreeMap<Reg, i64>,
+    /// Registers provably equal to a compile-time integer constant.
+    pub consts: std::collections::BTreeMap<Reg, i64>,
+}
+
+impl LaneBindings {
+    /// Resolve an operand to `LaneId + k` form, if classified.
+    pub fn lane_of(&self, o: &Operand) -> Option<i64> {
+        match o {
+            Operand::Reg(r) => self.lane.get(r).copied(),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// Resolve an operand to a constant integer, if classified.
+    pub fn const_of(&self, o: &Operand) -> Option<i64> {
+        match o {
+            Operand::Reg(r) => self.consts.get(r).copied(),
+            Operand::Imm(Value::I32(v)) => Some(i64::from(*v)),
+            Operand::Imm(Value::I64(v)) => Some(*v),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+/// Compute the lane-affine/constant bindings of a kernel.
+///
+/// Soundness rule: a register is classified only if it is written exactly
+/// once in the entire kernel *and* that single write sits at top level
+/// (outside every `If`/`While`), so the binding holds in every lane on
+/// every execution. Loop induction variables (written per iteration) and
+/// registers defined under divergent guards (undefined in skipping lanes)
+/// are deliberately left out.
+pub(crate) fn lane_bindings(kernel: &KernelIr) -> LaneBindings {
+    use std::collections::BTreeMap;
+    let mut writes: BTreeMap<Reg, u32> = BTreeMap::new();
+    fn count(body: &[Instr], writes: &mut BTreeMap<Reg, u32>) {
+        for instr in body {
+            match instr {
+                Instr::Mov { dst, .. }
+                | Instr::Bin { dst, .. }
+                | Instr::Un { dst, .. }
+                | Instr::Cmp { dst, .. }
+                | Instr::Sel { dst, .. }
+                | Instr::Cvt { dst, .. }
+                | Instr::Special { dst, .. }
+                | Instr::Ld { dst, .. } => *writes.entry(*dst).or_default() += 1,
+                Instr::Atomic { dst: Some(d), .. } => *writes.entry(*d).or_default() += 1,
+                Instr::Atomic { dst: None, .. }
+                | Instr::St { .. }
+                | Instr::Bar
+                | Instr::Trap { .. } => {}
+                Instr::If { then_, else_, .. } => {
+                    count(then_, writes);
+                    count(else_, writes);
+                }
+                Instr::While { cond_block, body, .. } => {
+                    count(cond_block, writes);
+                    count(body, writes);
+                }
+            }
+        }
+    }
+    count(&kernel.body, &mut writes);
+    let single = |r: &Reg| writes.get(r).copied() == Some(1);
+
+    let mut b = LaneBindings::default();
+    for instr in &kernel.body {
+        match instr {
+            Instr::Special { dst, kind: Special::LaneId } if single(dst) => {
+                b.lane.insert(*dst, 0);
+            }
+            Instr::Mov { dst, src } if single(dst) => {
+                if let Some(off) = b.lane_of(src) {
+                    b.lane.insert(*dst, off);
+                } else if let Some(c) = b.const_of(src) {
+                    b.consts.insert(*dst, c);
+                }
+            }
+            Instr::Cvt { dst, a } if single(dst) => {
+                let (dt, at) = (kernel.reg_type(*dst), operand_type(kernel, a));
+                if matches!(dt, Some(t) if t.is_int()) && matches!(at, Some(t) if t.is_int()) {
+                    if let Some(off) = b.lane_of(a) {
+                        b.lane.insert(*dst, off);
+                    } else if let Some(c) = b.const_of(a) {
+                        b.consts.insert(*dst, c);
+                    }
+                }
+            }
+            Instr::Bin { op, dst, a, b: rhs } if single(dst) => {
+                let (la, lb) = (b.lane_of(a), b.lane_of(rhs));
+                let (ca, cb) = (b.const_of(a), b.const_of(rhs));
+                match (op, la, lb, ca, cb) {
+                    (BinOp::Add, Some(off), None, None, Some(c))
+                    | (BinOp::Add, None, Some(off), Some(c), None) => {
+                        b.lane.insert(*dst, off.wrapping_add(c));
+                    }
+                    (BinOp::Sub, Some(off), None, None, Some(c)) => {
+                        b.lane.insert(*dst, off.wrapping_sub(c));
+                    }
+                    (op, None, None, Some(x), Some(y)) => {
+                        let v = match op {
+                            BinOp::Add => Some(x.wrapping_add(y)),
+                            BinOp::Sub => Some(x.wrapping_sub(y)),
+                            BinOp::Mul => Some(x.wrapping_mul(y)),
+                            BinOp::And => Some(x & y),
+                            BinOp::Or => Some(x | y),
+                            BinOp::Xor => Some(x ^ y),
+                            _ => None,
+                        };
+                        if let Some(v) = v {
+                            b.consts.insert(*dst, v);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    b
+}
+
+fn operand_type(kernel: &KernelIr, o: &Operand) -> Option<Type> {
+    match o {
+        Operand::Reg(r) => kernel.reg_type(*r),
+        Operand::Imm(v) => Some(v.ty()),
+    }
+}
+
 /// Run the MCA004 check.
 pub fn check(kernel: &KernelIr, opts: &AnalysisOptions) -> Vec<Diagnostic> {
     let n = kernel.regs.len();

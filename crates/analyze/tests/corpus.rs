@@ -158,6 +158,84 @@ fn uniform_barrier_is_not_divergent() {
     assert!(!report.has_code(MCA002), "uniform barrier flagged: {:?}", report.diagnostics);
 }
 
+/// The MCA002 divergence check is warp-width-parametric. Pins the
+/// width-32 default (the behavior every existing caller relied on) and
+/// the new width sensitivity: a `lane < 32` guard is degenerate — every
+/// lane agrees — at widths 16 and 32 but variant at 64.
+#[test]
+fn divergence_check_is_width_parametric_with_width_32_pinned() {
+    use mcmm_analyze::divergence;
+    use mcmm_gpu_sim::ir::Special;
+
+    let mut k = KernelBuilder::new("lane_guarded_bar");
+    let lane = k.special(Special::LaneId);
+    let c = k.cmp(CmpOp::Lt, lane, Value::I32(32));
+    k.if_(c, |k| k.barrier());
+    let kernel = k.finish();
+    assert!(divergence::check(&kernel, 16).is_empty(), "uniform at width 16");
+    assert!(divergence::check(&kernel, 32).is_empty(), "uniform at width 32");
+    assert!(!divergence::check(&kernel, 64).is_empty(), "divergent at width 64");
+
+    // The seeded MCA002 kernels guard on thread id, not lane id — their
+    // divergence is width-independent, so they stay flagged at every
+    // width, width 32 (the default `analyze` path) included.
+    for entry in corpus::seeded_defects().iter().filter(|e| e.expect == MCA002) {
+        for w in [16u32, 32, 64] {
+            let found = divergence::check(&entry.kernel, w);
+            assert!(
+                found.iter().any(|d| d.code == MCA002),
+                "`{}` must stay flagged at width {w}",
+                entry.kernel.name
+            );
+        }
+    }
+}
+
+/// The portability corpus is invisible to the vendor-neutral checks:
+/// every seed and every twin is clean under plain `analyze` — their
+/// defects exist only relative to a specific device, which is the whole
+/// point of keeping MCA006–MCA010 in a separate suite.
+#[test]
+fn portability_corpus_is_clean_under_vendor_neutral_analysis() {
+    for entry in corpus::portability_corpus() {
+        assert_eq!(entry.kernel.validate(), Ok(()), "corpus kernel {}", entry.kernel.name);
+        let report = analyze(&entry.kernel, &entry.opts);
+        assert!(
+            report.is_clean(),
+            "`{}` tripped a vendor-neutral check: {:?}",
+            entry.kernel.name,
+            report.diagnostics
+        );
+    }
+}
+
+/// Every portability seed emits its code (on at least one device) through
+/// the portability entry point, and every clean twin emits nothing — one
+/// seed and one twin per code, by construction.
+#[test]
+fn portability_corpus_emits_expected_codes() {
+    use mcmm_analyze::portability::portability;
+    use mcmm_analyze::{MCA006, MCA007, MCA008, MCA009, MCA010};
+    let corpus = corpus::portability_corpus();
+    for code in [MCA006, MCA007, MCA008, MCA009, MCA010] {
+        assert_eq!(corpus.iter().filter(|e| e.expect == Some(code)).count(), 1, "{code} seeds");
+    }
+    assert_eq!(corpus.iter().filter(|e| e.expect.is_none()).count(), 5, "clean twins");
+    for entry in &corpus {
+        let report = portability(&entry.kernel, &entry.opts);
+        match entry.expect {
+            Some(code) => assert!(
+                report.codes().contains(code),
+                "`{}` missing {code}: {report:?}",
+                entry.kernel.name
+            ),
+            None => {
+                assert!(report.is_clean(), "clean twin `{}` flagged: {report:?}", entry.kernel.name)
+            }
+        }
+    }
+}
+
 /// Atomics from all lanes to the same address are ordered — not a race.
 #[test]
 fn atomics_do_not_race_with_atomics() {

@@ -9,11 +9,39 @@
 //! non-zero if any serving invariant is violated, so this binary doubles
 //! as an end-to-end smoke test.
 
-use mcmm_serve::workload::{run_serial, Workload, WorkloadConfig};
-use mcmm_serve::{JobCompletion, JobId, ServeConfig, ServeReport, Service, SubmitError};
+use mcmm_analyze::portability::portability;
+use mcmm_analyze::AnalysisOptions;
+use mcmm_serve::workload::{run_serial, KernelShape, Workload, WorkloadConfig};
+use mcmm_serve::{
+    JobCompletion, JobId, PortabilityRow, ServeConfig, ServeReport, Service, SubmitError,
+};
 use mcmm_toolchain::Registry;
 use std::collections::VecDeque;
 use std::time::Instant;
+
+/// Per-device portability verdicts for every workload kernel shape: the
+/// serving layer stays analyzer-free, so the rows are computed here and
+/// attached to the report.
+fn portability_rows() -> Vec<PortabilityRow> {
+    let opts = AnalysisOptions::default();
+    KernelShape::ALL
+        .iter()
+        .flat_map(|shape| {
+            let report = portability(&shape.kernel(), &opts);
+            report
+                .verdicts
+                .into_iter()
+                .map(|v| PortabilityRow {
+                    kernel: report.kernel.clone(),
+                    device: v.device.to_string(),
+                    warp_width: v.warp_width,
+                    gate_clean: v.gate_clean(),
+                    codes: v.codes().into_iter().map(str::to_string).collect(),
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -40,7 +68,8 @@ fn main() {
     service.drain();
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
 
-    let report = ServeReport::collect(&service, &completions, seed, wall_ms);
+    let report = ServeReport::collect(&service, &completions, seed, wall_ms)
+        .with_portability(portability_rows());
     if json {
         println!("{}", report.to_json());
     } else {
@@ -89,6 +118,14 @@ fn main() {
         failed = true;
     } else if !json {
         println!("verify: all {} result buffers byte-identical to serial execution", serial.len());
+    }
+    // Every served kernel shape must be portable across all three vendor
+    // devices — a BREAKS verdict here means the workload generator and
+    // the portability suite disagree about our own kernels.
+    let breaking = report.portability.iter().filter(|r| !r.gate_clean).count();
+    if breaking > 0 {
+        eprintln!("FAIL: {breaking} workload kernel-device verdicts break the portability gate");
+        failed = true;
     }
     if failed {
         std::process::exit(1);

@@ -114,6 +114,22 @@ pub fn qualify(e: Evidence) -> Support {
     Support::Limited
 }
 
+/// [`qualify`] refined by a per-device portability verdict: a route whose
+/// compiled kernels are statically predicted to *break on this specific
+/// device* — a warp-width assumption, a capacity overflow, a
+/// width-dependent deadlock — cannot rate better than **Limited** there,
+/// whatever its paperwork says. A clean verdict leaves the §3 category
+/// untouched; the paper's metadata-driven rules and the executable
+/// portability evidence meet exactly here.
+pub fn qualify_on_device(e: Evidence, device_clean: bool) -> Support {
+    let base = qualify(e);
+    if device_clean {
+        base
+    } else {
+        base.max(Support::Limited)
+    }
+}
+
 /// The outcome of rating a set of routes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RatingOutcome {
@@ -139,6 +155,19 @@ pub fn rate(routes: &[Route]) -> RatingOutcome {
 /// Rate a combination from raw evidence (used by the executable probe).
 pub fn rate_evidence(evidence: impl IntoIterator<Item = Evidence>) -> RatingOutcome {
     let qualifying: BTreeSet<Support> = evidence.into_iter().map(qualify).collect();
+    let primary = qualifying.iter().next().copied().unwrap_or(Support::None);
+    RatingOutcome { primary, qualifying }
+}
+
+/// [`rate_evidence`] against one concrete device: every route's §3
+/// category is first capped by the device's portability verdict (see
+/// [`qualify_on_device`]).
+pub fn rate_evidence_on_device(
+    evidence: impl IntoIterator<Item = Evidence>,
+    device_clean: bool,
+) -> RatingOutcome {
+    let qualifying: BTreeSet<Support> =
+        evidence.into_iter().map(|e| qualify_on_device(e, device_clean)).collect();
     let primary = qualifying.iter().next().copied().unwrap_or(Support::None);
     RatingOutcome { primary, qualifying }
 }
@@ -326,6 +355,25 @@ mod tests {
         assert!(!out.admits_secondary(Support::IndirectGood));
         let out = rate(&[limited]);
         assert_eq!(out.primary, Support::Limited);
+    }
+
+    #[test]
+    fn device_breaking_evidence_demotes_to_limited() {
+        let full = Evidence {
+            device_vendor: true,
+            gpu_vendor: true,
+            directness: Directness::Direct,
+            completeness: Completeness::Complete,
+            maintenance: Maintenance::Active,
+            documented: true,
+        };
+        // A clean portability verdict leaves the §3 category untouched …
+        assert_eq!(qualify_on_device(full, true), Support::Full);
+        // … a breaking one caps the route at Limited on that device …
+        assert_eq!(qualify_on_device(full, false), Support::Limited);
+        // … and a route already below Limited is not *promoted* by it.
+        let stale = Evidence { maintenance: Maintenance::Stale, ..full };
+        assert_eq!(qualify_on_device(stale, false), Support::Limited);
     }
 
     #[test]

@@ -449,7 +449,12 @@ impl<'a> Interp<'a> {
             }
             Instr::Atomic { op, space, addr, value, dst } => {
                 let mut lanes = 0u64;
-                for lane in active(mask) {
+                // Colliding atomics commit in warp-scheduler order: warps
+                // take turns issuing their lane at each position, so the
+                // commit sequence — and the rounding of float sums —
+                // depends on the warp width. Mirrored exactly by the
+                // vectorized tier.
+                for lane in round_robin(mask, self.ctx.warp_width) {
                     let a = self.addr(addr, lane)?;
                     let v = self.eval(value, lane);
                     let old = match space {
@@ -478,8 +483,16 @@ impl<'a> Interp<'a> {
                 self.local.atomics += lanes;
             }
             Instr::Bar => {
-                // Whole-block lockstep interpretation ⇒ all lanes have
-                // already reached this point.
+                // A barrier is only sound when the whole block reaches it;
+                // under a partial mask some lanes never arrive, which
+                // deadlocks real hardware. Report instead of hanging.
+                if mask.iter().any(|&b| !b) {
+                    let active = mask.iter().filter(|&&b| b).count();
+                    return Err(SimError::BarrierDivergence(format!(
+                        "kernel {}: barrier reached by {active} of {} lanes",
+                        self.ctx.kernel.name, self.n
+                    )));
+                }
                 if let Some(log) = self.race.as_mut() {
                     log.flush();
                 }
@@ -561,6 +574,21 @@ impl<'a> Interp<'a> {
 
 fn active(mask: &[bool]) -> impl Iterator<Item = usize> + '_ {
     mask.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i)
+}
+
+/// Active lanes in warp-round-robin commit order: position 0 of every
+/// warp, then position 1 of every warp, … — the order a warp scheduler
+/// interleaves colliding atomics, and therefore a function of the warp
+/// width. Shared by both execution tiers so they stay byte-identical.
+pub(crate) fn round_robin(mask: &[bool], warp_width: u32) -> impl Iterator<Item = usize> + '_ {
+    round_robin_indices(mask.len(), warp_width.max(1) as usize).filter(move |&lane| mask[lane])
+}
+
+/// The bare lane-index order underlying [`round_robin`], shared with the
+/// vectorized tier (which applies its own mask representation).
+pub(crate) fn round_robin_indices(n: usize, warp_width: usize) -> impl Iterator<Item = usize> {
+    let w = warp_width.max(1).min(n.max(1));
+    (0..w).flat_map(move |p| (p..n).step_by(w))
 }
 
 pub(crate) fn bin_value(op: BinOp, a: Value, b: Value) -> Result<Value> {

@@ -71,6 +71,7 @@
 
 pub mod counters;
 pub mod device;
+pub mod diffval;
 pub mod event;
 pub mod exec;
 pub mod fault;
@@ -147,6 +148,12 @@ pub enum SimError {
     BadLaunch(String),
     /// A kernel trapped at runtime; the message carries the detail.
     Trap(String),
+    /// A block-wide barrier was reached with only part of the block
+    /// active — divergent control flow around `__syncthreads()`, which
+    /// deadlocks real hardware. The simulator reports it instead of
+    /// hanging; which kernels trigger it depends on the device's warp
+    /// width (the MCA009 portability class).
+    BarrierDivergence(String),
     /// A synthetic fault injected through the [`fault`] hooks. Distinct
     /// from every organic error so resilience layers can retry injected
     /// failures without masking real bugs.
@@ -172,6 +179,7 @@ impl std::fmt::Display for SimError {
             SimError::BadArguments(m) => write!(f, "bad kernel arguments: {m}"),
             SimError::BadLaunch(m) => write!(f, "bad launch configuration: {m}"),
             SimError::Trap(m) => write!(f, "kernel trap: {m}"),
+            SimError::BarrierDivergence(m) => write!(f, "barrier divergence: {m}"),
             SimError::FaultInjected(m) => write!(f, "injected fault: {m}"),
         }
     }

@@ -743,7 +743,18 @@ impl<'a> VInterp<'a> {
                 self.atomic(*op, *ty, *space, *addr, *value, *dst, bits)?;
             }
             LvOp::Bar => {
-                // Whole-block lockstep ⇒ all lanes are already here.
+                // Same divergence contract as the scalar tier: a barrier
+                // under a partial mask deadlocks real hardware, so report
+                // it with the identical error.
+                if let Some(m) = bits {
+                    if m.iter().any(|&b| !b) {
+                        let active = m.iter().filter(|&&b| b).count();
+                        return Err(SimError::BarrierDivergence(format!(
+                            "kernel {}: barrier reached by {active} of {} lanes",
+                            self.prog.name, self.n
+                        )));
+                    }
+                }
                 self.local.barriers += 1;
             }
             LvOp::Trap { message } => {
@@ -1136,7 +1147,9 @@ impl<'a> VInterp<'a> {
     ) -> Result<()> {
         let n = self.n;
         let mut lanes = 0u64;
-        for i in 0..n {
+        // Warp-round-robin commit order, identical to the scalar tier's
+        // `round_robin` (the order is a function of the warp width).
+        for i in crate::exec::round_robin_indices(n, self.w) {
             if let Some(m) = bits {
                 if !m[i] {
                     continue;

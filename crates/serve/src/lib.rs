@@ -36,6 +36,6 @@ pub mod workload;
 
 pub use failover::{AttemptRecord, FailoverPolicy, FailoverRouter, FailoverStats, FailoverTrace};
 pub use job::{ArgSpec, JobCompletion, JobId, JobSpec, SubmitError};
-pub use report::{DeviceReport, LatencyStats, ServeReport};
+pub use report::{DeviceReport, LatencyStats, PortabilityRow, ServeReport};
 pub use service::{JobHandle, ServeConfig, Service, ServiceCounts, SubmitOptions};
 pub use workload::{run_serial, KernelShape, PlannedInput, Workload, WorkloadConfig};

@@ -110,6 +110,27 @@ pub struct JobsReport {
     pub rejected_hard: u64,
 }
 
+/// One workload kernel's portability verdict on one vendor device, as
+/// computed by the caller. The serving layer itself stays free of the
+/// static analyzer — the `serve` bench binary feeds these rows from
+/// `mcmm-analyze`'s per-device portability suite (MCA006–MCA010) so the
+/// report can show, next to the throughput numbers, *which* of the served
+/// kernels would survive a move to another vendor's hardware.
+#[derive(Debug, Clone, Serialize)]
+pub struct PortabilityRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Simulated device name (`DeviceSpec::name`).
+    pub device: String,
+    /// Warp/wavefront/sub-group width of that device.
+    pub warp_width: u32,
+    /// No gating finding (MCA006–MCA009) on this device; informational
+    /// MCA010 drift does not clear this flag to `false`.
+    pub gate_clean: bool,
+    /// Distinct diagnostic codes present for this kernel on this device.
+    pub codes: Vec<String>,
+}
+
 /// The full serving report.
 #[derive(Debug, Clone, Serialize)]
 pub struct ServeReport {
@@ -135,6 +156,10 @@ pub struct ServeReport {
     /// Failover accounting, when the run went through the
     /// [`crate::FailoverRouter`].
     pub failover: Option<FailoverStats>,
+    /// Per-kernel, per-device portability verdicts for the served
+    /// workload shapes (empty unless the caller attached them with
+    /// [`ServeReport::with_portability`]).
+    pub portability: Vec<PortabilityRow>,
 }
 
 impl ServeReport {
@@ -205,12 +230,19 @@ impl ServeReport {
             wall_ms,
             devices,
             failover: None,
+            portability: Vec::new(),
         }
     }
 
     /// Attach a failover run's accounting (builder style).
     pub fn with_failover(mut self, stats: FailoverStats) -> Self {
         self.failover = Some(stats);
+        self
+    }
+
+    /// Attach per-kernel portability verdicts (builder style).
+    pub fn with_portability(mut self, rows: Vec<PortabilityRow>) -> Self {
+        self.portability = rows;
         self
     }
 
@@ -278,6 +310,26 @@ impl ServeReport {
                 f.quarantined.join(", "),
                 f.health_checks
             ));
+        }
+        if !self.portability.is_empty() {
+            let broken = self.portability.iter().filter(|r| !r.gate_clean).count();
+            out.push_str(&format!(
+                "  portability {} kernel-device verdicts, {} gate-breaking\n",
+                self.portability.len(),
+                broken
+            ));
+            for r in &self.portability {
+                let codes =
+                    if r.codes.is_empty() { "clean".to_string() } else { r.codes.join(",") };
+                out.push_str(&format!(
+                    "    {:<18} {:<26} w{:<3} {} [{}]\n",
+                    r.kernel,
+                    r.device,
+                    r.warp_width,
+                    if r.gate_clean { "ok    " } else { "BREAKS" },
+                    codes
+                ));
+            }
         }
         out
     }

@@ -123,6 +123,15 @@ impl VirtualCompiler {
         checks
     }
 
+    /// Does this route's front-end understand vendor portability well
+    /// enough to gate on it? Mirrors [`VirtualCompiler::lint_checks`]:
+    /// only `Complete` and `Majority` routes carry the per-device passes
+    /// (MCA006–MCA009); immature ports compile warp-width assumptions
+    /// straight through, exactly like the real ecosystem.
+    pub fn gates_portability(&self) -> bool {
+        matches!(self.route.completeness, Completeness::Complete | Completeness::Majority)
+    }
+
     /// Compile a kernel for the given source pair and target vendor.
     ///
     /// This is where the paper's compatibility holes become real failures:
@@ -160,6 +169,27 @@ impl VirtualCompiler {
                 toolchain: self.name.to_owned(),
                 diagnostics: report.diagnostics,
             });
+        }
+        // The vendor-portability gate: mature routes additionally check the
+        // kernel against the *target* device's shape — warp width (MCA006,
+        // MCA009), shared capacity (MCA007), thread limit (MCA008). The
+        // informational MCA010 never gates: real reduction kernels carry it
+        // by design.
+        if self.gates_portability() {
+            let spec = crate::vendor_device_spec(vendor);
+            let port = mcmm_analyze::portability::portability_on(
+                kernel,
+                &AnalysisOptions::default(),
+                std::slice::from_ref(&spec),
+            );
+            let gating: Vec<Diagnostic> =
+                port.verdicts.iter().flat_map(|v| v.gating_diagnostics()).collect();
+            if !gating.is_empty() {
+                return Err(CompileError::Lint {
+                    toolchain: self.name.to_owned(),
+                    diagnostics: gating,
+                });
+            }
         }
         assemble(kernel, vendor_isa(vendor)).map_err(|e| CompileError::InvalidKernel(e.to_string()))
     }
@@ -285,6 +315,49 @@ mod tests {
         let mut majority = nvcc_like();
         majority.route.completeness = Completeness::Majority;
         assert_eq!(majority.lint_checks(), vec![Check::UninitRead, Check::DivergentBarrier]);
+    }
+
+    /// A barrier guarded by `lane < 32`: uniform on 16- and 32-wide
+    /// devices, divergent — a deadlock — on a 64-wide wavefront. The
+    /// MCA009 portability class.
+    fn width_dependent_barrier_kernel() -> KernelIr {
+        use mcmm_gpu_sim::ir::{CmpOp, Special, Value};
+        let mut k = KernelBuilder::new("w_bar");
+        let lane = k.special(Special::LaneId);
+        let low = k.cmp(CmpOp::Lt, lane, Value::I32(32));
+        k.if_(low, |k| k.barrier());
+        k.finish()
+    }
+
+    /// The portability gate is per-*target*: the same kernel from the
+    /// same toolchain compiles for the vendor whose device shape it fits
+    /// and is rejected for the vendor it would deadlock on.
+    #[test]
+    fn portability_gate_is_target_specific() {
+        let mut c = nvcc_like();
+        c.targets = vec![Vendor::Nvidia, Vendor::Amd];
+        let k = width_dependent_barrier_kernel();
+        c.compile(&k, Model::Cuda, Language::Cpp, Vendor::Nvidia)
+            .expect("uniform at width 32: must compile for NVIDIA");
+        let err = c.compile(&k, Model::Cuda, Language::Cpp, Vendor::Amd).unwrap_err();
+        match &err {
+            CompileError::Lint { diagnostics, .. } => {
+                assert!(diagnostics.iter().any(|d| d.code == mcmm_analyze::MCA009));
+            }
+            other => panic!("expected a portability rejection, got {other:?}"),
+        }
+    }
+
+    /// Immature ports do not carry the portability passes — the same
+    /// AMD-fatal kernel compiles straight through a `Minimal` route.
+    #[test]
+    fn minimal_route_skips_the_portability_gate() {
+        let mut c = nvcc_like();
+        c.targets = vec![Vendor::Amd];
+        c.route.completeness = Completeness::Minimal;
+        assert!(!c.gates_portability());
+        c.compile(&width_dependent_barrier_kernel(), Model::Cuda, Language::Cpp, Vendor::Amd)
+            .expect("minimal route must not run the portability passes");
     }
 
     #[test]

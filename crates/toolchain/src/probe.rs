@@ -17,8 +17,10 @@
 use crate::cache::CompileCache;
 use crate::registry::Registry;
 use crate::vendor_device_spec;
+use mcmm_analyze::portability::portability;
+use mcmm_analyze::AnalysisOptions;
 use mcmm_core::matrix::CompatMatrix;
-use mcmm_core::rating::{rate_evidence, Evidence};
+use mcmm_core::rating::{rate_evidence_on_device, Evidence};
 use mcmm_core::support::Support;
 use mcmm_core::taxonomy::{all_combinations, Language, Model, Vendor};
 use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig};
@@ -43,6 +45,11 @@ pub struct ProbedCell {
     /// Routes that exist but were not functionally exercised (source
     /// translators, discontinued toolchains).
     pub unexercised_routes: Vec<&'static str>,
+    /// The smoke kernel's per-device portability verdict on this cell's
+    /// vendor device (gating codes MCA006–MCA009 only): `false` caps
+    /// every route of the cell at Limited via
+    /// [`mcmm_core::rating::qualify_on_device`].
+    pub device_gate_clean: bool,
 }
 
 impl ProbedCell {
@@ -166,6 +173,18 @@ pub fn probe_with_cache(matrix: &CompatMatrix, cache: &CompileCache) -> ProbeRep
     let devices: BTreeMap<Vendor, std::sync::Arc<Device>> =
         Vendor::ALL.iter().map(|&v| (v, Device::new(vendor_device_spec(v)))).collect();
 
+    // The smoke kernel's per-vendor portability verdicts, computed once:
+    // the derived rating of a cell is capped at Limited when the probe's
+    // own workload is predicted to break on that cell's device.
+    let port = portability(&kernel, &AnalysisOptions::default());
+    let device_clean: BTreeMap<Vendor, bool> = Vendor::ALL
+        .iter()
+        .map(|&v| {
+            let name = vendor_device_spec(v).name;
+            (v, port.verdict_for(name).is_none_or(|verdict| verdict.gate_clean()))
+        })
+        .collect();
+
     let mut cells = Vec::with_capacity(51);
     for (vendor, model, language) in all_combinations() {
         let routes = registry.select(model, language, vendor);
@@ -187,7 +206,10 @@ pub fn probe_with_cache(matrix: &CompatMatrix, cache: &CompileCache) -> ProbeRep
                 unexercised.push(c.name);
             }
         }
-        let outcome = rate_evidence(routes.iter().map(|c| Evidence::from_route(&c.route)));
+        let outcome = rate_evidence_on_device(
+            routes.iter().map(|c| Evidence::from_route(&c.route)),
+            device_clean[&vendor],
+        );
         let encoded = matrix.support(vendor, model, language);
         cells.push(ProbedCell {
             vendor,
@@ -197,6 +219,7 @@ pub fn probe_with_cache(matrix: &CompatMatrix, cache: &CompileCache) -> ProbeRep
             encoded,
             functional_routes: functional,
             unexercised_routes: unexercised,
+            device_gate_clean: device_clean[&vendor],
         });
     }
     ProbeReport { cells }
@@ -230,6 +253,17 @@ mod tests {
     fn probe_covers_all_51_cells() {
         let report = probe(&CompatMatrix::paper());
         assert_eq!(report.cells.len(), 51);
+    }
+
+    /// The guarded SAXPY smoke kernel is portable by construction, so the
+    /// per-device cap never fires on it — which is exactly why wiring the
+    /// portability verdict into the probe leaves all 51 derived categories
+    /// equal to the published figure.
+    #[test]
+    fn smoke_kernel_is_portability_clean_on_every_device() {
+        let report = probe(&CompatMatrix::paper());
+        assert!(report.cells.iter().all(|c| c.device_gate_clean));
+        assert!(report.mismatches().is_empty());
     }
 
     #[test]
