@@ -25,6 +25,14 @@ echo "── exec tier smoke ─────────────────
 # and repeat launches hit the lowered-program cache.
 cargo run --release -p mcmm-bench --bin exec -- --smoke
 
+echo "── memory-hierarchy smoke ─────────────────────────"
+# Six kernel shapes × three vendor devices through the traced memory
+# hierarchy: asserts buffers are byte-identical with tracing on/off and
+# under trace-driven timing, replay is deterministic, coalesced copies
+# fill ≥95% of their sectors while the 128B-strided gather does not,
+# and the per-vendor L1 hit rates genuinely diverge.
+cargo run --release -p mcmm-bench --bin memhier -- --smoke
+
 echo "── adapter boilerplate guard ──────────────────────"
 # The blanket FrontendAdapter replaced nine hand-written BabelStream
 # adapters (1321 lines pre-refactor). Fail if per-model adapter

@@ -20,6 +20,7 @@ fn dynamic_races(kernel: &KernelIr, opts: &AnalysisOptions) -> Vec<RaceFinding> 
         grid_dim: opts.grid_dim,
         block_dim: opts.block_dim,
         warp_width: opts.warp_width,
+        trace: None,
     };
     run_block_racecheck(&ctx, &[]).expect("corpus race kernels take no arguments")
 }

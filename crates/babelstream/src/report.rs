@@ -28,6 +28,16 @@ pub fn run_table(entry: &SweepEntry) -> String {
                 r.dot,
                 if r.verified { "PASSED" } else { "FAILED" }
             ));
+            if let Some(m) = r.mem {
+                out.push_str(&format!(
+                    "Mem hierarchy: L1 {:.1}% hit, L2 {:.1}% hit, {:.0}% sector utilization, \
+                     {:.3} GB DRAM traffic\n",
+                    m.l1_hit_rate() * 100.0,
+                    m.l2_hit_rate() * 100.0,
+                    m.sector_utilization() * 100.0,
+                    m.dram_bytes as f64 / 1e9,
+                ));
+            }
         }
         Err(e) => out.push_str(&format!("{} on {}: {e}\n", entry.model, entry.vendor)),
     }

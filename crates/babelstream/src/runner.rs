@@ -4,6 +4,7 @@ use crate::adapters::all_backends;
 use crate::{RunResult, StreamError};
 use mcmm_core::taxonomy::Vendor;
 use mcmm_frontend::{shared_cache, CacheStats, ProgramCacheStats};
+use mcmm_gpu_sim::MemStats;
 use std::ops::Deref;
 
 /// The outcome of one (model, vendor) cell of the sweep.
@@ -33,6 +34,9 @@ pub struct Sweep {
     /// (each session brings up a fresh device, so per-run stats add up
     /// cleanly — no delta needed).
     pub programs: ProgramCacheStats,
+    /// Memory-hierarchy statistics summed over every traced cell, `None`
+    /// when no cell traced (the default: tracing off, analytic timing).
+    pub mem: Option<MemStats>,
 }
 
 impl Sweep {
@@ -76,11 +80,17 @@ pub fn sweep(n: usize, iters: usize) -> Sweep {
         .iter()
         .filter_map(|e| e.outcome.as_ref().ok())
         .fold(ProgramCacheStats::default(), |acc, r| acc.merged(r.programs));
+    let mem = entries
+        .iter()
+        .filter_map(|e| e.outcome.as_ref().ok())
+        .filter_map(|r| r.mem)
+        .fold(None, |acc: Option<MemStats>, m| Some(acc.map_or(m, |a| a.merged(m))));
     Sweep {
         entries,
         cache_hits: after.hits.saturating_sub(before.hits),
         cache_misses: after.misses.saturating_sub(before.misses),
         programs,
+        mem,
     }
 }
 

@@ -11,6 +11,18 @@
 use mcmm_babelstream::report::{kernel_series, run_table, sweep_table};
 use mcmm_babelstream::runner::{sweep, unsupported_count, verified_count};
 use mcmm_bench::{arg_usize, DEFAULT_STREAM_ITERS, DEFAULT_STREAM_N};
+use mcmm_core::taxonomy::Vendor;
+use mcmm_gpu_sim::{set_process_tracing, DeviceSpec};
+
+/// Peak DRAM bandwidth of the vendor's simulated device, for the
+/// achieved-vs-peak column.
+fn peak_dram_gbps(v: Vendor) -> f64 {
+    match v {
+        Vendor::Nvidia => DeviceSpec::nvidia_a100().dram_gbps,
+        Vendor::Amd => DeviceSpec::amd_mi250x().dram_gbps,
+        Vendor::Intel => DeviceSpec::intel_pvc().dram_gbps,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,6 +30,10 @@ fn main() {
     let iters = arg_usize(&args, "--iters", DEFAULT_STREAM_ITERS);
     let model_filter =
         args.iter().position(|a| a == "--model").and_then(|i| args.get(i + 1)).cloned();
+
+    // Trace every launch so the report can show cache hit rates; timing
+    // stays on the analytic tier unless MCMM_TIMING_TIER overrides it.
+    set_process_tracing(Some(true));
 
     eprintln!("running BabelStream sweep: n = {n}, iters = {iters} (modeled timings)…");
     let entries = sweep(n, iters);
@@ -41,6 +57,39 @@ fn main() {
         entries.programs.misses,
         entries.programs.hit_rate() * 100.0
     );
+
+    println!();
+    println!("── Memory hierarchy per route (traced; modeled) ──");
+    println!(
+        "{:<14}{:<9}{:>8}{:>8}{:>9}{:>13}{:>9}",
+        "Model", "Vendor", "L1 hit", "L2 hit", "sector", "Triad GB/s", "of peak"
+    );
+    for e in entries.iter() {
+        if let Ok(r) = &e.outcome {
+            if let Some(m) = r.mem {
+                let peak = peak_dram_gbps(r.vendor);
+                println!(
+                    "{:<14}{:<9}{:>7.1}%{:>7.1}%{:>8.0}%{:>13.0}{:>8.0}%",
+                    r.model,
+                    r.vendor.name(),
+                    m.l1_hit_rate() * 100.0,
+                    m.l2_hit_rate() * 100.0,
+                    m.sector_utilization() * 100.0,
+                    r.triad_gbps(),
+                    r.triad_gbps() / peak * 100.0,
+                );
+            }
+        }
+    }
+    if let Some(m) = entries.mem {
+        println!(
+            "sweep total: {} requests -> {} transactions ({} MSHR merges), {:.3} GB DRAM traffic",
+            m.requests,
+            m.transactions,
+            m.mshr_merges,
+            m.dram_bytes as f64 / 1e9,
+        );
+    }
 
     if let Some(model) = model_filter {
         println!();

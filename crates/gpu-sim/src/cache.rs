@@ -1,0 +1,281 @@
+//! Sectored, set-associative cache model.
+//!
+//! A cache is an array of sets × ways of *lines*; each line is divided
+//! into sectors (the coalescer's transaction granule) with independent
+//! valid/dirty bits, so a miss fills only the sector that was asked for
+//! — the sectored-fill behaviour of real NVIDIA/AMD/Intel cache levels,
+//! and the reason a strided gather moves far more DRAM bytes than the
+//! kernel requested.
+//!
+//! The model is purely functional on addresses: no data is stored
+//! (correctness lives in [`crate::mem`]; this layer only counts). It is
+//! deterministic — LRU ticks advance in replay order and eviction
+//! writebacks come out sorted — so the same trace always yields the same
+//! statistics.
+//!
+//! Write policy is decided by the caller per level:
+//! * write-allocate (NVIDIA/Intel L1, both L2s): a store miss fills the
+//!   sector from below — unless the warp covered *every* byte of the
+//!   sector, in which case it allocates dirty without a fill
+//!   (write-combining; keeps a streaming write from reading its own
+//!   destination).
+//! * no-allocate (AMD's write-through L1): a store miss does not touch
+//!   the cache; the caller forwards the write to the next level.
+
+/// Result of driving one sector request through a cache level.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// The sector was already resident.
+    pub hit: bool,
+    /// The sector had to be fetched from the level below.
+    pub filled: bool,
+    /// Dirty sectors evicted by this access (sector-aligned addresses),
+    /// which the caller must write to the level below.
+    pub writebacks: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    /// Line-aligned base address; `u64::MAX` = invalid.
+    tag: u64,
+    /// Per-sector valid bits.
+    valid: u64,
+    /// Per-sector dirty bits.
+    dirty: u64,
+    /// LRU clock at last touch.
+    tick: u64,
+}
+
+const EMPTY: Line = Line { tag: u64::MAX, valid: 0, dirty: 0, tick: 0 };
+
+/// One cache level. See the module docs for the policy model.
+#[derive(Debug, Clone)]
+pub struct SectoredCache {
+    line_bytes: u64,
+    sector_bytes: u64,
+    sectors_per_line: u32,
+    sets: u64,
+    ways: usize,
+    lines: Vec<Line>,
+    tick: u64,
+}
+
+impl SectoredCache {
+    /// Build a cache of `bytes` capacity with the given line size,
+    /// associativity, and sector granule. `sector_bytes` must divide
+    /// `line_bytes`; capacity is rounded down to whole sets.
+    pub fn new(bytes: u64, line_bytes: u64, ways: u32, sector_bytes: u64) -> Self {
+        assert!(line_bytes.is_power_of_two() && sector_bytes.is_power_of_two());
+        assert!(sector_bytes <= line_bytes && line_bytes / sector_bytes <= 64);
+        let ways = ways.max(1) as usize;
+        let sets = (bytes / (line_bytes * ways as u64)).max(1);
+        // Power-of-two sets keep the index a mask; round down.
+        let sets = 1u64 << (63 - sets.leading_zeros() as u64);
+        Self {
+            line_bytes,
+            sector_bytes,
+            sectors_per_line: (line_bytes / sector_bytes) as u32,
+            sets,
+            ways,
+            lines: vec![EMPTY; (sets as usize) * ways],
+            tick: 0,
+        }
+    }
+
+    fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
+        let set = ((addr / self.line_bytes) % self.sets) as usize;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    fn sector_bit(&self, addr: u64) -> (u64, u64) {
+        let tag = addr & !(self.line_bytes - 1);
+        let idx = (addr - tag) / self.sector_bytes;
+        debug_assert!(idx < u64::from(self.sectors_per_line));
+        (tag, 1u64 << idx)
+    }
+
+    /// Locate the way holding `tag` within the set, if resident.
+    fn find(&self, range: std::ops::Range<usize>, tag: u64) -> Option<usize> {
+        self.lines[range.clone()].iter().position(|l| l.tag == tag).map(|i| range.start + i)
+    }
+
+    /// Evict the LRU way of the set and return its dirty sectors.
+    fn evict_lru(&mut self, range: std::ops::Range<usize>) -> (usize, Vec<u64>) {
+        let victim = range
+            .clone()
+            .min_by_key(|&i| (self.lines[i].tag != u64::MAX, self.lines[i].tick))
+            .expect("cache sets are never empty");
+        let line = self.lines[victim];
+        let mut writebacks = Vec::new();
+        if line.tag != u64::MAX && line.dirty != 0 {
+            for s in 0..self.sectors_per_line {
+                if line.dirty & (1u64 << s) != 0 {
+                    writebacks.push(line.tag + u64::from(s) * self.sector_bytes);
+                }
+            }
+        }
+        self.lines[victim] = EMPTY;
+        (victim, writebacks)
+    }
+
+    /// Drive a read of one sector (sector-aligned address).
+    pub fn read(&mut self, sector: u64) -> CacheOutcome {
+        self.tick += 1;
+        let (tag, bit) = self.sector_bit(sector);
+        let range = self.set_range(sector);
+        if let Some(i) = self.find(range.clone(), tag) {
+            let line = &mut self.lines[i];
+            line.tick = self.tick;
+            if line.valid & bit != 0 {
+                return CacheOutcome { hit: true, ..Default::default() };
+            }
+            line.valid |= bit;
+            return CacheOutcome { filled: true, ..Default::default() };
+        }
+        let (victim, writebacks) = self.evict_lru(range);
+        self.lines[victim] = Line { tag, valid: bit, dirty: 0, tick: self.tick };
+        CacheOutcome { filled: true, writebacks, ..Default::default() }
+    }
+
+    /// Drive a store of one sector. `full_cover` means the warp wrote
+    /// every byte of the sector; `write_alloc` selects the allocate
+    /// policy (see module docs). With `write_alloc = false` a miss
+    /// leaves the cache untouched and the caller forwards the write.
+    pub fn write(&mut self, sector: u64, full_cover: bool, write_alloc: bool) -> CacheOutcome {
+        self.tick += 1;
+        let (tag, bit) = self.sector_bit(sector);
+        let range = self.set_range(sector);
+        if let Some(i) = self.find(range.clone(), tag) {
+            let line = &mut self.lines[i];
+            line.tick = self.tick;
+            if line.valid & bit != 0 {
+                line.dirty |= bit;
+                return CacheOutcome { hit: true, ..Default::default() };
+            }
+            // Sector miss in a resident line.
+            let filled = !full_cover;
+            line.valid |= bit;
+            line.dirty |= bit;
+            if !write_alloc && filled {
+                // No-allocate caches never fill on store; undo.
+                line.valid &= !bit;
+                line.dirty &= !bit;
+                return CacheOutcome::default();
+            }
+            return CacheOutcome { filled, ..Default::default() };
+        }
+        if !write_alloc {
+            return CacheOutcome::default();
+        }
+        let (victim, writebacks) = self.evict_lru(range);
+        self.lines[victim] = Line { tag, valid: bit, dirty: bit, tick: self.tick };
+        CacheOutcome { filled: !full_cover, writebacks, ..Default::default() }
+    }
+
+    /// Write-through assist: refresh a resident copy on a store that is
+    /// served by the level below. Returns whether the sector was
+    /// resident (and is now up to date, still clean).
+    pub fn update_if_present(&mut self, sector: u64) -> bool {
+        self.tick += 1;
+        let (tag, bit) = self.sector_bit(sector);
+        let range = self.set_range(sector);
+        if let Some(i) = self.find(range, tag) {
+            let line = &mut self.lines[i];
+            line.tick = self.tick;
+            return line.valid & bit != 0;
+        }
+        false
+    }
+
+    /// Flush every dirty sector, returning their sorted addresses. Used
+    /// at block exit (L1 → L2) and launch exit (L2 → DRAM).
+    pub fn flush_dirty(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for line in &mut self.lines {
+            if line.tag == u64::MAX || line.dirty == 0 {
+                continue;
+            }
+            for s in 0..self.sectors_per_line {
+                if line.dirty & (1u64 << s) != 0 {
+                    out.push(line.tag + u64::from(s) * self.sector_bytes);
+                }
+            }
+            line.dirty = 0;
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut c = SectoredCache::new(1 << 10, 128, 4, 32);
+        let first = c.read(64);
+        assert!(!first.hit && first.filled);
+        let second = c.read(64);
+        assert!(second.hit && !second.filled);
+        // A different sector of the same line still misses (sectored fill).
+        let other = c.read(96);
+        assert!(!other.hit && other.filled);
+    }
+
+    #[test]
+    fn full_cover_store_allocates_without_fill() {
+        let mut c = SectoredCache::new(1 << 10, 128, 4, 32);
+        let w = c.write(0, true, true);
+        assert!(!w.hit && !w.filled);
+        // The sector is now resident and dirty; a read hits.
+        assert!(c.read(0).hit);
+        assert_eq!(c.flush_dirty(), vec![0]);
+    }
+
+    #[test]
+    fn partial_store_miss_fills_under_write_allocate() {
+        let mut c = SectoredCache::new(1 << 10, 128, 4, 32);
+        let w = c.write(32, false, true);
+        assert!(!w.hit && w.filled);
+        assert_eq!(c.flush_dirty(), vec![32]);
+    }
+
+    #[test]
+    fn no_allocate_store_miss_leaves_cache_untouched() {
+        let mut c = SectoredCache::new(1 << 10, 64, 4, 64);
+        let w = c.write(0, true, false);
+        assert!(!w.hit && !w.filled && w.writebacks.is_empty());
+        assert!(!c.read(0).hit, "store must not have allocated");
+    }
+
+    #[test]
+    fn lru_eviction_writes_back_dirty_sectors() {
+        // Direct-mapped-ish: 2 ways, line 64, sector 64, 2 sets (256B).
+        let mut c = SectoredCache::new(256, 64, 2, 64);
+        // Fill set 0 (addresses ≡ 0 mod 128) with dirty lines.
+        assert!(!c.write(0, true, true).filled);
+        assert!(!c.write(128, true, true).filled);
+        // Third distinct line in the same set evicts LRU (addr 0).
+        let out = c.read(256);
+        assert_eq!(out.writebacks, vec![0]);
+        // Address 0 must now miss again.
+        assert!(!c.read(0).hit);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let drive = || {
+            let mut c = SectoredCache::new(4 << 10, 128, 4, 32);
+            let mut hits = 0;
+            for i in 0..4096u64 {
+                let addr = (i * 96) % (16 << 10);
+                if c.read(addr & !31).hit {
+                    hits += 1;
+                }
+            }
+            (hits, c.flush_dirty())
+        };
+        assert_eq!(drive(), drive());
+    }
+}

@@ -1,0 +1,147 @@
+//! Warp-width-parametric memory coalescing.
+//!
+//! Real GPU memory systems do not see "lane 17 loaded 8 bytes"; they see
+//! *sector transactions*. The coalescer takes one traced memory
+//! instruction ([`crate::trace::TraceAccess`]) and groups its lane
+//! accesses by hardware warp (lane / warp_width), then within each warp
+//! deduplicates the touched sectors — NVIDIA coalesces 32 lanes into
+//! 32-byte sectors, AMD coalesces 64 lanes into 64-byte sectors, Intel
+//! coalesces 16 lanes. The same stride therefore produces *different*
+//! transaction counts per vendor, which is exactly the per-vendor
+//! divergence the memory-hierarchy tier models.
+//!
+//! Each produced [`SectorReq`] carries a byte-cover bitmask so the cache
+//! layer can account sector utilization (bytes the kernel asked for vs
+//! bytes the transaction moved) and distinguish full-sector stores
+//! (write-combining, no fill needed) from partial ones.
+
+use crate::trace::TraceAccess;
+use std::collections::BTreeMap;
+
+/// One coalesced memory transaction: a sector-aligned request produced
+/// by merging all lane accesses of one warp that fall in that sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectorReq {
+    /// Sector-aligned byte address.
+    pub addr: u64,
+    /// Bitmask of bytes within the sector the warp actually touched
+    /// (bit `i` = byte `addr + i`). Sectors are at most 64 bytes, so a
+    /// `u64` always suffices.
+    pub cover: u64,
+    /// Number of lane accesses merged into this transaction.
+    pub lanes: u32,
+}
+
+impl SectorReq {
+    /// Bytes of the sector the warp actually used.
+    pub fn covered_bytes(&self) -> u64 {
+        u64::from(self.cover.count_ones())
+    }
+
+    /// Whether every byte of the sector is covered (needed for
+    /// fill-free store allocation).
+    pub fn full(&self, sector_bytes: u64) -> bool {
+        debug_assert!(sector_bytes <= 64);
+        if sector_bytes == 64 {
+            self.cover == u64::MAX
+        } else {
+            self.cover == (1u64 << sector_bytes) - 1
+        }
+    }
+}
+
+/// Coalesce one traced access into per-warp sector transactions.
+///
+/// Lanes are grouped by `lane / warp_width`; within a warp, accesses to
+/// the same sector merge into one [`SectorReq`]. Results are ordered by
+/// (warp, sector address) — `BTreeMap` keeps the replay deterministic
+/// regardless of lane order in the trace. Accesses are naturally aligned
+/// and at most 8 bytes wide, and sectors are ≥ 32 bytes, so a single
+/// lane access never spans two sectors.
+pub fn coalesce(access: &TraceAccess, warp_width: u32, sector_bytes: u64) -> Vec<SectorReq> {
+    debug_assert!(sector_bytes.is_power_of_two() && (32..=64).contains(&sector_bytes));
+    let warp_width = warp_width.max(1);
+    // (warp, sector address) -> (cover, lanes)
+    let mut sectors: BTreeMap<(u32, u64), (u64, u32)> = BTreeMap::new();
+    for &(lane, addr) in &access.lanes {
+        let warp = lane / warp_width;
+        let sector = addr & !(sector_bytes - 1);
+        let offset = addr - sector;
+        debug_assert!(offset + u64::from(access.width) <= sector_bytes);
+        let bits =
+            if access.width >= 64 { u64::MAX } else { ((1u64 << access.width) - 1) << offset };
+        let entry = sectors.entry((warp, sector)).or_insert((0, 0));
+        entry.0 |= bits;
+        entry.1 += 1;
+    }
+    sectors
+        .into_iter()
+        .map(|((_, addr), (cover, lanes))| SectorReq { addr, cover, lanes })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::AccessKind;
+
+    fn access(width: u32, lanes: Vec<(u32, u64)>) -> TraceAccess {
+        TraceAccess { kind: AccessKind::Load, width, lanes }
+    }
+
+    #[test]
+    fn unit_stride_f64_warp32_fills_sectors() {
+        // 32 lanes × 8B contiguous = 256B = eight full 32B sectors.
+        let a = access(8, (0..32).map(|l| (l, u64::from(l) * 8)).collect());
+        let reqs = coalesce(&a, 32, 32);
+        assert_eq!(reqs.len(), 8);
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.addr, i as u64 * 32);
+            assert!(r.full(32));
+            assert_eq!(r.lanes, 4);
+        }
+    }
+
+    #[test]
+    fn warp_width_changes_transaction_grouping() {
+        // Same 64 lanes, 4B stride-16 (64B apart): every access lands in
+        // its own sector, but warp grouping differs: w64 = one warp of 64
+        // transactions, w16 = four warps of 16. Totals equal; the warp
+        // boundary matters once sectors are shared.
+        let a = access(4, (0..64).map(|l| (l, u64::from(l) * 64)).collect());
+        assert_eq!(coalesce(&a, 64, 64).len(), 64);
+        assert_eq!(coalesce(&a, 16, 64).len(), 64);
+        // Broadcast: all lanes hit one address — one transaction per warp.
+        let b = access(4, (0..64).map(|l| (l, 0)).collect());
+        assert_eq!(coalesce(&b, 64, 64).len(), 1);
+        assert_eq!(coalesce(&b, 16, 64).len(), 4);
+    }
+
+    #[test]
+    fn strided_gather_wastes_sector_cover() {
+        // 8B loads, 128B apart: each sector transaction covers 8/32 bytes.
+        let a = access(8, (0..32).map(|l| (l, u64::from(l) * 128)).collect());
+        let reqs = coalesce(&a, 32, 32);
+        assert_eq!(reqs.len(), 32);
+        for r in &reqs {
+            assert_eq!(r.covered_bytes(), 8);
+            assert!(!r.full(32));
+        }
+    }
+
+    #[test]
+    fn full_cover_detection_at_64b() {
+        let a = access(8, (0..8).map(|l| (l, u64::from(l) * 8)).collect());
+        let reqs = coalesce(&a, 32, 64);
+        assert_eq!(reqs.len(), 1);
+        assert!(reqs[0].full(64));
+        assert_eq!(reqs[0].lanes, 8);
+    }
+
+    #[test]
+    fn deterministic_regardless_of_lane_order() {
+        let fwd = access(4, (0..32).map(|l| (l, u64::from(l) * 4)).collect());
+        let rev = access(4, (0..32).rev().map(|l| (l, u64::from(l) * 4)).collect());
+        assert_eq!(coalesce(&fwd, 32, 32), coalesce(&rev, 32, 32));
+    }
+}

@@ -18,16 +18,18 @@ use crate::ir::{KernelIr, Value};
 use crate::isa::{disassemble, IsaKind, Module};
 use crate::lower::{ProgramCache, ProgramCacheStats};
 use crate::mem::{DevicePtr, GlobalMemory};
+use crate::memhier::{replay, MemHierSpec, MemStats};
 use crate::pool::ThreadPool;
 use crate::sched::SchedulePolicy;
-use crate::timing::{kernel_time, transfer_time, ModeledTime};
+use crate::timing::{kernel_time, kernel_time_traced, transfer_time, ModeledTime};
+use crate::trace::TraceSink;
 use crate::vexec::run_block_lv;
 use crate::{Result, SimError};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// Which execution engine a device uses for kernel blocks.
@@ -95,6 +97,99 @@ impl ExecTier {
     }
 }
 
+/// Which timing model a device uses to derive modeled launch times.
+///
+/// Neither tier changes what a kernel computes — buffers and counters
+/// are byte-identical across tiers; only the modeled time differs:
+///
+/// * [`TimingTier::Analytic`] — the roofline bound in
+///   [`crate::timing::kernel_time`]: flat `bytes_total / dram_gbps`,
+///   blind to access patterns.
+/// * [`TimingTier::TraceDriven`] — the launch's memory-access trace is
+///   replayed through the device's coalescer + L1/L2 hierarchy
+///   ([`crate::memhier`]) and the resulting sector traffic feeds
+///   [`crate::timing::kernel_time_traced`]. Implies access tracing for
+///   the launch.
+///
+/// The default is `Analytic`. [`set_process_timing_tier`] or the
+/// `MCMM_TIMING_TIER` environment variable (`"analytic"` / `"traced"`)
+/// overrides the default for newly created devices;
+/// [`Device::set_timing_tier`] overrides one device at any time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimingTier {
+    /// Roofline model over aggregate counters ([`crate::timing::kernel_time`]).
+    Analytic,
+    /// Trace replay through the memory hierarchy ([`crate::memhier`]).
+    TraceDriven,
+}
+
+/// Process-wide timing-tier override: 0 = unset, 1 = analytic, 2 = traced.
+static PROCESS_TIMING: AtomicU8 = AtomicU8::new(0);
+
+/// Force every *subsequently created* [`Device`] onto one timing tier
+/// (`None` clears the override). Takes precedence over
+/// `MCMM_TIMING_TIER`; exists so tests can flip tiers without racing on
+/// the process environment.
+pub fn set_process_timing_tier(tier: Option<TimingTier>) {
+    PROCESS_TIMING.store(tier.map_or(0, TimingTier::as_u8), Ordering::SeqCst);
+}
+
+impl TimingTier {
+    fn as_u8(self) -> u8 {
+        match self {
+            TimingTier::Analytic => 1,
+            TimingTier::TraceDriven => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(TimingTier::Analytic),
+            2 => Some(TimingTier::TraceDriven),
+            _ => None,
+        }
+    }
+
+    /// The timing tier a new device starts on: process override, then
+    /// the `MCMM_TIMING_TIER` environment variable, then `Analytic`.
+    pub fn resolve() -> Self {
+        if let Some(t) = Self::from_u8(PROCESS_TIMING.load(Ordering::SeqCst)) {
+            return t;
+        }
+        match std::env::var("MCMM_TIMING_TIER") {
+            Ok(v) if v.eq_ignore_ascii_case("traced") || v.eq_ignore_ascii_case("trace-driven") => {
+                TimingTier::TraceDriven
+            }
+            _ => TimingTier::Analytic,
+        }
+    }
+}
+
+/// Process-wide tracing override: 0 = unset, 1 = off, 2 = on.
+static PROCESS_TRACING: AtomicU8 = AtomicU8::new(0);
+
+/// Force memory-access tracing on or off for every *subsequently
+/// created* [`Device`] (`None` clears the override). Takes precedence
+/// over `MCMM_MEM_TRACE`. Tracing is observational: it populates
+/// [`LaunchReport::mem`] and the device's cumulative [`MemStats`]
+/// without changing what kernels compute.
+pub fn set_process_tracing(on: Option<bool>) {
+    PROCESS_TRACING.store(on.map_or(0, |b| if b { 2 } else { 1 }), Ordering::SeqCst);
+}
+
+/// The tracing flag a new device starts with: process override, then the
+/// `MCMM_MEM_TRACE` environment variable (`1`/`on`/`true`), then off.
+fn resolve_tracing() -> bool {
+    match PROCESS_TRACING.load(Ordering::SeqCst) {
+        1 => false,
+        2 => true,
+        _ => matches!(
+            std::env::var("MCMM_MEM_TRACE").as_deref(),
+            Ok("1") | Ok("on") | Ok("true") | Ok("ON") | Ok("TRUE")
+        ),
+    }
+}
+
 /// Static attributes of a device model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
@@ -124,6 +219,12 @@ pub struct DeviceSpec {
     pub max_threads_per_block: u32,
     /// Shared memory per block in bytes.
     pub shared_per_block: u64,
+    /// Modeled cost of one global atomic (nanoseconds, per compute
+    /// unit) — a per-vendor throughput attribute.
+    pub atomic_ns: f64,
+    /// Cache-hierarchy geometry and latencies (coalescer sector size,
+    /// L1/L2 shape, per-level latencies and L2 bandwidth).
+    pub memhier: MemHierSpec,
 }
 
 impl DeviceSpec {
@@ -143,6 +244,8 @@ impl DeviceSpec {
             mem_bytes: 256 << 20, // simulated capacity, not the real 80 GB
             max_threads_per_block: 1024,
             shared_per_block: 48 << 10,
+            atomic_ns: 2.0,
+            memhier: MemHierSpec::nvidia_a100(),
         }
     }
 
@@ -162,6 +265,8 @@ impl DeviceSpec {
             mem_bytes: 256 << 20,
             max_threads_per_block: 1024,
             shared_per_block: 64 << 10,
+            atomic_ns: 2.4,
+            memhier: MemHierSpec::amd_mi250x(),
         }
     }
 
@@ -182,6 +287,8 @@ impl DeviceSpec {
             mem_bytes: 256 << 20,
             max_threads_per_block: 1024,
             shared_per_block: 64 << 10,
+            atomic_ns: 3.0,
+            memhier: MemHierSpec::intel_pvc(),
         }
     }
 
@@ -269,6 +376,30 @@ pub struct LaunchReport {
     pub stats: LaunchStats,
     /// The modeled execution time derived from those counters.
     pub time: ModeledTime,
+    /// Memory-hierarchy statistics from replaying the launch's access
+    /// trace — present when the device traced the launch (tracing
+    /// enabled or the trace-driven timing tier active).
+    pub mem: Option<MemStats>,
+}
+
+/// Cumulative host↔device transfer volume of one device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Bytes moved host → device.
+    pub h2d_bytes: u64,
+    /// Completed host → device transfers.
+    pub h2d_count: u64,
+    /// Bytes moved device → host.
+    pub d2h_bytes: u64,
+    /// Completed device → host transfers.
+    pub d2h_count: u64,
+}
+
+impl TransferStats {
+    /// Total bytes moved over the interconnect in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
 }
 
 /// A simulated GPU device.
@@ -283,6 +414,16 @@ pub struct Device {
     cumulative: StatsCell,
     /// Active execution tier (`ExecTier::as_u8` encoding).
     tier: AtomicU8,
+    /// Active timing tier (`TimingTier::as_u8` encoding).
+    timing: AtomicU8,
+    /// Whether launches record a memory-access trace even when the
+    /// timing tier doesn't require one.
+    tracing: AtomicBool,
+    /// Cumulative memory-hierarchy stats over traced launches, with the
+    /// number of traced launches merged in.
+    mem_cumulative: Mutex<(MemStats, u64)>,
+    /// Cumulative host↔device transfer volume.
+    transfers: Mutex<TransferStats>,
     /// Lowered lane-vector programs, keyed by kernel fingerprint.
     programs: ProgramCache,
 }
@@ -299,6 +440,10 @@ impl Device {
             clock: Mutex::new(0.0),
             cumulative: StatsCell::new(),
             tier: AtomicU8::new(ExecTier::resolve().as_u8()),
+            timing: AtomicU8::new(TimingTier::resolve().as_u8()),
+            tracing: AtomicBool::new(resolve_tracing()),
+            mem_cumulative: Mutex::new((MemStats::default(), 0)),
+            transfers: Mutex::new(TransferStats::default()),
             programs: ProgramCache::new(),
             spec,
         })
@@ -312,6 +457,43 @@ impl Device {
     /// Switch this device to the given tier for subsequent launches.
     pub fn set_exec_tier(&self, tier: ExecTier) {
         self.tier.store(tier.as_u8(), Ordering::SeqCst);
+    }
+
+    /// The timing tier this device currently models launch times with.
+    pub fn timing_tier(&self) -> TimingTier {
+        TimingTier::from_u8(self.timing.load(Ordering::SeqCst)).unwrap_or(TimingTier::Analytic)
+    }
+
+    /// Switch this device to the given timing tier for subsequent
+    /// launches. `TraceDriven` implies access tracing per launch.
+    pub fn set_timing_tier(&self, tier: TimingTier) {
+        self.timing.store(tier.as_u8(), Ordering::SeqCst);
+    }
+
+    /// Whether this device records memory-access traces independently of
+    /// the timing tier.
+    pub fn tracing(&self) -> bool {
+        self.tracing.load(Ordering::SeqCst)
+    }
+
+    /// Enable or disable memory-access tracing for subsequent launches.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::SeqCst);
+    }
+
+    /// Cumulative memory-hierarchy statistics over every traced launch.
+    pub fn mem_stats(&self) -> MemStats {
+        self.mem_cumulative.lock().0
+    }
+
+    /// Number of traced launches merged into [`Device::mem_stats`].
+    pub fn mem_launches(&self) -> u64 {
+        self.mem_cumulative.lock().1
+    }
+
+    /// Cumulative host↔device transfer volume.
+    pub fn transfer_stats(&self) -> TransferStats {
+        *self.transfers.lock()
     }
 
     /// Hit/miss statistics of the lowered-program cache.
@@ -360,19 +542,27 @@ impl Device {
         self.memory.free(ptr, len);
     }
 
-    /// Host → device transfer; advances the modeled clock.
+    /// Host → device transfer; advances the modeled clock and records
+    /// the volume in [`Device::transfer_stats`].
     pub fn memcpy_h2d(&self, dst: DevicePtr, data: &[u8]) -> Result<ModeledTime> {
         self.memory.write_bytes(dst, data)?;
         let t = transfer_time(&self.spec, data.len() as u64);
         self.advance_clock(t);
+        let mut xfer = self.transfers.lock();
+        xfer.h2d_bytes += data.len() as u64;
+        xfer.h2d_count += 1;
         Ok(t)
     }
 
-    /// Device → host transfer; advances the modeled clock.
+    /// Device → host transfer; advances the modeled clock and records
+    /// the volume in [`Device::transfer_stats`].
     pub fn memcpy_d2h(&self, src: DevicePtr, len: u64) -> Result<(Vec<u8>, ModeledTime)> {
         let data = self.memory.read_bytes(src, len)?;
         let t = transfer_time(&self.spec, len);
         self.advance_clock(t);
+        let mut xfer = self.transfers.lock();
+        xfer.d2h_bytes += len;
+        xfer.d2h_count += 1;
         Ok((data, t))
     }
 
@@ -556,6 +746,15 @@ impl Device {
             ExecTier::Scalar => None,
         };
 
+        let timing = self.timing_tier();
+        // The trace-driven timing tier needs a trace; the tracing flag
+        // asks for one regardless of how time is modeled.
+        let sink = if self.tracing() || timing == TimingTier::TraceDriven {
+            Some(TraceSink::new())
+        } else {
+            None
+        };
+
         let counters = Counters::new();
         let error: Mutex<Option<SimError>> = Mutex::new(None);
         self.pool.run_indexed(cfg.grid_dim as usize, cfg.policy.claim(), |block| {
@@ -570,6 +769,7 @@ impl Device {
                 grid_dim: cfg.grid_dim,
                 block_dim: cfg.block_dim,
                 warp_width: self.spec.warp_width,
+                trace: sink.as_ref(),
             };
             if crash_block == Some(ctx.block_id) {
                 error.lock().get_or_insert(injected_block_crash(&ctx));
@@ -587,10 +787,21 @@ impl Device {
             return Err(e);
         }
         let stats = counters.snapshot();
-        let time = kernel_time(&self.spec, &stats, cfg.efficiency);
+        let mem = sink.map(|s| replay(&self.spec.memhier, self.spec.warp_width, &s.into_blocks()));
+        let time = match (timing, &mem) {
+            (TimingTier::TraceDriven, Some(m)) => {
+                kernel_time_traced(&self.spec, &stats, m, cfg.efficiency)
+            }
+            _ => kernel_time(&self.spec, &stats, cfg.efficiency),
+        };
         self.advance_clock(time);
         self.cumulative.merge(stats);
-        Ok(LaunchReport { stats, time })
+        if let Some(m) = mem {
+            let mut cell = self.mem_cumulative.lock();
+            cell.0 = cell.0.merged(m);
+            cell.1 += 1;
+        }
+        Ok(LaunchReport { stats, time, mem })
     }
 }
 

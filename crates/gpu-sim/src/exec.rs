@@ -18,6 +18,7 @@ use crate::ir::{
     AtomicOp, BinOp, CmpOp, Instr, KernelIr, Operand, Space, Special, Type, UnOp, Value,
 };
 use crate::mem::GlobalMemory;
+use crate::trace::{AccessKind, BlockTrace, TraceAccess};
 use crate::{Result, SimError};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -140,6 +141,9 @@ pub struct BlockCtx<'a> {
     pub block_dim: u32,
     /// Warp / wavefront / sub-group width of the device.
     pub warp_width: u32,
+    /// When present, global-memory accesses are recorded here
+    /// (observational; never changes what the kernel computes).
+    pub trace: Option<&'a crate::trace::TraceSink>,
 }
 
 /// The error produced when an injected lane crash aborts a block before
@@ -250,6 +254,9 @@ struct Interp<'a> {
     local: LocalCounters,
     /// Present in racecheck mode; shared accesses are mirrored into it.
     race: Option<RaceLog>,
+    /// Present when the launch is traced; global accesses are recorded
+    /// here and flushed to the sink at block exit.
+    tblock: Option<BlockTrace>,
 }
 
 /// Execute one thread block.
@@ -303,6 +310,7 @@ fn run_block_impl(
         n,
         local: LocalCounters::new(),
         race,
+        tblock: ctx.trace.map(|_| BlockTrace::new(ctx.block_id)),
     };
     let mask = vec![true; n];
     let issues = interp.active_warps(&mask);
@@ -312,6 +320,9 @@ fn run_block_impl(
     }
     interp.local.flush(interp.ctx.counters);
     interp.ctx.counters.add_block(u64::from(ctx.block_dim.div_ceil(ctx.warp_width.max(1))));
+    if let (Some(sink), Some(tb)) = (ctx.trace, interp.tblock.take()) {
+        sink.push(tb);
+    }
     Ok(interp.race)
 }
 
@@ -407,6 +418,8 @@ impl<'a> Interp<'a> {
             Instr::Ld { dst, space, addr } => {
                 let ty = self.ctx.kernel.regs[dst.0 as usize];
                 let mut lanes = 0u64;
+                let tracing = *space == Space::Global && self.tblock.is_some();
+                let mut tlanes: Vec<(u32, u64)> = Vec::new();
                 for lane in active(mask) {
                     let a = self.addr(addr, lane)?;
                     let v = match space {
@@ -419,15 +432,27 @@ impl<'a> Interp<'a> {
                         }
                     };
                     self.regs[dst.0 as usize].set(lane, v);
+                    if tracing {
+                        tlanes.push((lane as u32, a));
+                    }
                     lanes += 1;
                 }
                 if *space == Space::Global {
                     self.local.bytes_read += lanes * ty.size();
                 }
+                if tracing && !tlanes.is_empty() {
+                    self.tblock.as_mut().expect("tracing checked").accesses.push(TraceAccess {
+                        kind: AccessKind::Load,
+                        width: ty.size() as u32,
+                        lanes: tlanes,
+                    });
+                }
             }
             Instr::St { space, addr, value } => {
                 let mut lanes = 0u64;
                 let mut sz = 0u64;
+                let tracing = *space == Space::Global && self.tblock.is_some();
+                let mut tlanes: Vec<(u32, u64)> = Vec::new();
                 for lane in active(mask) {
                     let a = self.addr(addr, lane)?;
                     let v = self.eval(value, lane);
@@ -441,14 +466,27 @@ impl<'a> Interp<'a> {
                             self.shared.store(a, v)?
                         }
                     }
+                    if tracing {
+                        tlanes.push((lane as u32, a));
+                    }
                     lanes += 1;
                 }
                 if *space == Space::Global {
                     self.local.bytes_written += lanes * sz;
                 }
+                if tracing && !tlanes.is_empty() {
+                    self.tblock.as_mut().expect("tracing checked").accesses.push(TraceAccess {
+                        kind: AccessKind::Store,
+                        width: sz as u32,
+                        lanes: tlanes,
+                    });
+                }
             }
             Instr::Atomic { op, space, addr, value, dst } => {
                 let mut lanes = 0u64;
+                let tracing = *space == Space::Global && self.tblock.is_some();
+                let mut tlanes: Vec<(u32, u64)> = Vec::new();
+                let mut width = 0u32;
                 // Colliding atomics commit in warp-scheduler order: warps
                 // take turns issuing their lane at each position, so the
                 // commit sequence — and the rounding of float sums —
@@ -457,6 +495,10 @@ impl<'a> Interp<'a> {
                 for lane in round_robin(mask, self.ctx.warp_width) {
                     let a = self.addr(addr, lane)?;
                     let v = self.eval(value, lane);
+                    if tracing {
+                        tlanes.push((lane as u32, a));
+                        width = v.ty().size() as u32;
+                    }
                     let old = match space {
                         Space::Global => self.ctx.global.atomic_rmw(a, *op, v)?,
                         Space::Shared => {
@@ -481,6 +523,13 @@ impl<'a> Interp<'a> {
                     lanes += 1;
                 }
                 self.local.atomics += lanes;
+                if tracing && !tlanes.is_empty() {
+                    self.tblock.as_mut().expect("tracing checked").accesses.push(TraceAccess {
+                        kind: AccessKind::Atomic,
+                        width,
+                        lanes: tlanes,
+                    });
+                }
             }
             Instr::Bar => {
                 // A barrier is only sound when the whole block reaches it;
@@ -760,6 +809,7 @@ mod tests {
             grid_dim: 1,
             block_dim,
             warp_width: 32,
+            trace: None,
         };
         run_block(&ctx, args)?;
         Ok(counters)
@@ -1012,6 +1062,7 @@ mod tests {
             grid_dim: 1,
             block_dim,
             warp_width: 32,
+            trace: None,
         };
         run_block_racecheck(&ctx, args).unwrap()
     }
@@ -1118,6 +1169,7 @@ mod tests {
             grid_dim: 1,
             block_dim: 64,
             warp_width: 32,
+            trace: None,
         };
         let findings = run_block_racecheck(&ctx, &[Value::I64(outp.0 as i64)]).unwrap();
         assert!(findings.is_empty(), "correct reduction flagged: {findings:?}");

@@ -22,7 +22,10 @@
 //! * [`stream`] + [`event`] — asynchronous in-order queues and events;
 //! * [`counters`] + [`timing`] — performance counters and the analytic
 //!   timing model that produces *modeled* (deterministic, hardware-free)
-//!   execution times.
+//!   execution times;
+//! * [`trace`] + [`coalesce`] + [`cache`] + [`memhier`] — optional
+//!   per-warp memory-access tracing and the per-vendor coalescer →
+//!   L1 → L2 → DRAM models behind the trace-driven timing tier.
 //!
 //! ## Quickstart: SAXPY on a simulated A100
 //!
@@ -69,6 +72,8 @@
 //! assert!(out.iter().all(|&v| (v - 5.0).abs() < 1e-6));
 //! ```
 
+pub mod cache;
+pub mod coalesce;
 pub mod counters;
 pub mod device;
 pub mod diffval;
@@ -79,17 +84,20 @@ pub mod ir;
 pub mod isa;
 pub mod lower;
 pub mod mem;
+pub mod memhier;
 pub mod pool;
 pub mod sched;
 pub mod stream;
 pub mod timing;
+pub mod trace;
 pub mod vexec;
 
 /// Common re-exports.
 pub mod prelude {
     pub use crate::counters::{LaunchStats, StatsCell};
     pub use crate::device::{
-        set_process_exec_tier, Device, DeviceSpec, ExecTier, KernelArg, LaunchConfig,
+        set_process_exec_tier, set_process_timing_tier, set_process_tracing, Device, DeviceSpec,
+        ExecTier, KernelArg, LaunchConfig, TimingTier, TransferStats,
     };
     pub use crate::event::Event;
     pub use crate::fault::{LaunchFault, TransferFault};
@@ -99,15 +107,20 @@ pub mod prelude {
     pub use crate::isa::{assemble, disassemble, IsaKind, Module};
     pub use crate::lower::{ProgramCache, ProgramCacheStats};
     pub use crate::mem::DevicePtr;
+    pub use crate::memhier::{MemHierSpec, MemStats};
     pub use crate::sched::SchedulePolicy;
     pub use crate::stream::Stream;
     pub use crate::timing::ModeledTime;
     pub use crate::SimError;
 }
 
-pub use device::{set_process_exec_tier, Device, DeviceSpec, ExecTier};
+pub use device::{
+    set_process_exec_tier, set_process_timing_tier, set_process_tracing, Device, DeviceSpec,
+    ExecTier, TimingTier, TransferStats,
+};
 pub use isa::{IsaKind, Module};
 pub use lower::ProgramCacheStats;
+pub use memhier::{MemHierSpec, MemStats};
 
 /// Errors surfaced by the simulator.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,468 @@
+//! The per-vendor memory hierarchy: coalescer → L1 → L2 → DRAM.
+//!
+//! [`replay`] drives a launch's access trace ([`crate::trace`]) through
+//! the width-parametric coalescer ([`crate::coalesce`]) and two levels
+//! of sectored cache ([`crate::cache`]), producing [`MemStats`] — the
+//! hit/miss/transaction/DRAM-sector counts the trace-driven timing tier
+//! uses to refine `kernel_time`, and the numbers the benchmark reports
+//! surface as L1/L2 hit rates and sector utilization.
+//!
+//! The model (documented simplifications included):
+//!
+//! * **Per-block L1, shared L2.** Each block replays against a fresh L1
+//!   (real GPUs give each CU a private L1 and blocks rarely share one);
+//!   all blocks share one L2 in block-id order. This keeps the replay
+//!   deterministic regardless of how the thread pool interleaved blocks.
+//! * **MSHR merging within a warp.** Lane accesses that coalesce into an
+//!   already-pending sector transaction count as `mshr_merges` — the
+//!   within-warp expression of miss-status-holding-register combining.
+//! * **Atomics bypass L1** and are served read-modify-write by L2, as on
+//!   real hardware.
+//! * **Write policies.** Write-allocate L1s fill a partially-covered
+//!   store miss from L2 but allocate fully-covered sectors dirty without
+//!   a fill; AMD's write-through L1 forwards every store to L2 (updating
+//!   a resident copy in place). Dirty L1 sectors flush to L2 at block
+//!   exit; dirty L2 sectors flush to DRAM at launch exit.
+
+use crate::cache::SectoredCache;
+use crate::coalesce::{coalesce, SectorReq};
+use crate::trace::{AccessKind, BlockTrace};
+
+/// Cache-hierarchy geometry and latencies of one device, the
+/// `DeviceSpec::memhier` field. Values for the presets follow public
+/// per-vendor specs, with L2 capacities sim-scaled alongside
+/// `mem_bytes`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemHierSpec {
+    /// Memory-transaction granule in bytes (32 on NVIDIA, 64 on
+    /// AMD/Intel) — the coalescer's sector size and both caches' fill
+    /// granule.
+    pub sector_bytes: u64,
+    /// L1 capacity in bytes.
+    pub l1_bytes: u64,
+    /// L1 line size in bytes.
+    pub l1_line_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: u32,
+    /// Whether the L1 allocates on store misses (false = write-through
+    /// no-allocate, the CDNA2 vector L1 policy).
+    pub l1_write_alloc: bool,
+    /// L2 capacity in bytes (sim-scaled).
+    pub l2_bytes: u64,
+    /// L2 line size in bytes.
+    pub l2_line_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// L1 hit latency (nanoseconds).
+    pub l1_latency_ns: f64,
+    /// L2 hit latency (nanoseconds).
+    pub l2_latency_ns: f64,
+    /// DRAM access latency (nanoseconds).
+    pub dram_latency_ns: f64,
+    /// Aggregate L2 bandwidth (GB/s), the bound on L1-miss traffic.
+    pub l2_gbps: f64,
+}
+
+impl MemHierSpec {
+    /// NVIDIA A100-flavored hierarchy: 32B sectors in 128B lines,
+    /// 128 KiB/SM L1, write-allocate; 8 MiB L2 (sim-scaled from 40 MiB).
+    pub fn nvidia_a100() -> Self {
+        Self {
+            sector_bytes: 32,
+            l1_bytes: 128 << 10,
+            l1_line_bytes: 128,
+            l1_ways: 4,
+            l1_write_alloc: true,
+            l2_bytes: 8 << 20,
+            l2_line_bytes: 128,
+            l2_ways: 16,
+            l1_latency_ns: 30.0,
+            l2_latency_ns: 150.0,
+            dram_latency_ns: 350.0,
+            l2_gbps: 4830.0,
+        }
+    }
+
+    /// AMD MI250X (one GCD): 64B lines, 16 KiB write-through vector L1;
+    /// 4 MiB L2 (sim-scaled from 8 MiB).
+    pub fn amd_mi250x() -> Self {
+        Self {
+            sector_bytes: 64,
+            l1_bytes: 16 << 10,
+            l1_line_bytes: 64,
+            l1_ways: 4,
+            l1_write_alloc: false,
+            l2_bytes: 4 << 20,
+            l2_line_bytes: 64,
+            l2_ways: 16,
+            l1_latency_ns: 60.0,
+            l2_latency_ns: 220.0,
+            dram_latency_ns: 380.0,
+            l2_gbps: 4096.0,
+        }
+    }
+
+    /// Intel Ponte Vecchio: 64B lines, 512 KiB L1 per Xe-core slice,
+    /// write-allocate; 16 MiB L2 (sim-scaled from 2×204 MiB).
+    pub fn intel_pvc() -> Self {
+        Self {
+            sector_bytes: 64,
+            l1_bytes: 512 << 10,
+            l1_line_bytes: 64,
+            l1_ways: 8,
+            l1_write_alloc: true,
+            l2_bytes: 16 << 20,
+            l2_line_bytes: 64,
+            l2_ways: 16,
+            l1_latency_ns: 40.0,
+            l2_latency_ns: 200.0,
+            dram_latency_ns: 360.0,
+            l2_gbps: 3686.0,
+        }
+    }
+}
+
+/// Memory-hierarchy statistics for one launch (or, via [`merged`],
+/// summed over many launches).
+///
+/// Invariants the differential tests pin: `l1_hits + l1_misses` equals
+/// the non-atomic transaction count, `l2_hits + l2_misses` equals
+/// `l2_accesses`, and `bytes_covered ≤ transactions × sector_bytes`.
+///
+/// [`merged`]: MemStats::merged
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Lane-level global-memory accesses (one per active lane per
+    /// memory instruction).
+    pub requests: u64,
+    /// Coalesced sector transactions issued by warps.
+    pub transactions: u64,
+    /// Lane requests absorbed into an already-pending sector
+    /// transaction of the same warp (MSHR-style combining).
+    pub mshr_merges: u64,
+    /// L1 transactions that hit.
+    pub l1_hits: u64,
+    /// L1 transactions that missed (write-through stores count here).
+    pub l1_misses: u64,
+    /// Sector requests reaching L2 (L1 misses + L1 writebacks + atomics).
+    pub l2_accesses: u64,
+    /// L2 accesses that hit.
+    pub l2_hits: u64,
+    /// L2 accesses that missed.
+    pub l2_misses: u64,
+    /// Sectors moved between L2 and DRAM (fills + writebacks).
+    pub dram_sectors: u64,
+    /// Bytes moved between L2 and DRAM.
+    pub dram_bytes: u64,
+    /// Bytes the kernel's lanes asked for (Σ lanes × width).
+    pub bytes_requested: u64,
+    /// Bytes of issued sectors actually covered by lane accesses.
+    pub bytes_covered: u64,
+}
+
+impl MemStats {
+    /// `l1_hits / (l1_hits + l1_misses)`, or 0 with no traffic.
+    pub fn l1_hit_rate(&self) -> f64 {
+        ratio(self.l1_hits, self.l1_hits + self.l1_misses)
+    }
+
+    /// `l2_hits / l2_accesses`, or 0 with no traffic.
+    pub fn l2_hit_rate(&self) -> f64 {
+        ratio(self.l2_hits, self.l2_accesses)
+    }
+
+    /// Fraction of transaction bytes the kernel actually used —
+    /// 1.0 for a perfectly coalesced stream, `width / sector_bytes`
+    /// for a wide-strided gather.
+    pub fn sector_utilization(&self) -> f64 {
+        let moved: u64 = self.transactions * self.sector_bytes_inferred();
+        ratio(self.bytes_covered, moved)
+    }
+
+    /// Field-wise sum (for sweep/cumulative aggregation).
+    #[must_use]
+    pub fn merged(&self, other: Self) -> Self {
+        Self {
+            requests: self.requests + other.requests,
+            transactions: self.transactions + other.transactions,
+            mshr_merges: self.mshr_merges + other.mshr_merges,
+            l1_hits: self.l1_hits + other.l1_hits,
+            l1_misses: self.l1_misses + other.l1_misses,
+            l2_accesses: self.l2_accesses + other.l2_accesses,
+            l2_hits: self.l2_hits + other.l2_hits,
+            l2_misses: self.l2_misses + other.l2_misses,
+            dram_sectors: self.dram_sectors + other.dram_sectors,
+            dram_bytes: self.dram_bytes + other.dram_bytes,
+            bytes_requested: self.bytes_requested + other.bytes_requested,
+            bytes_covered: self.bytes_covered + other.bytes_covered,
+        }
+    }
+
+    /// The sector size the stats were produced under, recovered from
+    /// the DRAM accounting (every DRAM sector moves `sector_bytes`).
+    /// Falls back to 32 when no DRAM traffic occurred.
+    fn sector_bytes_inferred(&self) -> u64 {
+        self.dram_bytes.checked_div(self.dram_sectors).unwrap_or(32)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// L2 + DRAM accounting shared by every block of a replay.
+struct Shared {
+    l2: SectoredCache,
+    stats: MemStats,
+    sector_bytes: u64,
+}
+
+impl Shared {
+    fn dram(&mut self, sectors: u64) {
+        self.stats.dram_sectors += sectors;
+        self.stats.dram_bytes += sectors * self.sector_bytes;
+    }
+
+    /// A read (fill request) arriving at L2.
+    fn l2_read(&mut self, sector: u64) {
+        self.stats.l2_accesses += 1;
+        let out = self.l2.read(sector);
+        if out.hit {
+            self.stats.l2_hits += 1;
+        } else {
+            self.stats.l2_misses += 1;
+        }
+        if out.filled {
+            self.dram(1);
+        }
+        self.dram(out.writebacks.len() as u64);
+    }
+
+    /// A write (store or writeback) arriving at L2. Writebacks and
+    /// write-through stores of fully-covered sectors allocate without
+    /// a DRAM fill.
+    fn l2_write(&mut self, sector: u64, full_cover: bool) {
+        self.stats.l2_accesses += 1;
+        let out = self.l2.write(sector, full_cover, true);
+        if out.hit {
+            self.stats.l2_hits += 1;
+        } else {
+            self.stats.l2_misses += 1;
+        }
+        if out.filled {
+            self.dram(1);
+        }
+        self.dram(out.writebacks.len() as u64);
+    }
+}
+
+/// Replay a launch trace through the hierarchy, producing its
+/// [`MemStats`]. Deterministic: same spec + same trace ⇒ same stats.
+pub fn replay(spec: &MemHierSpec, warp_width: u32, blocks: &[BlockTrace]) -> MemStats {
+    let mut shared = Shared {
+        l2: SectoredCache::new(spec.l2_bytes, spec.l2_line_bytes, spec.l2_ways, spec.sector_bytes),
+        stats: MemStats::default(),
+        sector_bytes: spec.sector_bytes,
+    };
+    for block in blocks {
+        let mut l1 =
+            SectoredCache::new(spec.l1_bytes, spec.l1_line_bytes, spec.l1_ways, spec.sector_bytes);
+        for access in &block.accesses {
+            let reqs = coalesce(access, warp_width, spec.sector_bytes);
+            let lanes = access.lanes.len() as u64;
+            shared.stats.requests += lanes;
+            shared.stats.bytes_requested += lanes * u64::from(access.width);
+            shared.stats.transactions += reqs.len() as u64;
+            for req in &reqs {
+                shared.stats.mshr_merges += u64::from(req.lanes.saturating_sub(1));
+                shared.stats.bytes_covered += req.covered_bytes();
+                replay_req(spec, &mut l1, &mut shared, access.kind, req);
+            }
+        }
+        // Block exit: dirty L1 sectors drain to L2 as full-sector writes.
+        for sector in l1.flush_dirty() {
+            shared.l2_write(sector, true);
+        }
+    }
+    // Launch exit: dirty L2 sectors drain to DRAM.
+    let dirty = shared.l2.flush_dirty().len() as u64;
+    shared.dram(dirty);
+    shared.stats
+}
+
+fn replay_req(
+    spec: &MemHierSpec,
+    l1: &mut SectoredCache,
+    shared: &mut Shared,
+    kind: AccessKind,
+    req: &SectorReq,
+) {
+    let full = req.full(spec.sector_bytes);
+    match kind {
+        AccessKind::Load => {
+            let out = l1.read(req.addr);
+            if out.hit {
+                shared.stats.l1_hits += 1;
+            } else {
+                shared.stats.l1_misses += 1;
+            }
+            if out.filled {
+                shared.l2_read(req.addr);
+            }
+            for wb in out.writebacks {
+                shared.l2_write(wb, true);
+            }
+        }
+        AccessKind::Store => {
+            if spec.l1_write_alloc {
+                let out = l1.write(req.addr, full, true);
+                if out.hit {
+                    shared.stats.l1_hits += 1;
+                } else {
+                    shared.stats.l1_misses += 1;
+                }
+                if out.filled {
+                    shared.l2_read(req.addr);
+                }
+                for wb in out.writebacks {
+                    shared.l2_write(wb, true);
+                }
+            } else {
+                // Write-through no-allocate: L2 serves the store; a
+                // resident L1 copy is refreshed in place, clean.
+                l1.update_if_present(req.addr);
+                shared.stats.l1_misses += 1;
+                shared.l2_write(req.addr, full);
+            }
+        }
+        AccessKind::Atomic => {
+            // Atomics bypass L1: read-modify-write in L2.
+            shared.l2_write(req.addr, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{AccessKind, TraceAccess};
+
+    /// One block, 256 lanes: the warp-width-sensitive gather
+    /// `out[i] = in[(i % 32) * 16] + src[i]` over f64, as traced.
+    fn gather_block(n: u32) -> BlockTrace {
+        let mut t = BlockTrace::new(0);
+        t.accesses.push(TraceAccess {
+            kind: AccessKind::Load,
+            width: 8,
+            lanes: (0..n).map(|l| (l, u64::from(l % 32) * 128)).collect(),
+        });
+        t.accesses.push(TraceAccess {
+            kind: AccessKind::Load,
+            width: 8,
+            lanes: (0..n).map(|l| (l, 0x10_0000 + u64::from(l) * 8)).collect(),
+        });
+        t.accesses.push(TraceAccess {
+            kind: AccessKind::Store,
+            width: 8,
+            lanes: (0..n).map(|l| (l, 0x20_0000 + u64::from(l) * 8)).collect(),
+        });
+        t
+    }
+
+    #[test]
+    fn vendor_presets_diverge_on_warp_width_sensitive_pattern() {
+        let trace = [gather_block(256)];
+        let nv = replay(&MemHierSpec::nvidia_a100(), 32, &trace);
+        let amd = replay(&MemHierSpec::amd_mi250x(), 64, &trace);
+        let intel = replay(&MemHierSpec::intel_pvc(), 16, &trace);
+        let rates = [nv.l1_hit_rate(), amd.l1_hit_rate(), intel.l1_hit_rate()];
+        // All three must differ pairwise by a measurable margin.
+        assert!((rates[0] - rates[1]).abs() > 0.02, "nv {} vs amd {}", rates[0], rates[1]);
+        assert!((rates[0] - rates[2]).abs() > 0.02, "nv {} vs intel {}", rates[0], rates[2]);
+        assert!((rates[1] - rates[2]).abs() > 0.02, "amd {} vs intel {}", rates[1], rates[2]);
+    }
+
+    #[test]
+    fn coalesced_stream_has_full_sector_utilization() {
+        // copy: load a[i], store c[i], unit stride, 256B-aligned bases.
+        let mut t = BlockTrace::new(0);
+        t.accesses.push(TraceAccess {
+            kind: AccessKind::Load,
+            width: 8,
+            lanes: (0..256).map(|l| (l, u64::from(l) * 8)).collect(),
+        });
+        t.accesses.push(TraceAccess {
+            kind: AccessKind::Store,
+            width: 8,
+            lanes: (0..256).map(|l| (l, 0x10_0000 + u64::from(l) * 8)).collect(),
+        });
+        for (spec, w) in [
+            (MemHierSpec::nvidia_a100(), 32),
+            (MemHierSpec::amd_mi250x(), 64),
+            (MemHierSpec::intel_pvc(), 16),
+        ] {
+            let s = replay(&spec, w, std::slice::from_ref(&t));
+            assert!(s.sector_utilization() > 0.99, "{}", s.sector_utilization());
+            // Streaming: DRAM traffic ≈ requested bytes (fills for the
+            // load + writebacks for the store).
+            assert_eq!(s.dram_bytes, s.bytes_requested);
+        }
+    }
+
+    #[test]
+    fn strided_gather_wastes_dram_traffic() {
+        // 128B-strided 8B gather on NVIDIA: 8 useful bytes per 32B sector.
+        let mut t = BlockTrace::new(0);
+        t.accesses.push(TraceAccess {
+            kind: AccessKind::Load,
+            width: 8,
+            lanes: (0..256).map(|l| (l, u64::from(l) * 128)).collect(),
+        });
+        let s = replay(&MemHierSpec::nvidia_a100(), 32, std::slice::from_ref(&t));
+        assert!((s.sector_utilization() - 0.25).abs() < 1e-9);
+        assert_eq!(s.dram_bytes, 4 * s.bytes_requested);
+    }
+
+    #[test]
+    fn atomics_bypass_l1() {
+        let mut t = BlockTrace::new(0);
+        t.accesses.push(TraceAccess {
+            kind: AccessKind::Atomic,
+            width: 8,
+            lanes: (0..32).map(|l| (l, 0)).collect(),
+        });
+        let s = replay(&MemHierSpec::nvidia_a100(), 32, std::slice::from_ref(&t));
+        assert_eq!(s.l1_hits + s.l1_misses, 0);
+        assert_eq!(s.l2_accesses, 1, "32 lanes on one address = one L2 RMW");
+        assert_eq!(s.mshr_merges, 31);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace = [gather_block(256), gather_block(256)];
+        let a = replay(&MemHierSpec::amd_mi250x(), 64, &trace);
+        let b = replay(&MemHierSpec::amd_mi250x(), 64, &trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accounting_invariants_hold() {
+        let trace = [gather_block(256)];
+        for (spec, w) in [
+            (MemHierSpec::nvidia_a100(), 32),
+            (MemHierSpec::amd_mi250x(), 64),
+            (MemHierSpec::intel_pvc(), 16),
+        ] {
+            let s = replay(&spec, w, &trace);
+            assert_eq!(s.l2_hits + s.l2_misses, s.l2_accesses);
+            assert_eq!(s.requests, 768);
+            assert_eq!(s.bytes_requested, 768 * 8);
+            assert!(s.bytes_covered <= s.transactions * spec.sector_bytes);
+            assert_eq!(s.mshr_merges, s.requests - s.transactions);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-warp memory-access tracing.
+//!
+//! Both execution tiers can optionally record every **global-memory**
+//! access a block performs: which lanes were active, which byte address
+//! each lane touched, how wide the access was, and whether it was a
+//! load, store, or atomic. The trace is the input to the coalescer and
+//! cache models in [`crate::coalesce`] / [`crate::cache`] /
+//! [`crate::memhier`]; it is *observational only* — recording a trace
+//! never changes what a kernel computes, and the differential tests pin
+//! output buffers byte-identical with tracing on or off.
+//!
+//! Design constraints:
+//!
+//! * **Near-zero overhead when off.** Interpreters carry an
+//!   `Option<BlockTrace>`; the hot path pays one `is_some()` branch per
+//!   memory instruction when tracing is disabled.
+//! * **Tier-identical.** The scalar and vectorized tiers must emit the
+//!   same trace for the same launch: lane entries are recorded in
+//!   ascending lane order for loads/stores and in the device's
+//!   warp-round-robin commit order for atomics (the order both tiers
+//!   actually commit them in).
+//! * **Deterministic replay.** Blocks run on a thread pool and flush
+//!   their traces in nondeterministic order; [`TraceSink::into_blocks`]
+//!   sorts by block id so replay over the trace is stable run-to-run.
+
+use std::sync::Mutex;
+
+/// What kind of access a trace entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Global-memory load.
+    Load,
+    /// Global-memory store.
+    Store,
+    /// Global-memory read-modify-write (bypasses L1, served by L2).
+    Atomic,
+}
+
+/// One warp-visible memory instruction: every active lane's byte address
+/// for a single load/store/atomic, at a single width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceAccess {
+    /// Load, store, or atomic.
+    pub kind: AccessKind,
+    /// Access width in bytes per lane (1, 4, or 8 today).
+    pub width: u32,
+    /// `(lane index within the block, byte address)` per active lane.
+    /// Ascending lane order for loads/stores; warp-round-robin commit
+    /// order for atomics.
+    pub lanes: Vec<(u32, u64)>,
+}
+
+/// All traced accesses of one block, in program order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockTrace {
+    /// Linear block id within the launch.
+    pub block: u32,
+    /// The block's accesses in the order it issued them.
+    pub accesses: Vec<TraceAccess>,
+}
+
+impl BlockTrace {
+    /// An empty trace for the given block.
+    pub fn new(block: u32) -> Self {
+        Self { block, accesses: Vec::new() }
+    }
+}
+
+/// Launch-wide collector blocks flush into at block exit.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    blocks: Mutex<Vec<BlockTrace>>,
+}
+
+impl TraceSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flush one finished block's trace. Called once per block, at exit.
+    pub fn push(&self, trace: BlockTrace) {
+        self.blocks.lock().expect("trace sink poisoned").push(trace);
+    }
+
+    /// Drain the sink into a deterministic, block-id-sorted trace.
+    pub fn into_blocks(self) -> Vec<BlockTrace> {
+        let mut blocks = self.blocks.into_inner().expect("trace sink poisoned");
+        blocks.sort_by_key(|b| b.block);
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_sorts_blocks_for_deterministic_replay() {
+        let sink = TraceSink::new();
+        for block in [3u32, 0, 2, 1] {
+            let mut t = BlockTrace::new(block);
+            t.accesses.push(TraceAccess {
+                kind: AccessKind::Load,
+                width: 4,
+                lanes: vec![(0, u64::from(block) * 64)],
+            });
+            sink.push(t);
+        }
+        let blocks = sink.into_blocks();
+        let ids: Vec<u32> = blocks.iter().map(|b| b.block).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_sink_is_empty() {
+        assert!(TraceSink::new().into_blocks().is_empty());
+    }
+}

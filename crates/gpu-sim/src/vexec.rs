@@ -33,6 +33,7 @@ use crate::counters::LocalCounters;
 use crate::exec::{bin_value, BlockCtx, SharedMem};
 use crate::ir::{AtomicOp, BinOp, CmpOp, Space, Special, Type, Value};
 use crate::lower::{LvNode, LvOp, LvProgram, LvSrc};
+use crate::trace::{AccessKind, BlockTrace, TraceAccess};
 use crate::{Result, SimError};
 
 /// Execute one thread block through the vectorized tier.
@@ -58,6 +59,7 @@ pub fn run_block_lv(ctx: &BlockCtx<'_>, prog: &LvProgram, args: &[Value]) -> Res
         bools: vec![false; prog.pools.bools as usize * n],
         shared: SharedMem::new(prog.shared_bytes),
         local: LocalCounters::new(),
+        tblock: ctx.trace.map(|_| BlockTrace::new(ctx.block_id)),
     };
     for (i, (&arg, &ty)) in args.iter().zip(&prog.params).enumerate() {
         if arg.ty() != ty {
@@ -73,6 +75,9 @@ pub fn run_block_lv(ctx: &BlockCtx<'_>, prog: &LvProgram, args: &[Value]) -> Res
     v.run(&prog.body, &mask)?;
     v.local.flush(ctx.counters);
     ctx.counters.add_block(u64::from(ctx.block_dim.div_ceil(ctx.warp_width.max(1))));
+    if let (Some(sink), Some(tb)) = (ctx.trace, v.tblock.take()) {
+        sink.push(tb);
+    }
     Ok(())
 }
 
@@ -383,6 +388,9 @@ struct VInterp<'a> {
     bools: Vec<bool>,
     shared: SharedMem,
     local: LocalCounters,
+    /// Present when the launch is traced; global accesses are recorded
+    /// here and flushed to the sink at block exit.
+    tblock: Option<BlockTrace>,
 }
 
 impl<'a> VInterp<'a> {
@@ -971,6 +979,31 @@ impl<'a> VInterp<'a> {
         }
     }
 
+    /// Collect `(lane, addr)` pairs for a traced global access, in the
+    /// ascending lane order the scalar tier records. Runs as a pre-pass
+    /// with shared borrows only: the execution closures borrow the value
+    /// pools mutably, and the I64 load overwrites its own address pool.
+    /// Negative addresses are skipped — the execution loop faults on them
+    /// and the trace of a failed launch is never consumed.
+    fn trace_lanes(&self, am: In<i64>, bits: Option<&[bool]>) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            if let Some(m) = bits {
+                if !m[i] {
+                    continue;
+                }
+            }
+            let av = match am {
+                In::Base(b) => self.i64s[b + i],
+                In::Imm(v) => v,
+            };
+            if av >= 0 {
+                out.push((i as u32, av as u64));
+            }
+        }
+        out
+    }
+
     fn ld(
         &mut self,
         ty: Type,
@@ -982,6 +1015,11 @@ impl<'a> VInterp<'a> {
         let n = self.n;
         let d = dst as usize * n;
         let am = resolve(addr, n, dec_i64);
+        let tlanes = if space == Space::Global && self.tblock.is_some() {
+            self.trace_lanes(am, bits)
+        } else {
+            Vec::new()
+        };
         let size = ty.size();
         let global = self.ctx.global;
         let mut lanes = 0u64;
@@ -1048,6 +1086,15 @@ impl<'a> VInterp<'a> {
         }
         if space == Space::Global {
             self.local.bytes_read += lanes * size;
+            if !tlanes.is_empty() {
+                if let Some(tb) = self.tblock.as_mut() {
+                    tb.accesses.push(TraceAccess {
+                        kind: AccessKind::Load,
+                        width: size as u32,
+                        lanes: tlanes,
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -1062,6 +1109,11 @@ impl<'a> VInterp<'a> {
     ) -> Result<()> {
         let n = self.n;
         let am = resolve(addr, n, dec_i64);
+        let tlanes = if space == Space::Global && self.tblock.is_some() {
+            self.trace_lanes(am, bits)
+        } else {
+            Vec::new()
+        };
         let size = ty.size();
         let global = self.ctx.global;
         let mut lanes = 0u64;
@@ -1130,6 +1182,15 @@ impl<'a> VInterp<'a> {
         }
         if space == Space::Global {
             self.local.bytes_written += lanes * size;
+            if !tlanes.is_empty() {
+                if let Some(tb) = self.tblock.as_mut() {
+                    tb.accesses.push(TraceAccess {
+                        kind: AccessKind::Store,
+                        width: size as u32,
+                        lanes: tlanes,
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -1147,6 +1208,8 @@ impl<'a> VInterp<'a> {
     ) -> Result<()> {
         let n = self.n;
         let mut lanes = 0u64;
+        let tracing = space == Space::Global && self.tblock.is_some();
+        let mut tlanes: Vec<(u32, u64)> = Vec::new();
         // Warp-round-robin commit order, identical to the scalar tier's
         // `round_robin` (the order is a function of the warp width).
         for i in crate::exec::round_robin_indices(n, self.w) {
@@ -1160,6 +1223,9 @@ impl<'a> VInterp<'a> {
                 LvSrc::Imm(b) => dec_i64(b),
             };
             let a = lane_addr(av)?;
+            if tracing {
+                tlanes.push((i as u32, a));
+            }
             let v = self.read_value(ty, value, i);
             let old = match space {
                 Space::Global => self.ctx.global.atomic_rmw(a, op, v)?,
@@ -1183,6 +1249,13 @@ impl<'a> VInterp<'a> {
             lanes += 1;
         }
         self.local.atomics += lanes;
+        if tracing && !tlanes.is_empty() {
+            self.tblock.as_mut().expect("tracing checked").accesses.push(TraceAccess {
+                kind: AccessKind::Atomic,
+                width: ty.size() as u32,
+                lanes: tlanes,
+            });
+        }
         Ok(())
     }
 }
@@ -1219,6 +1292,7 @@ mod tests {
                 grid_dim: 1,
                 block_dim,
                 warp_width,
+                trace: None,
             };
             let res =
                 if vectorized { run_block_lv(&ctx, &prog, &args) } else { run_block(&ctx, &args) };

@@ -9,6 +9,7 @@ use crate::failover::FailoverStats;
 use crate::job::JobCompletion;
 use crate::service::{Service, ServiceCounts};
 use mcmm_core::taxonomy::Vendor;
+use mcmm_gpu_sim::{MemStats, TransferStats};
 use serde::Serialize;
 
 /// Percentile summary over per-job modeled latencies (microseconds).
@@ -59,6 +60,15 @@ pub struct DeviceReport {
     /// `busy_s / makespan` — the fraction of the run this device was
     /// doing modeled work.
     pub utilization: f64,
+    /// Host→device bytes moved over the run.
+    pub h2d_bytes: u64,
+    /// Device→host bytes moved over the run.
+    pub d2h_bytes: u64,
+    /// L1 hit rate over traced launches; `None` when nothing was traced
+    /// (the default: tracing off, analytic timing).
+    pub l1_hit_rate: Option<f64>,
+    /// L2 hit rate over traced launches; `None` when nothing was traced.
+    pub l2_hit_rate: Option<f64>,
 }
 
 /// Compile-cache behaviour over the run.
@@ -178,22 +188,34 @@ impl ServeReport {
             .fold(mcmm_gpu_sim::ProgramCacheStats::default(), |acc, s| acc.merged(s));
         let latencies: Vec<f64> = completions.iter().map(|c| c.latency.seconds()).collect();
 
-        let clocks: Vec<(Vendor, f64, u64, String)> = Vendor::ALL
+        let clocks: Vec<(Vendor, f64, u64, String, TransferStats, Option<MemStats>)> = Vendor::ALL
             .into_iter()
             .map(|v| {
                 let dev = service.device(v);
-                (v, dev.modeled_clock().seconds(), dev.launches(), dev.spec().name.to_string())
+                let mem = (dev.mem_launches() > 0).then(|| dev.mem_stats());
+                (
+                    v,
+                    dev.modeled_clock().seconds(),
+                    dev.launches(),
+                    dev.spec().name.to_string(),
+                    dev.transfer_stats(),
+                    mem,
+                )
             })
             .collect();
         let makespan = clocks.iter().map(|c| c.1).fold(0.0f64, f64::max);
         let devices = clocks
             .into_iter()
-            .map(|(v, busy, launches, device)| DeviceReport {
+            .map(|(v, busy, launches, device, xfer, mem)| DeviceReport {
                 vendor: v.to_string(),
                 device,
                 launches,
                 busy_s: busy,
                 utilization: if makespan > 0.0 { busy / makespan } else { 0.0 },
+                h2d_bytes: xfer.h2d_bytes,
+                d2h_bytes: xfer.d2h_bytes,
+                l1_hit_rate: mem.map(|m| m.l1_hit_rate()),
+                l2_hit_rate: mem.map(|m| m.l2_hit_rate()),
             })
             .collect();
 
@@ -290,13 +312,23 @@ impl ServeReport {
             self.wall_ms
         ));
         for d in &self.devices {
+            let caches = match (d.l1_hit_rate, d.l2_hit_rate) {
+                (Some(l1), Some(l2)) => {
+                    format!(", L1 {:.0}% / L2 {:.0}% hit", l1 * 100.0, l2 * 100.0)
+                }
+                _ => String::new(),
+            };
             out.push_str(&format!(
-                "  {:<7} {:<22} {:>4} launches, busy {:.3} ms, {:>5.1}% utilized\n",
+                "  {:<7} {:<22} {:>4} launches, busy {:.3} ms, {:>5.1}% utilized, \
+                 xfer {:.2} MB in / {:.2} MB out{}\n",
                 d.vendor,
                 d.device,
                 d.launches,
                 d.busy_s * 1e3,
-                d.utilization * 100.0
+                d.utilization * 100.0,
+                d.h2d_bytes as f64 / 1e6,
+                d.d2h_bytes as f64 / 1e6,
+                caches
             ));
         }
         if let Some(f) = &self.failover {

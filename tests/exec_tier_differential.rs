@@ -151,6 +151,7 @@ fn tiers_agree_on_analyzer_corpus() {
                 grid_dim: entry.opts.grid_dim,
                 block_dim: entry.opts.block_dim,
                 warp_width: entry.opts.warp_width,
+                trace: None,
             };
             let res =
                 if vectorized { run_block_lv(&ctx, &prog, &[]) } else { run_block(&ctx, &[]) };
@@ -191,6 +192,7 @@ fn racecheck_stays_on_the_scalar_tier() {
         grid_dim: racy.opts.grid_dim,
         block_dim: racy.opts.block_dim,
         warp_width: racy.opts.warp_width,
+        trace: None,
     };
     let findings = run_block_racecheck(&ctx, &[]).expect("race kernel takes no arguments");
     set_process_exec_tier(None);

@@ -1,0 +1,100 @@
+//! Property tests for the analytic timing model: adding work of any kind
+//! — instructions, bytes, atomics, barriers, blocks, warps — can never
+//! make a launch's modeled time smaller, on any vendor device. The
+//! trace-driven tier shares the property in its memory statistics: more
+//! L2 or DRAM traffic never models faster.
+
+use many_models::gpu_sim::counters::LaunchStats;
+use many_models::gpu_sim::timing::{kernel_time, kernel_time_traced};
+use many_models::gpu_sim::{DeviceSpec, MemStats};
+use proptest::prelude::*;
+
+/// Large enough to exercise both compute- and memory-bound regimes, small
+/// enough that u64→f64 conversion stays exact (< 2^53).
+const BIG: u64 = 1 << 40;
+
+fn bump(mut s: LaunchStats, field: usize, by: u64) -> LaunchStats {
+    match field % 8 {
+        0 => s.warp_instructions += by,
+        1 => s.warp_arith += by,
+        2 => s.bytes_read += by,
+        3 => s.bytes_written += by,
+        4 => s.atomics += by,
+        5 => s.barriers += by,
+        6 => s.blocks += by,
+        _ => s.warps += by,
+    }
+    s
+}
+
+fn bump_mem(mut m: MemStats, field: usize, by: u64) -> MemStats {
+    match field % 3 {
+        0 => m.l2_accesses += by,
+        1 => m.dram_bytes += by,
+        _ => m.transactions += by,
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `kernel_time` is monotone (non-strictly) in every `LaunchStats`
+    /// field, at native and translated efficiencies, on every vendor.
+    #[test]
+    fn kernel_time_is_monotone_in_every_stat(
+        issue in (0..BIG, 0..BIG, 0..BIG, 0..BIG),
+        retire in (0..BIG, 0..BIG, 0..BIG, 0..BIG),
+        field in 0..8usize,
+        by in 1..BIG,
+    ) {
+        let (wi, wa, br, bw) = issue;
+        let (at, ba, bl, wp) = retire;
+        let base = LaunchStats {
+            warp_instructions: wi,
+            warp_arith: wa,
+            bytes_read: br,
+            bytes_written: bw,
+            atomics: at,
+            barriers: ba,
+            blocks: bl,
+            warps: wp,
+        };
+        let more = bump(base, field, by);
+        for spec in DeviceSpec::presets() {
+            for eff in [1.0, 0.8] {
+                let t0 = kernel_time(&spec, &base, eff).seconds();
+                let t1 = kernel_time(&spec, &more, eff).seconds();
+                prop_assert!(
+                    t1 >= t0,
+                    "{}: bumping field {} by {} went {} -> {} (eff {})",
+                    spec.name, field % 8, by, t0, t1, eff
+                );
+            }
+        }
+    }
+
+    /// The trace-driven tier is monotone in the memory statistics that
+    /// carry its cost terms (L2 accesses, DRAM bytes, transactions).
+    #[test]
+    fn traced_time_is_monotone_in_memory_traffic(
+        traffic in (0..BIG, 0..BIG, 0..BIG),
+        instrs in 0..BIG,
+        field in 0..3usize,
+        by in 1..BIG,
+    ) {
+        let (l2, dram, tx) = traffic;
+        let stats = LaunchStats { warp_instructions: instrs, ..Default::default() };
+        let base = MemStats { l2_accesses: l2, dram_bytes: dram, transactions: tx, ..Default::default() };
+        let more = bump_mem(base, field, by);
+        for spec in DeviceSpec::presets() {
+            let t0 = kernel_time_traced(&spec, &stats, &base, 1.0).seconds();
+            let t1 = kernel_time_traced(&spec, &stats, &more, 1.0).seconds();
+            prop_assert!(
+                t1 >= t0,
+                "{}: bumping mem field {} by {} went {} -> {}",
+                spec.name, field % 3, by, t0, t1
+            );
+        }
+    }
+}
