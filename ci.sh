@@ -33,6 +33,13 @@ echo "â”€â”€ memory-hierarchy smoke â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”
 # and the per-vendor L1 hit rates genuinely diverge.
 cargo run --release -p mcmm-bench --bin memhier -- --smoke
 
+echo "â”€â”€ http front-door smoke â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€"
+# Seeded duplicate-heavy workload through the gateway's real HTTP surface
+# (loopback client pool), twice over one artifact directory: asserts every
+# response byte-identical to serial execution, >0 coalesced submissions,
+# and a warm-restart hit rate strictly above cold with zero warm compiles.
+cargo run --release -p mcmm-bench --bin serve-http -- --smoke
+
 echo "â”€â”€ adapter boilerplate guard â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€"
 # The blanket FrontendAdapter replaced nine hand-written BabelStream
 # adapters (1321 lines pre-refactor). Fail if per-model adapter

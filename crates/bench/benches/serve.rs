@@ -99,7 +99,7 @@ fn bench_workload(c: &mut Criterion) {
     let mut g = c.benchmark_group("workload");
     let registry = Registry::paper();
     let workload = Workload::generate(
-        WorkloadConfig { jobs: 60, seed: 0xBEEF, n: 64, chain_percent: 40 },
+        WorkloadConfig { jobs: 60, seed: 0xBEEF, n: 64, chain_percent: 40, duplicate_percent: 0 },
         &registry,
     );
     g.bench_function("replay_60_jobs_concurrent", |b| {

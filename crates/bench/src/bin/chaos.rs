@@ -43,11 +43,15 @@ struct Outcome {
 
 /// One full pass: fresh service, fresh injector, sequential failover run.
 fn run(jobs: usize, seed: u64, policy: FailoverPolicy) -> Outcome {
-    let service = Service::new(ServeConfig::default());
-    let injector = FaultInjector::new(storm(seed));
+    let service = std::sync::Arc::new(Service::new(ServeConfig::default()));
+    let injector = std::sync::Arc::new(FaultInjector::new(storm(seed)));
     let workload =
         Workload::generate(WorkloadConfig { jobs, seed, ..Default::default() }, service.registry());
-    let mut router = FailoverRouter::new(&service, &injector, policy);
+    let mut router = FailoverRouter::new(
+        std::sync::Arc::clone(&service),
+        std::sync::Arc::clone(&injector),
+        policy,
+    );
     let wall = Instant::now();
     let outputs = router.run(&workload);
     service.drain();

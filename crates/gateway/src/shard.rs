@@ -1,0 +1,194 @@
+//! One gateway shard: a full vendor device trio behind its own failover
+//! router, with a bounded admission queue.
+//!
+//! Sharding is by submission fingerprint ([`crate::api::ValidSubmit::key`]
+//! modulo shard count), so identical submissions always land on the same
+//! shard — which is what lets the per-shard coalescer see them overlap —
+//! while distinct work spreads across shards, each with its own simulated
+//! NVIDIA/AMD/Intel devices, compile cache, and circuit breakers.
+
+use crate::coalesce::{CoalesceStats, Coalescer};
+use mcmm_chaos::{ChaosConfig, FaultInjector};
+use mcmm_serve::{BreakerState, FailoverPolicy, FailoverRouter, PlannedJob, ServeConfig, Service};
+use mcmm_toolchain::{CompileCache, DiskStats, Registry};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Admission refusal of a shard: the queue is over its bound. Mirrors the
+/// serving layer's `SubmitError::QueueFull` shape so the HTTP mapping
+/// (503 + `Retry-After`) is uniform.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardQueueFull {
+    /// Requests pending on the shard at refusal time.
+    pub depth: usize,
+    /// How many completions must drain before a retry can be admitted.
+    pub retry_after_jobs: usize,
+}
+
+/// One shard of the gateway.
+pub struct Shard {
+    /// Shard index within the gateway.
+    pub index: usize,
+    service: Arc<Service>,
+    router: Mutex<FailoverRouter>,
+    /// Per-shard single-flight table (identical submissions are routed to
+    /// one shard, so per-shard tables lose no merges).
+    pub coalescer: Coalescer,
+    pending: AtomicUsize,
+    queue_bound: usize,
+    /// Monotone plan index handed to the router per executed job (feeds
+    /// its deterministic backoff jitter).
+    seq: AtomicU64,
+    executed: AtomicU64,
+}
+
+impl Shard {
+    /// Bring up a shard: its own service over the paper registry and the
+    /// given compile cache (typically disk-backed and shard-private), a
+    /// quiet fault injector, and a failover router with recording off —
+    /// a server outlives any bounded trace buffer.
+    pub fn new(
+        index: usize,
+        cfg: ServeConfig,
+        cache: Arc<CompileCache>,
+        policy: FailoverPolicy,
+        chaos: ChaosConfig,
+        queue_bound: usize,
+    ) -> Self {
+        let service = Arc::new(Service::with_cache(cfg, Registry::paper(), cache));
+        let injector = Arc::new(FaultInjector::new(chaos));
+        let mut router = FailoverRouter::new(Arc::clone(&service), Arc::clone(&injector), policy);
+        router.set_record(false);
+        Self {
+            index,
+            service,
+            router: Mutex::new(router),
+            coalescer: Coalescer::new(),
+            pending: AtomicUsize::new(0),
+            queue_bound: queue_bound.max(1),
+            seq: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        }
+    }
+
+    /// Admit one request into the shard's queue, or refuse with the
+    /// queue-full shape. Admission must be paired with [`Shard::run`]
+    /// (which releases the slot) or [`Shard::release`].
+    pub fn admit(&self) -> Result<(), ShardQueueFull> {
+        let depth = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
+        if depth > self.queue_bound {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            Err(ShardQueueFull { depth, retry_after_jobs: depth - self.queue_bound })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Release an admitted slot without executing (coalesced followers).
+    pub fn release(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Execute one admitted job through the failover router and release
+    /// the slot. Returns the read-back bytes and the serving route, or
+    /// `None` if the job was lost (exhausted every route).
+    pub fn run(&self, job: &PlannedJob) -> Option<(Vec<u8>, String)> {
+        let plan_idx = self.seq.fetch_add(1, Ordering::Relaxed);
+        let outcome = self.router.lock().run_one(plan_idx, job);
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+        outcome
+    }
+
+    /// Requests currently admitted and not yet finished.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Jobs actually executed (coalesced followers excluded).
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// The shard's service (device + cache access for reports).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Circuit-breaker states of the shard's router.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.router.lock().breaker_states()
+    }
+
+    /// Coalescing counters of the shard.
+    pub fn coalesce_stats(&self) -> CoalesceStats {
+        self.coalescer.stats()
+    }
+
+    /// Compile-cache counters (memory tier).
+    pub fn cache_stats(&self) -> mcmm_toolchain::CacheStats {
+        self.service.cache().stats()
+    }
+
+    /// Disk-tier counters, when the cache is disk-backed.
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.service.cache().disk_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmm_core::taxonomy::{Language, Model, Vendor};
+    use mcmm_serve::{KernelShape, PlannedInput};
+
+    fn job() -> PlannedJob {
+        PlannedJob {
+            shape: KernelShape::Scale,
+            model: Model::Cuda,
+            language: Language::Cpp,
+            vendor: Vendor::Nvidia,
+            a: 2.0,
+            x: PlannedInput::Fresh(vec![1.0, 2.0, 3.0, 4.0]),
+            y: vec![0.0; 4],
+            n: 4,
+        }
+    }
+
+    fn shard(queue_bound: usize) -> Shard {
+        Shard::new(
+            0,
+            ServeConfig::default(),
+            Arc::new(CompileCache::default()),
+            FailoverPolicy::default(),
+            ChaosConfig::quiet(1),
+            queue_bound,
+        )
+    }
+
+    #[test]
+    fn executes_a_job_end_to_end() {
+        let s = shard(8);
+        s.admit().unwrap();
+        let (bytes, route) = s.run(&job()).expect("quiet shard must not lose jobs");
+        // y = a·x with a=2: [2,4,6,8] as f32 LE bytes.
+        let want: Vec<u8> = [2.0f32, 4.0, 6.0, 8.0].iter().flat_map(|v| v.to_le_bytes()).collect();
+        assert_eq!(bytes, want);
+        assert!(!route.is_empty());
+        assert_eq!(s.pending(), 0, "slot must be released");
+        assert_eq!(s.executed(), 1);
+    }
+
+    #[test]
+    fn queue_bound_refuses_with_retry_hint() {
+        let s = shard(2);
+        s.admit().unwrap();
+        s.admit().unwrap();
+        let full = s.admit().unwrap_err();
+        assert_eq!(full.retry_after_jobs, 1);
+        assert_eq!(s.pending(), 2, "refused request must not hold a slot");
+        s.release();
+        assert!(s.admit().is_ok(), "drained slot re-admits");
+    }
+}

@@ -1,0 +1,176 @@
+//! Acceptance: the HTTP front-door end to end over real loopback sockets.
+//!
+//! Everything here goes through the wire — the worker-pool accept loop,
+//! keep-alive parsing, both response framings, JSON (de)serialization —
+//! against a gateway with live simulated devices behind it.
+
+use mcmm_gateway::{
+    Gateway, GatewayConfig, HttpClient, HttpServer, SubmitRequest, SubmitResponse, TenantPolicy,
+};
+use mcmm_gpu_sim::diffval::fnv1a;
+use std::sync::Arc;
+
+fn start(cfg: GatewayConfig) -> HttpServer {
+    let gateway = Arc::new(Gateway::new(cfg).expect("gateway up"));
+    HttpServer::start("127.0.0.1:0", gateway, 4).expect("server up")
+}
+
+fn scale_request(a: f32, n: usize) -> SubmitRequest {
+    SubmitRequest {
+        tenant: "acceptance".into(),
+        shape: "scale".into(),
+        model: "CUDA".into(),
+        language: "C++".into(),
+        vendor: "NVIDIA".into(),
+        a,
+        x: (0..n).map(|i| i as f32).collect(),
+        y: vec![0.0; n],
+    }
+}
+
+fn post_submit(client: &mut HttpClient, req: &SubmitRequest) -> (u16, Vec<u8>) {
+    let body = serde_json::to_string(req).unwrap();
+    client.request("POST", "/v1/submit", Some(body.as_bytes())).expect("exchange")
+}
+
+#[test]
+fn submit_over_http_returns_the_serial_checksum() {
+    let server = start(GatewayConfig { shards: 2, ..GatewayConfig::default() });
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let req = scale_request(2.0, 8);
+    let (status, body) = post_submit(&mut client, &req);
+    assert_eq!(status, 200, "body: {}", String::from_utf8_lossy(&body));
+    let resp: SubmitResponse = serde_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+    let want: Vec<u8> = (0..8).map(|i| 2.0 * i as f32).flat_map(|v| v.to_le_bytes()).collect();
+    assert_eq!(resp.checksum, format!("{:016x}", fnv1a(&want)));
+    assert!(!resp.route.is_empty(), "response must name the serving route");
+
+    // Keep-alive: the same connection serves a second exchange.
+    let (status, _) = post_submit(&mut client, &scale_request(3.0, 8));
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn read_endpoints_serve_json_over_both_framings() {
+    let server = start(GatewayConfig { shards: 1, ..GatewayConfig::default() });
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    // /healthz uses content-length framing.
+    let (status, body) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    let health: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(health["status"], "ok");
+    // /v1/matrix and /v1/routes use chunked framing.
+    for path in ["/v1/matrix", "/v1/routes"] {
+        let (status, body) = client.request("GET", path, None).unwrap();
+        assert_eq!(status, 200);
+        let parsed: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert!(!parsed.as_array().unwrap().is_empty(), "{path} must list entries");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_map_to_the_right_statuses() {
+    let server = start(GatewayConfig { shards: 1, ..GatewayConfig::default() });
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let (status, _) = client.request("GET", "/v1/nope", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.request("DELETE", "/healthz", None).unwrap();
+    assert_eq!(status, 405);
+    // Hardened JSON reader: trailing garbage is a positioned 400.
+    let (status, body) =
+        client.request("POST", "/v1/submit", Some(br#"{"tenant":"x"} extra"#)).unwrap();
+    assert_eq!(status, 400);
+    let err = String::from_utf8_lossy(&body).to_string();
+    assert!(err.contains("at byte"), "error must carry a position: {err}");
+    // Unknown shape is a validation 400.
+    let mut bad = scale_request(1.0, 4);
+    bad.shape = "stencil".into();
+    let (status, _) = post_submit(&mut client, &bad);
+    assert_eq!(status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn throttled_tenant_gets_429_with_retry_after() {
+    let server = start(GatewayConfig {
+        shards: 1,
+        tenant: TenantPolicy { burst: 2.0, per_second: 0.0001 },
+        ..GatewayConfig::default()
+    });
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let mut statuses = Vec::new();
+    for i in 0..4 {
+        let (status, _) = post_submit(&mut client, &scale_request(1.0 + i as f32, 4));
+        statuses.push(status);
+    }
+    assert_eq!(statuses.iter().filter(|&&s| s == 200).count(), 2);
+    assert_eq!(statuses.iter().filter(|&&s| s == 429).count(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_submissions_coalesce_over_http() {
+    let server = start(GatewayConfig { shards: 1, ..GatewayConfig::default() });
+    let addr = server.addr();
+    // A large buffer lengthens the execution window; 8 clients fire the
+    // byte-identical request into it simultaneously.
+    let req = Arc::new(scale_request(2.0, 4096));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let req = Arc::clone(&req);
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                // Several rounds so overlap is effectively certain.
+                let mut checksums = Vec::new();
+                for _ in 0..8 {
+                    let body = serde_json::to_string(&*req).unwrap();
+                    let (status, resp) =
+                        client.request("POST", "/v1/submit", Some(body.as_bytes())).unwrap();
+                    assert_eq!(status, 200);
+                    let resp: SubmitResponse =
+                        serde_json::from_str(std::str::from_utf8(&resp).unwrap()).unwrap();
+                    checksums.push(resp.checksum);
+                }
+                checksums
+            })
+        })
+        .collect();
+    let all: Vec<String> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    assert!(all.windows(2).all(|w| w[0] == w[1]), "every waiter gets one result");
+    let stats = server.gateway().stats();
+    assert!(
+        stats.coalesce_joins > 0,
+        "64 identical concurrent submissions must coalesce at least once: {stats:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn disk_tier_keeps_the_gateway_warm_across_restarts() {
+    let dir = std::env::temp_dir().join(format!("mcmm-gateway-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg =
+        || GatewayConfig { shards: 2, artifact_dir: Some(dir.clone()), ..GatewayConfig::default() };
+    // Cold process: compiles, persists.
+    let server = start(cfg());
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let (status, _) = post_submit(&mut client, &scale_request(2.0, 16));
+    assert_eq!(status, 200);
+    let cold = server.gateway().stats();
+    assert!(cold.disk_fills > 0, "cold run must persist artifacts: {cold:?}");
+    server.shutdown();
+    // Warm process: same directory, no compiles for the same work.
+    let server = start(cfg());
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let (status, _) = post_submit(&mut client, &scale_request(2.0, 16));
+    assert_eq!(status, 200);
+    let warm = server.gateway().stats();
+    assert!(warm.disk_hits > 0, "warm restart must serve from disk: {warm:?}");
+    assert_eq!(warm.disk_fills, 0, "warm restart must not recompile: {warm:?}");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

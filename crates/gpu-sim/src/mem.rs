@@ -47,13 +47,23 @@ impl GlobalMemory {
     pub fn new(size: u64) -> Self {
         let size = (size + 7) & !7;
         let nwords = (size / 8) as usize;
-        let mut v = Vec::with_capacity(nwords);
-        v.resize_with(nwords, || AtomicU64::new(0));
-        Self {
-            words: v.into_boxed_slice(),
-            size,
-            free: Mutex::new(vec![FreeBlock { start: 0, len: size }]),
-        }
+        // Go through `vec![0u64; n]`, which takes the zeroed-page
+        // allocation path: a simulated 256 MB device then costs address
+        // space, not physically touched pages, so bringing up many
+        // devices at once (e.g. the gateway's shards) is cheap.
+        // Constructing the words one `AtomicU64::new(0)` at a time
+        // faults in every page up front — multi-second, sys-time-bound
+        // construction on small machines.
+        const _: () = assert!(
+            std::mem::size_of::<AtomicU64>() == std::mem::size_of::<u64>()
+                && std::mem::align_of::<AtomicU64>() == std::mem::align_of::<u64>()
+        );
+        let zeroed: Box<[u64]> = vec![0u64; nwords].into_boxed_slice();
+        // SAFETY: `AtomicU64` has the same size, alignment, and bit
+        // validity as `u64` (asserted above), and all-zero bits are the
+        // valid value 0; the box's allocation is passed through unchanged.
+        let words = unsafe { Box::from_raw(Box::into_raw(zeroed) as *mut [AtomicU64]) };
+        Self { words, size, free: Mutex::new(vec![FreeBlock { start: 0, len: size }]) }
     }
 
     /// Total capacity in bytes.

@@ -171,10 +171,15 @@ fn worker_loop(me: usize, local: Worker<Job>, shared: Arc<Shared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                // Park until new work or shutdown.
+                // Park until new work or shutdown. No timeout: `execute`
+                // pushes before it takes `idle_lock` to notify, and this
+                // emptiness check holds the same lock, so a wakeup can
+                // never be lost — and idle workers otherwise cost nothing
+                // (a periodic-poll fallback here serializes the whole
+                // simulator on low-core machines once many devices exist).
                 let mut g = shared.idle_lock.lock();
                 if shared.injector.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
-                    shared.idle_cv.wait_for(&mut g, std::time::Duration::from_millis(1));
+                    shared.idle_cv.wait(&mut g);
                 }
             }
         }

@@ -45,6 +45,7 @@ use mcmm_core::taxonomy::{Language, Model, Vendor};
 use mcmm_toolchain::probe::route_health;
 use serde::Serialize;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Failover tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -144,11 +145,25 @@ struct PlanRoute {
     support: Support,
 }
 
-/// The failover router. Borrows the service and the injector; owns the
-/// breaker state, quarantine set, traces, and stats.
-pub struct FailoverRouter<'a> {
-    service: &'a Service,
-    injector: &'a FaultInjector,
+/// One (route, vendor) circuit breaker, as surfaced by `/healthz`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BreakerState {
+    /// Toolchain name of the route.
+    pub route: String,
+    /// Target vendor.
+    pub vendor: String,
+    /// Consecutive failures booked since the last success.
+    pub consecutive_failures: u32,
+    /// Tripped (quarantined)? Open breakers are skipped at admission.
+    pub open: bool,
+}
+
+/// The failover router. Shares the service and the injector by `Arc` (so
+/// long-lived owners like gateway shards need no borrow lifetime); owns
+/// the breaker state, quarantine set, traces, and stats.
+pub struct FailoverRouter {
+    service: Arc<Service>,
+    injector: Arc<FaultInjector>,
     policy: FailoverPolicy,
     matrix: CompatMatrix,
     /// Consecutive-failure counters per (route, vendor).
@@ -159,12 +174,20 @@ pub struct FailoverRouter<'a> {
     traces: Vec<FailoverTrace>,
     /// Completion records of the successful final attempts, for reports.
     completions: Vec<JobCompletion>,
+    /// Keep per-job traces and completions? Long-running servers turn
+    /// this off so memory stays bounded by the breaker table, not the
+    /// request count; aggregate [`FailoverStats`] accumulate either way.
+    record: bool,
 }
 
-impl<'a> FailoverRouter<'a> {
+impl FailoverRouter {
     /// Build a router over a service and an injector, planning against
     /// the paper's matrix.
-    pub fn new(service: &'a Service, injector: &'a FaultInjector, policy: FailoverPolicy) -> Self {
+    pub fn new(
+        service: Arc<Service>,
+        injector: Arc<FaultInjector>,
+        policy: FailoverPolicy,
+    ) -> Self {
         Self {
             service,
             injector,
@@ -175,7 +198,20 @@ impl<'a> FailoverRouter<'a> {
             stats: FailoverStats::default(),
             traces: Vec::new(),
             completions: Vec::new(),
+            record: true,
         }
+    }
+
+    /// Toggle per-job trace/completion recording (on by default). With it
+    /// off, [`FailoverRouter::traces`] and
+    /// [`FailoverRouter::completions`] stay empty.
+    pub fn set_record(&mut self, record: bool) {
+        self.record = record;
+    }
+
+    /// The service this router submits to.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
     }
 
     /// Aggregate stats so far.
@@ -199,6 +235,26 @@ impl<'a> FailoverRouter<'a> {
         self.quarantined.contains(&(route.to_owned(), vendor))
     }
 
+    /// Every (route, vendor) breaker with at least one booked failure or
+    /// an open quarantine, sorted by (route, vendor) — the `/healthz`
+    /// payload of the front-door.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        let mut keys: BTreeSet<(String, Vendor)> = self.breaker.keys().cloned().collect();
+        keys.extend(self.quarantined.iter().cloned());
+        keys.into_iter()
+            .map(|(route, vendor)| BreakerState {
+                open: self.quarantined.contains(&(route.clone(), vendor)),
+                consecutive_failures: self
+                    .breaker
+                    .get(&(route.clone(), vendor))
+                    .copied()
+                    .unwrap_or(0),
+                vendor: vendor.to_string(),
+                route,
+            })
+            .collect()
+    }
+
     /// Run a workload job by job, reacting to failures. Returns each
     /// job's read-back bytes (`None` = the job was lost). With failover
     /// enabled and a bounded fault budget, no job should be lost; with it
@@ -208,7 +264,7 @@ impl<'a> FailoverRouter<'a> {
         let mut outputs = Vec::with_capacity(workload.jobs.len());
         for (plan_idx, job) in workload.jobs.iter().enumerate() {
             match self.run_job(plan_idx as u64, job, &ids) {
-                Some((id, bytes)) => {
+                Some((id, bytes, _route)) => {
                     ids.push(id);
                     outputs.push(Some(bytes));
                 }
@@ -321,22 +377,43 @@ impl<'a> FailoverRouter<'a> {
         from
     }
 
+    /// Run one *standalone* planned job (no dependencies on earlier jobs)
+    /// through the full failover machinery: retries, route switches, and
+    /// breakers all apply, and the breaker state persists into the next
+    /// call. Returns the read-back bytes plus the toolchain name of the
+    /// route that finally served the job, or `None` if it was lost. This
+    /// is the gateway's per-request entry point.
+    pub fn run_one(
+        &mut self,
+        plan_idx: u64,
+        job: &crate::workload::PlannedJob,
+    ) -> Option<(Vec<u8>, String)> {
+        if let Some((_, bytes, route)) = self.run_job(plan_idx, job, &[]) {
+            Some((bytes, route))
+        } else {
+            self.stats.lost += 1;
+            None
+        }
+    }
+
     /// Run one planned job to success or loss.
     fn run_job(
         &mut self,
         plan_idx: u64,
         job: &crate::workload::PlannedJob,
         ids: &[JobId],
-    ) -> Option<(JobId, Vec<u8>)> {
+    ) -> Option<(JobId, Vec<u8>, String)> {
         let plan = self.plan_for(job.model, job.language, job.vendor);
         if plan.is_empty() {
-            self.traces.push(FailoverTrace {
-                job: plan_idx,
-                planned_route: String::new(),
-                attempts: Vec::new(),
-                final_route: None,
-                rating_delta: 0,
-            });
+            if self.record {
+                self.traces.push(FailoverTrace {
+                    job: plan_idx,
+                    planned_route: String::new(),
+                    attempts: Vec::new(),
+                    final_route: None,
+                    rating_delta: 0,
+                });
+            }
             return None;
         }
         let planned = plan[0].clone();
@@ -384,11 +461,13 @@ impl<'a> FailoverRouter<'a> {
                             if trace.rating_delta > 0 {
                                 self.stats.degraded += 1;
                             }
-                            self.traces.push(trace);
                             let id = done.id;
                             let bytes = done.output.clone().unwrap_or_default();
-                            self.completions.push(done);
-                            return Some((id, bytes));
+                            if self.record {
+                                self.traces.push(trace);
+                                self.completions.push(done);
+                            }
+                            return Some((id, bytes, route.name));
                         }
                         Some(e) => e.to_string(),
                     }
@@ -426,7 +505,9 @@ impl<'a> FailoverRouter<'a> {
                 backoff_us,
             });
         }
-        self.traces.push(trace);
+        if self.record {
+            self.traces.push(trace);
+        }
         None
     }
 }

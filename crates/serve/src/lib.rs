@@ -34,8 +34,10 @@ pub mod report;
 pub mod service;
 pub mod workload;
 
-pub use failover::{AttemptRecord, FailoverPolicy, FailoverRouter, FailoverStats, FailoverTrace};
+pub use failover::{
+    AttemptRecord, BreakerState, FailoverPolicy, FailoverRouter, FailoverStats, FailoverTrace,
+};
 pub use job::{ArgSpec, JobCompletion, JobId, JobSpec, SubmitError};
 pub use report::{DeviceReport, LatencyStats, PortabilityRow, ServeReport};
 pub use service::{JobHandle, ServeConfig, Service, ServiceCounts, SubmitOptions};
-pub use workload::{run_serial, KernelShape, PlannedInput, Workload, WorkloadConfig};
+pub use workload::{run_serial, KernelShape, PlannedInput, PlannedJob, Workload, WorkloadConfig};

@@ -201,6 +201,17 @@ impl Service {
 
     /// Bring up the service over an arbitrary (e.g. evolved) registry.
     pub fn with_registry(cfg: ServeConfig, registry: Registry) -> Self {
+        let cache = Arc::new(CompileCache::new(cfg.cache_capacity));
+        Self::with_cache(cfg, registry, cache)
+    }
+
+    /// Bring up the service over an externally owned compile cache —
+    /// typically one backed by a disk tier
+    /// ([`CompileCache::with_disk`](mcmm_toolchain::CompileCache::with_disk))
+    /// shared with other services or surviving across process restarts.
+    /// `cfg.cache_capacity` is ignored; the injected cache's own capacity
+    /// governs.
+    pub fn with_cache(cfg: ServeConfig, registry: Registry, cache: Arc<CompileCache>) -> Self {
         let lanes = Vendor::ALL
             .into_iter()
             .map(|v| {
@@ -221,7 +232,7 @@ impl Service {
             .collect();
         Self {
             registry,
-            cache: Arc::new(CompileCache::new(cfg.cache_capacity)),
+            cache,
             lanes,
             jobs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),

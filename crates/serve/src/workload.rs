@@ -18,7 +18,7 @@ use mcmm_gpu_sim::device::{Device, KernelArg, LaunchConfig};
 use mcmm_gpu_sim::ir::{BinOp, CmpOp, KernelBuilder, KernelIr, Space, Type};
 use mcmm_gpu_sim::mem::DevicePtr;
 use mcmm_toolchain::{vendor_device_spec, CompileCache, Registry};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Deterministic 64-bit generator (splitmix64 seeding + xorshift64*).
@@ -72,6 +72,17 @@ impl KernelShape {
     pub const ALL: [KernelShape; 4] =
         [KernelShape::Copy, KernelShape::Scale, KernelShape::Saxpy, KernelShape::Triad];
 
+    /// Wire name of the shape (the `shape` field of the gateway's submit
+    /// API).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelShape::Copy => "copy",
+            KernelShape::Scale => "scale",
+            KernelShape::Saxpy => "saxpy",
+            KernelShape::Triad => "triad",
+        }
+    }
+
     /// Build the shape's kernel IR.
     pub fn kernel(self) -> KernelIr {
         let name = match self {
@@ -116,6 +127,18 @@ impl KernelShape {
             KernelShape::Saxpy => a * x + y,
             KernelShape::Triad => x + a * y,
         }
+    }
+}
+
+impl std::str::FromStr for KernelShape {
+    type Err = String;
+
+    /// Parse a wire name (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        KernelShape::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown kernel shape `{s}` (copy, scale, saxpy, triad)"))
     }
 }
 
@@ -192,11 +215,20 @@ pub struct WorkloadConfig {
     /// Percent (0–100) of jobs that chain onto the previous job on the
     /// same device instead of uploading fresh input.
     pub chain_percent: usize,
+    /// Percent (0–100) of jobs that *replay* an earlier fresh-input job
+    /// verbatim — identical `(fingerprint, route, args)` down to the byte,
+    /// drawn from the last few fresh jobs so replays land close to their
+    /// originals in submission order. This is what makes the gateway's
+    /// in-flight request coalescing measurable, and because a replay is a
+    /// pure re-execution of identical inputs, the serial reference stays
+    /// byte-identical. `0` (the default) consumes no generator draws, so
+    /// plans with the knob off are bit-identical to pre-knob plans.
+    pub duplicate_percent: usize,
 }
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        Self { jobs: 500, seed: 0xC0FFEE, n: 256, chain_percent: 40 }
+        Self { jobs: 500, seed: 0xC0FFEE, n: 256, chain_percent: 40, duplicate_percent: 0 }
     }
 }
 
@@ -231,8 +263,25 @@ impl Workload {
         let mut rng = Rng::new(cfg.seed);
         // The most recent plan index whose output lives on each device.
         let mut last_on: BTreeMap<Vendor, usize> = BTreeMap::new();
-        let mut jobs = Vec::with_capacity(cfg.jobs);
+        // Plan indices of recent fresh-input jobs — replay candidates.
+        let mut recent_fresh: VecDeque<usize> = VecDeque::new();
+        let mut jobs: Vec<PlannedJob> = Vec::with_capacity(cfg.jobs);
         for i in 0..cfg.jobs {
+            // Short-circuit keeps the draw sequence (and thus every plan)
+            // bit-identical to pre-knob generators when the knob is off.
+            let duplicate = cfg.duplicate_percent > 0
+                && rng.below(100) < cfg.duplicate_percent
+                && !recent_fresh.is_empty();
+            if duplicate {
+                let src = recent_fresh[rng.below(recent_fresh.len())];
+                // A verbatim replay: identical route, shape, scalars, and
+                // input bytes — the same (fingerprint, route, args) key the
+                // coalescer and the compile cache see. Replays do not join
+                // the chain topology (`last_on` is left alone), so the DAG
+                // is the same with or without them.
+                jobs.push(jobs[src].clone());
+                continue;
+            }
             let (model, language, vendor) = combos[rng.below(combos.len())];
             let shape = KernelShape::ALL[rng.below(KernelShape::ALL.len())];
             let a = 0.25 + rng.below(8) as f32 * 0.25;
@@ -244,6 +293,12 @@ impl Workload {
                 ),
             };
             let y = (0..cfg.n).map(|j| rng.below(16) as f32 + j as f32 * 0.0625).collect();
+            if matches!(x, PlannedInput::Fresh(_)) {
+                recent_fresh.push_back(i);
+                if recent_fresh.len() > 8 {
+                    recent_fresh.pop_front();
+                }
+            }
             last_on.insert(vendor, i);
             jobs.push(PlannedJob { shape, model, language, vendor, a, x, y, n: cfg.n });
         }
@@ -320,7 +375,8 @@ mod tests {
     #[test]
     fn same_seed_same_plan() {
         let reg = Registry::paper();
-        let cfg = WorkloadConfig { jobs: 40, seed: 7, n: 64, chain_percent: 50 };
+        let cfg =
+            WorkloadConfig { jobs: 40, seed: 7, n: 64, chain_percent: 50, duplicate_percent: 0 };
         let a = Workload::generate(cfg, &reg);
         let b = Workload::generate(cfg, &reg);
         assert_eq!(a.jobs.len(), b.jobs.len());
@@ -357,7 +413,7 @@ mod tests {
     fn chains_stay_on_one_device() {
         let reg = Registry::paper();
         let w = Workload::generate(
-            WorkloadConfig { jobs: 200, seed: 3, n: 32, chain_percent: 70 },
+            WorkloadConfig { jobs: 200, seed: 3, n: 32, chain_percent: 70, duplicate_percent: 0 },
             &reg,
         );
         for (i, job) in w.jobs.iter().enumerate() {
@@ -379,6 +435,86 @@ mod tests {
         let (m, v) = w.coverage();
         assert_eq!(m.len(), 9, "500 jobs must touch all 9 frontends");
         assert_eq!(v.len(), 3, "500 jobs must touch all 3 devices");
+    }
+
+    #[test]
+    fn duplicate_knob_replays_jobs_verbatim() {
+        let reg = Registry::paper();
+        let cfg =
+            WorkloadConfig { jobs: 300, seed: 11, n: 32, chain_percent: 30, duplicate_percent: 40 };
+        let w = Workload::generate(cfg, &reg);
+        // Count exact replays: a later job equal to an earlier one in
+        // every submission-visible field.
+        let is_dup = |a: &PlannedJob, b: &PlannedJob| {
+            a.shape == b.shape
+                && (a.model, a.language, a.vendor) == (b.model, b.language, b.vendor)
+                && a.a == b.a
+                && a.y == b.y
+                && a.n == b.n
+                && matches!(
+                    (&a.x, &b.x),
+                    (PlannedInput::Fresh(da), PlannedInput::Fresh(db)) if da == db
+                )
+        };
+        let dups = w
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(i, job)| w.jobs[..*i].iter().any(|prev| is_dup(prev, job)))
+            .count();
+        assert!(dups > 30, "40% duplicate rate produced only {dups}/300 replays");
+        // Replays must produce identical JobSpecs — same kernel
+        // fingerprint, route, and argument bytes (what the coalescer keys
+        // on). Spot-check the first replay pair.
+        let (i, job) = w
+            .jobs
+            .iter()
+            .enumerate()
+            .find(|(i, j)| w.jobs[..*i].iter().any(|p| is_dup(p, j)))
+            .unwrap();
+        let src = w.jobs[..i].iter().find(|p| is_dup(p, job)).unwrap();
+        let ids: Vec<crate::JobId> = Vec::new();
+        let (sa, sb) = (src.to_spec(&ids), job.to_spec(&ids));
+        assert_eq!(sa.kernel.fingerprint(), sb.kernel.fingerprint());
+        assert_eq!((sa.model, sa.language, sa.vendor), (sb.model, sb.language, sb.vendor));
+    }
+
+    #[test]
+    fn duplicate_knob_off_leaves_plans_bit_identical() {
+        // duplicate_percent: 0 must not consume generator draws, so plans
+        // match the pre-knob generator for the same seed.
+        let reg = Registry::paper();
+        let base =
+            WorkloadConfig { jobs: 80, seed: 5, n: 16, chain_percent: 40, duplicate_percent: 0 };
+        let a = Workload::generate(base, &reg);
+        let b = Workload::generate(WorkloadConfig { duplicate_percent: 0, ..base }, &reg);
+        assert_eq!(a.jobs.len(), b.jobs.len());
+        for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(ja.a, jb.a);
+            assert_eq!(ja.shape, jb.shape);
+        }
+    }
+
+    #[test]
+    fn duplicates_replay_deterministically_per_seed() {
+        let reg = Registry::paper();
+        let cfg =
+            WorkloadConfig { jobs: 120, seed: 21, n: 16, chain_percent: 0, duplicate_percent: 50 };
+        let a = Workload::generate(cfg, &reg);
+        let b = Workload::generate(cfg, &reg);
+        for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(ja.a, jb.a);
+            assert_eq!((ja.model, ja.vendor), (jb.model, jb.vendor));
+        }
+    }
+
+    #[test]
+    fn shape_names_round_trip() {
+        for shape in KernelShape::ALL {
+            assert_eq!(shape.name().parse::<KernelShape>().unwrap(), shape);
+            assert_eq!(shape.name().to_uppercase().parse::<KernelShape>().unwrap(), shape);
+        }
+        assert!("stencil".parse::<KernelShape>().is_err());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use mcmm_serve::{
 const SEED: u64 = 0xC0FFEE;
 
 fn small_workload() -> WorkloadConfig {
-    WorkloadConfig { jobs: 120, seed: SEED, n: 64, chain_percent: 40 }
+    WorkloadConfig { jobs: 120, seed: SEED, n: 64, chain_percent: 40, duplicate_percent: 0 }
 }
 
 /// The storm used across these tests: transient faults everywhere plus a
@@ -31,10 +31,14 @@ struct RunOutcome {
 }
 
 fn run_with(policy: FailoverPolicy) -> RunOutcome {
-    let service = Service::new(ServeConfig::default());
-    let injector = FaultInjector::new(storm());
+    let service = std::sync::Arc::new(Service::new(ServeConfig::default()));
+    let injector = std::sync::Arc::new(FaultInjector::new(storm()));
     let workload = Workload::generate(small_workload(), service.registry());
-    let mut router = FailoverRouter::new(&service, &injector, policy);
+    let mut router = FailoverRouter::new(
+        std::sync::Arc::clone(&service),
+        std::sync::Arc::clone(&injector),
+        policy,
+    );
     let outputs = router.run(&workload);
     service.drain();
     RunOutcome { outputs, stats: router.stats().clone() }
@@ -90,10 +94,14 @@ fn whole_run_replays_from_the_seed() {
 
 #[test]
 fn quarantined_routes_are_skipped_at_admission() {
-    let service = Service::new(ServeConfig::default());
-    let injector = FaultInjector::new(storm());
+    let service = std::sync::Arc::new(Service::new(ServeConfig::default()));
+    let injector = std::sync::Arc::new(FaultInjector::new(storm()));
     let workload = Workload::generate(small_workload(), service.registry());
-    let mut router = FailoverRouter::new(&service, &injector, FailoverPolicy::default());
+    let mut router = FailoverRouter::new(
+        std::sync::Arc::clone(&service),
+        std::sync::Arc::clone(&injector),
+        FailoverPolicy::default(),
+    );
     router.run(&workload);
     service.drain();
 

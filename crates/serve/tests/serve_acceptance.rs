@@ -423,7 +423,13 @@ fn two_services_with_the_same_seed_agree() {
     // Service-level determinism: same seed, two independent service
     // instances, identical outputs (and identical cache behaviour).
     let registry = Registry::paper();
-    let cfg = WorkloadConfig { jobs: 120, seed: 0xDEAD_BEEF, n: 128, chain_percent: 50 };
+    let cfg = WorkloadConfig {
+        jobs: 120,
+        seed: 0xDEAD_BEEF,
+        n: 128,
+        chain_percent: 50,
+        duplicate_percent: 0,
+    };
     let workload = Workload::generate(cfg, &registry);
     // Sanity: the plan contains chains (dependencies), not just islands.
     assert!(

@@ -22,6 +22,7 @@
 //!   exactly like the underlying compiler.
 
 use crate::compiler::{CompileError, VirtualCompiler};
+use crate::diskcache::{DiskStats, DiskTier};
 use mcmm_core::taxonomy::{Language, Model, Vendor};
 use mcmm_gpu_sim::ir::KernelIr;
 use mcmm_gpu_sim::Module;
@@ -121,6 +122,9 @@ pub struct CompileCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Optional persistent tier probed on memory misses and filled on
+    /// compiles; survives process restarts (see [`DiskTier`]).
+    disk: Option<Arc<DiskTier>>,
 }
 
 impl CompileCache {
@@ -132,12 +136,29 @@ impl CompileCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            disk: None,
         }
+    }
+
+    /// A cache backed by a disk-persisted artifact tier: memory misses
+    /// probe `disk` before compiling, and every fresh compile is persisted
+    /// there, so artifacts stay warm across process restarts. Sharing one
+    /// [`DiskTier`] between caches (or processes) is safe — entries are
+    /// published atomically and validated by checksum on read.
+    pub fn with_disk(capacity: usize, disk: Arc<DiskTier>) -> Self {
+        let mut cache = Self::new(capacity);
+        cache.disk = Some(disk);
+        cache
     }
 
     /// Maximum resident artifacts before LRU eviction.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The disk tier's counters, if one is attached.
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.disk.as_ref().map(|d| d.stats())
     }
 
     /// Compile through the cache: serve the artifact if the (kernel, route)
@@ -197,17 +218,39 @@ impl CompileCache {
                 return Ok((Arc::clone(&e.module), true));
             }
         }
-        // Miss: compile outside the lock so concurrent fills of *different*
-        // keys don't serialize. Two racing fills of the same key both
-        // compile; the first insert wins and the loser adopts it.
+        // Memory miss: probe the persistent tier before anything else. A
+        // disk-resident artifact rides out an injected toolchain fault for
+        // the same reason a memory-resident one does — the toolchain is
+        // never invoked. The boolean stays `true`: from the caller's view
+        // this request was served by the cache, not compiled.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(disk) = &self.disk {
+            if let Some(module) = disk.load(&key) {
+                let module = self.admit(key, Arc::new(module));
+                return Ok((module, true));
+            }
+        }
         if let Some(reason) = fault {
             return Err(CompileError::ToolchainFault {
                 toolchain: compiler.name.to_owned(),
                 reason: reason.to_owned(),
             });
         }
+        // Compile outside the lock so concurrent fills of *different* keys
+        // don't serialize. Two racing fills of the same key both compile;
+        // the first insert wins and the loser adopts it.
         let module = Arc::new(compiler.compile(kernel, model, language, vendor)?);
+        if let Some(disk) = &self.disk {
+            disk.store(&key, &module);
+        }
+        Ok((self.admit(key, module), false))
+    }
+
+    /// Admit an artifact into the memory tier (first insert wins on a
+    /// race) and evict least-recently-used entries beyond capacity —
+    /// never the one just admitted, which is the most recently used by
+    /// construction.
+    fn admit(&self, key: CacheKey, module: Arc<Module>) -> Arc<Module> {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -218,8 +261,6 @@ impl CompileCache {
             last_used: tick,
         });
         let module = Arc::clone(&resident.module);
-        // Evict least-recently-used entries beyond capacity (never the one
-        // just requested — it is the most recently used by construction).
         while inner.map.len() > self.capacity {
             let lru = inner
                 .map
@@ -230,7 +271,7 @@ impl CompileCache {
             inner.map.remove(&lru);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        Ok((module, false))
+        module
     }
 
     /// Aggregate counters; safe to read while other threads compile.
@@ -428,6 +469,83 @@ mod tests {
         assert_eq!(stats.hits, 2);
         assert!(stats.artifact_bytes > 0);
         assert!(stats.last_used > stats.filled_at);
+    }
+
+    fn disk_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mcmm-cache-disk-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_tier_keeps_artifacts_warm_across_restarts() {
+        let dir = disk_dir("warm");
+        let c = native_cuda();
+        let k = smoke_kernel();
+        // "First process": compiles once, persists the artifact.
+        let cold = CompileCache::with_disk(8, Arc::new(DiskTier::open(&dir).unwrap()));
+        let (m1, hit) = cold.compile(&c, &k, Model::Cuda, Language::Cpp, Vendor::Nvidia).unwrap();
+        assert!(!hit);
+        assert_eq!(cold.disk_stats().unwrap().fills, 1);
+        // "Restarted process": empty memory tier, same artifact directory.
+        let warm = CompileCache::with_disk(8, Arc::new(DiskTier::open(&dir).unwrap()));
+        let (m2, hit) = warm.compile(&c, &k, Model::Cuda, Language::Cpp, Vendor::Nvidia).unwrap();
+        assert!(hit, "restart must serve the persisted artifact as a hit");
+        assert_eq!(*m1, *m2, "persisted artifact must be byte-identical");
+        let ds = warm.disk_stats().unwrap();
+        assert_eq!((ds.hits, ds.fills), (1, 0), "warm run must not recompile");
+        // Second request is a plain memory hit — disk untouched.
+        let (_, hit) = warm.compile(&c, &k, Model::Cuda, Language::Cpp, Vendor::Nvidia).unwrap();
+        assert!(hit);
+        assert_eq!(warm.disk_stats().unwrap().hits, 1);
+    }
+
+    #[test]
+    fn disk_hit_rides_out_toolchain_fault() {
+        let dir = disk_dir("fault");
+        let c = native_cuda();
+        let k = smoke_kernel();
+        CompileCache::with_disk(8, Arc::new(DiskTier::open(&dir).unwrap()))
+            .compile(&c, &k, Model::Cuda, Language::Cpp, Vendor::Nvidia)
+            .unwrap();
+        // Restart with a flaky toolchain: the persisted artifact absorbs
+        // the fault exactly like a memory-resident one would.
+        let warm = CompileCache::with_disk(8, Arc::new(DiskTier::open(&dir).unwrap()));
+        let (_, hit) = warm
+            .compile_faulted(&c, &k, Model::Cuda, Language::Cpp, Vendor::Nvidia, Some("oom"))
+            .unwrap();
+        assert!(hit, "disk-resident artifact must ride out a toolchain fault");
+    }
+
+    #[test]
+    fn corrupt_disk_entry_falls_back_to_recompile() {
+        let dir = disk_dir("corrupt");
+        let c = native_cuda();
+        let k = smoke_kernel();
+        let tier = Arc::new(DiskTier::open(&dir).unwrap());
+        let cold = CompileCache::with_disk(8, Arc::clone(&tier));
+        let (m1, _) = cold.compile(&c, &k, Model::Cuda, Language::Cpp, Vendor::Nvidia).unwrap();
+        // Corrupt the single entry file in place.
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.path().extension().is_some_and(|x| x == "mcmmart"))
+            .unwrap()
+            .path();
+        std::fs::write(&entry, b"garbage").unwrap();
+        // Restart: the damaged entry is a miss, the compile re-fills it,
+        // and the caller still gets a correct artifact.
+        let warm = CompileCache::with_disk(8, Arc::new(DiskTier::open(&dir).unwrap()));
+        let (m2, hit) = warm.compile(&c, &k, Model::Cuda, Language::Cpp, Vendor::Nvidia).unwrap();
+        assert!(!hit, "corrupt entry must not be served");
+        assert_eq!(*m1, *m2, "recompile must reproduce the artifact");
+        let ds = warm.disk_stats().unwrap();
+        assert_eq!((ds.invalid, ds.fills), (1, 1));
+        // And the re-fill is valid: one more restart serves it warm.
+        let again = CompileCache::with_disk(8, Arc::new(DiskTier::open(&dir).unwrap()));
+        let (_, hit) = again.compile(&c, &k, Model::Cuda, Language::Cpp, Vendor::Nvidia).unwrap();
+        assert!(hit, "re-filled entry must serve the next restart");
     }
 
     #[test]

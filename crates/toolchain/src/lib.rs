@@ -16,12 +16,14 @@
 
 pub mod cache;
 pub mod compiler;
+pub mod diskcache;
 pub mod efficiency;
 pub mod probe;
 pub mod registry;
 
 pub use cache::{CacheStats, CompileCache};
 pub use compiler::{CompileError, VirtualCompiler};
+pub use diskcache::{DiskStats, DiskTier};
 pub use mcmm_gpu_sim::{set_process_exec_tier, ExecTier, ProgramCacheStats};
 pub use registry::{select, select_best, Registry};
 

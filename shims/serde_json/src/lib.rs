@@ -7,24 +7,52 @@
 //! with `Deserialize`. Output shape matches real serde_json (compact with
 //! no spaces; pretty with two-space indent; struct fields in declaration
 //! order).
+//!
+//! The reader is hardened for **network input** (the gateway feeds it raw
+//! HTTP bodies): trailing garbage after the document is rejected, nesting
+//! depth is capped at [`MAX_DEPTH`] so a hostile `[[[[…` body cannot blow
+//! the stack, and every error carries the byte offset it was detected at
+//! ([`Error::position`]) — including truncated bodies, which report the
+//! end-of-input offset instead of a positionless "unexpected end".
 
 pub use serde::Value;
+
+/// Maximum nesting depth (arrays + objects) the parser accepts. Deeper
+/// documents are rejected with a positioned error rather than recursing
+/// toward a stack overflow — this parser runs on untrusted network bodies.
+pub const MAX_DEPTH: usize = 64;
 
 /// Error from serialization or parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
     msg: String,
+    pos: Option<usize>,
 }
 
 impl Error {
     fn new(msg: impl Into<String>) -> Self {
-        Self { msg: msg.into() }
+        Self { msg: msg.into(), pos: None }
+    }
+
+    fn at(msg: impl Into<String>, pos: usize) -> Self {
+        Self { msg: msg.into(), pos: Some(pos) }
+    }
+
+    /// Byte offset in the input where the error was detected, when the
+    /// error came from parsing (decode errors from `Deserialize` have no
+    /// position). For truncated input this is the input length — the
+    /// point where more bytes were expected.
+    pub fn position(&self) -> Option<usize> {
+        self.pos
     }
 }
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.msg)
+        match self.pos {
+            Some(p) => write!(f, "{} at byte {p}", self.msg),
+            None => f.write_str(&self.msg),
+        }
     }
 }
 
@@ -53,7 +81,7 @@ pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error>
 
 /// Deserialize a value from JSON text.
 pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
-    let value = Parser { bytes: s.as_bytes(), pos: 0 }.parse_document()?;
+    let value = Parser { bytes: s.as_bytes(), pos: 0, depth: 0 }.parse_document()?;
     Ok(T::from_value(&value)?)
 }
 
@@ -65,6 +93,8 @@ pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current array/object nesting depth, capped at [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -72,7 +102,7 @@ impl Parser<'_> {
         let v = self.parse_value()?;
         self.skip_ws();
         if self.pos != self.bytes.len() {
-            return Err(Error::new(format!("trailing characters at byte {}", self.pos)));
+            return Err(Error::at("trailing characters after document", self.pos));
         }
         Ok(v)
     }
@@ -83,9 +113,14 @@ impl Parser<'_> {
         }
     }
 
+    /// Truncated-input error, positioned at the end of the bytes.
+    fn truncated(&self, what: &str) -> Error {
+        Error::at(format!("unexpected end of input ({what})"), self.bytes.len())
+    }
+
     fn peek(&mut self) -> Result<u8, Error> {
         self.skip_ws();
-        self.bytes.get(self.pos).copied().ok_or_else(|| Error::new("unexpected end of input"))
+        self.bytes.get(self.pos).copied().ok_or_else(|| self.truncated("expected a value"))
     }
 
     fn expect(&mut self, b: u8) -> Result<(), Error> {
@@ -93,7 +128,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::new(format!("expected `{}` at byte {}", b as char, self.pos)))
+            Err(Error::at(format!("expected `{}`", b as char), self.pos))
         }
     }
 
@@ -102,8 +137,18 @@ impl Parser<'_> {
             self.pos += kw.len();
             Ok(())
         } else {
-            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+            Err(Error::at("invalid literal", self.pos))
         }
+    }
+
+    /// Enter one nesting level, rejecting documents deeper than
+    /// [`MAX_DEPTH`]. The caller must pair it with a `depth -= 1`.
+    fn descend(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::at(format!("nesting deeper than {MAX_DEPTH} levels"), self.pos));
+        }
+        Ok(())
     }
 
     fn parse_value(&mut self) -> Result<Value, Error> {
@@ -115,15 +160,17 @@ impl Parser<'_> {
             b'[' => self.parse_array(),
             b'{' => self.parse_object(),
             b'-' | b'0'..=b'9' => self.parse_number(),
-            c => Err(Error::new(format!("unexpected `{}` at byte {}", c as char, self.pos))),
+            c => Err(Error::at(format!("unexpected `{}`", c as char), self.pos)),
         }
     }
 
     fn parse_array(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         if self.peek()? == b']' {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -132,13 +179,14 @@ impl Parser<'_> {
                 b',' => self.pos += 1,
                 b']' => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 c => {
-                    return Err(Error::new(format!(
-                        "expected `,` or `]`, found `{}` at byte {}",
-                        c as char, self.pos
-                    )))
+                    return Err(Error::at(
+                        format!("expected `,` or `]`, found `{}`", c as char),
+                        self.pos,
+                    ))
                 }
             }
         }
@@ -146,9 +194,11 @@ impl Parser<'_> {
 
     fn parse_object(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut entries = Vec::new();
         if self.peek()? == b'}' {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(entries));
         }
         loop {
@@ -160,13 +210,14 @@ impl Parser<'_> {
                 b',' => self.pos += 1,
                 b'}' => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(entries));
                 }
                 c => {
-                    return Err(Error::new(format!(
-                        "expected `,` or `}}`, found `{}` at byte {}",
-                        c as char, self.pos
-                    )))
+                    return Err(Error::at(
+                        format!("expected `,` or `}}`, found `{}`", c as char),
+                        self.pos,
+                    ))
                 }
             }
         }
@@ -176,7 +227,8 @@ impl Parser<'_> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
-            let c = *self.bytes.get(self.pos).ok_or_else(|| Error::new("unterminated string"))?;
+            let c =
+                *self.bytes.get(self.pos).ok_or_else(|| self.truncated("unterminated string"))?;
             self.pos += 1;
             match c {
                 b'"' => return Ok(out),
@@ -184,7 +236,7 @@ impl Parser<'_> {
                     let esc = *self
                         .bytes
                         .get(self.pos)
-                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                        .ok_or_else(|| self.truncated("unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -204,17 +256,22 @@ impl Parser<'_> {
                                     let low = self.parse_hex4()?;
                                     0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
                                 } else {
-                                    return Err(Error::new("lone surrogate"));
+                                    return Err(Error::at("lone surrogate", self.pos));
                                 }
                             } else {
                                 unit
                             };
                             out.push(
                                 char::from_u32(code)
-                                    .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                                    .ok_or_else(|| Error::at("invalid \\u escape", self.pos))?,
                             );
                         }
-                        c => return Err(Error::new(format!("invalid escape `\\{}`", c as char))),
+                        c => {
+                            return Err(Error::at(
+                                format!("invalid escape `\\{}`", c as char),
+                                self.pos - 1,
+                            ))
+                        }
                     }
                 }
                 _ => {
@@ -225,7 +282,7 @@ impl Parser<'_> {
                         end += 1;
                     }
                     let s = std::str::from_utf8(&self.bytes[start..end])
-                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                        .map_err(|_| Error::at("invalid UTF-8 in string", start))?;
                     out.push_str(s);
                     self.pos = end;
                 }
@@ -237,10 +294,10 @@ impl Parser<'_> {
         let hex = self
             .bytes
             .get(self.pos..self.pos + 4)
-            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+            .ok_or_else(|| self.truncated("truncated \\u escape"))?;
         self.pos += 4;
-        let s = std::str::from_utf8(hex).map_err(|_| Error::new("invalid \\u escape"))?;
-        u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid \\u escape"))
+        let s = std::str::from_utf8(hex).map_err(|_| Error::at("invalid \\u escape", self.pos))?;
+        u32::from_str_radix(s, 16).map_err(|_| Error::at("invalid \\u escape", self.pos))
     }
 
     fn parse_number(&mut self) -> Result<Value, Error> {
@@ -268,7 +325,7 @@ impl Parser<'_> {
         }
         text.parse::<f64>()
             .map(Value::Float)
-            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+            .map_err(|_| Error::at(format!("invalid number `{text}`"), start))
     }
 }
 
@@ -317,5 +374,57 @@ mod tests {
         assert!(from_str::<Value>("{").is_err());
         assert!(from_str::<Value>("1 2").is_err());
         assert!(from_str::<Value>("nul").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_with_position() {
+        for (text, at) in [("1 2", 2), ("{} x", 3), ("[1],", 3), ("true false", 5)] {
+            let err = from_str::<Value>(text).unwrap_err();
+            assert!(err.to_string().contains("trailing characters"), "{text}: {err}");
+            assert_eq!(err.position(), Some(at), "{text}");
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_report_end_of_input_position() {
+        // Each prefix is a legal JSON prefix cut mid-document: the error
+        // must be positioned at the input length (where bytes ran out).
+        for text in ["{\"a\": 1", "[1, 2", "\"abc", "{\"key", "[{\"x\": ", "\"esc\\"] {
+            let err = from_str::<Value>(text).unwrap_err();
+            assert!(err.to_string().contains("unexpected end of input"), "{text}: {err}");
+            assert_eq!(err.position(), Some(text.len()), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn depth_cap_rejects_hostile_nesting() {
+        // MAX_DEPTH levels parse; MAX_DEPTH + 1 is rejected, not recursed.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(from_str::<Value>(&ok).is_ok());
+        let deep = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let err = from_str::<Value>(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting deeper"), "{err}");
+        // Positioned just past the bracket that exceeded the budget.
+        assert_eq!(err.position(), Some(MAX_DEPTH + 1));
+        // Mixed arrays/objects share one depth budget.
+        let mixed =
+            "{\"a\":".repeat(40) + &"[".repeat(40) + "1" + &"]".repeat(40) + &"}".repeat(40);
+        assert!(from_str::<Value>(&mixed).is_err());
+    }
+
+    #[test]
+    fn depth_resets_between_siblings() {
+        // Wide-but-shallow documents are fine: depth tracks nesting, not
+        // element count.
+        let wide = format!("[{}]", vec!["[1]"; 200].join(","));
+        assert!(from_str::<Value>(&wide).is_ok());
+    }
+
+    #[test]
+    fn invalid_numbers_are_positioned() {
+        let err = from_str::<Value>("[1, -]").unwrap_err();
+        assert_eq!(err.position(), Some(4), "{err}");
+        let err = from_str::<Value>("[1e]").unwrap_err();
+        assert_eq!(err.position(), Some(1), "{err}");
     }
 }
