@@ -20,9 +20,12 @@ echo "â”€â”€ chaos smoke â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â
 cargo run --release -p mcmm-bench --bin chaos -- --smoke
 
 echo "â”€â”€ exec tier smoke â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€"
-# Scalar vs vectorized execution tiers: asserts the vectorized tier is at
-# least as fast in aggregate, buffers are byte-identical between tiers,
-# and repeat launches hit the lowered-program cache.
+# Scalar vs vectorized execution tiers at O0 and O2: asserts the
+# vectorized tier is at least as fast in aggregate, buffers are
+# byte-identical between tiers AND optimization levels, O2 keeps the O0
+# speedup (monotonicity, with a smoke-size noise allowance), the O2 runs
+# actually went through the SSA middle-end, and repeat launches hit the
+# lowered-program cache at every level.
 cargo run --release -p mcmm-bench --bin exec -- --smoke
 
 echo "â”€â”€ memory-hierarchy smoke â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€"

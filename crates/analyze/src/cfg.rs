@@ -12,7 +12,7 @@
 //! in this crate uses the same numbering, so locations in diagnostics can
 //! be cross-referenced between checks.
 
-use mcmm_gpu_sim::ir::{Instr, KernelIr, Reg};
+use mcmm_gpu_sim::ir::{walk, Instr, KernelIr, Reg, Step};
 
 /// A basic-block index into [`Cfg::blocks`].
 pub type BlockId = usize;
@@ -83,6 +83,18 @@ pub struct Cfg {
 struct Lowerer {
     blocks: Vec<Block>,
     next_loc: u32,
+    /// The block straight-line instructions currently land in.
+    cur: BlockId,
+    /// One frame per open `If`/`While` bracket of the structured walk.
+    open: Vec<Frame>,
+}
+
+/// Bracket state for one open control instruction during the event-driven
+/// lowering: everything needed to wire edges at the `ElseArm`/`LoopBody`
+/// and `Exit` events.
+enum Frame {
+    If { else_head: BlockId, join: BlockId },
+    While { header: BlockId, loop_exit: BlockId },
 }
 
 impl Lowerer {
@@ -97,47 +109,74 @@ impl Lowerer {
         l
     }
 
-    /// Lower a structured sequence starting in `cur`; returns the block
-    /// control falls out of.
-    fn lower_seq(&mut self, body: &[Instr], mut cur: BlockId) -> BlockId {
-        for instr in body {
-            let loc = self.loc();
-            match instr {
-                Instr::If { cond, then_, else_ } => {
+    /// Consume one event of the shared structured walk
+    /// ([`mcmm_gpu_sim::ir::walk`]). Pre-order locations fall out of the
+    /// event order: every `Enter` takes the next location, so control
+    /// instructions are numbered before their children exactly as before.
+    fn step(&mut self, step: Step<'_>) {
+        match step {
+            Step::Enter(instr @ (Instr::If { cond, .. } | Instr::While { cond, .. })) => {
+                let _ = self.loc();
+                if matches!(instr, Instr::If { .. }) {
                     let then_head = self.new_block();
                     let else_head = self.new_block();
                     let join = self.new_block();
-                    self.blocks[cur].term =
+                    self.blocks[self.cur].term =
                         Terminator::Branch { cond: *cond, then_: then_head, else_: else_head };
-                    let t_end = self.lower_seq(then_, then_head);
-                    self.blocks[t_end].term = Terminator::Jump(join);
-                    let e_end = self.lower_seq(else_, else_head);
-                    self.blocks[e_end].term = Terminator::Jump(join);
-                    cur = join;
-                }
-                Instr::While { cond_block, cond, body } => {
+                    self.open.push(Frame::If { else_head, join });
+                    self.cur = then_head;
+                } else {
                     let header = self.new_block();
-                    let body_head = self.new_block();
                     let loop_exit = self.new_block();
-                    self.blocks[cur].term = Terminator::Jump(header);
-                    let h_end = self.lower_seq(cond_block, header);
-                    self.blocks[h_end].term =
-                        Terminator::Branch { cond: *cond, then_: body_head, else_: loop_exit };
-                    let b_end = self.lower_seq(body, body_head);
-                    self.blocks[b_end].term = Terminator::Jump(header);
-                    cur = loop_exit;
+                    self.blocks[self.cur].term = Terminator::Jump(header);
+                    self.open.push(Frame::While { header, loop_exit });
+                    self.cur = header;
                 }
-                Instr::Trap { .. } => {
-                    self.blocks[cur].instrs.push((loc, instr.clone()));
-                    self.blocks[cur].term = Terminator::Return;
-                    // Anything after a trap in the same sequence is
-                    // unreachable; give it a fresh (pred-less) block.
-                    cur = self.new_block();
-                }
-                _ => self.blocks[cur].instrs.push((loc, instr.clone())),
             }
+            Step::ElseArm(_) => {
+                let Some(Frame::If { else_head, join }) = self.open.last() else {
+                    unreachable!("ElseArm outside an open If")
+                };
+                let (else_head, join) = (*else_head, *join);
+                self.blocks[self.cur].term = Terminator::Jump(join);
+                self.cur = else_head;
+            }
+            Step::LoopBody(Instr::While { cond, .. }) => {
+                let Some(Frame::While { loop_exit, .. }) = self.open.last() else {
+                    unreachable!("LoopBody outside an open While")
+                };
+                let loop_exit = *loop_exit;
+                let body_head = self.new_block();
+                self.blocks[self.cur].term =
+                    Terminator::Branch { cond: *cond, then_: body_head, else_: loop_exit };
+                self.cur = body_head;
+            }
+            Step::Exit(_) => match self.open.pop().expect("Exit matches an open bracket") {
+                Frame::If { join, .. } => {
+                    self.blocks[self.cur].term = Terminator::Jump(join);
+                    self.cur = join;
+                }
+                Frame::While { header, loop_exit } => {
+                    self.blocks[self.cur].term = Terminator::Jump(header);
+                    self.cur = loop_exit;
+                }
+            },
+            Step::Enter(instr @ Instr::Trap { .. }) => {
+                let loc = self.loc();
+                let cur = self.cur;
+                self.blocks[cur].instrs.push((loc, instr.clone()));
+                self.blocks[cur].term = Terminator::Return;
+                // Anything after a trap in the same sequence is
+                // unreachable; give it a fresh (pred-less) block.
+                self.cur = self.new_block();
+            }
+            Step::Enter(instr) => {
+                let loc = self.loc();
+                let cur = self.cur;
+                self.blocks[cur].instrs.push((loc, instr.clone()));
+            }
+            Step::LoopBody(_) => unreachable!("LoopBody always carries a While"),
         }
-        cur
     }
 }
 
@@ -145,9 +184,12 @@ impl Cfg {
     /// Lower a kernel body into a CFG with a single entry and a single
     /// synthetic exit.
     pub fn build(kernel: &KernelIr) -> Cfg {
-        let mut lw = Lowerer { blocks: Vec::new(), next_loc: 0 };
+        let mut lw = Lowerer { blocks: Vec::new(), next_loc: 0, cur: 0, open: Vec::new() };
         let entry = lw.new_block();
-        let last = lw.lower_seq(&kernel.body, entry);
+        lw.cur = entry;
+        walk(&kernel.body, &mut |step| lw.step(step));
+        debug_assert!(lw.open.is_empty(), "walk closes every bracket");
+        let last = lw.cur;
         let exit = lw.new_block();
         lw.blocks[last].term = Terminator::Jump(exit);
         // Blocks ended by `Trap` keep `Return`; route them to the exit so

@@ -41,5 +41,6 @@ pub use registry::{Frontend, FrontendRegistry};
 pub use session::{shared_cache, DeviceBuffer, ExecutionSession};
 
 pub use mcmm_toolchain::{
-    set_process_exec_tier, CacheStats, CompileCache, ExecTier, ProgramCacheStats,
+    set_process_exec_tier, set_process_opt_level, CacheStats, CompileCache, ExecTier, OptLevel,
+    OptStats, ProgramCacheStats,
 };

@@ -21,6 +21,7 @@ use crate::mem::{DevicePtr, GlobalMemory};
 use crate::memhier::{replay, MemHierSpec, MemStats};
 use crate::pool::ThreadPool;
 use crate::sched::SchedulePolicy;
+use crate::ssa::OptLevel;
 use crate::timing::{kernel_time, kernel_time_traced, transfer_time, ModeledTime};
 use crate::trace::TraceSink;
 use crate::vexec::run_block_lv;
@@ -187,6 +188,20 @@ fn resolve_tracing() -> bool {
             std::env::var("MCMM_MEM_TRACE").as_deref(),
             Ok("1") | Ok("on") | Ok("true") | Ok("ON") | Ok("TRUE")
         ),
+    }
+}
+
+/// `OptLevel` knob encoding for the device field (tag + 1, mirroring the
+/// tier encodings; 0 is reserved for "unset" in the process override).
+fn opt_as_u8(level: OptLevel) -> u8 {
+    level.tag() + 1
+}
+
+fn opt_from_u8(v: u8) -> OptLevel {
+    match v {
+        2 => OptLevel::O1,
+        3 => OptLevel::O2,
+        _ => OptLevel::O0,
     }
 }
 
@@ -416,6 +431,8 @@ pub struct Device {
     tier: AtomicU8,
     /// Active timing tier (`TimingTier::as_u8` encoding).
     timing: AtomicU8,
+    /// Active optimization level (`OptLevel` tag + 1 encoding).
+    opt: AtomicU8,
     /// Whether launches record a memory-access trace even when the
     /// timing tier doesn't require one.
     tracing: AtomicBool,
@@ -441,6 +458,7 @@ impl Device {
             cumulative: StatsCell::new(),
             tier: AtomicU8::new(ExecTier::resolve().as_u8()),
             timing: AtomicU8::new(TimingTier::resolve().as_u8()),
+            opt: AtomicU8::new(opt_as_u8(OptLevel::resolve())),
             tracing: AtomicBool::new(resolve_tracing()),
             mem_cumulative: Mutex::new((MemStats::default(), 0)),
             transfers: Mutex::new(TransferStats::default()),
@@ -496,9 +514,29 @@ impl Device {
         *self.transfers.lock()
     }
 
+    /// The optimization level this device lowers kernels at (vectorized
+    /// tier only; the scalar reference tier always runs kernels as
+    /// written).
+    pub fn opt_level(&self) -> OptLevel {
+        opt_from_u8(self.opt.load(Ordering::SeqCst))
+    }
+
+    /// Switch this device to the given optimization level for subsequent
+    /// launches. Already-lowered programs at other levels stay cached
+    /// (the program cache keys on the level).
+    pub fn set_opt_level(&self, level: OptLevel) {
+        self.opt.store(opt_as_u8(level), Ordering::SeqCst);
+    }
+
     /// Hit/miss statistics of the lowered-program cache.
     pub fn program_cache_stats(&self) -> ProgramCacheStats {
         self.programs.stats()
+    }
+
+    /// Cumulative middle-end statistics over this device's optimized
+    /// lowerings (all-zero while the device stays on `O0`).
+    pub fn opt_stats(&self) -> crate::ssa::OptStats {
+        self.programs.opt_stats()
     }
 
     /// The device model.
@@ -742,7 +780,9 @@ impl Device {
         // Lower once per launch (cache-hit after the first); every block of
         // the grid then shares the same flat program.
         let program = match self.exec_tier() {
-            ExecTier::Vectorized => Some(self.programs.get_or_lower(kernel)),
+            ExecTier::Vectorized => {
+                Some(self.programs.get_or_lower(kernel, self.opt_level(), &self.spec))
+            }
             ExecTier::Scalar => None,
         };
 

@@ -279,6 +279,54 @@ pub enum Instr {
     Trap { message: String },
 }
 
+/// One event in a bracketed pre-order walk over a structured instruction
+/// tree (see [`walk`]). Control instructions are bracketed: an `If`
+/// produces `Enter`, its `then_` events, `ElseArm`, its `else_` events,
+/// then `Exit`; a `While` produces `Enter`, its `cond_block` events,
+/// `LoopBody`, its `body` events, then `Exit`. Straight-line instructions
+/// produce a single `Enter`. The stream is unambiguous without block
+/// lengths, so one traversal serves every recursive consumer
+/// (instruction counting, fingerprinting, the analyzer's CFG lowering,
+/// SSA construction).
+#[derive(Debug, Clone, Copy)]
+pub enum Step<'a> {
+    /// Pre-order arrival at an instruction. For `If`/`While` the nested
+    /// blocks follow as further events before the matching bracket.
+    Enter(&'a Instr),
+    /// Between the `then_` and `else_` blocks of the innermost open `If`
+    /// (carries that `If` instruction).
+    ElseArm(&'a Instr),
+    /// Between the `cond_block` and `body` of the innermost open `While`
+    /// (carries that `While` instruction).
+    LoopBody(&'a Instr),
+    /// Closing bracket of the innermost open `If`/`While` (carries it).
+    Exit(&'a Instr),
+}
+
+/// Drive `f` over `body` and all nested blocks as one [`Step`] event
+/// stream, in structured pre-order.
+pub fn walk<'a>(body: &'a [Instr], f: &mut impl FnMut(Step<'a>)) {
+    for instr in body {
+        match instr {
+            Instr::If { then_, else_, .. } => {
+                f(Step::Enter(instr));
+                walk(then_, f);
+                f(Step::ElseArm(instr));
+                walk(else_, f);
+                f(Step::Exit(instr));
+            }
+            Instr::While { cond_block, body, .. } => {
+                f(Step::Enter(instr));
+                walk(cond_block, f);
+                f(Step::LoopBody(instr));
+                walk(body, f);
+                f(Step::Exit(instr));
+            }
+            _ => f(Step::Enter(instr)),
+        }
+    }
+}
+
 /// A complete kernel: signature, register table, shared-memory size, body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelIr {
@@ -303,16 +351,13 @@ impl KernelIr {
 
     /// Count instructions (recursively), for diagnostics and tests.
     pub fn instruction_count(&self) -> usize {
-        fn count(body: &[Instr]) -> usize {
-            body.iter()
-                .map(|i| match i {
-                    Instr::If { then_, else_, .. } => 1 + count(then_) + count(else_),
-                    Instr::While { cond_block, body, .. } => 1 + count(cond_block) + count(body),
-                    _ => 1,
-                })
-                .sum()
-        }
-        count(&self.body)
+        let mut n = 0usize;
+        walk(&self.body, &mut |step| {
+            if matches!(step, Step::Enter(_)) {
+                n += 1;
+            }
+        });
+        n
     }
 
     /// A structural content fingerprint: equal kernels hash equal, and any
@@ -334,7 +379,8 @@ impl KernelIr {
             fp.word(*r as u64);
         }
         fp.word(self.shared_bytes);
-        fp.block(&self.body);
+        fp.word(self.body.len() as u64);
+        walk(&self.body, &mut |step| fp.step(step));
         fp.finish()
     }
 
@@ -561,13 +607,34 @@ impl Fingerprint {
         }
     }
 
-    fn block(&mut self, body: &[Instr]) {
-        self.word(body.len() as u64);
-        for i in body {
-            self.instr(i);
+    /// Consume one [`Step`] of the shared structured walk. Block lengths
+    /// are hashed at the opening bracket of each nested block (they are
+    /// available on the borrowed control instruction), which reproduces
+    /// the exact word sequence of the original recursive encoder — so
+    /// fingerprints are stable across the walker refactor.
+    fn step(&mut self, step: Step<'_>) {
+        match step {
+            Step::Enter(Instr::If { cond, then_, .. }) => {
+                self.word(12);
+                self.word(cond.0 as u64);
+                self.word(then_.len() as u64);
+            }
+            Step::ElseArm(Instr::If { else_, .. }) => self.word(else_.len() as u64),
+            Step::Enter(Instr::While { cond_block, .. }) => {
+                self.word(13);
+                self.word(cond_block.len() as u64);
+            }
+            Step::LoopBody(Instr::While { cond, body, .. }) => {
+                self.word(cond.0 as u64);
+                self.word(body.len() as u64);
+            }
+            Step::Exit(_) | Step::ElseArm(_) | Step::LoopBody(_) => {}
+            Step::Enter(i) => self.instr(i),
         }
     }
 
+    /// Hash one straight-line instruction (`If`/`While` go through
+    /// [`Fingerprint::step`], which also hashes their nested blocks).
     fn instr(&mut self, i: &Instr) {
         match i {
             Instr::Mov { dst, src } => {
@@ -639,17 +706,8 @@ impl Fingerprint {
                 }
             }
             Instr::Bar => self.word(11),
-            Instr::If { cond, then_, else_ } => {
-                self.word(12);
-                self.word(cond.0 as u64);
-                self.block(then_);
-                self.block(else_);
-            }
-            Instr::While { cond_block, cond, body } => {
-                self.word(13);
-                self.block(cond_block);
-                self.word(cond.0 as u64);
-                self.block(body);
+            Instr::If { .. } | Instr::While { .. } => {
+                unreachable!("control instructions are hashed by Fingerprint::step")
             }
             Instr::Trap { message } => {
                 self.word(14);

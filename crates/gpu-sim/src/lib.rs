@@ -87,6 +87,7 @@ pub mod mem;
 pub mod memhier;
 pub mod pool;
 pub mod sched;
+pub mod ssa;
 pub mod stream;
 pub mod timing;
 pub mod trace;
@@ -109,6 +110,7 @@ pub mod prelude {
     pub use crate::mem::DevicePtr;
     pub use crate::memhier::{MemHierSpec, MemStats};
     pub use crate::sched::SchedulePolicy;
+    pub use crate::ssa::{set_process_opt_level, OptLevel, OptStats};
     pub use crate::stream::Stream;
     pub use crate::timing::ModeledTime;
     pub use crate::SimError;
@@ -121,6 +123,7 @@ pub use device::{
 pub use isa::{IsaKind, Module};
 pub use lower::ProgramCacheStats;
 pub use memhier::{MemHierSpec, MemStats};
+pub use ssa::{set_process_opt_level, OptLevel, OptStats};
 
 /// Errors surfaced by the simulator.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,304 @@
+//! Structured IR → SSA construction, driven by the shared [`walk`]
+//! event stream from [`crate::ir`].
+//!
+//! A register map tracks each register's current SSA value. Reads of
+//! never-written registers materialize the typed zero both execution
+//! tiers initialize registers to. `If` brackets snapshot the map at the
+//! branch, diff the arm maps at the close, and bind a result value per
+//! modified register; `While` brackets pre-scan the loop for assigned
+//! registers (one more consumer of the shared walker) and turn each into
+//! a carried region argument.
+
+use super::{zero, SsaFunc, SsaInstr, SsaNode, SsaOp, SsaOperand, ValId};
+use crate::ir::{walk, Instr, KernelIr, Operand, Reg, Step};
+use std::collections::HashMap;
+
+/// Destructure a structured kernel into SSA form.
+pub(super) fn build(kernel: &KernelIr) -> SsaFunc {
+    let mut f = SsaFunc {
+        name: kernel.name.clone(),
+        params: kernel.params.clone(),
+        vals: kernel.params.clone(),
+        shared_bytes: kernel.shared_bytes,
+        body: Vec::new(),
+    };
+    let mut map: HashMap<Reg, SsaOperand> = HashMap::new();
+    for (i, _) in kernel.params.iter().enumerate() {
+        map.insert(Reg(i as u16), SsaOperand::Val(ValId(i as u32)));
+    }
+    let mut b =
+        Builder { kernel, frames: vec![Frame { nodes: Vec::new(), kind: Kind::Root }], map };
+    walk(&kernel.body, &mut |step| b.step(&mut f, step));
+    debug_assert_eq!(b.frames.len(), 1, "walk closes every bracket");
+    f.body = b.frames.pop().expect("root frame").nodes;
+    f
+}
+
+struct Builder<'k> {
+    kernel: &'k KernelIr,
+    frames: Vec<Frame>,
+    /// Current SSA value per register at this point of the walk.
+    map: HashMap<Reg, SsaOperand>,
+}
+
+struct Frame {
+    nodes: Vec<SsaNode>,
+    kind: Kind,
+}
+
+enum Kind {
+    Root,
+    If {
+        cond: SsaOperand,
+        /// Register map at the branch point.
+        outer: HashMap<Reg, SsaOperand>,
+        /// Filled at the `ElseArm` event: the then-arm's nodes and final map.
+        then_: Option<(Vec<SsaNode>, HashMap<Reg, SsaOperand>)>,
+    },
+    While {
+        /// Registers assigned anywhere in the loop, sorted (deterministic
+        /// slot order).
+        regs: Vec<Reg>,
+        carried: Vec<ValId>,
+        init: Vec<SsaOperand>,
+        /// Filled at the `LoopBody` event: cond-region nodes, the
+        /// condition, and each slot's end-of-cond-block value.
+        cond_part: Option<(Vec<SsaNode>, SsaOperand, Vec<SsaOperand>)>,
+    },
+}
+
+impl Builder<'_> {
+    /// Current SSA value of a register; never-written registers read as
+    /// their typed zero.
+    fn value(&self, r: Reg) -> SsaOperand {
+        self.map.get(&r).copied().unwrap_or_else(|| {
+            let ty = self.kernel.reg_type(r).expect("validated kernel register");
+            SsaOperand::Imm(zero(ty))
+        })
+    }
+
+    fn operand(&self, o: &Operand) -> SsaOperand {
+        match o {
+            Operand::Reg(r) => self.value(*r),
+            Operand::Imm(v) => SsaOperand::Imm(*v),
+        }
+    }
+
+    /// Emit an op defining `dst`, and point the register at the new value.
+    fn define(&mut self, f: &mut SsaFunc, dst: Reg, op: SsaOp) {
+        let ty = self.kernel.reg_type(dst).expect("validated kernel register");
+        let v = f.new_val(ty);
+        self.push(SsaNode::Op(SsaInstr { dst: Some(v), op }));
+        self.map.insert(dst, SsaOperand::Val(v));
+    }
+
+    fn push(&mut self, node: SsaNode) {
+        self.frames.last_mut().expect("open frame").nodes.push(node);
+    }
+
+    fn step(&mut self, f: &mut SsaFunc, step: Step<'_>) {
+        match step {
+            Step::Enter(Instr::If { cond, .. }) => {
+                let cond = self.value(*cond);
+                self.frames.push(Frame {
+                    nodes: Vec::new(),
+                    kind: Kind::If { cond, outer: self.map.clone(), then_: None },
+                });
+            }
+            Step::ElseArm(_) => {
+                let frame = self.frames.last_mut().expect("open frame");
+                let Kind::If { outer, then_, .. } = &mut frame.kind else {
+                    unreachable!("ElseArm outside an open If")
+                };
+                let then_nodes = std::mem::take(&mut frame.nodes);
+                *then_ = Some((then_nodes, std::mem::replace(&mut self.map, outer.clone())));
+            }
+            Step::Exit(Instr::If { .. }) => {
+                let frame = self.frames.pop().expect("open frame");
+                let Kind::If { cond, outer, then_ } = frame.kind else {
+                    unreachable!("Exit(If) closes an If frame")
+                };
+                let (then_nodes, then_map) = then_.expect("ElseArm preceded Exit");
+                let else_nodes = frame.nodes;
+                let else_map = std::mem::replace(&mut self.map, outer);
+                // Registers whose value differs from the branch point in
+                // either arm get a result slot.
+                let mut regs: Vec<Reg> = then_map
+                    .iter()
+                    .chain(else_map.iter())
+                    .filter(|(r, v)| !matches!(self.map.get(r), Some(ov) if ov.bit_eq(**v)))
+                    .map(|(r, _)| *r)
+                    .collect();
+                regs.sort_unstable_by_key(|r| r.0);
+                regs.dedup();
+                let mut then_yield = Vec::with_capacity(regs.len());
+                let mut else_yield = Vec::with_capacity(regs.len());
+                let mut results = Vec::with_capacity(regs.len());
+                for &r in &regs {
+                    let ty = self.kernel.reg_type(r).expect("validated kernel register");
+                    let zero_or = |m: &HashMap<Reg, SsaOperand>| {
+                        m.get(&r).copied().unwrap_or(SsaOperand::Imm(zero(ty)))
+                    };
+                    then_yield.push(zero_or(&then_map));
+                    else_yield.push(zero_or(&else_map));
+                    let res = f.new_val(ty);
+                    results.push(res);
+                    self.map.insert(r, SsaOperand::Val(res));
+                }
+                self.push(SsaNode::If {
+                    cond,
+                    then_: then_nodes,
+                    else_: else_nodes,
+                    then_yield,
+                    else_yield,
+                    results,
+                });
+            }
+            Step::Enter(Instr::While { cond_block, body, .. }) => {
+                let mut regs = assigned_regs(cond_block);
+                regs.extend(assigned_regs(body));
+                regs.sort_unstable_by_key(|r| r.0);
+                regs.dedup();
+                let mut carried = Vec::with_capacity(regs.len());
+                let mut init = Vec::with_capacity(regs.len());
+                for &r in &regs {
+                    init.push(self.value(r));
+                    let ty = self.kernel.reg_type(r).expect("validated kernel register");
+                    let c = f.new_val(ty);
+                    carried.push(c);
+                    self.map.insert(r, SsaOperand::Val(c));
+                }
+                self.frames.push(Frame {
+                    nodes: Vec::new(),
+                    kind: Kind::While { regs, carried, init, cond_part: None },
+                });
+            }
+            Step::LoopBody(Instr::While { cond, .. }) => {
+                let cond = self.value(*cond);
+                let regs = match &self.frames.last().expect("open frame").kind {
+                    Kind::While { regs, .. } => regs.clone(),
+                    _ => unreachable!("LoopBody outside an open While"),
+                };
+                let exit_vals: Vec<SsaOperand> = regs.iter().map(|&r| self.value(r)).collect();
+                let frame = self.frames.last_mut().expect("open frame");
+                let cond_nodes = std::mem::take(&mut frame.nodes);
+                let Kind::While { cond_part, .. } = &mut frame.kind else { unreachable!() };
+                *cond_part = Some((cond_nodes, cond, exit_vals));
+            }
+            Step::Exit(Instr::While { .. }) => {
+                let frame = self.frames.pop().expect("open frame");
+                let Kind::While { regs, carried, init, cond_part } = frame.kind else {
+                    unreachable!("Exit(While) closes a While frame")
+                };
+                let (cond_block, cond, exit_vals) = cond_part.expect("LoopBody preceded Exit");
+                let next = regs.iter().map(|&r| self.value(r)).collect();
+                let mut results = Vec::with_capacity(regs.len());
+                for &r in &regs {
+                    let ty = self.kernel.reg_type(r).expect("validated kernel register");
+                    let res = f.new_val(ty);
+                    results.push(res);
+                    self.map.insert(r, SsaOperand::Val(res));
+                }
+                self.push(SsaNode::While {
+                    carried,
+                    init,
+                    cond_block,
+                    cond,
+                    exit_vals,
+                    body: frame.nodes,
+                    next,
+                    results,
+                });
+            }
+            Step::Enter(instr) => self.straight(f, instr),
+            Step::Exit(_) | Step::LoopBody(_) => {
+                unreachable!("brackets always carry their control instruction")
+            }
+        }
+    }
+
+    fn straight(&mut self, f: &mut SsaFunc, instr: &Instr) {
+        match instr {
+            Instr::Mov { dst, src } => {
+                let op = SsaOp::Copy(self.operand(src));
+                self.define(f, *dst, op);
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let op = SsaOp::Bin(*op, self.operand(a), self.operand(b));
+                self.define(f, *dst, op);
+            }
+            Instr::Un { op, dst, a } => {
+                let op = SsaOp::Un(*op, self.operand(a));
+                self.define(f, *dst, op);
+            }
+            Instr::Cmp { op, dst, a, b } => {
+                let op = SsaOp::Cmp(*op, self.operand(a), self.operand(b));
+                self.define(f, *dst, op);
+            }
+            Instr::Sel { dst, cond, a, b } => {
+                let op =
+                    SsaOp::Sel { cond: self.value(*cond), a: self.operand(a), b: self.operand(b) };
+                self.define(f, *dst, op);
+            }
+            Instr::Cvt { dst, a } => {
+                let op = SsaOp::Cvt(self.operand(a));
+                self.define(f, *dst, op);
+            }
+            Instr::Special { dst, kind } => self.define(f, *dst, SsaOp::Special(*kind)),
+            Instr::Ld { dst, space, addr } => {
+                let op = SsaOp::Ld { space: *space, addr: self.operand(addr) };
+                self.define(f, *dst, op);
+            }
+            Instr::St { space, addr, value } => {
+                let op = SsaOp::St {
+                    space: *space,
+                    addr: self.operand(addr),
+                    value: self.operand(value),
+                };
+                self.push(SsaNode::Op(SsaInstr { dst: None, op }));
+            }
+            Instr::Atomic { op, space, addr, value, dst } => {
+                let op = SsaOp::Atomic {
+                    op: *op,
+                    space: *space,
+                    addr: self.operand(addr),
+                    value: self.operand(value),
+                };
+                match dst {
+                    Some(d) => self.define(f, *d, op),
+                    None => self.push(SsaNode::Op(SsaInstr { dst: None, op })),
+                }
+            }
+            Instr::Bar => self.push(SsaNode::Op(SsaInstr { dst: None, op: SsaOp::Bar })),
+            Instr::Trap { message } => {
+                self.push(SsaNode::Op(SsaInstr { dst: None, op: SsaOp::Trap(message.clone()) }));
+            }
+            Instr::If { .. } | Instr::While { .. } => {
+                unreachable!("control flow goes through the bracket events")
+            }
+        }
+    }
+}
+
+/// Registers assigned anywhere in `body` (recursively) — one more
+/// consumer of the shared walker.
+fn assigned_regs(body: &[Instr]) -> Vec<Reg> {
+    let mut regs = Vec::new();
+    walk(body, &mut |step| {
+        if let Step::Enter(
+            Instr::Mov { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::Un { dst, .. }
+            | Instr::Cmp { dst, .. }
+            | Instr::Sel { dst, .. }
+            | Instr::Cvt { dst, .. }
+            | Instr::Special { dst, .. }
+            | Instr::Ld { dst, .. }
+            | Instr::Atomic { dst: Some(dst), .. },
+        ) = step
+        {
+            regs.push(*dst);
+        }
+    });
+    regs
+}

@@ -1,0 +1,968 @@
+//! The pass manager and the machine-independent optimization passes.
+//!
+//! Every pass is a [`Pass`]: a named rewrite over [`SsaFunc`] returning
+//! how many rewrites it performed. The [`PassManager`] sweeps its pass
+//! list in order until a full sweep performs zero rewrites (or the sweep
+//! cap trips — passes are not required to be mutually convergent), and
+//! records per-pass statistics.
+//!
+//! Semantics contract shared by every pass here and in
+//! [`super::vendor`]: buffers, traps, barriers, and atomics are
+//! bit-exact at any level. Concretely —
+//!
+//! * constant folding evaluates with the interpreter's own arithmetic
+//!   ([`crate::exec`]'s value helpers), so folds are bit-identical to
+//!   execution, floats included;
+//! * floating-point expressions are never reassociated or algebraically
+//!   simplified (strength reduction is integer-only);
+//! * anything that can trap — loads, integer `Div`/`Rem` with a
+//!   possibly-zero divisor — is never deleted, speculated, hoisted, or
+//!   reordered past a guard; CSE may merge two *identical* trapping
+//!   expressions because the first dominates the second with equal
+//!   operands (equal trap behaviour);
+//! * stores, atomics, and barriers never move, so `bytes_written`,
+//!   `atomics`, `barriers`, `blocks`, and `warps` are invariant under
+//!   optimization (only `warp_instructions`/`warp_arith`/`bytes_read`
+//!   may shrink).
+
+use super::{imm_bits, zero, SsaFunc, SsaInstr, SsaNode, SsaOp, SsaOperand, ValId};
+use crate::exec::{bin_value, cmp_value, convert, un_value};
+use crate::ir::{BinOp, Type, Value};
+use std::collections::HashMap;
+
+/// One named rewrite over a function in SSA form.
+pub trait Pass {
+    /// Stable pass name (used in statistics and ordering tests).
+    fn name(&self) -> &'static str;
+    /// Apply the pass once; returns the number of rewrites performed
+    /// (`0` means the function is at this pass's fixpoint).
+    fn run(&self, f: &mut SsaFunc) -> u64;
+}
+
+/// Per-pass accounting across all sweeps of one [`PassManager::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassStat {
+    /// Pass name.
+    pub name: &'static str,
+    /// Times the pass ran.
+    pub runs: u64,
+    /// Total rewrites it reported.
+    pub rewrites: u64,
+}
+
+/// The result of one [`PassManager::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PmStats {
+    /// Full sweeps over the pass list.
+    pub sweeps: u64,
+    /// Per-pass totals, in pass-list order.
+    pub passes: Vec<PassStat>,
+}
+
+impl PmStats {
+    /// Total individual pass executions.
+    pub fn pass_runs(&self) -> u64 {
+        self.passes.iter().map(|p| p.runs).sum()
+    }
+}
+
+/// Runs an ordered pass list to a fixpoint with a hard sweep cap, so a
+/// pair of passes that endlessly undo each other still terminates.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    max_sweeps: u64,
+}
+
+impl PassManager {
+    /// Sweep cap: no real pipeline needs more than a handful of sweeps;
+    /// the cap exists to bound adversarial (oscillating) pass pairs.
+    pub const MAX_SWEEPS: u64 = 8;
+
+    /// An empty manager.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self { passes: Vec::new(), max_sweeps: Self::MAX_SWEEPS }
+    }
+
+    /// Append a pass (builder style). Order is execution order within a
+    /// sweep and is deterministic.
+    pub fn with(mut self, pass: Box<dyn Pass>) -> Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The pass names, in execution order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Sweep the pass list until a full sweep rewrites nothing or the
+    /// sweep cap trips.
+    pub fn run(&self, f: &mut SsaFunc) -> PmStats {
+        let mut stats = PmStats {
+            sweeps: 0,
+            passes: self
+                .passes
+                .iter()
+                .map(|p| PassStat { name: p.name(), runs: 0, rewrites: 0 })
+                .collect(),
+        };
+        for _ in 0..self.max_sweeps {
+            stats.sweeps += 1;
+            let mut sweep_rewrites = 0;
+            for (i, pass) in self.passes.iter().enumerate() {
+                let n = pass.run(f);
+                stats.passes[i].runs += 1;
+                stats.passes[i].rewrites += n;
+                sweep_rewrites += n;
+            }
+            if sweep_rewrites == 0 {
+                break;
+            }
+        }
+        stats
+    }
+}
+
+/// Mutable references to every operand slot of an operation (used by
+/// rewrites that resolve or substitute values).
+pub(super) fn operands_mut(op: &mut SsaOp) -> Vec<&mut SsaOperand> {
+    match op {
+        SsaOp::Copy(a) | SsaOp::Un(_, a) | SsaOp::Cvt(a) => vec![a],
+        SsaOp::Bin(_, a, b) | SsaOp::Cmp(_, a, b) => vec![a, b],
+        SsaOp::Sel { cond, a, b } => vec![cond, a, b],
+        SsaOp::Ld { addr, .. } => vec![addr],
+        SsaOp::St { addr, value, .. } | SsaOp::Atomic { addr, value, .. } => vec![addr, value],
+        SsaOp::Special(_) | SsaOp::Bar | SsaOp::Trap(_) => vec![],
+    }
+}
+
+/// Read-only operand list of an operation.
+pub(super) fn operands(op: &SsaOp) -> Vec<SsaOperand> {
+    match op {
+        SsaOp::Copy(a) | SsaOp::Un(_, a) | SsaOp::Cvt(a) => vec![*a],
+        SsaOp::Bin(_, a, b) | SsaOp::Cmp(_, a, b) => vec![*a, *b],
+        SsaOp::Sel { cond, a, b } => vec![*cond, *a, *b],
+        SsaOp::Ld { addr, .. } => vec![*addr],
+        SsaOp::St { addr, value, .. } | SsaOp::Atomic { addr, value, .. } => vec![*addr, *value],
+        SsaOp::Special(_) | SsaOp::Bar | SsaOp::Trap(_) => vec![],
+    }
+}
+
+/// Can this `Div`/`Rem` divisor provably not trap? Float division never
+/// traps in the interpreter; integer division traps on zero, so only a
+/// non-zero integer immediate is safe.
+fn div_safe(vals: &[Type], divisor: SsaOperand) -> bool {
+    match divisor {
+        SsaOperand::Imm(Value::I32(x)) => x != 0,
+        SsaOperand::Imm(Value::I64(x)) => x != 0,
+        SsaOperand::Imm(_) => true,
+        SsaOperand::Val(v) => vals[v.0 as usize].is_float(),
+    }
+}
+
+/// Pure and non-trapping: safe to delete when dead, to hoist out of a
+/// loop, or to execute speculatively. Loads are excluded (they trap on
+/// OOB/misalignment); so is integer division by a possibly-zero divisor.
+pub(super) fn speculatable(vals: &[Type], op: &SsaOp) -> bool {
+    match op {
+        SsaOp::Copy(_)
+        | SsaOp::Un(..)
+        | SsaOp::Cmp(..)
+        | SsaOp::Sel { .. }
+        | SsaOp::Cvt(_)
+        | SsaOp::Special(_) => true,
+        SsaOp::Bin(b, _, rhs) => !matches!(b, BinOp::Div | BinOp::Rem) || div_safe(vals, *rhs),
+        SsaOp::Ld { .. }
+        | SsaOp::St { .. }
+        | SsaOp::Atomic { .. }
+        | SsaOp::Bar
+        | SsaOp::Trap(_) => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Constant folding + copy propagation
+// ---------------------------------------------------------------------
+
+/// Constant folding, copy propagation, and branch folding. Evaluation
+/// reuses the interpreter's own value helpers, so a folded result is
+/// bit-identical to what execution would have produced; expressions that
+/// would trap (integer division by a zero immediate) are left in place.
+pub struct ConstFold;
+
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn run(&self, f: &mut SsaFunc) -> u64 {
+        let vals = f.vals.clone();
+        let mut fold = Fold { env: HashMap::new(), vals, changed: 0 };
+        let body = std::mem::take(&mut f.body);
+        f.body = fold.seq(body);
+        fold.changed
+    }
+}
+
+struct Fold {
+    /// Known replacement per value: the immediate it folds to, or the
+    /// value a `Copy` aliases.
+    env: HashMap<ValId, SsaOperand>,
+    vals: Vec<Type>,
+    changed: u64,
+}
+
+impl Fold {
+    /// Chase a value through the replacement environment.
+    fn resolve(&self, mut o: SsaOperand) -> SsaOperand {
+        while let SsaOperand::Val(v) = o {
+            match self.env.get(&v) {
+                Some(&r) => o = r,
+                None => break,
+            }
+        }
+        o
+    }
+
+    fn resolve_slot(&mut self, o: &mut SsaOperand) {
+        let r = self.resolve(*o);
+        if !r.bit_eq(*o) {
+            *o = r;
+            self.changed += 1;
+        }
+    }
+
+    fn seq(&mut self, nodes: Vec<SsaNode>) -> Vec<SsaNode> {
+        let mut out = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            match node {
+                SsaNode::Op(mut i) => {
+                    for slot in operands_mut(&mut i.op) {
+                        self.resolve_slot(slot);
+                    }
+                    self.try_fold(&mut i);
+                    if let (Some(d), SsaOp::Copy(src)) = (i.dst, &i.op) {
+                        self.env.insert(d, *src);
+                    }
+                    out.push(SsaNode::Op(i));
+                }
+                SsaNode::If { cond, then_, else_, then_yield, else_yield, results } => {
+                    let cond = self.resolve(cond);
+                    if let SsaOperand::Imm(Value::Bool(c)) = cond {
+                        // Fold the branch: splice in the taken arm and
+                        // bind the results from its yields.
+                        self.changed += 1;
+                        let (arm, yields) =
+                            if c { (then_, then_yield) } else { (else_, else_yield) };
+                        out.extend(self.seq(arm));
+                        for (i, res) in results.into_iter().enumerate() {
+                            let src = self.resolve(yields[i]);
+                            self.env.insert(res, src);
+                            out.push(SsaNode::Op(SsaInstr {
+                                dst: Some(res),
+                                op: SsaOp::Copy(src),
+                            }));
+                        }
+                        continue;
+                    }
+                    let then_ = self.seq(then_);
+                    let then_yield = self.resolve_all(then_yield);
+                    let else_ = self.seq(else_);
+                    let else_yield = self.resolve_all(else_yield);
+                    out.push(SsaNode::If { cond, then_, else_, then_yield, else_yield, results });
+                }
+                SsaNode::While {
+                    carried,
+                    init,
+                    cond_block,
+                    cond,
+                    exit_vals,
+                    body,
+                    next,
+                    results,
+                } => {
+                    let init = self.resolve_all(init);
+                    let cond_block = self.seq(cond_block);
+                    let cond = self.resolve(cond);
+                    let exit_vals = self.resolve_all(exit_vals);
+                    let body = self.seq(body);
+                    let next = self.resolve_all(next);
+                    out.push(SsaNode::While {
+                        carried,
+                        init,
+                        cond_block,
+                        cond,
+                        exit_vals,
+                        body,
+                        next,
+                        results,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn resolve_all(&mut self, ops: Vec<SsaOperand>) -> Vec<SsaOperand> {
+        ops.into_iter()
+            .map(|o| {
+                let r = self.resolve(o);
+                if !r.bit_eq(o) {
+                    self.changed += 1;
+                }
+                r
+            })
+            .collect()
+    }
+
+    fn try_fold(&mut self, i: &mut SsaInstr) {
+        let folded = match &i.op {
+            SsaOp::Bin(op, SsaOperand::Imm(a), SsaOperand::Imm(b)) => {
+                // A fold that would trap (integer division by zero) stays
+                // in place and traps at run time, exactly as unoptimized.
+                bin_value(*op, *a, *b).ok().map(SsaOperand::Imm)
+            }
+            SsaOp::Un(op, SsaOperand::Imm(a)) => Some(SsaOperand::Imm(un_value(*op, *a))),
+            SsaOp::Cmp(op, SsaOperand::Imm(a), SsaOperand::Imm(b)) => {
+                Some(SsaOperand::Imm(Value::Bool(cmp_value(*op, *a, *b))))
+            }
+            SsaOp::Cvt(SsaOperand::Imm(a)) => {
+                let to = self.vals[i.dst.expect("cvt defines").0 as usize];
+                Some(SsaOperand::Imm(convert(*a, to)))
+            }
+            SsaOp::Sel { cond: SsaOperand::Imm(Value::Bool(c)), a, b } => {
+                Some(if *c { *a } else { *b })
+            }
+            SsaOp::Sel { a, b, .. } if a.bit_eq(*b) => Some(*a),
+            _ => None,
+        };
+        if let Some(v) = folded {
+            i.op = SsaOp::Copy(v);
+            self.changed += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dead-code elimination
+// ---------------------------------------------------------------------
+
+/// Dead-code elimination over the region tree: a liveness mark phase
+/// (stores, atomics, barriers, traps, loads, possibly-trapping division,
+/// and loop conditions are roots) followed by a sweep removing dead pure
+/// instructions, dead `If` result slots, dead `While` carried slots
+/// (dead induction chains included), and side-effect-free `If` nodes
+/// with no live results. `While` nodes are never removed whole — loop
+/// control is always treated as live so a non-terminating loop keeps its
+/// (possibly trapping) iteration-guard behaviour.
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, f: &mut SsaFunc) -> u64 {
+        // -------- mark --------
+        let mut deps: HashMap<ValId, Vec<SsaOperand>> = HashMap::new();
+        let mut roots: Vec<SsaOperand> = Vec::new();
+        collect(&f.body, &f.vals, &mut deps, &mut roots);
+        let mut live = vec![false; f.vals.len()];
+        // Parameters are the kernel ABI: always live.
+        for slot in live.iter_mut().take(f.params.len()) {
+            *slot = true;
+        }
+        let mut work: Vec<ValId> = roots.iter().filter_map(|o| o.as_val()).collect();
+        while let Some(v) = work.pop() {
+            if std::mem::replace(&mut live[v.0 as usize], true) {
+                continue;
+            }
+            if let Some(ds) = deps.get(&v) {
+                work.extend(ds.iter().filter_map(|o| o.as_val()));
+            }
+        }
+        // -------- sweep --------
+        let vals = f.vals.clone();
+        let mut removed = 0;
+        let body = std::mem::take(&mut f.body);
+        f.body = sweep(body, &vals, &live, &mut removed);
+        removed
+    }
+}
+
+/// Record liveness roots and def→operand dependency edges for one region.
+fn collect(
+    nodes: &[SsaNode],
+    vals: &[Type],
+    deps: &mut HashMap<ValId, Vec<SsaOperand>>,
+    roots: &mut Vec<SsaOperand>,
+) {
+    for node in nodes {
+        match node {
+            SsaNode::Op(i) => {
+                if removable(vals, i) {
+                    deps.insert(i.dst.expect("removable ops define"), operands(&i.op));
+                } else {
+                    // Kept regardless — its operands are live.
+                    roots.extend(operands(&i.op));
+                }
+            }
+            SsaNode::If { cond, then_, else_, then_yield, else_yield, results } => {
+                collect(then_, vals, deps, roots);
+                collect(else_, vals, deps, roots);
+                // The condition is needed iff the node survives: either
+                // an arm has side effects (rooted) or a result is live
+                // (dependency edge below).
+                if contains_root(vals, then_) || contains_root(vals, else_) {
+                    roots.push(*cond);
+                }
+                for (i, &res) in results.iter().enumerate() {
+                    deps.insert(res, vec![*cond, then_yield[i], else_yield[i]]);
+                }
+            }
+            SsaNode::While { carried, init, cond_block, cond, exit_vals, body, next, results } => {
+                collect(cond_block, vals, deps, roots);
+                collect(body, vals, deps, roots);
+                // Loop control always runs (a `While` is never deleted
+                // whole — see the pass docs), so the condition is a root.
+                roots.push(*cond);
+                // A slot lives or dies as a unit: if either the carried
+                // argument or the loop result is live, the slot survives
+                // and its init/next/exit operands must stay defined — so
+                // the two ids mark each other.
+                for (i, &c) in carried.iter().enumerate() {
+                    deps.insert(
+                        c,
+                        vec![init[i], next[i], exit_vals[i], *cond, SsaOperand::Val(results[i])],
+                    );
+                    deps.insert(results[i], vec![SsaOperand::Val(c)]);
+                }
+            }
+        }
+    }
+}
+
+/// Does this region (recursively) contain an instruction that must be
+/// kept even if its result is dead?
+fn contains_root(vals: &[Type], nodes: &[SsaNode]) -> bool {
+    nodes.iter().any(|n| match n {
+        SsaNode::Op(i) => !removable(vals, i),
+        SsaNode::If { then_, else_, .. } => {
+            contains_root(vals, then_) || contains_root(vals, else_)
+        }
+        SsaNode::While { .. } => true,
+    })
+}
+
+/// Pure, non-trapping, and value-producing: deletable when the value is
+/// dead. Loads stay (they trap); stores/atomics/barriers/traps stay
+/// (side effects).
+fn removable(vals: &[Type], i: &SsaInstr) -> bool {
+    i.dst.is_some() && !matches!(i.op, SsaOp::Atomic { .. }) && speculatable(vals, &i.op)
+}
+
+fn sweep(nodes: Vec<SsaNode>, vals: &[Type], live: &[bool], removed: &mut u64) -> Vec<SsaNode> {
+    let mut out = Vec::with_capacity(nodes.len());
+    let is_live = |v: ValId| live[v.0 as usize];
+    for node in nodes {
+        match node {
+            SsaNode::Op(i) => {
+                if removable(vals, &i) && !is_live(i.dst.expect("removable ops define")) {
+                    *removed += 1;
+                } else {
+                    out.push(SsaNode::Op(i));
+                }
+            }
+            SsaNode::If { cond, then_, else_, then_yield, else_yield, results } => {
+                let then_ = sweep(then_, vals, live, removed);
+                let else_ = sweep(else_, vals, live, removed);
+                let mut ty = Vec::new();
+                let mut ey = Vec::new();
+                let mut res = Vec::new();
+                for (i, r) in results.into_iter().enumerate() {
+                    if is_live(r) {
+                        ty.push(then_yield[i]);
+                        ey.push(else_yield[i]);
+                        res.push(r);
+                    } else {
+                        *removed += 1;
+                    }
+                }
+                if then_.is_empty() && else_.is_empty() && res.is_empty() {
+                    *removed += 1;
+                } else {
+                    out.push(SsaNode::If {
+                        cond,
+                        then_,
+                        else_,
+                        then_yield: ty,
+                        else_yield: ey,
+                        results: res,
+                    });
+                }
+            }
+            SsaNode::While { carried, init, cond_block, cond, exit_vals, body, next, results } => {
+                let cond_block = sweep(cond_block, vals, live, removed);
+                let body = sweep(body, vals, live, removed);
+                let mut ka = Vec::new();
+                let mut ki = Vec::new();
+                let mut ke = Vec::new();
+                let mut kn = Vec::new();
+                let mut kr = Vec::new();
+                for i in 0..carried.len() {
+                    // A slot dies only when both its region argument and
+                    // its loop result are dead (dead induction chains
+                    // unwind over successive sweeps as their feedback
+                    // defs die).
+                    if is_live(carried[i]) || is_live(results[i]) {
+                        ka.push(carried[i]);
+                        ki.push(init[i]);
+                        ke.push(exit_vals[i]);
+                        kn.push(next[i]);
+                        kr.push(results[i]);
+                    } else {
+                        *removed += 1;
+                    }
+                }
+                out.push(SsaNode::While {
+                    carried: ka,
+                    init: ki,
+                    cond_block,
+                    cond,
+                    exit_vals: ke,
+                    body,
+                    next: kn,
+                    results: kr,
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Common-subexpression elimination
+// ---------------------------------------------------------------------
+
+/// Common-subexpression elimination with loads included. Availability is
+/// scoped by dominance (an `If` arm sees expressions from before the
+/// branch; nothing survives past the join) and loads carry a per-space
+/// memory epoch bumped at every store/atomic in that space and at every
+/// barrier — entering a loop that stores anywhere also bumps both
+/// epochs, so a pre-loop load is never reused across iterations.
+pub struct Cse;
+
+impl Pass for Cse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, f: &mut SsaFunc) -> u64 {
+        let vals = f.vals.clone();
+        let mut cse = CseCtx {
+            vals,
+            scopes: vec![HashMap::new()],
+            global_epoch: 0,
+            shared_epoch: 0,
+            merged: 0,
+        };
+        let body = std::mem::take(&mut f.body);
+        f.body = cse.seq(body);
+        cse.merged
+    }
+}
+
+/// Hashable identity of a (pure or load) expression, epoch included for
+/// loads.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ExprKey(Vec<u64>);
+
+struct CseCtx {
+    vals: Vec<Type>,
+    scopes: Vec<HashMap<ExprKey, ValId>>,
+    global_epoch: u64,
+    shared_epoch: u64,
+    merged: u64,
+}
+
+impl CseCtx {
+    fn key(&self, i: &SsaInstr) -> Option<ExprKey> {
+        let dst = i.dst?;
+        let mut k: Vec<u64> = Vec::with_capacity(8);
+        let push_operand = |k: &mut Vec<u64>, o: SsaOperand| match o {
+            SsaOperand::Val(v) => {
+                k.push(1);
+                k.push(v.0 as u64);
+            }
+            SsaOperand::Imm(v) => {
+                let (tag, bits) = imm_bits(v);
+                k.push(2 + tag as u64);
+                k.push(bits);
+            }
+        };
+        match &i.op {
+            SsaOp::Bin(op, a, b) => {
+                k.push(10 + *op as u64 * 8);
+                push_operand(&mut k, *a);
+                push_operand(&mut k, *b);
+            }
+            SsaOp::Un(op, a) => {
+                k.push(200 + *op as u64);
+                push_operand(&mut k, *a);
+            }
+            SsaOp::Cmp(op, a, b) => {
+                k.push(300 + *op as u64);
+                push_operand(&mut k, *a);
+                push_operand(&mut k, *b);
+            }
+            SsaOp::Sel { cond, a, b } => {
+                k.push(400);
+                push_operand(&mut k, *cond);
+                push_operand(&mut k, *a);
+                push_operand(&mut k, *b);
+            }
+            SsaOp::Cvt(a) => {
+                // Two converts of the same operand to different types are
+                // different expressions: the destination type is part of
+                // the identity.
+                k.push(500 + self.vals[dst.0 as usize] as u64);
+                push_operand(&mut k, *a);
+            }
+            SsaOp::Special(s) => k.push(600 + *s as u64),
+            SsaOp::Ld { space, addr } => {
+                k.push(700 + *space as u64);
+                k.push(self.vals[dst.0 as usize] as u64);
+                k.push(self.epoch(*space));
+                push_operand(&mut k, *addr);
+            }
+            SsaOp::Copy(_)
+            | SsaOp::St { .. }
+            | SsaOp::Atomic { .. }
+            | SsaOp::Bar
+            | SsaOp::Trap(_) => return None,
+        }
+        Some(ExprKey(k))
+    }
+
+    fn epoch(&self, space: crate::ir::Space) -> u64 {
+        match space {
+            crate::ir::Space::Global => self.global_epoch,
+            crate::ir::Space::Shared => self.shared_epoch,
+        }
+    }
+
+    fn bump(&mut self, space: crate::ir::Space) {
+        match space {
+            crate::ir::Space::Global => self.global_epoch += 1,
+            crate::ir::Space::Shared => self.shared_epoch += 1,
+        }
+    }
+
+    fn lookup(&self, k: &ExprKey) -> Option<ValId> {
+        self.scopes.iter().rev().find_map(|s| s.get(k).copied())
+    }
+
+    fn seq(&mut self, nodes: Vec<SsaNode>) -> Vec<SsaNode> {
+        let mut out = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            match node {
+                SsaNode::Op(mut i) => {
+                    match &i.op {
+                        SsaOp::St { space, .. } => {
+                            let space = *space;
+                            self.bump(space);
+                        }
+                        SsaOp::Atomic { space, .. } => {
+                            let space = *space;
+                            self.bump(space);
+                        }
+                        SsaOp::Bar => {
+                            // Other threads' stores become visible.
+                            self.bump(crate::ir::Space::Global);
+                            self.bump(crate::ir::Space::Shared);
+                        }
+                        _ => {}
+                    }
+                    if let Some(k) = self.key(&i) {
+                        if let Some(prev) = self.lookup(&k) {
+                            i.op = SsaOp::Copy(SsaOperand::Val(prev));
+                            self.merged += 1;
+                        } else {
+                            self.scopes.last_mut().expect("scope").insert(k, i.dst.unwrap());
+                        }
+                    }
+                    out.push(SsaNode::Op(i));
+                }
+                SsaNode::If { cond, then_, else_, then_yield, else_yield, results } => {
+                    self.scopes.push(HashMap::new());
+                    let then_ = self.seq(then_);
+                    self.scopes.pop();
+                    self.scopes.push(HashMap::new());
+                    let else_ = self.seq(else_);
+                    self.scopes.pop();
+                    out.push(SsaNode::If { cond, then_, else_, then_yield, else_yield, results });
+                }
+                SsaNode::While {
+                    carried,
+                    init,
+                    cond_block,
+                    cond,
+                    exit_vals,
+                    body,
+                    next,
+                    results,
+                } => {
+                    // A loop that stores anywhere invalidates loads for
+                    // everything inside it (iteration 2 must not reuse a
+                    // pre-loop or iteration-1 load).
+                    if region_stores(&cond_block) || region_stores(&body) {
+                        self.bump(crate::ir::Space::Global);
+                        self.bump(crate::ir::Space::Shared);
+                    }
+                    self.scopes.push(HashMap::new());
+                    let cond_block = self.seq(cond_block);
+                    let body = self.seq(body);
+                    self.scopes.pop();
+                    out.push(SsaNode::While {
+                        carried,
+                        init,
+                        cond_block,
+                        cond,
+                        exit_vals,
+                        body,
+                        next,
+                        results,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Does the region contain any store, atomic, or barrier (recursively)?
+fn region_stores(nodes: &[SsaNode]) -> bool {
+    nodes.iter().any(|n| match n {
+        SsaNode::Op(i) => {
+            matches!(i.op, SsaOp::St { .. } | SsaOp::Atomic { .. } | SsaOp::Bar)
+        }
+        SsaNode::If { then_, else_, .. } => region_stores(then_) || region_stores(else_),
+        SsaNode::While { cond_block, body, .. } => region_stores(cond_block) || region_stores(body),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Loop-invariant code motion
+// ---------------------------------------------------------------------
+
+/// Loop-invariant code motion: pure, non-trapping instructions at the
+/// top level of a loop's regions whose operands are all defined outside
+/// the loop move to just before it. The `cond_block` runs at least once
+/// and hoisted instructions are speculatable, so executing them exactly
+/// once before the loop is always safe; loads never move (they trap).
+pub struct Licm;
+
+impl Pass for Licm {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+
+    fn run(&self, f: &mut SsaFunc) -> u64 {
+        let vals = f.vals.clone();
+        let mut hoisted = 0;
+        let body = std::mem::take(&mut f.body);
+        f.body = licm_seq(body, &vals, &mut hoisted);
+        hoisted
+    }
+}
+
+fn licm_seq(nodes: Vec<SsaNode>, vals: &[Type], hoisted: &mut u64) -> Vec<SsaNode> {
+    let mut out = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        match node {
+            SsaNode::Op(i) => out.push(SsaNode::Op(i)),
+            SsaNode::If { cond, then_, else_, then_yield, else_yield, results } => {
+                // Inner loops inside the arms hoist to the top of the arm
+                // (still conditional — never past the branch).
+                let then_ = licm_seq(then_, vals, hoisted);
+                let else_ = licm_seq(else_, vals, hoisted);
+                out.push(SsaNode::If { cond, then_, else_, then_yield, else_yield, results });
+            }
+            SsaNode::While { carried, init, cond_block, cond, exit_vals, body, next, results } => {
+                // Innermost loops first, so invariants bubble outward
+                // across manager sweeps.
+                let mut cond_block = licm_seq(cond_block, vals, hoisted);
+                let mut body = licm_seq(body, vals, hoisted);
+                let mut inside = region_defs(&cond_block);
+                inside.extend(region_defs(&body));
+                inside.extend(carried.iter().copied());
+                let invariant = |inside: &std::collections::HashSet<ValId>, op: &SsaOp| {
+                    operands(op).iter().all(|o| match o {
+                        SsaOperand::Imm(_) => true,
+                        SsaOperand::Val(v) => !inside.contains(v),
+                    })
+                };
+                loop {
+                    let mut moved = false;
+                    for region in [&mut cond_block, &mut body] {
+                        let pos = region.iter().position(|n| match n {
+                            SsaNode::Op(i) => {
+                                speculatable(vals, &i.op)
+                                    && i.dst.is_some()
+                                    && invariant(&inside, &i.op)
+                            }
+                            _ => false,
+                        });
+                        if let Some(p) = pos {
+                            let SsaNode::Op(i) = region.remove(p) else { unreachable!() };
+                            inside.remove(&i.dst.expect("checked"));
+                            out.push(SsaNode::Op(i));
+                            *hoisted += 1;
+                            moved = true;
+                        }
+                    }
+                    if !moved {
+                        break;
+                    }
+                }
+                out.push(SsaNode::While {
+                    carried,
+                    init,
+                    cond_block,
+                    cond,
+                    exit_vals,
+                    body,
+                    next,
+                    results,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Every value defined inside a region (recursively): op dsts, `If`
+/// results, `While` carried args and results.
+fn region_defs(nodes: &[SsaNode]) -> std::collections::HashSet<ValId> {
+    let mut set = std::collections::HashSet::new();
+    fn go(nodes: &[SsaNode], set: &mut std::collections::HashSet<ValId>) {
+        for n in nodes {
+            match n {
+                SsaNode::Op(i) => {
+                    if let Some(d) = i.dst {
+                        set.insert(d);
+                    }
+                }
+                SsaNode::If { then_, else_, results, .. } => {
+                    go(then_, set);
+                    go(else_, set);
+                    set.extend(results.iter().copied());
+                }
+                SsaNode::While { cond_block, body, carried, results, .. } => {
+                    go(cond_block, set);
+                    go(body, set);
+                    set.extend(carried.iter().copied());
+                    set.extend(results.iter().copied());
+                }
+            }
+        }
+    }
+    go(nodes, &mut set);
+    set
+}
+
+// ---------------------------------------------------------------------
+// Strength reduction
+// ---------------------------------------------------------------------
+
+/// Integer-only strength reduction: multiplies by powers of two become
+/// shifts (bit-exact under wrapping semantics), and arithmetic/bitwise
+/// identities collapse to copies. Floating point is deliberately left
+/// untouched — `x + 0.0`, `x * 1.0` and friends are not bit-safe under
+/// `-0.0`/NaN.
+pub struct StrengthReduce;
+
+impl Pass for StrengthReduce {
+    fn name(&self) -> &'static str {
+        "strength-reduce"
+    }
+
+    fn run(&self, f: &mut SsaFunc) -> u64 {
+        let mut reduced = 0;
+        for_each_op(&mut f.body, &mut |i| {
+            if let Some(op) = reduce(&i.op) {
+                i.op = op;
+                reduced += 1;
+            }
+        });
+        reduced
+    }
+}
+
+/// Apply `f` to every straight-line instruction in the region tree.
+pub(super) fn for_each_op(nodes: &mut [SsaNode], f: &mut impl FnMut(&mut SsaInstr)) {
+    for node in nodes {
+        match node {
+            SsaNode::Op(i) => f(i),
+            SsaNode::If { then_, else_, .. } => {
+                for_each_op(then_, f);
+                for_each_op(else_, f);
+            }
+            SsaNode::While { cond_block, body, .. } => {
+                for_each_op(cond_block, f);
+                for_each_op(body, f);
+            }
+        }
+    }
+}
+
+/// The integer immediate of an operand, if any.
+fn int_imm(o: SsaOperand) -> Option<(i64, Type)> {
+    match o {
+        SsaOperand::Imm(Value::I32(x)) => Some((x as i64, Type::I32)),
+        SsaOperand::Imm(Value::I64(x)) => Some((x, Type::I64)),
+        _ => None,
+    }
+}
+
+fn int_value(x: i64, ty: Type) -> Value {
+    match ty {
+        Type::I32 => Value::I32(x as i32),
+        Type::I64 => Value::I64(x),
+        _ => unreachable!("integer immediate"),
+    }
+}
+
+fn reduce(op: &SsaOp) -> Option<SsaOp> {
+    let SsaOp::Bin(bin, a, b) = op else { return None };
+    // Multiplication commutes (wrapping), so normalize the immediate to
+    // the right for the `Mul` rules.
+    let (x, c, ty) = match (int_imm(*a), int_imm(*b)) {
+        (_, Some((c, ty))) => (*a, c, ty),
+        (Some((c, ty)), None) if matches!(bin, BinOp::Mul | BinOp::Add) => (*b, c, ty),
+        _ => return None,
+    };
+    match bin {
+        BinOp::Mul if c == 0 => Some(SsaOp::Copy(SsaOperand::Imm(zero(ty)))),
+        BinOp::Mul if c == 1 => Some(SsaOp::Copy(x)),
+        BinOp::Mul if c > 1 && (c & (c - 1)) == 0 => {
+            // Wrapping multiply by 2^k is exactly shift-left by k.
+            let k = c.trailing_zeros() as i64;
+            Some(SsaOp::Bin(BinOp::Shl, x, SsaOperand::Imm(int_value(k, ty))))
+        }
+        BinOp::Add if c == 0 => Some(SsaOp::Copy(x)),
+        // Only `x - 0` (immediate on the right) is an identity.
+        BinOp::Sub if c == 0 && int_imm(*b).is_some() => Some(SsaOp::Copy(x)),
+        BinOp::Div if c == 1 && int_imm(*b).is_some() => Some(SsaOp::Copy(x)),
+        BinOp::Rem if c == 1 && int_imm(*b).is_some() => {
+            Some(SsaOp::Copy(SsaOperand::Imm(zero(ty))))
+        }
+        BinOp::Shl | BinOp::Shr if c == 0 && int_imm(*b).is_some() => Some(SsaOp::Copy(x)),
+        BinOp::Or | BinOp::Xor if c == 0 && int_imm(*b).is_some() => Some(SsaOp::Copy(x)),
+        BinOp::And if c == 0 && int_imm(*b).is_some() => {
+            Some(SsaOp::Copy(SsaOperand::Imm(zero(ty))))
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,204 @@
+//! SSA → structured IR reconstruction.
+//!
+//! Every SSA value gets its own fresh register (parameters keep registers
+//! `0..params.len()`), so reconstruction never has to reason about
+//! interference: `If` results become a `Mov` per arm end, `While` carried
+//! slots become registers initialized before the loop and re-assigned at
+//! the body end, and loop results are bound from the exit values after
+//! the loop. The only subtlety is the loop-feedback assignment, which is
+//! a *parallel* move (`next` may read other carried registers), resolved
+//! move-by-move with a scratch register per broken cycle.
+
+use super::{SsaFunc, SsaInstr, SsaNode, SsaOp, SsaOperand, ValId};
+use crate::ir::{Instr, KernelIr, Operand, Reg, Type};
+
+/// Rebuild a structured kernel from SSA form.
+pub(super) fn reconstruct(f: &SsaFunc) -> KernelIr {
+    let mut rc = Reconstructor { f, regs: f.params.clone(), reg_of: vec![None; f.vals.len()] };
+    for i in 0..f.params.len() {
+        rc.reg_of[i] = Some(Reg(i as u16));
+    }
+    let body = rc.seq(&f.body);
+    KernelIr {
+        name: f.name.clone(),
+        params: f.params.clone(),
+        regs: rc.regs,
+        shared_bytes: f.shared_bytes,
+        body,
+    }
+}
+
+struct Reconstructor<'f> {
+    f: &'f SsaFunc,
+    regs: Vec<Type>,
+    reg_of: Vec<Option<Reg>>,
+}
+
+impl Reconstructor<'_> {
+    fn fresh(&mut self, ty: Type) -> Reg {
+        assert!(self.regs.len() < u16::MAX as usize, "register file overflow");
+        self.regs.push(ty);
+        Reg((self.regs.len() - 1) as u16)
+    }
+
+    /// The register backing a value, allocated at its def.
+    fn def(&mut self, v: ValId) -> Reg {
+        debug_assert!(self.reg_of[v.0 as usize].is_none(), "SSA value defined twice");
+        let r = self.fresh(self.f.val_type(v));
+        self.reg_of[v.0 as usize] = Some(r);
+        r
+    }
+
+    fn reg(&self, v: ValId) -> Reg {
+        self.reg_of[v.0 as usize].expect("use dominated by def")
+    }
+
+    fn operand(&self, o: SsaOperand) -> Operand {
+        match o {
+            SsaOperand::Val(v) => Operand::Reg(self.reg(v)),
+            SsaOperand::Imm(v) => Operand::Imm(v),
+        }
+    }
+
+    /// Materialize a boolean operand as a register (conditions of
+    /// `Sel`/`If`/`While` must be registers), appending a `Mov` if it is
+    /// an immediate.
+    fn cond_reg(&mut self, o: SsaOperand, out: &mut Vec<Instr>) -> Reg {
+        match o {
+            SsaOperand::Val(v) => self.reg(v),
+            SsaOperand::Imm(v) => {
+                let r = self.fresh(v.ty());
+                out.push(Instr::Mov { dst: r, src: Operand::Imm(v) });
+                r
+            }
+        }
+    }
+
+    fn seq(&mut self, nodes: &[SsaNode]) -> Vec<Instr> {
+        let mut out = Vec::new();
+        for node in nodes {
+            self.node(node, &mut out);
+        }
+        out
+    }
+
+    fn node(&mut self, node: &SsaNode, out: &mut Vec<Instr>) {
+        match node {
+            SsaNode::Op(i) => self.op(i, out),
+            SsaNode::If { cond, then_, else_, then_yield, else_yield, results } => {
+                let cond = self.cond_reg(*cond, out);
+                let mut t = self.seq(then_);
+                let mut e = self.seq(else_);
+                // Bind results at each arm end; destinations are fresh,
+                // so sequential moves are safe.
+                let res_regs: Vec<Reg> = results.iter().map(|&r| self.def(r)).collect();
+                for (i, &r) in res_regs.iter().enumerate() {
+                    t.push(Instr::Mov { dst: r, src: self.operand(then_yield[i]) });
+                    e.push(Instr::Mov { dst: r, src: self.operand(else_yield[i]) });
+                }
+                out.push(Instr::If { cond, then_: t, else_: e });
+            }
+            SsaNode::While { carried, init, cond_block, cond, exit_vals, body, next, results } => {
+                // Carried slots live in their own registers across the loop.
+                let slot_regs: Vec<Reg> = carried.iter().map(|&c| self.def(c)).collect();
+                for (i, &r) in slot_regs.iter().enumerate() {
+                    out.push(Instr::Mov { dst: r, src: self.operand(init[i]) });
+                }
+                let mut cb = self.seq(cond_block);
+                let cond = self.cond_reg(*cond, &mut cb);
+                let mut b = self.seq(body);
+                // Feedback is a parallel move: `next` may read carried
+                // registers that are also being overwritten.
+                let moves: Vec<(Reg, Operand)> =
+                    slot_regs.iter().zip(next).map(|(&dst, &n)| (dst, self.operand(n))).collect();
+                self.parallel_move(moves, &mut b);
+                out.push(Instr::While { cond_block: cb, cond, body: b });
+                // After the loop the slot registers hold the last
+                // iteration's cond-block state; exit values were defined
+                // in the cond block (or are carried registers), so their
+                // registers still hold the escaping values.
+                for (i, &res) in results.iter().enumerate() {
+                    let src = self.operand(exit_vals[i]);
+                    let r = self.def(res);
+                    out.push(Instr::Mov { dst: r, src });
+                }
+            }
+        }
+    }
+
+    /// Emit a set of simultaneous `dst := src` moves sequentially,
+    /// postponing moves whose destination is still read by a pending
+    /// move and breaking cycles through a scratch register.
+    fn parallel_move(&mut self, mut moves: Vec<(Reg, Operand)>, out: &mut Vec<Instr>) {
+        // Drop no-ops (dst := dst).
+        moves.retain(|(dst, src)| !matches!(src, Operand::Reg(r) if r == dst));
+        while !moves.is_empty() {
+            let ready = moves.iter().position(|&(dst, _)| {
+                !moves.iter().any(|(_, src)| matches!(src, Operand::Reg(r) if *r == dst))
+            });
+            match ready {
+                Some(i) => {
+                    let (dst, src) = moves.remove(i);
+                    out.push(Instr::Mov { dst, src });
+                }
+                None => {
+                    // Every pending destination is read by another pending
+                    // move: a cycle. Park one source in a scratch register.
+                    let (dst, src) = moves[0];
+                    let Operand::Reg(src_reg) = src else { unreachable!("imm sources are ready") };
+                    let scratch = self.fresh(self.regs[src_reg.0 as usize]);
+                    out.push(Instr::Mov { dst: scratch, src: Operand::Reg(src_reg) });
+                    moves[0] = (dst, Operand::Reg(scratch));
+                }
+            }
+        }
+    }
+
+    fn op(&mut self, i: &SsaInstr, out: &mut Vec<Instr>) {
+        let instr = match &i.op {
+            SsaOp::Copy(src) => {
+                let src = self.operand(*src);
+                Instr::Mov { dst: self.def(i.dst.expect("copy defines")), src }
+            }
+            SsaOp::Bin(op, a, b) => {
+                let (a, b) = (self.operand(*a), self.operand(*b));
+                Instr::Bin { op: *op, dst: self.def(i.dst.expect("bin defines")), a, b }
+            }
+            SsaOp::Un(op, a) => {
+                let a = self.operand(*a);
+                Instr::Un { op: *op, dst: self.def(i.dst.expect("un defines")), a }
+            }
+            SsaOp::Cmp(op, a, b) => {
+                let (a, b) = (self.operand(*a), self.operand(*b));
+                Instr::Cmp { op: *op, dst: self.def(i.dst.expect("cmp defines")), a, b }
+            }
+            SsaOp::Sel { cond, a, b } => {
+                let cond = self.cond_reg(*cond, out);
+                let (a, b) = (self.operand(*a), self.operand(*b));
+                Instr::Sel { dst: self.def(i.dst.expect("sel defines")), cond, a, b }
+            }
+            SsaOp::Cvt(a) => {
+                let a = self.operand(*a);
+                Instr::Cvt { dst: self.def(i.dst.expect("cvt defines")), a }
+            }
+            SsaOp::Special(kind) => {
+                Instr::Special { dst: self.def(i.dst.expect("special defines")), kind: *kind }
+            }
+            SsaOp::Ld { space, addr } => {
+                let addr = self.operand(*addr);
+                Instr::Ld { dst: self.def(i.dst.expect("ld defines")), space: *space, addr }
+            }
+            SsaOp::St { space, addr, value } => {
+                Instr::St { space: *space, addr: self.operand(*addr), value: self.operand(*value) }
+            }
+            SsaOp::Atomic { op, space, addr, value } => {
+                let (addr, value) = (self.operand(*addr), self.operand(*value));
+                let dst = i.dst.map(|d| self.def(d));
+                Instr::Atomic { op: *op, space: *space, addr, value, dst }
+            }
+            SsaOp::Bar => Instr::Bar,
+            SsaOp::Trap(message) => Instr::Trap { message: message.clone() },
+        };
+        out.push(instr);
+    }
+}

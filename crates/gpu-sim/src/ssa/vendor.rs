@@ -1,0 +1,180 @@
+//! Per-vendor lowering passes, parameterized on [`DeviceSpec`].
+//!
+//! These run only at `O2` and only when the target device is known. They
+//! follow the same bit-exactness contract as the machine-independent
+//! passes (see [`super::passes`]); what differs per vendor is *when* a
+//! rewrite is profitable, driven by the execution-width attribute of the
+//! [`DeviceSpec`] — the paper's observation that the same portable
+//! kernel wants different shapes on a 32-wide warp, a 64-wide wavefront,
+//! and a 16-wide sub-group.
+
+use super::passes::{for_each_op, speculatable, Pass};
+use super::{SsaFunc, SsaNode, SsaOp, SsaOperand, ValId};
+use crate::device::DeviceSpec;
+use crate::ir::{BinOp, Value};
+use std::collections::HashMap;
+
+/// Divergence-aware if-conversion: an `If` whose arms are short and pure
+/// (no loads, stores, atomics, barriers, traps, or nested control)
+/// becomes straight-line code with one `Sel` per result. Under lockstep
+/// execution a divergent branch costs both arms *plus* mask management,
+/// so the profitability threshold scales with the execution width: a
+/// 64-wide wavefront flattens more aggressively than a 16-wide
+/// sub-group. Speculation is safe because every flattened instruction is
+/// pure and non-trapping; stores, atomics, and barriers never speculate,
+/// so semantic counters are unchanged.
+pub struct DivergenceFlatten {
+    /// Maximum total arm instructions worth flattening.
+    threshold: usize,
+}
+
+impl DivergenceFlatten {
+    /// Thresholds per execution width: wavefront-wide (≥64) devices pay
+    /// the most for divergence, narrow sub-groups (<32) the least.
+    pub fn for_spec(spec: &DeviceSpec) -> Self {
+        let threshold = if spec.warp_width >= 64 {
+            8
+        } else if spec.warp_width >= 32 {
+            4
+        } else {
+            2
+        };
+        Self { threshold }
+    }
+}
+
+impl Pass for DivergenceFlatten {
+    fn name(&self) -> &'static str {
+        "divergence-flatten"
+    }
+
+    fn run(&self, f: &mut SsaFunc) -> u64 {
+        let vals = f.vals.clone();
+        let mut flattened = 0;
+        let body = std::mem::take(&mut f.body);
+        f.body = flatten_seq(body, &vals, self.threshold, &mut flattened);
+        flattened
+    }
+}
+
+fn flatten_seq(
+    nodes: Vec<SsaNode>,
+    vals: &[crate::ir::Type],
+    threshold: usize,
+    flattened: &mut u64,
+) -> Vec<SsaNode> {
+    let mut out = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        match node {
+            SsaNode::Op(i) => out.push(SsaNode::Op(i)),
+            SsaNode::If { cond, then_, else_, then_yield, else_yield, results } => {
+                // Bottom-up: flattening inner conditionals first can make
+                // the outer one flattenable too.
+                let then_ = flatten_seq(then_, vals, threshold, flattened);
+                let else_ = flatten_seq(else_, vals, threshold, flattened);
+                let speculatable_arm = |arm: &[SsaNode]| {
+                    arm.iter().all(|n| match n {
+                        SsaNode::Op(i) => i.dst.is_some() && speculatable(vals, &i.op),
+                        _ => false,
+                    })
+                };
+                if then_.len() + else_.len() <= threshold
+                    && speculatable_arm(&then_)
+                    && speculatable_arm(&else_)
+                {
+                    *flattened += 1;
+                    out.extend(then_);
+                    out.extend(else_);
+                    for (i, res) in results.into_iter().enumerate() {
+                        out.push(SsaNode::Op(super::SsaInstr {
+                            dst: Some(res),
+                            op: SsaOp::Sel { cond, a: then_yield[i], b: else_yield[i] },
+                        }));
+                    }
+                } else {
+                    out.push(SsaNode::If { cond, then_, else_, then_yield, else_yield, results });
+                }
+            }
+            SsaNode::While { carried, init, cond_block, cond, exit_vals, body, next, results } => {
+                let cond_block = flatten_seq(cond_block, vals, threshold, flattened);
+                let body = flatten_seq(body, vals, threshold, flattened);
+                out.push(SsaNode::While {
+                    carried,
+                    init,
+                    cond_block,
+                    cond,
+                    exit_vals,
+                    body,
+                    next,
+                    results,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Address-chain folding for narrow-sub-group targets: `(x + c1) + c2`
+/// becomes `x + (c1 + c2)` (wrapping integer addition, so bit-exact).
+/// On a 16-wide sub-group the addressing chains the front-end emits per
+/// element dominate the arithmetic, so collapsing them buys
+/// proportionally more than on wide-warp devices — the pass is inert for
+/// `warp_width > 16` (same pipeline shape on every vendor, different
+/// behaviour). Rewrites leave the intermediate def in place for DCE to
+/// collect, and chains longer than two fold one link per sweep.
+pub struct AddrChainFold {
+    enabled: bool,
+}
+
+impl AddrChainFold {
+    /// Enabled only for sub-group-width (≤16) devices.
+    pub fn for_spec(spec: &DeviceSpec) -> Self {
+        Self { enabled: spec.warp_width <= 16 }
+    }
+}
+
+impl Pass for AddrChainFold {
+    fn name(&self) -> &'static str {
+        "addr-chain-fold"
+    }
+
+    fn run(&self, f: &mut SsaFunc) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        // def id → (other operand, integer immediate) for every
+        // `Add`-with-immediate def. Dominance is preserved by
+        // construction: the replacement operand already dominated the
+        // def we're looking through.
+        let mut adds: HashMap<ValId, (SsaOperand, Value)> = HashMap::new();
+        for_each_op(&mut f.body, &mut |i| {
+            if let (Some(d), Some((x, c))) = (i.dst, add_imm(&i.op)) {
+                adds.insert(d, (x, c));
+            }
+        });
+        let mut folded = 0;
+        for_each_op(&mut f.body, &mut |i| {
+            let Some((x, c2)) = add_imm(&i.op) else { return };
+            let Some(v) = x.as_val() else { return };
+            let Some(&(y, c1)) = adds.get(&v) else { return };
+            let c = match (c1, c2) {
+                (Value::I32(a), Value::I32(b)) => Value::I32(a.wrapping_add(b)),
+                (Value::I64(a), Value::I64(b)) => Value::I64(a.wrapping_add(b)),
+                _ => return,
+            };
+            i.op = SsaOp::Bin(BinOp::Add, y, SsaOperand::Imm(c));
+            folded += 1;
+        });
+        folded
+    }
+}
+
+/// Destructure an integer `Add` with exactly one immediate operand.
+fn add_imm(op: &SsaOp) -> Option<(SsaOperand, Value)> {
+    let SsaOp::Bin(BinOp::Add, a, b) = op else { return None };
+    match (a, b) {
+        (x, SsaOperand::Imm(c @ (Value::I32(_) | Value::I64(_)))) => Some((*x, *c)),
+        (SsaOperand::Imm(c @ (Value::I32(_) | Value::I64(_))), x) => Some((*x, *c)),
+        _ => None,
+    }
+}

@@ -25,7 +25,7 @@ use crate::compiler::{CompileError, VirtualCompiler};
 use crate::diskcache::{DiskStats, DiskTier};
 use mcmm_core::taxonomy::{Language, Model, Vendor};
 use mcmm_gpu_sim::ir::KernelIr;
-use mcmm_gpu_sim::Module;
+use mcmm_gpu_sim::{Module, OptLevel};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -61,6 +61,10 @@ pub struct CacheKey {
     pub language: Language,
     /// Target vendor.
     pub vendor: Vendor,
+    /// Middle-end optimization level tag ([`OptLevel::tag`]) the artifact
+    /// was compiled at. O0 and O2 builds of the same kernel emit different
+    /// code, so they must never share an artifact.
+    pub opt: u8,
 }
 
 /// Per-entry statistics, readable while the cache is live.
@@ -206,6 +210,7 @@ impl CompileCache {
             model,
             language,
             vendor,
+            opt: OptLevel::resolve().tag(),
         };
         {
             let mut inner = self.inner.lock();

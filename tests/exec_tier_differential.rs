@@ -9,15 +9,16 @@
 //! same support pattern under both tiers.
 
 use many_models::babelstream::runner::{sweep, unsupported_count, verified_count};
-use many_models::gpu_sim::counters::Counters;
+use many_models::gpu_sim::counters::{Counters, LaunchStats};
 use many_models::gpu_sim::device::{Device, ExecTier, KernelArg, LaunchConfig};
 use many_models::gpu_sim::exec::{run_block, run_block_racecheck, BlockCtx};
 use many_models::gpu_sim::ir::{BinOp, CmpOp, KernelBuilder, KernelIr, Space, Type, Value};
 use many_models::gpu_sim::lower::lower;
 use many_models::gpu_sim::mem::GlobalMemory;
 use many_models::gpu_sim::vexec::run_block_lv;
-use many_models::gpu_sim::{set_process_exec_tier, DeviceSpec};
-use mcmm_analyze::{corpus, MCA003};
+use many_models::gpu_sim::{set_process_exec_tier, set_process_opt_level, DeviceSpec, OptLevel};
+use mcmm_analyze::portability::portability;
+use mcmm_analyze::{analyze, corpus, MCA003};
 use proptest::prelude::*;
 use std::sync::Mutex;
 
@@ -114,6 +115,51 @@ fn tiers_agree_on_device(kernel: &KernelIr, spec: DeviceSpec, n: usize) {
     assert_eq!(scalar_stats, vec_stats, "counters diverge on {}", spec.name);
 }
 
+/// The counters optimization is not allowed to change: what the kernel
+/// does to memory and how the launch was shaped. (`warp_instructions`,
+/// `warp_arith`, and `bytes_read` legitimately shrink when the
+/// middle-end removes arithmetic or merges redundant loads.)
+fn semantic_counters(s: &LaunchStats) -> (u64, u64, u64, u64, u64) {
+    (s.bytes_written, s.atomics, s.barriers, s.blocks, s.warps)
+}
+
+/// Launch `kernel` at every optimization level on both tiers of one
+/// vendor device (per-device knobs — no global state) and require
+/// byte-identical output buffers and identical semantic counters across
+/// all six runs.
+fn levels_agree_on_device(kernel: &KernelIr, spec: &DeviceSpec, n: usize) {
+    let inputs: Vec<f64> = (0..n).map(|i| (i as f64) * 0.731 - 11.0).collect();
+    let run = |tier: ExecTier, level: OptLevel| {
+        let dev = Device::new(spec.clone());
+        dev.set_exec_tier(tier);
+        dev.set_opt_level(level);
+        let dx = dev.alloc_copy_f64(&inputs).unwrap();
+        let dy = dev.alloc_copy_f64(&vec![0.0; n]).unwrap();
+        let report = dev
+            .launch_kernel(
+                kernel,
+                LaunchConfig::linear(n as u64, 64),
+                &[KernelArg::Ptr(dx), KernelArg::Ptr(dy), KernelArg::I32(n as i32)],
+            )
+            .unwrap();
+        let bytes = dev.memcpy_d2h(dy, n as u64 * 8).unwrap().0;
+        (bytes, report.stats)
+    };
+    let (ref_bytes, ref_stats) = run(ExecTier::Scalar, OptLevel::O0);
+    for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+        for tier in [ExecTier::Scalar, ExecTier::Vectorized] {
+            let (bytes, stats) = run(tier, level);
+            assert_eq!(ref_bytes, bytes, "buffers diverge at {level} on {} ({tier:?})", spec.name);
+            assert_eq!(
+                semantic_counters(&ref_stats),
+                semantic_counters(&stats),
+                "semantic counters diverge at {level} on {} ({tier:?})",
+                spec.name
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -127,6 +173,19 @@ proptest! {
         prop_assert_eq!(kernel.validate(), Ok(()));
         for spec in DeviceSpec::presets() {
             tiers_agree_on_device(&kernel, spec, 192);
+        }
+    }
+
+    /// Random well-formed kernels produce byte-identical buffers and
+    /// identical semantic counters at every optimization level × tier ×
+    /// vendor combination — the middle-end's end-to-end soundness
+    /// contract, exercised against the scalar-O0 reference.
+    #[test]
+    fn opt_levels_agree_on_random_kernels(rk in arb_kernel()) {
+        let kernel = rk.build();
+        prop_assert_eq!(kernel.validate(), Ok(()));
+        for spec in DeviceSpec::presets() {
+            levels_agree_on_device(&kernel, &spec, 192);
         }
     }
 }
@@ -238,4 +297,62 @@ fn conformance_sweep_is_tier_invariant() {
         assert_eq!(verified_count(&s), 23, "{tier:?} verified cells");
         assert_eq!(unsupported_count(&s), 4, "{tier:?} matrix holes");
     }
+}
+
+/// The 27-cell sweep also reports the same support pattern at every
+/// optimization level: the middle-end may make cells faster, never
+/// change whether they verify. At O1/O2 the sweep's devices must in fact
+/// have routed kernels through the middle-end (non-zero `OptStats`).
+#[test]
+fn conformance_sweep_is_opt_level_invariant() {
+    let _guard = TIER_LOCK.lock().unwrap();
+    for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+        set_process_opt_level(Some(level));
+        let s = sweep(256, 1);
+        set_process_opt_level(None);
+        assert_eq!(s.entries.len(), 27, "{level}");
+        assert_eq!(verified_count(&s), 23, "{level} verified cells");
+        assert_eq!(unsupported_count(&s), 4, "{level} matrix holes");
+        if level == OptLevel::O0 {
+            assert_eq!(s.opt.kernels, 0, "O0 must bypass the middle-end");
+        } else {
+            assert!(s.opt.kernels > 0, "{level} sweep never reached the middle-end");
+        }
+    }
+}
+
+/// The analyzer's verdicts are a property of the kernel as written:
+/// every seeded-defect diagnosis and every portability report is
+/// identical no matter what the process-wide optimization level says.
+/// (The compile path's own post-optimization re-lint is defense in
+/// depth; the authoritative verdicts must never move.)
+#[test]
+fn analyzer_verdicts_are_opt_level_invariant() {
+    let _guard = TIER_LOCK.lock().unwrap();
+    let snapshot = || {
+        let mut out = String::new();
+        for entry in corpus::seeded_defects() {
+            let report = analyze(&entry.kernel, &entry.opts);
+            out.push_str(&format!("{}: {report:?}\n", entry.kernel.name));
+            assert!(
+                report.diagnostics.iter().any(|d| d.code == entry.expect),
+                "`{}` lost its {} verdict",
+                entry.kernel.name,
+                entry.expect
+            );
+        }
+        for entry in corpus::portability_corpus() {
+            let report = portability(&entry.kernel, &entry.opts);
+            out.push_str(&format!("{}: {report:?}\n", entry.kernel.name));
+        }
+        out
+    };
+    set_process_opt_level(Some(OptLevel::O0));
+    let at_o0 = snapshot();
+    for level in [OptLevel::O1, OptLevel::O2] {
+        set_process_opt_level(Some(level));
+        let at_level = snapshot();
+        assert_eq!(at_o0, at_level, "analyzer verdicts moved at {level}");
+    }
+    set_process_opt_level(None);
 }
