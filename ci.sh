@@ -31,16 +31,22 @@ cargo run --release -p mcmm-bench --bin exec -- --smoke
 echo "── memory-hierarchy smoke ─────────────────────────"
 # Six kernel shapes × three vendor devices through the traced memory
 # hierarchy: asserts buffers are byte-identical with tracing on/off and
-# under trace-driven timing, replay is deterministic, coalesced copies
-# fill ≥95% of their sectors while the 128B-strided gather does not,
-# and the per-vendor L1 hit rates genuinely diverge.
+# under trace-driven timing, the streaming per-block replay is
+# bit-identical to the buffered serial reference, coalesced copies fill
+# ≥95% of their sectors while the 128B-strided gather does not, the
+# per-vendor L1 hit rates genuinely diverge, and streaming tracing
+# wall-clock overhead stays under budget (1.5×/3× full/smoke on ≥4
+# cores; a 12× serial-replay backstop on narrower hosts).
 cargo run --release -p mcmm-bench --bin memhier -- --smoke
 
 echo "── http front-door smoke ──────────────────────────"
 # Seeded duplicate-heavy workload through the gateway's real HTTP surface
 # (loopback client pool), twice over one artifact directory: asserts every
 # response byte-identical to serial execution, >0 coalesced submissions,
-# and a warm-restart hit rate strictly above cold with zero warm compiles.
+# a warm-restart hit rate strictly above cold with zero warm compiles,
+# and /v1/stats reporting live memory rows (mem_traced_launches > 0 —
+# default-on tracing really runs under load). Full runs additionally
+# gate p99 against the pre-tracing baseline.
 cargo run --release -p mcmm-bench --bin serve-http -- --smoke
 
 echo "── adapter boilerplate guard ──────────────────────"

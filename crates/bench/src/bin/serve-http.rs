@@ -20,7 +20,15 @@
 //!   (the workload's `duplicate_percent` knob makes this measurable);
 //! * the warm restart's effective cache hit rate is strictly above the
 //!   cold process's, and the warm restart compiles nothing
-//!   (`disk_fills == 0`) — the disk tier genuinely persists artifacts.
+//!   (`disk_fills == 0`) — the disk tier genuinely persists artifacts;
+//! * `/v1/stats` reports live memory rows (`mem_traced_launches > 0`) —
+//!   the default-on trace pipeline is actually running under load, not
+//!   silently disabled;
+//! * on the default full workload, p99 latency stays within 20% of the
+//!   pre-tracing baseline (`BENCH_serve_http.json` from the gateway PR)
+//!   — the production claim that tracing is cheap enough to leave on.
+//!   The 20% budget needs cores for the per-block replay to overlap
+//!   with; hosts under 4 cores get a regression-backstop budget instead.
 
 use mcmm_gateway::{Gateway, GatewayConfig, HttpClient, SubmitRequest, SubmitResponse};
 use mcmm_gateway::{HttpServer, TenantPolicy};
@@ -177,13 +185,23 @@ fn main() {
     };
 
     // Cold process: every route compiles once, artifacts persist to disk.
-    let (cold, cold_stats) = {
+    let (cold, cold_stats, wire_mem_launches) = {
         let gateway = Arc::new(Gateway::new(cfg()).expect("cold gateway up"));
         let server = HttpServer::start("127.0.0.1:0", gateway, clients.min(8)).expect("bind");
         let outcome = drive(server.addr(), &bodies, clients);
+        // Read the memory rows over the wire, not in-process: the check
+        // is that an operator polling `/v1/stats` sees tracing live.
+        let mut probe = HttpClient::connect(server.addr()).expect("stats client connects");
+        let (status, body) = probe.request("GET", "/v1/stats", None).expect("stats exchange");
+        assert_eq!(status, 200, "/v1/stats answers 200");
+        let wire: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&body).expect("utf8 stats"))
+                .expect("well-formed stats JSON");
+        let wire_mem_launches =
+            wire["mem_traced_launches"].as_u64().expect("stats carry mem_traced_launches");
         let stats = server.gateway().stats();
         server.shutdown();
-        (outcome, stats)
+        (outcome, stats, wire_mem_launches)
     };
     // Warm restart: a new process image over the same artifact directory.
     let (warm, warm_stats) = {
@@ -332,6 +350,57 @@ fn main() {
     if warm_stats.disk_fills != 0 {
         eprintln!("FAIL: warm restart recompiled {} artifacts", warm_stats.disk_fills);
         failed = true;
+    }
+    if wire_mem_launches == 0 {
+        eprintln!(
+            "FAIL: /v1/stats reports mem_traced_launches = 0 after {} requests — \
+             default-on tracing is not reaching the shard devices",
+            cold.latencies.len()
+        );
+        failed = true;
+    }
+    // Latency regression gate against the pre-tracing gateway baseline
+    // (BENCH_serve_http.json as of the gateway PR, same default workload:
+    // 100k jobs, 8 clients, 4 shards). Tracing on by default must not
+    // move p99 by more than 20% — when there are cores for the per-block
+    // replay to overlap with. On a narrower host every replay cycle
+    // comes straight out of request throughput, so the budget is only a
+    // backstop against gross regressions there. Only meaningful when the
+    // workload knobs are at their defaults — a custom --jobs/--clients
+    // run measures a different distribution.
+    const BASELINE_COLD_P99_US: f64 = 3997.1;
+    const BASELINE_WARM_P99_US: f64 = 4873.8;
+    if smoke {
+        // The smoke workload is too small to compare against the full
+        // baseline, but a traced-by-default gateway melting down (lock
+        // storms, unbounded replay) still shows up as a p99 blowout.
+        const SMOKE_P99_CEILING_US: f64 = 25_000.0;
+        for (name, p99) in [("cold", cold_latency.p99_us), ("warm", warm_latency.p99_us)] {
+            if p99 > SMOKE_P99_CEILING_US {
+                eprintln!(
+                    "FAIL: {name} smoke p99 {p99:.1}µs exceeds the \
+                     {SMOKE_P99_CEILING_US:.0}µs sanity ceiling"
+                );
+                failed = true;
+            }
+        }
+    }
+    if !smoke && jobs == 100_000 && clients == 8 && shards == 4 {
+        let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+        let budget = if host_cores >= 4 { 1.2 } else { 2.5 };
+        for (name, p99, baseline) in [
+            ("cold", cold_latency.p99_us, BASELINE_COLD_P99_US),
+            ("warm", warm_latency.p99_us, BASELINE_WARM_P99_US),
+        ] {
+            if p99 > baseline * budget {
+                eprintln!(
+                    "FAIL: {name} p99 {p99:.1}µs exceeds the pre-tracing baseline \
+                     {baseline:.1}µs by more than {:.0}% ({host_cores} host cores)",
+                    (budget - 1.0) * 100.0
+                );
+                failed = true;
+            }
+        }
     }
     if failed {
         std::process::exit(1);

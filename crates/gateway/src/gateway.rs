@@ -106,6 +106,16 @@ pub struct GatewayStats {
     /// Instructions removed by optimization (before − after) across every
     /// shard device.
     pub opt_instrs_removed: u64,
+    /// Traced launches merged into the memory rows across every shard
+    /// device (> 0 whenever serve-side tracing is on, the default).
+    pub mem_traced_launches: u64,
+    /// Aggregate simulated-L1 hit rate across every shard device.
+    pub mem_l1_hit_rate: f64,
+    /// Aggregate simulated-L2 hit rate across every shard device.
+    pub mem_l2_hit_rate: f64,
+    /// Aggregate simulated DRAM traffic in bytes across every shard
+    /// device.
+    pub mem_dram_bytes: u64,
 }
 
 /// The sharded front-door core.
@@ -251,6 +261,17 @@ impl Gateway {
                     .map(|v| s.service().device(v).opt_stats())
             })
             .fold(mcmm_gpu_sim::OptStats::default(), |acc, s| acc.merged(s));
+        let (mem, mem_traced_launches) = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                mcmm_core::taxonomy::Vendor::ALL.into_iter().map(|v| {
+                    (s.service().device(v).mem_stats(), s.service().device(v).mem_launches())
+                })
+            })
+            .fold((mcmm_gpu_sim::MemStats::default(), 0u64), |(acc, n), (s, l)| {
+                (acc.merged(s), n + l)
+            });
         GatewayStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             throttled: self.throttled.load(Ordering::Relaxed),
@@ -267,6 +288,10 @@ impl Gateway {
             opt_kernels: opt.kernels,
             opt_rewrites: opt.rewrites(),
             opt_instrs_removed: opt.removed(),
+            mem_traced_launches,
+            mem_l1_hit_rate: mem.l1_hit_rate(),
+            mem_l2_hit_rate: mem.l2_hit_rate(),
+            mem_dram_bytes: mem.dram_bytes,
         }
     }
 

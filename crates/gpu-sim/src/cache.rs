@@ -34,30 +34,51 @@ pub struct CacheOutcome {
     pub writebacks: Vec<u64>,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    /// Line-aligned base address; `u64::MAX` = invalid.
-    tag: u64,
-    /// Per-sector valid bits.
-    valid: u64,
-    /// Per-sector dirty bits.
-    dirty: u64,
-    /// LRU clock at last touch.
-    tick: u64,
-}
-
-const EMPTY: Line = Line { tag: u64::MAX, valid: 0, dirty: 0, tick: 0 };
-
 /// One cache level. See the module docs for the policy model.
+///
+/// Lines are stored as parallel arrays (SoA), not an array of structs:
+/// a probe scans all ways of one set, and for a multi-megabyte L2 with
+/// 16 ways the struct layout would pull ~10 host cache lines per probe
+/// where the tag array alone needs two. The replay is memory-latency
+/// bound on exactly that scan, so the layout is the difference between
+/// tracing being cheap enough to leave on and not.
+///
+/// Line validity is "tick ≥ floor": `ticks` holds the LRU clock at last
+/// touch, and [`reset`](Self::reset) simply raises `floor` past every
+/// existing tick — O(1) invalidation of the whole array with no writes,
+/// and stale lines (tick < floor) sort exactly like never-used ways in
+/// victim selection.
 #[derive(Debug, Clone)]
 pub struct SectoredCache {
     line_bytes: u64,
     sector_bytes: u64,
     sectors_per_line: u32,
     sets: u64,
+    /// `log2(line_bytes)` / `log2(sector_bytes)` / `sets - 1` — the
+    /// probe path runs per replayed sector, so indexing must be
+    /// shift-and-mask, not division.
+    line_shift: u32,
+    sector_shift: u32,
+    set_mask: u64,
     ways: usize,
-    lines: Vec<Line>,
+    /// Line-aligned base address per line; `u64::MAX` = never used.
+    tags: Vec<u64>,
+    /// LRU clock at last touch per line; `< floor` = invalid.
+    ticks: Vec<u64>,
+    /// Per-sector valid bits per line.
+    valid: Vec<u64>,
+    /// Per-sector dirty bits per line.
+    dirty: Vec<u64>,
+    /// Monotonic LRU clock; never rewinds (resets move `floor` instead).
     tick: u64,
+    /// Validity threshold: only lines touched at or after it exist.
+    floor: u64,
+    /// Indices of lines that became dirty since the last flush/reset,
+    /// so [`flush_dirty`] walks the dirty set instead of every line.
+    /// May hold duplicates or since-cleaned indices; the flush rechecks.
+    ///
+    /// [`flush_dirty`]: SectoredCache::flush_dirty
+    dirty_lines: Vec<u32>,
 }
 
 impl SectoredCache {
@@ -71,51 +92,93 @@ impl SectoredCache {
         let sets = (bytes / (line_bytes * ways as u64)).max(1);
         // Power-of-two sets keep the index a mask; round down.
         let sets = 1u64 << (63 - sets.leading_zeros() as u64);
+        let lines = (sets as usize) * ways;
+        assert!(lines <= u32::MAX as usize, "cache line count must fit the dirty-line index");
         Self {
             line_bytes,
             sector_bytes,
             sectors_per_line: (line_bytes / sector_bytes) as u32,
             sets,
+            line_shift: line_bytes.trailing_zeros(),
+            sector_shift: sector_bytes.trailing_zeros(),
+            set_mask: sets - 1,
             ways,
-            lines: vec![EMPTY; (sets as usize) * ways],
+            tags: vec![u64::MAX; lines],
+            ticks: vec![0; lines],
+            valid: vec![0; lines],
+            dirty: vec![0; lines],
             tick: 0,
+            floor: 1,
+            dirty_lines: Vec::new(),
         }
     }
 
+    /// Whether the line at `i` is currently valid (touched at or after
+    /// the validity floor).
+    fn live(&self, i: usize) -> bool {
+        self.ticks[i] >= self.floor
+    }
+
     fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
-        let set = ((addr / self.line_bytes) % self.sets) as usize;
+        let set = ((addr >> self.line_shift) & self.set_mask) as usize;
         set * self.ways..(set + 1) * self.ways
     }
 
     fn sector_bit(&self, addr: u64) -> (u64, u64) {
         let tag = addr & !(self.line_bytes - 1);
-        let idx = (addr - tag) / self.sector_bytes;
+        let idx = (addr - tag) >> self.sector_shift;
         debug_assert!(idx < u64::from(self.sectors_per_line));
         (tag, 1u64 << idx)
     }
 
-    /// Locate the way holding `tag` within the set, if resident.
+    /// Locate the way holding `tag` within the set, if resident. Scans
+    /// only the tag array (the probe's hot cache lines); the tick check
+    /// runs on tag match alone, so a stale leftover of the same tag
+    /// from before a reset reads as a miss.
     fn find(&self, range: std::ops::Range<usize>, tag: u64) -> Option<usize> {
-        self.lines[range.clone()].iter().position(|l| l.tag == tag).map(|i| range.start + i)
+        let floor = self.floor;
+        self.tags[range.clone()]
+            .iter()
+            .enumerate()
+            .position(|(o, &t)| t == tag && self.ticks[range.start + o] >= floor)
+            .map(|o| range.start + o)
     }
 
     /// Evict the LRU way of the set and return its dirty sectors.
+    /// Stale lines count as empty (tick 0), keeping victim choice
+    /// identical to a freshly-built cache.
     fn evict_lru(&mut self, range: std::ops::Range<usize>) -> (usize, Vec<u64>) {
         let victim = range
             .clone()
-            .min_by_key(|&i| (self.lines[i].tag != u64::MAX, self.lines[i].tick))
+            .min_by_key(|&i| if self.live(i) { (true, self.ticks[i]) } else { (false, 0) })
             .expect("cache sets are never empty");
-        let line = self.lines[victim];
         let mut writebacks = Vec::new();
-        if line.tag != u64::MAX && line.dirty != 0 {
+        if self.live(victim) && self.dirty[victim] != 0 {
             for s in 0..self.sectors_per_line {
-                if line.dirty & (1u64 << s) != 0 {
-                    writebacks.push(line.tag + u64::from(s) * self.sector_bytes);
+                if self.dirty[victim] & (1u64 << s) != 0 {
+                    writebacks.push(self.tags[victim] + (u64::from(s) << self.sector_shift));
                 }
             }
         }
-        self.lines[victim] = EMPTY;
+        self.tags[victim] = u64::MAX;
+        self.ticks[victim] = 0;
         (victim, writebacks)
+    }
+
+    /// Install a line at `i` (previously evicted or stale).
+    fn fill_line(&mut self, i: usize, tag: u64, valid: u64, dirty: u64) {
+        self.tags[i] = tag;
+        self.ticks[i] = self.tick;
+        self.valid[i] = valid;
+        self.dirty[i] = dirty;
+    }
+
+    /// Record that the line at `i` is about to gain its first dirty
+    /// sector since allocation or the last flush.
+    fn note_dirty(&mut self, i: usize) {
+        if self.dirty[i] == 0 {
+            self.dirty_lines.push(i as u32);
+        }
     }
 
     /// Drive a read of one sector (sector-aligned address).
@@ -124,16 +187,15 @@ impl SectoredCache {
         let (tag, bit) = self.sector_bit(sector);
         let range = self.set_range(sector);
         if let Some(i) = self.find(range.clone(), tag) {
-            let line = &mut self.lines[i];
-            line.tick = self.tick;
-            if line.valid & bit != 0 {
+            self.ticks[i] = self.tick;
+            if self.valid[i] & bit != 0 {
                 return CacheOutcome { hit: true, ..Default::default() };
             }
-            line.valid |= bit;
+            self.valid[i] |= bit;
             return CacheOutcome { filled: true, ..Default::default() };
         }
         let (victim, writebacks) = self.evict_lru(range);
-        self.lines[victim] = Line { tag, valid: bit, dirty: 0, tick: self.tick };
+        self.fill_line(victim, tag, bit, 0);
         CacheOutcome { filled: true, writebacks, ..Default::default() }
     }
 
@@ -146,29 +208,29 @@ impl SectoredCache {
         let (tag, bit) = self.sector_bit(sector);
         let range = self.set_range(sector);
         if let Some(i) = self.find(range.clone(), tag) {
-            let line = &mut self.lines[i];
-            line.tick = self.tick;
-            if line.valid & bit != 0 {
-                line.dirty |= bit;
+            self.ticks[i] = self.tick;
+            if self.valid[i] & bit != 0 {
+                self.note_dirty(i);
+                self.dirty[i] |= bit;
                 return CacheOutcome { hit: true, ..Default::default() };
             }
             // Sector miss in a resident line.
             let filled = !full_cover;
-            line.valid |= bit;
-            line.dirty |= bit;
             if !write_alloc && filled {
-                // No-allocate caches never fill on store; undo.
-                line.valid &= !bit;
-                line.dirty &= !bit;
+                // No-allocate caches never fill on store.
                 return CacheOutcome::default();
             }
+            self.note_dirty(i);
+            self.valid[i] |= bit;
+            self.dirty[i] |= bit;
             return CacheOutcome { filled, ..Default::default() };
         }
         if !write_alloc {
             return CacheOutcome::default();
         }
         let (victim, writebacks) = self.evict_lru(range);
-        self.lines[victim] = Line { tag, valid: bit, dirty: bit, tick: self.tick };
+        self.fill_line(victim, tag, bit, bit);
+        self.dirty_lines.push(victim as u32);
         CacheOutcome { filled: !full_cover, writebacks, ..Default::default() }
     }
 
@@ -180,28 +242,70 @@ impl SectoredCache {
         let (tag, bit) = self.sector_bit(sector);
         let range = self.set_range(sector);
         if let Some(i) = self.find(range, tag) {
-            let line = &mut self.lines[i];
-            line.tick = self.tick;
-            return line.valid & bit != 0;
+            self.ticks[i] = self.tick;
+            return self.valid[i] & bit != 0;
         }
         false
     }
 
+    /// Return the cache to its just-built state — every line invalid —
+    /// without touching the line arrays. Replaces a fresh `new()` per
+    /// block in the streaming replay's per-worker scratch, and MUST be
+    /// equivalent to one: the differential suite pins scratch-reused
+    /// replays bit-identical to fresh-cache replays. O(1): raising the
+    /// validity floor past the clock invalidates every line with no
+    /// array writes (a hot-loop requirement — the L2's arrays run to
+    /// megabytes). The clock itself never rewinds, but LRU only ever
+    /// compares ticks within one lifetime, so absolute values are
+    /// unobservable.
+    pub fn reset(&mut self) {
+        self.floor = self.tick + 1;
+        self.dirty_lines.clear();
+    }
+
+    /// Whether this cache was built with exactly the given geometry
+    /// (capacity expressed as sets × ways × line bytes, post-rounding).
+    pub fn geometry_matches(
+        &self,
+        bytes: u64,
+        line_bytes: u64,
+        ways: u32,
+        sector_bytes: u64,
+    ) -> bool {
+        let fresh_sets = {
+            let ways = ways.max(1) as u64;
+            let sets = (bytes / (line_bytes * ways)).max(1);
+            1u64 << (63 - sets.leading_zeros() as u64)
+        };
+        self.line_bytes == line_bytes
+            && self.sector_bytes == sector_bytes
+            && self.ways == ways.max(1) as usize
+            && self.sets == fresh_sets
+    }
+
     /// Flush every dirty sector, returning their sorted addresses. Used
-    /// at block exit (L1 → L2) and launch exit (L2 → DRAM).
+    /// at block exit (L1 → L2) and launch exit (L2 → DRAM). Walks only
+    /// the lines that dirtied since the last flush/reset, not the whole
+    /// array.
     pub fn flush_dirty(&mut self) -> Vec<u64> {
         let mut out = Vec::new();
-        for line in &mut self.lines {
-            if line.tag == u64::MAX || line.dirty == 0 {
+        let mut dl = std::mem::take(&mut self.dirty_lines);
+        for &idx in &dl {
+            let i = idx as usize;
+            // Recheck: the entry may be stale (line evicted or already
+            // flushed via a duplicate index).
+            if !self.live(i) || self.dirty[i] == 0 {
                 continue;
             }
             for s in 0..self.sectors_per_line {
-                if line.dirty & (1u64 << s) != 0 {
-                    out.push(line.tag + u64::from(s) * self.sector_bytes);
+                if self.dirty[i] & (1u64 << s) != 0 {
+                    out.push(self.tags[i] + (u64::from(s) << self.sector_shift));
                 }
             }
-            line.dirty = 0;
+            self.dirty[i] = 0;
         }
+        dl.clear();
+        self.dirty_lines = dl;
         out.sort_unstable();
         out
     }
@@ -261,6 +365,29 @@ mod tests {
         assert_eq!(out.writebacks, vec![0]);
         // Address 0 must now miss again.
         assert!(!c.read(0).hit);
+    }
+
+    #[test]
+    fn reset_is_equivalent_to_a_fresh_cache() {
+        let mut reused = SectoredCache::new(4 << 10, 128, 4, 32);
+        // Dirty it thoroughly, then reset.
+        for i in 0..512u64 {
+            reused.write((i * 32) & !31, false, true);
+        }
+        reused.reset();
+        let mut fresh = SectoredCache::new(4 << 10, 128, 4, 32);
+        let outcomes = |c: &mut SectoredCache| {
+            let mut hits = 0;
+            for i in 0..2048u64 {
+                if c.read(((i * 96) % (16 << 10)) & !31).hit {
+                    hits += 1;
+                }
+            }
+            (hits, c.flush_dirty())
+        };
+        assert_eq!(outcomes(&mut reused), outcomes(&mut fresh));
+        assert!(reused.geometry_matches(4 << 10, 128, 4, 32));
+        assert!(!reused.geometry_matches(8 << 10, 128, 4, 32));
     }
 
     #[test]

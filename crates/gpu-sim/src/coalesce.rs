@@ -2,7 +2,7 @@
 //!
 //! Real GPU memory systems do not see "lane 17 loaded 8 bytes"; they see
 //! *sector transactions*. The coalescer takes one traced memory
-//! instruction ([`crate::trace::TraceAccess`]) and groups its lane
+//! instruction ([`crate::trace::AccessView`]) and groups its lane
 //! accesses by hardware warp (lane / warp_width), then within each warp
 //! deduplicates the touched sectors — NVIDIA coalesces 32 lanes into
 //! 32-byte sectors, AMD coalesces 64 lanes into 64-byte sectors, Intel
@@ -14,9 +14,14 @@
 //! layer can account sector utilization (bytes the kernel asked for vs
 //! bytes the transaction moved) and distinguish full-sector stores
 //! (write-combining, no fill needed) from partial ones.
+//!
+//! [`coalesce_into`] is the streaming pipeline's allocation-free entry
+//! point: it reuses caller-owned buffers (one entry per lane, sorted
+//! unstably by (warp, sector) and merged in place of the old
+//! `BTreeMap`), so a hot replay loop performs no per-access heap
+//! allocation once the buffers reach their high-water mark.
 
-use crate::trace::TraceAccess;
-use std::collections::BTreeMap;
+use crate::trace::AccessView;
 
 /// One coalesced memory transaction: a sector-aligned request produced
 /// by merging all lane accesses of one warp that fall in that sector.
@@ -50,50 +55,102 @@ impl SectorReq {
     }
 }
 
-/// Coalesce one traced access into per-warp sector transactions.
+/// Reusable buffers for [`coalesce_into`]: one `(warp, sector, cover)`
+/// entry per lane, recycled across accesses at high-water capacity.
+#[derive(Debug, Default)]
+pub struct CoalesceScratch {
+    entries: Vec<(u32, u64, u64)>,
+}
+
+/// Coalesce one traced access into per-warp sector transactions,
+/// appending to `out` (which is cleared first) without allocating once
+/// the scratch buffers are warm.
 ///
 /// Lanes are grouped by `lane / warp_width`; within a warp, accesses to
 /// the same sector merge into one [`SectorReq`]. Results are ordered by
-/// (warp, sector address) — `BTreeMap` keeps the replay deterministic
-/// regardless of lane order in the trace. Accesses are naturally aligned
-/// and at most 8 bytes wide, and sectors are ≥ 32 bytes, so a single
-/// lane access never spans two sectors.
-pub fn coalesce(access: &TraceAccess, warp_width: u32, sector_bytes: u64) -> Vec<SectorReq> {
+/// (warp, sector address) — the unstable sort key is exactly the merge
+/// key, so the output order matches the original `BTreeMap` iteration
+/// order and keeps the replay deterministic regardless of lane order in
+/// the trace. Accesses are naturally aligned and at most 8 bytes wide,
+/// and sectors are ≥ 32 bytes, so a single lane access never spans two
+/// sectors.
+pub fn coalesce_into(
+    access: &AccessView<'_>,
+    warp_width: u32,
+    sector_bytes: u64,
+    scratch: &mut CoalesceScratch,
+    out: &mut Vec<SectorReq>,
+) {
     debug_assert!(sector_bytes.is_power_of_two() && (32..=64).contains(&sector_bytes));
     let warp_width = warp_width.max(1);
-    // (warp, sector address) -> (cover, lanes)
-    let mut sectors: BTreeMap<(u32, u64), (u64, u32)> = BTreeMap::new();
-    for &(lane, addr) in &access.lanes {
-        let warp = lane / warp_width;
+    // Every real warp width is a power of two; this loop runs per traced
+    // lane, so the division must compile to a shift there.
+    let warp_shift =
+        if warp_width.is_power_of_two() { Some(warp_width.trailing_zeros()) } else { None };
+    let entries = &mut scratch.entries;
+    entries.clear();
+    out.clear();
+    for (&lane, &addr) in access.lanes.iter().zip(access.addrs) {
+        let warp = match warp_shift {
+            Some(s) => lane >> s,
+            None => lane / warp_width,
+        };
         let sector = addr & !(sector_bytes - 1);
         let offset = addr - sector;
         debug_assert!(offset + u64::from(access.width) <= sector_bytes);
         let bits =
             if access.width >= 64 { u64::MAX } else { ((1u64 << access.width) - 1) << offset };
-        let entry = sectors.entry((warp, sector)).or_insert((0, 0));
-        entry.0 |= bits;
-        entry.1 += 1;
+        entries.push((warp, sector, bits));
     }
-    sectors
-        .into_iter()
-        .map(|((_, addr), (cover, lanes))| SectorReq { addr, cover, lanes })
-        .collect()
+    entries.sort_unstable_by_key(|&(warp, sector, _)| (warp, sector));
+    let mut prev: Option<(u32, u64)> = None;
+    for &(warp, sector, bits) in entries.iter() {
+        if prev == Some((warp, sector)) {
+            // Same (warp, sector) run as the previous entry: merge.
+            let req = out.last_mut().expect("run continuation implies an open request");
+            req.cover |= bits;
+            req.lanes += 1;
+        } else {
+            out.push(SectorReq { addr: sector, cover: bits, lanes: 1 });
+            prev = Some((warp, sector));
+        }
+    }
+}
+
+/// Coalesce one traced access, allocating fresh buffers — the
+/// convenience form the serial reference replay and the unit tests use.
+pub fn coalesce(access: &AccessView<'_>, warp_width: u32, sector_bytes: u64) -> Vec<SectorReq> {
+    let mut scratch = CoalesceScratch::default();
+    let mut out = Vec::new();
+    coalesce_into(access, warp_width, sector_bytes, &mut scratch, &mut out);
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::AccessKind;
+    use crate::trace::{AccessKind, BlockTrace};
 
-    fn access(width: u32, lanes: Vec<(u32, u64)>) -> TraceAccess {
-        TraceAccess { kind: AccessKind::Load, width, lanes }
+    /// Assemble a one-access trace arena and return it (views borrow
+    /// from it at the use site).
+    fn access(width: u32, lanes: impl IntoIterator<Item = (u32, u64)>) -> BlockTrace {
+        let mut t = BlockTrace::new(0);
+        for (lane, addr) in lanes {
+            t.push_lane(lane, addr);
+        }
+        t.end_access(AccessKind::Load, width);
+        t
+    }
+
+    fn run(t: &BlockTrace, warp_width: u32, sector_bytes: u64) -> Vec<SectorReq> {
+        coalesce(&t.accesses().next().expect("one access"), warp_width, sector_bytes)
     }
 
     #[test]
     fn unit_stride_f64_warp32_fills_sectors() {
         // 32 lanes × 8B contiguous = 256B = eight full 32B sectors.
-        let a = access(8, (0..32).map(|l| (l, u64::from(l) * 8)).collect());
-        let reqs = coalesce(&a, 32, 32);
+        let a = access(8, (0..32).map(|l| (l, u64::from(l) * 8)));
+        let reqs = run(&a, 32, 32);
         assert_eq!(reqs.len(), 8);
         for (i, r) in reqs.iter().enumerate() {
             assert_eq!(r.addr, i as u64 * 32);
@@ -108,20 +165,20 @@ mod tests {
         // its own sector, but warp grouping differs: w64 = one warp of 64
         // transactions, w16 = four warps of 16. Totals equal; the warp
         // boundary matters once sectors are shared.
-        let a = access(4, (0..64).map(|l| (l, u64::from(l) * 64)).collect());
-        assert_eq!(coalesce(&a, 64, 64).len(), 64);
-        assert_eq!(coalesce(&a, 16, 64).len(), 64);
+        let a = access(4, (0..64).map(|l| (l, u64::from(l) * 64)));
+        assert_eq!(run(&a, 64, 64).len(), 64);
+        assert_eq!(run(&a, 16, 64).len(), 64);
         // Broadcast: all lanes hit one address — one transaction per warp.
-        let b = access(4, (0..64).map(|l| (l, 0)).collect());
-        assert_eq!(coalesce(&b, 64, 64).len(), 1);
-        assert_eq!(coalesce(&b, 16, 64).len(), 4);
+        let b = access(4, (0..64).map(|l| (l, 0)));
+        assert_eq!(run(&b, 64, 64).len(), 1);
+        assert_eq!(run(&b, 16, 64).len(), 4);
     }
 
     #[test]
     fn strided_gather_wastes_sector_cover() {
         // 8B loads, 128B apart: each sector transaction covers 8/32 bytes.
-        let a = access(8, (0..32).map(|l| (l, u64::from(l) * 128)).collect());
-        let reqs = coalesce(&a, 32, 32);
+        let a = access(8, (0..32).map(|l| (l, u64::from(l) * 128)));
+        let reqs = run(&a, 32, 32);
         assert_eq!(reqs.len(), 32);
         for r in &reqs {
             assert_eq!(r.covered_bytes(), 8);
@@ -131,8 +188,8 @@ mod tests {
 
     #[test]
     fn full_cover_detection_at_64b() {
-        let a = access(8, (0..8).map(|l| (l, u64::from(l) * 8)).collect());
-        let reqs = coalesce(&a, 32, 64);
+        let a = access(8, (0..8).map(|l| (l, u64::from(l) * 8)));
+        let reqs = run(&a, 32, 64);
         assert_eq!(reqs.len(), 1);
         assert!(reqs[0].full(64));
         assert_eq!(reqs[0].lanes, 8);
@@ -140,8 +197,33 @@ mod tests {
 
     #[test]
     fn deterministic_regardless_of_lane_order() {
-        let fwd = access(4, (0..32).map(|l| (l, u64::from(l) * 4)).collect());
-        let rev = access(4, (0..32).rev().map(|l| (l, u64::from(l) * 4)).collect());
-        assert_eq!(coalesce(&fwd, 32, 32), coalesce(&rev, 32, 32));
+        let fwd = access(4, (0..32).map(|l| (l, u64::from(l) * 4)));
+        let rev = access(4, (0..32).rev().map(|l| (l, u64::from(l) * 4)));
+        assert_eq!(run(&fwd, 32, 32), run(&rev, 32, 32));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_buffers() {
+        // Drive several accesses through one scratch; each result must
+        // equal the allocation-per-call form.
+        let mut scratch = CoalesceScratch::default();
+        let mut out = Vec::new();
+        for stride in [4u64, 8, 64, 128] {
+            let a = access(4, (0..64).map(|l| (l, u64::from(l) * stride)));
+            let view = a.accesses().next().expect("one access");
+            coalesce_into(&view, 32, 32, &mut scratch, &mut out);
+            assert_eq!(out, coalesce(&view, 32, 32), "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn shared_sector_across_warps_stays_split() {
+        // Lanes 31 and 32 touch the same 64B sector from different
+        // 32-wide warps: two transactions, not one.
+        let a = access(4, [(31u32, 60u64), (32, 0)]);
+        let reqs = run(&a, 32, 64);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].addr, 0);
+        assert_eq!(reqs[1].addr, 0);
     }
 }

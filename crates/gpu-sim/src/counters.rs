@@ -218,6 +218,40 @@ impl StatsCell {
     }
 }
 
+/// [`StatsCell`]'s counterpart for memory-hierarchy statistics: a
+/// consistent accumulator of per-launch [`MemStats`]
+/// (`crate::memhier::MemStats`). Traced launches merge a whole
+/// snapshot under one mutex; readers (serve/gateway reporting threads)
+/// always see launch-granular totals, never a torn view.
+#[derive(Debug, Default)]
+pub struct MemStatsCell {
+    inner: Mutex<(crate::memhier::MemStats, u64)>,
+}
+
+impl MemStatsCell {
+    /// A zeroed cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one traced launch's memory statistics into the total.
+    pub fn merge(&self, stats: crate::memhier::MemStats) {
+        let mut g = self.inner.lock();
+        g.0 = g.0.merged(stats);
+        g.1 += 1;
+    }
+
+    /// A consistent snapshot of the running total.
+    pub fn read(&self) -> crate::memhier::MemStats {
+        self.inner.lock().0
+    }
+
+    /// Number of traced launches merged so far.
+    pub fn merges(&self) -> u64 {
+        self.inner.lock().1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,12 +18,13 @@ use crate::ir::{KernelIr, Value};
 use crate::isa::{disassemble, IsaKind, Module};
 use crate::lower::{ProgramCache, ProgramCacheStats};
 use crate::mem::{DevicePtr, GlobalMemory};
-use crate::memhier::{replay, MemHierSpec, MemStats};
+use crate::memhier::{MemHierSpec, MemStats};
+use crate::pool::ScratchPool;
 use crate::pool::ThreadPool;
 use crate::sched::SchedulePolicy;
 use crate::ssa::OptLevel;
 use crate::timing::{kernel_time, kernel_time_traced, transfer_time, ModeledTime};
-use crate::trace::TraceSink;
+use crate::trace::{ReplayMode, TraceScratch, TraceSink};
 use crate::vexec::run_block_lv;
 use crate::{Result, SimError};
 use parking_lot::Mutex;
@@ -188,6 +189,48 @@ fn resolve_tracing() -> bool {
             std::env::var("MCMM_MEM_TRACE").as_deref(),
             Ok("1") | Ok("on") | Ok("true") | Ok("ON") | Ok("TRUE")
         ),
+    }
+}
+
+/// Process-wide replay-mode override: 0 = unset, else
+/// `replay_mode_as_u8`.
+static PROCESS_REPLAY: AtomicU8 = AtomicU8::new(0);
+
+/// Force the trace-replay pipeline for every *subsequently created*
+/// [`Device`] (`None` clears the override). Takes precedence over
+/// `MCMM_TRACE_REPLAY`. Both modes produce bit-identical
+/// [`MemStats`]; `Buffered` is the retained serial reference,
+/// `Streaming` the parallel production pipeline — the knob exists so
+/// benches and differential tests can measure one against the other.
+pub fn set_process_replay_mode(mode: Option<ReplayMode>) {
+    PROCESS_REPLAY.store(mode.map_or(0, replay_mode_as_u8), Ordering::SeqCst);
+}
+
+fn replay_mode_as_u8(mode: ReplayMode) -> u8 {
+    match mode {
+        ReplayMode::Buffered => 1,
+        ReplayMode::Streaming => 2,
+    }
+}
+
+fn replay_mode_from_u8(v: u8) -> Option<ReplayMode> {
+    match v {
+        1 => Some(ReplayMode::Buffered),
+        2 => Some(ReplayMode::Streaming),
+        _ => None,
+    }
+}
+
+/// The replay mode a new device starts with: process override, then the
+/// `MCMM_TRACE_REPLAY` environment variable (`"buffered"` /
+/// `"streaming"`), then `Streaming`.
+fn resolve_replay_mode() -> ReplayMode {
+    if let Some(m) = replay_mode_from_u8(PROCESS_REPLAY.load(Ordering::SeqCst)) {
+        return m;
+    }
+    match std::env::var("MCMM_TRACE_REPLAY") {
+        Ok(v) if v.eq_ignore_ascii_case("buffered") => ReplayMode::Buffered,
+        _ => ReplayMode::Streaming,
     }
 }
 
@@ -436,9 +479,19 @@ pub struct Device {
     /// Whether launches record a memory-access trace even when the
     /// timing tier doesn't require one.
     tracing: AtomicBool,
+    /// Active trace-replay pipeline (`replay_mode_as_u8` encoding).
+    replay_mode: AtomicU8,
+    /// Reusable per-worker tracing scratch (trace arenas + L1-stage
+    /// buffers), shared by every launch so capacity amortizes to its
+    /// high-water mark.
+    trace_scratch: Arc<ScratchPool<TraceScratch>>,
+    /// Recycled shared-L2 cache for the streaming replay's launch-exit
+    /// stage (its line array runs to megabytes; rebuilding it per
+    /// launch would dwarf the replay itself).
+    l2_scratch: Arc<parking_lot::Mutex<Option<crate::cache::SectoredCache>>>,
     /// Cumulative memory-hierarchy stats over traced launches, with the
     /// number of traced launches merged in.
-    mem_cumulative: Mutex<(MemStats, u64)>,
+    mem_cumulative: crate::counters::MemStatsCell,
     /// Cumulative host↔device transfer volume.
     transfers: Mutex<TransferStats>,
     /// Lowered lane-vector programs, keyed by kernel fingerprint.
@@ -460,7 +513,10 @@ impl Device {
             timing: AtomicU8::new(TimingTier::resolve().as_u8()),
             opt: AtomicU8::new(opt_as_u8(OptLevel::resolve())),
             tracing: AtomicBool::new(resolve_tracing()),
-            mem_cumulative: Mutex::new((MemStats::default(), 0)),
+            replay_mode: AtomicU8::new(replay_mode_as_u8(resolve_replay_mode())),
+            trace_scratch: Arc::new(ScratchPool::new()),
+            l2_scratch: Arc::new(parking_lot::Mutex::new(None)),
+            mem_cumulative: crate::counters::MemStatsCell::new(),
             transfers: Mutex::new(TransferStats::default()),
             programs: ProgramCache::new(),
             spec,
@@ -499,14 +555,27 @@ impl Device {
         self.tracing.store(on, Ordering::SeqCst);
     }
 
+    /// The trace-replay pipeline this device currently runs.
+    pub fn replay_mode(&self) -> ReplayMode {
+        replay_mode_from_u8(self.replay_mode.load(Ordering::SeqCst))
+            .unwrap_or(ReplayMode::Streaming)
+    }
+
+    /// Switch the trace-replay pipeline for subsequent launches. Both
+    /// modes produce bit-identical stats; `Buffered` keeps the serial
+    /// reference path measurable.
+    pub fn set_replay_mode(&self, mode: ReplayMode) {
+        self.replay_mode.store(replay_mode_as_u8(mode), Ordering::SeqCst);
+    }
+
     /// Cumulative memory-hierarchy statistics over every traced launch.
     pub fn mem_stats(&self) -> MemStats {
-        self.mem_cumulative.lock().0
+        self.mem_cumulative.read()
     }
 
     /// Number of traced launches merged into [`Device::mem_stats`].
     pub fn mem_launches(&self) -> u64 {
-        self.mem_cumulative.lock().1
+        self.mem_cumulative.merges()
     }
 
     /// Cumulative host↔device transfer volume.
@@ -790,15 +859,28 @@ impl Device {
         // The trace-driven timing tier needs a trace; the tracing flag
         // asks for one regardless of how time is modeled.
         let sink = if self.tracing() || timing == TimingTier::TraceDriven {
-            Some(TraceSink::new())
+            Some(TraceSink::new(
+                self.spec.memhier,
+                self.spec.warp_width,
+                self.replay_mode(),
+                Arc::clone(&self.trace_scratch),
+                Arc::clone(&self.l2_scratch),
+            ))
         } else {
             None
         };
 
         let counters = Counters::new();
+        // Happy-path early exit is a relaxed load; the mutex is touched
+        // only by blocks that actually fail.
+        let failed = AtomicBool::new(false);
         let error: Mutex<Option<SimError>> = Mutex::new(None);
+        let fail = |e: SimError| {
+            error.lock().get_or_insert(e);
+            failed.store(true, Ordering::Relaxed);
+        };
         self.pool.run_indexed(cfg.grid_dim as usize, cfg.policy.claim(), |block| {
-            if error.lock().is_some() {
+            if failed.load(Ordering::Relaxed) {
                 return; // a sibling block already failed — stop early
             }
             let ctx = BlockCtx {
@@ -812,7 +894,7 @@ impl Device {
                 trace: sink.as_ref(),
             };
             if crash_block == Some(ctx.block_id) {
-                error.lock().get_or_insert(injected_block_crash(&ctx));
+                fail(injected_block_crash(&ctx));
                 return;
             }
             let res = match &program {
@@ -820,14 +902,14 @@ impl Device {
                 None => run_block(&ctx, &values),
             };
             if let Err(e) = res {
-                error.lock().get_or_insert(e);
+                fail(e);
             }
         });
         if let Some(e) = error.into_inner() {
             return Err(e);
         }
         let stats = counters.snapshot();
-        let mem = sink.map(|s| replay(&self.spec.memhier, self.spec.warp_width, &s.into_blocks()));
+        let mem = sink.map(TraceSink::finish);
         let time = match (timing, &mem) {
             (TimingTier::TraceDriven, Some(m)) => {
                 kernel_time_traced(&self.spec, &stats, m, cfg.efficiency)
@@ -837,9 +919,7 @@ impl Device {
         self.advance_clock(time);
         self.cumulative.merge(stats);
         if let Some(m) = mem {
-            let mut cell = self.mem_cumulative.lock();
-            cell.0 = cell.0.merged(m);
-            cell.1 += 1;
+            self.mem_cumulative.merge(m);
         }
         Ok(LaunchReport { stats, time, mem })
     }

@@ -18,7 +18,7 @@ use crate::ir::{
     AtomicOp, BinOp, CmpOp, Instr, KernelIr, Operand, Space, Special, Type, UnOp, Value,
 };
 use crate::mem::GlobalMemory;
-use crate::trace::{AccessKind, BlockTrace, TraceAccess};
+use crate::trace::{AccessKind, TraceScratch};
 use crate::{Result, SimError};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -255,8 +255,8 @@ struct Interp<'a> {
     /// Present in racecheck mode; shared accesses are mirrored into it.
     race: Option<RaceLog>,
     /// Present when the launch is traced; global accesses are recorded
-    /// here and flushed to the sink at block exit.
-    tblock: Option<BlockTrace>,
+    /// into the scratch's arena and flushed to the sink at block exit.
+    tblock: Option<TraceScratch>,
 }
 
 /// Execute one thread block.
@@ -310,7 +310,7 @@ fn run_block_impl(
         n,
         local: LocalCounters::new(),
         race,
-        tblock: ctx.trace.map(|_| BlockTrace::new(ctx.block_id)),
+        tblock: ctx.trace.map(|s| s.begin_block(ctx.block_id)),
     };
     let mask = vec![true; n];
     let issues = interp.active_warps(&mask);
@@ -321,7 +321,7 @@ fn run_block_impl(
     interp.local.flush(interp.ctx.counters);
     interp.ctx.counters.add_block(u64::from(ctx.block_dim.div_ceil(ctx.warp_width.max(1))));
     if let (Some(sink), Some(tb)) = (ctx.trace, interp.tblock.take()) {
-        sink.push(tb);
+        sink.finish_block(tb);
     }
     Ok(interp.race)
 }
@@ -419,7 +419,6 @@ impl<'a> Interp<'a> {
                 let ty = self.ctx.kernel.regs[dst.0 as usize];
                 let mut lanes = 0u64;
                 let tracing = *space == Space::Global && self.tblock.is_some();
-                let mut tlanes: Vec<(u32, u64)> = Vec::new();
                 for lane in active(mask) {
                     let a = self.addr(addr, lane)?;
                     let v = match space {
@@ -433,26 +432,29 @@ impl<'a> Interp<'a> {
                     };
                     self.regs[dst.0 as usize].set(lane, v);
                     if tracing {
-                        tlanes.push((lane as u32, a));
+                        self.tblock
+                            .as_mut()
+                            .expect("tracing checked")
+                            .trace
+                            .push_lane(lane as u32, a);
                     }
                     lanes += 1;
                 }
                 if *space == Space::Global {
                     self.local.bytes_read += lanes * ty.size();
                 }
-                if tracing && !tlanes.is_empty() {
-                    self.tblock.as_mut().expect("tracing checked").accesses.push(TraceAccess {
-                        kind: AccessKind::Load,
-                        width: ty.size() as u32,
-                        lanes: tlanes,
-                    });
+                if tracing {
+                    self.tblock
+                        .as_mut()
+                        .expect("tracing checked")
+                        .trace
+                        .end_access(AccessKind::Load, ty.size() as u32);
                 }
             }
             Instr::St { space, addr, value } => {
                 let mut lanes = 0u64;
                 let mut sz = 0u64;
                 let tracing = *space == Space::Global && self.tblock.is_some();
-                let mut tlanes: Vec<(u32, u64)> = Vec::new();
                 for lane in active(mask) {
                     let a = self.addr(addr, lane)?;
                     let v = self.eval(value, lane);
@@ -467,25 +469,28 @@ impl<'a> Interp<'a> {
                         }
                     }
                     if tracing {
-                        tlanes.push((lane as u32, a));
+                        self.tblock
+                            .as_mut()
+                            .expect("tracing checked")
+                            .trace
+                            .push_lane(lane as u32, a);
                     }
                     lanes += 1;
                 }
                 if *space == Space::Global {
                     self.local.bytes_written += lanes * sz;
                 }
-                if tracing && !tlanes.is_empty() {
-                    self.tblock.as_mut().expect("tracing checked").accesses.push(TraceAccess {
-                        kind: AccessKind::Store,
-                        width: sz as u32,
-                        lanes: tlanes,
-                    });
+                if tracing {
+                    self.tblock
+                        .as_mut()
+                        .expect("tracing checked")
+                        .trace
+                        .end_access(AccessKind::Store, sz as u32);
                 }
             }
             Instr::Atomic { op, space, addr, value, dst } => {
                 let mut lanes = 0u64;
                 let tracing = *space == Space::Global && self.tblock.is_some();
-                let mut tlanes: Vec<(u32, u64)> = Vec::new();
                 let mut width = 0u32;
                 // Colliding atomics commit in warp-scheduler order: warps
                 // take turns issuing their lane at each position, so the
@@ -496,7 +501,11 @@ impl<'a> Interp<'a> {
                     let a = self.addr(addr, lane)?;
                     let v = self.eval(value, lane);
                     if tracing {
-                        tlanes.push((lane as u32, a));
+                        self.tblock
+                            .as_mut()
+                            .expect("tracing checked")
+                            .trace
+                            .push_lane(lane as u32, a);
                         width = v.ty().size() as u32;
                     }
                     let old = match space {
@@ -523,12 +532,12 @@ impl<'a> Interp<'a> {
                     lanes += 1;
                 }
                 self.local.atomics += lanes;
-                if tracing && !tlanes.is_empty() {
-                    self.tblock.as_mut().expect("tracing checked").accesses.push(TraceAccess {
-                        kind: AccessKind::Atomic,
-                        width,
-                        lanes: tlanes,
-                    });
+                if tracing {
+                    self.tblock
+                        .as_mut()
+                        .expect("tracing checked")
+                        .trace
+                        .end_access(AccessKind::Atomic, width);
                 }
             }
             Instr::Bar => {

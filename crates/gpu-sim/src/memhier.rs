@@ -25,7 +25,7 @@
 //!   exit; dirty L2 sectors flush to DRAM at launch exit.
 
 use crate::cache::SectoredCache;
-use crate::coalesce::{coalesce, SectorReq};
+use crate::coalesce::{coalesce, coalesce_into, CoalesceScratch, SectorReq};
 use crate::trace::{AccessKind, BlockTrace};
 
 /// Cache-hierarchy geometry and latencies of one device, the
@@ -262,6 +262,13 @@ impl Shared {
 
 /// Replay a launch trace through the hierarchy, producing its
 /// [`MemStats`]. Deterministic: same spec + same trace ⇒ same stats.
+///
+/// This is the retained single-threaded **reference** pipeline: every
+/// block's full trace walks the coalescer, a fresh private L1, and the
+/// shared L2 on one thread, in block-id order. The production path is
+/// the streaming split ([`replay_block_l1`] per block on the workers +
+/// [`replay_l2`] once at launch exit); the differential suite pins the
+/// two bit-identical.
 pub fn replay(spec: &MemHierSpec, warp_width: u32, blocks: &[BlockTrace]) -> MemStats {
     let mut shared = Shared {
         l2: SectoredCache::new(spec.l2_bytes, spec.l2_line_bytes, spec.l2_ways, spec.sector_bytes),
@@ -271,8 +278,8 @@ pub fn replay(spec: &MemHierSpec, warp_width: u32, blocks: &[BlockTrace]) -> Mem
     for block in blocks {
         let mut l1 =
             SectoredCache::new(spec.l1_bytes, spec.l1_line_bytes, spec.l1_ways, spec.sector_bytes);
-        for access in &block.accesses {
-            let reqs = coalesce(access, warp_width, spec.sector_bytes);
+        for access in block.accesses() {
+            let reqs = coalesce(&access, warp_width, spec.sector_bytes);
             let lanes = access.lanes.len() as u64;
             shared.stats.requests += lanes;
             shared.stats.bytes_requested += lanes * u64::from(access.width);
@@ -291,6 +298,223 @@ pub fn replay(spec: &MemHierSpec, warp_width: u32, blocks: &[BlockTrace]) -> Mem
     // Launch exit: dirty L2 sectors drain to DRAM.
     let dirty = shared.l2.flush_dirty().len() as u64;
     shared.dram(dirty);
+    shared.stats
+}
+
+/// One L2-bound sector request emitted by the per-block L1 stage,
+/// packed into a single word: sector addresses are ≥ 32-byte aligned,
+/// so the low bits carry the request kind. Bit 0 = write (vs fill
+/// read), bit 1 = full sector cover (write-combining, no fill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Req(u64);
+
+impl L2Req {
+    const WRITE: u64 = 1 << 0;
+    const FULL: u64 = 1 << 1;
+
+    /// A fill read of `sector`.
+    pub fn read(sector: u64) -> Self {
+        debug_assert_eq!(sector & 31, 0);
+        Self(sector)
+    }
+
+    /// A store or writeback of `sector`; `full` = every byte covered.
+    pub fn write(sector: u64, full: bool) -> Self {
+        debug_assert_eq!(sector & 31, 0);
+        Self(sector | Self::WRITE | if full { Self::FULL } else { 0 })
+    }
+
+    /// The sector-aligned address.
+    pub fn sector(self) -> u64 {
+        self.0 & !(Self::WRITE | Self::FULL)
+    }
+
+    /// Whether this is a write (store/writeback) rather than a fill.
+    pub fn is_write(self) -> bool {
+        self.0 & Self::WRITE != 0
+    }
+
+    /// Whether the write covered the whole sector.
+    pub fn full_cover(self) -> bool {
+        self.0 & Self::FULL != 0
+    }
+}
+
+/// What survives a block after its private L1 stage: the (far smaller)
+/// ordered stream of requests that reached L2, plus the block's
+/// contribution to the launch-commutative stat fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockL2Stream {
+    /// Linear block id — [`replay_l2`] sorts on it for determinism.
+    pub block: u32,
+    /// L2-bound requests in the block's program order.
+    pub reqs: Vec<L2Req>,
+    /// Per-block partial of the L1-stage stat fields (`requests`,
+    /// `transactions`, `mshr_merges`, `l1_*`, `bytes_*`); all u64 sums,
+    /// so accumulation order cannot change the launch totals.
+    pub partial: MemStats,
+}
+
+/// Reusable per-worker buffers for [`replay_block_l1`]: the private L1
+/// (reset, not reallocated, between blocks), and the coalescer's
+/// scratch. Pooled via [`crate::pool::ScratchPool`] so capacity
+/// persists across blocks and launches.
+#[derive(Debug, Default)]
+pub struct L1Scratch {
+    l1: Option<SectoredCache>,
+    coalesce: CoalesceScratch,
+    reqs: Vec<SectorReq>,
+}
+
+/// The private L1 for one block: recycled and reset when the slot
+/// already holds a matching geometry, rebuilt when the scratch
+/// migrates to a device with a different hierarchy.
+fn l1_for<'a>(slot: &'a mut Option<SectoredCache>, spec: &MemHierSpec) -> &'a mut SectoredCache {
+    let fits = slot.as_ref().is_some_and(|c| {
+        c.geometry_matches(spec.l1_bytes, spec.l1_line_bytes, spec.l1_ways, spec.sector_bytes)
+    });
+    if fits {
+        let l1 = slot.as_mut().expect("checked above");
+        l1.reset();
+        l1
+    } else {
+        slot.insert(SectoredCache::new(
+            spec.l1_bytes,
+            spec.l1_line_bytes,
+            spec.l1_ways,
+            spec.sector_bytes,
+        ))
+    }
+}
+
+/// The streaming pipeline's per-block stage, run **on the worker
+/// thread at block exit**: coalesce the block's trace and drive it
+/// through a private L1, emitting only the L2-bound request stream.
+/// Mirrors the reference [`replay`] exactly — L1 outcomes depend only
+/// on L1 state, never on L2, so deferring the shared stage cannot
+/// change any count.
+pub fn replay_block_l1(
+    spec: &MemHierSpec,
+    warp_width: u32,
+    trace: &BlockTrace,
+    scratch: &mut L1Scratch,
+) -> BlockL2Stream {
+    let mut out = BlockL2Stream { block: trace.block, ..Default::default() };
+    // Disjoint field borrows: the stream, the partial stats, the L1,
+    // and the coalescer buffers are all live inside the loop.
+    let BlockL2Stream { reqs: l2_reqs, partial: stats, .. } = &mut out;
+    let L1Scratch { l1: l1_slot, coalesce: cscratch, reqs } = scratch;
+    let l1 = l1_for(l1_slot, spec);
+    for access in trace.accesses() {
+        coalesce_into(&access, warp_width, spec.sector_bytes, cscratch, reqs);
+        let lanes = access.lanes.len() as u64;
+        stats.requests += lanes;
+        stats.bytes_requested += lanes * u64::from(access.width);
+        stats.transactions += reqs.len() as u64;
+        for req in reqs.iter() {
+            stats.mshr_merges += u64::from(req.lanes.saturating_sub(1));
+            stats.bytes_covered += req.covered_bytes();
+            let full = req.full(spec.sector_bytes);
+            match access.kind {
+                AccessKind::Load => {
+                    let o = l1.read(req.addr);
+                    if o.hit {
+                        stats.l1_hits += 1;
+                    } else {
+                        stats.l1_misses += 1;
+                    }
+                    if o.filled {
+                        l2_reqs.push(L2Req::read(req.addr));
+                    }
+                    for wb in o.writebacks {
+                        l2_reqs.push(L2Req::write(wb, true));
+                    }
+                }
+                AccessKind::Store => {
+                    if spec.l1_write_alloc {
+                        let o = l1.write(req.addr, full, true);
+                        if o.hit {
+                            stats.l1_hits += 1;
+                        } else {
+                            stats.l1_misses += 1;
+                        }
+                        if o.filled {
+                            l2_reqs.push(L2Req::read(req.addr));
+                        }
+                        for wb in o.writebacks {
+                            l2_reqs.push(L2Req::write(wb, true));
+                        }
+                    } else {
+                        // Write-through no-allocate: L2 serves the
+                        // store; a resident L1 copy is refreshed in
+                        // place, clean.
+                        l1.update_if_present(req.addr);
+                        stats.l1_misses += 1;
+                        l2_reqs.push(L2Req::write(req.addr, full));
+                    }
+                }
+                AccessKind::Atomic => {
+                    // Atomics bypass L1: read-modify-write in L2.
+                    l2_reqs.push(L2Req::write(req.addr, false));
+                }
+            }
+        }
+    }
+    // Block exit: dirty L1 sectors drain to L2 as full-sector writes.
+    for sector in l1.flush_dirty() {
+        l2_reqs.push(L2Req::write(sector, true));
+    }
+    out
+}
+
+/// The shared L2 for one launch: recycled from the device-owned `slot`
+/// when the geometry matches (its line array runs to megabytes —
+/// rebuilding it per launch would dwarf the replay itself), rebuilt
+/// otherwise. `reset` makes reuse bit-identical to a fresh cache.
+fn l2_for(slot: &mut Option<SectoredCache>, spec: &MemHierSpec) -> SectoredCache {
+    let fits = slot.as_ref().is_some_and(|c| {
+        c.geometry_matches(spec.l2_bytes, spec.l2_line_bytes, spec.l2_ways, spec.sector_bytes)
+    });
+    if fits {
+        let mut l2 = slot.take().expect("checked above");
+        l2.reset();
+        l2
+    } else {
+        SectoredCache::new(spec.l2_bytes, spec.l2_line_bytes, spec.l2_ways, spec.sector_bytes)
+    }
+}
+
+/// The streaming pipeline's shared stage, run once at launch exit:
+/// replay the per-block L2 streams through the shared L2 in block-id
+/// order (sorted here — block ids are unique, so the unstable sort is
+/// deterministic) and fold in the per-block partials. Produces stats
+/// bit-identical to the reference [`replay`] over the same launch.
+/// `l2_slot` holds the recycled shared-L2 cache between launches.
+pub fn replay_l2(
+    spec: &MemHierSpec,
+    mut streams: Vec<BlockL2Stream>,
+    l2_slot: &mut Option<SectoredCache>,
+) -> MemStats {
+    streams.sort_unstable_by_key(|s| s.block);
+    let mut shared = Shared {
+        l2: l2_for(l2_slot, spec),
+        stats: MemStats::default(),
+        sector_bytes: spec.sector_bytes,
+    };
+    for stream in &streams {
+        shared.stats = shared.stats.merged(stream.partial);
+        for req in &stream.reqs {
+            if req.is_write() {
+                shared.l2_write(req.sector(), req.full_cover());
+            } else {
+                shared.l2_read(req.sector());
+            }
+        }
+    }
+    // Launch exit: dirty L2 sectors drain to DRAM.
+    let dirty = shared.l2.flush_dirty().len() as u64;
+    shared.dram(dirty);
+    *l2_slot = Some(shared.l2);
     shared.stats
 }
 
@@ -349,29 +573,49 @@ fn replay_req(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::{AccessKind, TraceAccess};
+    use crate::trace::AccessKind;
+
+    /// Append one access to a trace arena from a lane/address iterator.
+    fn push(
+        t: &mut BlockTrace,
+        kind: AccessKind,
+        width: u32,
+        it: impl Iterator<Item = (u32, u64)>,
+    ) {
+        for (lane, addr) in it {
+            t.push_lane(lane, addr);
+        }
+        t.end_access(kind, width);
+    }
 
     /// One block, 256 lanes: the warp-width-sensitive gather
     /// `out[i] = in[(i % 32) * 16] + src[i]` over f64, as traced.
     fn gather_block(n: u32) -> BlockTrace {
         let mut t = BlockTrace::new(0);
-        t.accesses.push(TraceAccess {
-            kind: AccessKind::Load,
-            width: 8,
-            lanes: (0..n).map(|l| (l, u64::from(l % 32) * 128)).collect(),
-        });
-        t.accesses.push(TraceAccess {
-            kind: AccessKind::Load,
-            width: 8,
-            lanes: (0..n).map(|l| (l, 0x10_0000 + u64::from(l) * 8)).collect(),
-        });
-        t.accesses.push(TraceAccess {
-            kind: AccessKind::Store,
-            width: 8,
-            lanes: (0..n).map(|l| (l, 0x20_0000 + u64::from(l) * 8)).collect(),
-        });
+        push(&mut t, AccessKind::Load, 8, (0..n).map(|l| (l, u64::from(l % 32) * 128)));
+        push(&mut t, AccessKind::Load, 8, (0..n).map(|l| (l, 0x10_0000 + u64::from(l) * 8)));
+        push(&mut t, AccessKind::Store, 8, (0..n).map(|l| (l, 0x20_0000 + u64::from(l) * 8)));
         t
     }
+
+    /// Run the streaming split (per-block L1 stage + shared L2 stage)
+    /// over the same trace the serial reference sees.
+    fn replay_streaming(spec: &MemHierSpec, warp_width: u32, blocks: &[BlockTrace]) -> MemStats {
+        let mut scratch = L1Scratch::default();
+        // Feed blocks in reverse to prove the sort restores block order.
+        let streams: Vec<BlockL2Stream> = blocks
+            .iter()
+            .rev()
+            .map(|b| replay_block_l1(spec, warp_width, b, &mut scratch))
+            .collect();
+        replay_l2(spec, streams, &mut None)
+    }
+
+    const PRESETS: [(fn() -> MemHierSpec, u32); 3] = [
+        (MemHierSpec::nvidia_a100, 32),
+        (MemHierSpec::amd_mi250x, 64),
+        (MemHierSpec::intel_pvc, 16),
+    ];
 
     #[test]
     fn vendor_presets_diverge_on_warp_width_sensitive_pattern() {
@@ -390,22 +634,10 @@ mod tests {
     fn coalesced_stream_has_full_sector_utilization() {
         // copy: load a[i], store c[i], unit stride, 256B-aligned bases.
         let mut t = BlockTrace::new(0);
-        t.accesses.push(TraceAccess {
-            kind: AccessKind::Load,
-            width: 8,
-            lanes: (0..256).map(|l| (l, u64::from(l) * 8)).collect(),
-        });
-        t.accesses.push(TraceAccess {
-            kind: AccessKind::Store,
-            width: 8,
-            lanes: (0..256).map(|l| (l, 0x10_0000 + u64::from(l) * 8)).collect(),
-        });
-        for (spec, w) in [
-            (MemHierSpec::nvidia_a100(), 32),
-            (MemHierSpec::amd_mi250x(), 64),
-            (MemHierSpec::intel_pvc(), 16),
-        ] {
-            let s = replay(&spec, w, std::slice::from_ref(&t));
+        push(&mut t, AccessKind::Load, 8, (0..256).map(|l| (l, u64::from(l) * 8)));
+        push(&mut t, AccessKind::Store, 8, (0..256).map(|l| (l, 0x10_0000 + u64::from(l) * 8)));
+        for (spec, w) in PRESETS {
+            let s = replay(&spec(), w, std::slice::from_ref(&t));
             assert!(s.sector_utilization() > 0.99, "{}", s.sector_utilization());
             // Streaming: DRAM traffic ≈ requested bytes (fills for the
             // load + writebacks for the store).
@@ -417,11 +649,7 @@ mod tests {
     fn strided_gather_wastes_dram_traffic() {
         // 128B-strided 8B gather on NVIDIA: 8 useful bytes per 32B sector.
         let mut t = BlockTrace::new(0);
-        t.accesses.push(TraceAccess {
-            kind: AccessKind::Load,
-            width: 8,
-            lanes: (0..256).map(|l| (l, u64::from(l) * 128)).collect(),
-        });
+        push(&mut t, AccessKind::Load, 8, (0..256).map(|l| (l, u64::from(l) * 128)));
         let s = replay(&MemHierSpec::nvidia_a100(), 32, std::slice::from_ref(&t));
         assert!((s.sector_utilization() - 0.25).abs() < 1e-9);
         assert_eq!(s.dram_bytes, 4 * s.bytes_requested);
@@ -430,11 +658,7 @@ mod tests {
     #[test]
     fn atomics_bypass_l1() {
         let mut t = BlockTrace::new(0);
-        t.accesses.push(TraceAccess {
-            kind: AccessKind::Atomic,
-            width: 8,
-            lanes: (0..32).map(|l| (l, 0)).collect(),
-        });
+        push(&mut t, AccessKind::Atomic, 8, (0..32).map(|l| (l, 0)));
         let s = replay(&MemHierSpec::nvidia_a100(), 32, std::slice::from_ref(&t));
         assert_eq!(s.l1_hits + s.l1_misses, 0);
         assert_eq!(s.l2_accesses, 1, "32 lanes on one address = one L2 RMW");
@@ -452,11 +676,8 @@ mod tests {
     #[test]
     fn accounting_invariants_hold() {
         let trace = [gather_block(256)];
-        for (spec, w) in [
-            (MemHierSpec::nvidia_a100(), 32),
-            (MemHierSpec::amd_mi250x(), 64),
-            (MemHierSpec::intel_pvc(), 16),
-        ] {
+        for (spec, w) in PRESETS {
+            let spec = spec();
             let s = replay(&spec, w, &trace);
             assert_eq!(s.l2_hits + s.l2_misses, s.l2_accesses);
             assert_eq!(s.requests, 768);
@@ -464,5 +685,55 @@ mod tests {
             assert!(s.bytes_covered <= s.transactions * spec.sector_bytes);
             assert_eq!(s.mshr_merges, s.requests - s.transactions);
         }
+    }
+
+    #[test]
+    fn streaming_split_is_bit_identical_to_serial_replay() {
+        // Multi-block launch with cross-block L2 reuse, every access
+        // kind, and a write-through preset in the mix; one shared
+        // scratch across all blocks (reset, not reallocated).
+        let mut blocks: Vec<BlockTrace> = (0..6u32)
+            .map(|b| {
+                let mut t = gather_block(256);
+                t.block = b;
+                push(&mut t, AccessKind::Atomic, 8, (0..32).map(|l| (l, u64::from(l % 4) * 64)));
+                t
+            })
+            .collect();
+        // An empty block must also round-trip.
+        blocks.push(BlockTrace::new(6));
+        for (spec, w) in PRESETS {
+            let spec = spec();
+            let serial = replay(&spec, w, &blocks);
+            let streamed = replay_streaming(&spec, w, &blocks);
+            assert_eq!(serial, streamed, "sector_bytes {}", spec.sector_bytes);
+        }
+    }
+
+    #[test]
+    fn l2_req_packing_round_trips() {
+        for sector in [0u64, 32, 64, 0xFFFF_FFE0, 1 << 40] {
+            let r = L2Req::read(sector);
+            assert!(!r.is_write() && r.sector() == sector);
+            for full in [false, true] {
+                let w = L2Req::write(sector, full);
+                assert!(w.is_write());
+                assert_eq!(w.full_cover(), full);
+                assert_eq!(w.sector(), sector);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_rebuilds_l1_when_geometry_changes() {
+        let blocks = [gather_block(256)];
+        let mut scratch = L1Scratch::default();
+        // NVIDIA then AMD through one scratch: the second run must not
+        // inherit the 128KiB NVIDIA L1.
+        let _ = replay_block_l1(&MemHierSpec::nvidia_a100(), 32, &blocks[0], &mut scratch);
+        let amd_reused = replay_block_l1(&MemHierSpec::amd_mi250x(), 64, &blocks[0], &mut scratch);
+        let amd_fresh =
+            replay_block_l1(&MemHierSpec::amd_mi250x(), 64, &blocks[0], &mut L1Scratch::default());
+        assert_eq!(amd_reused, amd_fresh);
     }
 }

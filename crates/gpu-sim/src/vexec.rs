@@ -33,7 +33,7 @@ use crate::counters::LocalCounters;
 use crate::exec::{bin_value, BlockCtx, SharedMem};
 use crate::ir::{AtomicOp, BinOp, CmpOp, Space, Special, Type, Value};
 use crate::lower::{LvNode, LvOp, LvProgram, LvSrc};
-use crate::trace::{AccessKind, BlockTrace, TraceAccess};
+use crate::trace::{AccessKind, TraceScratch};
 use crate::{Result, SimError};
 
 /// Execute one thread block through the vectorized tier.
@@ -59,7 +59,7 @@ pub fn run_block_lv(ctx: &BlockCtx<'_>, prog: &LvProgram, args: &[Value]) -> Res
         bools: vec![false; prog.pools.bools as usize * n],
         shared: SharedMem::new(prog.shared_bytes),
         local: LocalCounters::new(),
-        tblock: ctx.trace.map(|_| BlockTrace::new(ctx.block_id)),
+        tblock: ctx.trace.map(|s| s.begin_block(ctx.block_id)),
     };
     for (i, (&arg, &ty)) in args.iter().zip(&prog.params).enumerate() {
         if arg.ty() != ty {
@@ -76,7 +76,7 @@ pub fn run_block_lv(ctx: &BlockCtx<'_>, prog: &LvProgram, args: &[Value]) -> Res
     v.local.flush(ctx.counters);
     ctx.counters.add_block(u64::from(ctx.block_dim.div_ceil(ctx.warp_width.max(1))));
     if let (Some(sink), Some(tb)) = (ctx.trace, v.tblock.take()) {
-        sink.push(tb);
+        sink.finish_block(tb);
     }
     Ok(())
 }
@@ -390,7 +390,7 @@ struct VInterp<'a> {
     local: LocalCounters,
     /// Present when the launch is traced; global accesses are recorded
     /// here and flushed to the sink at block exit.
-    tblock: Option<BlockTrace>,
+    tblock: Option<TraceScratch>,
 }
 
 impl<'a> VInterp<'a> {
@@ -979,15 +979,18 @@ impl<'a> VInterp<'a> {
         }
     }
 
-    /// Collect `(lane, addr)` pairs for a traced global access, in the
-    /// ascending lane order the scalar tier records. Runs as a pre-pass
-    /// with shared borrows only: the execution closures borrow the value
-    /// pools mutably, and the I64 load overwrites its own address pool.
-    /// Negative addresses are skipped — the execution loop faults on them
-    /// and the trace of a failed launch is never consumed.
-    fn trace_lanes(&self, am: In<i64>, bits: Option<&[bool]>) -> Vec<(u32, u64)> {
-        let mut out = Vec::new();
-        for i in 0..self.n {
+    /// Record one traced global access straight into the block's trace
+    /// arena, in the ascending lane order the scalar tier records. Runs
+    /// as a pre-pass: the execution closures borrow the value pools
+    /// mutably, and the I64 load overwrites its own address pool.
+    /// Negative addresses are skipped — the execution loop faults on
+    /// them and the trace of a failed launch is never consumed.
+    fn trace_access(&mut self, kind: AccessKind, width: u32, am: In<i64>, bits: Option<&[bool]>) {
+        let n = self.n;
+        // Disjoint field borrows: the arena mutably, the address pool
+        // shared.
+        let Some(tb) = self.tblock.as_mut() else { return };
+        for i in 0..n {
             if let Some(m) = bits {
                 if !m[i] {
                     continue;
@@ -998,10 +1001,10 @@ impl<'a> VInterp<'a> {
                 In::Imm(v) => v,
             };
             if av >= 0 {
-                out.push((i as u32, av as u64));
+                tb.trace.push_lane(i as u32, av as u64);
             }
         }
-        out
+        tb.trace.end_access(kind, width);
     }
 
     fn ld(
@@ -1015,11 +1018,9 @@ impl<'a> VInterp<'a> {
         let n = self.n;
         let d = dst as usize * n;
         let am = resolve(addr, n, dec_i64);
-        let tlanes = if space == Space::Global && self.tblock.is_some() {
-            self.trace_lanes(am, bits)
-        } else {
-            Vec::new()
-        };
+        if space == Space::Global {
+            self.trace_access(AccessKind::Load, ty.size() as u32, am, bits);
+        }
         let size = ty.size();
         let global = self.ctx.global;
         let mut lanes = 0u64;
@@ -1086,15 +1087,6 @@ impl<'a> VInterp<'a> {
         }
         if space == Space::Global {
             self.local.bytes_read += lanes * size;
-            if !tlanes.is_empty() {
-                if let Some(tb) = self.tblock.as_mut() {
-                    tb.accesses.push(TraceAccess {
-                        kind: AccessKind::Load,
-                        width: size as u32,
-                        lanes: tlanes,
-                    });
-                }
-            }
         }
         Ok(())
     }
@@ -1109,11 +1101,9 @@ impl<'a> VInterp<'a> {
     ) -> Result<()> {
         let n = self.n;
         let am = resolve(addr, n, dec_i64);
-        let tlanes = if space == Space::Global && self.tblock.is_some() {
-            self.trace_lanes(am, bits)
-        } else {
-            Vec::new()
-        };
+        if space == Space::Global {
+            self.trace_access(AccessKind::Store, ty.size() as u32, am, bits);
+        }
         let size = ty.size();
         let global = self.ctx.global;
         let mut lanes = 0u64;
@@ -1182,15 +1172,6 @@ impl<'a> VInterp<'a> {
         }
         if space == Space::Global {
             self.local.bytes_written += lanes * size;
-            if !tlanes.is_empty() {
-                if let Some(tb) = self.tblock.as_mut() {
-                    tb.accesses.push(TraceAccess {
-                        kind: AccessKind::Store,
-                        width: size as u32,
-                        lanes: tlanes,
-                    });
-                }
-            }
         }
         Ok(())
     }
@@ -1209,7 +1190,6 @@ impl<'a> VInterp<'a> {
         let n = self.n;
         let mut lanes = 0u64;
         let tracing = space == Space::Global && self.tblock.is_some();
-        let mut tlanes: Vec<(u32, u64)> = Vec::new();
         // Warp-round-robin commit order, identical to the scalar tier's
         // `round_robin` (the order is a function of the warp width).
         for i in crate::exec::round_robin_indices(n, self.w) {
@@ -1224,7 +1204,7 @@ impl<'a> VInterp<'a> {
             };
             let a = lane_addr(av)?;
             if tracing {
-                tlanes.push((i as u32, a));
+                self.tblock.as_mut().expect("tracing checked").trace.push_lane(i as u32, a);
             }
             let v = self.read_value(ty, value, i);
             let old = match space {
@@ -1249,12 +1229,12 @@ impl<'a> VInterp<'a> {
             lanes += 1;
         }
         self.local.atomics += lanes;
-        if tracing && !tlanes.is_empty() {
-            self.tblock.as_mut().expect("tracing checked").accesses.push(TraceAccess {
-                kind: AccessKind::Atomic,
-                width: ty.size() as u32,
-                lanes: tlanes,
-            });
+        if tracing {
+            self.tblock
+                .as_mut()
+                .expect("tracing checked")
+                .trace
+                .end_access(AccessKind::Atomic, ty.size() as u32);
         }
         Ok(())
     }

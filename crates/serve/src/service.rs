@@ -46,11 +46,18 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Compile-cache capacity in artifacts.
     pub cache_capacity: usize,
+    /// Whether the devices record memory-access traces, keeping the
+    /// per-vendor L1/L2 rows of [`ServeReport`](crate::ServeReport) and
+    /// the gateway's `/v1/stats` live on every request. Defaults to
+    /// **on**: the streaming replay pipeline keeps the launch overhead
+    /// within the budget the memhier bench gates
+    /// (`BENCH_memhier.json`).
+    pub tracing: bool,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { streams_per_device: 3, queue_depth: 64, cache_capacity: 256 }
+        Self { streams_per_device: 3, queue_depth: 64, cache_capacity: 256, tracing: true }
     }
 }
 
@@ -216,6 +223,7 @@ impl Service {
             .into_iter()
             .map(|v| {
                 let device = Device::new(vendor_device_spec(v));
+                device.set_tracing(cfg.tracing);
                 let streams = (0..cfg.streams_per_device.max(1))
                     .map(|_| Stream::new(Arc::clone(&device)))
                     .collect();

@@ -176,8 +176,12 @@ fn chained_jobs_observe_their_dependency() {
 fn admission_control_rejects_rather_than_drops() {
     // Depth 2: the third concurrent submission must be an explicit
     // QueueFull, and after draining, submissions flow again.
-    let service =
-        Service::new(ServeConfig { streams_per_device: 1, queue_depth: 2, cache_capacity: 16 });
+    let service = Service::new(ServeConfig {
+        streams_per_device: 1,
+        queue_depth: 2,
+        cache_capacity: 16,
+        ..ServeConfig::default()
+    });
     let n = 1u64 << 14;
     let spec = |chain: Option<JobId>| {
         let x: Vec<u8> = vec![0u8; n as usize * 4];
@@ -241,8 +245,12 @@ fn resubmissions_after_queue_full_are_counted_separately() {
     // Depth 1: the second submission bounces with a retry hint; coming
     // back with the same spec is a *resubmission*, not a new rejection,
     // and a spec that never returns stays a hard rejection.
-    let service =
-        Service::new(ServeConfig { streams_per_device: 1, queue_depth: 1, cache_capacity: 16 });
+    let service = Service::new(ServeConfig {
+        streams_per_device: 1,
+        queue_depth: 1,
+        cache_capacity: 16,
+        ..ServeConfig::default()
+    });
     let n = 1u64 << 14;
     let spec = |scale: f32| {
         let x: Vec<u8> = vec![0u8; n as usize * 4];
@@ -291,8 +299,12 @@ fn resubmissions_after_queue_full_are_counted_separately() {
 fn job_failures_stay_job_local() {
     // A job whose launch reads out of bounds fails alone; an unrelated
     // job submitted to the same device afterwards still succeeds.
-    let service =
-        Service::new(ServeConfig { streams_per_device: 1, queue_depth: 8, cache_capacity: 16 });
+    let service = Service::new(ServeConfig {
+        streams_per_device: 1,
+        queue_depth: 8,
+        cache_capacity: 16,
+        ..ServeConfig::default()
+    });
     let n = 32u64;
     let good_bytes: Vec<u8> = vec![0u8; n as usize * 4];
 
